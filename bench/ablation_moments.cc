@@ -1,0 +1,100 @@
+// Ablation for Section 3.5.3's claim that "higher order moments are
+// sensitive to noise": retrieval effectiveness of the normalized moment
+// descriptor as its maximum order grows from 2 to 5, with and without
+// voxelization noise (resolution drop) injected.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/eval/precision_recall.h"
+#include "src/features/extended.h"
+#include "src/features/extractors.h"
+#include "src/index/linear_scan.h"
+#include "src/modelgen/dataset.h"
+
+namespace {
+
+using namespace dess;
+
+double AverageRecall(const std::vector<std::vector<double>>& descriptors,
+                     const std::vector<int>& groups) {
+  const int n = static_cast<int>(descriptors.size());
+  LinearScanIndex index(static_cast<int>(descriptors[0].size()));
+  for (int i = 0; i < n; ++i) {
+    if (!index.Insert(i, descriptors[i]).ok()) return -1.0;
+  }
+  double recall_sum = 0.0;
+  int queries = 0;
+  for (int q = 0; q < n; ++q) {
+    if (groups[q] < 0) continue;
+    std::set<int> relevant;
+    for (int i = 0; i < n; ++i) {
+      if (i != q && groups[i] == groups[q]) relevant.insert(i);
+    }
+    if (relevant.empty()) continue;
+    const auto nn = index.KNearest(descriptors[q], relevant.size() + 1);
+    int hits = 0;
+    for (const Neighbor& r : nn) {
+      if (r.id != q && relevant.count(r.id)) ++hits;
+    }
+    recall_sum += static_cast<double>(hits) / relevant.size();
+    ++queries;
+  }
+  return queries > 0 ? recall_sum / queries : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Ablation -- higher-order moment descriptors vs voxel noise "
+      "(Section 3.5.3 claim)");
+
+  dess::bench::StandardConfig cfg;
+  DatasetOptions ds_opt;
+  ds_opt.seed = cfg.dataset_seed;
+  ds_opt.mesh_resolution = cfg.mesh_resolution;
+  ds_opt.num_groups = 16;  // a 16-family subsample keeps this bench quick
+  ds_opt.num_noise = 0;
+  auto dataset = BuildStandardDataset(ds_opt);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%-8s %-6s", "voxelN", "dim");
+  for (int order = 2; order <= 5; ++order) {
+    std::printf(" order<=%d", order);
+  }
+  std::printf("\n");
+
+  for (int resolution : {32, 16, 12}) {
+    ExtractionOptions opt;
+    opt.voxelization.resolution = resolution;
+    // Canonical voxel grids for all shapes at this resolution.
+    std::vector<VoxelGrid> grids;
+    std::vector<int> groups;
+    for (const DatasetShape& shape : dataset->shapes) {
+      auto art = ExtractFeatures(shape.mesh, opt);
+      if (!art.ok()) continue;
+      grids.push_back(art->voxels);
+      groups.push_back(shape.group);
+    }
+    std::printf("%-8d %-6s", resolution, "");
+    for (int order = 2; order <= 5; ++order) {
+      std::vector<std::vector<double>> descriptors;
+      for (const VoxelGrid& g : grids) {
+        descriptors.push_back(NormalizedMomentDescriptor(g, order));
+      }
+      std::printf(" %-8.3f", AverageRecall(descriptors, groups));
+    }
+    std::printf("\n");
+  }
+  std::printf("\n(dims: order<=2 -> %d, <=3 -> %d, <=4 -> %d, <=5 -> %d; if "
+              "the paper's claim holds,\nhigher orders help at high "
+              "resolution but degrade faster as voxel noise grows)\n",
+              NormalizedMomentDescriptorDim(2), NormalizedMomentDescriptorDim(3),
+              NormalizedMomentDescriptorDim(4),
+              NormalizedMomentDescriptorDim(5));
+  return 0;
+}

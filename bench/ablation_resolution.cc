@@ -1,0 +1,97 @@
+// Ablation: voxel resolution N (the paper's Section 3.2 parameter) versus
+// feature stability and pipeline cost. For a sample of shapes, features
+// are extracted at N in {16, 24, 32, 48} and compared against the N=64
+// reference; per-shape extraction time is reported per resolution.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/features/extractors.h"
+#include "src/index/multidim_index.h"
+#include "src/modelgen/dataset.h"
+
+namespace {
+
+using namespace dess;
+
+double RelativeError(const std::vector<double>& a,
+                     const std::vector<double>& b) {
+  double num = 0.0, den = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    num += (a[i] - b[i]) * (a[i] - b[i]);
+    den += b[i] * b[i];
+  }
+  return std::sqrt(num) / (std::sqrt(den) + 1e-12);
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Ablation -- voxel resolution vs feature stability and cost");
+
+  DatasetOptions ds_opt;
+  ds_opt.seed = 42;
+  ds_opt.mesh_resolution = 48;
+  ds_opt.num_groups = 8;  // 8 families x 2 shapes: a representative sample
+  ds_opt.num_noise = 0;
+  auto dataset = BuildStandardDataset(ds_opt);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+
+  const int kReference = 64;
+  std::vector<ShapeSignature> reference;
+  {
+    ExtractionOptions opt;
+    opt.voxelization.resolution = kReference;
+    for (const DatasetShape& s : dataset->shapes) {
+      auto sig = ExtractSignature(s.mesh, opt);
+      if (!sig.ok()) {
+        std::fprintf(stderr, "extract failed: %s\n",
+                     sig.status().ToString().c_str());
+        return 1;
+      }
+      reference.push_back(*sig);
+    }
+  }
+
+  std::printf("%-6s %-12s %-16s %-16s %-16s\n", "N", "ms/shape",
+              "err(invariants)", "err(principal)", "err(spectral)");
+  for (int n : {16, 24, 32, 48}) {
+    ExtractionOptions opt;
+    opt.voxelization.resolution = n;
+    double err_mi = 0.0, err_pm = 0.0, err_sp = 0.0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < dataset->shapes.size(); ++i) {
+      auto sig = ExtractSignature(dataset->shapes[i].mesh, opt);
+      if (!sig.ok()) continue;
+      err_mi += RelativeError(
+          sig->Get(FeatureKind::kMomentInvariants).values,
+          reference[i].Get(FeatureKind::kMomentInvariants).values);
+      err_pm += RelativeError(
+          sig->Get(FeatureKind::kPrincipalMoments).values,
+          reference[i].Get(FeatureKind::kPrincipalMoments).values);
+      err_sp += RelativeError(
+          sig->Get(FeatureKind::kSpectral).values,
+          reference[i].Get(FeatureKind::kSpectral).values);
+    }
+    const double ms =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count() /
+        1000.0 / dataset->shapes.size();
+    const double m = static_cast<double>(dataset->shapes.size());
+    std::printf("%-6d %-12.1f %-16.4f %-16.4f %-16.4f\n", n, ms, err_mi / m,
+                err_pm / m, err_sp / m);
+  }
+  std::printf("\n(err = mean relative L2 deviation from the N=%d reference; "
+              "moment features converge\nquickly, the spectral feature is "
+              "the most resolution-sensitive because thinning\ntopology "
+              "changes discretely)\n",
+              kReference);
+  return 0;
+}

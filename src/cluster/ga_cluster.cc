@@ -1,0 +1,134 @@
+#include "src/cluster/ga_cluster.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace dess {
+namespace {
+
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+struct Individual {
+  std::vector<int> genes;  // point -> cluster
+  double sse = std::numeric_limits<double>::infinity();
+};
+
+double EvaluateSse(const std::vector<std::vector<double>>& points,
+                   const std::vector<int>& genes, int k) {
+  const auto centroids = CentroidsFromAssignment(points, genes, k);
+  double sse = 0.0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    sse += SquaredDistance(points[i], centroids[genes[i]]);
+  }
+  return sse;
+}
+
+// One Lloyd step: recompute centroids, then reassign each point.
+void LloydStep(const std::vector<std::vector<double>>& points, int k,
+               std::vector<int>* genes) {
+  const auto centroids = CentroidsFromAssignment(points, *genes, k);
+  for (size_t i = 0; i < points.size(); ++i) {
+    int best = 0;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (int c = 0; c < k; ++c) {
+      const double d = SquaredDistance(points[i], centroids[c]);
+      if (d < best_d) {
+        best_d = d;
+        best = c;
+      }
+    }
+    (*genes)[i] = best;
+  }
+}
+
+}  // namespace
+
+Result<Clustering> GaCluster(const std::vector<std::vector<double>>& points,
+                             const GaClusterOptions& options) {
+  if (options.k <= 0) {
+    return Status::InvalidArgument("ga: k must be positive");
+  }
+  if (points.size() < static_cast<size_t>(options.k)) {
+    return Status::InvalidArgument("ga: fewer points than clusters");
+  }
+  Rng rng(options.seed);
+  const int k = options.k;
+
+  std::vector<Individual> population(options.population);
+  for (Individual& ind : population) {
+    ind.genes.resize(points.size());
+    for (int& g : ind.genes) g = static_cast<int>(rng.NextBounded(k));
+    // Guarantee every cluster is represented at least once.
+    for (int c = 0; c < k; ++c) {
+      ind.genes[rng.NextBounded(points.size())] = c;
+    }
+    ind.sse = EvaluateSse(points, ind.genes, k);
+  }
+
+  auto tournament_pick = [&]() -> const Individual& {
+    const Individual* best = nullptr;
+    for (int t = 0; t < options.tournament; ++t) {
+      const Individual& cand =
+          population[rng.NextBounded(population.size())];
+      if (best == nullptr || cand.sse < best->sse) best = &cand;
+    }
+    return *best;
+  };
+
+  for (int gen = 0; gen < options.generations; ++gen) {
+    std::vector<Individual> next;
+    next.reserve(population.size());
+    // Elitism: carry over the best individual unchanged.
+    const Individual* elite = &population[0];
+    for (const Individual& ind : population) {
+      if (ind.sse < elite->sse) elite = &ind;
+    }
+    next.push_back(*elite);
+
+    while (next.size() < population.size()) {
+      Individual child;
+      const Individual& pa = tournament_pick();
+      const Individual& pb = tournament_pick();
+      child.genes.resize(points.size());
+      if (rng.NextDouble() < options.crossover_rate) {
+        for (size_t i = 0; i < points.size(); ++i) {
+          child.genes[i] =
+              rng.NextDouble() < 0.5 ? pa.genes[i] : pb.genes[i];
+        }
+      } else {
+        child.genes = pa.genes;
+      }
+      for (size_t i = 0; i < points.size(); ++i) {
+        if (rng.NextDouble() < options.mutation_rate) {
+          child.genes[i] = static_cast<int>(rng.NextBounded(k));
+        }
+      }
+      if (options.lloyd_refinement) {
+        LloydStep(points, k, &child.genes);
+      }
+      child.sse = EvaluateSse(points, child.genes, k);
+      next.push_back(std::move(child));
+    }
+    population = std::move(next);
+  }
+
+  const Individual* best = &population[0];
+  for (const Individual& ind : population) {
+    if (ind.sse < best->sse) best = &ind;
+  }
+  Clustering out;
+  out.assignment = best->genes;
+  out.centroids = CentroidsFromAssignment(points, best->genes, k);
+  out.inertia = best->sse;
+  return out;
+}
+
+}  // namespace dess

@@ -1,0 +1,31 @@
+#ifndef DESS_CLUSTER_GA_CLUSTER_H_
+#define DESS_CLUSTER_GA_CLUSTER_H_
+
+#include "src/cluster/kmeans.h"
+
+namespace dess {
+
+/// Genetic-algorithm clustering options (the paper's SERVER layer lists GA
+/// among its clustering algorithms).
+struct GaClusterOptions {
+  int k = 8;
+  int population = 24;
+  int generations = 60;
+  double crossover_rate = 0.8;
+  double mutation_rate = 0.02;  // per-gene reassignment probability
+  int tournament = 3;
+  /// After each generation the offspring receive one Lloyd refinement step
+  /// (hybrid GA), which dramatically accelerates convergence.
+  bool lloyd_refinement = true;
+  uint64_t seed = 11;
+};
+
+/// Evolves cluster assignments with tournament selection, uniform
+/// crossover, point mutation, and optional Lloyd refinement. Fitness is
+/// negative within-cluster SSE.
+Result<Clustering> GaCluster(const std::vector<std::vector<double>>& points,
+                             const GaClusterOptions& options);
+
+}  // namespace dess
+
+#endif  // DESS_CLUSTER_GA_CLUSTER_H_

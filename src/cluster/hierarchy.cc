@@ -1,0 +1,91 @@
+#include "src/cluster/hierarchy.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace dess {
+namespace {
+
+std::vector<double> MeanOf(const std::vector<std::vector<double>>& points,
+                           const std::vector<int>& members) {
+  DESS_CHECK(!members.empty());
+  std::vector<double> mean(points[members[0]].size(), 0.0);
+  for (int m : members) {
+    for (size_t d = 0; d < mean.size(); ++d) mean[d] += points[m][d];
+  }
+  for (double& v : mean) v /= static_cast<double>(members.size());
+  return mean;
+}
+
+Result<std::unique_ptr<HierarchyNode>> BuildRec(
+    const std::vector<std::vector<double>>& points, std::vector<int> members,
+    const HierarchyOptions& options, int depth, Rng* rng) {
+  auto node = std::make_unique<HierarchyNode>();
+  node->centroid = MeanOf(points, members);
+  node->members = std::move(members);
+  if (static_cast<int>(node->members.size()) <= options.max_leaf_size ||
+      depth >= options.max_depth) {
+    return node;
+  }
+  const int k = std::min<int>(options.branch_factor,
+                              static_cast<int>(node->members.size()));
+  std::vector<std::vector<double>> subset;
+  subset.reserve(node->members.size());
+  for (int m : node->members) subset.push_back(points[m]);
+  KMeansOptions km;
+  km.k = k;
+  km.seed = rng->NextUint64();
+  DESS_ASSIGN_OR_RETURN(Clustering clustering, KMeansCluster(subset, km));
+
+  for (int c = 0; c < k; ++c) {
+    std::vector<int> child_members;
+    for (size_t i = 0; i < node->members.size(); ++i) {
+      if (clustering.assignment[i] == c) {
+        child_members.push_back(node->members[i]);
+      }
+    }
+    if (child_members.empty()) continue;
+    if (child_members.size() == node->members.size()) {
+      // Degenerate split (all points identical); stop here.
+      return node;
+    }
+    DESS_ASSIGN_OR_RETURN(
+        std::unique_ptr<HierarchyNode> child,
+        BuildRec(points, std::move(child_members), options, depth + 1, rng));
+    node->children.push_back(std::move(child));
+  }
+  if (node->children.size() <= 1) node->children.clear();
+  return node;
+}
+
+}  // namespace
+
+int HierarchyNode::SubtreeSize() const {
+  int n = 1;
+  for (const auto& c : children) n += c->SubtreeSize();
+  return n;
+}
+
+int HierarchyNode::Depth() const {
+  int d = 0;
+  for (const auto& c : children) d = std::max(d, c->Depth());
+  return d + 1;
+}
+
+Result<std::unique_ptr<HierarchyNode>> BuildHierarchy(
+    const std::vector<std::vector<double>>& points,
+    const HierarchyOptions& options) {
+  if (points.empty()) {
+    return Status::InvalidArgument("hierarchy: no points");
+  }
+  if (options.branch_factor < 2) {
+    return Status::InvalidArgument("hierarchy: branch factor must be >= 2");
+  }
+  std::vector<int> all(points.size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int>(i);
+  Rng rng(options.seed);
+  return BuildRec(points, std::move(all), options, 0, &rng);
+}
+
+}  // namespace dess

@@ -1,0 +1,51 @@
+#ifndef DESS_CLUSTER_HIERARCHY_H_
+#define DESS_CLUSTER_HIERARCHY_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/cluster/kmeans.h"
+#include "src/common/result.h"
+
+namespace dess {
+
+/// Node of the browsing hierarchy: an internal node partitions its members
+/// into child clusters; a leaf holds a small set of shapes the interface
+/// would display. Supports the "search by browsing" / drill-down workflow
+/// of Sections 2.1-2.2.
+struct HierarchyNode {
+  /// Indices (into the original point set) of all members of this subtree.
+  std::vector<int> members;
+  /// Centroid of the members.
+  std::vector<double> centroid;
+  std::vector<std::unique_ptr<HierarchyNode>> children;
+
+  bool IsLeaf() const { return children.empty(); }
+
+  /// Total node count of this subtree (including this node).
+  int SubtreeSize() const;
+
+  /// Depth of this subtree (leaf = 1).
+  int Depth() const;
+};
+
+struct HierarchyOptions {
+  /// Fan-out of internal nodes.
+  int branch_factor = 4;
+  /// Nodes with at most this many members become leaves.
+  int max_leaf_size = 6;
+  /// Hard recursion cap.
+  int max_depth = 8;
+  uint64_t seed = 5;
+};
+
+/// Builds a browsing hierarchy by recursive k-means over the feature
+/// vectors. As the paper notes, a separate hierarchy is built per feature
+/// vector; callers pass whichever feature matrix they browse by.
+Result<std::unique_ptr<HierarchyNode>> BuildHierarchy(
+    const std::vector<std::vector<double>>& points,
+    const HierarchyOptions& options = {});
+
+}  // namespace dess
+
+#endif  // DESS_CLUSTER_HIERARCHY_H_

@@ -1,0 +1,149 @@
+#include "src/cluster/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+#include "src/common/logging.h"
+
+namespace dess {
+namespace {
+
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+int NearestCentroid(const std::vector<double>& p,
+                    const std::vector<std::vector<double>>& centroids) {
+  int best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (size_t c = 0; c < centroids.size(); ++c) {
+    const double d = SquaredDistance(p, centroids[c]);
+    if (d < best_d) {
+      best_d = d;
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+// k-means++ seeding: first centroid uniform, the rest proportional to the
+// squared distance from the nearest already-chosen centroid.
+std::vector<std::vector<double>> SeedPlusPlus(
+    const std::vector<std::vector<double>>& points, int k, Rng* rng) {
+  std::vector<std::vector<double>> centroids;
+  centroids.push_back(points[rng->NextBounded(points.size())]);
+  std::vector<double> dist2(points.size());
+  while (static_cast<int>(centroids.size()) < k) {
+    double total = 0.0;
+    for (size_t i = 0; i < points.size(); ++i) {
+      dist2[i] = SquaredDistance(points[i], centroids[0]);
+      for (size_t c = 1; c < centroids.size(); ++c) {
+        dist2[i] = std::min(dist2[i], SquaredDistance(points[i], centroids[c]));
+      }
+      total += dist2[i];
+    }
+    if (total <= 0.0) {
+      // All points coincide with chosen centroids; fill uniformly.
+      centroids.push_back(points[rng->NextBounded(points.size())]);
+      continue;
+    }
+    double pick = rng->NextDouble() * total;
+    size_t chosen = points.size() - 1;
+    for (size_t i = 0; i < points.size(); ++i) {
+      pick -= dist2[i];
+      if (pick <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    centroids.push_back(points[chosen]);
+  }
+  return centroids;
+}
+
+}  // namespace
+
+std::vector<int> Clustering::Members(int c) const {
+  std::vector<int> out;
+  for (size_t i = 0; i < assignment.size(); ++i) {
+    if (assignment[i] == c) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+double ComputeInertia(const std::vector<std::vector<double>>& points,
+                      const Clustering& clustering) {
+  double s = 0.0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    s += SquaredDistance(points[i],
+                         clustering.centroids[clustering.assignment[i]]);
+  }
+  return s;
+}
+
+std::vector<std::vector<double>> CentroidsFromAssignment(
+    const std::vector<std::vector<double>>& points,
+    const std::vector<int>& assignment, int k,
+    const std::vector<std::vector<double>>* previous) {
+  DESS_CHECK(!points.empty());
+  const size_t dim = points[0].size();
+  std::vector<std::vector<double>> centroids(k,
+                                             std::vector<double>(dim, 0.0));
+  std::vector<int> counts(k, 0);
+  for (size_t i = 0; i < points.size(); ++i) {
+    const int c = assignment[i];
+    for (size_t d = 0; d < dim; ++d) centroids[c][d] += points[i][d];
+    ++counts[c];
+  }
+  for (int c = 0; c < k; ++c) {
+    if (counts[c] > 0) {
+      for (double& v : centroids[c]) v /= counts[c];
+    } else if (previous != nullptr) {
+      centroids[c] = (*previous)[c];
+    }
+  }
+  return centroids;
+}
+
+Result<Clustering> KMeansCluster(const std::vector<std::vector<double>>& points,
+                                 const KMeansOptions& options) {
+  if (options.k <= 0) {
+    return Status::InvalidArgument("kmeans: k must be positive");
+  }
+  if (points.size() < static_cast<size_t>(options.k)) {
+    return Status::InvalidArgument("kmeans: fewer points than clusters");
+  }
+  Rng rng(options.seed);
+  Clustering best;
+  best.inertia = std::numeric_limits<double>::infinity();
+
+  for (int r = 0; r < std::max(1, options.restarts); ++r) {
+    Clustering cur;
+    cur.centroids = SeedPlusPlus(points, options.k, &rng);
+    cur.assignment.assign(points.size(), 0);
+    for (int iter = 0; iter < options.max_iterations; ++iter) {
+      bool changed = false;
+      for (size_t i = 0; i < points.size(); ++i) {
+        const int c = NearestCentroid(points[i], cur.centroids);
+        if (c != cur.assignment[i]) {
+          cur.assignment[i] = c;
+          changed = true;
+        }
+      }
+      cur.centroids = CentroidsFromAssignment(points, cur.assignment,
+                                              options.k, &cur.centroids);
+      if (!changed) break;
+    }
+    cur.inertia = ComputeInertia(points, cur);
+    if (cur.inertia < best.inertia) best = std::move(cur);
+  }
+  return best;
+}
+
+}  // namespace dess

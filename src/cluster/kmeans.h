@@ -1,0 +1,52 @@
+#ifndef DESS_CLUSTER_KMEANS_H_
+#define DESS_CLUSTER_KMEANS_H_
+
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/rng.h"
+
+namespace dess {
+
+/// A flat partition of points into clusters.
+struct Clustering {
+  /// assignment[i] is the cluster of point i, in [0, num_clusters).
+  std::vector<int> assignment;
+  /// Cluster centroids (num_clusters x dim).
+  std::vector<std::vector<double>> centroids;
+  /// Within-cluster sum of squared distances (lower is tighter).
+  double inertia = 0.0;
+
+  int num_clusters() const { return static_cast<int>(centroids.size()); }
+
+  /// Indices of the points assigned to cluster `c`.
+  std::vector<int> Members(int c) const;
+};
+
+/// Sum of squared distances of points to their assigned centroids.
+double ComputeInertia(const std::vector<std::vector<double>>& points,
+                      const Clustering& clustering);
+
+/// Recomputes centroids from an assignment (empty clusters keep their old
+/// centroid if `previous` is provided, otherwise are zero).
+std::vector<std::vector<double>> CentroidsFromAssignment(
+    const std::vector<std::vector<double>>& points,
+    const std::vector<int>& assignment, int k,
+    const std::vector<std::vector<double>>* previous = nullptr);
+
+struct KMeansOptions {
+  int k = 8;
+  int max_iterations = 100;
+  /// Independent restarts; the best-inertia run wins.
+  int restarts = 4;
+  uint64_t seed = 1;
+};
+
+/// Lloyd's k-means with k-means++ seeding. Returns InvalidArgument if
+/// k <= 0 or there are fewer points than clusters.
+Result<Clustering> KMeansCluster(const std::vector<std::vector<double>>& points,
+                                 const KMeansOptions& options);
+
+}  // namespace dess
+
+#endif  // DESS_CLUSTER_KMEANS_H_

@@ -1,0 +1,99 @@
+#include "src/cluster/metrics.h"
+
+#include <map>
+
+#include "src/common/logging.h"
+
+namespace dess {
+namespace {
+
+// Filters out points with negative ground truth; returns parallel arrays.
+void FilterLabeled(const std::vector<int>& assignment,
+                   const std::vector<int>& truth, std::vector<int>* a,
+                   std::vector<int>* t) {
+  DESS_CHECK(assignment.size() == truth.size());
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] < 0) continue;
+    a->push_back(assignment[i]);
+    t->push_back(truth[i]);
+  }
+}
+
+double Choose2(double n) { return n * (n - 1.0) / 2.0; }
+
+}  // namespace
+
+double ClusterPurity(const std::vector<int>& assignment,
+                     const std::vector<int>& truth) {
+  std::vector<int> a, t;
+  FilterLabeled(assignment, truth, &a, &t);
+  if (a.empty()) return 0.0;
+  // cluster -> (label -> count)
+  std::map<int, std::map<int, int>> table;
+  for (size_t i = 0; i < a.size(); ++i) ++table[a[i]][t[i]];
+  double correct = 0.0;
+  for (const auto& [cluster, counts] : table) {
+    (void)cluster;
+    int best = 0;
+    for (const auto& [label, n] : counts) {
+      (void)label;
+      best = std::max(best, n);
+    }
+    correct += best;
+  }
+  return correct / static_cast<double>(a.size());
+}
+
+double RandIndex(const std::vector<int>& assignment,
+                 const std::vector<int>& truth) {
+  std::vector<int> a, t;
+  FilterLabeled(assignment, truth, &a, &t);
+  const size_t n = a.size();
+  if (n < 2) return 1.0;
+  double agree = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const bool same_cluster = a[i] == a[j];
+      const bool same_label = t[i] == t[j];
+      if (same_cluster == same_label) agree += 1.0;
+    }
+  }
+  return agree / Choose2(static_cast<double>(n));
+}
+
+double AdjustedRandIndex(const std::vector<int>& assignment,
+                         const std::vector<int>& truth) {
+  std::vector<int> a, t;
+  FilterLabeled(assignment, truth, &a, &t);
+  const size_t n = a.size();
+  if (n < 2) return 1.0;
+  std::map<std::pair<int, int>, int> contingency;
+  std::map<int, int> row_sum, col_sum;
+  for (size_t i = 0; i < n; ++i) {
+    ++contingency[{a[i], t[i]}];
+    ++row_sum[a[i]];
+    ++col_sum[t[i]];
+  }
+  double sum_comb_cells = 0.0;
+  for (const auto& [key, cnt] : contingency) {
+    (void)key;
+    sum_comb_cells += Choose2(cnt);
+  }
+  double sum_comb_rows = 0.0;
+  for (const auto& [key, cnt] : row_sum) {
+    (void)key;
+    sum_comb_rows += Choose2(cnt);
+  }
+  double sum_comb_cols = 0.0;
+  for (const auto& [key, cnt] : col_sum) {
+    (void)key;
+    sum_comb_cols += Choose2(cnt);
+  }
+  const double total_pairs = Choose2(static_cast<double>(n));
+  const double expected = sum_comb_rows * sum_comb_cols / total_pairs;
+  const double max_index = 0.5 * (sum_comb_rows + sum_comb_cols);
+  if (max_index - expected == 0.0) return 1.0;
+  return (sum_comb_cells - expected) / (max_index - expected);
+}
+
+}  // namespace dess

@@ -1,0 +1,28 @@
+#ifndef DESS_CLUSTER_METRICS_H_
+#define DESS_CLUSTER_METRICS_H_
+
+#include <vector>
+
+namespace dess {
+
+/// External clustering-quality metrics against a ground-truth labeling.
+/// Points with ground-truth label < 0 (noise / ungrouped) are excluded.
+
+/// Purity: fraction of points whose cluster's majority ground-truth label
+/// matches their own. In [0, 1], higher is better.
+double ClusterPurity(const std::vector<int>& assignment,
+                     const std::vector<int>& truth);
+
+/// Rand index: fraction of point pairs on which the clustering and the
+/// ground truth agree (same/same or different/different). In [0, 1].
+double RandIndex(const std::vector<int>& assignment,
+                 const std::vector<int>& truth);
+
+/// Adjusted Rand index: Rand index corrected for chance. <= 1; 0 for
+/// random labelings.
+double AdjustedRandIndex(const std::vector<int>& assignment,
+                         const std::vector<int>& truth);
+
+}  // namespace dess
+
+#endif  // DESS_CLUSTER_METRICS_H_

@@ -1,0 +1,97 @@
+#include "src/cluster/som.h"
+
+#include <cmath>
+#include <limits>
+
+namespace dess {
+namespace {
+
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+}  // namespace
+
+Result<Clustering> SomCluster(const std::vector<std::vector<double>>& points,
+                              const SomOptions& options) {
+  if (options.grid_w <= 0 || options.grid_h <= 0) {
+    return Status::InvalidArgument("som: grid dimensions must be positive");
+  }
+  if (points.empty()) {
+    return Status::InvalidArgument("som: no points");
+  }
+  const int cells = options.grid_w * options.grid_h;
+  const size_t dim = points[0].size();
+  Rng rng(options.seed);
+
+  // Initialize cell weights to random data points (keeps them in-range).
+  std::vector<std::vector<double>> weights(cells);
+  for (auto& w : weights) w = points[rng.NextBounded(points.size())];
+
+  std::vector<size_t> order(points.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  const double total_steps =
+      static_cast<double>(options.epochs) * points.size();
+  double step = 0.0;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t oi : order) {
+      const auto& x = points[oi];
+      // Best-matching unit.
+      int bmu = 0;
+      double bmu_d = std::numeric_limits<double>::infinity();
+      for (int c = 0; c < cells; ++c) {
+        const double d = SquaredDistance(x, weights[c]);
+        if (d < bmu_d) {
+          bmu_d = d;
+          bmu = c;
+        }
+      }
+      const double t = step / total_steps;  // 0 -> 1
+      const double lr = options.initial_learning_rate * std::exp(-3.0 * t);
+      const double radius =
+          std::max(0.5, options.initial_radius * std::exp(-3.0 * t));
+      const int bx = bmu % options.grid_w;
+      const int by = bmu / options.grid_w;
+      for (int c = 0; c < cells; ++c) {
+        const int cx = c % options.grid_w;
+        const int cy = c / options.grid_w;
+        const double grid_d2 = static_cast<double>((cx - bx) * (cx - bx) +
+                                                   (cy - by) * (cy - by));
+        const double influence = std::exp(-grid_d2 / (2.0 * radius * radius));
+        if (influence < 1e-4) continue;
+        for (size_t d = 0; d < dim; ++d) {
+          weights[c][d] += lr * influence * (x[d] - weights[c][d]);
+        }
+      }
+      step += 1.0;
+    }
+  }
+
+  Clustering out;
+  out.centroids = std::move(weights);
+  out.assignment.resize(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    int bmu = 0;
+    double bmu_d = std::numeric_limits<double>::infinity();
+    for (int c = 0; c < cells; ++c) {
+      const double d = SquaredDistance(points[i], out.centroids[c]);
+      if (d < bmu_d) {
+        bmu_d = d;
+        bmu = c;
+      }
+    }
+    out.assignment[i] = bmu;
+  }
+  out.inertia = ComputeInertia(points, out);
+  return out;
+}
+
+}  // namespace dess

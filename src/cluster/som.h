@@ -1,0 +1,29 @@
+#ifndef DESS_CLUSTER_SOM_H_
+#define DESS_CLUSTER_SOM_H_
+
+#include "src/cluster/kmeans.h"
+
+namespace dess {
+
+/// Self-Organizing Map options (one of the three clustering algorithms the
+/// paper's SERVER layer implements for hierarchical browsing).
+struct SomOptions {
+  /// Map grid dimensions; cells = grid_w * grid_h clusters.
+  int grid_w = 4;
+  int grid_h = 4;
+  int epochs = 60;
+  double initial_learning_rate = 0.5;
+  /// Initial neighborhood radius in grid cells; decays to ~0.5.
+  double initial_radius = 2.0;
+  uint64_t seed = 7;
+};
+
+/// Trains a 2-D SOM and returns the induced clustering: each point maps to
+/// its best-matching unit; centroids are the trained cell weights. Empty
+/// cells are legal (the Clustering may have unassigned cluster ids).
+Result<Clustering> SomCluster(const std::vector<std::vector<double>>& points,
+                              const SomOptions& options);
+
+}  // namespace dess
+
+#endif  // DESS_CLUSTER_SOM_H_

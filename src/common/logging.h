@@ -1,0 +1,54 @@
+#ifndef DESS_COMMON_LOGGING_H_
+#define DESS_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace dess {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink; emits on destruction. Used via the DESS_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace dess
+
+#define DESS_LOG(level)                                             \
+  ::dess::internal::LogMessage(::dess::LogLevel::k##level, __FILE__, \
+                               __LINE__)
+
+/// Fatal-on-false invariant check, active in all build types.
+#define DESS_CHECK(cond)                                                  \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      DESS_LOG(Error) << "Check failed: " #cond;                          \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (false)
+
+#endif  // DESS_COMMON_LOGGING_H_

@@ -1,0 +1,77 @@
+#ifndef DESS_COMMON_RESULT_H_
+#define DESS_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "src/common/status.h"
+
+namespace dess {
+
+/// Either a value of type T or a non-OK Status, in the spirit of
+/// arrow::Result<T>. Accessing the value of an errored Result is a
+/// programming error and asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(payload_).ok() &&
+           "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// The failure status; Status::OK() if this Result holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(payload_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(payload_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this Result holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? std::get<T>(payload_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its
+/// error status to the caller.
+#define DESS_ASSIGN_OR_RETURN(lhs, expr)               \
+  DESS_ASSIGN_OR_RETURN_IMPL_(                         \
+      DESS_CONCAT_(_dess_result_, __LINE__), lhs, expr)
+
+#define DESS_CONCAT_INNER_(a, b) a##b
+#define DESS_CONCAT_(a, b) DESS_CONCAT_INNER_(a, b)
+#define DESS_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+}  // namespace dess
+
+#endif  // DESS_COMMON_RESULT_H_

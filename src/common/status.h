@@ -1,0 +1,92 @@
+#ifndef DESS_COMMON_STATUS_H_
+#define DESS_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace dess {
+
+/// Machine-readable category of a failure, in the spirit of
+/// arrow::StatusCode / rocksdb::Status::Code.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kIOError,
+  kCorruption,
+  kNotImplemented,
+  kInternal,
+};
+
+/// Returns the canonical lowercase name of a status code ("ok",
+/// "invalid argument", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Result of a fallible operation that produces no value.
+///
+/// Functions that can fail return `Status` (or `Result<T>` when they produce
+/// a value) instead of throwing; exceptions never cross public API
+/// boundaries in this codebase.
+class Status {
+ public:
+  /// Constructs an OK status. Cheap: no allocation.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Propagates a non-OK status to the caller (Arrow's ARROW_RETURN_NOT_OK).
+#define DESS_RETURN_NOT_OK(expr)             \
+  do {                                       \
+    ::dess::Status _st = (expr);             \
+    if (!_st.ok()) return _st;               \
+  } while (false)
+
+}  // namespace dess
+
+#endif  // DESS_COMMON_STATUS_H_

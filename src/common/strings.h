@@ -1,0 +1,29 @@
+#ifndef DESS_COMMON_STRINGS_H_
+#define DESS_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dess {
+
+/// Splits `s` on any character in `delims`, dropping empty tokens.
+std::vector<std::string> SplitTokens(std::string_view s,
+                                     std::string_view delims = " \t\r\n");
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Lowercases ASCII characters.
+std::string ToLower(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace dess
+
+#endif  // DESS_COMMON_STRINGS_H_

@@ -1,0 +1,55 @@
+#ifndef DESS_COMMON_THREAD_POOL_H_
+#define DESS_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dess {
+
+/// Minimal fixed-size worker pool for embarrassingly parallel batch work
+/// (feature extraction over a dataset). Tasks are void(); coordination and
+/// error propagation are the caller's concern (see ParallelFor).
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (>= 1; 0 means hardware concurrency).
+  explicit ThreadPool(int num_threads = 0);
+
+  /// Drains the queue and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task. Never blocks (unbounded queue).
+  void Schedule(std::function<void()> task);
+
+  /// Blocks until every scheduled task has finished executing.
+  void Wait();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Runs fn(i) for i in [0, n) on `pool` (or inline when pool is null),
+/// blocking until all iterations complete. fn must be thread-safe across
+/// distinct i.
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace dess
+
+#endif  // DESS_COMMON_THREAD_POOL_H_

@@ -1,0 +1,134 @@
+#include "src/core/system.h"
+
+#include "src/common/thread_pool.h"
+
+namespace dess {
+
+Dess3System::Dess3System(const SystemOptions& options) : options_(options) {}
+
+Result<int> Dess3System::IngestMesh(const TriMesh& mesh,
+                                    const std::string& name, int group) {
+  DESS_ASSIGN_OR_RETURN(ShapeSignature signature,
+                        ExtractSignature(mesh, options_.extraction));
+  ShapeRecord record;
+  record.name = name;
+  record.group = group;
+  record.mesh = mesh;
+  record.signature = std::move(signature);
+  engine_.reset();  // database changed; indexes are stale
+  return db_.Insert(std::move(record));
+}
+
+Status Dess3System::IngestDataset(const Dataset& dataset) {
+  for (const DatasetShape& shape : dataset.shapes) {
+    DESS_ASSIGN_OR_RETURN(int id,
+                          IngestMesh(shape.mesh, shape.name, shape.group));
+    (void)id;
+  }
+  return Status::OK();
+}
+
+Status Dess3System::IngestDatasetParallel(const Dataset& dataset,
+                                          int num_threads) {
+  const size_t n = dataset.shapes.size();
+  std::vector<Result<ShapeSignature>> signatures(
+      n, Result<ShapeSignature>(ShapeSignature{}));
+  {
+    ThreadPool pool(num_threads);
+    const ExtractionOptions options = options_.extraction;
+    ParallelFor(&pool, n, [&](size_t i) {
+      signatures[i] = ExtractSignature(dataset.shapes[i].mesh, options);
+    });
+  }
+  // Serial insertion keeps ids identical to the sequential path and
+  // surfaces the first extraction failure deterministically.
+  for (size_t i = 0; i < n; ++i) {
+    if (!signatures[i].ok()) return signatures[i].status();
+    ShapeRecord record;
+    record.name = dataset.shapes[i].name;
+    record.group = dataset.shapes[i].group;
+    record.mesh = dataset.shapes[i].mesh;
+    record.signature = std::move(signatures[i]).value();
+    engine_.reset();
+    db_.Insert(std::move(record));
+  }
+  return Status::OK();
+}
+
+int Dess3System::IngestRecord(ShapeRecord record) {
+  engine_.reset();
+  return db_.Insert(std::move(record));
+}
+
+Status Dess3System::Commit() {
+  if (db_.IsEmpty()) {
+    return Status::InvalidArgument("commit: database is empty");
+  }
+  DESS_ASSIGN_OR_RETURN(engine_, SearchEngine::Build(&db_, options_.search));
+  for (FeatureKind kind : AllFeatureKinds()) {
+    std::vector<std::vector<double>> points;
+    points.reserve(db_.NumShapes());
+    const SimilaritySpace& space = engine_->Space(kind);
+    for (const ShapeRecord& rec : db_.records()) {
+      points.push_back(space.Standardize(rec.signature.Get(kind).values));
+    }
+    DESS_ASSIGN_OR_RETURN(hierarchies_[static_cast<int>(kind)],
+                          BuildHierarchy(points, options_.hierarchy));
+  }
+  return Status::OK();
+}
+
+Result<SearchEngine*> Dess3System::engine() {
+  if (engine_ == nullptr) {
+    return Status::Internal("engine not built: call Commit() first");
+  }
+  return engine_.get();
+}
+
+Result<const SearchEngine*> Dess3System::engine() const {
+  if (engine_ == nullptr) {
+    return Status::Internal("engine not built: call Commit() first");
+  }
+  return static_cast<const SearchEngine*>(engine_.get());
+}
+
+Result<std::vector<SearchResult>> Dess3System::QueryByMesh(
+    const TriMesh& mesh, FeatureKind kind, size_t k) const {
+  DESS_ASSIGN_OR_RETURN(const SearchEngine* eng, engine());
+  DESS_ASSIGN_OR_RETURN(ShapeSignature signature,
+                        ExtractSignature(mesh, options_.extraction));
+  return eng->QueryTopK(signature.Get(kind).values, kind, k);
+}
+
+Result<std::vector<SearchResult>> Dess3System::MultiStepByMesh(
+    const TriMesh& mesh, const MultiStepPlan& plan) const {
+  DESS_ASSIGN_OR_RETURN(const SearchEngine* eng, engine());
+  DESS_ASSIGN_OR_RETURN(ShapeSignature signature,
+                        ExtractSignature(mesh, options_.extraction));
+  return MultiStepQuery(*eng, signature, plan);
+}
+
+Result<const HierarchyNode*> Dess3System::Hierarchy(FeatureKind kind) const {
+  const auto& h = hierarchies_[static_cast<int>(kind)];
+  if (h == nullptr) {
+    return Status::Internal("hierarchy not built: call Commit() first");
+  }
+  return static_cast<const HierarchyNode*>(h.get());
+}
+
+Status Dess3System::Save(const std::string& path) const {
+  return db_.Save(path);
+}
+
+Result<std::unique_ptr<Dess3System>> Dess3System::LoadFrom(
+    const std::string& path, const SystemOptions& options) {
+  DESS_ASSIGN_OR_RETURN(ShapeDatabase db, ShapeDatabase::Load(path));
+  auto system = std::make_unique<Dess3System>(options);
+  for (const ShapeRecord& rec : db.records()) {
+    system->IngestRecord(rec);
+  }
+  DESS_RETURN_NOT_OK(system->Commit());
+  return system;
+}
+
+}  // namespace dess

@@ -1,0 +1,98 @@
+#ifndef DESS_CORE_SYSTEM_H_
+#define DESS_CORE_SYSTEM_H_
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cluster/hierarchy.h"
+#include "src/db/shape_database.h"
+#include "src/features/extractors.h"
+#include "src/modelgen/dataset.h"
+#include "src/search/multistep.h"
+#include "src/search/search_engine.h"
+
+namespace dess {
+
+/// Configuration of a 3DESS instance.
+struct SystemOptions {
+  ExtractionOptions extraction;
+  SearchEngineOptions search;
+  HierarchyOptions hierarchy;
+};
+
+/// The 3DESS facade: the paper's three-tier system (Figure 1) in one
+/// object. INTERFACE-layer operations (query by example, browsing,
+/// feedback) call into SERVER-layer modules (feature extraction, view
+/// generation, clustering) backed by the DATABASE layer (record store +
+/// R-tree indexes).
+///
+/// Workflow: Ingest* shapes, then Commit() to (re)build indexes and
+/// browsing hierarchies, then query. Queries before Commit() (or after an
+/// ingest invalidated it) return a FailedPrecondition-style error.
+class Dess3System {
+ public:
+  explicit Dess3System(const SystemOptions& options = {});
+
+  /// Runs the feature-extraction pipeline on a mesh and stores it.
+  /// Returns the assigned database id.
+  Result<int> IngestMesh(const TriMesh& mesh, const std::string& name,
+                         int group = kUngrouped);
+
+  /// Ingests every shape of a generated dataset, preserving group labels.
+  Status IngestDataset(const Dataset& dataset);
+
+  /// Same, with feature extraction fanned out over `num_threads` workers
+  /// (0 = hardware concurrency). Insertion order and assigned ids match
+  /// the sequential version exactly.
+  Status IngestDatasetParallel(const Dataset& dataset, int num_threads = 0);
+
+  /// Ingests a pre-extracted record (e.g. loaded from disk).
+  int IngestRecord(ShapeRecord record);
+
+  /// Builds the search engine and per-feature browsing hierarchies over the
+  /// current database contents.
+  Status Commit();
+
+  bool IsCommitted() const { return engine_ != nullptr; }
+
+  const ShapeDatabase& db() const { return db_; }
+  const SystemOptions& options() const { return options_; }
+
+  /// The search engine; error if Commit() has not run.
+  Result<SearchEngine*> engine();
+  Result<const SearchEngine*> engine() const;
+
+  /// Query by example with an external mesh (a "CAD file" a user submits):
+  /// extracts its signature, then returns the top-k most similar shapes.
+  Result<std::vector<SearchResult>> QueryByMesh(const TriMesh& mesh,
+                                                FeatureKind kind,
+                                                size_t k) const;
+
+  /// Multi-step query by an external mesh.
+  Result<std::vector<SearchResult>> MultiStepByMesh(
+      const TriMesh& mesh, const MultiStepPlan& plan) const;
+
+  /// Browsing hierarchy for one feature kind (the paper builds "the
+  /// classification map for each feature vector").
+  Result<const HierarchyNode*> Hierarchy(FeatureKind kind) const;
+
+  /// Persists the database (geometry + features). Indexes are rebuilt on
+  /// load, mirroring the paper's index-on-top-of-database design.
+  Status Save(const std::string& path) const;
+
+  /// Loads a database and commits it.
+  static Result<std::unique_ptr<Dess3System>> LoadFrom(
+      const std::string& path, const SystemOptions& options = {});
+
+ private:
+  SystemOptions options_;
+  ShapeDatabase db_;
+  std::unique_ptr<SearchEngine> engine_;
+  std::array<std::unique_ptr<HierarchyNode>, kNumFeatureKinds> hierarchies_;
+};
+
+}  // namespace dess
+
+#endif  // DESS_CORE_SYSTEM_H_

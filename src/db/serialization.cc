@@ -1,0 +1,92 @@
+#include "src/db/serialization.h"
+
+namespace dess {
+
+BinaryWriter::BinaryWriter(const std::string& path)
+    : out_(path, std::ios::binary), path_(path) {}
+
+void BinaryWriter::WriteU32(uint32_t v) {
+  out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void BinaryWriter::WriteU64(uint64_t v) {
+  out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void BinaryWriter::WriteI32(int32_t v) {
+  out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void BinaryWriter::WriteF64(double v) {
+  out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void BinaryWriter::WriteString(const std::string& s) {
+  WriteU64(s.size());
+  out_.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+void BinaryWriter::WriteF64Vector(const std::vector<double>& v) {
+  WriteU64(v.size());
+  out_.write(reinterpret_cast<const char*>(v.data()),
+             static_cast<std::streamsize>(v.size() * sizeof(double)));
+}
+
+Status BinaryWriter::Finish() {
+  out_.flush();
+  if (!out_) return Status::IOError("write failed: " + path_);
+  return Status::OK();
+}
+
+BinaryReader::BinaryReader(const std::string& path)
+    : in_(path, std::ios::binary), path_(path) {
+  if (in_) {
+    in_.seekg(0, std::ios::end);
+    file_size_ = static_cast<uint64_t>(in_.tellg());
+    in_.seekg(0, std::ios::beg);
+  }
+}
+
+uint64_t BinaryReader::RemainingBytes() {
+  if (!in_) return 0;
+  const auto pos = in_.tellg();
+  if (pos < 0) return 0;
+  return file_size_ - static_cast<uint64_t>(pos);
+}
+
+bool BinaryReader::ReadU32(uint32_t* v) {
+  in_.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return static_cast<bool>(in_);
+}
+bool BinaryReader::ReadU64(uint64_t* v) {
+  in_.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return static_cast<bool>(in_);
+}
+bool BinaryReader::ReadI32(int32_t* v) {
+  in_.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return static_cast<bool>(in_);
+}
+bool BinaryReader::ReadF64(double* v) {
+  in_.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return static_cast<bool>(in_);
+}
+bool BinaryReader::ReadString(std::string* s) {
+  uint64_t n = 0;
+  // A declared length longer than the rest of the file is corruption;
+  // rejecting it here also prevents attacker/bitrot-controlled giant
+  // allocations.
+  if (!ReadU64(&n) || n > RemainingBytes()) return false;
+  s->resize(n);
+  in_.read(s->data(), static_cast<std::streamsize>(n));
+  return static_cast<bool>(in_);
+}
+bool BinaryReader::ReadF64Vector(std::vector<double>* v) {
+  uint64_t n = 0;
+  if (!ReadU64(&n) || n > RemainingBytes() / sizeof(double)) return false;
+  v->resize(n);
+  in_.read(reinterpret_cast<char*>(v->data()),
+           static_cast<std::streamsize>(n * sizeof(double)));
+  return static_cast<bool>(in_);
+}
+
+Status BinaryReader::Finish() const {
+  if (!in_) return Status::Corruption("read failed or truncated: " + path_);
+  return Status::OK();
+}
+
+}  // namespace dess

@@ -1,0 +1,66 @@
+#ifndef DESS_DB_SERIALIZATION_H_
+#define DESS_DB_SERIALIZATION_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace dess {
+
+/// Little-endian binary writer over a file stream. All writes funnel
+/// through here so the on-disk database format is defined in one place.
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(const std::string& path);
+
+  bool ok() const { return static_cast<bool>(out_); }
+
+  void WriteU32(uint32_t v);
+  void WriteU64(uint64_t v);
+  void WriteI32(int32_t v);
+  void WriteF64(double v);
+  void WriteString(const std::string& s);
+  void WriteF64Vector(const std::vector<double>& v);
+
+  /// Flushes and reports any accumulated stream error.
+  Status Finish();
+
+ private:
+  std::ofstream out_;
+  std::string path_;
+};
+
+/// Binary reader mirroring BinaryWriter. Read methods return false once the
+/// stream has failed; callers check Finish() or the individual results.
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::string& path);
+
+  bool ok() const { return static_cast<bool>(in_); }
+
+  bool ReadU32(uint32_t* v);
+  bool ReadU64(uint64_t* v);
+  bool ReadI32(int32_t* v);
+  bool ReadF64(double* v);
+  bool ReadString(std::string* s);
+  bool ReadF64Vector(std::vector<double>* v);
+
+  Status Finish() const;
+
+ private:
+  /// Bytes between the current read position and end of file; length
+  /// prefixes are validated against this so corrupt files cannot trigger
+  /// huge allocations.
+  uint64_t RemainingBytes();
+
+  std::ifstream in_;
+  std::string path_;
+  uint64_t file_size_ = 0;
+};
+
+}  // namespace dess
+
+#endif  // DESS_DB_SERIALIZATION_H_

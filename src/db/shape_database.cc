@@ -1,0 +1,176 @@
+#include "src/db/shape_database.h"
+
+#include <set>
+
+#include "src/common/strings.h"
+#include "src/db/serialization.h"
+
+namespace dess {
+namespace {
+
+constexpr uint32_t kMagic = 0x33445353;  // "SSD3"
+constexpr uint32_t kVersion = 1;
+
+}  // namespace
+
+int ShapeDatabase::Insert(ShapeRecord record) {
+  record.id = next_id_++;
+  records_.push_back(std::move(record));
+  return records_.back().id;
+}
+
+Result<const ShapeRecord*> ShapeDatabase::Get(int id) const {
+  for (const ShapeRecord& r : records_) {
+    if (r.id == id) return &r;
+  }
+  return Status::NotFound(StrFormat("shape id %d not in database", id));
+}
+
+bool ShapeDatabase::Contains(int id) const {
+  for (const ShapeRecord& r : records_) {
+    if (r.id == id) return true;
+  }
+  return false;
+}
+
+std::vector<int> ShapeDatabase::AllIds() const {
+  std::vector<int> ids;
+  ids.reserve(records_.size());
+  for (const ShapeRecord& r : records_) ids.push_back(r.id);
+  return ids;
+}
+
+std::vector<int> ShapeDatabase::GroupMembers(int group) const {
+  std::vector<int> ids;
+  for (const ShapeRecord& r : records_) {
+    if (r.group == group) ids.push_back(r.id);
+  }
+  return ids;
+}
+
+int ShapeDatabase::GroupSize(int group) const {
+  return static_cast<int>(GroupMembers(group).size());
+}
+
+int ShapeDatabase::NumGroups() const {
+  std::set<int> groups;
+  for (const ShapeRecord& r : records_) {
+    if (r.group != kUngrouped) groups.insert(r.group);
+  }
+  return static_cast<int>(groups.size());
+}
+
+Result<std::vector<double>> ShapeDatabase::Feature(int id,
+                                                   FeatureKind kind) const {
+  DESS_ASSIGN_OR_RETURN(const ShapeRecord* rec, Get(id));
+  return rec->signature.Get(kind).values;
+}
+
+FeatureStats ShapeDatabase::ComputeFeatureStats(FeatureKind kind) const {
+  std::vector<std::vector<double>> vectors;
+  vectors.reserve(records_.size());
+  for (const ShapeRecord& r : records_) {
+    vectors.push_back(r.signature.Get(kind).values);
+  }
+  return FeatureStats::Compute(vectors);
+}
+
+Status ShapeDatabase::Save(const std::string& path) const {
+  BinaryWriter w(path);
+  if (!w.ok()) return Status::IOError("cannot open for write: " + path);
+  w.WriteU32(kMagic);
+  w.WriteU32(kVersion);
+  w.WriteU64(records_.size());
+  for (const ShapeRecord& r : records_) {
+    w.WriteI32(r.id);
+    w.WriteString(r.name);
+    w.WriteI32(r.group);
+    // Geometry.
+    w.WriteU64(r.mesh.NumVertices());
+    for (const Vec3& v : r.mesh.vertices()) {
+      w.WriteF64(v.x);
+      w.WriteF64(v.y);
+      w.WriteF64(v.z);
+    }
+    w.WriteU64(r.mesh.NumTriangles());
+    for (const auto& t : r.mesh.triangles()) {
+      w.WriteU32(t[0]);
+      w.WriteU32(t[1]);
+      w.WriteU32(t[2]);
+    }
+    // Features.
+    w.WriteU32(kNumFeatureKinds);
+    for (const FeatureVector& fv : r.signature.features) {
+      w.WriteU32(static_cast<uint32_t>(fv.kind));
+      w.WriteF64Vector(fv.values);
+    }
+  }
+  return w.Finish();
+}
+
+Result<ShapeDatabase> ShapeDatabase::Load(const std::string& path) {
+  BinaryReader r(path);
+  if (!r.ok()) return Status::IOError("cannot open for read: " + path);
+  uint32_t magic = 0, version = 0;
+  if (!r.ReadU32(&magic) || magic != kMagic) {
+    return Status::Corruption("bad magic in " + path);
+  }
+  if (!r.ReadU32(&version) || version != kVersion) {
+    return Status::Corruption("unsupported version in " + path);
+  }
+  uint64_t count = 0;
+  if (!r.ReadU64(&count)) return Status::Corruption("truncated: " + path);
+
+  ShapeDatabase db;
+  for (uint64_t s = 0; s < count; ++s) {
+    ShapeRecord rec;
+    int32_t id = 0, group = 0;
+    if (!r.ReadI32(&id) || !r.ReadString(&rec.name) || !r.ReadI32(&group)) {
+      return Status::Corruption("truncated record in " + path);
+    }
+    rec.id = id;
+    rec.group = group;
+    uint64_t nv = 0;
+    if (!r.ReadU64(&nv)) return Status::Corruption("truncated: " + path);
+    for (uint64_t i = 0; i < nv; ++i) {
+      double x, y, z;
+      if (!r.ReadF64(&x) || !r.ReadF64(&y) || !r.ReadF64(&z)) {
+        return Status::Corruption("truncated vertex in " + path);
+      }
+      rec.mesh.AddVertex({x, y, z});
+    }
+    uint64_t nt = 0;
+    if (!r.ReadU64(&nt)) return Status::Corruption("truncated: " + path);
+    for (uint64_t i = 0; i < nt; ++i) {
+      uint32_t a, b, c;
+      if (!r.ReadU32(&a) || !r.ReadU32(&b) || !r.ReadU32(&c)) {
+        return Status::Corruption("truncated triangle in " + path);
+      }
+      if (a >= nv || b >= nv || c >= nv) {
+        return Status::Corruption("triangle index out of range in " + path);
+      }
+      rec.mesh.AddTriangle(a, b, c);
+    }
+    uint32_t nf = 0;
+    if (!r.ReadU32(&nf) || nf != kNumFeatureKinds) {
+      return Status::Corruption("bad feature count in " + path);
+    }
+    for (uint32_t f = 0; f < nf; ++f) {
+      uint32_t kind = 0;
+      std::vector<double> values;
+      if (!r.ReadU32(&kind) || kind >= kNumFeatureKinds ||
+          !r.ReadF64Vector(&values)) {
+        return Status::Corruption("bad feature vector in " + path);
+      }
+      FeatureVector& fv = rec.signature.Mutable(static_cast<FeatureKind>(kind));
+      fv.kind = static_cast<FeatureKind>(kind);
+      fv.values = std::move(values);
+    }
+    db.records_.push_back(std::move(rec));
+    db.next_id_ = std::max(db.next_id_, id + 1);
+  }
+  DESS_RETURN_NOT_OK(r.Finish());
+  return db;
+}
+
+}  // namespace dess

@@ -1,0 +1,81 @@
+#ifndef DESS_DB_SHAPE_DATABASE_H_
+#define DESS_DB_SHAPE_DATABASE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/features/feature_vector.h"
+#include "src/geom/trimesh.h"
+
+namespace dess {
+
+/// One stored shape: geometry plus its extracted signature plus catalog
+/// metadata. `group` carries the ground-truth classification map used by
+/// the effectiveness experiments (kUngrouped when unknown).
+struct ShapeRecord {
+  int id = -1;
+  std::string name;
+  int group = -1;
+  TriMesh mesh;
+  ShapeSignature signature;
+};
+
+inline constexpr int kUngrouped = -1;
+
+/// The DATABASE layer of the paper's three-tier architecture (the paper
+/// used Oracle 8i as a feature/geometry store; this is an in-memory record
+/// store with binary file persistence). Multidimensional indexes are built
+/// *on top of* this store by the search engine, exactly as in the paper.
+class ShapeDatabase {
+ public:
+  ShapeDatabase() = default;
+
+  size_t NumShapes() const { return records_.size(); }
+  bool IsEmpty() const { return records_.empty(); }
+
+  /// Inserts a record, assigning and returning a fresh database id
+  /// (any id on the input record is ignored).
+  int Insert(ShapeRecord record);
+
+  /// Record by id; NotFound if absent.
+  Result<const ShapeRecord*> Get(int id) const;
+
+  bool Contains(int id) const;
+
+  /// All ids in insertion order.
+  std::vector<int> AllIds() const;
+
+  /// Ids of every shape in the given group.
+  std::vector<int> GroupMembers(int group) const;
+
+  /// Size of the given group.
+  int GroupSize(int group) const;
+
+  /// Number of distinct non-ungrouped groups.
+  int NumGroups() const;
+
+  /// The feature vector of one shape for one feature kind.
+  Result<std::vector<double>> Feature(int id, FeatureKind kind) const;
+
+  /// All records (for scans, clustering, stats).
+  const std::vector<ShapeRecord>& records() const { return records_; }
+
+  /// Per-dimension statistics of one feature kind across the database,
+  /// used to standardize the similarity metric.
+  FeatureStats ComputeFeatureStats(FeatureKind kind) const;
+
+  /// Persists the full database (geometry + features + catalog).
+  Status Save(const std::string& path) const;
+
+  /// Loads a database previously written by Save.
+  static Result<ShapeDatabase> Load(const std::string& path);
+
+ private:
+  std::vector<ShapeRecord> records_;
+  int next_id_ = 0;
+};
+
+}  // namespace dess
+
+#endif  // DESS_DB_SHAPE_DATABASE_H_

@@ -1,0 +1,50 @@
+#ifndef DESS_EVAL_PRECISION_RECALL_H_
+#define DESS_EVAL_PRECISION_RECALL_H_
+
+#include <set>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/search/search_engine.h"
+
+namespace dess {
+
+/// A precision/recall pair (Eq. 4.1-4.2).
+struct PrPoint {
+  double threshold = 0.0;  // similarity threshold that produced this point
+  double precision = 0.0;
+  double recall = 0.0;
+  int retrieved = 0;  // |R|
+};
+
+/// Precision = |A ∩ R| / |R| and recall = |A ∩ R| / |A| for a retrieved id
+/// list against a relevant set. |R| = 0 yields precision 0; |A| = 0 yields
+/// recall 0.
+PrPoint ComputePrecisionRecall(const std::vector<int>& retrieved_ids,
+                               const std::set<int>& relevant);
+
+/// The relevant set for a database query shape: the other members of its
+/// ground-truth group (the query itself is excluded, matching the paper's
+/// counting rule). Noise shapes have an empty relevant set.
+std::set<int> RelevantSetFor(const ShapeDatabase& db, int query_id);
+
+/// Sweeps the similarity threshold over [0, 1] in `num_thresholds` steps
+/// for one query shape and feature kind, producing a precision-recall
+/// curve (Figures 8-12).
+Result<std::vector<PrPoint>> PrCurveForQuery(const SearchEngine& engine,
+                                             int query_id, FeatureKind kind,
+                                             int num_thresholds = 21);
+
+/// Same, over an explicit threshold grid (each in [0, 1]). Useful when the
+/// interesting operating points cluster near similarity 1.
+Result<std::vector<PrPoint>> PrCurveForThresholds(
+    const SearchEngine& engine, int query_id, FeatureKind kind,
+    const std::vector<double>& thresholds);
+
+/// A two-regime grid: coarse over [0, 0.7], fine over (0.7, 1] — matches
+/// where the similarity measure of Eq. 4.4 actually discriminates.
+std::vector<double> DefaultThresholdGrid();
+
+}  // namespace dess
+
+#endif  // DESS_EVAL_PRECISION_RECALL_H_

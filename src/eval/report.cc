@@ -1,0 +1,43 @@
+#include "src/eval/report.h"
+
+#include <fstream>
+
+namespace dess {
+
+Status WritePrCurvesCsv(const std::vector<PrCurveBundle>& bundles,
+                        const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path);
+  out << "query_id,query_name,feature,threshold,precision,recall,"
+         "retrieved\n";
+  out.precision(10);
+  for (const PrCurveBundle& bundle : bundles) {
+    for (FeatureKind kind : AllFeatureKinds()) {
+      for (const PrPoint& p : bundle.curves[static_cast<int>(kind)]) {
+        out << bundle.query_id << "," << bundle.query_name << ","
+            << FeatureKindName(kind) << "," << p.threshold << ","
+            << p.precision << "," << p.recall << "," << p.retrieved << "\n";
+      }
+    }
+  }
+  out.flush();
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Status WriteEffectivenessCsv(const std::vector<EffectivenessRow>& rows,
+                             const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path);
+  out << "method,avg_recall_group_size,avg_recall_10,avg_precision_10\n";
+  out.precision(10);
+  for (const EffectivenessRow& row : rows) {
+    out << row.method << "," << row.avg_recall_group_size << ","
+        << row.avg_recall_10 << "," << row.avg_precision_10 << "\n";
+  }
+  out.flush();
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace dess

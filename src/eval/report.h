@@ -1,0 +1,26 @@
+#ifndef DESS_EVAL_REPORT_H_
+#define DESS_EVAL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/eval/experiments.h"
+
+namespace dess {
+
+/// CSV writers for experiment outputs, so figures can be re-plotted with
+/// external tooling. Every experiment binary accepts an output directory;
+/// these produce one tidy (long-format) CSV per figure.
+
+/// Columns: query_id,query_name,feature,threshold,precision,recall,retrieved.
+Status WritePrCurvesCsv(const std::vector<PrCurveBundle>& bundles,
+                        const std::string& path);
+
+/// Columns: method,avg_recall_group_size,avg_recall_10,avg_precision_10.
+Status WriteEffectivenessCsv(const std::vector<EffectivenessRow>& rows,
+                             const std::string& path);
+
+}  // namespace dess
+
+#endif  // DESS_EVAL_REPORT_H_

@@ -1,0 +1,80 @@
+#include "src/features/extended.h"
+
+#include <cmath>
+
+#include "src/common/logging.h"
+#include "src/features/moments.h"
+
+namespace dess {
+namespace {
+
+// Enumerates (l, m, n) with 2 <= l+m+n <= max_order in deterministic
+// lexicographic-by-order order.
+template <typename Fn>
+void ForEachIndex(int max_order, Fn&& fn) {
+  for (int order = 2; order <= max_order; ++order) {
+    for (int l = order; l >= 0; --l) {
+      for (int m = order - l; m >= 0; --m) {
+        const int n = order - l - m;
+        fn(l, m, n, order);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int NormalizedMomentDescriptorDim(int max_order) {
+  int dim = 0;
+  ForEachIndex(max_order, [&](int, int, int, int) { ++dim; });
+  return dim;
+}
+
+std::vector<double> NormalizedMomentDescriptor(const VoxelGrid& canonical,
+                                               int max_order) {
+  DESS_CHECK(max_order >= 2 && max_order <= 7);
+  const double volume = canonical.SolidVolume();
+  DESS_CHECK(volume > 0.0);
+
+  // One pass accumulating every requested central moment.
+  const Vec3 c = VoxelCentroid(canonical);
+  const double cell_vol =
+      canonical.cell_size() * canonical.cell_size() * canonical.cell_size();
+  std::vector<double> sums(NormalizedMomentDescriptorDim(max_order), 0.0);
+  for (int k = 0; k < canonical.nz(); ++k) {
+    for (int j = 0; j < canonical.ny(); ++j) {
+      for (int i = 0; i < canonical.nx(); ++i) {
+        if (!canonical.Get(i, j, k)) continue;
+        const Vec3 p = canonical.VoxelCenter(i, j, k) - c;
+        // Precompute powers up to max_order.
+        double px[8], py[8], pz[8];
+        px[0] = py[0] = pz[0] = 1.0;
+        for (int o = 1; o <= max_order; ++o) {
+          px[o] = px[o - 1] * p.x;
+          py[o] = py[o - 1] * p.y;
+          pz[o] = pz[o - 1] * p.z;
+        }
+        size_t idx = 0;
+        ForEachIndex(max_order, [&](int l, int m, int n, int) {
+          sums[idx++] += px[l] * py[m] * pz[n];
+        });
+      }
+    }
+  }
+
+  std::vector<double> out(sums.size());
+  size_t idx = 0;
+  ForEachIndex(max_order, [&](int, int, int, int order) {
+    const double mu = sums[idx] * cell_vol;
+    // Scale normalization: mu_lmn / V^((3 + order)/3) is dimensionless,
+    // then the order-root brings all entries to a common magnitude scale.
+    const double normalized =
+        mu / std::pow(volume, (3.0 + order) / 3.0);
+    out[idx] = std::copysign(
+        std::pow(std::fabs(normalized), 1.0 / order), normalized);
+    ++idx;
+  });
+  return out;
+}
+
+}  // namespace dess

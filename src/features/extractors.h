@@ -1,0 +1,70 @@
+#ifndef DESS_FEATURES_EXTRACTORS_H_
+#define DESS_FEATURES_EXTRACTORS_H_
+
+#include "src/common/result.h"
+#include "src/features/feature_vector.h"
+#include "src/features/normalization.h"
+#include "src/geom/trimesh.h"
+#include "src/graph/graph_builder.h"
+#include "src/graph/skeletal_graph.h"
+#include "src/skeleton/thinning.h"
+#include "src/voxel/voxelizer.h"
+
+namespace dess {
+
+/// Parameters for the feature-extraction pipeline of Figure 2
+/// (normalization -> voxelization -> skeletonization -> feature collection).
+struct ExtractionOptions {
+  NormalizationOptions normalization;
+  VoxelizationOptions voxelization;
+  ThinningOptions thinning;
+  GraphBuilderOptions graph;
+  /// If true, second-order moments for the moment-invariant and
+  /// principal-moment features are taken from the voxel model (as in the
+  /// paper); if false, exact mesh integrals are used instead.
+  bool voxel_moments = true;
+};
+
+/// All intermediate artifacts of one extraction run, exposed so tests,
+/// examples, and ablation benches can inspect each stage.
+struct ExtractionArtifacts {
+  NormalizationResult normalization;
+  VoxelGrid voxels;    // solid voxelization of the normalized mesh
+  VoxelGrid skeleton;  // thinned curve skeleton
+  SkeletalGraph graph;
+  ShapeSignature signature;
+};
+
+/// Runs the full pipeline on a closed mesh and returns all four feature
+/// vectors plus intermediates. This is the expensive path (thinning
+/// dominates); for features-only callers see ExtractSignature.
+Result<ExtractionArtifacts> ExtractFeatures(
+    const TriMesh& mesh, const ExtractionOptions& options = {});
+
+/// Convenience wrapper returning only the signature.
+Result<ShapeSignature> ExtractSignature(const TriMesh& mesh,
+                                        const ExtractionOptions& options = {});
+
+/// Individual extractors operating on precomputed artifacts — used to
+/// assemble the signature and by unit tests.
+
+/// Moment invariants F1-F3 from the original (unnormalized) model's central
+/// second moments scale-normalized by mu000^(5/3).
+FeatureVector MomentInvariantsFeature(const Mat3& central_second_moments,
+                                      double volume);
+
+/// Geometric parameters: two aspect ratios of the normalized bounding box,
+/// surface-to-volume ratio (made dimensionless as S^1.5 / V), the
+/// normalization scale factor, and the original volume.
+FeatureVector GeometricParamsFeature(const NormalizationResult& norm);
+
+/// Principal moments: eigenvalues (descending) of the central second-moment
+/// matrix of the normalized model.
+FeatureVector PrincipalMomentsFeature(const Mat3& central_second_moments);
+
+/// Eigenvalue signature of the skeletal graph's typed adjacency matrix.
+FeatureVector SpectralFeature(const SkeletalGraph& graph);
+
+}  // namespace dess
+
+#endif  // DESS_FEATURES_EXTRACTORS_H_

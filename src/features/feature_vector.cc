@@ -1,0 +1,80 @@
+#include "src/features/feature_vector.h"
+
+#include <cmath>
+
+#include "src/graph/spectral.h"
+
+namespace dess {
+
+int FeatureDim(FeatureKind kind) {
+  switch (kind) {
+    case FeatureKind::kMomentInvariants:
+      return 3;
+    case FeatureKind::kGeometricParams:
+      return 5;
+    case FeatureKind::kPrincipalMoments:
+      return 3;
+    case FeatureKind::kSpectral:
+      return kSpectralDim;
+  }
+  return 0;
+}
+
+std::string FeatureKindName(FeatureKind kind) {
+  switch (kind) {
+    case FeatureKind::kMomentInvariants:
+      return "moment_invariants";
+    case FeatureKind::kGeometricParams:
+      return "geometric_params";
+    case FeatureKind::kPrincipalMoments:
+      return "principal_moments";
+    case FeatureKind::kSpectral:
+      return "eigenvalues";
+  }
+  return "?";
+}
+
+std::vector<double> ShapeSignature::Concatenated() const {
+  std::vector<double> out;
+  for (const FeatureVector& fv : features) {
+    out.insert(out.end(), fv.values.begin(), fv.values.end());
+  }
+  return out;
+}
+
+FeatureStats FeatureStats::Compute(
+    const std::vector<std::vector<double>>& vectors) {
+  FeatureStats stats;
+  if (vectors.empty()) return stats;
+  const size_t dim = vectors[0].size();
+  stats.mean.assign(dim, 0.0);
+  stats.stddev.assign(dim, 0.0);
+  for (const auto& v : vectors) {
+    DESS_CHECK(v.size() == dim);
+    for (size_t d = 0; d < dim; ++d) stats.mean[d] += v[d];
+  }
+  for (double& m : stats.mean) m /= static_cast<double>(vectors.size());
+  for (const auto& v : vectors) {
+    for (size_t d = 0; d < dim; ++d) {
+      const double diff = v[d] - stats.mean[d];
+      stats.stddev[d] += diff * diff;
+    }
+  }
+  for (double& s : stats.stddev) {
+    s = std::sqrt(s / static_cast<double>(vectors.size()));
+    if (s < kMinStddev) s = kMinStddev;
+  }
+  return stats;
+}
+
+std::vector<double> FeatureStats::Standardize(
+    const std::vector<double>& v) const {
+  DESS_CHECK(v.size() == mean.size());
+  std::vector<double> out(v.size());
+  for (size_t d = 0; d < v.size(); ++d) {
+    out[d] = (v[d] - mean[d]) / stddev[d];
+  }
+  return out;
+}
+
+}  // namespace dess

@@ -1,0 +1,75 @@
+#ifndef DESS_FEATURES_FEATURE_VECTOR_H_
+#define DESS_FEATURES_FEATURE_VECTOR_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "src/common/logging.h"
+
+namespace dess {
+
+/// The four shape descriptors of Section 3.5.
+enum class FeatureKind {
+  kMomentInvariants = 0,  // F1, F2, F3 of the I-matrix
+  kGeometricParams = 1,   // aspect ratios, surface/volume, scale, volume
+  kPrincipalMoments = 2,  // eigenvalues of the second-moment matrix
+  kSpectral = 3,          // eigenvalues of the skeletal-graph adjacency
+};
+
+inline constexpr int kNumFeatureKinds = 4;
+
+/// All feature kinds, in enum order (handy for sweeps).
+constexpr std::array<FeatureKind, kNumFeatureKinds> AllFeatureKinds() {
+  return {FeatureKind::kMomentInvariants, FeatureKind::kGeometricParams,
+          FeatureKind::kPrincipalMoments, FeatureKind::kSpectral};
+}
+
+/// Dimensionality of each feature kind.
+int FeatureDim(FeatureKind kind);
+
+/// Human-readable name ("moment_invariants", ...).
+std::string FeatureKindName(FeatureKind kind);
+
+/// One extracted feature vector.
+struct FeatureVector {
+  FeatureKind kind = FeatureKind::kMomentInvariants;
+  std::vector<double> values;
+
+  int dim() const { return static_cast<int>(values.size()); }
+};
+
+/// The full signature of a shape: one vector per feature kind.
+struct ShapeSignature {
+  std::array<FeatureVector, kNumFeatureKinds> features;
+
+  const FeatureVector& Get(FeatureKind kind) const {
+    return features[static_cast<int>(kind)];
+  }
+  FeatureVector& Mutable(FeatureKind kind) {
+    return features[static_cast<int>(kind)];
+  }
+
+  /// Concatenation of all four vectors (for combined-feature search).
+  std::vector<double> Concatenated() const;
+};
+
+/// Per-dimension statistics over a set of feature vectors, used to
+/// standardize distances so that dimensions with large magnitudes do not
+/// dominate the weighted Euclidean metric.
+struct FeatureStats {
+  std::vector<double> mean;
+  std::vector<double> stddev;  // >= kMinStddev
+
+  static constexpr double kMinStddev = 1e-9;
+
+  /// Computes stats over `vectors` (all the same dimension).
+  static FeatureStats Compute(const std::vector<std::vector<double>>& vectors);
+
+  /// (v - mean) / stddev per dimension.
+  std::vector<double> Standardize(const std::vector<double>& v) const;
+};
+
+}  // namespace dess
+
+#endif  // DESS_FEATURES_FEATURE_VECTOR_H_

@@ -1,0 +1,99 @@
+#include "src/features/moments.h"
+
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace dess {
+namespace {
+
+double IntPow(double base, int e) {
+  double r = 1.0;
+  for (int i = 0; i < e; ++i) r *= base;
+  return r;
+}
+
+}  // namespace
+
+double VoxelMoment(const VoxelGrid& grid, int l, int m, int n) {
+  const double cell_vol =
+      grid.cell_size() * grid.cell_size() * grid.cell_size();
+  double sum = 0.0;
+  for (int k = 0; k < grid.nz(); ++k) {
+    for (int j = 0; j < grid.ny(); ++j) {
+      for (int i = 0; i < grid.nx(); ++i) {
+        if (!grid.Get(i, j, k)) continue;
+        const Vec3 p = grid.VoxelCenter(i, j, k);
+        sum += IntPow(p.x, l) * IntPow(p.y, m) * IntPow(p.z, n);
+      }
+    }
+  }
+  return sum * cell_vol;
+}
+
+Vec3 VoxelCentroid(const VoxelGrid& grid) {
+  double count = 0.0;
+  Vec3 sum;
+  for (int k = 0; k < grid.nz(); ++k) {
+    for (int j = 0; j < grid.ny(); ++j) {
+      for (int i = 0; i < grid.nx(); ++i) {
+        if (!grid.Get(i, j, k)) continue;
+        sum += grid.VoxelCenter(i, j, k);
+        count += 1.0;
+      }
+    }
+  }
+  DESS_CHECK(count > 0.0);
+  return sum / count;
+}
+
+double VoxelCentralMoment(const VoxelGrid& grid, int l, int m, int n) {
+  const Vec3 c = VoxelCentroid(grid);
+  const double cell_vol =
+      grid.cell_size() * grid.cell_size() * grid.cell_size();
+  double sum = 0.0;
+  for (int k = 0; k < grid.nz(); ++k) {
+    for (int j = 0; j < grid.ny(); ++j) {
+      for (int i = 0; i < grid.nx(); ++i) {
+        if (!grid.Get(i, j, k)) continue;
+        const Vec3 p = grid.VoxelCenter(i, j, k) - c;
+        sum += IntPow(p.x, l) * IntPow(p.y, m) * IntPow(p.z, n);
+      }
+    }
+  }
+  return sum * cell_vol;
+}
+
+Mat3 VoxelSecondMomentMatrix(const VoxelGrid& grid) {
+  const Vec3 c = VoxelCentroid(grid);
+  const double cell_vol =
+      grid.cell_size() * grid.cell_size() * grid.cell_size();
+  Mat3 m;
+  for (int k = 0; k < grid.nz(); ++k) {
+    for (int j = 0; j < grid.ny(); ++j) {
+      for (int i = 0; i < grid.nx(); ++i) {
+        if (!grid.Get(i, j, k)) continue;
+        const Vec3 p = grid.VoxelCenter(i, j, k) - c;
+        for (int r = 0; r < 3; ++r)
+          for (int cc = 0; cc < 3; ++cc) m(r, cc) += p[r] * p[cc];
+      }
+    }
+  }
+  return m * cell_vol;
+}
+
+Mat3 ScaleNormalizedSecondMoments(const Mat3& central_second, double volume) {
+  DESS_CHECK(volume > 0.0);
+  const double denom = std::pow(volume, 5.0 / 3.0);
+  return central_second * (1.0 / denom);
+}
+
+void MomentInvariantsF(const Mat3& a, double* f1, double* f2, double* f3) {
+  *f1 = a.Trace();
+  // Sum of principal 2x2 minors.
+  *f2 = a(0, 0) * a(1, 1) + a(1, 1) * a(2, 2) + a(0, 0) * a(2, 2) -
+        a(0, 1) * a(0, 1) - a(1, 2) * a(1, 2) - a(0, 2) * a(0, 2);
+  *f3 = a.Determinant();
+}
+
+}  // namespace dess

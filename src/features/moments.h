@@ -1,0 +1,43 @@
+#ifndef DESS_FEATURES_MOMENTS_H_
+#define DESS_FEATURES_MOMENTS_H_
+
+#include "src/linalg/mat3.h"
+#include "src/voxel/voxel_grid.h"
+
+namespace dess {
+
+/// Discrete geometric moments of a binary voxel model (Eq. 3.1 with the
+/// density function of Eq. 3.5): m_lmn = sum over set voxels of
+/// x^l y^m z^n * cell_volume, evaluated at voxel centers in world space.
+double VoxelMoment(const VoxelGrid& grid, int l, int m, int n);
+
+/// Central moment mu_lmn: moment about the voxel model's centroid.
+double VoxelCentralMoment(const VoxelGrid& grid, int l, int m, int n);
+
+/// Centroid of the voxel model (m100/m000, m010/m000, m001/m000).
+/// Requires at least one set voxel.
+Vec3 VoxelCentroid(const VoxelGrid& grid);
+
+/// Symmetric matrix of central second moments:
+///   [ mu200 mu110 mu101 ]
+///   [ mu110 mu020 mu011 ]
+///   [ mu101 mu011 mu002 ]
+/// — the matrix M of Eq. 3.10 whose eigenvalues are the principal moments.
+Mat3 VoxelSecondMomentMatrix(const VoxelGrid& grid);
+
+/// The scale-normalized second-order central moments
+/// I_lmn = mu_lmn / mu000^(5/3) (Section 3.5.1), assembled like
+/// VoxelSecondMomentMatrix.
+Mat3 ScaleNormalizedSecondMoments(const Mat3& central_second,
+                                  double volume);
+
+/// Moment invariants F1, F2, F3 (Eq. 3.7-3.9): the coefficients of the
+/// characteristic polynomial of the I-matrix, i.e. its trace, the sum of
+/// its principal 2x2 minors, and its determinant. Invariant to translation,
+/// rotation, and scale of the underlying model.
+void MomentInvariantsF(const Mat3& i_matrix, double* f1, double* f2,
+                       double* f3);
+
+}  // namespace dess
+
+#endif  // DESS_FEATURES_MOMENTS_H_

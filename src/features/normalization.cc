@@ -1,0 +1,75 @@
+#include "src/features/normalization.h"
+
+#include <cmath>
+
+#include "src/linalg/eigen.h"
+
+namespace dess {
+
+Result<NormalizationResult> NormalizeMesh(const TriMesh& input,
+                                          const NormalizationOptions& options) {
+  if (input.IsEmpty()) {
+    return Status::InvalidArgument("normalize: mesh has no triangles");
+  }
+  NormalizationResult out;
+  out.mesh = input;
+
+  MeshIntegrals integrals = ComputeMeshIntegrals(out.mesh);
+  if (integrals.volume < 0.0) {
+    // Inward-oriented input; flip to the outward convention.
+    out.mesh.FlipOrientation();
+    integrals = ComputeMeshIntegrals(out.mesh);
+  }
+  if (integrals.volume < 1e-12) {
+    return Status::Internal("normalize: mesh volume is zero or negative");
+  }
+  out.original_integrals = integrals;
+  out.original_volume = integrals.volume;
+  out.original_surface_area = SurfaceArea(out.mesh);
+  out.original_centroid = integrals.Centroid();
+
+  // Eq. 3.2: centroid to the origin.
+  TranslateMesh(-out.original_centroid, &out.mesh);
+
+  // Eq. 3.4: rotate so the principal axes of the central second moments
+  // coincide with the coordinate axes, with mu_xx >= mu_yy >= mu_zz.
+  const Mat3 mu = integrals.CentralSecondMoment();
+  const SymmetricEigen3 eig = EigenSymmetric3(mu);
+  Vec3 axes[3] = {eig.vectors[0].Normalized(), eig.vectors[1].Normalized(),
+                  eig.vectors[2].Normalized()};
+
+  // Tie-break (2): sign each axis so the maximum extent of the object is
+  // greater in the positive half-space. Track the margin of each decision
+  // so we can undo the weakest one if handedness must be restored.
+  double margins[3];
+  for (int a = 0; a < 3; ++a) {
+    double pos_extent = 0.0, neg_extent = 0.0;
+    for (const Vec3& v : out.mesh.vertices()) {
+      const double d = v.Dot(axes[a]);
+      pos_extent = std::max(pos_extent, d);
+      neg_extent = std::max(neg_extent, -d);
+    }
+    if (neg_extent > pos_extent) axes[a] = -axes[a];
+    margins[a] = std::fabs(pos_extent - neg_extent);
+  }
+  // Keep the frame right-handed (proper rotation): flip the axis whose
+  // half-space preference was weakest.
+  if (axes[0].Cross(axes[1]).Dot(axes[2]) < 0.0) {
+    int weakest = 0;
+    for (int a = 1; a < 3; ++a) {
+      if (margins[a] < margins[weakest]) weakest = a;
+    }
+    axes[weakest] = -axes[weakest];
+  }
+  out.rotation = Mat3::FromRows(axes[0], axes[1], axes[2]);
+  Transform rot;
+  rot.linear = out.rotation;
+  ApplyTransform(rot, &out.mesh);
+
+  // Eq. 3.3: scale to the target volume.
+  out.scale_factor = std::cbrt(options.target_volume / integrals.volume);
+  ScaleMesh(out.scale_factor, &out.mesh);
+  return out;
+}
+
+}  // namespace dess

@@ -1,0 +1,46 @@
+#ifndef DESS_FEATURES_NORMALIZATION_H_
+#define DESS_FEATURES_NORMALIZATION_H_
+
+#include "src/common/result.h"
+#include "src/geom/mesh_integrals.h"
+#include "src/geom/trimesh.h"
+#include "src/geom/transforms.h"
+
+namespace dess {
+
+/// Result of pose/scale normalization (Section 3.1, Eq. 3.2-3.4): the
+/// canonical mesh has its centroid at the origin, its principal moment
+/// axes aligned with X >= Y >= Z (mu_xx > mu_yy > mu_zz), each axis signed
+/// so the maximum extent lies in the positive half-space, and unit volume.
+struct NormalizationResult {
+  TriMesh mesh;
+  /// Uniform scale applied to reach unit volume: (1 / volume)^(1/3).
+  double scale_factor = 1.0;
+  /// Centroid of the original mesh (the applied translation is its
+  /// negation).
+  Vec3 original_centroid;
+  /// Rotation applied after centering (rows are the principal axes).
+  Mat3 rotation = Mat3::Identity();
+  /// Volume of the original mesh.
+  double original_volume = 0.0;
+  /// Surface area of the original mesh.
+  double original_surface_area = 0.0;
+  /// Exact integrals of the original mesh (about the original frame).
+  MeshIntegrals original_integrals;
+};
+
+/// Normalization knobs.
+struct NormalizationOptions {
+  /// Target volume (the paper's constant C of Eq. 3.3).
+  double target_volume = 1.0;
+};
+
+/// Normalizes a closed mesh. A mesh with inward orientation (negative
+/// volume) is flipped first. Returns InvalidArgument for empty meshes and
+/// Internal for meshes with (near-)zero volume.
+Result<NormalizationResult> NormalizeMesh(
+    const TriMesh& mesh, const NormalizationOptions& options = {});
+
+}  // namespace dess
+
+#endif  // DESS_FEATURES_NORMALIZATION_H_

@@ -1,0 +1,59 @@
+#ifndef DESS_GEOM_AABB_H_
+#define DESS_GEOM_AABB_H_
+
+#include <limits>
+
+#include "src/linalg/vec3.h"
+
+namespace dess {
+
+/// Axis-aligned bounding box. Default-constructed boxes are empty
+/// (min > max) and absorb points via Expand().
+struct Aabb {
+  Vec3 min{std::numeric_limits<double>::infinity(),
+           std::numeric_limits<double>::infinity(),
+           std::numeric_limits<double>::infinity()};
+  Vec3 max{-std::numeric_limits<double>::infinity(),
+           -std::numeric_limits<double>::infinity(),
+           -std::numeric_limits<double>::infinity()};
+
+  bool IsEmpty() const {
+    return min.x > max.x || min.y > max.y || min.z > max.z;
+  }
+
+  void Expand(const Vec3& p) {
+    min = Vec3::Min(min, p);
+    max = Vec3::Max(max, p);
+  }
+
+  void Expand(const Aabb& b) {
+    if (b.IsEmpty()) return;
+    Expand(b.min);
+    Expand(b.max);
+  }
+
+  Vec3 Center() const { return (min + max) * 0.5; }
+  Vec3 Extent() const { return max - min; }
+
+  /// Longest edge length; 0 for an empty box.
+  double MaxExtent() const {
+    if (IsEmpty()) return 0.0;
+    const Vec3 e = Extent();
+    return e.x > e.y ? (e.x > e.z ? e.x : e.z) : (e.y > e.z ? e.y : e.z);
+  }
+
+  bool Contains(const Vec3& p) const {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y &&
+           p.z >= min.z && p.z <= max.z;
+  }
+
+  bool Overlaps(const Aabb& b) const {
+    return !IsEmpty() && !b.IsEmpty() && min.x <= b.max.x &&
+           max.x >= b.min.x && min.y <= b.max.y && max.y >= b.min.y &&
+           min.z <= b.max.z && max.z >= b.min.z;
+  }
+};
+
+}  // namespace dess
+
+#endif  // DESS_GEOM_AABB_H_

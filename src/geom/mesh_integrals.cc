@@ -1,0 +1,50 @@
+#include "src/geom/mesh_integrals.h"
+
+#include <cmath>
+
+namespace dess {
+
+Mat3 MeshIntegrals::CentralSecondMoment() const {
+  // mu_ij = m_ij - c_i * c_j * volume (parallel-axis / König theorem).
+  Mat3 mu = second_moment;
+  if (volume == 0.0) return mu;
+  const Vec3 c = Centroid();
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j) mu(i, j) -= c[i] * c[j] * volume;
+  return mu;
+}
+
+MeshIntegrals ComputeMeshIntegrals(const TriMesh& mesh) {
+  MeshIntegrals out;
+  for (size_t t = 0; t < mesh.NumTriangles(); ++t) {
+    Vec3 a, b, c;
+    mesh.TriangleVertices(t, &a, &b, &c);
+    // Signed tetrahedron (origin, a, b, c).
+    const double det = a.Dot(b.Cross(c));  // 6 * signed volume
+    const double vol = det / 6.0;
+    out.volume += vol;
+    const Vec3 s = a + b + c;
+    out.first_moment += s * (det / 24.0);
+    // For a tetrahedron with vertices v1..v4 (here v4 = origin):
+    //   int x_i x_j dV = V/20 * (sum_k v^k_i v^k_j + S_i S_j),
+    // where S = sum_k v^k. Origin terms vanish.
+    const double f = vol / 20.0;
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) {
+        out.second_moment(i, j) +=
+            f * (a[i] * a[j] + b[i] * b[j] + c[i] * c[j] + s[i] * s[j]);
+      }
+    }
+  }
+  return out;
+}
+
+double SurfaceArea(const TriMesh& mesh) {
+  double area = 0.0;
+  for (size_t t = 0; t < mesh.NumTriangles(); ++t) {
+    area += 0.5 * mesh.FaceNormal(t).Norm();
+  }
+  return area;
+}
+
+}  // namespace dess

@@ -1,0 +1,276 @@
+#include "src/geom/mesh_io.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "src/common/strings.h"
+
+namespace dess {
+namespace {
+
+std::string Extension(const std::string& path) {
+  const size_t dot = path.find_last_of('.');
+  if (dot == std::string::npos) return "";
+  return ToLower(path.substr(dot + 1));
+}
+
+Status OpenFailed(const std::string& path) {
+  return Status::IOError("cannot open '" + path + "'");
+}
+
+}  // namespace
+
+Result<TriMesh> ReadMesh(const std::string& path) {
+  const std::string ext = Extension(path);
+  if (ext == "off") return ReadOff(path);
+  if (ext == "obj") return ReadObj(path);
+  if (ext == "stl") return ReadStl(path);
+  return Status::InvalidArgument("unsupported mesh extension: '" + ext + "'");
+}
+
+Status WriteMesh(const TriMesh& mesh, const std::string& path) {
+  const std::string ext = Extension(path);
+  if (ext == "off") return WriteOff(mesh, path);
+  if (ext == "obj") return WriteObj(mesh, path);
+  if (ext == "stl") return WriteStlBinary(mesh, path);
+  return Status::InvalidArgument("unsupported mesh extension: '" + ext + "'");
+}
+
+Result<TriMesh> ReadOff(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return OpenFailed(path);
+  std::string line;
+  // Header: the literal "OFF", possibly with the counts on the same line.
+  auto next_content_line = [&](std::string* out) -> bool {
+    while (std::getline(in, line)) {
+      std::string_view s = StripWhitespace(line);
+      if (s.empty() || s[0] == '#') continue;
+      *out = std::string(s);
+      return true;
+    }
+    return false;
+  };
+  std::string header;
+  if (!next_content_line(&header)) {
+    return Status::Corruption("OFF: empty file: " + path);
+  }
+  std::string counts_line;
+  if (StartsWith(header, "OFF")) {
+    std::string rest(StripWhitespace(std::string_view(header).substr(3)));
+    if (!rest.empty()) {
+      counts_line = rest;
+    } else if (!next_content_line(&counts_line)) {
+      return Status::Corruption("OFF: missing counts: " + path);
+    }
+  } else {
+    counts_line = header;  // headerless variant
+  }
+  std::istringstream counts(counts_line);
+  size_t nv = 0, nf = 0, ne = 0;
+  if (!(counts >> nv >> nf >> ne)) {
+    return Status::Corruption("OFF: bad counts line: " + path);
+  }
+  TriMesh mesh;
+  for (size_t i = 0; i < nv; ++i) {
+    std::string vline;
+    if (!next_content_line(&vline)) {
+      return Status::Corruption("OFF: truncated vertex list: " + path);
+    }
+    std::istringstream vs(vline);
+    double x, y, z;
+    if (!(vs >> x >> y >> z)) {
+      return Status::Corruption("OFF: bad vertex line: " + path);
+    }
+    mesh.AddVertex({x, y, z});
+  }
+  for (size_t i = 0; i < nf; ++i) {
+    std::string fline;
+    if (!next_content_line(&fline)) {
+      return Status::Corruption("OFF: truncated face list: " + path);
+    }
+    std::istringstream fs(fline);
+    size_t k = 0;
+    if (!(fs >> k) || k < 3) {
+      return Status::Corruption("OFF: bad face line: " + path);
+    }
+    std::vector<uint32_t> idx(k);
+    for (size_t j = 0; j < k; ++j) {
+      if (!(fs >> idx[j]) || idx[j] >= mesh.NumVertices()) {
+        return Status::Corruption("OFF: bad face index: " + path);
+      }
+    }
+    // Fan-triangulate polygons.
+    for (size_t j = 1; j + 1 < k; ++j) {
+      mesh.AddTriangle(idx[0], idx[j], idx[j + 1]);
+    }
+  }
+  return mesh;
+}
+
+Status WriteOff(const TriMesh& mesh, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return OpenFailed(path);
+  out << "OFF\n" << mesh.NumVertices() << " " << mesh.NumTriangles() << " 0\n";
+  out.precision(12);
+  for (const Vec3& v : mesh.vertices()) {
+    out << v.x << " " << v.y << " " << v.z << "\n";
+  }
+  for (const auto& t : mesh.triangles()) {
+    out << "3 " << t[0] << " " << t[1] << " " << t[2] << "\n";
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<TriMesh> ReadObj(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return OpenFailed(path);
+  TriMesh mesh;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string_view s = StripWhitespace(line);
+    if (s.empty() || s[0] == '#') continue;
+    std::istringstream ls{std::string(s)};
+    std::string tag;
+    ls >> tag;
+    if (tag == "v") {
+      double x, y, z;
+      if (!(ls >> x >> y >> z)) {
+        return Status::Corruption("OBJ: bad vertex line: " + path);
+      }
+      mesh.AddVertex({x, y, z});
+    } else if (tag == "f") {
+      std::vector<uint32_t> idx;
+      std::string tok;
+      while (ls >> tok) {
+        // "f v", "f v/vt", "f v/vt/vn", "f v//vn" — take the vertex index.
+        const size_t slash = tok.find('/');
+        const std::string head = tok.substr(0, slash);
+        long v = std::strtol(head.c_str(), nullptr, 10);
+        if (v < 0) v = static_cast<long>(mesh.NumVertices()) + v + 1;
+        if (v <= 0 || static_cast<size_t>(v) > mesh.NumVertices()) {
+          return Status::Corruption("OBJ: bad face index: " + path);
+        }
+        idx.push_back(static_cast<uint32_t>(v - 1));
+      }
+      if (idx.size() < 3) {
+        return Status::Corruption("OBJ: face with fewer than 3 verts: " + path);
+      }
+      for (size_t j = 1; j + 1 < idx.size(); ++j) {
+        mesh.AddTriangle(idx[0], idx[j], idx[j + 1]);
+      }
+    }
+    // Other tags (vn, vt, usemtl, ...) are ignored.
+  }
+  return mesh;
+}
+
+Status WriteObj(const TriMesh& mesh, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return OpenFailed(path);
+  out << "# dess3 triangulated view\n";
+  out.precision(12);
+  for (const Vec3& v : mesh.vertices()) {
+    out << "v " << v.x << " " << v.y << " " << v.z << "\n";
+  }
+  for (const auto& t : mesh.triangles()) {
+    out << "f " << t[0] + 1 << " " << t[1] + 1 << " " << t[2] + 1 << "\n";
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<TriMesh> ReadStl(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return OpenFailed(path);
+  // Sniff: ASCII STL starts with "solid" AND parses as text; binary has an
+  // 80-byte header + uint32 count whose implied size matches the file.
+  char head[6] = {0};
+  in.read(head, 5);
+  in.seekg(0, std::ios::end);
+  const std::streamoff file_size = in.tellg();
+  const bool says_solid = std::strncmp(head, "solid", 5) == 0;
+  bool is_binary = !says_solid;
+  if (says_solid && file_size >= 84) {
+    in.seekg(80, std::ios::beg);
+    uint32_t n = 0;
+    in.read(reinterpret_cast<char*>(&n), 4);
+    if (84 + static_cast<std::streamoff>(n) * 50 == file_size) {
+      is_binary = true;  // "solid" header but binary layout
+    }
+  }
+  TriMesh mesh;
+  if (is_binary) {
+    if (file_size < 84) return Status::Corruption("STL: too short: " + path);
+    in.seekg(80, std::ios::beg);
+    uint32_t n = 0;
+    in.read(reinterpret_cast<char*>(&n), 4);
+    if (84 + static_cast<std::streamoff>(n) * 50 != file_size) {
+      return Status::Corruption("STL: size mismatch: " + path);
+    }
+    for (uint32_t i = 0; i < n; ++i) {
+      float buf[12];
+      in.read(reinterpret_cast<char*>(buf), sizeof(buf));
+      uint16_t attr;
+      in.read(reinterpret_cast<char*>(&attr), 2);
+      if (!in) return Status::Corruption("STL: truncated facet: " + path);
+      const uint32_t base = static_cast<uint32_t>(mesh.NumVertices());
+      for (int v = 0; v < 3; ++v) {
+        mesh.AddVertex({buf[3 + v * 3], buf[4 + v * 3], buf[5 + v * 3]});
+      }
+      mesh.AddTriangle(base, base + 1, base + 2);
+    }
+  } else {
+    in.seekg(0, std::ios::beg);
+    std::string tok;
+    std::vector<Vec3> verts;
+    while (in >> tok) {
+      if (tok == "vertex") {
+        double x, y, z;
+        if (!(in >> x >> y >> z)) {
+          return Status::Corruption("STL: bad vertex: " + path);
+        }
+        verts.push_back({x, y, z});
+        if (verts.size() == 3) {
+          const uint32_t base = static_cast<uint32_t>(mesh.NumVertices());
+          for (const Vec3& v : verts) mesh.AddVertex(v);
+          mesh.AddTriangle(base, base + 1, base + 2);
+          verts.clear();
+        }
+      }
+    }
+  }
+  mesh.WeldVertices();
+  return mesh;
+}
+
+Status WriteStlBinary(const TriMesh& mesh, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return OpenFailed(path);
+  char header[80] = "dess3 binary STL";
+  out.write(header, sizeof(header));
+  const uint32_t n = static_cast<uint32_t>(mesh.NumTriangles());
+  out.write(reinterpret_cast<const char*>(&n), 4);
+  for (size_t t = 0; t < mesh.NumTriangles(); ++t) {
+    Vec3 a, b, c;
+    mesh.TriangleVertices(t, &a, &b, &c);
+    const Vec3 nrm = mesh.FaceNormal(t).Normalized();
+    float buf[12] = {
+        static_cast<float>(nrm.x), static_cast<float>(nrm.y),
+        static_cast<float>(nrm.z), static_cast<float>(a.x),
+        static_cast<float>(a.y),   static_cast<float>(a.z),
+        static_cast<float>(b.x),   static_cast<float>(b.y),
+        static_cast<float>(b.z),   static_cast<float>(c.x),
+        static_cast<float>(c.y),   static_cast<float>(c.z)};
+    out.write(reinterpret_cast<const char*>(buf), sizeof(buf));
+    const uint16_t attr = 0;
+    out.write(reinterpret_cast<const char*>(&attr), 2);
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace dess

@@ -1,0 +1,29 @@
+#ifndef DESS_GEOM_MESH_IO_H_
+#define DESS_GEOM_MESH_IO_H_
+
+#include <string>
+
+#include "src/common/result.h"
+#include "src/geom/trimesh.h"
+
+namespace dess {
+
+/// Reads a mesh, dispatching on the file extension (.off, .obj, .stl).
+/// STL files may be ASCII or binary; the format is sniffed.
+Result<TriMesh> ReadMesh(const std::string& path);
+
+/// Writes a mesh, dispatching on the file extension (.off, .obj, .stl —
+/// STL is written as binary).
+Status WriteMesh(const TriMesh& mesh, const std::string& path);
+
+/// Format-specific entry points (used by the dispatchers and tests).
+Result<TriMesh> ReadOff(const std::string& path);
+Status WriteOff(const TriMesh& mesh, const std::string& path);
+Result<TriMesh> ReadObj(const std::string& path);
+Status WriteObj(const TriMesh& mesh, const std::string& path);
+Result<TriMesh> ReadStl(const std::string& path);
+Status WriteStlBinary(const TriMesh& mesh, const std::string& path);
+
+}  // namespace dess
+
+#endif  // DESS_GEOM_MESH_IO_H_

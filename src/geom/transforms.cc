@@ -1,0 +1,22 @@
+#include "src/geom/transforms.h"
+
+#include "src/common/logging.h"
+
+namespace dess {
+
+void ApplyTransform(const Transform& t, TriMesh* mesh) {
+  for (Vec3& v : mesh->mutable_vertices()) v = t.Apply(v);
+  if (t.linear.Determinant() < 0.0) mesh->FlipOrientation();
+}
+
+void TranslateMesh(const Vec3& d, TriMesh* mesh) {
+  for (Vec3& v : mesh->mutable_vertices()) v += d;
+}
+
+void ScaleMesh(double s, TriMesh* mesh) {
+  DESS_CHECK(s != 0.0);
+  for (Vec3& v : mesh->mutable_vertices()) v *= s;
+  if (s < 0.0) mesh->FlipOrientation();
+}
+
+}  // namespace dess

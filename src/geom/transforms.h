@@ -1,0 +1,53 @@
+#ifndef DESS_GEOM_TRANSFORMS_H_
+#define DESS_GEOM_TRANSFORMS_H_
+
+#include "src/geom/trimesh.h"
+#include "src/linalg/mat3.h"
+
+namespace dess {
+
+/// Affine rigid+scale transform p -> linear * p + translation.
+struct Transform {
+  Mat3 linear = Mat3::Identity();
+  Vec3 translation;
+
+  Vec3 Apply(const Vec3& p) const { return linear * p + translation; }
+
+  /// Composition: (this ∘ other)(p) = this(other(p)).
+  Transform Compose(const Transform& other) const {
+    Transform t;
+    t.linear = linear * other.linear;
+    t.translation = linear * other.translation + translation;
+    return t;
+  }
+
+  static Transform Translate(const Vec3& d) {
+    Transform t;
+    t.translation = d;
+    return t;
+  }
+  static Transform Rotate(const Vec3& axis, double angle_rad) {
+    Transform t;
+    t.linear = Mat3::Rotation(axis, angle_rad);
+    return t;
+  }
+  static Transform Scale(double s) {
+    Transform t;
+    t.linear = Mat3::Scale(s);
+    return t;
+  }
+};
+
+/// Transforms all vertices in place. If `linear` has negative determinant
+/// the triangle orientation is flipped to keep normals outward.
+void ApplyTransform(const Transform& t, TriMesh* mesh);
+
+/// Translates all vertices in place.
+void TranslateMesh(const Vec3& d, TriMesh* mesh);
+
+/// Uniformly scales all vertices about the origin. Requires s != 0.
+void ScaleMesh(double s, TriMesh* mesh);
+
+}  // namespace dess
+
+#endif  // DESS_GEOM_TRANSFORMS_H_

@@ -1,0 +1,121 @@
+#include "src/geom/trimesh.h"
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+#include "src/common/strings.h"
+
+namespace dess {
+
+Aabb TriMesh::BoundingBox() const {
+  Aabb box;
+  for (const Vec3& v : vertices_) box.Expand(v);
+  return box;
+}
+
+void TriMesh::Merge(const TriMesh& other) {
+  const uint32_t base = static_cast<uint32_t>(vertices_.size());
+  vertices_.insert(vertices_.end(), other.vertices_.begin(),
+                   other.vertices_.end());
+  triangles_.reserve(triangles_.size() + other.triangles_.size());
+  for (const Triangle& t : other.triangles_) {
+    triangles_.push_back({t[0] + base, t[1] + base, t[2] + base});
+  }
+}
+
+void TriMesh::FlipOrientation() {
+  for (Triangle& t : triangles_) std::swap(t[1], t[2]);
+}
+
+Status TriMesh::Validate() const {
+  const uint32_t n = static_cast<uint32_t>(vertices_.size());
+  for (size_t i = 0; i < triangles_.size(); ++i) {
+    const Triangle& t = triangles_[i];
+    for (int k = 0; k < 3; ++k) {
+      if (t[k] >= n) {
+        return Status::InvalidArgument(StrFormat(
+            "triangle %zu references out-of-range vertex %u (have %u)", i,
+            t[k], n));
+      }
+    }
+    if (t[0] == t[1] || t[1] == t[2] || t[0] == t[2]) {
+      return Status::InvalidArgument(
+          StrFormat("triangle %zu repeats a vertex index", i));
+    }
+  }
+  return Status::OK();
+}
+
+size_t TriMesh::WeldVertices(double tol) {
+  if (vertices_.empty()) return 0;
+  // Quantize positions onto a grid of cell size `tol`; exact-match within a
+  // cell is sufficient for the synthetic meshes produced here.
+  struct Key {
+    int64_t x, y, z;
+    bool operator<(const Key& o) const {
+      if (x != o.x) return x < o.x;
+      if (y != o.y) return y < o.y;
+      return z < o.z;
+    }
+  };
+  const double inv = 1.0 / tol;
+  std::map<Key, uint32_t> first_at;
+  std::vector<uint32_t> remap(vertices_.size());
+  std::vector<Vec3> kept;
+  kept.reserve(vertices_.size());
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    const Vec3& v = vertices_[i];
+    Key k{static_cast<int64_t>(std::llround(v.x * inv)),
+          static_cast<int64_t>(std::llround(v.y * inv)),
+          static_cast<int64_t>(std::llround(v.z * inv))};
+    auto it = first_at.find(k);
+    if (it == first_at.end()) {
+      const uint32_t idx = static_cast<uint32_t>(kept.size());
+      first_at.emplace(k, idx);
+      kept.push_back(v);
+      remap[i] = idx;
+    } else {
+      remap[i] = it->second;
+    }
+  }
+  const size_t removed = vertices_.size() - kept.size();
+  vertices_ = std::move(kept);
+  std::vector<Triangle> new_tris;
+  new_tris.reserve(triangles_.size());
+  for (const Triangle& t : triangles_) {
+    Triangle m{remap[t[0]], remap[t[1]], remap[t[2]]};
+    if (m[0] == m[1] || m[1] == m[2] || m[0] == m[2]) continue;
+    new_tris.push_back(m);
+  }
+  triangles_ = std::move(new_tris);
+  return removed;
+}
+
+bool TriMesh::IsClosed() const {
+  if (triangles_.empty()) return false;
+  // Count directed edges; a closed, consistently oriented mesh has every
+  // directed edge matched by exactly one opposite directed edge.
+  std::unordered_map<uint64_t, int> directed;
+  directed.reserve(triangles_.size() * 3);
+  auto key = [](uint32_t a, uint32_t b) {
+    return (static_cast<uint64_t>(a) << 32) | b;
+  };
+  for (const Triangle& t : triangles_) {
+    for (int k = 0; k < 3; ++k) {
+      const uint32_t a = t[k];
+      const uint32_t b = t[(k + 1) % 3];
+      if (++directed[key(a, b)] > 1) return false;  // non-manifold edge
+    }
+  }
+  for (const auto& [k, count] : directed) {
+    const uint32_t a = static_cast<uint32_t>(k >> 32);
+    const uint32_t b = static_cast<uint32_t>(k & 0xFFFFFFFFull);
+    auto it = directed.find(key(b, a));
+    if (it == directed.end() || it->second != 1) return false;
+  }
+  return true;
+}
+
+}  // namespace dess

@@ -1,0 +1,89 @@
+#ifndef DESS_GEOM_TRIMESH_H_
+#define DESS_GEOM_TRIMESH_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/geom/aabb.h"
+#include "src/linalg/vec3.h"
+
+namespace dess {
+
+/// Indexed triangle mesh — the boundary representation used throughout the
+/// pipeline in place of a commercial CAD kernel. Triangles are oriented
+/// counter-clockwise when viewed from outside (outward normals); the exact
+/// volume/moment integrals in mesh_integrals.h rely on this convention.
+class TriMesh {
+ public:
+  using Triangle = std::array<uint32_t, 3>;
+
+  TriMesh() = default;
+
+  size_t NumVertices() const { return vertices_.size(); }
+  size_t NumTriangles() const { return triangles_.size(); }
+  bool IsEmpty() const { return triangles_.empty(); }
+
+  /// Appends a vertex; returns its index.
+  uint32_t AddVertex(const Vec3& v) {
+    vertices_.push_back(v);
+    return static_cast<uint32_t>(vertices_.size() - 1);
+  }
+
+  /// Appends a CCW-oriented triangle over existing vertex indices.
+  void AddTriangle(uint32_t a, uint32_t b, uint32_t c) {
+    triangles_.push_back({a, b, c});
+  }
+
+  const std::vector<Vec3>& vertices() const { return vertices_; }
+  std::vector<Vec3>& mutable_vertices() { return vertices_; }
+  const std::vector<Triangle>& triangles() const { return triangles_; }
+
+  const Vec3& vertex(uint32_t i) const { return vertices_[i]; }
+  const Triangle& triangle(size_t t) const { return triangles_[t]; }
+
+  /// Corner positions of triangle `t`.
+  void TriangleVertices(size_t t, Vec3* a, Vec3* b, Vec3* c) const {
+    *a = vertices_[triangles_[t][0]];
+    *b = vertices_[triangles_[t][1]];
+    *c = vertices_[triangles_[t][2]];
+  }
+
+  /// Area-weighted (unnormalized) face normal of triangle `t`.
+  Vec3 FaceNormal(size_t t) const {
+    Vec3 a, b, c;
+    TriangleVertices(t, &a, &b, &c);
+    return (b - a).Cross(c - a);
+  }
+
+  /// Tight axis-aligned bounding box (empty box for an empty mesh).
+  Aabb BoundingBox() const;
+
+  /// Appends all geometry of `other` into this mesh.
+  void Merge(const TriMesh& other);
+
+  /// Flips triangle orientation (inverts all normals).
+  void FlipOrientation();
+
+  /// Checks structural invariants: vertex indices in range and no triangle
+  /// referencing the same vertex twice.
+  Status Validate() const;
+
+  /// Welds vertices closer than `tol` and drops degenerate triangles.
+  /// Returns the number of vertices removed.
+  size_t WeldVertices(double tol = 1e-9);
+
+  /// True if every edge is shared by exactly two triangles with opposite
+  /// orientation — the watertightness precondition for exact volume
+  /// integrals. Meshes from the marching-cubes mesher satisfy this.
+  bool IsClosed() const;
+
+ private:
+  std::vector<Vec3> vertices_;
+  std::vector<Triangle> triangles_;
+};
+
+}  // namespace dess
+
+#endif  // DESS_GEOM_TRIMESH_H_

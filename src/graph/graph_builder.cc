@@ -1,0 +1,266 @@
+#include "src/graph/graph_builder.h"
+
+#include <array>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "src/skeleton/skeleton_analysis.h"
+
+namespace dess {
+namespace {
+
+struct Coord {
+  int i, j, k;
+  bool operator<(const Coord& o) const {
+    if (i != o.i) return i < o.i;
+    if (j != o.j) return j < o.j;
+    return k < o.k;
+  }
+  bool operator==(const Coord& o) const {
+    return i == o.i && j == o.j && k == o.k;
+  }
+};
+
+// Neighbor iteration (26-connectivity) over skeleton voxels.
+template <typename Fn>
+void ForEachNeighbor(const VoxelGrid& g, const Coord& c, Fn&& fn) {
+  for (int dz = -1; dz <= 1; ++dz) {
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        if (!dx && !dy && !dz) continue;
+        const Coord n{c.i + dx, c.j + dy, c.k + dz};
+        if (g.GetClamped(n.i, n.j, n.k)) fn(n);
+      }
+    }
+  }
+}
+
+double PolylineLength(const std::vector<Vec3>& path) {
+  double len = 0.0;
+  for (size_t i = 1; i < path.size(); ++i) {
+    len += Distance(path[i - 1], path[i]);
+  }
+  return len;
+}
+
+// Maximum perpendicular distance of interior points from the chord.
+double MaxChordDeviation(const std::vector<Vec3>& path) {
+  if (path.size() < 3) return 0.0;
+  const Vec3& a = path.front();
+  const Vec3& b = path.back();
+  const Vec3 ab = b - a;
+  const double ab2 = ab.SquaredNorm();
+  double worst = 0.0;
+  for (size_t i = 1; i + 1 < path.size(); ++i) {
+    const Vec3 ap = path[i] - a;
+    Vec3 perp;
+    if (ab2 < 1e-18) {
+      perp = ap;  // closed or degenerate chord: distance from endpoint
+    } else {
+      perp = ap - ab * (ap.Dot(ab) / ab2);
+    }
+    worst = std::max(worst, perp.Norm());
+  }
+  return worst;
+}
+
+EntityType ClassifyOpenArc(const std::vector<Vec3>& path, double line_tol) {
+  return MaxChordDeviation(path) <= line_tol ? EntityType::kLine
+                                             : EntityType::kCurve;
+}
+
+}  // namespace
+
+SkeletalGraph BuildSkeletalGraph(const VoxelGrid& skeleton,
+                                 const GraphBuilderOptions& options) {
+  SkeletalGraph graph;
+
+  // Degree map and voxel inventory.
+  std::map<Coord, int> degree;
+  for (int k = 0; k < skeleton.nz(); ++k) {
+    for (int j = 0; j < skeleton.ny(); ++j) {
+      for (int i = 0; i < skeleton.nx(); ++i) {
+        if (skeleton.Get(i, j, k)) {
+          degree[{i, j, k}] = SkeletonDegree(skeleton, i, j, k);
+        }
+      }
+    }
+  }
+  if (degree.empty()) return graph;
+
+  // Cluster junction voxels (degree >= 3) with 26-connectivity.
+  std::map<Coord, int> junction_of;  // voxel -> junction cluster id
+  int num_junctions = 0;
+  for (const auto& [c, deg] : degree) {
+    if (deg < 3 || junction_of.count(c)) continue;
+    const int cluster = num_junctions++;
+    std::vector<Coord> stack{c};
+    junction_of[c] = cluster;
+    while (!stack.empty()) {
+      const Coord cur = stack.back();
+      stack.pop_back();
+      ForEachNeighbor(skeleton, cur, [&](const Coord& n) {
+        auto it = degree.find(n);
+        if (it == degree.end() || it->second < 3) return;
+        if (junction_of.count(n)) return;
+        junction_of[n] = cluster;
+        stack.push_back(n);
+      });
+    }
+  }
+
+  auto centerv = [&](const Coord& c) {
+    return Vec3(c.i, c.j, c.k);  // grid coordinates; scale is irrelevant
+  };
+
+  // Trace arcs. An arc starts from a junction-cluster boundary or an
+  // endpoint (degree 1) and walks through degree-2 voxels.
+  std::map<Coord, bool> arc_visited;
+  struct Arc {
+    std::vector<Vec3> path;
+    int ja, jb;  // junction clusters at the ends (-1 for a free end)
+  };
+  std::vector<Arc> arcs;
+
+  auto walk = [&](const Coord& start, const Coord& from_junction_voxel,
+                  int start_cluster) {
+    // `start` is a non-junction voxel adjacent to the start cluster (or an
+    // endpoint if start_cluster == -1 and from == start).
+    if (arc_visited.count(start)) return;
+    Arc arc;
+    arc.ja = start_cluster;
+    arc.jb = -1;
+    if (start_cluster >= 0) arc.path.push_back(centerv(from_junction_voxel));
+    Coord prev = from_junction_voxel;
+    Coord cur = start;
+    for (;;) {
+      arc_visited[cur] = true;
+      arc.path.push_back(centerv(cur));
+      // Find the next voxel: a neighbor that is not where we came from.
+      Coord next{-1, -1, -1};
+      int next_cluster = -1;
+      bool found = false;
+      ForEachNeighbor(skeleton, cur, [&](const Coord& n) {
+        if (n == prev) return;
+        auto jit = junction_of.find(n);
+        if (jit != junction_of.end()) {
+          // Reached a junction cluster; terminate here. Prefer a junction
+          // termination over continuing along the arc.
+          if (!found || next_cluster == -1) {
+            next = n;
+            next_cluster = jit->second;
+            found = true;
+          }
+          return;
+        }
+        if (arc_visited.count(n)) return;
+        if (!found) {
+          next = n;
+          next_cluster = -1;
+          found = true;
+        }
+      });
+      if (!found) break;  // free end
+      if (next_cluster >= 0) {
+        arc.jb = next_cluster;
+        arc.path.push_back(centerv(next));
+        break;
+      }
+      prev = cur;
+      cur = next;
+    }
+    arcs.push_back(std::move(arc));
+  };
+
+  // Start walks from every junction cluster boundary...
+  for (const auto& [jv, cluster] : junction_of) {
+    ForEachNeighbor(skeleton, jv, [&](const Coord& n) {
+      if (junction_of.count(n)) return;
+      walk(n, jv, cluster);
+    });
+  }
+  // ...and from endpoints not yet covered.
+  for (const auto& [c, deg] : degree) {
+    if (deg == 1 && !junction_of.count(c) && !arc_visited.count(c)) {
+      walk(c, c, -1);
+    }
+  }
+  // Remaining unvisited non-junction voxels form pure cycles (e.g. a torus
+  // skeleton). Trace each cycle as a loop entity.
+  for (const auto& [c, deg] : degree) {
+    if (junction_of.count(c) || arc_visited.count(c)) continue;
+    Arc arc;
+    arc.ja = arc.jb = -1;
+    Coord prev = c;
+    Coord cur = c;
+    for (;;) {
+      arc_visited[cur] = true;
+      arc.path.push_back(centerv(cur));
+      Coord next{-1, -1, -1};
+      bool found = false;
+      ForEachNeighbor(skeleton, cur, [&](const Coord& n) {
+        if (found || n == prev || arc_visited.count(n) ||
+            junction_of.count(n)) {
+          return;
+        }
+        next = n;
+        found = true;
+      });
+      if (!found) break;
+      prev = cur;
+      cur = next;
+    }
+    if (arc.path.size() >= 3) {
+      GraphNode node;
+      node.type = EntityType::kLoop;
+      node.length = PolylineLength(arc.path) +
+                    Distance(arc.path.back(), arc.path.front());
+      node.path = std::move(arc.path);
+      graph.AddNode(std::move(node));
+    }
+  }
+
+  // Convert arcs to graph nodes, remembering junction incidences.
+  std::vector<std::vector<int>> nodes_at_junction(num_junctions);
+  for (Arc& arc : arcs) {
+    const double len = PolylineLength(arc.path);
+    const bool is_self_loop = arc.ja >= 0 && arc.ja == arc.jb;
+    if (is_self_loop) {
+      // Tiny self-loops are 3-clique artifacts of diagonal adjacency at
+      // right-angle corners, not real loops.
+      if (arc.path.size() < 5) continue;
+    } else if (len < options.min_arc_length &&
+               (arc.ja < 0 || arc.jb < 0)) {
+      // Spur suppression: too-short dangling arcs are thinning artifacts.
+      // Arcs joining two distinct junctions are kept regardless, since they
+      // carry connectivity.
+      continue;
+    }
+    GraphNode node;
+    if (is_self_loop) {
+      node.type = EntityType::kLoop;
+    } else {
+      node.type = ClassifyOpenArc(arc.path, options.line_tolerance);
+    }
+    node.length = len;
+    node.junction_a = arc.ja;
+    node.junction_b = arc.jb;
+    node.path = std::move(arc.path);
+    const int id = graph.AddNode(std::move(node));
+    if (arc.ja >= 0) nodes_at_junction[arc.ja].push_back(id);
+    if (arc.jb >= 0 && arc.jb != arc.ja) nodes_at_junction[arc.jb].push_back(id);
+  }
+
+  // Edges: entities sharing a junction cluster are connected.
+  for (const auto& at : nodes_at_junction) {
+    for (size_t a = 0; a < at.size(); ++a) {
+      for (size_t b = a + 1; b < at.size(); ++b) {
+        graph.AddEdge(at[a], at[b]);
+      }
+    }
+  }
+  return graph;
+}
+
+}  // namespace dess

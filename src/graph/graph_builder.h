@@ -1,0 +1,29 @@
+#ifndef DESS_GRAPH_GRAPH_BUILDER_H_
+#define DESS_GRAPH_GRAPH_BUILDER_H_
+
+#include "src/graph/skeletal_graph.h"
+#include "src/voxel/voxel_grid.h"
+
+namespace dess {
+
+/// Skeletal-graph construction options.
+struct GraphBuilderOptions {
+  /// Maximum perpendicular deviation (in voxels) from the end-to-end chord
+  /// for an arc to be classified as a line rather than a curve.
+  double line_tolerance = 1.2;
+  /// Arcs shorter than this (in voxels) are merged into their junction and
+  /// do not become entities; suppresses thinning spurs.
+  double min_arc_length = 1.5;
+};
+
+/// Builds the skeletal graph of a curve skeleton (Section 3.4): junction
+/// voxels (degree >= 3) are clustered, arcs between junctions/endpoints are
+/// traced and classified as line or curve by straightness, closed cycles
+/// become loop entities, and two entities are connected by an edge when
+/// they share a junction cluster.
+SkeletalGraph BuildSkeletalGraph(const VoxelGrid& skeleton,
+                                 const GraphBuilderOptions& options = {});
+
+}  // namespace dess
+
+#endif  // DESS_GRAPH_GRAPH_BUILDER_H_

@@ -1,0 +1,74 @@
+#ifndef DESS_GRAPH_SKELETAL_GRAPH_H_
+#define DESS_GRAPH_SKELETAL_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "src/linalg/matrix.h"
+#include "src/linalg/vec3.h"
+
+namespace dess {
+
+/// Entity type of a skeletal-graph node (Section 3.4 of the paper: "the
+/// nodes are of three types - line, loop, and curve").
+enum class EntityType { kLine, kCurve, kLoop };
+
+std::string EntityTypeName(EntityType t);
+
+/// One entity of the skeletal graph: a traced arc (line/curve) or closed
+/// cycle (loop) of skeleton voxels.
+struct GraphNode {
+  EntityType type = EntityType::kLine;
+  /// Polyline of voxel centers in grid coordinates.
+  std::vector<Vec3> path;
+  /// Arc length of the path.
+  double length = 0.0;
+  /// Junction clusters this entity touches (indices private to the builder;
+  /// -1 entries mean a free end).
+  int junction_a = -1;
+  int junction_b = -1;
+};
+
+/// Skeletal graph: nodes are entities, edges join entities that share a
+/// junction. The typed adjacency matrix assigns different weights per
+/// connection type (e.g. loop-to-loop vs loop-to-line), as in the paper.
+class SkeletalGraph {
+ public:
+  int NumNodes() const { return static_cast<int>(nodes_.size()); }
+  int NumEdges() const { return static_cast<int>(edges_.size()); }
+
+  const std::vector<GraphNode>& nodes() const { return nodes_; }
+  const std::vector<std::pair<int, int>>& edges() const { return edges_; }
+
+  int AddNode(GraphNode node);
+  void AddEdge(int a, int b);
+
+  /// Count of nodes of the given type.
+  int CountType(EntityType t) const;
+
+  /// Typed adjacency matrix: symmetric, with entry (a, b) determined by the
+  /// pair of entity types being connected and diagonal entries encoding the
+  /// node's own type. Returns a 0x0 matrix for an empty graph.
+  ///
+  /// With `length_weighted` set, entries are additionally scaled by the
+  /// entities' arc lengths (normalized by the mean length): the diagonal by
+  /// l_i and edge (a, b) by sqrt(l_a * l_b). This injects the "local
+  /// geometric information" the paper's conclusion calls for to improve the
+  /// selectivity of the eigenvalue descriptor, while keeping the matrix
+  /// symmetric and the signature size-invariant.
+  Matrix TypedAdjacencyMatrix(bool length_weighted = false) const;
+
+  /// Weight assigned to a connection between entities of types `a` and `b`.
+  static double ConnectionWeight(EntityType a, EntityType b);
+
+  /// Diagonal self-weight for a node of type `t`.
+  static double SelfWeight(EntityType t);
+
+ private:
+  std::vector<GraphNode> nodes_;
+  std::vector<std::pair<int, int>> edges_;
+};
+
+}  // namespace dess
+
+#endif  // DESS_GRAPH_SKELETAL_GRAPH_H_

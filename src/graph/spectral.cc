@@ -1,0 +1,45 @@
+#include "src/graph/spectral.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+#include "src/linalg/eigen.h"
+
+namespace dess {
+
+namespace {
+
+std::vector<double> SignatureFromMatrix(const Matrix& adj, int dim);
+
+}  // namespace
+
+std::vector<double> SpectralSignature(const SkeletalGraph& graph, int dim) {
+  return SignatureFromMatrix(graph.TypedAdjacencyMatrix(false), dim);
+}
+
+std::vector<double> LengthWeightedSpectralSignature(const SkeletalGraph& graph,
+                                                    int dim) {
+  return SignatureFromMatrix(graph.TypedAdjacencyMatrix(true), dim);
+}
+
+namespace {
+
+std::vector<double> SignatureFromMatrix(const Matrix& adj, int dim) {
+  DESS_CHECK(dim > 0);
+  std::vector<double> sig(dim, 0.0);
+  if (adj.rows() == 0) return sig;
+  auto eig = JacobiEigenSymmetric(adj);
+  DESS_CHECK(eig.ok());
+  std::vector<double> values = eig->values;
+  std::sort(values.begin(), values.end(), [](double a, double b) {
+    return std::fabs(a) > std::fabs(b);
+  });
+  for (size_t i = 0; i < values.size() && i < static_cast<size_t>(dim); ++i) {
+    sig[i] = values[i];
+  }
+  return sig;
+}
+
+}  // namespace
+}  // namespace dess

@@ -1,0 +1,29 @@
+#ifndef DESS_GRAPH_SPECTRAL_H_
+#define DESS_GRAPH_SPECTRAL_H_
+
+#include <vector>
+
+#include "src/graph/skeletal_graph.h"
+
+namespace dess {
+
+/// Fixed dimensionality of the eigenvalue feature vector. Skeletal graphs
+/// of engineering parts are small (the paper notes this limits the
+/// descriptor's selectivity), so eight leading eigenvalues suffice.
+inline constexpr int kSpectralDim = 8;
+
+/// Eigenvalue signature of the typed adjacency matrix (Section 3.5.4):
+/// eigenvalues sorted by descending absolute value, truncated or
+/// zero-padded to `dim` entries.
+std::vector<double> SpectralSignature(const SkeletalGraph& graph,
+                                      int dim = kSpectralDim);
+
+/// Extension (the paper's future-work item): the same signature computed
+/// from the length-weighted typed adjacency matrix, so that two graphs
+/// with identical topology but differently proportioned entities separate.
+std::vector<double> LengthWeightedSpectralSignature(
+    const SkeletalGraph& graph, int dim = kSpectralDim);
+
+}  // namespace dess
+
+#endif  // DESS_GRAPH_SPECTRAL_H_

@@ -1,0 +1,347 @@
+#include "src/index/disk_rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <queue>
+
+#include "src/common/logging.h"
+#include "src/common/strings.h"
+
+namespace dess {
+namespace {
+
+// Header meta slots.
+constexpr int kMetaRoot = 0;
+constexpr int kMetaDim = 1;
+constexpr int kMetaCount = 2;
+constexpr int kMetaHeight = 3;
+
+constexpr size_t kNodeHeader = 4;  // u8 leaf, u8 pad, u16 count
+
+size_t LeafEntryBytes(int dim) { return 4 + 8 * static_cast<size_t>(dim); }
+size_t InternalEntryBytes(int dim) {
+  return 8 + 16 * static_cast<size_t>(dim);
+}
+
+void WriteNodeHeader(uint8_t* page, bool leaf, uint16_t count) {
+  page[0] = leaf ? 1 : 0;
+  page[1] = 0;
+  std::memcpy(page + 2, &count, sizeof(count));
+}
+
+void ReadNodeHeader(const uint8_t* page, bool* leaf, uint16_t* count) {
+  *leaf = page[0] != 0;
+  std::memcpy(count, page + 2, sizeof(*count));
+}
+
+// Accessors into raw page bytes.
+void WriteLeafEntry(uint8_t* page, int slot, int dim, int id,
+                    const double* coords) {
+  uint8_t* p = page + kNodeHeader + slot * LeafEntryBytes(dim);
+  const int32_t id32 = id;
+  std::memcpy(p, &id32, 4);
+  std::memcpy(p + 4, coords, 8 * static_cast<size_t>(dim));
+}
+
+void ReadLeafEntry(const uint8_t* page, int slot, int dim, int* id,
+                   double* coords) {
+  const uint8_t* p = page + kNodeHeader + slot * LeafEntryBytes(dim);
+  int32_t id32;
+  std::memcpy(&id32, p, 4);
+  *id = id32;
+  std::memcpy(coords, p + 4, 8 * static_cast<size_t>(dim));
+}
+
+void WriteInternalEntry(uint8_t* page, int slot, int dim, PageId child,
+                        const double* lo, const double* hi) {
+  uint8_t* p = page + kNodeHeader + slot * InternalEntryBytes(dim);
+  std::memcpy(p, &child, 8);
+  std::memcpy(p + 8, lo, 8 * static_cast<size_t>(dim));
+  std::memcpy(p + 8 + 8 * static_cast<size_t>(dim), hi,
+              8 * static_cast<size_t>(dim));
+}
+
+void ReadInternalEntry(const uint8_t* page, int slot, int dim, PageId* child,
+                       double* lo, double* hi) {
+  const uint8_t* p = page + kNodeHeader + slot * InternalEntryBytes(dim);
+  std::memcpy(child, p, 8);
+  std::memcpy(lo, p + 8, 8 * static_cast<size_t>(dim));
+  std::memcpy(hi, p + 8 + 8 * static_cast<size_t>(dim),
+              8 * static_cast<size_t>(dim));
+}
+
+double MinDistToRect(const std::vector<double>& q, const double* lo,
+                     const double* hi, const std::vector<double>& weights) {
+  double sum = 0.0;
+  for (size_t d = 0; d < q.size(); ++d) {
+    double diff = 0.0;
+    if (q[d] < lo[d]) {
+      diff = lo[d] - q[d];
+    } else if (q[d] > hi[d]) {
+      diff = q[d] - hi[d];
+    }
+    const double w = weights.empty() ? 1.0 : weights[d];
+    sum += w * diff * diff;
+  }
+  return std::sqrt(sum);
+}
+
+// Build-time representation of one packed node.
+struct BuiltNode {
+  PageId page;
+  std::vector<double> lo, hi;
+};
+
+// Sort-Tile-Recursive grouping: sorts [lo, hi) of `v` by key(elem, d),
+// slices into slabs, recurses on the next dimension, and emits cap-sized
+// runs at the last dimension.
+template <typename T, typename KeyFn>
+void StrTile(std::vector<T>* v, size_t lo, size_t hi, int d, int dim,
+             int cap, KeyFn key,
+             std::vector<std::pair<size_t, size_t>>* out) {
+  const size_t n = hi - lo;
+  std::sort(v->begin() + lo, v->begin() + hi,
+            [&](const T& a, const T& b) { return key(a, d) < key(b, d); });
+  if (d == dim - 1 || n <= static_cast<size_t>(cap)) {
+    for (size_t s = lo; s < hi; s += cap) {
+      out->emplace_back(s, std::min(hi, s + cap));
+    }
+    return;
+  }
+  const size_t groups = (n + cap - 1) / cap;
+  const size_t slabs = std::max<size_t>(
+      1, static_cast<size_t>(
+             std::ceil(std::pow(static_cast<double>(groups),
+                                1.0 / (dim - d)))));
+  size_t slab = ((n + slabs - 1) / slabs + cap - 1) / cap * cap;
+  if (slab == 0) slab = cap;
+  for (size_t s = lo; s < hi; s += slab) {
+    StrTile(v, s, std::min(hi, s + slab), d + 1, dim, cap, key, out);
+  }
+}
+
+}  // namespace
+
+int DiskRTree::LeafCapacity(int dim) {
+  return static_cast<int>((kPageSize - kNodeHeader) / LeafEntryBytes(dim));
+}
+
+int DiskRTree::InternalCapacity(int dim) {
+  return static_cast<int>((kPageSize - kNodeHeader) /
+                          InternalEntryBytes(dim));
+}
+
+Status DiskRTree::Build(
+    const std::string& path, int dim,
+    const std::vector<std::pair<int, std::vector<double>>>& points) {
+  if (dim <= 0 || dim > 64) {
+    return Status::InvalidArgument("disk rtree: bad dimension");
+  }
+  for (const auto& [id, p] : points) {
+    (void)id;
+    if (static_cast<int>(p.size()) != dim) {
+      return Status::InvalidArgument("disk rtree: point dim mismatch");
+    }
+  }
+  DESS_ASSIGN_OR_RETURN(std::unique_ptr<PageFile> file,
+                        PageFile::Create(path));
+
+  // --- Pack leaves with Sort-Tile-Recursive ------------------------------
+  struct Item {
+    int id;
+    const std::vector<double>* p;
+  };
+  std::vector<Item> items;
+  items.reserve(points.size());
+  for (const auto& [id, p] : points) items.push_back({id, &p});
+
+  const int leaf_cap = LeafCapacity(dim);
+  const int internal_cap = InternalCapacity(dim);
+
+  std::vector<BuiltNode> level;
+  if (!items.empty()) {
+    std::vector<std::pair<size_t, size_t>> groups;
+    StrTile(&items, 0, items.size(), 0, dim, leaf_cap,
+            [](const Item& it, int d) { return (*it.p)[d]; }, &groups);
+    uint8_t page[kPageSize];
+    for (const auto& [lo, hi] : groups) {
+      std::memset(page, 0, sizeof(page));
+      WriteNodeHeader(page, /*leaf=*/true, static_cast<uint16_t>(hi - lo));
+      BuiltNode node;
+      node.lo.assign(dim, std::numeric_limits<double>::infinity());
+      node.hi.assign(dim, -std::numeric_limits<double>::infinity());
+      for (size_t i = lo; i < hi; ++i) {
+        WriteLeafEntry(page, static_cast<int>(i - lo), dim, items[i].id,
+                       items[i].p->data());
+        for (int d = 0; d < dim; ++d) {
+          node.lo[d] = std::min(node.lo[d], (*items[i].p)[d]);
+          node.hi[d] = std::max(node.hi[d], (*items[i].p)[d]);
+        }
+      }
+      DESS_ASSIGN_OR_RETURN(node.page, file->AllocatePage());
+      DESS_RETURN_NOT_OK(file->WritePage(node.page, page));
+      level.push_back(std::move(node));
+    }
+  }
+
+  // --- Pack internal levels ----------------------------------------------
+  int height = level.empty() ? 0 : 1;
+  while (level.size() > 1) {
+    std::vector<std::pair<size_t, size_t>> groups;
+    StrTile(&level, 0, level.size(), 0, dim, internal_cap,
+            [](const BuiltNode& n, int d) {
+              return 0.5 * (n.lo[d] + n.hi[d]);
+            },
+            &groups);
+    std::vector<BuiltNode> next;
+    uint8_t page[kPageSize];
+    for (const auto& [lo, hi] : groups) {
+      std::memset(page, 0, sizeof(page));
+      WriteNodeHeader(page, /*leaf=*/false, static_cast<uint16_t>(hi - lo));
+      BuiltNode node;
+      node.lo.assign(dim, std::numeric_limits<double>::infinity());
+      node.hi.assign(dim, -std::numeric_limits<double>::infinity());
+      for (size_t i = lo; i < hi; ++i) {
+        WriteInternalEntry(page, static_cast<int>(i - lo), dim,
+                           level[i].page, level[i].lo.data(),
+                           level[i].hi.data());
+        for (int d = 0; d < dim; ++d) {
+          node.lo[d] = std::min(node.lo[d], level[i].lo[d]);
+          node.hi[d] = std::max(node.hi[d], level[i].hi[d]);
+        }
+      }
+      DESS_ASSIGN_OR_RETURN(node.page, file->AllocatePage());
+      DESS_RETURN_NOT_OK(file->WritePage(node.page, page));
+      next.push_back(std::move(node));
+    }
+    level = std::move(next);
+    ++height;
+  }
+
+  DESS_RETURN_NOT_OK(
+      file->SetMeta(kMetaRoot, level.empty() ? kInvalidPage : level[0].page));
+  DESS_RETURN_NOT_OK(file->SetMeta(kMetaDim, static_cast<uint64_t>(dim)));
+  DESS_RETURN_NOT_OK(file->SetMeta(kMetaCount, points.size()));
+  DESS_RETURN_NOT_OK(
+      file->SetMeta(kMetaHeight, static_cast<uint64_t>(height)));
+  return file->Sync();
+}
+
+Result<std::unique_ptr<DiskRTree>> DiskRTree::Open(const std::string& path,
+                                                   int buffer_pages) {
+  if (buffer_pages < 1) {
+    return Status::InvalidArgument("disk rtree: need at least 1 buffer page");
+  }
+  std::unique_ptr<DiskRTree> tree(new DiskRTree());
+  DESS_ASSIGN_OR_RETURN(tree->file_, PageFile::Open(path));
+  tree->root_ = tree->file_->GetMeta(kMetaRoot);
+  tree->dim_ = static_cast<int>(tree->file_->GetMeta(kMetaDim));
+  tree->num_points_ = tree->file_->GetMeta(kMetaCount);
+  tree->height_ = static_cast<int>(tree->file_->GetMeta(kMetaHeight));
+  if (tree->dim_ <= 0 || tree->dim_ > 64) {
+    return Status::Corruption("disk rtree: bad dimension in header");
+  }
+  if (tree->num_points_ > 0 && tree->root_ == kInvalidPage) {
+    return Status::Corruption("disk rtree: missing root");
+  }
+  tree->pool_ =
+      std::make_unique<BufferPool>(tree->file_.get(), buffer_pages);
+  return tree;
+}
+
+Result<std::vector<Neighbor>> DiskRTree::KNearest(
+    const std::vector<double>& query, size_t k,
+    const std::vector<double>& weights, QueryStats* stats) const {
+  if (static_cast<int>(query.size()) != dim_) {
+    return Status::InvalidArgument("disk rtree: query dim mismatch");
+  }
+  std::vector<Neighbor> results;
+  if (k == 0 || num_points_ == 0) return results;
+
+  struct Item {
+    double key;
+    PageId page;  // kInvalidPage for concrete points
+    int id;
+    bool operator>(const Item& o) const { return key > o.key; }
+  };
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> frontier;
+  frontier.push({0.0, root_, -1});
+  std::vector<double> coords(dim_), lo(dim_), hi(dim_);
+
+  while (!frontier.empty()) {
+    const Item item = frontier.top();
+    frontier.pop();
+    if (item.page == kInvalidPage) {
+      results.push_back({item.id, item.key});
+      if (results.size() == k) break;
+      continue;
+    }
+    if (stats != nullptr) ++stats->nodes_visited;
+    DESS_ASSIGN_OR_RETURN(PageHandle handle, pool_->Fetch(item.page));
+    bool leaf;
+    uint16_t count;
+    ReadNodeHeader(handle.data(), &leaf, &count);
+    if (leaf) {
+      for (int s = 0; s < count; ++s) {
+        int id;
+        ReadLeafEntry(handle.data(), s, dim_, &id, coords.data());
+        if (stats != nullptr) ++stats->points_compared;
+        frontier.push(
+            {WeightedEuclidean(query, coords, weights), kInvalidPage, id});
+      }
+    } else {
+      for (int s = 0; s < count; ++s) {
+        PageId child;
+        ReadInternalEntry(handle.data(), s, dim_, &child, lo.data(),
+                          hi.data());
+        frontier.push({MinDistToRect(query, lo.data(), hi.data(), weights),
+                       child, -1});
+      }
+    }
+  }
+  return results;
+}
+
+Result<std::vector<Neighbor>> DiskRTree::RangeQuery(
+    const std::vector<double>& query, double radius,
+    const std::vector<double>& weights, QueryStats* stats) const {
+  if (static_cast<int>(query.size()) != dim_) {
+    return Status::InvalidArgument("disk rtree: query dim mismatch");
+  }
+  std::vector<Neighbor> out;
+  if (num_points_ == 0) return out;
+  std::vector<PageId> stack{root_};
+  std::vector<double> coords(dim_), lo(dim_), hi(dim_);
+  while (!stack.empty()) {
+    const PageId page = stack.back();
+    stack.pop_back();
+    if (stats != nullptr) ++stats->nodes_visited;
+    DESS_ASSIGN_OR_RETURN(PageHandle handle, pool_->Fetch(page));
+    bool leaf;
+    uint16_t count;
+    ReadNodeHeader(handle.data(), &leaf, &count);
+    if (leaf) {
+      for (int s = 0; s < count; ++s) {
+        int id;
+        ReadLeafEntry(handle.data(), s, dim_, &id, coords.data());
+        if (stats != nullptr) ++stats->points_compared;
+        const double d = WeightedEuclidean(query, coords, weights);
+        if (d <= radius) out.push_back({id, d});
+      }
+    } else {
+      for (int s = 0; s < count; ++s) {
+        PageId child;
+        ReadInternalEntry(handle.data(), s, dim_, &child, lo.data(),
+                          hi.data());
+        if (MinDistToRect(query, lo.data(), hi.data(), weights) <= radius) {
+          stack.push_back(child);
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace dess

@@ -1,0 +1,74 @@
+#ifndef DESS_INDEX_DISK_RTREE_H_
+#define DESS_INDEX_DISK_RTREE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/index/multidim_index.h"
+#include "src/storage/buffer_pool.h"
+#include "src/storage/page_file.h"
+
+namespace dess {
+
+/// Disk-resident, page-structured R-tree over a PageFile, queried through
+/// a BufferPool — the prototype of the paper's future-work plan to "extend
+/// a COTS database with multidimensional indexing". The tree is built
+/// statically with Sort-Tile-Recursive packing (the standard approach for
+/// read-mostly feature databases) and answers the same k-NN / range
+/// queries as the in-memory RTreeIndex; updates are performed by rebuild.
+///
+/// Node page layout (4 KiB): [u8 is_leaf][u8 pad][u16 count][entries...]
+/// where a leaf entry is {i32 id, dim x f64 coords} and an internal entry
+/// is {u64 child_page, dim x f64 lo, dim x f64 hi}.
+class DiskRTree {
+ public:
+  /// Builds the index file at `path` (overwritten) from `points`.
+  static Status Build(const std::string& path, int dim,
+                      const std::vector<std::pair<int, std::vector<double>>>&
+                          points);
+
+  /// Opens an index built by Build, with a `buffer_pages`-frame cache.
+  static Result<std::unique_ptr<DiskRTree>> Open(const std::string& path,
+                                                 int buffer_pages = 64);
+
+  int dim() const { return dim_; }
+  size_t size() const { return num_points_; }
+  int height() const { return height_; }
+
+  /// Physical-read statistics from the underlying buffer pool.
+  uint64_t CacheHits() const { return pool_->hits(); }
+  uint64_t CacheMisses() const { return pool_->misses(); }
+
+  /// k nearest neighbors under the weighted Euclidean metric; `stats`
+  /// counts logical page fetches (nodes_visited) and exact distance
+  /// computations (points_compared).
+  Result<std::vector<Neighbor>> KNearest(
+      const std::vector<double>& query, size_t k,
+      const std::vector<double>& weights = {},
+      QueryStats* stats = nullptr) const;
+
+  /// All points within `radius` of `query`, ascending by distance.
+  Result<std::vector<Neighbor>> RangeQuery(
+      const std::vector<double>& query, double radius,
+      const std::vector<double>& weights = {},
+      QueryStats* stats = nullptr) const;
+
+  /// Leaf/internal fan-outs for this dimensionality (page-size derived).
+  static int LeafCapacity(int dim);
+  static int InternalCapacity(int dim);
+
+ private:
+  DiskRTree() = default;
+
+  std::unique_ptr<PageFile> file_;
+  std::unique_ptr<BufferPool> pool_;
+  int dim_ = 0;
+  size_t num_points_ = 0;
+  int height_ = 0;
+  PageId root_ = kInvalidPage;
+};
+
+}  // namespace dess
+
+#endif  // DESS_INDEX_DISK_RTREE_H_

@@ -1,0 +1,77 @@
+#include "src/index/linear_scan.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/strings.h"
+
+namespace dess {
+
+double WeightedEuclidean(const std::vector<double>& q,
+                         const std::vector<double>& x,
+                         const std::vector<double>& weights) {
+  double sum = 0.0;
+  for (size_t i = 0; i < q.size(); ++i) {
+    const double w = weights.empty() ? 1.0 : weights[i];
+    const double d = q[i] - x[i];
+    sum += w * d * d;
+  }
+  return std::sqrt(sum);
+}
+
+LinearScanIndex::LinearScanIndex(int dim) : dim_(dim) {}
+
+Status LinearScanIndex::Insert(int id, const std::vector<double>& point) {
+  if (static_cast<int>(point.size()) != dim_) {
+    return Status::InvalidArgument(
+        StrFormat("linear scan: expected dim %d, got %zu", dim_,
+                  point.size()));
+  }
+  points_.push_back({id, point});
+  return Status::OK();
+}
+
+Status LinearScanIndex::Remove(int id, const std::vector<double>& point) {
+  for (size_t i = 0; i < points_.size(); ++i) {
+    if (points_[i].id == id && points_[i].point == point) {
+      points_.erase(points_.begin() + i);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound(StrFormat("linear scan: id %d not present", id));
+}
+
+std::vector<Neighbor> LinearScanIndex::KNearest(
+    const std::vector<double>& query, size_t k,
+    const std::vector<double>& weights, QueryStats* stats) const {
+  std::vector<Neighbor> all;
+  all.reserve(points_.size());
+  for (const Entry& e : points_) {
+    all.push_back({e.id, WeightedEuclidean(query, e.point, weights)});
+  }
+  if (stats != nullptr) {
+    stats->nodes_visited += 1;  // the whole file, one sequential pass
+    stats->points_compared += points_.size();
+  }
+  std::sort(all.begin(), all.end());
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+std::vector<Neighbor> LinearScanIndex::RangeQuery(
+    const std::vector<double>& query, double radius,
+    const std::vector<double>& weights, QueryStats* stats) const {
+  std::vector<Neighbor> out;
+  for (const Entry& e : points_) {
+    const double d = WeightedEuclidean(query, e.point, weights);
+    if (d <= radius) out.push_back({e.id, d});
+  }
+  if (stats != nullptr) {
+    stats->nodes_visited += 1;
+    stats->points_compared += points_.size();
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace dess

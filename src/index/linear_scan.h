@@ -1,0 +1,42 @@
+#ifndef DESS_INDEX_LINEAR_SCAN_H_
+#define DESS_INDEX_LINEAR_SCAN_H_
+
+#include <vector>
+
+#include "src/index/multidim_index.h"
+
+namespace dess {
+
+/// Brute-force sequential scan: the baseline the R-tree is compared
+/// against. Every query touches every point.
+class LinearScanIndex final : public MultiDimIndex {
+ public:
+  explicit LinearScanIndex(int dim);
+
+  int dim() const override { return dim_; }
+  size_t size() const override { return points_.size(); }
+
+  Status Insert(int id, const std::vector<double>& point) override;
+  Status Remove(int id, const std::vector<double>& point) override;
+
+  std::vector<Neighbor> KNearest(const std::vector<double>& query, size_t k,
+                                 const std::vector<double>& weights = {},
+                                 QueryStats* stats = nullptr) const override;
+
+  std::vector<Neighbor> RangeQuery(const std::vector<double>& query,
+                                   double radius,
+                                   const std::vector<double>& weights = {},
+                                   QueryStats* stats = nullptr) const override;
+
+ private:
+  struct Entry {
+    int id;
+    std::vector<double> point;
+  };
+  int dim_;
+  std::vector<Entry> points_;
+};
+
+}  // namespace dess
+
+#endif  // DESS_INDEX_LINEAR_SCAN_H_

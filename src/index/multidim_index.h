@@ -1,0 +1,74 @@
+#ifndef DESS_INDEX_MULTIDIM_INDEX_H_
+#define DESS_INDEX_MULTIDIM_INDEX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace dess {
+
+/// One answer of a proximity query.
+struct Neighbor {
+  int id = -1;
+  double distance = 0.0;
+
+  bool operator<(const Neighbor& o) const {
+    if (distance != o.distance) return distance < o.distance;
+    return id < o.id;
+  }
+};
+
+/// Work counters reported by index queries, used by the efficiency
+/// benchmarks (Section 2.3: the R-tree should prune most of the database).
+struct QueryStats {
+  size_t nodes_visited = 0;     // index nodes touched (1 per scan "page")
+  size_t points_compared = 0;   // exact distance evaluations
+};
+
+/// Abstract multidimensional point index over weighted Euclidean space.
+/// Implementations: RTreeIndex (Section 2.3) and LinearScanIndex (the
+/// brute-force baseline).
+class MultiDimIndex {
+ public:
+  virtual ~MultiDimIndex() = default;
+
+  /// Dimensionality of indexed points.
+  virtual int dim() const = 0;
+
+  /// Number of indexed points.
+  virtual size_t size() const = 0;
+
+  /// Inserts a point with caller-provided id (ids need not be unique, but
+  /// queries report them as-is). Returns InvalidArgument on a dimension
+  /// mismatch.
+  virtual Status Insert(int id, const std::vector<double>& point) = 0;
+
+  /// Removes one point previously inserted with exactly this id and
+  /// coordinates. Returns NotFound if absent.
+  virtual Status Remove(int id, const std::vector<double>& point) = 0;
+
+  /// The `k` nearest points to `query` under the weighted Euclidean
+  /// distance of Eq. 4.3, ascending by distance. `weights` may be empty
+  /// (all ones) or have one entry per dimension.
+  virtual std::vector<Neighbor> KNearest(
+      const std::vector<double>& query, size_t k,
+      const std::vector<double>& weights = {},
+      QueryStats* stats = nullptr) const = 0;
+
+  /// All points within weighted distance `radius` of `query`, ascending.
+  virtual std::vector<Neighbor> RangeQuery(
+      const std::vector<double>& query, double radius,
+      const std::vector<double>& weights = {},
+      QueryStats* stats = nullptr) const = 0;
+};
+
+/// Weighted Euclidean distance d = sqrt(sum_i w_i (q_i - x_i)^2); empty
+/// weights mean all ones (Eq. 4.3).
+double WeightedEuclidean(const std::vector<double>& q,
+                         const std::vector<double>& x,
+                         const std::vector<double>& weights);
+
+}  // namespace dess
+
+#endif  // DESS_INDEX_MULTIDIM_INDEX_H_

@@ -1,0 +1,659 @@
+#include "src/index/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "src/common/logging.h"
+#include "src/common/strings.h"
+
+namespace dess {
+namespace {
+
+/// Axis-aligned hyper-rectangle; points are stored with lo == hi.
+struct Rect {
+  std::vector<double> lo, hi;
+
+  static Rect Point(const std::vector<double>& p) { return {p, p}; }
+
+  void ExpandToInclude(const Rect& o) {
+    for (size_t d = 0; d < lo.size(); ++d) {
+      lo[d] = std::min(lo[d], o.lo[d]);
+      hi[d] = std::max(hi[d], o.hi[d]);
+    }
+  }
+
+  bool Contains(const Rect& o) const {
+    for (size_t d = 0; d < lo.size(); ++d) {
+      if (o.lo[d] < lo[d] || o.hi[d] > hi[d]) return false;
+    }
+    return true;
+  }
+
+  double Volume() const {
+    double v = 1.0;
+    for (size_t d = 0; d < lo.size(); ++d) v *= hi[d] - lo[d];
+    return v;
+  }
+
+  /// Sum of extents; discriminates when volumes are degenerate (points).
+  double Margin() const {
+    double m = 0.0;
+    for (size_t d = 0; d < lo.size(); ++d) m += hi[d] - lo[d];
+    return m;
+  }
+
+  double Center(size_t d) const { return 0.5 * (lo[d] + hi[d]); }
+};
+
+Rect Union(const Rect& a, const Rect& b) {
+  Rect u = a;
+  u.ExpandToInclude(b);
+  return u;
+}
+
+/// Weighted MINDIST between a query point and a rectangle (Roussopoulos et
+/// al.): zero if the point lies inside in every dimension.
+double MinDist(const std::vector<double>& q, const Rect& r,
+               const std::vector<double>& weights) {
+  double sum = 0.0;
+  for (size_t d = 0; d < q.size(); ++d) {
+    double diff = 0.0;
+    if (q[d] < r.lo[d]) {
+      diff = r.lo[d] - q[d];
+    } else if (q[d] > r.hi[d]) {
+      diff = q[d] - r.hi[d];
+    }
+    const double w = weights.empty() ? 1.0 : weights[d];
+    sum += w * diff * diff;
+  }
+  return std::sqrt(sum);
+}
+
+// Cost of growing `base` to include `extra`: volume enlargement with a
+// margin tie-breaker (volumes of point rects are all zero).
+double Enlargement(const Rect& base, const Rect& extra) {
+  const Rect u = Union(base, extra);
+  const double dv = u.Volume() - base.Volume();
+  if (dv > 0.0) return dv;
+  return 1e-12 * (u.Margin() - base.Margin());
+}
+
+}  // namespace
+
+struct RTreeIndex::Node {
+  bool leaf = true;
+  std::vector<Rect> rects;                    // one per entry
+  std::vector<std::unique_ptr<Node>> children;  // internal nodes
+  std::vector<int> ids;                       // leaf nodes
+
+  size_t Count() const { return rects.size(); }
+
+  Rect Bounds() const {
+    DESS_CHECK(!rects.empty());
+    Rect b = rects[0];
+    for (size_t i = 1; i < rects.size(); ++i) b.ExpandToInclude(rects[i]);
+    return b;
+  }
+};
+
+struct RTreeIndex::Impl {
+  RTreeOptions options;
+  std::unique_ptr<Node> root;
+
+  // --- Split -------------------------------------------------------------
+
+  // Quadratic split (Guttman): moves roughly half the entries of `node`
+  // into a fresh sibling, returned to the caller.
+  std::unique_ptr<Node> SplitNode(Node* node) {
+    const int total = static_cast<int>(node->Count());
+    const int min_fill = options.min_entries;
+
+    // Pick the two seeds with the largest dead space when paired.
+    int seed_a = 0, seed_b = 1;
+    double worst = -std::numeric_limits<double>::infinity();
+    for (int i = 0; i < total; ++i) {
+      for (int j = i + 1; j < total; ++j) {
+        const Rect u = Union(node->rects[i], node->rects[j]);
+        double dead = u.Volume() - node->rects[i].Volume() -
+                      node->rects[j].Volume();
+        dead += 1e-12 * u.Margin();  // tie-break degenerate volumes
+        if (dead > worst) {
+          worst = dead;
+          seed_a = i;
+          seed_b = j;
+        }
+      }
+    }
+
+    auto sibling = std::make_unique<Node>();
+    sibling->leaf = node->leaf;
+
+    // Move entries out of `node` into temporary storage.
+    std::vector<Rect> rects = std::move(node->rects);
+    std::vector<std::unique_ptr<Node>> children = std::move(node->children);
+    std::vector<int> ids = std::move(node->ids);
+    node->rects.clear();
+    node->children.clear();
+    node->ids.clear();
+
+    auto assign = [&](Node* dst, int idx) {
+      dst->rects.push_back(std::move(rects[idx]));
+      if (dst->leaf) {
+        dst->ids.push_back(ids[idx]);
+      } else {
+        dst->children.push_back(std::move(children[idx]));
+      }
+    };
+
+    std::vector<bool> taken(total, false);
+    assign(node, seed_a);
+    assign(sibling.get(), seed_b);
+    taken[seed_a] = taken[seed_b] = true;
+    Rect bounds_a = node->rects[0];
+    Rect bounds_b = sibling->rects[0];
+    int remaining = total - 2;
+
+    while (remaining > 0) {
+      // If one group must absorb everything left to reach min_entries.
+      const int need_a = min_fill - static_cast<int>(node->Count());
+      const int need_b = min_fill - static_cast<int>(sibling->Count());
+      if (need_a >= remaining || need_b >= remaining) {
+        Node* dst = need_a >= remaining ? node : sibling.get();
+        Rect* bounds = need_a >= remaining ? &bounds_a : &bounds_b;
+        for (int i = 0; i < total; ++i) {
+          if (!taken[i]) {
+            bounds->ExpandToInclude(rects[i]);
+            assign(dst, i);
+            taken[i] = true;
+          }
+        }
+        remaining = 0;
+        break;
+      }
+      // Pick the entry with the strongest preference (max |d_a - d_b|).
+      int best = -1;
+      double best_pref = -1.0;
+      double best_da = 0.0, best_db = 0.0;
+      for (int i = 0; i < total; ++i) {
+        if (taken[i]) continue;
+        const double da = Enlargement(bounds_a, rects[i]);
+        const double db = Enlargement(bounds_b, rects[i]);
+        const double pref = std::fabs(da - db);
+        if (pref > best_pref) {
+          best_pref = pref;
+          best = i;
+          best_da = da;
+          best_db = db;
+        }
+      }
+      DESS_CHECK(best >= 0);
+      const bool to_a =
+          best_da < best_db ||
+          (best_da == best_db && node->Count() <= sibling->Count());
+      if (to_a) {
+        bounds_a.ExpandToInclude(rects[best]);
+        assign(node, best);
+      } else {
+        bounds_b.ExpandToInclude(rects[best]);
+        assign(sibling.get(), best);
+      }
+      taken[best] = true;
+      --remaining;
+    }
+    return sibling;
+  }
+
+  // --- Insert ------------------------------------------------------------
+
+  // Inserts (rect, id) into the subtree under `node`; returns a new sibling
+  // if `node` split.
+  std::unique_ptr<Node> InsertRec(Node* node, const Rect& rect, int id) {
+    if (node->leaf) {
+      node->rects.push_back(rect);
+      node->ids.push_back(id);
+    } else {
+      // ChooseSubtree: least enlargement, then smallest volume/margin.
+      int best = 0;
+      double best_enl = std::numeric_limits<double>::infinity();
+      double best_size = std::numeric_limits<double>::infinity();
+      for (size_t i = 0; i < node->Count(); ++i) {
+        const double enl = Enlargement(node->rects[i], rect);
+        const double size =
+            node->rects[i].Volume() + 1e-12 * node->rects[i].Margin();
+        if (enl < best_enl || (enl == best_enl && size < best_size)) {
+          best_enl = enl;
+          best_size = size;
+          best = static_cast<int>(i);
+        }
+      }
+      std::unique_ptr<Node> split =
+          InsertRec(node->children[best].get(), rect, id);
+      node->rects[best] = node->children[best]->Bounds();
+      if (split) {
+        node->rects.push_back(split->Bounds());
+        node->children.push_back(std::move(split));
+      }
+    }
+    if (static_cast<int>(node->Count()) > options.max_entries) {
+      return SplitNode(node);
+    }
+    return nullptr;
+  }
+
+  void InsertEntry(const Rect& rect, int id) {
+    std::unique_ptr<Node> split = InsertRec(root.get(), rect, id);
+    if (split) {
+      auto new_root = std::make_unique<Node>();
+      new_root->leaf = false;
+      new_root->rects.push_back(root->Bounds());
+      new_root->rects.push_back(split->Bounds());
+      new_root->children.push_back(std::move(root));
+      new_root->children.push_back(std::move(split));
+      root = std::move(new_root);
+    }
+  }
+
+  // --- Remove ------------------------------------------------------------
+
+  void CollectLeafEntries(Node* node, std::vector<std::pair<Rect, int>>* out) {
+    if (node->leaf) {
+      for (size_t i = 0; i < node->Count(); ++i) {
+        out->emplace_back(node->rects[i], node->ids[i]);
+      }
+      return;
+    }
+    for (auto& child : node->children) CollectLeafEntries(child.get(), out);
+  }
+
+  // Returns true if the entry was found and removed somewhere below `node`.
+  // Underfull descendants are dissolved into `orphans`.
+  bool RemoveRec(Node* node, const Rect& rect, int id,
+                 std::vector<std::pair<Rect, int>>* orphans) {
+    if (node->leaf) {
+      for (size_t i = 0; i < node->Count(); ++i) {
+        if (node->ids[i] == id && node->rects[i].lo == rect.lo &&
+            node->rects[i].hi == rect.hi) {
+          node->rects.erase(node->rects.begin() + i);
+          node->ids.erase(node->ids.begin() + i);
+          return true;
+        }
+      }
+      return false;
+    }
+    for (size_t i = 0; i < node->Count(); ++i) {
+      if (!node->rects[i].Contains(rect)) continue;
+      if (!RemoveRec(node->children[i].get(), rect, id, orphans)) continue;
+      Node* child = node->children[i].get();
+      if (static_cast<int>(child->Count()) < options.min_entries) {
+        CollectLeafEntries(child, orphans);
+        node->rects.erase(node->rects.begin() + i);
+        node->children.erase(node->children.begin() + i);
+      } else {
+        node->rects[i] = child->Bounds();
+      }
+      return true;
+    }
+    return false;
+  }
+
+  // --- Validation ----------------------------------------------------------
+
+  Status Check(const Node* node, int depth, int leaf_depth,
+               bool is_root) const {
+    if (node->leaf) {
+      if (leaf_depth >= 0 && depth != leaf_depth) {
+        return Status::Internal("rtree: leaves at different depths");
+      }
+    }
+    const int count = static_cast<int>(node->Count());
+    if (count > options.max_entries) {
+      return Status::Internal("rtree: node over capacity");
+    }
+    if (!is_root && count < options.min_entries) {
+      return Status::Internal("rtree: node under min occupancy");
+    }
+    if (!node->leaf) {
+      if (node->children.size() != node->rects.size()) {
+        return Status::Internal("rtree: children/rects size mismatch");
+      }
+      for (size_t i = 0; i < node->Count(); ++i) {
+        const Rect actual = node->children[i]->Bounds();
+        if (actual.lo != node->rects[i].lo || actual.hi != node->rects[i].hi) {
+          return Status::Internal("rtree: stale bounding rectangle");
+        }
+        DESS_RETURN_NOT_OK(
+            Check(node->children[i].get(), depth + 1, leaf_depth, false));
+      }
+    } else if (node->ids.size() != node->rects.size()) {
+      return Status::Internal("rtree: ids/rects size mismatch");
+    }
+    return Status::OK();
+  }
+
+  int LeafDepth() const {
+    int d = 0;
+    const Node* n = root.get();
+    while (!n->leaf) {
+      n = n->children[0].get();
+      ++d;
+    }
+    return d;
+  }
+
+  size_t CountNodes(const Node* node) const {
+    size_t n = 1;
+    if (!node->leaf) {
+      for (const auto& c : node->children) n += CountNodes(c.get());
+    }
+    return n;
+  }
+};
+
+RTreeIndex::RTreeIndex(int dim, const RTreeOptions& options)
+    : impl_(new Impl), dim_(dim) {
+  DESS_CHECK(dim > 0);
+  DESS_CHECK(options.min_entries >= 1);
+  DESS_CHECK(options.min_entries * 2 <= options.max_entries);
+  impl_->options = options;
+  impl_->root = std::make_unique<Node>();
+}
+
+RTreeIndex::~RTreeIndex() = default;
+
+int RTreeIndex::Height() const { return impl_->LeafDepth() + 1; }
+
+size_t RTreeIndex::NodeCount() const {
+  return impl_->CountNodes(impl_->root.get());
+}
+
+Status RTreeIndex::Insert(int id, const std::vector<double>& point) {
+  if (static_cast<int>(point.size()) != dim_) {
+    return Status::InvalidArgument(
+        StrFormat("rtree: expected dim %d, got %zu", dim_, point.size()));
+  }
+  impl_->InsertEntry(Rect::Point(point), id);
+  ++size_;
+  return Status::OK();
+}
+
+Status RTreeIndex::Remove(int id, const std::vector<double>& point) {
+  if (static_cast<int>(point.size()) != dim_) {
+    return Status::InvalidArgument(
+        StrFormat("rtree: expected dim %d, got %zu", dim_, point.size()));
+  }
+  std::vector<std::pair<Rect, int>> orphans;
+  if (!impl_->RemoveRec(impl_->root.get(), Rect::Point(point), id,
+                        &orphans)) {
+    return Status::NotFound(StrFormat("rtree: id %d not present", id));
+  }
+  --size_;
+  // Shrink a root that lost all but one child.
+  while (!impl_->root->leaf && impl_->root->Count() == 1) {
+    impl_->root = std::move(impl_->root->children[0]);
+  }
+  if (!impl_->root->leaf && impl_->root->Count() == 0) {
+    impl_->root = std::make_unique<Node>();
+  }
+  for (auto& [rect, orphan_id] : orphans) {
+    impl_->InsertEntry(rect, orphan_id);
+  }
+  return Status::OK();
+}
+
+std::vector<Neighbor> RTreeIndex::KNearest(const std::vector<double>& query,
+                                           size_t k,
+                                           const std::vector<double>& weights,
+                                           QueryStats* stats) const {
+  std::vector<Neighbor> results;
+  if (k == 0 || size_ == 0) return results;
+
+  // Best-first search: the frontier holds nodes (keyed by MINDIST) and
+  // concrete points (keyed by exact distance). When a point reaches the
+  // front of the queue it is guaranteed final.
+  struct Item {
+    double key;
+    const Node* node;  // nullptr for a point item
+    int id;
+    bool operator>(const Item& o) const { return key > o.key; }
+  };
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> frontier;
+  frontier.push({0.0, impl_->root.get(), -1});
+
+  while (!frontier.empty()) {
+    const Item item = frontier.top();
+    frontier.pop();
+    if (item.node == nullptr) {
+      results.push_back({item.id, item.key});
+      if (results.size() == k) break;
+      continue;
+    }
+    if (stats != nullptr) ++stats->nodes_visited;
+    const Node* node = item.node;
+    if (node->leaf) {
+      for (size_t i = 0; i < node->Count(); ++i) {
+        const double d = WeightedEuclidean(query, node->rects[i].lo, weights);
+        if (stats != nullptr) ++stats->points_compared;
+        frontier.push({d, nullptr, node->ids[i]});
+      }
+    } else {
+      for (size_t i = 0; i < node->Count(); ++i) {
+        frontier.push({MinDist(query, node->rects[i], weights),
+                       node->children[i].get(), -1});
+      }
+    }
+  }
+  return results;
+}
+
+std::vector<Neighbor> RTreeIndex::RangeQuery(const std::vector<double>& query,
+                                             double radius,
+                                             const std::vector<double>& weights,
+                                             QueryStats* stats) const {
+  std::vector<Neighbor> out;
+  std::vector<const Node*> stack{impl_->root.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    if (stats != nullptr) ++stats->nodes_visited;
+    if (node->leaf) {
+      for (size_t i = 0; i < node->Count(); ++i) {
+        const double d = WeightedEuclidean(query, node->rects[i].lo, weights);
+        if (stats != nullptr) ++stats->points_compared;
+        if (d <= radius) out.push_back({node->ids[i], d});
+      }
+    } else {
+      for (size_t i = 0; i < node->Count(); ++i) {
+        if (MinDist(query, node->rects[i], weights) <= radius) {
+          stack.push_back(node->children[i].get());
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Status RTreeIndex::BulkLoad(
+    const std::vector<std::pair<int, std::vector<double>>>& points) {
+  for (const auto& [id, p] : points) {
+    (void)id;
+    if (static_cast<int>(p.size()) != dim_) {
+      return Status::InvalidArgument("rtree bulk load: dimension mismatch");
+    }
+  }
+  impl_->root = std::make_unique<Node>();
+  size_ = 0;
+  if (points.empty()) return Status::OK();
+
+  const int cap = impl_->options.max_entries;
+
+  // Sort-Tile-Recursive leaf packing.
+  struct Pending {
+    Rect rect;
+    std::unique_ptr<Node> node;  // null at leaf-entry level
+    int id;
+  };
+  std::vector<Pending> items;
+  items.reserve(points.size());
+  for (const auto& [id, p] : points) {
+    items.push_back({Rect::Point(p), nullptr, id});
+  }
+
+  bool leaf_level = true;
+  while (items.size() > static_cast<size_t>(cap) || leaf_level) {
+    // Recursive tiling over dimensions. Chunk boundaries borrow from the
+    // previous chunk so no trailing chunk falls below `min_fill` (keeping
+    // the min-occupancy invariant that Insert-built trees have).
+    struct Tiler {
+      int dim_total, cap, min_fill;
+
+      void Chunk(size_t lo, size_t hi, size_t chunk,
+                 std::vector<std::pair<size_t, size_t>>* out) const {
+        size_t s = lo;
+        while (s < hi) {
+          size_t e = std::min(hi, s + chunk);
+          const size_t left_over = hi - e;
+          if (left_over > 0 && left_over < static_cast<size_t>(min_fill) &&
+              hi - static_cast<size_t>(min_fill) > s) {
+            e = hi - static_cast<size_t>(min_fill);
+          }
+          out->emplace_back(s, e);
+          s = e;
+        }
+      }
+
+      void Tile(std::vector<Pending>* v, size_t lo, size_t hi, int d,
+                std::vector<std::pair<size_t, size_t>>* groups) const {
+        const size_t n = hi - lo;
+        std::sort(v->begin() + lo, v->begin() + hi,
+                  [d](const Pending& a, const Pending& b) {
+                    return a.rect.Center(d) < b.rect.Center(d);
+                  });
+        if (d == dim_total - 1 || n <= static_cast<size_t>(cap)) {
+          Chunk(lo, hi, cap, groups);
+          return;
+        }
+        const size_t num_groups = (n + cap - 1) / cap;
+        const double per_dim =
+            std::pow(static_cast<double>(num_groups),
+                     1.0 / static_cast<double>(dim_total - d));
+        const size_t slabs =
+            std::max<size_t>(1, static_cast<size_t>(std::ceil(per_dim)));
+        size_t slab_size = (n + slabs - 1) / slabs;
+        // Round slabs up to whole groups so only the final slab is ragged.
+        slab_size = ((slab_size + cap - 1) / cap) * cap;
+        std::vector<std::pair<size_t, size_t>> slab_ranges;
+        Chunk(lo, hi, slab_size, &slab_ranges);
+        for (const auto& [s, e] : slab_ranges) {
+          Tile(v, s, e, d + 1, groups);
+        }
+      }
+    };
+    std::vector<std::pair<size_t, size_t>> groups;
+    Tiler{dim_, cap, impl_->options.min_entries}
+        .Tile(&items, 0, items.size(), 0, &groups);
+
+    std::vector<Pending> next;
+    next.reserve(groups.size());
+    for (const auto& [lo, hi] : groups) {
+      auto node = std::make_unique<Node>();
+      node->leaf = leaf_level;
+      Rect bounds = items[lo].rect;
+      for (size_t i = lo; i < hi; ++i) {
+        bounds.ExpandToInclude(items[i].rect);
+        node->rects.push_back(items[i].rect);
+        if (leaf_level) {
+          node->ids.push_back(items[i].id);
+        } else {
+          node->children.push_back(std::move(items[i].node));
+        }
+      }
+      next.push_back({bounds, std::move(node), -1});
+    }
+    items = std::move(next);
+    leaf_level = false;
+    if (items.size() == 1) break;
+  }
+
+  if (items.size() == 1) {
+    impl_->root = std::move(items[0].node);
+  } else {
+    auto new_root = std::make_unique<Node>();
+    new_root->leaf = false;
+    for (auto& it : items) {
+      new_root->rects.push_back(it.rect);
+      new_root->children.push_back(std::move(it.node));
+    }
+    impl_->root = std::move(new_root);
+  }
+  size_ = points.size();
+  return Status::OK();
+}
+
+struct RTreeIndex::NearestIterator::State {
+  struct Item {
+    double key;
+    const Node* node;  // nullptr for a concrete point
+    int id;
+    bool operator>(const Item& o) const { return key > o.key; }
+  };
+  std::vector<double> query;
+  std::vector<double> weights;
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> frontier;
+
+  // Expands nodes until the frontier's head is a point (or empty).
+  void SettleHead() {
+    while (!frontier.empty() && frontier.top().node != nullptr) {
+      const Node* node = frontier.top().node;
+      frontier.pop();
+      if (node->leaf) {
+        for (size_t i = 0; i < node->Count(); ++i) {
+          frontier.push({WeightedEuclidean(query, node->rects[i].lo, weights),
+                         nullptr, node->ids[i]});
+        }
+      } else {
+        for (size_t i = 0; i < node->Count(); ++i) {
+          frontier.push({MinDist(query, node->rects[i], weights),
+                         node->children[i].get(), -1});
+        }
+      }
+    }
+  }
+};
+
+RTreeIndex::NearestIterator::NearestIterator(std::shared_ptr<State> state)
+    : state_(std::move(state)) {}
+
+bool RTreeIndex::NearestIterator::HasNext() const {
+  return !state_->frontier.empty();
+}
+
+Neighbor RTreeIndex::NearestIterator::Next() {
+  DESS_CHECK(HasNext());
+  const auto item = state_->frontier.top();
+  state_->frontier.pop();
+  state_->SettleHead();
+  return {item.id, item.key};
+}
+
+RTreeIndex::NearestIterator RTreeIndex::BrowseNearest(
+    const std::vector<double>& query,
+    const std::vector<double>& weights) const {
+  auto state = std::make_shared<NearestIterator::State>();
+  state->query = query;
+  state->weights = weights;
+  if (size_ > 0) {
+    state->frontier.push({0.0, impl_->root.get(), -1});
+  }
+  state->SettleHead();
+  return NearestIterator(std::move(state));
+}
+
+Status RTreeIndex::CheckInvariants() const {
+  if (impl_->root->leaf && impl_->root->Count() == 0) return Status::OK();
+  return impl_->Check(impl_->root.get(), 0, impl_->LeafDepth(), true);
+}
+
+}  // namespace dess

@@ -1,0 +1,125 @@
+#include "src/index/single_attribute.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+#include "src/common/logging.h"
+#include "src/common/strings.h"
+
+namespace dess {
+
+SingleAttributeIndex::SingleAttributeIndex(int dim, int sort_dim)
+    : dim_(dim), sort_dim_(sort_dim) {
+  DESS_CHECK(dim > 0 && sort_dim >= 0 && sort_dim < dim);
+}
+
+Status SingleAttributeIndex::Insert(int id, const std::vector<double>& point) {
+  if (static_cast<int>(point.size()) != dim_) {
+    return Status::InvalidArgument(
+        StrFormat("single-attr: expected dim %d, got %zu", dim_,
+                  point.size()));
+  }
+  Entry e{point[sort_dim_], id, point};
+  entries_.insert(std::upper_bound(entries_.begin(), entries_.end(), e),
+                  std::move(e));
+  return Status::OK();
+}
+
+Status SingleAttributeIndex::Remove(int id, const std::vector<double>& point) {
+  if (static_cast<int>(point.size()) != dim_) {
+    return Status::InvalidArgument("single-attr: dimension mismatch");
+  }
+  const double key = point[sort_dim_];
+  auto lo = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const Entry& e, double k) { return e.key < k; });
+  for (auto it = lo; it != entries_.end() && it->key == key; ++it) {
+    if (it->id == id && it->point == point) {
+      entries_.erase(it);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound(StrFormat("single-attr: id %d not present", id));
+}
+
+std::vector<Neighbor> SingleAttributeIndex::KNearest(
+    const std::vector<double>& query, size_t k,
+    const std::vector<double>& weights, QueryStats* stats) const {
+  std::vector<Neighbor> best;
+  if (k == 0 || entries_.empty()) return best;
+
+  const double qkey = query[sort_dim_];
+  const double wkey = weights.empty() ? 1.0 : weights[sort_dim_];
+  // Start at the query's rank; expand left/right alternately.
+  auto right_it = std::lower_bound(
+      entries_.begin(), entries_.end(), qkey,
+      [](const Entry& e, double key) { return e.key < key; });
+  ptrdiff_t left = right_it - entries_.begin() - 1;
+  ptrdiff_t right = right_it - entries_.begin();
+
+  auto worst = [&]() {
+    return best.size() < k ? std::numeric_limits<double>::infinity()
+                           : best.back().distance;
+  };
+  auto consider = [&](ptrdiff_t i) {
+    const Entry& e = entries_[i];
+    if (stats != nullptr) ++stats->points_compared;
+    const double d = WeightedEuclidean(query, e.point, weights);
+    if (d < worst() ||
+        (best.size() < k)) {
+      best.push_back({e.id, d});
+      std::sort(best.begin(), best.end());
+      if (best.size() > k) best.resize(k);
+    }
+  };
+
+  if (stats != nullptr) ++stats->nodes_visited;
+  const ptrdiff_t n = static_cast<ptrdiff_t>(entries_.size());
+  for (;;) {
+    // One-dimensional lower bounds for the next candidates on each side.
+    const double left_bound =
+        left >= 0 ? std::sqrt(wkey) * std::fabs(qkey - entries_[left].key)
+                  : std::numeric_limits<double>::infinity();
+    const double right_bound =
+        right < n ? std::sqrt(wkey) * std::fabs(entries_[right].key - qkey)
+                  : std::numeric_limits<double>::infinity();
+    const double bound = std::min(left_bound, right_bound);
+    if (bound > worst() || bound == std::numeric_limits<double>::infinity()) {
+      break;
+    }
+    if (left_bound <= right_bound) {
+      consider(left--);
+    } else {
+      consider(right++);
+    }
+  }
+  return best;
+}
+
+std::vector<Neighbor> SingleAttributeIndex::RangeQuery(
+    const std::vector<double>& query, double radius,
+    const std::vector<double>& weights, QueryStats* stats) const {
+  std::vector<Neighbor> out;
+  const double qkey = query[sort_dim_];
+  const double wkey = weights.empty() ? 1.0 : weights[sort_dim_];
+  // |key - qkey| * sqrt(w) <= radius is necessary for membership.
+  const double window =
+      wkey > 0.0 ? radius / std::sqrt(wkey)
+                 : std::numeric_limits<double>::infinity();
+  auto lo = std::lower_bound(
+      entries_.begin(), entries_.end(), qkey - window,
+      [](const Entry& e, double key) { return e.key < key; });
+  if (stats != nullptr) ++stats->nodes_visited;
+  for (auto it = lo; it != entries_.end() && it->key <= qkey + window;
+       ++it) {
+    if (stats != nullptr) ++stats->points_compared;
+    const double d = WeightedEuclidean(query, it->point, weights);
+    if (d <= radius) out.push_back({it->id, d});
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace dess

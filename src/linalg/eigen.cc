@@ -1,0 +1,112 @@
+#include "src/linalg/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace dess {
+namespace {
+
+// One cyclic Jacobi sweep over the upper triangle of `a` (n x n, symmetric,
+// modified in place). `v` accumulates rotations. Returns the off-diagonal
+// Frobenius norm after the sweep.
+double JacobiSweep(Matrix* a, Matrix* v) {
+  const size_t n = a->rows();
+  for (size_t p = 0; p + 1 < n; ++p) {
+    for (size_t q = p + 1; q < n; ++q) {
+      const double apq = (*a)(p, q);
+      if (std::fabs(apq) < 1e-300) continue;
+      const double app = (*a)(p, p);
+      const double aqq = (*a)(q, q);
+      const double theta = (aqq - app) / (2.0 * apq);
+      const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                       (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+      const double c = 1.0 / std::sqrt(t * t + 1.0);
+      const double s = t * c;
+      // Apply the rotation G(p, q, theta) on both sides: A <- G^T A G.
+      for (size_t k = 0; k < n; ++k) {
+        const double akp = (*a)(k, p);
+        const double akq = (*a)(k, q);
+        (*a)(k, p) = c * akp - s * akq;
+        (*a)(k, q) = s * akp + c * akq;
+      }
+      for (size_t k = 0; k < n; ++k) {
+        const double apk = (*a)(p, k);
+        const double aqk = (*a)(q, k);
+        (*a)(p, k) = c * apk - s * aqk;
+        (*a)(q, k) = s * apk + c * aqk;
+      }
+      for (size_t k = 0; k < n; ++k) {
+        const double vkp = (*v)(k, p);
+        const double vkq = (*v)(k, q);
+        (*v)(k, p) = c * vkp - s * vkq;
+        (*v)(k, q) = s * vkp + c * vkq;
+      }
+    }
+  }
+  double off = 0.0;
+  for (size_t i = 0; i + 1 < n; ++i)
+    for (size_t j = i + 1; j < n; ++j) off += (*a)(i, j) * (*a)(i, j);
+  return std::sqrt(2.0 * off);
+}
+
+}  // namespace
+
+Result<SymmetricEigen> JacobiEigenSymmetric(const Matrix& input) {
+  if (input.rows() != input.cols()) {
+    return Status::InvalidArgument("eigen: matrix is not square");
+  }
+  const size_t n = input.rows();
+  if (n == 0) return SymmetricEigen{};
+  double max_abs = 0.0;
+  for (size_t r = 0; r < n; ++r)
+    for (size_t c = 0; c < n; ++c)
+      max_abs = std::max(max_abs, std::fabs(input(r, c)));
+  if (!input.IsSymmetric(1e-9 * std::max(1.0, max_abs))) {
+    return Status::InvalidArgument("eigen: matrix is not symmetric");
+  }
+
+  Matrix a = input;
+  Matrix v = Matrix::Identity(n);
+  const double tol = 1e-13 * std::max(1.0, max_abs) * static_cast<double>(n);
+  for (int sweep = 0; sweep < 64; ++sweep) {
+    if (JacobiSweep(&a, &v) <= tol) break;
+  }
+
+  SymmetricEigen out;
+  out.values.resize(n);
+  out.vectors.assign(n, std::vector<double>(n));
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t i, size_t j) { return a(i, i) > a(j, j); });
+  for (size_t k = 0; k < n; ++k) {
+    const size_t src = order[k];
+    out.values[k] = a(src, src);
+    for (size_t r = 0; r < n; ++r) out.vectors[k][r] = v(r, src);
+  }
+  return out;
+}
+
+SymmetricEigen3 EigenSymmetric3(const Mat3& a) {
+  Matrix m(3, 3);
+  for (int r = 0; r < 3; ++r)
+    for (int c = 0; c < 3; ++c) m(r, c) = a(r, c);
+  // Symmetrize to absorb floating-point asymmetry from upstream arithmetic.
+  for (int r = 0; r < 3; ++r)
+    for (int c = r + 1; c < 3; ++c) {
+      const double avg = 0.5 * (m(r, c) + m(c, r));
+      m(r, c) = m(c, r) = avg;
+    }
+  auto res = JacobiEigenSymmetric(m);
+  DESS_CHECK(res.ok());
+  SymmetricEigen3 out;
+  for (int k = 0; k < 3; ++k) {
+    out.values[k] = res->values[k];
+    out.vectors[k] =
+        Vec3(res->vectors[k][0], res->vectors[k][1], res->vectors[k][2]);
+  }
+  return out;
+}
+
+}  // namespace dess

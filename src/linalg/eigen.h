@@ -1,0 +1,41 @@
+#ifndef DESS_LINALG_EIGEN_H_
+#define DESS_LINALG_EIGEN_H_
+
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/linalg/mat3.h"
+#include "src/linalg/matrix.h"
+
+namespace dess {
+
+/// Eigen-decomposition of a real symmetric matrix.
+struct SymmetricEigen {
+  /// Eigenvalues in descending order.
+  std::vector<double> values;
+  /// eigenvectors[k] is the unit eigenvector for values[k].
+  std::vector<std::vector<double>> vectors;
+};
+
+/// Eigen-decomposition of a symmetric 3x3 matrix (used for principal
+/// moments and PCA alignment).
+struct SymmetricEigen3 {
+  /// Eigenvalues in descending order.
+  double values[3];
+  /// Unit eigenvectors, columns of a right-handed rotation when assembled.
+  Vec3 vectors[3];
+};
+
+/// Cyclic Jacobi eigen-decomposition of a symmetric matrix.
+///
+/// Returns InvalidArgument if the matrix is not square or not symmetric
+/// (within 1e-9 * max|entry|). Convergence is quadratic; sweeps are capped
+/// at 64 which is ample for the graph sizes (< 200 nodes) seen here.
+Result<SymmetricEigen> JacobiEigenSymmetric(const Matrix& a);
+
+/// Specialized 3x3 symmetric eigen-decomposition via Jacobi.
+SymmetricEigen3 EigenSymmetric3(const Mat3& a);
+
+}  // namespace dess
+
+#endif  // DESS_LINALG_EIGEN_H_

@@ -1,0 +1,121 @@
+#ifndef DESS_LINALG_MAT3_H_
+#define DESS_LINALG_MAT3_H_
+
+#include <array>
+#include <cmath>
+
+#include "src/linalg/vec3.h"
+
+namespace dess {
+
+/// Row-major 3x3 double matrix.
+struct Mat3 {
+  // m[r][c]
+  std::array<std::array<double, 3>, 3> m{};
+
+  constexpr Mat3() = default;
+
+  static constexpr Mat3 Identity() {
+    Mat3 r;
+    r.m[0][0] = r.m[1][1] = r.m[2][2] = 1.0;
+    return r;
+  }
+
+  static constexpr Mat3 Zero() { return Mat3(); }
+
+  /// Builds a matrix from three row vectors.
+  static constexpr Mat3 FromRows(const Vec3& r0, const Vec3& r1,
+                                 const Vec3& r2) {
+    Mat3 r;
+    r.m[0] = {r0.x, r0.y, r0.z};
+    r.m[1] = {r1.x, r1.y, r1.z};
+    r.m[2] = {r2.x, r2.y, r2.z};
+    return r;
+  }
+
+  /// Builds a matrix from three column vectors.
+  static constexpr Mat3 FromColumns(const Vec3& c0, const Vec3& c1,
+                                    const Vec3& c2) {
+    Mat3 r;
+    r.m[0] = {c0.x, c1.x, c2.x};
+    r.m[1] = {c0.y, c1.y, c2.y};
+    r.m[2] = {c0.z, c1.z, c2.z};
+    return r;
+  }
+
+  /// Uniform scale matrix.
+  static constexpr Mat3 Scale(double s) {
+    Mat3 r;
+    r.m[0][0] = r.m[1][1] = r.m[2][2] = s;
+    return r;
+  }
+
+  /// Rotation about an arbitrary axis (Rodrigues). `axis` need not be unit.
+  static Mat3 Rotation(const Vec3& axis, double angle_rad);
+
+  double operator()(int r, int c) const { return m[r][c]; }
+  double& operator()(int r, int c) { return m[r][c]; }
+
+  Vec3 Row(int r) const { return {m[r][0], m[r][1], m[r][2]}; }
+  Vec3 Col(int c) const { return {m[0][c], m[1][c], m[2][c]}; }
+
+  Vec3 operator*(const Vec3& v) const {
+    return {Row(0).Dot(v), Row(1).Dot(v), Row(2).Dot(v)};
+  }
+
+  Mat3 operator*(const Mat3& o) const {
+    Mat3 r;
+    for (int i = 0; i < 3; ++i)
+      for (int j = 0; j < 3; ++j)
+        for (int k = 0; k < 3; ++k) r.m[i][j] += m[i][k] * o.m[k][j];
+    return r;
+  }
+
+  Mat3 operator*(double s) const {
+    Mat3 r = *this;
+    for (auto& row : r.m)
+      for (auto& v : row) v *= s;
+    return r;
+  }
+
+  Mat3 operator+(const Mat3& o) const {
+    Mat3 r = *this;
+    for (int i = 0; i < 3; ++i)
+      for (int j = 0; j < 3; ++j) r.m[i][j] += o.m[i][j];
+    return r;
+  }
+
+  Mat3 Transposed() const {
+    Mat3 r;
+    for (int i = 0; i < 3; ++i)
+      for (int j = 0; j < 3; ++j) r.m[i][j] = m[j][i];
+    return r;
+  }
+
+  double Determinant() const {
+    return m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1]) -
+           m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0]) +
+           m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0]);
+  }
+
+  double Trace() const { return m[0][0] + m[1][1] + m[2][2]; }
+};
+
+inline Mat3 Mat3::Rotation(const Vec3& axis, double angle_rad) {
+  const Vec3 u = axis.Normalized();
+  const double c = std::cos(angle_rad);
+  const double s = std::sin(angle_rad);
+  const double t = 1.0 - c;
+  Mat3 r;
+  r.m[0] = {c + u.x * u.x * t, u.x * u.y * t - u.z * s,
+            u.x * u.z * t + u.y * s};
+  r.m[1] = {u.y * u.x * t + u.z * s, c + u.y * u.y * t,
+            u.y * u.z * t - u.x * s};
+  r.m[2] = {u.z * u.x * t - u.y * s, u.z * u.y * t + u.x * s,
+            c + u.z * u.z * t};
+  return r;
+}
+
+}  // namespace dess
+
+#endif  // DESS_LINALG_MAT3_H_

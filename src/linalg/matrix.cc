@@ -1,0 +1,61 @@
+#include "src/linalg/matrix.h"
+
+#include <cmath>
+
+namespace dess {
+
+Matrix Matrix::Transposed() const {
+  Matrix t(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r)
+    for (size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& o) const {
+  DESS_CHECK(cols_ == o.rows_);
+  Matrix out(rows_, o.cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(i, k);
+      if (a == 0.0) continue;
+      for (size_t j = 0; j < o.cols_; ++j) out(i, j) += a * o(k, j);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::operator+(const Matrix& o) const {
+  DESS_CHECK(rows_ == o.rows_ && cols_ == o.cols_);
+  Matrix out = *this;
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] += o.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& o) const {
+  DESS_CHECK(rows_ == o.rows_ && cols_ == o.cols_);
+  Matrix out = *this;
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] -= o.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator*(double s) const {
+  Matrix out = *this;
+  for (double& v : out.data_) v *= s;
+  return out;
+}
+
+bool Matrix::IsSymmetric(double tol) const {
+  if (rows_ != cols_) return false;
+  for (size_t r = 0; r < rows_; ++r)
+    for (size_t c = r + 1; c < cols_; ++c)
+      if (std::fabs((*this)(r, c) - (*this)(c, r)) > tol) return false;
+  return true;
+}
+
+double Matrix::Norm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+}  // namespace dess

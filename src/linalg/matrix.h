@@ -1,0 +1,57 @@
+#ifndef DESS_LINALG_MATRIX_H_
+#define DESS_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/logging.h"
+
+namespace dess {
+
+/// Dense row-major dynamically sized double matrix. Used for skeletal-graph
+/// adjacency matrices and clustering scratch space; sizes are small (tens of
+/// rows), so no blocking or SIMD is attempted.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix Identity(size_t n) {
+    Matrix m(n, n);
+    for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+    return m;
+  }
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double operator()(size_t r, size_t c) const {
+    return data_[r * cols_ + c];
+  }
+  double& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+
+  const std::vector<double>& data() const { return data_; }
+
+  Matrix Transposed() const;
+  Matrix operator*(const Matrix& o) const;
+  Matrix operator+(const Matrix& o) const;
+  Matrix operator-(const Matrix& o) const;
+  Matrix operator*(double s) const;
+
+  /// True if the matrix equals its transpose to within `tol`.
+  bool IsSymmetric(double tol = 1e-12) const;
+
+  /// Frobenius norm.
+  double Norm() const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace dess
+
+#endif  // DESS_LINALG_MATRIX_H_

@@ -1,0 +1,53 @@
+#include "src/linalg/pca.h"
+
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace dess {
+
+Pca3 ComputePca3(const std::vector<Vec3>& points,
+                 const std::vector<double>& weights) {
+  DESS_CHECK(!points.empty());
+  DESS_CHECK(weights.empty() || weights.size() == points.size());
+
+  double wsum = 0.0;
+  Vec3 mean;
+  for (size_t i = 0; i < points.size(); ++i) {
+    const double w = weights.empty() ? 1.0 : weights[i];
+    if (w <= 0.0) continue;
+    mean += points[i] * w;
+    wsum += w;
+  }
+  DESS_CHECK(wsum > 0.0);
+  mean *= 1.0 / wsum;
+
+  Mat3 cov;
+  for (size_t i = 0; i < points.size(); ++i) {
+    const double w = weights.empty() ? 1.0 : weights[i];
+    if (w <= 0.0) continue;
+    const Vec3 d = points[i] - mean;
+    for (int r = 0; r < 3; ++r)
+      for (int c = 0; c < 3; ++c) cov(r, c) += w * d[r] * d[c];
+  }
+  cov = cov * (1.0 / wsum);
+
+  const SymmetricEigen3 eig = EigenSymmetric3(cov);
+  Pca3 out;
+  out.centroid = mean;
+  for (int k = 0; k < 3; ++k) {
+    out.axes[k] = eig.vectors[k].Normalized();
+    out.variances[k] = eig.values[k];
+  }
+  // Enforce a right-handed frame so PrincipalFrameRotation is a rotation.
+  if (out.axes[0].Cross(out.axes[1]).Dot(out.axes[2]) < 0.0) {
+    out.axes[2] = -out.axes[2];
+  }
+  return out;
+}
+
+Mat3 PrincipalFrameRotation(const Pca3& pca) {
+  return Mat3::FromRows(pca.axes[0], pca.axes[1], pca.axes[2]);
+}
+
+}  // namespace dess

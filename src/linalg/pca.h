@@ -1,0 +1,34 @@
+#ifndef DESS_LINALG_PCA_H_
+#define DESS_LINALG_PCA_H_
+
+#include <vector>
+
+#include "src/linalg/eigen.h"
+#include "src/linalg/mat3.h"
+#include "src/linalg/vec3.h"
+
+namespace dess {
+
+/// Principal component analysis of a weighted 3D point set.
+struct Pca3 {
+  Vec3 centroid;
+  /// Principal axes as unit vectors, by descending variance; assembled as
+  /// rows they form the world->principal rotation. Always right-handed.
+  Vec3 axes[3];
+  /// Variances along the axes (eigenvalues of the covariance), descending.
+  double variances[3];
+};
+
+/// Computes weighted PCA. `weights` may be empty (uniform). Points with
+/// non-positive weight are ignored. Requires at least one point of positive
+/// weight overall.
+Pca3 ComputePca3(const std::vector<Vec3>& points,
+                 const std::vector<double>& weights = {});
+
+/// Rotation matrix whose rows are the PCA axes (maps world coordinates to
+/// the principal frame).
+Mat3 PrincipalFrameRotation(const Pca3& pca);
+
+}  // namespace dess
+
+#endif  // DESS_LINALG_PCA_H_

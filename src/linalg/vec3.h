@@ -1,0 +1,92 @@
+#ifndef DESS_LINALG_VEC3_H_
+#define DESS_LINALG_VEC3_H_
+
+#include <cmath>
+#include <ostream>
+
+namespace dess {
+
+/// 3-component double vector. Plain value type used throughout the geometry
+/// and feature pipeline.
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double xx, double yy, double zz) : x(xx), y(yy), z(zz) {}
+
+  constexpr double operator[](int i) const { return i == 0 ? x : (i == 1 ? y : z); }
+  double& operator[](int i) { return i == 0 ? x : (i == 1 ? y : z); }
+
+  constexpr Vec3 operator+(const Vec3& o) const {
+    return {x + o.x, y + o.y, z + o.z};
+  }
+  constexpr Vec3 operator-(const Vec3& o) const {
+    return {x - o.x, y - o.y, z - o.z};
+  }
+  constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+  constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+
+  Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  Vec3& operator-=(const Vec3& o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  Vec3& operator*=(double s) {
+    x *= s;
+    y *= s;
+    z *= s;
+    return *this;
+  }
+
+  constexpr bool operator==(const Vec3& o) const {
+    return x == o.x && y == o.y && z == o.z;
+  }
+
+  constexpr double Dot(const Vec3& o) const {
+    return x * o.x + y * o.y + z * o.z;
+  }
+  constexpr Vec3 Cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  double Norm() const { return std::sqrt(Dot(*this)); }
+  constexpr double SquaredNorm() const { return Dot(*this); }
+
+  /// Unit vector in this direction; the zero vector normalizes to itself.
+  Vec3 Normalized() const {
+    const double n = Norm();
+    return n > 0.0 ? (*this) / n : Vec3();
+  }
+
+  /// Component-wise min / max (for bounding boxes).
+  static constexpr Vec3 Min(const Vec3& a, const Vec3& b) {
+    return {a.x < b.x ? a.x : b.x, a.y < b.y ? a.y : b.y,
+            a.z < b.z ? a.z : b.z};
+  }
+  static constexpr Vec3 Max(const Vec3& a, const Vec3& b) {
+    return {a.x > b.x ? a.x : b.x, a.y > b.y ? a.y : b.y,
+            a.z > b.z ? a.z : b.z};
+  }
+};
+
+inline constexpr Vec3 operator*(double s, const Vec3& v) { return v * s; }
+
+inline std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+  return os << "(" << v.x << ", " << v.y << ", " << v.z << ")";
+}
+
+/// Euclidean distance between two points.
+inline double Distance(const Vec3& a, const Vec3& b) { return (a - b).Norm(); }
+
+}  // namespace dess
+
+#endif  // DESS_LINALG_VEC3_H_

@@ -1,0 +1,277 @@
+#include "src/modelgen/csg.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace dess {
+namespace {
+
+class BoxSolid final : public Solid {
+ public:
+  explicit BoxSolid(const Vec3& he) : he_(he) {}
+  double Distance(const Vec3& p) const override {
+    const Vec3 q{std::fabs(p.x) - he_.x, std::fabs(p.y) - he_.y,
+                 std::fabs(p.z) - he_.z};
+    const Vec3 outside{std::max(q.x, 0.0), std::max(q.y, 0.0),
+                       std::max(q.z, 0.0)};
+    const double inside = std::min(std::max(q.x, std::max(q.y, q.z)), 0.0);
+    return outside.Norm() + inside;
+  }
+  Aabb BoundingBox() const override {
+    Aabb b;
+    b.Expand(-he_);
+    b.Expand(he_);
+    return b;
+  }
+
+ private:
+  Vec3 he_;
+};
+
+class SphereSolid final : public Solid {
+ public:
+  explicit SphereSolid(double r) : r_(r) {}
+  double Distance(const Vec3& p) const override { return p.Norm() - r_; }
+  Aabb BoundingBox() const override {
+    Aabb b;
+    b.Expand({-r_, -r_, -r_});
+    b.Expand({r_, r_, r_});
+    return b;
+  }
+
+ private:
+  double r_;
+};
+
+class CylinderSolid final : public Solid {
+ public:
+  CylinderSolid(double r, double hh) : r_(r), hh_(hh) {}
+  double Distance(const Vec3& p) const override {
+    const double dr = std::hypot(p.x, p.y) - r_;
+    const double dz = std::fabs(p.z) - hh_;
+    const double ox = std::max(dr, 0.0);
+    const double oz = std::max(dz, 0.0);
+    return std::hypot(ox, oz) + std::min(std::max(dr, dz), 0.0);
+  }
+  Aabb BoundingBox() const override {
+    Aabb b;
+    b.Expand({-r_, -r_, -hh_});
+    b.Expand({r_, r_, hh_});
+    return b;
+  }
+
+ private:
+  double r_, hh_;
+};
+
+class TorusSolid final : public Solid {
+ public:
+  TorusSolid(double major, double minor) : major_(major), minor_(minor) {}
+  double Distance(const Vec3& p) const override {
+    const double q = std::hypot(p.x, p.y) - major_;
+    return std::hypot(q, p.z) - minor_;
+  }
+  Aabb BoundingBox() const override {
+    const double r = major_ + minor_;
+    Aabb b;
+    b.Expand({-r, -r, -minor_});
+    b.Expand({r, r, minor_});
+    return b;
+  }
+
+ private:
+  double major_, minor_;
+};
+
+class ConeFrustumSolid final : public Solid {
+ public:
+  ConeFrustumSolid(double rb, double rt, double hh)
+      : rb_(rb), rt_(rt), hh_(hh) {}
+  double Distance(const Vec3& p) const override {
+    // Radius of the lateral surface at height z (clamped to the caps).
+    const double t = std::clamp((p.z + hh_) / (2.0 * hh_), 0.0, 1.0);
+    const double r_here = rb_ + (rt_ - rb_) * t;
+    const double dr = std::hypot(p.x, p.y) - r_here;
+    const double dz = std::fabs(p.z) - hh_;
+    // Approximate SDF: exact enough for isosurfacing at cell scale.
+    if (dr <= 0.0 && dz <= 0.0) return std::max(dr, dz);
+    return std::hypot(std::max(dr, 0.0), std::max(dz, 0.0));
+  }
+  Aabb BoundingBox() const override {
+    const double r = std::max(rb_, rt_);
+    Aabb b;
+    b.Expand({-r, -r, -hh_});
+    b.Expand({r, r, hh_});
+    return b;
+  }
+
+ private:
+  double rb_, rt_, hh_;
+};
+
+class HexPrismSolid final : public Solid {
+ public:
+  HexPrismSolid(double r_flat, double hh) : r_(r_flat), hh_(hh) {}
+  double Distance(const Vec3& p) const override {
+    // Hexagon distance in XY (flat-top hexagon, across-flats radius r_).
+    const double kx = 0.8660254037844386;  // cos(30)
+    const double ky = 0.5;
+    double ax = std::fabs(p.x);
+    double ay = std::fabs(p.y);
+    const double d_hex =
+        std::max(kx * ax + ky * ay, ay) - r_;
+    const double dz = std::fabs(p.z) - hh_;
+    if (d_hex <= 0.0 && dz <= 0.0) return std::max(d_hex, dz);
+    return std::hypot(std::max(d_hex, 0.0), std::max(dz, 0.0));
+  }
+  Aabb BoundingBox() const override {
+    const double rc = r_ / 0.8660254037844386;  // circumscribed radius
+    Aabb b;
+    b.Expand({-rc, -rc, -hh_});
+    b.Expand({rc, rc, hh_});
+    return b;
+  }
+
+ private:
+  double r_, hh_;
+};
+
+class UnionSolid final : public Solid {
+ public:
+  explicit UnionSolid(std::vector<SolidPtr> parts)
+      : parts_(std::move(parts)) {
+    DESS_CHECK(!parts_.empty());
+  }
+  double Distance(const Vec3& p) const override {
+    double d = parts_[0]->Distance(p);
+    for (size_t i = 1; i < parts_.size(); ++i) {
+      d = std::min(d, parts_[i]->Distance(p));
+    }
+    return d;
+  }
+  Aabb BoundingBox() const override {
+    Aabb b;
+    for (const auto& s : parts_) b.Expand(s->BoundingBox());
+    return b;
+  }
+
+ private:
+  std::vector<SolidPtr> parts_;
+};
+
+class IntersectionSolid final : public Solid {
+ public:
+  IntersectionSolid(SolidPtr a, SolidPtr b)
+      : a_(std::move(a)), b_(std::move(b)) {}
+  double Distance(const Vec3& p) const override {
+    return std::max(a_->Distance(p), b_->Distance(p));
+  }
+  Aabb BoundingBox() const override {
+    // Intersection of the two boxes (conservative).
+    const Aabb ba = a_->BoundingBox();
+    const Aabb bb = b_->BoundingBox();
+    Aabb out;
+    out.min = Vec3::Max(ba.min, bb.min);
+    out.max = Vec3::Min(ba.max, bb.max);
+    if (out.IsEmpty()) {
+      out = Aabb();
+      out.Expand(Vec3());
+    }
+    return out;
+  }
+
+ private:
+  SolidPtr a_, b_;
+};
+
+class DifferenceSolid final : public Solid {
+ public:
+  DifferenceSolid(SolidPtr a, SolidPtr b)
+      : a_(std::move(a)), b_(std::move(b)) {}
+  double Distance(const Vec3& p) const override {
+    return std::max(a_->Distance(p), -b_->Distance(p));
+  }
+  Aabb BoundingBox() const override { return a_->BoundingBox(); }
+
+ private:
+  SolidPtr a_, b_;
+};
+
+class TransformedSolid final : public Solid {
+ public:
+  TransformedSolid(SolidPtr inner, const Transform& world_from_local)
+      : inner_(std::move(inner)) {
+    // Invert: local = R^T/s * (world - t). Assumes linear = s * R.
+    const Mat3& lin = world_from_local.linear;
+    scale_ = lin.Col(0).Norm();
+    DESS_CHECK(scale_ > 0.0);
+    inv_linear_ = lin.Transposed() * (1.0 / (scale_ * scale_));
+    world_from_local_ = world_from_local;
+  }
+  double Distance(const Vec3& p) const override {
+    const Vec3 local = inv_linear_ * (p - world_from_local_.translation);
+    return inner_->Distance(local) * scale_;
+  }
+  Aabb BoundingBox() const override {
+    const Aabb lb = inner_->BoundingBox();
+    Aabb out;
+    for (int i = 0; i < 8; ++i) {
+      const Vec3 corner{(i & 1) ? lb.max.x : lb.min.x,
+                        (i & 2) ? lb.max.y : lb.min.y,
+                        (i & 4) ? lb.max.z : lb.min.z};
+      out.Expand(world_from_local_.Apply(corner));
+    }
+    return out;
+  }
+
+ private:
+  SolidPtr inner_;
+  Transform world_from_local_;
+  Mat3 inv_linear_;
+  double scale_;
+};
+
+}  // namespace
+
+SolidPtr MakeBox(const Vec3& he) { return std::make_shared<BoxSolid>(he); }
+SolidPtr MakeSphere(double r) { return std::make_shared<SphereSolid>(r); }
+SolidPtr MakeCylinder(double r, double hh) {
+  return std::make_shared<CylinderSolid>(r, hh);
+}
+SolidPtr MakeTorus(double major, double minor) {
+  return std::make_shared<TorusSolid>(major, minor);
+}
+SolidPtr MakeConeFrustum(double rb, double rt, double hh) {
+  return std::make_shared<ConeFrustumSolid>(rb, rt, hh);
+}
+SolidPtr MakeHexPrism(double r_flat, double hh) {
+  return std::make_shared<HexPrismSolid>(r_flat, hh);
+}
+SolidPtr MakeUnion(std::vector<SolidPtr> parts) {
+  return std::make_shared<UnionSolid>(std::move(parts));
+}
+SolidPtr MakeUnion(SolidPtr a, SolidPtr b) {
+  std::vector<SolidPtr> v{std::move(a), std::move(b)};
+  return MakeUnion(std::move(v));
+}
+SolidPtr MakeIntersection(SolidPtr a, SolidPtr b) {
+  return std::make_shared<IntersectionSolid>(std::move(a), std::move(b));
+}
+SolidPtr MakeDifference(SolidPtr a, SolidPtr b) {
+  return std::make_shared<DifferenceSolid>(std::move(a), std::move(b));
+}
+SolidPtr MakeTransformed(SolidPtr inner, const Transform& world_from_local) {
+  return std::make_shared<TransformedSolid>(std::move(inner),
+                                            world_from_local);
+}
+SolidPtr Translated(SolidPtr inner, const Vec3& d) {
+  return MakeTransformed(std::move(inner), Transform::Translate(d));
+}
+SolidPtr Rotated(SolidPtr inner, const Vec3& axis, double angle_rad) {
+  return MakeTransformed(std::move(inner),
+                         Transform::Rotate(axis, angle_rad));
+}
+
+}  // namespace dess

@@ -1,0 +1,76 @@
+#ifndef DESS_MODELGEN_CSG_H_
+#define DESS_MODELGEN_CSG_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/geom/aabb.h"
+#include "src/geom/transforms.h"
+#include "src/linalg/vec3.h"
+
+namespace dess {
+
+/// Implicit solid: a level-set function that is negative inside the solid,
+/// positive outside, and approximately the signed distance near the surface.
+///
+/// This is the repository's CAD-kernel substitute (the paper used ACIS):
+/// engineering parts are modelled as CSG trees of implicit primitives and
+/// meshed with the isosurface mesher in marching_cubes.h.
+class Solid {
+ public:
+  virtual ~Solid() = default;
+
+  /// Signed distance-like value; < 0 strictly inside.
+  virtual double Distance(const Vec3& p) const = 0;
+
+  /// Conservative bounding box of the solid.
+  virtual Aabb BoundingBox() const = 0;
+
+  bool Contains(const Vec3& p) const { return Distance(p) < 0.0; }
+};
+
+using SolidPtr = std::shared_ptr<const Solid>;
+
+/// Axis-aligned box centered at the origin with the given half-extents.
+SolidPtr MakeBox(const Vec3& half_extents);
+
+/// Sphere of radius `r` centered at the origin.
+SolidPtr MakeSphere(double r);
+
+/// Cylinder along +Z/-Z: radius `r`, half-height `hh`, centered at origin.
+SolidPtr MakeCylinder(double r, double hh);
+
+/// Torus in the XY plane: major radius `major`, tube radius `minor`.
+SolidPtr MakeTorus(double major, double minor);
+
+/// Truncated cone along Z: radius `r_bottom` at z=-hh, `r_top` at z=+hh.
+SolidPtr MakeConeFrustum(double r_bottom, double r_top, double hh);
+
+/// Regular hexagonal prism along Z: circumscribed "across flats" radius
+/// `r_flat`, half-height `hh`.
+SolidPtr MakeHexPrism(double r_flat, double hh);
+
+/// Boolean union (min of fields).
+SolidPtr MakeUnion(std::vector<SolidPtr> parts);
+SolidPtr MakeUnion(SolidPtr a, SolidPtr b);
+
+/// Boolean intersection (max of fields).
+SolidPtr MakeIntersection(SolidPtr a, SolidPtr b);
+
+/// Boolean difference a \ b (max(a, -b)).
+SolidPtr MakeDifference(SolidPtr a, SolidPtr b);
+
+/// Rigid-transformed (plus uniform scale) solid. `world_from_local` maps
+/// local solid coordinates to world coordinates; its linear part must be a
+/// rotation times a uniform scale for the distance field to stay metric.
+SolidPtr MakeTransformed(SolidPtr inner, const Transform& world_from_local);
+
+/// Convenience: translation only.
+SolidPtr Translated(SolidPtr inner, const Vec3& d);
+
+/// Convenience: rotation about an axis through the origin.
+SolidPtr Rotated(SolidPtr inner, const Vec3& axis, double angle_rad);
+
+}  // namespace dess
+
+#endif  // DESS_MODELGEN_CSG_H_

@@ -1,0 +1,107 @@
+#include "src/modelgen/dataset.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/common/strings.h"
+#include "src/modelgen/marching_cubes.h"
+#include "src/modelgen/part_families.h"
+
+namespace dess {
+
+std::vector<int> Dataset::GroupMembers(int g) const {
+  std::vector<int> out;
+  for (const DatasetShape& s : shapes) {
+    if (s.group == g) out.push_back(s.id);
+  }
+  return out;
+}
+
+int Dataset::GroupSize(int g) const {
+  int n = 0;
+  for (const DatasetShape& s : shapes) {
+    if (s.group == g) ++n;
+  }
+  return n;
+}
+
+std::vector<int> Dataset::GroupSizesAscending() const {
+  std::vector<int> sizes;
+  for (int g = 0; g < num_groups; ++g) sizes.push_back(GroupSize(g));
+  std::sort(sizes.begin(), sizes.end());
+  return sizes;
+}
+
+std::vector<int> StandardGroupSizes() {
+  // 26 groups, sizes in [2, 8], total 86 (the paper: "sizes of the groups
+  // vary from two to eight", 86 grouped shapes).
+  return {2, 2, 2, 2, 2, 2, 2, 2, 3, 3, 3, 3, 3,
+          3, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 6, 8};
+}
+
+namespace {
+
+Result<Dataset> BuildFromSizes(const std::vector<int>& group_sizes,
+                               int num_noise, const DatasetOptions& options) {
+  const auto& families = StandardPartFamilies();
+  if (group_sizes.size() > families.size()) {
+    return Status::InvalidArgument(
+        StrFormat("requested %zu groups but only %zu part families exist",
+                  group_sizes.size(), families.size()));
+  }
+  Rng rng(options.seed);
+  MeshingOptions mesh_opts;
+  mesh_opts.resolution = options.mesh_resolution;
+
+  Dataset ds;
+  ds.num_groups = static_cast<int>(group_sizes.size());
+  int next_id = 0;
+  for (size_t g = 0; g < group_sizes.size(); ++g) {
+    for (int m = 0; m < group_sizes[g]; ++m) {
+      Rng shape_rng = rng.Fork();
+      SolidPtr solid = families[g].build(&shape_rng);
+      if (options.random_pose) {
+        solid = RandomlyPosed(std::move(solid), &shape_rng);
+      }
+      DESS_ASSIGN_OR_RETURN(TriMesh mesh, MeshSolid(*solid, mesh_opts));
+      DatasetShape shape;
+      shape.id = next_id++;
+      shape.name = StrFormat("%s_%02d", families[g].name.c_str(), m);
+      shape.group = static_cast<int>(g);
+      shape.mesh = std::move(mesh);
+      ds.shapes.push_back(std::move(shape));
+    }
+  }
+  for (int n = 0; n < num_noise; ++n) {
+    Rng shape_rng = rng.Fork();
+    SolidPtr solid = BuildNoiseShape(&shape_rng);
+    if (options.random_pose) {
+      solid = RandomlyPosed(std::move(solid), &shape_rng);
+    }
+    DESS_ASSIGN_OR_RETURN(TriMesh mesh, MeshSolid(*solid, mesh_opts));
+    DatasetShape shape;
+    shape.id = next_id++;
+    shape.name = StrFormat("noise_%02d", n);
+    shape.group = kNoiseGroup;
+    shape.mesh = std::move(mesh);
+    ds.shapes.push_back(std::move(shape));
+  }
+  return ds;
+}
+
+}  // namespace
+
+Result<Dataset> BuildStandardDataset(const DatasetOptions& options) {
+  std::vector<int> sizes = StandardGroupSizes();
+  sizes.resize(std::min<size_t>(sizes.size(), options.num_groups));
+  return BuildFromSizes(sizes, options.num_noise, options);
+}
+
+Result<Dataset> BuildSyntheticDataset(int num_groups, int group_size,
+                                      const DatasetOptions& options) {
+  const int available = static_cast<int>(StandardPartFamilies().size());
+  std::vector<int> sizes(std::min(num_groups, available), group_size);
+  return BuildFromSizes(sizes, /*num_noise=*/0, options);
+}
+
+}  // namespace dess

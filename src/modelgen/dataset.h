@@ -1,0 +1,70 @@
+#ifndef DESS_MODELGEN_DATASET_H_
+#define DESS_MODELGEN_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/rng.h"
+#include "src/geom/trimesh.h"
+
+namespace dess {
+
+/// One shape of the evaluation dataset.
+struct DatasetShape {
+  int id = -1;
+  std::string name;
+  /// Ground-truth group index, or kNoiseGroup for shapes outside any group.
+  int group = -1;
+  TriMesh mesh;
+};
+
+inline constexpr int kNoiseGroup = -1;
+
+/// The synthetic stand-in for the paper's database of 113 engineering
+/// shapes: 86 shapes in 26 groups (sizes 2-8, matching Figure 4's
+/// distribution) plus 27 noise shapes.
+struct Dataset {
+  std::vector<DatasetShape> shapes;
+  int num_groups = 0;
+
+  /// Ids of the members of group `g`.
+  std::vector<int> GroupMembers(int g) const;
+
+  /// Number of shapes in group `g`.
+  int GroupSize(int g) const;
+
+  /// Group sizes in ascending order (the series plotted in Figure 4).
+  std::vector<int> GroupSizesAscending() const;
+};
+
+/// Options controlling dataset construction.
+struct DatasetOptions {
+  uint64_t seed = 42;
+  /// Meshing resolution (cells along the longest axis per shape).
+  int mesh_resolution = 40;
+  /// Number of groups (26 in the paper's database).
+  int num_groups = 26;
+  /// Number of ungrouped noise shapes (27 in the paper's database).
+  int num_noise = 27;
+  /// If true, every instance is randomly rotated/scaled/translated before
+  /// meshing, exercising pose normalization.
+  bool random_pose = true;
+};
+
+/// Group sizes used for the standard dataset: 26 values in [2, 8] summing
+/// to 86, matching the paper's description and Figure 4's range.
+std::vector<int> StandardGroupSizes();
+
+/// Builds the 113-shape standard dataset (26 families x their group size +
+/// 27 noise shapes). Deterministic in `options.seed`.
+Result<Dataset> BuildStandardDataset(const DatasetOptions& options = {});
+
+/// Builds a scaled synthetic dataset with `num_groups` groups of
+/// `group_size` members each (used by the index-scaling benchmarks).
+Result<Dataset> BuildSyntheticDataset(int num_groups, int group_size,
+                                      const DatasetOptions& options = {});
+
+}  // namespace dess
+
+#endif  // DESS_MODELGEN_DATASET_H_

@@ -1,0 +1,77 @@
+#include "src/modelgen/dataset_io.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "src/common/strings.h"
+#include "src/geom/mesh_io.h"
+
+namespace dess {
+
+Status SaveDatasetAsMeshes(const Dataset& dataset,
+                           const std::string& directory) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) {
+    return Status::IOError("cannot create directory '" + directory +
+                           "': " + ec.message());
+  }
+  const std::string manifest_path = directory + "/manifest.csv";
+  std::ofstream manifest(manifest_path);
+  if (!manifest) return Status::IOError("cannot open " + manifest_path);
+  manifest << "id,name,group,file\n";
+  for (const DatasetShape& shape : dataset.shapes) {
+    const std::string file = StrFormat("%03d_%s.off", shape.id,
+                                       shape.name.c_str());
+    DESS_RETURN_NOT_OK(WriteOff(shape.mesh, directory + "/" + file));
+    manifest << shape.id << "," << shape.name << "," << shape.group << ","
+             << file << "\n";
+  }
+  manifest.flush();
+  if (!manifest) return Status::IOError("write failed: " + manifest_path);
+  return Status::OK();
+}
+
+Result<Dataset> LoadDatasetFromDirectory(const std::string& directory) {
+  const std::string manifest_path = directory + "/manifest.csv";
+  std::ifstream manifest(manifest_path);
+  if (!manifest) {
+    return Status::IOError("cannot open " + manifest_path);
+  }
+  Dataset dataset;
+  std::set<int> groups;
+  std::string line;
+  bool header = true;
+  while (std::getline(manifest, line)) {
+    const std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty()) continue;
+    if (header) {
+      header = false;
+      if (StartsWith(stripped, "id,")) continue;  // skip the header row
+    }
+    const auto fields = SplitTokens(stripped, ",");
+    if (fields.size() != 4) {
+      return Status::Corruption("manifest line has " +
+                                std::to_string(fields.size()) +
+                                " fields (want 4): " + std::string(stripped));
+    }
+    DatasetShape shape;
+    shape.id = std::atoi(fields[0].c_str());
+    shape.name = fields[1];
+    shape.group = std::atoi(fields[2].c_str());
+    DESS_ASSIGN_OR_RETURN(shape.mesh,
+                          ReadMesh(directory + "/" + fields[3]));
+    if (shape.group >= 0) groups.insert(shape.group);
+    dataset.shapes.push_back(std::move(shape));
+  }
+  std::sort(dataset.shapes.begin(), dataset.shapes.end(),
+            [](const DatasetShape& a, const DatasetShape& b) {
+              return a.id < b.id;
+            });
+  dataset.num_groups = static_cast<int>(groups.size());
+  return dataset;
+}
+
+}  // namespace dess

@@ -1,0 +1,25 @@
+#ifndef DESS_MODELGEN_DATASET_IO_H_
+#define DESS_MODELGEN_DATASET_IO_H_
+
+#include <string>
+
+#include "src/common/result.h"
+#include "src/modelgen/dataset.h"
+
+namespace dess {
+
+/// Exports every shape of a dataset as an OFF mesh plus a `manifest.csv`
+/// (id, name, group, file) into `directory` (created if absent). This is
+/// how a user inspects or re-uses the synthetic 113-model database with
+/// external tools.
+Status SaveDatasetAsMeshes(const Dataset& dataset,
+                           const std::string& directory);
+
+/// Loads a dataset previously written by SaveDatasetAsMeshes (or any
+/// directory with a compatible manifest.csv referencing .off/.obj/.stl
+/// files). Group ids of -1 mark noise shapes.
+Result<Dataset> LoadDatasetFromDirectory(const std::string& directory);
+
+}  // namespace dess
+
+#endif  // DESS_MODELGEN_DATASET_IO_H_

@@ -1,0 +1,211 @@
+#include "src/modelgen/marching_cubes.h"
+
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace dess {
+namespace {
+
+// Freudenthal 6-tetrahedron decomposition of a cube whose corners are
+// numbered by bits (bit0 = +x, bit1 = +y, bit2 = +z). All tets share the
+// main diagonal 0-7; face diagonals agree between neighbouring cubes, which
+// makes the extracted surface watertight.
+constexpr int kTets[6][4] = {{0, 1, 3, 7}, {0, 3, 2, 7}, {0, 2, 6, 7},
+                             {0, 6, 4, 7}, {0, 4, 5, 7}, {0, 5, 1, 7}};
+
+struct GridSampler {
+  int nx, ny, nz;  // number of corners per axis
+  Vec3 origin;
+  double cell;
+  std::vector<float> values;
+
+  uint64_t CornerId(int i, int j, int k) const {
+    return (static_cast<uint64_t>(k) * ny + j) * nx + i;
+  }
+  double Value(uint64_t id) const { return values[id]; }
+  Vec3 Position(uint64_t id) const {
+    const int i = static_cast<int>(id % nx);
+    const int j = static_cast<int>((id / nx) % ny);
+    const int k = static_cast<int>(id / (static_cast<uint64_t>(nx) * ny));
+    return origin + Vec3(i, j, k) * cell;
+  }
+};
+
+// Cache of crossing vertices keyed by the (unordered) grid edge.
+class EdgeVertexCache {
+ public:
+  explicit EdgeVertexCache(const GridSampler* grid, TriMesh* mesh)
+      : grid_(grid), mesh_(mesh) {}
+
+  uint32_t Crossing(uint64_t a, uint64_t b) {
+    if (a > b) std::swap(a, b);
+    const auto key = (a << 21) ^ b;  // ids fit in < 2^21 for res <= 127
+    // Full 128-bit safety: use a map keyed on the pair instead of the hash
+    // trick when grids could exceed 2^21 corners.
+    auto it = cache_.find({a, b});
+    if (it != cache_.end()) return it->second;
+    (void)key;
+    const double fa = grid_->Value(a);
+    const double fb = grid_->Value(b);
+    const double t = fa / (fa - fb);  // zero crossing, fa and fb differ in sign
+    const Vec3 pa = grid_->Position(a);
+    const Vec3 pb = grid_->Position(b);
+    const uint32_t idx = mesh_->AddVertex(pa + (pb - pa) * t);
+    cache_.emplace(std::make_pair(a, b), idx);
+    return idx;
+  }
+
+ private:
+  struct PairHash {
+    size_t operator()(const std::pair<uint64_t, uint64_t>& p) const {
+      return std::hash<uint64_t>()(p.first * 0x9E3779B97F4A7C15ull ^
+                                   p.second);
+    }
+  };
+  const GridSampler* grid_;
+  TriMesh* mesh_;
+  std::unordered_map<std::pair<uint64_t, uint64_t>, uint32_t, PairHash>
+      cache_;
+};
+
+// Emits the triangle (va, vb, vc), flipped if necessary so that its normal
+// points away from `inside_ref` (a point strictly inside the solid).
+void EmitOriented(TriMesh* mesh, uint32_t va, uint32_t vb, uint32_t vc,
+                  const Vec3& inside_ref) {
+  const Vec3& a = mesh->vertex(va);
+  const Vec3& b = mesh->vertex(vb);
+  const Vec3& c = mesh->vertex(vc);
+  const Vec3 n = (b - a).Cross(c - a);
+  const Vec3 centroid = (a + b + c) / 3.0;
+  if (n.Dot(centroid - inside_ref) >= 0.0) {
+    mesh->AddTriangle(va, vb, vc);
+  } else {
+    mesh->AddTriangle(va, vc, vb);
+  }
+}
+
+}  // namespace
+
+Result<TriMesh> MeshSolid(const Solid& solid, const MeshingOptions& opts) {
+  if (opts.resolution < 2) {
+    return Status::InvalidArgument("MeshSolid: resolution must be >= 2");
+  }
+  Aabb box = solid.BoundingBox();
+  if (box.IsEmpty()) {
+    return Status::InvalidArgument("MeshSolid: solid has empty bounds");
+  }
+  const double pad = box.MaxExtent() * opts.padding + 1e-9;
+  box.min -= Vec3(pad, pad, pad);
+  box.max += Vec3(pad, pad, pad);
+
+  GridSampler grid;
+  grid.cell = box.MaxExtent() / opts.resolution;
+  grid.origin = box.min;
+  const Vec3 ext = box.Extent();
+  grid.nx = static_cast<int>(std::ceil(ext.x / grid.cell)) + 1;
+  grid.ny = static_cast<int>(std::ceil(ext.y / grid.cell)) + 1;
+  grid.nz = static_cast<int>(std::ceil(ext.z / grid.cell)) + 1;
+
+  grid.values.resize(static_cast<size_t>(grid.nx) * grid.ny * grid.nz);
+  bool any_inside = false;
+  for (int k = 0; k < grid.nz; ++k) {
+    for (int j = 0; j < grid.ny; ++j) {
+      for (int i = 0; i < grid.nx; ++i) {
+        const Vec3 p = grid.origin + Vec3(i, j, k) * grid.cell;
+        double v = solid.Distance(p);
+        if (v == 0.0) v = 1e-12;  // keep corners strictly off the surface
+        grid.values[grid.CornerId(i, j, k)] = static_cast<float>(v);
+        any_inside |= v < 0.0;
+      }
+    }
+  }
+  if (!any_inside) {
+    return Status::Internal(
+        "MeshSolid: no interior samples; resolution too coarse for this "
+        "solid");
+  }
+
+  TriMesh mesh;
+  EdgeVertexCache cache(&grid, &mesh);
+
+  uint64_t corner_ids[8];
+  for (int k = 0; k + 1 < grid.nz; ++k) {
+    for (int j = 0; j + 1 < grid.ny; ++j) {
+      for (int i = 0; i + 1 < grid.nx; ++i) {
+        for (int c = 0; c < 8; ++c) {
+          corner_ids[c] = grid.CornerId(i + (c & 1), j + ((c >> 1) & 1),
+                                        k + ((c >> 2) & 1));
+        }
+        for (const auto& tet : kTets) {
+          uint64_t ids[4];
+          bool inside[4];
+          int n_inside = 0;
+          for (int v = 0; v < 4; ++v) {
+            ids[v] = corner_ids[tet[v]];
+            inside[v] = grid.Value(ids[v]) < 0.0;
+            n_inside += inside[v] ? 1 : 0;
+          }
+          if (n_inside == 0 || n_inside == 4) continue;
+
+          if (n_inside == 1 || n_inside == 3) {
+            // One vertex on the minority side; triangle on its three edges.
+            const bool minority_inside = (n_inside == 1);
+            int solo = -1;
+            for (int v = 0; v < 4; ++v) {
+              if (inside[v] == minority_inside) solo = v;
+            }
+            uint32_t tri[3];
+            int out = 0;
+            for (int v = 0; v < 4; ++v) {
+              if (v == solo) continue;
+              tri[out++] = cache.Crossing(ids[solo], ids[v]);
+            }
+            // Reference interior point: the inside corner (n_inside == 1)
+            // or the centroid of the three inside corners (n_inside == 3).
+            Vec3 ref;
+            if (minority_inside) {
+              ref = grid.Position(ids[solo]);
+            } else {
+              int cnt = 0;
+              for (int v = 0; v < 4; ++v) {
+                if (v != solo) {
+                  ref += grid.Position(ids[v]);
+                  ++cnt;
+                }
+              }
+              ref *= 1.0 / cnt;
+            }
+            EmitOriented(&mesh, tri[0], tri[1], tri[2], ref);
+          } else {
+            // 2-2 split: quad across four crossing edges.
+            int in_v[2], out_v[2];
+            int ni = 0, no = 0;
+            for (int v = 0; v < 4; ++v) {
+              if (inside[v]) {
+                in_v[ni++] = v;
+              } else {
+                out_v[no++] = v;
+              }
+            }
+            const uint32_t p00 = cache.Crossing(ids[in_v[0]], ids[out_v[0]]);
+            const uint32_t p01 = cache.Crossing(ids[in_v[0]], ids[out_v[1]]);
+            const uint32_t p10 = cache.Crossing(ids[in_v[1]], ids[out_v[0]]);
+            const uint32_t p11 = cache.Crossing(ids[in_v[1]], ids[out_v[1]]);
+            const Vec3 ref =
+                (grid.Position(ids[in_v[0]]) + grid.Position(ids[in_v[1]])) *
+                0.5;
+            // Quad p00 -> p01 -> p11 -> p10 is non-self-intersecting.
+            EmitOriented(&mesh, p00, p01, p11, ref);
+            EmitOriented(&mesh, p00, p11, p10, ref);
+          }
+        }
+      }
+    }
+  }
+  mesh.WeldVertices(grid.cell * 1e-6);
+  return mesh;
+}
+
+}  // namespace dess

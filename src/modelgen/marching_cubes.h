@@ -1,0 +1,30 @@
+#ifndef DESS_MODELGEN_MARCHING_CUBES_H_
+#define DESS_MODELGEN_MARCHING_CUBES_H_
+
+#include "src/common/result.h"
+#include "src/geom/trimesh.h"
+#include "src/modelgen/csg.h"
+
+namespace dess {
+
+/// Isosurface meshing options.
+struct MeshingOptions {
+  /// Number of sampling cells along the longest bounding-box axis.
+  int resolution = 48;
+  /// Bounding box is inflated by this fraction on every side so the surface
+  /// never touches the sampling boundary.
+  double padding = 0.05;
+};
+
+/// Extracts the zero level set of `solid` as a closed triangle mesh.
+///
+/// Implementation: marching tetrahedra over a Freudenthal (6-tet) cube
+/// decomposition with shared-edge vertex caching, which yields a watertight,
+/// consistently outward-oriented mesh without marching-cubes case tables.
+/// Returns InvalidArgument for non-positive resolution and Internal if the
+/// solid has no interior samples at this resolution.
+Result<TriMesh> MeshSolid(const Solid& solid, const MeshingOptions& opts = {});
+
+}  // namespace dess
+
+#endif  // DESS_MODELGEN_MARCHING_CUBES_H_

@@ -1,0 +1,481 @@
+#include "src/modelgen/part_families.h"
+
+#include <cmath>
+
+namespace dess {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// Shorthand for a dimension jittered uniformly by +/- `rel` around `base`.
+double Dim(Rng* rng, double base, double rel = 0.15) {
+  return base * rng->Uniform(1.0 - rel, 1.0 + rel);
+}
+
+SolidPtr BuildLBracket(Rng* rng) {
+  const double leg1 = Dim(rng, 1.0);
+  const double leg2 = Dim(rng, 0.8);
+  const double th = Dim(rng, 0.18);
+  const double w = Dim(rng, 0.6);
+  // Horizontal leg along +X, vertical leg along +Z; share the corner.
+  SolidPtr horiz =
+      Translated(MakeBox({leg1 / 2, w / 2, th / 2}), {leg1 / 2, 0, th / 2});
+  SolidPtr vert =
+      Translated(MakeBox({th / 2, w / 2, leg2 / 2}), {th / 2, 0, leg2 / 2});
+  return MakeUnion(horiz, vert);
+}
+
+SolidPtr BuildUChannel(Rng* rng) {
+  const double len = Dim(rng, 1.4);
+  const double width = Dim(rng, 0.6);
+  const double height = Dim(rng, 0.5);
+  const double th = Dim(rng, 0.12);
+  SolidPtr outer = MakeBox({len / 2, width / 2, height / 2});
+  SolidPtr cavity = Translated(
+      MakeBox({len / 2 + 0.1, width / 2 - th, height / 2}), {0, 0, th});
+  return MakeDifference(outer, cavity);
+}
+
+SolidPtr BuildTBracket(Rng* rng) {
+  const double bar = Dim(rng, 1.2);
+  const double stem = Dim(rng, 0.9);
+  const double th = Dim(rng, 0.2);
+  const double w = Dim(rng, 0.5);
+  SolidPtr top = Translated(MakeBox({bar / 2, w / 2, th / 2}),
+                            {0, 0, stem + th / 2});
+  SolidPtr mid =
+      Translated(MakeBox({th / 2, w / 2, stem / 2}), {0, 0, stem / 2});
+  return MakeUnion(top, mid);
+}
+
+SolidPtr BuildPlateWithHoles(Rng* rng) {
+  const double lx = Dim(rng, 1.3);
+  const double ly = Dim(rng, 0.9);
+  const double th = Dim(rng, 0.1);
+  const double hole_r = Dim(rng, 0.08);
+  const double inset_x = lx / 2 - Dim(rng, 0.15);
+  const double inset_y = ly / 2 - Dim(rng, 0.15);
+  SolidPtr plate = MakeBox({lx / 2, ly / 2, th / 2});
+  std::vector<SolidPtr> holes;
+  for (int sx : {-1, 1}) {
+    for (int sy : {-1, 1}) {
+      holes.push_back(Translated(MakeCylinder(hole_r, th),
+                                 {sx * inset_x, sy * inset_y, 0}));
+    }
+  }
+  return MakeDifference(plate, MakeUnion(std::move(holes)));
+}
+
+SolidPtr BuildFlange(Rng* rng) {
+  const double disc_r = Dim(rng, 0.7);
+  const double disc_h = Dim(rng, 0.12);
+  const double hub_r = Dim(rng, 0.3);
+  const double hub_h = Dim(rng, 0.35);
+  const double bore_r = Dim(rng, 0.15);
+  const double bolt_r = Dim(rng, 0.05);
+  const double bolt_circle = disc_r * rng->Uniform(0.7, 0.8);
+  SolidPtr disc = MakeCylinder(disc_r, disc_h / 2);
+  SolidPtr hub = Translated(MakeCylinder(hub_r, hub_h / 2),
+                            {0, 0, disc_h / 2 + hub_h / 2 - 0.01});
+  SolidPtr body = MakeUnion(disc, hub);
+  std::vector<SolidPtr> holes;
+  holes.push_back(MakeCylinder(bore_r, disc_h / 2 + hub_h + 0.1));
+  for (int i = 0; i < 6; ++i) {
+    const double a = 2.0 * kPi * i / 6.0;
+    holes.push_back(
+        Translated(MakeCylinder(bolt_r, disc_h),
+                   {bolt_circle * std::cos(a), bolt_circle * std::sin(a), 0}));
+  }
+  return MakeDifference(body, MakeUnion(std::move(holes)));
+}
+
+SolidPtr BuildGear(Rng* rng) {
+  const double body_r = Dim(rng, 0.6, 0.1);
+  const double th = Dim(rng, 0.15);
+  const double bore_r = Dim(rng, 0.12);
+  const int teeth = rng->NextInt(8, 12);
+  const double tooth = body_r * 0.22;
+  SolidPtr body = MakeCylinder(body_r, th / 2);
+  std::vector<SolidPtr> parts{body};
+  for (int i = 0; i < teeth; ++i) {
+    const double a = 2.0 * kPi * i / teeth;
+    SolidPtr t = MakeBox({tooth / 2, tooth / 2, th / 2});
+    t = Rotated(std::move(t), {0, 0, 1}, a);
+    parts.push_back(Translated(
+        std::move(t), {body_r * std::cos(a), body_r * std::sin(a), 0}));
+  }
+  return MakeDifference(MakeUnion(std::move(parts)),
+                        MakeCylinder(bore_r, th));
+}
+
+SolidPtr BuildPipeElbow(Rng* rng) {
+  const double major = Dim(rng, 0.6);
+  const double outer = Dim(rng, 0.18);
+  const double wall = outer * rng->Uniform(0.35, 0.5);
+  // Quarter of a hollow torus: the elbow occupies the x>0, y>0 quadrant.
+  SolidPtr ring =
+      MakeDifference(MakeTorus(major, outer), MakeTorus(major, outer - wall));
+  SolidPtr quadrant = Translated(MakeBox({major + outer, major + outer, outer}),
+                                 {major + outer, major + outer, 0});
+  return MakeIntersection(ring, quadrant);
+}
+
+SolidPtr BuildStraightTube(Rng* rng) {
+  const double len = Dim(rng, 1.4);
+  const double outer = Dim(rng, 0.22);
+  const double wall = outer * rng->Uniform(0.3, 0.45);
+  return MakeDifference(MakeCylinder(outer, len / 2),
+                        MakeCylinder(outer - wall, len / 2 + 0.1));
+}
+
+SolidPtr BuildHexNut(Rng* rng) {
+  const double flat_r = Dim(rng, 0.4);
+  const double h = Dim(rng, 0.3);
+  const double bore = flat_r * rng->Uniform(0.45, 0.55);
+  return MakeDifference(MakeHexPrism(flat_r, h / 2),
+                        MakeCylinder(bore, h / 2 + 0.1));
+}
+
+SolidPtr BuildBolt(Rng* rng) {
+  const double head_r = Dim(rng, 0.3);
+  const double head_h = Dim(rng, 0.18);
+  const double shank_r = head_r * rng->Uniform(0.5, 0.6);
+  const double shank_l = Dim(rng, 1.0);
+  SolidPtr head = Translated(MakeHexPrism(head_r, head_h / 2),
+                             {0, 0, shank_l + head_h / 2});
+  SolidPtr shank =
+      Translated(MakeCylinder(shank_r, shank_l / 2), {0, 0, shank_l / 2});
+  return MakeUnion(head, shank);
+}
+
+SolidPtr BuildWasher(Rng* rng) {
+  const double outer = Dim(rng, 0.45);
+  const double inner = outer * rng->Uniform(0.45, 0.6);
+  const double th = Dim(rng, 0.07);
+  return MakeDifference(MakeCylinder(outer, th / 2),
+                        MakeCylinder(inner, th / 2 + 0.1));
+}
+
+SolidPtr BuildSteppedShaft(Rng* rng) {
+  const double r1 = Dim(rng, 0.3);
+  const double r2 = r1 * rng->Uniform(0.65, 0.8);
+  const double r3 = r2 * rng->Uniform(0.6, 0.75);
+  const double l1 = Dim(rng, 0.5);
+  const double l2 = Dim(rng, 0.5);
+  const double l3 = Dim(rng, 0.4);
+  SolidPtr s1 = Translated(MakeCylinder(r1, l1 / 2), {0, 0, l1 / 2});
+  SolidPtr s2 = Translated(MakeCylinder(r2, l2 / 2), {0, 0, l1 + l2 / 2});
+  SolidPtr s3 = Translated(MakeCylinder(r3, l3 / 2), {0, 0, l1 + l2 + l3 / 2});
+  return MakeUnion({s1, s2, s3});
+}
+
+SolidPtr BuildPocketBlock(Rng* rng) {
+  const double lx = Dim(rng, 0.9);
+  const double ly = Dim(rng, 0.7);
+  const double lz = Dim(rng, 0.5);
+  const double wall = Dim(rng, 0.12);
+  SolidPtr block = MakeBox({lx / 2, ly / 2, lz / 2});
+  SolidPtr pocket = Translated(
+      MakeBox({lx / 2 - wall, ly / 2 - wall, lz / 2}), {0, 0, wall});
+  return MakeDifference(block, pocket);
+}
+
+SolidPtr BuildCrossBracket(Rng* rng) {
+  const double arm = Dim(rng, 1.2);
+  const double w = Dim(rng, 0.25);
+  const double th = Dim(rng, 0.15);
+  SolidPtr a = MakeBox({arm / 2, w / 2, th / 2});
+  SolidPtr b = MakeBox({w / 2, arm / 2, th / 2});
+  return MakeUnion(a, b);
+}
+
+SolidPtr BuildHBeam(Rng* rng) {
+  const double len = Dim(rng, 1.5);
+  const double flange_w = Dim(rng, 0.5);
+  const double flange_t = Dim(rng, 0.1);
+  const double depth = Dim(rng, 0.6);
+  const double web_t = Dim(rng, 0.1);
+  SolidPtr top = Translated(MakeBox({len / 2, flange_w / 2, flange_t / 2}),
+                            {0, 0, depth / 2 - flange_t / 2});
+  SolidPtr bot = Translated(MakeBox({len / 2, flange_w / 2, flange_t / 2}),
+                            {0, 0, -depth / 2 + flange_t / 2});
+  SolidPtr web = MakeBox({len / 2, web_t / 2, depth / 2 - flange_t});
+  return MakeUnion({top, bot, web});
+}
+
+SolidPtr BuildAngleIron(Rng* rng) {
+  const double len = Dim(rng, 1.8);
+  const double leg = Dim(rng, 0.35);
+  const double th = Dim(rng, 0.08);
+  SolidPtr a =
+      Translated(MakeBox({len / 2, leg / 2, th / 2}), {0, leg / 2, th / 2});
+  SolidPtr b =
+      Translated(MakeBox({len / 2, th / 2, leg / 2}), {0, th / 2, leg / 2});
+  return MakeUnion(a, b);
+}
+
+SolidPtr BuildClevis(Rng* rng) {
+  const double body = Dim(rng, 0.5);
+  const double prong_l = Dim(rng, 0.6);
+  const double prong_t = Dim(rng, 0.14);
+  const double gap = Dim(rng, 0.22);
+  const double hole_r = Dim(rng, 0.09);
+  SolidPtr base =
+      Translated(MakeBox({body / 2, body / 2, body / 2}), {-body / 2, 0, 0});
+  SolidPtr p1 = Translated(
+      MakeBox({prong_l / 2, prong_t / 2, body / 2}),
+      {prong_l / 2, gap / 2 + prong_t / 2, 0});
+  SolidPtr p2 = Translated(
+      MakeBox({prong_l / 2, prong_t / 2, body / 2}),
+      {prong_l / 2, -gap / 2 - prong_t / 2, 0});
+  SolidPtr hole = Rotated(MakeCylinder(hole_r, body), {1, 0, 0}, kPi / 2);
+  hole = Translated(std::move(hole), {prong_l * 0.7, 0, 0});
+  return MakeDifference(MakeUnion({base, p1, p2}), hole);
+}
+
+SolidPtr BuildHandle(Rng* rng) {
+  const double span = Dim(rng, 0.8);
+  const double rise = Dim(rng, 0.45);
+  const double r = Dim(rng, 0.08);
+  // U-shaped grab handle: two posts plus a cross bar.
+  SolidPtr post1 = Translated(MakeCylinder(r, rise / 2), {-span / 2, 0, rise / 2});
+  SolidPtr post2 = Translated(MakeCylinder(r, rise / 2), {span / 2, 0, rise / 2});
+  SolidPtr bar = Rotated(MakeCylinder(r, span / 2 + r), {0, 1, 0}, kPi / 2);
+  bar = Translated(std::move(bar), {0, 0, rise});
+  return MakeUnion({post1, post2, bar});
+}
+
+SolidPtr BuildSpokedWheel(Rng* rng) {
+  const double rim_r = Dim(rng, 0.8, 0.1);
+  const double rim_w = Dim(rng, 0.12);
+  const double th = Dim(rng, 0.12);
+  const double hub_r = Dim(rng, 0.16);
+  const double spoke_w = Dim(rng, 0.08);
+  SolidPtr rim = MakeDifference(MakeCylinder(rim_r, th / 2),
+                                MakeCylinder(rim_r - rim_w, th / 2 + 0.1));
+  SolidPtr hub = MakeCylinder(hub_r, th / 2);
+  std::vector<SolidPtr> parts{rim, hub};
+  const int spokes = rng->NextInt(4, 6);
+  for (int i = 0; i < spokes; ++i) {
+    const double a = 2.0 * kPi * i / spokes;
+    SolidPtr s = MakeBox({rim_r / 2, spoke_w / 2, th / 2});
+    s = Translated(std::move(s), {rim_r / 2, 0, 0});
+    parts.push_back(Rotated(std::move(s), {0, 0, 1}, a));
+  }
+  return MakeUnion(std::move(parts));
+}
+
+SolidPtr BuildConeAdapter(Rng* rng) {
+  const double rb = Dim(rng, 0.5);
+  const double rt = rb * rng->Uniform(0.4, 0.55);
+  const double hh = Dim(rng, 0.5);
+  const double wall = Dim(rng, 0.08);
+  return MakeDifference(
+      MakeConeFrustum(rb, rt, hh),
+      MakeConeFrustum(rb - wall, rt - wall, hh + 0.05));
+}
+
+SolidPtr BuildLinkRod(Rng* rng) {
+  const double len = Dim(rng, 1.2);
+  const double rod_r = Dim(rng, 0.08);
+  const double eye_r = Dim(rng, 0.2);
+  const double eye_bore = eye_r * rng->Uniform(0.45, 0.55);
+  const double th = Dim(rng, 0.12);
+  SolidPtr rod = Rotated(MakeCylinder(rod_r, len / 2), {0, 1, 0}, kPi / 2);
+  auto eye = [&](double x) {
+    return Translated(MakeDifference(MakeCylinder(eye_r, th / 2),
+                                     MakeCylinder(eye_bore, th / 2 + 0.1)),
+                      {x, 0, 0});
+  };
+  return MakeUnion({rod, eye(-len / 2), eye(len / 2)});
+}
+
+SolidPtr BuildRectFrame(Rng* rng) {
+  const double lx = Dim(rng, 1.0);
+  const double ly = Dim(rng, 0.8);
+  const double th = Dim(rng, 0.12);
+  const double border = Dim(rng, 0.15);
+  SolidPtr outer = MakeBox({lx / 2, ly / 2, th / 2});
+  SolidPtr inner =
+      MakeBox({lx / 2 - border, ly / 2 - border, th / 2 + 0.1});
+  return MakeDifference(outer, inner);
+}
+
+SolidPtr BuildRibbedPlate(Rng* rng) {
+  const double lx = Dim(rng, 1.1);
+  const double ly = Dim(rng, 0.8);
+  const double th = Dim(rng, 0.08);
+  const double rib_h = Dim(rng, 0.16);
+  const double rib_t = Dim(rng, 0.07);
+  SolidPtr plate = MakeBox({lx / 2, ly / 2, th / 2});
+  std::vector<SolidPtr> parts{plate};
+  for (int i = -1; i <= 1; ++i) {
+    parts.push_back(Translated(
+        MakeBox({lx / 2, rib_t / 2, rib_h / 2}),
+        {0, i * ly / 3.0, th / 2 + rib_h / 2}));
+  }
+  return MakeUnion(std::move(parts));
+}
+
+SolidPtr BuildKeyedShaft(Rng* rng) {
+  const double r = Dim(rng, 0.25);
+  const double len = Dim(rng, 1.3);
+  const double key_w = r * rng->Uniform(0.4, 0.5);
+  const double key_d = r * rng->Uniform(0.35, 0.45);
+  SolidPtr shaft = MakeCylinder(r, len / 2);
+  SolidPtr keyway = Translated(
+      MakeBox({key_w / 2, key_d, len * 0.35}), {0, r, len * 0.15});
+  return MakeDifference(shaft, keyway);
+}
+
+SolidPtr BuildDumbbell(Rng* rng) {
+  const double ball_r = Dim(rng, 0.3);
+  const double bar_r = ball_r * rng->Uniform(0.3, 0.4);
+  const double span = Dim(rng, 1.0);
+  SolidPtr b1 = Translated(MakeSphere(ball_r), {-span / 2, 0, 0});
+  SolidPtr b2 = Translated(MakeSphere(ball_r), {span / 2, 0, 0});
+  SolidPtr bar = Rotated(MakeCylinder(bar_r, span / 2), {0, 1, 0}, kPi / 2);
+  return MakeUnion({b1, b2, bar});
+}
+
+SolidPtr BuildGussetBracket(Rng* rng) {
+  const double leg = Dim(rng, 0.9);
+  const double th = Dim(rng, 0.14);
+  const double w = Dim(rng, 0.5);
+  SolidPtr horiz =
+      Translated(MakeBox({leg / 2, w / 2, th / 2}), {leg / 2, 0, th / 2});
+  SolidPtr vert =
+      Translated(MakeBox({th / 2, w / 2, leg / 2}), {th / 2, 0, leg / 2});
+  // Triangular gusset: a thin square plate rotated 45 degrees and clipped to
+  // the inner corner region.
+  const double g = leg * 0.45;
+  SolidPtr plate = MakeBox({g, th / 4, g});
+  plate = Rotated(std::move(plate), {0, 1, 0}, kPi / 4);
+  plate = Translated(std::move(plate), {th, 0, th});
+  SolidPtr clip = Translated(MakeBox({g / 2, th / 4 + 0.01, g / 2}),
+                             {th + g / 2, 0, th + g / 2});
+  SolidPtr gusset = MakeIntersection(plate, clip);
+  return MakeUnion({horiz, vert, gusset});
+}
+
+SolidPtr BuildCapScrew(Rng* rng) {
+  const double head_r = Dim(rng, 0.22);
+  const double head_h = Dim(rng, 0.2);
+  const double shank_r = head_r * rng->Uniform(0.5, 0.6);
+  const double shank_l = Dim(rng, 0.8);
+  const double socket_r = head_r * 0.5;
+  SolidPtr head = Translated(MakeCylinder(head_r, head_h / 2),
+                             {0, 0, shank_l + head_h / 2});
+  SolidPtr shank =
+      Translated(MakeCylinder(shank_r, shank_l / 2), {0, 0, shank_l / 2});
+  SolidPtr socket = Translated(MakeHexPrism(socket_r, head_h / 3),
+                               {0, 0, shank_l + head_h});
+  return MakeDifference(MakeUnion(head, shank), socket);
+}
+
+SolidPtr BuildPulley(Rng* rng) {
+  const double r = Dim(rng, 0.5);
+  const double w = Dim(rng, 0.25);
+  const double groove_r = Dim(rng, 0.07);
+  const double bore = Dim(rng, 0.1);
+  SolidPtr body = MakeCylinder(r, w / 2);
+  SolidPtr groove = MakeTorus(r, groove_r);
+  return MakeDifference(MakeDifference(body, groove),
+                        MakeCylinder(bore, w / 2 + 0.1));
+}
+
+}  // namespace
+
+const std::vector<PartFamily>& StandardPartFamilies() {
+  static const std::vector<PartFamily>* families = new std::vector<PartFamily>{
+      {"l_bracket", BuildLBracket},
+      {"u_channel", BuildUChannel},
+      {"t_bracket", BuildTBracket},
+      {"plate_with_holes", BuildPlateWithHoles},
+      {"flange", BuildFlange},
+      {"gear", BuildGear},
+      {"pipe_elbow", BuildPipeElbow},
+      {"straight_tube", BuildStraightTube},
+      {"hex_nut", BuildHexNut},
+      {"bolt", BuildBolt},
+      {"washer", BuildWasher},
+      {"stepped_shaft", BuildSteppedShaft},
+      {"pocket_block", BuildPocketBlock},
+      {"cross_bracket", BuildCrossBracket},
+      {"h_beam", BuildHBeam},
+      {"angle_iron", BuildAngleIron},
+      {"clevis", BuildClevis},
+      {"handle", BuildHandle},
+      {"spoked_wheel", BuildSpokedWheel},
+      {"cone_adapter", BuildConeAdapter},
+      {"link_rod", BuildLinkRod},
+      {"rect_frame", BuildRectFrame},
+      {"ribbed_plate", BuildRibbedPlate},
+      {"keyed_shaft", BuildKeyedShaft},
+      {"dumbbell", BuildDumbbell},
+      {"gusset_bracket", BuildGussetBracket},
+      // Extra families available for synthetic scaling experiments; the
+      // standard 113-model dataset uses only the first 26 above.
+      {"cap_screw", BuildCapScrew},
+      {"pulley", BuildPulley},
+  };
+  return *families;
+}
+
+SolidPtr BuildNoiseShape(Rng* rng) {
+  const int n = rng->NextInt(2, 5);
+  std::vector<SolidPtr> parts;
+  for (int i = 0; i < n; ++i) {
+    SolidPtr prim;
+    switch (rng->NextInt(0, 5)) {
+      case 0:
+        prim = MakeBox({rng->Uniform(0.15, 0.6), rng->Uniform(0.15, 0.6),
+                        rng->Uniform(0.15, 0.6)});
+        break;
+      case 1:
+        prim = MakeSphere(rng->Uniform(0.15, 0.5));
+        break;
+      case 2:
+        prim = MakeCylinder(rng->Uniform(0.1, 0.4), rng->Uniform(0.2, 0.7));
+        break;
+      case 3:
+        prim = MakeTorus(rng->Uniform(0.3, 0.6), rng->Uniform(0.07, 0.18));
+        break;
+      case 4:
+        prim = MakeConeFrustum(rng->Uniform(0.2, 0.5), rng->Uniform(0.05, 0.3),
+                               rng->Uniform(0.2, 0.6));
+        break;
+      default:
+        prim = MakeHexPrism(rng->Uniform(0.2, 0.5), rng->Uniform(0.1, 0.4));
+        break;
+    }
+    // Keep translations small so the union stays connected.
+    prim = Rotated(std::move(prim),
+                   {rng->Uniform(-1, 1), rng->Uniform(-1, 1),
+                    rng->Uniform(-1, 1)},
+                   rng->Uniform(0, kPi));
+    prim = Translated(std::move(prim), {rng->Uniform(-0.3, 0.3),
+                                        rng->Uniform(-0.3, 0.3),
+                                        rng->Uniform(-0.3, 0.3)});
+    parts.push_back(std::move(prim));
+  }
+  return MakeUnion(std::move(parts));
+}
+
+SolidPtr RandomlyPosed(SolidPtr solid, Rng* rng) {
+  Transform t;
+  const Vec3 axis{rng->Uniform(-1, 1), rng->Uniform(-1, 1),
+                  rng->Uniform(-1, 1)};
+  // Full random rotation/translation, but only mild unit-system scale
+  // variation: parts of the same family in a real PDM database share a
+  // rough absolute size, which is what makes the volume/scale entries of
+  // the geometric-parameter descriptor informative (Section 3.5.2).
+  t.linear = Mat3::Rotation(axis.Norm() > 1e-9 ? axis : Vec3(0, 0, 1),
+                            rng->Uniform(0, 2 * kPi)) *
+             Mat3::Scale(rng->Uniform(0.9, 1.15));
+  t.translation = {rng->Uniform(-0.5, 0.5), rng->Uniform(-0.5, 0.5),
+                   rng->Uniform(-0.5, 0.5)};
+  return MakeTransformed(std::move(solid), t);
+}
+
+}  // namespace dess

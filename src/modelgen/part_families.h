@@ -1,0 +1,38 @@
+#ifndef DESS_MODELGEN_PART_FAMILIES_H_
+#define DESS_MODELGEN_PART_FAMILIES_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/modelgen/csg.h"
+
+namespace dess {
+
+/// A parametric family of engineering parts. Instances drawn from the same
+/// family share topology and rough proportions but differ in dimensions —
+/// the notion of "similar shapes" that defines the ground-truth groups of
+/// the paper's 113-model database.
+struct PartFamily {
+  std::string name;
+  /// Builds one instance; `rng` drives the dimensional variation.
+  std::function<SolidPtr(Rng* rng)> build;
+};
+
+/// The 26 part families standing in for the paper's 26 manually classified
+/// groups (brackets, channels, flanges, gears, nuts, bolts, tubes, shafts,
+/// wheels, ...). Deterministic order.
+const std::vector<PartFamily>& StandardPartFamilies();
+
+/// A "noisy shape": a random CSG combination of 2-5 primitives that does
+/// not belong to any family.
+SolidPtr BuildNoiseShape(Rng* rng);
+
+/// Applies a random rigid motion plus uniform scale to a solid, exercising
+/// the normalization stage (features must be invariant to this pose).
+SolidPtr RandomlyPosed(SolidPtr solid, Rng* rng);
+
+}  // namespace dess
+
+#endif  // DESS_MODELGEN_PART_FAMILIES_H_

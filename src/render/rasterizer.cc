@@ -1,0 +1,144 @@
+#include "src/render/rasterizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+
+#include "src/common/logging.h"
+
+namespace dess {
+
+Image::Image(int width, int height)
+    : width_(width),
+      height_(height),
+      pixels_(static_cast<size_t>(width) * height * 3, 0) {
+  DESS_CHECK(width > 0 && height > 0);
+}
+
+void Image::SetPixel(int x, int y, uint8_t r, uint8_t g, uint8_t b) {
+  if (x < 0 || x >= width_ || y < 0 || y >= height_) return;
+  const size_t idx = (static_cast<size_t>(y) * width_ + x) * 3;
+  pixels_[idx] = r;
+  pixels_[idx + 1] = g;
+  pixels_[idx + 2] = b;
+}
+
+void Image::GetPixel(int x, int y, uint8_t* r, uint8_t* g,
+                     uint8_t* b) const {
+  const size_t idx = (static_cast<size_t>(y) * width_ + x) * 3;
+  *r = pixels_[idx];
+  *g = pixels_[idx + 1];
+  *b = pixels_[idx + 2];
+}
+
+void Image::Clear(uint8_t r, uint8_t g, uint8_t b) {
+  for (size_t i = 0; i < pixels_.size(); i += 3) {
+    pixels_[i] = r;
+    pixels_[i + 1] = g;
+    pixels_[i + 2] = b;
+  }
+}
+
+Status Image::WritePpm(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open '" + path + "'");
+  out << "P6\n" << width_ << " " << height_ << "\n255\n";
+  out.write(reinterpret_cast<const char*>(pixels_.data()),
+            static_cast<std::streamsize>(pixels_.size()));
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Image RenderMesh(const TriMesh& mesh, const RenderOptions& options) {
+  Image img(options.width, options.height);
+  img.Clear(options.background[0], options.background[1],
+            options.background[2]);
+  if (mesh.IsEmpty()) return img;
+
+  const Aabb box = mesh.BoundingBox();
+  const Vec3 center = box.Center();
+  const double radius = std::max(1e-9, (box.max - box.min).Norm() * 0.5);
+
+  // Camera frame: eye orbiting the center, looking at it.
+  const double ca = std::cos(options.camera.azimuth_rad);
+  const double sa = std::sin(options.camera.azimuth_rad);
+  const double ce = std::cos(options.camera.elevation_rad);
+  const double se = std::sin(options.camera.elevation_rad);
+  const Vec3 eye =
+      center +
+      Vec3(ca * ce, sa * ce, se) * (radius * options.camera.distance_factor);
+  const Vec3 forward = (center - eye).Normalized();
+  Vec3 up(0, 0, 1);
+  Vec3 right = forward.Cross(up).Normalized();
+  if (right.SquaredNorm() < 1e-12) right = Vec3(1, 0, 0);
+  up = right.Cross(forward).Normalized();
+
+  // Orthographic projection sized to the bounding sphere.
+  const double half_w = radius * 1.15;
+  const double half_h = half_w * options.height / options.width;
+
+  std::vector<double> zbuf(
+      static_cast<size_t>(options.width) * options.height,
+      std::numeric_limits<double>::infinity());
+
+  auto project = [&](const Vec3& p, double* sx, double* sy, double* depth) {
+    const Vec3 rel = p - eye;
+    const double cx = rel.Dot(right);
+    const double cy = rel.Dot(up);
+    *depth = rel.Dot(forward);
+    *sx = (cx / half_w * 0.5 + 0.5) * (options.width - 1);
+    *sy = (0.5 - cy / half_h * 0.5) * (options.height - 1);
+  };
+
+  for (size_t t = 0; t < mesh.NumTriangles(); ++t) {
+    Vec3 a, b, c;
+    mesh.TriangleVertices(t, &a, &b, &c);
+    const Vec3 n = mesh.FaceNormal(t).Normalized();
+    // Headlight shading; back faces get dim ambient so open meshes still
+    // read.
+    const double lambert = std::max(0.0, n.Dot(-forward));
+    const double shade = 0.18 + 0.82 * lambert;
+
+    double x0, y0, z0, x1, y1, z1, x2, y2, z2;
+    project(a, &x0, &y0, &z0);
+    project(b, &x1, &y1, &z1);
+    project(c, &x2, &y2, &z2);
+
+    const int min_x = std::max(0, static_cast<int>(
+                                      std::floor(std::min({x0, x1, x2}))));
+    const int max_x =
+        std::min(options.width - 1,
+                 static_cast<int>(std::ceil(std::max({x0, x1, x2}))));
+    const int min_y = std::max(0, static_cast<int>(
+                                      std::floor(std::min({y0, y1, y2}))));
+    const int max_y =
+        std::min(options.height - 1,
+                 static_cast<int>(std::ceil(std::max({y0, y1, y2}))));
+    const double area =
+        (x1 - x0) * (y2 - y0) - (x2 - x0) * (y1 - y0);
+    if (std::fabs(area) < 1e-12) continue;
+
+    for (int py = min_y; py <= max_y; ++py) {
+      for (int px = min_x; px <= max_x; ++px) {
+        const double w0 = ((x1 - px) * (y2 - py) - (x2 - px) * (y1 - py)) /
+                          area;
+        const double w1 = ((x2 - px) * (y0 - py) - (x0 - px) * (y2 - py)) /
+                          area;
+        const double w2 = 1.0 - w0 - w1;
+        if (w0 < 0.0 || w1 < 0.0 || w2 < 0.0) continue;
+        const double depth = w0 * z0 + w1 * z1 + w2 * z2;
+        double& zref = zbuf[static_cast<size_t>(py) * options.width + px];
+        if (depth >= zref) continue;
+        zref = depth;
+        img.SetPixel(px, py,
+                     static_cast<uint8_t>(options.base_color[0] * shade),
+                     static_cast<uint8_t>(options.base_color[1] * shade),
+                     static_cast<uint8_t>(options.base_color[2] * shade));
+      }
+    }
+  }
+  return img;
+}
+
+}  // namespace dess

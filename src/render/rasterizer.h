@@ -1,0 +1,59 @@
+#ifndef DESS_RENDER_RASTERIZER_H_
+#define DESS_RENDER_RASTERIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/geom/trimesh.h"
+
+namespace dess {
+
+/// 8-bit RGB raster image.
+class Image {
+ public:
+  Image(int width, int height);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  void SetPixel(int x, int y, uint8_t r, uint8_t g, uint8_t b);
+  void GetPixel(int x, int y, uint8_t* r, uint8_t* g, uint8_t* b) const;
+
+  /// Fills the whole image with one color.
+  void Clear(uint8_t r, uint8_t g, uint8_t b);
+
+  /// Writes a binary PPM (P6).
+  Status WritePpm(const std::string& path) const;
+
+ private:
+  int width_, height_;
+  std::vector<uint8_t> pixels_;  // RGB interleaved
+};
+
+/// Simple turntable camera: orbits the mesh bounding-sphere center.
+struct CameraPose {
+  double azimuth_rad = 0.6;
+  double elevation_rad = 0.4;
+  /// Distance as a multiple of the bounding-sphere radius.
+  double distance_factor = 2.8;
+};
+
+struct RenderOptions {
+  int width = 256;
+  int height = 256;
+  CameraPose camera;
+  uint8_t background[3] = {18, 18, 24};
+  uint8_t base_color[3] = {170, 190, 220};
+};
+
+/// Renders a mesh with a z-buffer and flat Lambertian shading (headlight).
+/// This is the repository's stand-in for the paper's Java3D "3D view
+/// generation" module; callers render multiple poses to let a user judge
+/// depth.
+Image RenderMesh(const TriMesh& mesh, const RenderOptions& options = {});
+
+}  // namespace dess
+
+#endif  // DESS_RENDER_RASTERIZER_H_

@@ -1,0 +1,31 @@
+#include "src/render/view_generation.h"
+
+#include "src/common/strings.h"
+#include "src/geom/mesh_io.h"
+
+namespace dess {
+
+Status GenerateViews(const TriMesh& mesh, const std::string& output_prefix,
+                     const ViewGenerationOptions& options,
+                     std::vector<std::string>* out_paths) {
+  if (options.num_views <= 0) {
+    return Status::InvalidArgument("view generation: num_views must be > 0");
+  }
+  for (int v = 0; v < options.num_views; ++v) {
+    RenderOptions ro = options.render;
+    ro.camera.azimuth_rad =
+        2.0 * 3.14159265358979323846 * v / options.num_views + 0.4;
+    const Image img = RenderMesh(mesh, ro);
+    const std::string path = StrFormat("%s_view%d.ppm", output_prefix.c_str(), v);
+    DESS_RETURN_NOT_OK(img.WritePpm(path));
+    if (out_paths != nullptr) out_paths->push_back(path);
+  }
+  if (options.write_obj) {
+    const std::string path = output_prefix + ".obj";
+    DESS_RETURN_NOT_OK(WriteObj(mesh, path));
+    if (out_paths != nullptr) out_paths->push_back(path);
+  }
+  return Status::OK();
+}
+
+}  // namespace dess

@@ -1,0 +1,32 @@
+#ifndef DESS_RENDER_VIEW_GENERATION_H_
+#define DESS_RENDER_VIEW_GENERATION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/render/rasterizer.h"
+
+namespace dess {
+
+/// The SERVER layer's "3D view generation" module (Section 2.2): given a
+/// retrieved shape, produce the triangulated view plus rendered images the
+/// interface would display. Instead of a live Java3D canvas we emit a
+/// turntable of poses (which carries the depth information a single 2D
+/// image loses) and the triangulated geometry itself.
+struct ViewGenerationOptions {
+  int num_views = 4;        // turntable steps around the object
+  RenderOptions render;     // per-frame raster settings
+  bool write_obj = true;    // also export the triangulated view
+};
+
+/// Writes `<output_prefix>_view<i>.ppm` for each turntable pose and
+/// `<output_prefix>.obj` for the triangulated view. Returns the paths
+/// written via `out_paths` (optional).
+Status GenerateViews(const TriMesh& mesh, const std::string& output_prefix,
+                     const ViewGenerationOptions& options = {},
+                     std::vector<std::string>* out_paths = nullptr);
+
+}  // namespace dess
+
+#endif  // DESS_RENDER_VIEW_GENERATION_H_

@@ -1,0 +1,147 @@
+#include "src/search/combined.h"
+
+#include <algorithm>
+
+namespace dess {
+
+CombinationWeights CombinationWeights::Uniform() {
+  CombinationWeights w;
+  w.alpha.fill(1.0 / kNumFeatureKinds);
+  return w;
+}
+
+CombinationWeights CombinationWeights::Only(FeatureKind kind) {
+  CombinationWeights w;
+  w.alpha.fill(0.0);
+  w.alpha[static_cast<int>(kind)] = 1.0;
+  return w;
+}
+
+void CombinationWeights::Normalize() {
+  double sum = 0.0;
+  for (double& a : alpha) {
+    if (a < 0.0) a = 0.0;
+    sum += a;
+  }
+  if (sum <= 0.0) return;
+  for (double& a : alpha) a /= sum;
+}
+
+namespace {
+
+// Scores every database shape by the alpha-weighted per-feature
+// similarities of Eq. 4.4 and returns the top k (excluding `exclude_id`
+// when >= 0). A sequential pass is appropriate: combined similarity is not
+// a metric ball in any single feature space, so the per-space R-trees
+// cannot prune for it directly.
+Result<std::vector<SearchResult>> CombinedScan(
+    const SearchEngine& engine,
+    const std::array<std::vector<double>, kNumFeatureKinds>& query_std,
+    const CombinationWeights& weights, int exclude_id, size_t k) {
+  std::vector<SearchResult> scored;
+  scored.reserve(engine.db().NumShapes());
+  for (const ShapeRecord& rec : engine.db().records()) {
+    if (rec.id == exclude_id) continue;
+    double combined_similarity = 0.0;
+    double combined_distance = 0.0;
+    for (FeatureKind kind : AllFeatureKinds()) {
+      const int ki = static_cast<int>(kind);
+      if (weights.alpha[ki] == 0.0) continue;
+      const SimilaritySpace& space = engine.Space(kind);
+      const std::vector<double> x =
+          space.Standardize(rec.signature.Get(kind).values);
+      const double d = space.Distance(query_std[ki], x);
+      combined_similarity += weights.alpha[ki] * space.Similarity(d);
+      combined_distance += weights.alpha[ki] * d;
+    }
+    SearchResult r;
+    r.id = rec.id;
+    r.distance = combined_distance;
+    r.similarity = combined_similarity;
+    scored.push_back(r);
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const SearchResult& a, const SearchResult& b) {
+              if (a.similarity != b.similarity) {
+                return a.similarity > b.similarity;
+              }
+              return a.id < b.id;
+            });
+  if (scored.size() > k) scored.resize(k);
+  return scored;
+}
+
+Result<std::array<std::vector<double>, kNumFeatureKinds>> StandardizeAll(
+    const SearchEngine& engine, const ShapeSignature& signature) {
+  std::array<std::vector<double>, kNumFeatureKinds> out;
+  for (FeatureKind kind : AllFeatureKinds()) {
+    const int ki = static_cast<int>(kind);
+    const FeatureVector& fv = signature.Get(kind);
+    if (fv.dim() != FeatureDim(kind)) {
+      return Status::InvalidArgument("combined query: feature dim mismatch");
+    }
+    out[ki] = engine.Space(kind).Standardize(fv.values);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<SearchResult>> CombinedQueryById(
+    const SearchEngine& engine, int query_id,
+    const CombinationWeights& weights, size_t k) {
+  DESS_ASSIGN_OR_RETURN(const ShapeRecord* rec, engine.db().Get(query_id));
+  DESS_ASSIGN_OR_RETURN(auto query_std,
+                        StandardizeAll(engine, rec->signature));
+  CombinationWeights w = weights;
+  w.Normalize();
+  return CombinedScan(engine, query_std, w, query_id, k);
+}
+
+Result<std::vector<SearchResult>> CombinedQuery(
+    const SearchEngine& engine, const ShapeSignature& query,
+    const CombinationWeights& weights, size_t k) {
+  DESS_ASSIGN_OR_RETURN(auto query_std, StandardizeAll(engine, query));
+  CombinationWeights w = weights;
+  w.Normalize();
+  return CombinedScan(engine, query_std, w, /*exclude_id=*/-1, k);
+}
+
+Result<CombinationWeights> ReconfigureCombinationWeights(
+    const SearchEngine& engine, const ShapeSignature& query,
+    const CombinationWeights& current, const std::vector<int>& relevant_ids,
+    double blend) {
+  if (relevant_ids.empty()) return current;
+  if (blend < 0.0 || blend > 1.0) {
+    return Status::InvalidArgument("blend must be in [0, 1]");
+  }
+  DESS_ASSIGN_OR_RETURN(auto query_std, StandardizeAll(engine, query));
+
+  // A feature vector that rates the relevant shapes as highly similar to
+  // the query deserves more weight (Rui et al.-style feature re-weighting,
+  // the cross-feature mechanism of Section 2.2).
+  CombinationWeights fresh;
+  for (FeatureKind kind : AllFeatureKinds()) {
+    const int ki = static_cast<int>(kind);
+    const SimilaritySpace& space = engine.Space(kind);
+    double mean_similarity = 0.0;
+    for (int id : relevant_ids) {
+      DESS_ASSIGN_OR_RETURN(std::vector<double> raw,
+                            engine.db().Feature(id, kind));
+      const double d = space.Distance(query_std[ki], space.Standardize(raw));
+      mean_similarity += space.Similarity(d);
+    }
+    fresh.alpha[ki] = mean_similarity / relevant_ids.size();
+  }
+  fresh.Normalize();
+
+  CombinationWeights out;
+  for (int ki = 0; ki < kNumFeatureKinds; ++ki) {
+    out.alpha[ki] =
+        blend * fresh.alpha[ki] + (1.0 - blend) * current.alpha[ki];
+  }
+  out.Normalize();
+  return out;
+}
+
+}  // namespace dess

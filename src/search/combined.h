@@ -1,0 +1,52 @@
+#ifndef DESS_SEARCH_COMBINED_H_
+#define DESS_SEARCH_COMBINED_H_
+
+#include <array>
+
+#include "src/search/search_engine.h"
+
+namespace dess {
+
+/// Per-feature-vector combination weights for combined-feature search.
+/// The overall similarity of Section 3.5.3 ("linear combinations of
+/// similarity based on different feature vectors are used as the overall
+/// similarity") is s(q, x) = sum_k alpha_k * s_k(q, x) with alpha >= 0
+/// normalized to sum 1.
+struct CombinationWeights {
+  std::array<double, kNumFeatureKinds> alpha{0.25, 0.25, 0.25, 0.25};
+
+  /// Equal weights over all four feature vectors.
+  static CombinationWeights Uniform();
+
+  /// All weight on a single feature vector (degenerates to one-shot).
+  static CombinationWeights Only(FeatureKind kind);
+
+  /// Clamps negatives to zero and rescales to sum 1. No-op if all zero.
+  void Normalize();
+};
+
+/// Combined-feature top-k query for a database shape: ranks every shape by
+/// the alpha-weighted sum of per-feature similarities. The query shape is
+/// excluded. This is the "combined feature vectors" baseline the paper's
+/// Section 4.2 compares multi-step search against.
+Result<std::vector<SearchResult>> CombinedQueryById(
+    const SearchEngine& engine, int query_id,
+    const CombinationWeights& weights, size_t k);
+
+/// Combined-feature top-k query for an external signature (not excluded).
+Result<std::vector<SearchResult>> CombinedQuery(
+    const SearchEngine& engine, const ShapeSignature& query,
+    const CombinationWeights& weights, size_t k);
+
+/// Relevance-feedback update of the combination weights (the paper's
+/// "weight reconfiguration updates the weights for each feature vector"):
+/// feature vectors under which the marked-relevant shapes score high get
+/// their alpha increased, blended with the previous weights.
+Result<CombinationWeights> ReconfigureCombinationWeights(
+    const SearchEngine& engine, const ShapeSignature& query,
+    const CombinationWeights& current, const std::vector<int>& relevant_ids,
+    double blend = 0.5);
+
+}  // namespace dess
+
+#endif  // DESS_SEARCH_COMBINED_H_

@@ -1,0 +1,84 @@
+#include "src/search/multistep.h"
+
+#include <algorithm>
+
+namespace dess {
+
+MultiStepPlan MultiStepPlan::Standard(int first_retrieve, int final_keep) {
+  MultiStepPlan plan;
+  plan.stages.push_back({FeatureKind::kMomentInvariants, first_retrieve});
+  plan.stages.push_back({FeatureKind::kGeometricParams, final_keep});
+  return plan;
+}
+
+namespace {
+
+Result<std::vector<SearchResult>> RunPlan(
+    const SearchEngine& engine,
+    const std::array<std::vector<double>, kNumFeatureKinds>& query_features,
+    int exclude_id, const MultiStepPlan& plan) {
+  if (plan.stages.empty()) {
+    return Status::InvalidArgument("multi-step: empty plan");
+  }
+  std::vector<SearchResult> current;
+  for (size_t s = 0; s < plan.stages.size(); ++s) {
+    const MultiStepStage& stage = plan.stages[s];
+    const auto& feature = query_features[static_cast<int>(stage.kind)];
+    if (s == 0) {
+      // First stage: index search. Over-fetch by one when excluding the
+      // query shape itself.
+      const size_t k =
+          stage.keep > 0 ? static_cast<size_t>(stage.keep) : engine.db().NumShapes();
+      DESS_ASSIGN_OR_RETURN(
+          current,
+          engine.QueryTopK(feature, stage.kind,
+                           k + (exclude_id >= 0 ? 1 : 0)));
+      if (exclude_id >= 0) {
+        current.erase(std::remove_if(current.begin(), current.end(),
+                                     [&](const SearchResult& r) {
+                                       return r.id == exclude_id;
+                                     }),
+                      current.end());
+      }
+      if (stage.keep > 0 && current.size() > static_cast<size_t>(stage.keep)) {
+        current.resize(stage.keep);
+      }
+    } else {
+      // Later stages: filter the previous results with another feature
+      // vector (re-rank and truncate).
+      std::vector<int> ids;
+      ids.reserve(current.size());
+      for (const SearchResult& r : current) ids.push_back(r.id);
+      DESS_ASSIGN_OR_RETURN(current,
+                            engine.Rerank(ids, feature, stage.kind));
+      if (stage.keep > 0 && current.size() > static_cast<size_t>(stage.keep)) {
+        current.resize(stage.keep);
+      }
+    }
+  }
+  return current;
+}
+
+}  // namespace
+
+Result<std::vector<SearchResult>> MultiStepQueryById(
+    const SearchEngine& engine, int query_id, const MultiStepPlan& plan) {
+  std::array<std::vector<double>, kNumFeatureKinds> features;
+  for (FeatureKind kind : AllFeatureKinds()) {
+    DESS_ASSIGN_OR_RETURN(features[static_cast<int>(kind)],
+                          engine.db().Feature(query_id, kind));
+  }
+  return RunPlan(engine, features, query_id, plan);
+}
+
+Result<std::vector<SearchResult>> MultiStepQuery(const SearchEngine& engine,
+                                                 const ShapeSignature& query,
+                                                 const MultiStepPlan& plan) {
+  std::array<std::vector<double>, kNumFeatureKinds> features;
+  for (FeatureKind kind : AllFeatureKinds()) {
+    features[static_cast<int>(kind)] = query.Get(kind).values;
+  }
+  return RunPlan(engine, features, /*exclude_id=*/-1, plan);
+}
+
+}  // namespace dess

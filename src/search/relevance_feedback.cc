@@ -1,0 +1,119 @@
+#include "src/search/relevance_feedback.h"
+
+#include <cmath>
+
+namespace dess {
+namespace {
+
+// Mean of the raw feature vectors of the given shapes.
+Result<std::vector<double>> MeanFeature(const ShapeDatabase& db,
+                                        FeatureKind kind,
+                                        const std::vector<int>& ids) {
+  std::vector<double> mean(FeatureDim(kind), 0.0);
+  for (int id : ids) {
+    DESS_ASSIGN_OR_RETURN(std::vector<double> f, db.Feature(id, kind));
+    for (size_t d = 0; d < mean.size(); ++d) mean[d] += f[d];
+  }
+  for (double& v : mean) v /= static_cast<double>(ids.size());
+  return mean;
+}
+
+}  // namespace
+
+Result<std::vector<double>> ReconstructQuery(const SearchEngine& engine,
+                                             FeatureKind kind,
+                                             const std::vector<double>& raw_query,
+                                             const Feedback& feedback,
+                                             const FeedbackOptions& options) {
+  if (static_cast<int>(raw_query.size()) != FeatureDim(kind)) {
+    return Status::InvalidArgument("feedback: query dimension mismatch");
+  }
+  std::vector<double> q = raw_query;
+  for (double& v : q) v *= options.alpha;
+  if (!feedback.relevant_ids.empty()) {
+    DESS_ASSIGN_OR_RETURN(
+        std::vector<double> rel,
+        MeanFeature(engine.db(), kind, feedback.relevant_ids));
+    for (size_t d = 0; d < q.size(); ++d) q[d] += options.beta * rel[d];
+  }
+  if (!feedback.irrelevant_ids.empty()) {
+    DESS_ASSIGN_OR_RETURN(
+        std::vector<double> irr,
+        MeanFeature(engine.db(), kind, feedback.irrelevant_ids));
+    for (size_t d = 0; d < q.size(); ++d) q[d] -= options.gamma * irr[d];
+  }
+  // Renormalize so the reconstructed query stays at the original scale.
+  const double denom =
+      options.alpha + (feedback.relevant_ids.empty() ? 0.0 : options.beta) -
+      (feedback.irrelevant_ids.empty() ? 0.0 : options.gamma);
+  if (std::fabs(denom) > 1e-12) {
+    for (double& v : q) v /= denom;
+  }
+  return q;
+}
+
+Result<std::vector<double>> ReconfigureWeights(const SearchEngine& engine,
+                                               FeatureKind kind,
+                                               const Feedback& feedback,
+                                               const FeedbackOptions& options) {
+  const SimilaritySpace& space = engine.Space(kind);
+  if (feedback.relevant_ids.size() < 2) return space.weights;
+
+  // Standardized per-dimension variance of the relevant set; agreement
+  // (small variance) earns a large weight (Rui et al.'s inverse-variance
+  // heuristic, the mechanism referenced by the paper's [6]).
+  const size_t dim = space.weights.size();
+  std::vector<std::vector<double>> rel;
+  for (int id : feedback.relevant_ids) {
+    DESS_ASSIGN_OR_RETURN(std::vector<double> f,
+                          engine.db().Feature(id, kind));
+    rel.push_back(space.Standardize(f));
+  }
+  std::vector<double> mean(dim, 0.0);
+  for (const auto& v : rel) {
+    for (size_t d = 0; d < dim; ++d) mean[d] += v[d];
+  }
+  for (double& v : mean) v /= static_cast<double>(rel.size());
+  std::vector<double> var(dim, 0.0);
+  for (const auto& v : rel) {
+    for (size_t d = 0; d < dim; ++d) {
+      var[d] += (v[d] - mean[d]) * (v[d] - mean[d]);
+    }
+  }
+  std::vector<double> fresh(dim);
+  for (size_t d = 0; d < dim; ++d) {
+    var[d] /= static_cast<double>(rel.size());
+    fresh[d] = 1.0 / (var[d] + 1e-3);
+  }
+  // Blend with the current weights, then normalize to mean 1 so distances
+  // remain comparable with d_max.
+  std::vector<double> out(dim);
+  double sum = 0.0;
+  for (size_t d = 0; d < dim; ++d) {
+    out[d] = options.weight_blend * fresh[d] +
+             (1.0 - options.weight_blend) * space.weights[d];
+    sum += out[d];
+  }
+  if (sum > 0.0) {
+    const double scale = static_cast<double>(dim) / sum;
+    for (double& w : out) w *= scale;
+  }
+  return out;
+}
+
+Result<std::vector<SearchResult>> FeedbackRound(SearchEngine* engine,
+                                                FeatureKind kind,
+                                                std::vector<double>* raw_query,
+                                                const Feedback& feedback,
+                                                size_t k,
+                                                const FeedbackOptions& options) {
+  DESS_ASSIGN_OR_RETURN(
+      *raw_query,
+      ReconstructQuery(*engine, kind, *raw_query, feedback, options));
+  DESS_ASSIGN_OR_RETURN(std::vector<double> weights,
+                        ReconfigureWeights(*engine, kind, feedback, options));
+  DESS_RETURN_NOT_OK(engine->SetWeights(kind, weights));
+  return engine->QueryTopK(*raw_query, kind, k);
+}
+
+}  // namespace dess

@@ -1,0 +1,268 @@
+#include "src/search/search_engine.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "src/common/logging.h"
+#include "src/common/strings.h"
+#include "src/index/disk_rtree.h"
+#include "src/index/linear_scan.h"
+#include "src/index/rtree.h"
+
+namespace dess {
+namespace {
+
+/// Adapts the static, Status-returning DiskRTree to the MultiDimIndex
+/// interface. The tree is read-only: Insert/Remove report NotImplemented
+/// (updates go through an engine rebuild, the standard pattern for packed
+/// indexes). Disk errors during a query are logged and yield an empty
+/// result — they indicate an unreadable index file, not a missing shape.
+class DiskIndexAdapter final : public MultiDimIndex {
+ public:
+  DiskIndexAdapter(std::unique_ptr<DiskRTree> tree)
+      : tree_(std::move(tree)) {}
+
+  int dim() const override { return tree_->dim(); }
+  size_t size() const override { return tree_->size(); }
+
+  Status Insert(int, const std::vector<double>&) override {
+    return Status::NotImplemented(
+        "disk r-tree is static; rebuild the engine to add shapes");
+  }
+  Status Remove(int, const std::vector<double>&) override {
+    return Status::NotImplemented(
+        "disk r-tree is static; rebuild the engine to remove shapes");
+  }
+
+  std::vector<Neighbor> KNearest(const std::vector<double>& query, size_t k,
+                                 const std::vector<double>& weights,
+                                 QueryStats* stats) const override {
+    auto result = tree_->KNearest(query, k, weights, stats);
+    if (!result.ok()) {
+      DESS_LOG(Error) << "disk index query failed: "
+                      << result.status().ToString();
+      return {};
+    }
+    return std::move(result).value();
+  }
+
+  std::vector<Neighbor> RangeQuery(const std::vector<double>& query,
+                                   double radius,
+                                   const std::vector<double>& weights,
+                                   QueryStats* stats) const override {
+    auto result = tree_->RangeQuery(query, radius, weights, stats);
+    if (!result.ok()) {
+      DESS_LOG(Error) << "disk index query failed: "
+                      << result.status().ToString();
+      return {};
+    }
+    return std::move(result).value();
+  }
+
+ private:
+  std::unique_ptr<DiskRTree> tree_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<SearchEngine>> SearchEngine::Build(
+    const ShapeDatabase* db, const SearchEngineOptions& options) {
+  if (db == nullptr || db->IsEmpty()) {
+    return Status::InvalidArgument("search engine: empty database");
+  }
+  std::unique_ptr<SearchEngine> engine(new SearchEngine());
+  engine->db_ = db;
+  engine->options_ = options;
+
+  for (FeatureKind kind : AllFeatureKinds()) {
+    const int ki = static_cast<int>(kind);
+    std::vector<std::vector<double>> raw;
+    raw.reserve(db->NumShapes());
+    for (const ShapeRecord& rec : db->records()) {
+      const FeatureVector& fv = rec.signature.Get(kind);
+      if (fv.dim() != FeatureDim(kind)) {
+        return Status::InvalidArgument(StrFormat(
+            "shape %d: feature '%s' has dim %d, expected %d", rec.id,
+            FeatureKindName(kind).c_str(), fv.dim(), FeatureDim(kind)));
+      }
+      raw.push_back(fv.values);
+    }
+    engine->spaces_[ki] =
+        BuildSimilaritySpace(kind, raw, options.standardize);
+
+    const int dim = FeatureDim(kind);
+    IndexBackend backend = options.backend;
+    if (backend == IndexBackend::kRTree && !options.use_rtree) {
+      backend = IndexBackend::kLinearScan;
+    }
+    switch (backend) {
+      case IndexBackend::kRTree: {
+        auto rtree = std::make_unique<RTreeIndex>(dim);
+        std::vector<std::pair<int, std::vector<double>>> bulk;
+        bulk.reserve(raw.size());
+        size_t i = 0;
+        for (const ShapeRecord& rec : db->records()) {
+          bulk.emplace_back(rec.id,
+                            engine->spaces_[ki].Standardize(raw[i++]));
+        }
+        DESS_RETURN_NOT_OK(rtree->BulkLoad(bulk));
+        engine->indexes_[ki] = std::move(rtree);
+        break;
+      }
+      case IndexBackend::kLinearScan: {
+        auto scan = std::make_unique<LinearScanIndex>(dim);
+        size_t i = 0;
+        for (const ShapeRecord& rec : db->records()) {
+          DESS_RETURN_NOT_OK(scan->Insert(
+              rec.id, engine->spaces_[ki].Standardize(raw[i++])));
+        }
+        engine->indexes_[ki] = std::move(scan);
+        break;
+      }
+      case IndexBackend::kDiskRTree: {
+        std::error_code ec;
+        std::filesystem::create_directories(options.disk_index_dir, ec);
+        if (ec) {
+          return Status::IOError("cannot create index directory '" +
+                                 options.disk_index_dir +
+                                 "': " + ec.message());
+        }
+        std::vector<std::pair<int, std::vector<double>>> bulk;
+        bulk.reserve(raw.size());
+        size_t i = 0;
+        for (const ShapeRecord& rec : db->records()) {
+          bulk.emplace_back(rec.id,
+                            engine->spaces_[ki].Standardize(raw[i++]));
+        }
+        const std::string path = options.disk_index_dir + "/dess_index_" +
+                                 FeatureKindName(kind) + ".drt";
+        DESS_RETURN_NOT_OK(DiskRTree::Build(path, dim, bulk));
+        DESS_ASSIGN_OR_RETURN(
+            std::unique_ptr<DiskRTree> tree,
+            DiskRTree::Open(path, options.disk_buffer_pages));
+        engine->indexes_[ki] =
+            std::make_unique<DiskIndexAdapter>(std::move(tree));
+        break;
+      }
+    }
+  }
+  return engine;
+}
+
+Status SearchEngine::SetWeights(FeatureKind kind,
+                                const std::vector<double>& weights) {
+  SimilaritySpace& space = spaces_[static_cast<int>(kind)];
+  if (weights.size() != space.weights.size()) {
+    return Status::InvalidArgument(
+        StrFormat("weights dim %zu != feature dim %zu", weights.size(),
+                  space.weights.size()));
+  }
+  for (double w : weights) {
+    if (w < 0.0) {
+      return Status::InvalidArgument("weights must be non-negative");
+    }
+  }
+  space.weights = weights;
+  return Status::OK();
+}
+
+namespace {
+
+std::vector<SearchResult> ToResults(const std::vector<Neighbor>& neighbors,
+                                    const SimilaritySpace& space) {
+  std::vector<SearchResult> out;
+  out.reserve(neighbors.size());
+  for (const Neighbor& n : neighbors) {
+    out.push_back({n.id, n.distance, space.Similarity(n.distance)});
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<SearchResult>> SearchEngine::QueryTopK(
+    const std::vector<double>& raw_feature, FeatureKind kind, size_t k,
+    QueryStats* stats) const {
+  const int ki = static_cast<int>(kind);
+  if (static_cast<int>(raw_feature.size()) != FeatureDim(kind)) {
+    return Status::InvalidArgument("query feature dimension mismatch");
+  }
+  const std::vector<double> q = spaces_[ki].Standardize(raw_feature);
+  return ToResults(indexes_[ki]->KNearest(q, k, spaces_[ki].weights, stats),
+                   spaces_[ki]);
+}
+
+Result<std::vector<SearchResult>> SearchEngine::QueryThreshold(
+    const std::vector<double>& raw_feature, FeatureKind kind,
+    double min_similarity, QueryStats* stats) const {
+  const int ki = static_cast<int>(kind);
+  if (static_cast<int>(raw_feature.size()) != FeatureDim(kind)) {
+    return Status::InvalidArgument("query feature dimension mismatch");
+  }
+  if (min_similarity < 0.0 || min_similarity > 1.0) {
+    return Status::InvalidArgument("similarity threshold must be in [0, 1]");
+  }
+  // s >= s_min  <=>  d <= (1 - s_min) * dmax: a ball (range) query.
+  const double radius = (1.0 - min_similarity) * spaces_[ki].dmax;
+  const std::vector<double> q = spaces_[ki].Standardize(raw_feature);
+  return ToResults(
+      indexes_[ki]->RangeQuery(q, radius, spaces_[ki].weights, stats),
+      spaces_[ki]);
+}
+
+Result<std::vector<SearchResult>> SearchEngine::QueryByIdTopK(
+    int query_id, FeatureKind kind, size_t k, bool exclude_query,
+    QueryStats* stats) const {
+  DESS_ASSIGN_OR_RETURN(std::vector<double> raw, db_->Feature(query_id, kind));
+  // Fetch one extra so the count survives dropping the query itself.
+  DESS_ASSIGN_OR_RETURN(std::vector<SearchResult> results,
+                        QueryTopK(raw, kind, k + (exclude_query ? 1 : 0),
+                                  stats));
+  if (exclude_query) {
+    results.erase(std::remove_if(results.begin(), results.end(),
+                                 [&](const SearchResult& r) {
+                                   return r.id == query_id;
+                                 }),
+                  results.end());
+    if (results.size() > k) results.resize(k);
+  }
+  return results;
+}
+
+Result<std::vector<SearchResult>> SearchEngine::QueryByIdThreshold(
+    int query_id, FeatureKind kind, double min_similarity, bool exclude_query,
+    QueryStats* stats) const {
+  DESS_ASSIGN_OR_RETURN(std::vector<double> raw, db_->Feature(query_id, kind));
+  DESS_ASSIGN_OR_RETURN(std::vector<SearchResult> results,
+                        QueryThreshold(raw, kind, min_similarity, stats));
+  if (exclude_query) {
+    results.erase(std::remove_if(results.begin(), results.end(),
+                                 [&](const SearchResult& r) {
+                                   return r.id == query_id;
+                                 }),
+                  results.end());
+  }
+  return results;
+}
+
+Result<std::vector<SearchResult>> SearchEngine::Rerank(
+    const std::vector<int>& candidate_ids,
+    const std::vector<double>& raw_feature, FeatureKind kind) const {
+  const int ki = static_cast<int>(kind);
+  if (static_cast<int>(raw_feature.size()) != FeatureDim(kind)) {
+    return Status::InvalidArgument("rerank feature dimension mismatch");
+  }
+  const SimilaritySpace& space = spaces_[ki];
+  const std::vector<double> q = space.Standardize(raw_feature);
+  std::vector<SearchResult> out;
+  out.reserve(candidate_ids.size());
+  for (int id : candidate_ids) {
+    DESS_ASSIGN_OR_RETURN(std::vector<double> raw, db_->Feature(id, kind));
+    const double d = space.Distance(q, space.Standardize(raw));
+    out.push_back({id, d, space.Similarity(d)});
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace dess

@@ -1,0 +1,112 @@
+#ifndef DESS_SEARCH_SEARCH_ENGINE_H_
+#define DESS_SEARCH_SEARCH_ENGINE_H_
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/db/shape_database.h"
+#include "src/index/multidim_index.h"
+#include "src/search/similarity.h"
+
+namespace dess {
+
+/// One retrieved shape.
+struct SearchResult {
+  int id = -1;
+  double distance = 0.0;
+  double similarity = 0.0;
+
+  bool operator<(const SearchResult& o) const {
+    if (distance != o.distance) return distance < o.distance;
+    return id < o.id;
+  }
+};
+
+/// Which index structure backs each feature space.
+enum class IndexBackend {
+  kRTree,       // in-memory R-tree (the paper's DATABASE layer)
+  kLinearScan,  // brute-force baseline
+  kDiskRTree,   // paged on-disk R-tree behind a buffer pool (future work)
+};
+
+struct SearchEngineOptions {
+  /// Index every feature space with an R-tree (true, the paper's DATABASE
+  /// layer) or fall back to sequential scans (false, baseline). Ignored
+  /// when `backend` is set explicitly.
+  bool use_rtree = true;
+  /// Standardize feature dimensions before distances (recommended: raw
+  /// dimensions differ by orders of magnitude).
+  bool standardize = true;
+  /// Explicit backend selection; kRTree/kLinearScan mirror `use_rtree`.
+  /// kDiskRTree persists one index file per feature space under
+  /// `disk_index_dir`.
+  IndexBackend backend = IndexBackend::kRTree;
+  /// Directory for kDiskRTree index files (created if missing).
+  std::string disk_index_dir = ".";
+  /// Buffer-pool frames per on-disk index.
+  int disk_buffer_pages = 64;
+};
+
+/// Query-by-example engine over a ShapeDatabase: owns one similarity space
+/// and one multidimensional index per feature kind. The database must
+/// outlive the engine and not change size while the engine exists.
+class SearchEngine {
+ public:
+  /// Builds similarity spaces and indexes from the database contents.
+  static Result<std::unique_ptr<SearchEngine>> Build(
+      const ShapeDatabase* db, const SearchEngineOptions& options = {});
+
+  const ShapeDatabase& db() const { return *db_; }
+
+  const SimilaritySpace& Space(FeatureKind kind) const {
+    return spaces_[static_cast<int>(kind)];
+  }
+
+  /// Replaces the per-dimension weights of one feature space (relevance
+  /// feedback's weight reconfiguration). Size must match the feature dim.
+  Status SetWeights(FeatureKind kind, const std::vector<double>& weights);
+
+  /// Top-k most similar shapes to a raw (unstandardized) query feature
+  /// vector, ascending by distance. The query need not be a database shape.
+  Result<std::vector<SearchResult>> QueryTopK(
+      const std::vector<double>& raw_feature, FeatureKind kind, size_t k,
+      QueryStats* stats = nullptr) const;
+
+  /// All shapes with similarity >= `min_similarity` (the paper's
+  /// threshold-filter workflow of Figure 7), ascending by distance.
+  Result<std::vector<SearchResult>> QueryThreshold(
+      const std::vector<double>& raw_feature, FeatureKind kind,
+      double min_similarity, QueryStats* stats = nullptr) const;
+
+  /// Query by a database shape's own feature vector. If `exclude_query`,
+  /// the query shape itself is dropped from the results (the paper does not
+  /// count the query, "because it is guaranteed to be retrieved").
+  Result<std::vector<SearchResult>> QueryByIdTopK(
+      int query_id, FeatureKind kind, size_t k, bool exclude_query = true,
+      QueryStats* stats = nullptr) const;
+
+  Result<std::vector<SearchResult>> QueryByIdThreshold(
+      int query_id, FeatureKind kind, double min_similarity,
+      bool exclude_query = true, QueryStats* stats = nullptr) const;
+
+  /// Re-ranks an explicit candidate set by distance to the query in the
+  /// given feature space — the second and later passes of multi-step
+  /// search. Candidates not in the database are an error.
+  Result<std::vector<SearchResult>> Rerank(
+      const std::vector<int>& candidate_ids,
+      const std::vector<double>& raw_feature, FeatureKind kind) const;
+
+ private:
+  SearchEngine() = default;
+
+  const ShapeDatabase* db_ = nullptr;
+  SearchEngineOptions options_;
+  std::array<SimilaritySpace, kNumFeatureKinds> spaces_;
+  std::array<std::unique_ptr<MultiDimIndex>, kNumFeatureKinds> indexes_;
+};
+
+}  // namespace dess
+
+#endif  // DESS_SEARCH_SEARCH_ENGINE_H_

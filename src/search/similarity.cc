@@ -1,0 +1,70 @@
+#include "src/search/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/index/multidim_index.h"
+
+namespace dess {
+
+double SimilaritySpace::Distance(const std::vector<double>& a,
+                                 const std::vector<double>& b) const {
+  return WeightedEuclidean(a, b, weights);
+}
+
+double SimilaritySpace::Similarity(double distance) const {
+  if (dmax <= 0.0) return distance == 0.0 ? 1.0 : 0.0;
+  return std::clamp(1.0 - distance / dmax, 0.0, 1.0);
+}
+
+SimilaritySpace BuildSimilaritySpace(
+    FeatureKind kind, const std::vector<std::vector<double>>& raw_vectors,
+    bool standardize) {
+  SimilaritySpace space;
+  space.kind = kind;
+  if (raw_vectors.empty()) return space;
+  const size_t dim = raw_vectors[0].size();
+  if (standardize) {
+    space.stats = FeatureStats::Compute(raw_vectors);
+  } else {
+    space.stats.mean.assign(dim, 0.0);
+    space.stats.stddev.assign(dim, 1.0);
+  }
+  space.weights.assign(dim, 1.0);
+
+  std::vector<std::vector<double>> std_vectors;
+  std_vectors.reserve(raw_vectors.size());
+  for (const auto& v : raw_vectors) {
+    std_vectors.push_back(space.stats.Standardize(v));
+  }
+
+  constexpr size_t kExactPairwiseLimit = 2000;
+  double dmax = 0.0;
+  if (std_vectors.size() <= kExactPairwiseLimit) {
+    for (size_t i = 0; i < std_vectors.size(); ++i) {
+      for (size_t j = i + 1; j < std_vectors.size(); ++j) {
+        dmax = std::max(dmax, WeightedEuclidean(std_vectors[i],
+                                                std_vectors[j], {}));
+      }
+    }
+  } else {
+    // Diagonal of the bounding box: an upper bound within sqrt(2)x of the
+    // true diameter, cheap for large databases.
+    std::vector<double> lo = std_vectors[0], hi = std_vectors[0];
+    for (const auto& v : std_vectors) {
+      for (size_t d = 0; d < dim; ++d) {
+        lo[d] = std::min(lo[d], v[d]);
+        hi[d] = std::max(hi[d], v[d]);
+      }
+    }
+    double sum = 0.0;
+    for (size_t d = 0; d < dim; ++d) {
+      sum += (hi[d] - lo[d]) * (hi[d] - lo[d]);
+    }
+    dmax = std::sqrt(sum);
+  }
+  space.dmax = dmax > 0.0 ? dmax : 1.0;
+  return space;
+}
+
+}  // namespace dess

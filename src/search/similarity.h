@@ -1,0 +1,43 @@
+#ifndef DESS_SEARCH_SIMILARITY_H_
+#define DESS_SEARCH_SIMILARITY_H_
+
+#include <vector>
+
+#include "src/features/feature_vector.h"
+
+namespace dess {
+
+/// A calibrated feature space for one feature kind: standardization stats
+/// (so no dimension dominates), per-dimension weights (the w_i of Eq. 4.3,
+/// reconfigurable by relevance feedback), and the maximum distance d_max
+/// used to map distances onto [0, 1] similarities (Eq. 4.4).
+struct SimilaritySpace {
+  FeatureKind kind = FeatureKind::kMomentInvariants;
+  FeatureStats stats;
+  std::vector<double> weights;  // one per dimension, default 1.0
+  double dmax = 1.0;
+
+  /// Standardizes a raw feature vector into this space.
+  std::vector<double> Standardize(const std::vector<double>& raw) const {
+    return stats.Standardize(raw);
+  }
+
+  /// Weighted Euclidean distance between two standardized vectors
+  /// (Eq. 4.3).
+  double Distance(const std::vector<double>& a,
+                  const std::vector<double>& b) const;
+
+  /// Similarity s = 1 - d / d_max, clamped to [0, 1] (Eq. 4.4).
+  double Similarity(double distance) const;
+};
+
+/// Builds a similarity space over a set of raw feature vectors: computes
+/// standardization stats and d_max (exact max pairwise distance for small
+/// sets, standardized-bounding-box diagonal for large ones).
+SimilaritySpace BuildSimilaritySpace(
+    FeatureKind kind, const std::vector<std::vector<double>>& raw_vectors,
+    bool standardize = true);
+
+}  // namespace dess
+
+#endif  // DESS_SEARCH_SIMILARITY_H_

@@ -1,0 +1,57 @@
+#include "src/skeleton/skeleton_analysis.h"
+
+#include "src/voxel/morphology.h"
+
+namespace dess {
+
+int SkeletonDegree(const VoxelGrid& skeleton, int i, int j, int k) {
+  int degree = 0;
+  for (int dz = -1; dz <= 1; ++dz) {
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        if (!dx && !dy && !dz) continue;
+        if (skeleton.GetClamped(i + dx, j + dy, k + dz)) ++degree;
+      }
+    }
+  }
+  return degree;
+}
+
+SkeletonAnalysis AnalyzeSkeleton(const VoxelGrid& skeleton) {
+  SkeletonAnalysis out;
+  size_t num_edges2 = 0;  // twice the number of adjacency-graph edges
+  for (int k = 0; k < skeleton.nz(); ++k) {
+    for (int j = 0; j < skeleton.ny(); ++j) {
+      for (int i = 0; i < skeleton.nx(); ++i) {
+        if (!skeleton.Get(i, j, k)) continue;
+        const int degree = SkeletonDegree(skeleton, i, j, k);
+        SkeletonVoxel v{i, j, k, SkeletonVoxelType::kRegular, degree};
+        if (degree == 0) {
+          v.type = SkeletonVoxelType::kIsolated;
+          ++out.num_isolated;
+        } else if (degree == 1) {
+          v.type = SkeletonVoxelType::kEnd;
+          ++out.num_ends;
+        } else if (degree == 2) {
+          v.type = SkeletonVoxelType::kRegular;
+          ++out.num_regular;
+        } else {
+          v.type = SkeletonVoxelType::kJunction;
+          ++out.num_junctions;
+        }
+        num_edges2 += degree;
+        out.voxels.push_back(v);
+      }
+    }
+  }
+  out.num_components = CountObjectComponents(skeleton);
+  const long long vertices = static_cast<long long>(out.voxels.size());
+  const long long edges = static_cast<long long>(num_edges2 / 2);
+  // Cycle rank of the voxel adjacency graph. Diagonal adjacencies can
+  // inflate this slightly; clamp at zero.
+  const long long loops = edges - vertices + out.num_components;
+  out.num_loops = loops > 0 ? static_cast<int>(loops) : 0;
+  return out;
+}
+
+}  // namespace dess

@@ -1,0 +1,48 @@
+#ifndef DESS_SKELETON_SKELETON_ANALYSIS_H_
+#define DESS_SKELETON_SKELETON_ANALYSIS_H_
+
+#include <array>
+#include <vector>
+
+#include "src/voxel/voxel_grid.h"
+
+namespace dess {
+
+/// Role of a voxel within a curve skeleton, by its number of 26-connected
+/// skeleton neighbors: end (1), regular (2), junction (>= 3), isolated (0).
+enum class SkeletonVoxelType { kIsolated, kEnd, kRegular, kJunction };
+
+/// Classified skeleton voxel.
+struct SkeletonVoxel {
+  int i, j, k;
+  SkeletonVoxelType type;
+  int degree;  // number of 26-connected skeleton neighbors
+};
+
+/// Classification of every set voxel of a skeleton grid.
+struct SkeletonAnalysis {
+  std::vector<SkeletonVoxel> voxels;
+  int num_ends = 0;
+  int num_regular = 0;
+  int num_junctions = 0;
+  int num_isolated = 0;
+
+  /// 26-connected component count of the skeleton.
+  int num_components = 0;
+
+  /// First Betti number estimate (independent loops): for a 1-complex,
+  /// loops = edges - vertices + components, computed over the voxel
+  /// adjacency graph.
+  int num_loops = 0;
+};
+
+/// Classifies skeleton voxels and computes the connectivity summary used by
+/// the skeletal-graph builder.
+SkeletonAnalysis AnalyzeSkeleton(const VoxelGrid& skeleton);
+
+/// Number of 26-connected set neighbors of (i,j,k).
+int SkeletonDegree(const VoxelGrid& skeleton, int i, int j, int k);
+
+}  // namespace dess
+
+#endif  // DESS_SKELETON_SKELETON_ANALYSIS_H_

@@ -1,0 +1,175 @@
+#include "src/skeleton/thinning.h"
+
+#include <array>
+#include <cstdlib>
+#include <vector>
+
+namespace dess {
+namespace {
+
+// The 3x3x3 neighborhood is indexed n = (dz+1)*9 + (dy+1)*3 + (dx+1);
+// index 13 is the center voxel.
+constexpr int kCenter = 13;
+
+inline int NbIndex(int dx, int dy, int dz) {
+  return (dz + 1) * 9 + (dy + 1) * 3 + (dx + 1);
+}
+
+// Extracts the 27-voxel neighborhood of (i,j,k); out-of-bounds reads as 0.
+void ExtractNeighborhood(const VoxelGrid& grid, int i, int j, int k,
+                         bool out[27]) {
+  int n = 0;
+  for (int dz = -1; dz <= 1; ++dz)
+    for (int dy = -1; dy <= 1; ++dy)
+      for (int dx = -1; dx <= 1; ++dx)
+        out[n++] = grid.GetClamped(i + dx, j + dy, k + dz);
+}
+
+// Counts 26-connected components of object voxels within the neighborhood
+// (center excluded). For a simple point this must be exactly 1.
+int ObjectComponents26(const bool nb[27]) {
+  bool visited[27] = {};
+  int components = 0;
+  for (int start = 0; start < 27; ++start) {
+    if (start == kCenter || !nb[start] || visited[start]) continue;
+    ++components;
+    if (components > 1) return components;  // early out
+    // Flood fill with 26-connectivity inside the 3x3x3 block.
+    int stack[27];
+    int top = 0;
+    stack[top++] = start;
+    visited[start] = true;
+    while (top > 0) {
+      const int cur = stack[--top];
+      const int cx = cur % 3, cy = (cur / 3) % 3, cz = cur / 9;
+      for (int dz = -1; dz <= 1; ++dz) {
+        for (int dy = -1; dy <= 1; ++dy) {
+          for (int dx = -1; dx <= 1; ++dx) {
+            if (!dx && !dy && !dz) continue;
+            const int nx = cx + dx, ny = cy + dy, nz = cz + dz;
+            if (nx < 0 || nx > 2 || ny < 0 || ny > 2 || nz < 0 || nz > 2)
+              continue;
+            const int nn = nz * 9 + ny * 3 + nx;
+            if (nn == kCenter || !nb[nn] || visited[nn]) continue;
+            visited[nn] = true;
+            stack[top++] = nn;
+          }
+        }
+      }
+    }
+  }
+  return components;
+}
+
+// Counts 6-connected components of *background* voxels within the
+// 18-neighborhood of the center that are 6-adjacent to the center
+// (Bertrand-Malandain background condition). Must be exactly 1.
+int BackgroundComponents6(const bool nb[27]) {
+  // 18-neighborhood: |dx|+|dy|+|dz| in {1, 2}.
+  auto in_n18 = [](int idx) {
+    const int dx = idx % 3 - 1, dy = (idx / 3) % 3 - 1, dz = idx / 9 - 1;
+    const int m = std::abs(dx) + std::abs(dy) + std::abs(dz);
+    return m >= 1 && m <= 2;
+  };
+  const int six_neighbors[6] = {NbIndex(1, 0, 0), NbIndex(-1, 0, 0),
+                                NbIndex(0, 1, 0), NbIndex(0, -1, 0),
+                                NbIndex(0, 0, 1), NbIndex(0, 0, -1)};
+  bool visited[27] = {};
+  int components = 0;
+  for (const int start : six_neighbors) {
+    if (nb[start] || visited[start]) continue;
+    ++components;
+    if (components > 1) return components;
+    int stack[27];
+    int top = 0;
+    stack[top++] = start;
+    visited[start] = true;
+    while (top > 0) {
+      const int cur = stack[--top];
+      const int cx = cur % 3, cy = (cur / 3) % 3, cz = cur / 9;
+      const int deltas[6][3] = {{1, 0, 0},  {-1, 0, 0}, {0, 1, 0},
+                                {0, -1, 0}, {0, 0, 1},  {0, 0, -1}};
+      for (const auto& d : deltas) {
+        const int nx = cx + d[0], ny = cy + d[1], nz = cz + d[2];
+        if (nx < 0 || nx > 2 || ny < 0 || ny > 2 || nz < 0 || nz > 2) continue;
+        const int nn = nz * 9 + ny * 3 + nx;
+        if (nn == kCenter || nb[nn] || visited[nn] || !in_n18(nn)) continue;
+        visited[nn] = true;
+        stack[top++] = nn;
+      }
+    }
+  }
+  return components;
+}
+
+int CountObjectNeighbors26(const bool nb[27]) {
+  int n = 0;
+  for (int idx = 0; idx < 27; ++idx) {
+    if (idx != kCenter && nb[idx]) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+bool IsSimplePoint(const VoxelGrid& grid, int i, int j, int k) {
+  bool nb[27];
+  ExtractNeighborhood(grid, i, j, k, nb);
+  if (!nb[kCenter]) return false;
+  const int obj = CountObjectNeighbors26(nb);
+  if (obj == 0) return false;  // isolated voxel: deletion kills a component
+  return ObjectComponents26(nb) == 1 && BackgroundComponents6(nb) == 1;
+}
+
+VoxelGrid ThinToSkeleton(const VoxelGrid& solid,
+                         const ThinningOptions& options) {
+  VoxelGrid grid = solid;
+  // Direction vectors for the six subiterations: Up, Down, North, South,
+  // East, West borders in the Palagyi-Kuba order.
+  const int dirs[6][3] = {{0, 0, 1},  {0, 0, -1}, {0, 1, 0},
+                          {0, -1, 0}, {1, 0, 0},  {-1, 0, 0}};
+
+  std::vector<std::array<int, 3>> candidates;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    size_t deleted_this_iter = 0;
+    for (const auto& d : dirs) {
+      // Phase 1: collect voxels that are border in direction d, simple, and
+      // not protected endpoints.
+      candidates.clear();
+      for (int k = 0; k < grid.nz(); ++k) {
+        for (int j = 0; j < grid.ny(); ++j) {
+          for (int i = 0; i < grid.nx(); ++i) {
+            if (!grid.Get(i, j, k)) continue;
+            if (grid.GetClamped(i + d[0], j + d[1], k + d[2])) continue;
+            bool nb[27];
+            ExtractNeighborhood(grid, i, j, k, nb);
+            const int obj = CountObjectNeighbors26(nb);
+            if (options.preserve_endpoints && obj <= 1) continue;
+            if (obj == 0) continue;
+            if (ObjectComponents26(nb) != 1 || BackgroundComponents6(nb) != 1)
+              continue;
+            candidates.push_back({i, j, k});
+          }
+        }
+      }
+      // Phase 2: delete sequentially, re-checking simplicity against the
+      // mutated grid so that parallel deletions cannot break topology.
+      for (const auto& [i, j, k] : candidates) {
+        if (!grid.Get(i, j, k)) continue;
+        bool nb[27];
+        ExtractNeighborhood(grid, i, j, k, nb);
+        const int obj = CountObjectNeighbors26(nb);
+        if (options.preserve_endpoints && obj <= 1) continue;
+        if (obj == 0) continue;
+        if (ObjectComponents26(nb) != 1 || BackgroundComponents6(nb) != 1)
+          continue;
+        grid.Set(i, j, k, false);
+        ++deleted_this_iter;
+      }
+    }
+    if (deleted_this_iter == 0) break;
+  }
+  return grid;
+}
+
+}  // namespace dess

@@ -1,0 +1,38 @@
+#ifndef DESS_SKELETON_THINNING_H_
+#define DESS_SKELETON_THINNING_H_
+
+#include "src/voxel/voxel_grid.h"
+
+namespace dess {
+
+/// Options for the thinning-based skeletonization of Section 3.3.
+struct ThinningOptions {
+  /// Maximum peeling iterations (each is six directional subiterations);
+  /// thinning of an N^3 model converges in O(N) iterations, so the default
+  /// is effectively "until convergence".
+  int max_iterations = 1000;
+  /// If true, curve endpoints (voxels with exactly one object neighbor) are
+  /// never deleted, producing a curve skeleton suitable for skeletal-graph
+  /// construction. If false, a connected blob thins to a single voxel.
+  bool preserve_endpoints = true;
+};
+
+/// Curve-skeleton extraction by 6-subiteration directional thinning in the
+/// style of Palagyi & Kuba: border voxels of the current direction are
+/// deleted only if they are *simple* (deletion preserves both object
+/// 26-topology and background 6-topology, checked via the Bertrand-
+/// Malandain local characterization) and not protected endpoints.
+///
+/// The result is a subset of the input voxels: thinning preserves topology
+/// (component count, cavities, tunnels) but, as the paper notes, is not
+/// exactly invariant to rotation of the underlying model.
+VoxelGrid ThinToSkeleton(const VoxelGrid& solid,
+                         const ThinningOptions& options = {});
+
+/// True if deleting voxel (i,j,k) from `grid` preserves local topology
+/// (the voxel is a "simple point"). Exposed for unit testing.
+bool IsSimplePoint(const VoxelGrid& grid, int i, int j, int k);
+
+}  // namespace dess
+
+#endif  // DESS_SKELETON_THINNING_H_

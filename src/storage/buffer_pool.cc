@@ -1,0 +1,140 @@
+#include "src/storage/buffer_pool.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/logging.h"
+
+namespace dess {
+
+PageHandle::PageHandle(PageHandle&& other) noexcept
+    : pool_(other.pool_), id_(other.id_), frame_(other.frame_) {
+  other.pool_ = nullptr;
+}
+
+PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    id_ = other.id_;
+    frame_ = other.frame_;
+    other.pool_ = nullptr;
+  }
+  return *this;
+}
+
+PageHandle::~PageHandle() { Release(); }
+
+const uint8_t* PageHandle::data() const {
+  DESS_CHECK(valid());
+  return pool_->frames_[frame_].data.data();
+}
+
+uint8_t* PageHandle::mutable_data() {
+  DESS_CHECK(valid());
+  return pool_->frames_[frame_].data.data();
+}
+
+void PageHandle::MarkDirty() {
+  DESS_CHECK(valid());
+  pool_->frames_[frame_].dirty = true;
+}
+
+void PageHandle::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_);
+    pool_ = nullptr;
+  }
+}
+
+BufferPool::BufferPool(PageFile* file, int capacity) : file_(file) {
+  DESS_CHECK(file != nullptr);
+  DESS_CHECK(capacity >= 1);
+  frames_.resize(capacity);
+  for (Frame& f : frames_) f.data.resize(kPageSize);
+}
+
+BufferPool::~BufferPool() { (void)FlushAll(); }
+
+void BufferPool::Touch(int frame) {
+  lru_.remove(frame);
+  lru_.push_front(frame);
+}
+
+void BufferPool::Unpin(int frame) {
+  Frame& f = frames_[frame];
+  DESS_CHECK(f.pins > 0);
+  --f.pins;
+}
+
+Result<int> BufferPool::FindVictim() {
+  // Free frame first.
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    if (frames_[i].id == kInvalidPage) return static_cast<int>(i);
+  }
+  // Least recently used unpinned frame.
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    if (frames_[*it].pins == 0) return *it;
+  }
+  return Status::Internal("buffer pool: all frames pinned");
+}
+
+Result<PageHandle> BufferPool::Fetch(PageId id) {
+  auto it = frame_of_.find(id);
+  if (it != frame_of_.end()) {
+    ++hits_;
+    Frame& f = frames_[it->second];
+    ++f.pins;
+    Touch(it->second);
+    return PageHandle(this, id, it->second);
+  }
+  ++misses_;
+  DESS_ASSIGN_OR_RETURN(int victim, FindVictim());
+  Frame& f = frames_[victim];
+  if (f.id != kInvalidPage) {
+    if (f.dirty) {
+      DESS_RETURN_NOT_OK(file_->WritePage(f.id, f.data.data()));
+      f.dirty = false;
+    }
+    frame_of_.erase(f.id);
+  }
+  DESS_RETURN_NOT_OK(file_->ReadPage(id, f.data.data()));
+  f.id = id;
+  f.pins = 1;
+  f.dirty = false;
+  frame_of_[id] = victim;
+  Touch(victim);
+  return PageHandle(this, id, victim);
+}
+
+Result<PageHandle> BufferPool::Allocate() {
+  DESS_ASSIGN_OR_RETURN(PageId id, file_->AllocatePage());
+  DESS_ASSIGN_OR_RETURN(int victim, FindVictim());
+  Frame& f = frames_[victim];
+  if (f.id != kInvalidPage) {
+    if (f.dirty) {
+      DESS_RETURN_NOT_OK(file_->WritePage(f.id, f.data.data()));
+      f.dirty = false;
+    }
+    frame_of_.erase(f.id);
+  }
+  std::memset(f.data.data(), 0, kPageSize);
+  f.id = id;
+  f.pins = 1;
+  f.dirty = true;  // fresh pages must be written out
+  frame_of_[id] = victim;
+  Touch(victim);
+  return PageHandle(this, id, victim);
+}
+
+Status BufferPool::FlushAll() {
+  for (Frame& f : frames_) {
+    if (f.id != kInvalidPage && f.dirty) {
+      DESS_RETURN_NOT_OK(file_->WritePage(f.id, f.data.data()));
+      f.dirty = false;
+    }
+  }
+  return file_->Sync();
+}
+
+}  // namespace dess

@@ -1,0 +1,99 @@
+#ifndef DESS_STORAGE_BUFFER_POOL_H_
+#define DESS_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/storage/page_file.h"
+
+namespace dess {
+
+class BufferPool;
+
+/// RAII pin on a cached page. While a handle is alive the frame cannot be
+/// evicted; `data()` stays valid. Mark dirty after mutating.
+class PageHandle {
+ public:
+  PageHandle() = default;
+  PageHandle(PageHandle&& other) noexcept;
+  PageHandle& operator=(PageHandle&& other) noexcept;
+  ~PageHandle();
+
+  PageHandle(const PageHandle&) = delete;
+  PageHandle& operator=(const PageHandle&) = delete;
+
+  bool valid() const { return pool_ != nullptr; }
+  PageId id() const { return id_; }
+  const uint8_t* data() const;
+  uint8_t* mutable_data();
+
+  /// Marks the page dirty so eviction/flush writes it back.
+  void MarkDirty();
+
+  /// Drops the pin early (handle becomes invalid).
+  void Release();
+
+ private:
+  friend class BufferPool;
+  PageHandle(BufferPool* pool, PageId id, int frame)
+      : pool_(pool), id_(id), frame_(frame) {}
+
+  BufferPool* pool_ = nullptr;
+  PageId id_ = kInvalidPage;
+  int frame_ = -1;
+};
+
+/// Fixed-capacity LRU page cache over a PageFile — the buffer manager the
+/// disk R-tree runs on. Counts hits and misses so the index benchmarks can
+/// report physical vs logical page reads.
+class BufferPool {
+ public:
+  /// `capacity` frames (>= 1). The pool does not own the file.
+  BufferPool(PageFile* file, int capacity);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  int capacity() const { return static_cast<int>(frames_.size()); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+  /// Pins page `id`, reading it from the file on a miss. Fails with
+  /// ResourceExhausted-like Internal error if every frame is pinned.
+  Result<PageHandle> Fetch(PageId id);
+
+  /// Allocates a fresh page in the file and returns it pinned (zeroed).
+  Result<PageHandle> Allocate();
+
+  /// Writes back every dirty frame.
+  Status FlushAll();
+
+ private:
+  friend class PageHandle;
+
+  struct Frame {
+    PageId id = kInvalidPage;
+    int pins = 0;
+    bool dirty = false;
+    std::vector<uint8_t> data;
+  };
+
+  void Unpin(int frame);
+  void Touch(int frame);
+  Result<int> FindVictim();
+
+  PageFile* file_;
+  std::vector<Frame> frames_;
+  std::unordered_map<PageId, int> frame_of_;
+  std::list<int> lru_;  // front = most recent; only approximate for pinned
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace dess
+
+#endif  // DESS_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,178 @@
+#include "src/storage/page_file.h"
+
+#include <cstring>
+
+#include "src/common/strings.h"
+
+namespace dess {
+namespace {
+
+constexpr uint64_t kMagic = 0x33504644u;  // "DFP3"
+constexpr uint64_t kVersion = 1;
+
+}  // namespace
+
+Result<std::unique_ptr<PageFile>> PageFile::Create(const std::string& path) {
+  std::unique_ptr<PageFile> pf(new PageFile());
+  pf->path_ = path;
+  pf->file_.open(path, std::ios::binary | std::ios::in | std::ios::out |
+                           std::ios::trunc);
+  if (!pf->file_) {
+    return Status::IOError("cannot create page file " + path);
+  }
+  pf->page_count_ = 1;
+  pf->free_list_head_ = kInvalidPage;
+  DESS_RETURN_NOT_OK(pf->StoreHeader());
+  return pf;
+}
+
+Result<std::unique_ptr<PageFile>> PageFile::Open(const std::string& path) {
+  std::unique_ptr<PageFile> pf(new PageFile());
+  pf->path_ = path;
+  pf->file_.open(path, std::ios::binary | std::ios::in | std::ios::out);
+  if (!pf->file_) {
+    return Status::IOError("cannot open page file " + path);
+  }
+  DESS_RETURN_NOT_OK(pf->LoadHeader());
+  return pf;
+}
+
+PageFile::~PageFile() {
+  if (file_.is_open()) {
+    (void)StoreHeader();
+    file_.flush();
+  }
+}
+
+Status PageFile::ValidatePageId(PageId id, bool allow_header) const {
+  if (!allow_header && id == 0) {
+    return Status::InvalidArgument("page 0 is the file header");
+  }
+  if (id >= page_count_) {
+    return Status::InvalidArgument(
+        StrFormat("page %llu out of range (count %llu)",
+                  static_cast<unsigned long long>(id),
+                  static_cast<unsigned long long>(page_count_)));
+  }
+  return Status::OK();
+}
+
+Result<PageId> PageFile::AllocatePage() {
+  if (free_list_head_ != kInvalidPage) {
+    const PageId id = free_list_head_;
+    uint8_t buf[kPageSize];
+    DESS_RETURN_NOT_OK(ReadPage(id, buf));
+    std::memcpy(&free_list_head_, buf, sizeof(free_list_head_));
+    return id;
+  }
+  const PageId id = page_count_++;
+  // Extend the file with a zero page so reads within PageCount() succeed.
+  uint8_t zeros[kPageSize] = {0};
+  DESS_RETURN_NOT_OK(WritePage(id, zeros));
+  return id;
+}
+
+Status PageFile::FreePage(PageId id) {
+  DESS_RETURN_NOT_OK(ValidatePageId(id, /*allow_header=*/false));
+  uint8_t buf[kPageSize] = {0};
+  std::memcpy(buf, &free_list_head_, sizeof(free_list_head_));
+  DESS_RETURN_NOT_OK(WritePage(id, buf));
+  free_list_head_ = id;
+  return Status::OK();
+}
+
+Status PageFile::ReadPage(PageId id, uint8_t* buf) {
+  DESS_RETURN_NOT_OK(ValidatePageId(id, /*allow_header=*/true));
+  file_.clear();
+  file_.seekg(static_cast<std::streamoff>(id * kPageSize));
+  file_.read(reinterpret_cast<char*>(buf), kPageSize);
+  if (!file_) {
+    return Status::IOError(StrFormat("short read of page %llu in %s",
+                                     static_cast<unsigned long long>(id),
+                                     path_.c_str()));
+  }
+  return Status::OK();
+}
+
+Status PageFile::WritePage(PageId id, const uint8_t* buf) {
+  if (id != page_count_ - 1) {
+    // Appends of the brand-new page are allowed above; otherwise the page
+    // must exist.
+    DESS_RETURN_NOT_OK(ValidatePageId(id, /*allow_header=*/true));
+  }
+  file_.clear();
+  file_.seekp(static_cast<std::streamoff>(id * kPageSize));
+  file_.write(reinterpret_cast<const char*>(buf), kPageSize);
+  if (!file_) {
+    return Status::IOError(StrFormat("write of page %llu failed in %s",
+                                     static_cast<unsigned long long>(id),
+                                     path_.c_str()));
+  }
+  return Status::OK();
+}
+
+uint64_t PageFile::GetMeta(int slot) const {
+  if (slot < 0 || slot >= 8) return 0;
+  return user_meta_[slot];
+}
+
+Status PageFile::SetMeta(int slot, uint64_t value) {
+  if (slot < 0 || slot >= 8) {
+    return Status::InvalidArgument("meta slot out of range");
+  }
+  user_meta_[slot] = value;
+  return StoreHeader();
+}
+
+Status PageFile::Sync() {
+  DESS_RETURN_NOT_OK(StoreHeader());
+  file_.flush();
+  if (!file_) return Status::IOError("flush failed: " + path_);
+  return Status::OK();
+}
+
+Status PageFile::LoadHeader() {
+  uint8_t buf[kPageSize];
+  file_.clear();
+  file_.seekg(0);
+  file_.read(reinterpret_cast<char*>(buf), kPageSize);
+  if (!file_) return Status::Corruption("cannot read header: " + path_);
+  uint64_t magic = 0, version = 0;
+  size_t off = 0;
+  auto read_u64 = [&](uint64_t* v) {
+    std::memcpy(v, buf + off, sizeof(*v));
+    off += sizeof(*v);
+  };
+  read_u64(&magic);
+  read_u64(&version);
+  if (magic != kMagic) return Status::Corruption("bad magic: " + path_);
+  if (version != kVersion) {
+    return Status::Corruption("unsupported version: " + path_);
+  }
+  read_u64(&page_count_);
+  read_u64(&free_list_head_);
+  for (uint64_t& m : user_meta_) read_u64(&m);
+  if (page_count_ == 0) return Status::Corruption("zero pages: " + path_);
+  return Status::OK();
+}
+
+Status PageFile::StoreHeader() {
+  uint8_t buf[kPageSize] = {0};
+  size_t off = 0;
+  auto write_u64 = [&](uint64_t v) {
+    std::memcpy(buf + off, &v, sizeof(v));
+    off += sizeof(v);
+  };
+  write_u64(kMagic);
+  write_u64(kVersion);
+  write_u64(page_count_);
+  write_u64(free_list_head_);
+  for (uint64_t m : user_meta_) write_u64(m);
+  file_.clear();
+  file_.seekp(0);
+  file_.write(reinterpret_cast<const char*>(buf), kPageSize);
+  if (!file_) return Status::IOError("header write failed: " + path_);
+  return Status::OK();
+}
+
+}  // namespace dess

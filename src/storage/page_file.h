@@ -1,0 +1,80 @@
+#ifndef DESS_STORAGE_PAGE_FILE_H_
+#define DESS_STORAGE_PAGE_FILE_H_
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "src/common/result.h"
+
+namespace dess {
+
+/// Page identifier; page 0 is the file header and never handed out.
+using PageId = uint64_t;
+
+inline constexpr size_t kPageSize = 4096;
+inline constexpr PageId kInvalidPage = 0;
+
+/// Fixed-size-page file with a free list — the storage substrate for the
+/// disk-resident R-tree (the paper's future-work direction of pushing the
+/// multidimensional index into the database layer proper).
+///
+/// Layout: page 0 holds {magic, version, page_count, free_list_head,
+/// user_meta[8]}; freed pages are chained through their first 8 bytes.
+/// Not thread-safe; callers serialize access (the BufferPool does).
+class PageFile {
+ public:
+  /// Creates a new file (truncating any existing one).
+  static Result<std::unique_ptr<PageFile>> Create(const std::string& path);
+
+  /// Opens an existing file; validates the header.
+  static Result<std::unique_ptr<PageFile>> Open(const std::string& path);
+
+  ~PageFile();
+
+  PageFile(const PageFile&) = delete;
+  PageFile& operator=(const PageFile&) = delete;
+
+  /// Total pages including the header.
+  uint64_t PageCount() const { return page_count_; }
+
+  /// Allocates a page (recycling the free list first). The page contents
+  /// are unspecified until written.
+  Result<PageId> AllocatePage();
+
+  /// Returns a page to the free list. InvalidArgument for the header page
+  /// or out-of-range ids.
+  Status FreePage(PageId id);
+
+  /// Reads page `id` into `buf` (exactly kPageSize bytes).
+  Status ReadPage(PageId id, uint8_t* buf);
+
+  /// Writes `buf` (exactly kPageSize bytes) to page `id`.
+  Status WritePage(PageId id, const uint8_t* buf);
+
+  /// Eight user-controlled metadata slots persisted in the header (the
+  /// disk R-tree stores its root page, dimension, and entry counts here).
+  uint64_t GetMeta(int slot) const;
+  Status SetMeta(int slot, uint64_t value);
+
+  /// Flushes buffered writes (header included) to the OS.
+  Status Sync();
+
+ private:
+  PageFile() = default;
+
+  Status LoadHeader();
+  Status StoreHeader();
+  Status ValidatePageId(PageId id, bool allow_header) const;
+
+  std::fstream file_;
+  std::string path_;
+  uint64_t page_count_ = 1;
+  PageId free_list_head_ = kInvalidPage;
+  uint64_t user_meta_[8] = {0};
+};
+
+}  // namespace dess
+
+#endif  // DESS_STORAGE_PAGE_FILE_H_

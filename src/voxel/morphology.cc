@@ -1,0 +1,153 @@
+#include "src/voxel/morphology.h"
+
+#include <array>
+#include <cstdlib>
+
+namespace dess {
+namespace {
+
+// Returns the neighbor offsets for a connectivity class.
+const std::vector<std::array<int, 3>>& Offsets(Connectivity conn) {
+  static const std::vector<std::array<int, 3>>* k6 = [] {
+    auto* v = new std::vector<std::array<int, 3>>{
+        {1, 0, 0}, {-1, 0, 0}, {0, 1, 0}, {0, -1, 0}, {0, 0, 1}, {0, 0, -1}};
+    return v;
+  }();
+  static const std::vector<std::array<int, 3>>* k18 = [] {
+    auto* v = new std::vector<std::array<int, 3>>();
+    for (int dz = -1; dz <= 1; ++dz)
+      for (int dy = -1; dy <= 1; ++dy)
+        for (int dx = -1; dx <= 1; ++dx) {
+          const int manhattan = std::abs(dx) + std::abs(dy) + std::abs(dz);
+          if (manhattan >= 1 && manhattan <= 2) v->push_back({dx, dy, dz});
+        }
+    return v;
+  }();
+  static const std::vector<std::array<int, 3>>* k26 = [] {
+    auto* v = new std::vector<std::array<int, 3>>();
+    for (int dz = -1; dz <= 1; ++dz)
+      for (int dy = -1; dy <= 1; ++dy)
+        for (int dx = -1; dx <= 1; ++dx) {
+          if (dx || dy || dz) v->push_back({dx, dy, dz});
+        }
+    return v;
+  }();
+  switch (conn) {
+    case Connectivity::k6:
+      return *k6;
+    case Connectivity::k18:
+      return *k18;
+    case Connectivity::k26:
+      return *k26;
+  }
+  return *k26;
+}
+
+}  // namespace
+
+VoxelGrid Dilate(const VoxelGrid& grid, Connectivity conn) {
+  VoxelGrid out = grid;
+  const auto& offs = Offsets(conn);
+  for (int k = 0; k < grid.nz(); ++k) {
+    for (int j = 0; j < grid.ny(); ++j) {
+      for (int i = 0; i < grid.nx(); ++i) {
+        if (grid.Get(i, j, k)) continue;
+        for (const auto& d : offs) {
+          if (grid.GetClamped(i + d[0], j + d[1], k + d[2])) {
+            out.Set(i, j, k, true);
+            break;
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+VoxelGrid Erode(const VoxelGrid& grid, Connectivity conn) {
+  VoxelGrid out = grid;
+  const auto& offs = Offsets(conn);
+  for (int k = 0; k < grid.nz(); ++k) {
+    for (int j = 0; j < grid.ny(); ++j) {
+      for (int i = 0; i < grid.nx(); ++i) {
+        if (!grid.Get(i, j, k)) continue;
+        for (const auto& d : offs) {
+          if (!grid.GetClamped(i + d[0], j + d[1], k + d[2])) {
+            out.Set(i, j, k, false);
+            break;
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+int LabelComponents(const VoxelGrid& grid, Connectivity conn,
+                    std::vector<int>* labels) {
+  labels->assign(grid.size(), 0);
+  const auto& offs = Offsets(conn);
+  int next_label = 0;
+  std::vector<std::array<int, 3>> stack;
+  for (int k = 0; k < grid.nz(); ++k) {
+    for (int j = 0; j < grid.ny(); ++j) {
+      for (int i = 0; i < grid.nx(); ++i) {
+        if (!grid.Get(i, j, k) || (*labels)[grid.Index(i, j, k)] != 0) {
+          continue;
+        }
+        ++next_label;
+        (*labels)[grid.Index(i, j, k)] = next_label;
+        stack.push_back({i, j, k});
+        while (!stack.empty()) {
+          const auto [ci, cj, ck] = stack.back();
+          stack.pop_back();
+          for (const auto& d : offs) {
+            const int ni = ci + d[0], nj = cj + d[1], nk = ck + d[2];
+            if (!grid.InBounds(ni, nj, nk)) continue;
+            const size_t idx = grid.Index(ni, nj, nk);
+            if (!grid.Get(ni, nj, nk) || (*labels)[idx] != 0) continue;
+            (*labels)[idx] = next_label;
+            stack.push_back({ni, nj, nk});
+          }
+        }
+      }
+    }
+  }
+  return next_label;
+}
+
+int CountObjectComponents(const VoxelGrid& grid) {
+  std::vector<int> labels;
+  return LabelComponents(grid, Connectivity::k26, &labels);
+}
+
+int CountBackgroundComponents(const VoxelGrid& grid) {
+  // Complement the grid, then 6-connected labeling.
+  VoxelGrid inv = grid;
+  auto& raw = inv.mutable_raw();
+  for (auto& v : raw) v = v ? 0 : 1;
+  std::vector<int> labels;
+  return LabelComponents(inv, Connectivity::k6, &labels);
+}
+
+VoxelGrid KeepLargestComponent(const VoxelGrid& grid) {
+  std::vector<int> labels;
+  const int n = LabelComponents(grid, Connectivity::k26, &labels);
+  if (n <= 1) return grid;
+  std::vector<size_t> counts(n + 1, 0);
+  for (int l : labels) {
+    if (l > 0) ++counts[l];
+  }
+  int best = 1;
+  for (int l = 2; l <= n; ++l) {
+    if (counts[l] > counts[best]) best = l;
+  }
+  VoxelGrid out = grid;
+  auto& raw = out.mutable_raw();
+  for (size_t idx = 0; idx < raw.size(); ++idx) {
+    raw[idx] = labels[idx] == best ? 1 : 0;
+  }
+  return out;
+}
+
+}  // namespace dess

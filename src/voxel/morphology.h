@@ -1,0 +1,40 @@
+#ifndef DESS_VOXEL_MORPHOLOGY_H_
+#define DESS_VOXEL_MORPHOLOGY_H_
+
+#include <vector>
+
+#include "src/voxel/voxel_grid.h"
+
+namespace dess {
+
+/// Voxel connectivity conventions. Foreground (object) voxels use
+/// 26-connectivity and background uses 6-connectivity throughout, the
+/// standard pairing that makes thinning topology-preserving.
+enum class Connectivity { k6 = 6, k18 = 18, k26 = 26 };
+
+/// Morphological dilation by one voxel (structuring element given by
+/// `conn`).
+VoxelGrid Dilate(const VoxelGrid& grid, Connectivity conn = Connectivity::k6);
+
+/// Morphological erosion by one voxel.
+VoxelGrid Erode(const VoxelGrid& grid, Connectivity conn = Connectivity::k6);
+
+/// Labels connected components of the set voxels. Returns the number of
+/// components; `labels` (same indexing as the grid) receives component ids
+/// starting at 1, with 0 meaning background.
+int LabelComponents(const VoxelGrid& grid, Connectivity conn,
+                    std::vector<int>* labels);
+
+/// Number of foreground 26-connected components.
+int CountObjectComponents(const VoxelGrid& grid);
+
+/// Number of background 6-connected components (1 means no internal
+/// cavities).
+int CountBackgroundComponents(const VoxelGrid& grid);
+
+/// Retains only the largest 26-connected foreground component.
+VoxelGrid KeepLargestComponent(const VoxelGrid& grid);
+
+}  // namespace dess
+
+#endif  // DESS_VOXEL_MORPHOLOGY_H_

@@ -1,0 +1,19 @@
+#include "src/voxel/voxel_grid.h"
+
+#include <cmath>
+
+namespace dess {
+
+size_t VoxelGrid::CountSet() const {
+  size_t n = 0;
+  for (uint8_t v : data_) n += v != 0;
+  return n;
+}
+
+void VoxelGrid::WorldToVoxel(const Vec3& p, int* i, int* j, int* k) const {
+  *i = static_cast<int>(std::floor((p.x - origin_.x) / cell_size_));
+  *j = static_cast<int>(std::floor((p.y - origin_.y) / cell_size_));
+  *k = static_cast<int>(std::floor((p.z - origin_.z) / cell_size_));
+}
+
+}  // namespace dess

@@ -1,0 +1,83 @@
+#ifndef DESS_VOXEL_VOXEL_GRID_H_
+#define DESS_VOXEL_VOXEL_GRID_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/linalg/vec3.h"
+
+namespace dess {
+
+/// Binary voxel model: the discrete density function f(i,j,k) of Eq. 3.5
+/// in the paper. Cells are cubes of edge `cell_size`; voxel (i,j,k) covers
+/// the world-space cube with min corner origin + (i,j,k)*cell_size.
+class VoxelGrid {
+ public:
+  VoxelGrid() = default;
+  VoxelGrid(int nx, int ny, int nz, const Vec3& origin, double cell_size)
+      : nx_(nx),
+        ny_(ny),
+        nz_(nz),
+        origin_(origin),
+        cell_size_(cell_size),
+        data_(static_cast<size_t>(nx) * ny * nz, 0) {
+    DESS_CHECK(nx > 0 && ny > 0 && nz > 0 && cell_size > 0.0);
+  }
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  int nz() const { return nz_; }
+  const Vec3& origin() const { return origin_; }
+  double cell_size() const { return cell_size_; }
+  size_t size() const { return data_.size(); }
+  bool IsEmpty() const { return data_.empty(); }
+
+  bool InBounds(int i, int j, int k) const {
+    return i >= 0 && i < nx_ && j >= 0 && j < ny_ && k >= 0 && k < nz_;
+  }
+
+  size_t Index(int i, int j, int k) const {
+    return (static_cast<size_t>(k) * ny_ + j) * nx_ + i;
+  }
+
+  bool Get(int i, int j, int k) const { return data_[Index(i, j, k)] != 0; }
+  void Set(int i, int j, int k, bool v) {
+    data_[Index(i, j, k)] = v ? 1 : 0;
+  }
+
+  /// Out-of-bounds coordinates read as empty.
+  bool GetClamped(int i, int j, int k) const {
+    return InBounds(i, j, k) && Get(i, j, k);
+  }
+
+  /// Number of set voxels.
+  size_t CountSet() const;
+
+  /// World-space center of voxel (i,j,k).
+  Vec3 VoxelCenter(int i, int j, int k) const {
+    return origin_ + Vec3(i + 0.5, j + 0.5, k + 0.5) * cell_size_;
+  }
+
+  /// Voxel containing world point `p` (may be out of bounds).
+  void WorldToVoxel(const Vec3& p, int* i, int* j, int* k) const;
+
+  /// Occupied volume: count * cell^3.
+  double SolidVolume() const {
+    return static_cast<double>(CountSet()) * cell_size_ * cell_size_ *
+           cell_size_;
+  }
+
+  const std::vector<uint8_t>& raw() const { return data_; }
+  std::vector<uint8_t>& mutable_raw() { return data_; }
+
+ private:
+  int nx_ = 0, ny_ = 0, nz_ = 0;
+  Vec3 origin_;
+  double cell_size_ = 1.0;
+  std::vector<uint8_t> data_;
+};
+
+}  // namespace dess
+
+#endif  // DESS_VOXEL_VOXEL_GRID_H_

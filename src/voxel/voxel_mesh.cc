@@ -1,0 +1,81 @@
+#include "src/voxel/voxel_mesh.h"
+
+#include "src/common/logging.h"
+
+namespace dess {
+namespace {
+
+// The six face directions with their CCW-from-outside corner offsets (unit
+// cube corners, to be scaled by cell size).
+struct Face {
+  int dx, dy, dz;
+  double corners[4][3];
+};
+
+constexpr Face kFaces[6] = {
+    {+1, 0, 0, {{1, 0, 0}, {1, 1, 0}, {1, 1, 1}, {1, 0, 1}}},
+    {-1, 0, 0, {{0, 0, 0}, {0, 0, 1}, {0, 1, 1}, {0, 1, 0}}},
+    {0, +1, 0, {{0, 1, 0}, {0, 1, 1}, {1, 1, 1}, {1, 1, 0}}},
+    {0, -1, 0, {{0, 0, 0}, {1, 0, 0}, {1, 0, 1}, {0, 0, 1}}},
+    {0, 0, +1, {{0, 0, 1}, {1, 0, 1}, {1, 1, 1}, {0, 1, 1}}},
+    {0, 0, -1, {{0, 0, 0}, {0, 1, 0}, {1, 1, 0}, {1, 0, 0}}},
+};
+
+void EmitCube(TriMesh* mesh, const Vec3& min_corner, double edge,
+              const VoxelGrid* grid, int i, int j, int k) {
+  for (const Face& face : kFaces) {
+    if (grid != nullptr &&
+        grid->GetClamped(i + face.dx, j + face.dy, k + face.dz)) {
+      continue;  // interior face, not on the boundary
+    }
+    uint32_t idx[4];
+    for (int c = 0; c < 4; ++c) {
+      idx[c] = mesh->AddVertex(min_corner +
+                               Vec3(face.corners[c][0], face.corners[c][1],
+                                    face.corners[c][2]) *
+                                   edge);
+    }
+    mesh->AddTriangle(idx[0], idx[1], idx[2]);
+    mesh->AddTriangle(idx[0], idx[2], idx[3]);
+  }
+}
+
+}  // namespace
+
+TriMesh MeshFromVoxels(const VoxelGrid& grid) {
+  TriMesh mesh;
+  const double cell = grid.cell_size();
+  for (int k = 0; k < grid.nz(); ++k) {
+    for (int j = 0; j < grid.ny(); ++j) {
+      for (int i = 0; i < grid.nx(); ++i) {
+        if (!grid.Get(i, j, k)) continue;
+        const Vec3 min_corner = grid.origin() + Vec3(i, j, k) * cell;
+        EmitCube(&mesh, min_corner, cell, &grid, i, j, k);
+      }
+    }
+  }
+  mesh.WeldVertices(cell * 1e-9);
+  return mesh;
+}
+
+TriMesh CubesFromVoxels(const VoxelGrid& grid, double cube_scale) {
+  DESS_CHECK(cube_scale > 0.0 && cube_scale <= 1.0);
+  TriMesh mesh;
+  const double cell = grid.cell_size();
+  const double edge = cell * cube_scale;
+  const double inset = 0.5 * (cell - edge);
+  for (int k = 0; k < grid.nz(); ++k) {
+    for (int j = 0; j < grid.ny(); ++j) {
+      for (int i = 0; i < grid.nx(); ++i) {
+        if (!grid.Get(i, j, k)) continue;
+        const Vec3 min_corner =
+            grid.origin() + Vec3(i, j, k) * cell + Vec3(inset, inset, inset);
+        EmitCube(&mesh, min_corner, edge, /*grid=*/nullptr, 0, 0, 0);
+      }
+    }
+  }
+  mesh.WeldVertices(cell * 1e-9);
+  return mesh;
+}
+
+}  // namespace dess

@@ -1,0 +1,24 @@
+#ifndef DESS_VOXEL_VOXEL_MESH_H_
+#define DESS_VOXEL_VOXEL_MESH_H_
+
+#include "src/geom/trimesh.h"
+#include "src/voxel/voxel_grid.h"
+
+namespace dess {
+
+/// Extracts the boundary surface of a voxel model as a triangle mesh: one
+/// quad (two triangles) per voxel face adjacent to empty space, with
+/// shared vertices welded. Used to visualize intermediate pipeline stages
+/// (voxel models and skeletons) through the same view-generation path as
+/// ordinary shapes, and as a test oracle (the mesh volume equals the voxel
+/// volume exactly).
+TriMesh MeshFromVoxels(const VoxelGrid& grid);
+
+/// Renders a skeleton-style grid as a mesh of small cubes (one per set
+/// voxel, scaled by `cube_scale` in (0, 1]) so sparse skeletons remain
+/// visible rather than merging into a blob.
+TriMesh CubesFromVoxels(const VoxelGrid& grid, double cube_scale = 0.6);
+
+}  // namespace dess
+
+#endif  // DESS_VOXEL_VOXEL_MESH_H_

@@ -1,0 +1,202 @@
+#include "src/voxel/voxelizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace dess {
+namespace {
+
+// Tests the projection of the triangle (v0,v1,v2) and box (centered at
+// origin, half-extents h) onto `axis` for separation.
+bool AxisSeparates(const Vec3& axis, const Vec3& v0, const Vec3& v1,
+                   const Vec3& v2, const Vec3& h) {
+  const double p0 = v0.Dot(axis);
+  const double p1 = v1.Dot(axis);
+  const double p2 = v2.Dot(axis);
+  const double r = h.x * std::fabs(axis.x) + h.y * std::fabs(axis.y) +
+                   h.z * std::fabs(axis.z);
+  const double mn = std::min({p0, p1, p2});
+  const double mx = std::max({p0, p1, p2});
+  return mn > r || mx < -r;
+}
+
+}  // namespace
+
+bool TriangleBoxOverlap(const Vec3& box_center, const Vec3& h, const Vec3& a,
+                        const Vec3& b, const Vec3& c) {
+  const Vec3 v0 = a - box_center;
+  const Vec3 v1 = b - box_center;
+  const Vec3 v2 = c - box_center;
+
+  // 1. Box face normals (AABB overlap of the triangle).
+  if (std::min({v0.x, v1.x, v2.x}) > h.x || std::max({v0.x, v1.x, v2.x}) < -h.x)
+    return false;
+  if (std::min({v0.y, v1.y, v2.y}) > h.y || std::max({v0.y, v1.y, v2.y}) < -h.y)
+    return false;
+  if (std::min({v0.z, v1.z, v2.z}) > h.z || std::max({v0.z, v1.z, v2.z}) < -h.z)
+    return false;
+
+  // 2. Triangle plane normal.
+  const Vec3 e0 = v1 - v0;
+  const Vec3 e1 = v2 - v1;
+  const Vec3 e2 = v0 - v2;
+  const Vec3 n = e0.Cross(e1);
+  if (AxisSeparates(n, v0, v1, v2, h)) return false;
+
+  // 3. Nine cross products of box axes and triangle edges.
+  const Vec3 axes[3] = {{1, 0, 0}, {0, 1, 0}, {0, 0, 1}};
+  const Vec3 edges[3] = {e0, e1, e2};
+  for (const Vec3& u : axes) {
+    for (const Vec3& e : edges) {
+      const Vec3 axis = u.Cross(e);
+      if (axis.SquaredNorm() < 1e-24) continue;
+      if (AxisSeparates(axis, v0, v1, v2, h)) return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+struct GridShape {
+  int nx, ny, nz;
+  Vec3 origin;
+  double cell;
+};
+
+Result<GridShape> PlanGrid(const Aabb& box, const VoxelizationOptions& opt) {
+  if (opt.resolution < 2) {
+    return Status::InvalidArgument("voxelize: resolution must be >= 2");
+  }
+  if (box.IsEmpty()) {
+    return Status::InvalidArgument("voxelize: empty bounding box");
+  }
+  GridShape g;
+  g.cell = box.MaxExtent() / opt.resolution;
+  if (g.cell <= 0.0) {
+    return Status::InvalidArgument("voxelize: degenerate bounding box");
+  }
+  const int m = std::max(opt.boundary_margin, 0);
+  const Vec3 ext = box.Extent();
+  g.nx = static_cast<int>(std::ceil(ext.x / g.cell)) + 2 * m;
+  g.ny = static_cast<int>(std::ceil(ext.y / g.cell)) + 2 * m;
+  g.nz = static_cast<int>(std::ceil(ext.z / g.cell)) + 2 * m;
+  g.origin = box.min - Vec3(m, m, m) * g.cell;
+  return g;
+}
+
+// Marks as exterior (visited) every empty voxel reachable from the grid
+// boundary with 6-connectivity, then sets all unvisited empty voxels.
+void FillInterior(VoxelGrid* grid) {
+  const int nx = grid->nx(), ny = grid->ny(), nz = grid->nz();
+  std::vector<uint8_t> exterior(grid->size(), 0);
+  std::vector<std::array<int, 3>> stack;
+  auto push_if_open = [&](int i, int j, int k) {
+    if (!grid->InBounds(i, j, k)) return;
+    const size_t idx = grid->Index(i, j, k);
+    if (exterior[idx] || grid->raw()[idx]) return;
+    exterior[idx] = 1;
+    stack.push_back({i, j, k});
+  };
+  for (int k = 0; k < nz; ++k) {
+    for (int j = 0; j < ny; ++j) {
+      push_if_open(0, j, k);
+      push_if_open(nx - 1, j, k);
+    }
+  }
+  for (int k = 0; k < nz; ++k) {
+    for (int i = 0; i < nx; ++i) {
+      push_if_open(i, 0, k);
+      push_if_open(i, ny - 1, k);
+    }
+  }
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      push_if_open(i, j, 0);
+      push_if_open(i, j, nz - 1);
+    }
+  }
+  while (!stack.empty()) {
+    const auto [i, j, k] = stack.back();
+    stack.pop_back();
+    push_if_open(i + 1, j, k);
+    push_if_open(i - 1, j, k);
+    push_if_open(i, j + 1, k);
+    push_if_open(i, j - 1, k);
+    push_if_open(i, j, k + 1);
+    push_if_open(i, j, k - 1);
+  }
+  auto& raw = grid->mutable_raw();
+  for (size_t idx = 0; idx < raw.size(); ++idx) {
+    if (!raw[idx] && !exterior[idx]) raw[idx] = 1;
+  }
+}
+
+}  // namespace
+
+Result<VoxelGrid> VoxelizeMesh(const TriMesh& mesh,
+                               const VoxelizationOptions& options) {
+  if (mesh.IsEmpty()) {
+    return Status::InvalidArgument("voxelize: mesh has no triangles");
+  }
+  DESS_ASSIGN_OR_RETURN(GridShape g,
+                        PlanGrid(mesh.BoundingBox(), options));
+  VoxelGrid grid(g.nx, g.ny, g.nz, g.origin, g.cell);
+
+  // The test box is inflated by a relative epsilon so a triangle lying
+  // exactly on the seam between two voxel layers (a common case for planar
+  // CAD faces) cannot fall into the floating-point crack between their
+  // boxes and be missed by both. Conservative marking is harmless.
+  const double half_eps = g.cell * (0.5 + 1e-9);
+  const Vec3 half(half_eps, half_eps, half_eps);
+  for (size_t t = 0; t < mesh.NumTriangles(); ++t) {
+    Vec3 a, b, c;
+    mesh.TriangleVertices(t, &a, &b, &c);
+    Aabb tb;
+    tb.Expand(a);
+    tb.Expand(b);
+    tb.Expand(c);
+    int i0, j0, k0, i1, j1, k1;
+    grid.WorldToVoxel(tb.min, &i0, &j0, &k0);
+    grid.WorldToVoxel(tb.max, &i1, &j1, &k1);
+    // Candidate range widened by one voxel for the same seam reason.
+    i0 = std::max(i0 - 1, 0);
+    j0 = std::max(j0 - 1, 0);
+    k0 = std::max(k0 - 1, 0);
+    i1 = std::min(i1 + 1, grid.nx() - 1);
+    j1 = std::min(j1 + 1, grid.ny() - 1);
+    k1 = std::min(k1 + 1, grid.nz() - 1);
+    for (int k = k0; k <= k1; ++k) {
+      for (int j = j0; j <= j1; ++j) {
+        for (int i = i0; i <= i1; ++i) {
+          if (grid.Get(i, j, k)) continue;
+          if (TriangleBoxOverlap(grid.VoxelCenter(i, j, k), half, a, b, c)) {
+            grid.Set(i, j, k, true);
+          }
+        }
+      }
+    }
+  }
+  if (options.fill_interior) FillInterior(&grid);
+  return grid;
+}
+
+Result<VoxelGrid> VoxelizeSolid(const Solid& solid,
+                                const VoxelizationOptions& options) {
+  DESS_ASSIGN_OR_RETURN(GridShape g,
+                        PlanGrid(solid.BoundingBox(), options));
+  VoxelGrid grid(g.nx, g.ny, g.nz, g.origin, g.cell);
+  for (int k = 0; k < g.nz; ++k) {
+    for (int j = 0; j < g.ny; ++j) {
+      for (int i = 0; i < g.nx; ++i) {
+        if (solid.Contains(grid.VoxelCenter(i, j, k))) {
+          grid.Set(i, j, k, true);
+        }
+      }
+    }
+  }
+  return grid;
+}
+
+}  // namespace dess

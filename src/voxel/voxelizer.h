@@ -1,0 +1,43 @@
+#ifndef DESS_VOXEL_VOXELIZER_H_
+#define DESS_VOXEL_VOXELIZER_H_
+
+#include "src/common/result.h"
+#include "src/geom/trimesh.h"
+#include "src/modelgen/csg.h"
+#include "src/voxel/voxel_grid.h"
+
+namespace dess {
+
+/// Voxelization parameters (Section 3.2 of the paper).
+struct VoxelizationOptions {
+  /// Number of voxels along the longest bounding-box axis (the paper's N).
+  int resolution = 32;
+  /// Extra empty cells added on every side so the solid never touches the
+  /// grid boundary (required by the thinning algorithm's border handling).
+  int boundary_margin = 1;
+  /// If true, interior voxels are filled (solid voxelization) via an
+  /// exterior flood fill; otherwise only surface voxels are set.
+  bool fill_interior = true;
+};
+
+/// Voxelizes a closed triangle mesh: surface voxels are found with exact
+/// triangle/box overlap tests (separating-axis theorem), the interior is
+/// filled by flood-filling the exterior from the grid boundary and
+/// complementing. Returns InvalidArgument for an empty mesh or non-positive
+/// resolution.
+Result<VoxelGrid> VoxelizeMesh(const TriMesh& mesh,
+                               const VoxelizationOptions& options = {});
+
+/// Voxelizes an implicit solid by sampling voxel centers. Used as ground
+/// truth in tests and by the ablation benchmarks.
+Result<VoxelGrid> VoxelizeSolid(const Solid& solid,
+                                const VoxelizationOptions& options = {});
+
+/// Exact triangle/axis-aligned-box overlap test (Akenine-Möller SAT).
+/// Exposed for direct unit testing.
+bool TriangleBoxOverlap(const Vec3& box_center, const Vec3& box_half,
+                        const Vec3& a, const Vec3& b, const Vec3& c);
+
+}  // namespace dess
+
+#endif  // DESS_VOXEL_VOXELIZER_H_

@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/cluster/ga_cluster.h"
+#include "src/cluster/hierarchy.h"
+#include "src/cluster/kmeans.h"
+#include "src/cluster/metrics.h"
+#include "src/cluster/som.h"
+#include "src/common/rng.h"
+
+namespace dess {
+namespace {
+
+// Three well-separated Gaussian blobs in 2D; returns points and labels.
+void MakeBlobs(int per_blob, std::vector<std::vector<double>>* points,
+               std::vector<int>* labels, uint64_t seed = 3) {
+  Rng rng(seed);
+  const double centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+  for (int b = 0; b < 3; ++b) {
+    for (int i = 0; i < per_blob; ++i) {
+      points->push_back({centers[b][0] + rng.NextGaussian() * 0.5,
+                         centers[b][1] + rng.NextGaussian() * 0.5});
+      labels->push_back(b);
+    }
+  }
+}
+
+TEST(KMeansTest, RejectsBadArguments) {
+  std::vector<std::vector<double>> pts{{0, 0}, {1, 1}};
+  KMeansOptions opt;
+  opt.k = 0;
+  EXPECT_FALSE(KMeansCluster(pts, opt).ok());
+  opt.k = 5;
+  EXPECT_FALSE(KMeansCluster(pts, opt).ok());
+}
+
+TEST(KMeansTest, RecoversWellSeparatedBlobs) {
+  std::vector<std::vector<double>> pts;
+  std::vector<int> truth;
+  MakeBlobs(40, &pts, &truth);
+  KMeansOptions opt;
+  opt.k = 3;
+  opt.seed = 1;
+  auto res = KMeansCluster(pts, opt);
+  ASSERT_TRUE(res.ok());
+  EXPECT_GT(ClusterPurity(res->assignment, truth), 0.99);
+  EXPECT_GT(AdjustedRandIndex(res->assignment, truth), 0.99);
+}
+
+TEST(KMeansTest, InertiaDecreasesWithMoreClusters) {
+  std::vector<std::vector<double>> pts;
+  std::vector<int> truth;
+  MakeBlobs(30, &pts, &truth);
+  double prev = 1e100;
+  for (int k : {1, 2, 3, 6}) {
+    KMeansOptions opt;
+    opt.k = k;
+    opt.seed = 5;
+    auto res = KMeansCluster(pts, opt);
+    ASSERT_TRUE(res.ok());
+    EXPECT_LE(res->inertia, prev + 1e-9);
+    prev = res->inertia;
+  }
+}
+
+TEST(KMeansTest, DeterministicForSeed) {
+  std::vector<std::vector<double>> pts;
+  std::vector<int> truth;
+  MakeBlobs(20, &pts, &truth);
+  KMeansOptions opt;
+  opt.k = 3;
+  opt.seed = 9;
+  auto a = KMeansCluster(pts, opt);
+  auto b = KMeansCluster(pts, opt);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->assignment, b->assignment);
+}
+
+TEST(KMeansTest, MembersListsMatchAssignment) {
+  std::vector<std::vector<double>> pts;
+  std::vector<int> truth;
+  MakeBlobs(10, &pts, &truth);
+  KMeansOptions opt;
+  opt.k = 3;
+  auto res = KMeansCluster(pts, opt);
+  ASSERT_TRUE(res.ok());
+  size_t total = 0;
+  for (int c = 0; c < res->num_clusters(); ++c) {
+    for (int m : res->Members(c)) {
+      EXPECT_EQ(res->assignment[m], c);
+    }
+    total += res->Members(c).size();
+  }
+  EXPECT_EQ(total, pts.size());
+}
+
+TEST(SomTest, ClustersBlobsIntoDistinctCells) {
+  std::vector<std::vector<double>> pts;
+  std::vector<int> truth;
+  MakeBlobs(40, &pts, &truth);
+  SomOptions opt;
+  opt.grid_w = 3;
+  opt.grid_h = 3;
+  opt.epochs = 40;
+  auto res = SomCluster(pts, opt);
+  ASSERT_TRUE(res.ok());
+  // Points from different blobs land in different BMU cells.
+  EXPECT_GT(ClusterPurity(res->assignment, truth), 0.95);
+}
+
+TEST(SomTest, RejectsEmptyInput) {
+  EXPECT_FALSE(SomCluster({}, SomOptions()).ok());
+}
+
+TEST(GaClusterTest, RecoversBlobs) {
+  std::vector<std::vector<double>> pts;
+  std::vector<int> truth;
+  MakeBlobs(25, &pts, &truth);
+  GaClusterOptions opt;
+  opt.k = 3;
+  opt.generations = 30;
+  auto res = GaCluster(pts, opt);
+  ASSERT_TRUE(res.ok());
+  EXPECT_GT(ClusterPurity(res->assignment, truth), 0.95);
+}
+
+TEST(GaClusterTest, LloydRefinementImprovesFitness) {
+  std::vector<std::vector<double>> pts;
+  std::vector<int> truth;
+  MakeBlobs(25, &pts, &truth, 17);
+  GaClusterOptions with;
+  with.k = 3;
+  with.generations = 10;
+  with.lloyd_refinement = true;
+  GaClusterOptions without = with;
+  without.lloyd_refinement = false;
+  auto a = GaCluster(pts, with);
+  auto b = GaCluster(pts, without);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_LE(a->inertia, b->inertia + 1e-9);
+}
+
+TEST(MetricsTest, PurityPerfectAndWorst) {
+  const std::vector<int> truth{0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(ClusterPurity({5, 5, 9, 9}, truth), 1.0);
+  EXPECT_DOUBLE_EQ(ClusterPurity({0, 0, 0, 0}, truth), 0.5);
+}
+
+TEST(MetricsTest, NoiseLabelsExcluded) {
+  const std::vector<int> truth{0, 0, -1, 1};
+  // The noise point's assignment is irrelevant.
+  EXPECT_DOUBLE_EQ(ClusterPurity({2, 2, 7, 3}, truth), 1.0);
+}
+
+TEST(MetricsTest, RandIndexAgreement) {
+  const std::vector<int> truth{0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(RandIndex({1, 1, 0, 0}, truth), 1.0);  // relabeling ok
+  EXPECT_LT(RandIndex({0, 1, 0, 1}, truth), 0.5);
+}
+
+TEST(MetricsTest, AdjustedRandZeroForConstantAssignment) {
+  const std::vector<int> truth{0, 0, 1, 1, 2, 2};
+  // A single-cluster assignment has ARI 0 (chance level).
+  EXPECT_NEAR(AdjustedRandIndex({0, 0, 0, 0, 0, 0}, truth), 0.0, 1e-12);
+  EXPECT_NEAR(AdjustedRandIndex({0, 0, 1, 1, 2, 2}, truth), 1.0, 1e-12);
+}
+
+TEST(HierarchyTest, LeavesPartitionAllPoints) {
+  std::vector<std::vector<double>> pts;
+  std::vector<int> truth;
+  MakeBlobs(30, &pts, &truth);
+  HierarchyOptions opt;
+  opt.branch_factor = 3;
+  opt.max_leaf_size = 8;
+  auto root = BuildHierarchy(pts, opt);
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ((*root)->members.size(), pts.size());
+  // Collect leaf members; they must partition the point set.
+  std::set<int> seen;
+  std::vector<const HierarchyNode*> stack{root->get()};
+  while (!stack.empty()) {
+    const HierarchyNode* n = stack.back();
+    stack.pop_back();
+    if (n->IsLeaf()) {
+      for (int m : n->members) {
+        EXPECT_TRUE(seen.insert(m).second) << "duplicate member " << m;
+      }
+      EXPECT_LE(static_cast<int>(n->members.size()),
+                opt.max_leaf_size);
+    } else {
+      for (const auto& c : n->children) stack.push_back(c.get());
+    }
+  }
+  EXPECT_EQ(seen.size(), pts.size());
+}
+
+TEST(HierarchyTest, DepthBounded) {
+  std::vector<std::vector<double>> pts;
+  std::vector<int> truth;
+  MakeBlobs(60, &pts, &truth);
+  HierarchyOptions opt;
+  opt.max_depth = 3;
+  auto root = BuildHierarchy(pts, opt);
+  ASSERT_TRUE(root.ok());
+  EXPECT_LE((*root)->Depth(), 4);  // max_depth internal + leaf level
+  EXPECT_GE((*root)->SubtreeSize(), 3);
+}
+
+TEST(HierarchyTest, IdenticalPointsTerminate) {
+  std::vector<std::vector<double>> pts(50, {1.0, 2.0});
+  auto root = BuildHierarchy(pts);
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ((*root)->members.size(), 50u);
+}
+
+TEST(HierarchyTest, RejectsBadOptions) {
+  std::vector<std::vector<double>> pts{{0, 0}};
+  HierarchyOptions opt;
+  opt.branch_factor = 1;
+  EXPECT_FALSE(BuildHierarchy(pts, opt).ok());
+  EXPECT_FALSE(BuildHierarchy({}, HierarchyOptions()).ok());
+}
+
+}  // namespace
+}  // namespace dess

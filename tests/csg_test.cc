@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/modelgen/csg.h"
+#include "src/modelgen/part_families.h"
+
+namespace dess {
+namespace {
+
+TEST(CsgTest, BoxContainment) {
+  const SolidPtr box = MakeBox({1, 2, 3});
+  EXPECT_TRUE(box->Contains({0, 0, 0}));
+  EXPECT_TRUE(box->Contains({0.9, -1.9, 2.9}));
+  EXPECT_FALSE(box->Contains({1.1, 0, 0}));
+  EXPECT_FALSE(box->Contains({0, 2.1, 0}));
+  EXPECT_FALSE(box->Contains({0, 0, -3.1}));
+}
+
+TEST(CsgTest, BoxSignedDistanceExactOutside) {
+  const SolidPtr box = MakeBox({1, 1, 1});
+  EXPECT_NEAR(box->Distance({3, 0, 0}), 2.0, 1e-12);
+  EXPECT_NEAR(box->Distance({2, 2, 1}), std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(box->Distance({0, 0, 0}), -1.0, 1e-12);
+}
+
+TEST(CsgTest, SphereDistance) {
+  const SolidPtr s = MakeSphere(2.0);
+  EXPECT_NEAR(s->Distance({0, 0, 0}), -2.0, 1e-12);
+  EXPECT_NEAR(s->Distance({3, 0, 0}), 1.0, 1e-12);
+  const Aabb b = s->BoundingBox();
+  EXPECT_EQ(b.min, Vec3(-2, -2, -2));
+  EXPECT_EQ(b.max, Vec3(2, 2, 2));
+}
+
+TEST(CsgTest, CylinderDistance) {
+  const SolidPtr c = MakeCylinder(1.0, 2.0);
+  EXPECT_TRUE(c->Contains({0.5, 0.5, 1.0}));
+  EXPECT_FALSE(c->Contains({1.0, 1.0, 0.0}));  // radius sqrt(2) > 1
+  EXPECT_FALSE(c->Contains({0, 0, 2.5}));
+  EXPECT_NEAR(c->Distance({2.0, 0, 0}), 1.0, 1e-12);
+  EXPECT_NEAR(c->Distance({0, 0, 3.0}), 1.0, 1e-12);
+}
+
+TEST(CsgTest, TorusDistance) {
+  const SolidPtr t = MakeTorus(2.0, 0.5);
+  EXPECT_TRUE(t->Contains({2.0, 0, 0}));
+  EXPECT_FALSE(t->Contains({0, 0, 0}));  // center hole
+  EXPECT_NEAR(t->Distance({3.0, 0, 0}), 0.5, 1e-12);
+}
+
+TEST(CsgTest, ConeFrustumRadiusInterpolates) {
+  const SolidPtr f = MakeConeFrustum(2.0, 1.0, 1.0);
+  EXPECT_TRUE(f->Contains({1.8, 0, -0.9}));   // wide end
+  EXPECT_FALSE(f->Contains({1.8, 0, 0.9}));   // narrow end
+  EXPECT_TRUE(f->Contains({0.9, 0, 0.9}));
+}
+
+TEST(CsgTest, HexPrismAcrossFlats) {
+  const SolidPtr h = MakeHexPrism(1.0, 1.0);
+  EXPECT_TRUE(h->Contains({0, 0.99, 0}));    // flat direction (y)
+  EXPECT_FALSE(h->Contains({0, 1.01, 0}));
+  // Circumscribed radius along x is 2/sqrt(3) ~ 1.1547.
+  EXPECT_TRUE(h->Contains({1.1, 0, 0}));
+  EXPECT_FALSE(h->Contains({1.2, 0, 0}));
+}
+
+TEST(CsgTest, UnionCombines) {
+  const SolidPtr u = MakeUnion(Translated(MakeSphere(1.0), {2, 0, 0}),
+                               Translated(MakeSphere(1.0), {-2, 0, 0}));
+  EXPECT_TRUE(u->Contains({2, 0, 0}));
+  EXPECT_TRUE(u->Contains({-2, 0, 0}));
+  EXPECT_FALSE(u->Contains({0, 0, 0}));
+  const Aabb b = u->BoundingBox();
+  EXPECT_EQ(b.min.x, -3.0);
+  EXPECT_EQ(b.max.x, 3.0);
+}
+
+TEST(CsgTest, IntersectionRestricts) {
+  const SolidPtr i = MakeIntersection(MakeBox({1, 1, 1}), MakeSphere(1.0));
+  EXPECT_TRUE(i->Contains({0, 0, 0}));
+  EXPECT_FALSE(i->Contains({0.9, 0.9, 0.9}));  // inside box, outside sphere
+}
+
+TEST(CsgTest, DifferenceCutsHole) {
+  const SolidPtr washer =
+      MakeDifference(MakeCylinder(2.0, 0.5), MakeCylinder(1.0, 1.0));
+  EXPECT_TRUE(washer->Contains({1.5, 0, 0}));
+  EXPECT_FALSE(washer->Contains({0.5, 0, 0}));  // in the bore
+  EXPECT_FALSE(washer->Contains({2.5, 0, 0}));
+}
+
+TEST(CsgTest, TransformedRotationMovesGeometry) {
+  // Cylinder along z, rotated to lie along x.
+  const SolidPtr rot = Rotated(MakeCylinder(0.5, 2.0), {0, 1, 0}, M_PI / 2);
+  EXPECT_TRUE(rot->Contains({1.5, 0, 0}));
+  EXPECT_FALSE(rot->Contains({0, 0, 1.5}));
+}
+
+TEST(CsgTest, TransformedScalePreservesDistanceMetric) {
+  Transform t = Transform::Scale(2.0);
+  const SolidPtr big = MakeTransformed(MakeSphere(1.0), t);
+  // Effective radius 2.
+  EXPECT_NEAR(big->Distance({4, 0, 0}), 2.0, 1e-9);
+  EXPECT_NEAR(big->Distance({0, 0, 0}), -2.0, 1e-9);
+}
+
+TEST(CsgTest, TransformedBoundingBoxCoversGeometry) {
+  const SolidPtr s =
+      Translated(Rotated(MakeBox({2, 0.1, 0.1}), {0, 0, 1}, M_PI / 4),
+                 {5, 5, 5});
+  const Aabb b = s->BoundingBox();
+  // The rotated long axis spans ~2*sqrt(2)/2 in x and y around (5,5,5).
+  EXPECT_TRUE(b.Contains({5 + 1.4, 5 + 1.4, 5}));
+  EXPECT_TRUE(b.Contains({5, 5, 5}));
+}
+
+TEST(PartFamiliesTest, All26StandardFamiliesProduceNonEmptySolids) {
+  const auto& families = StandardPartFamilies();
+  ASSERT_GE(families.size(), 26u);
+  Rng rng(1234);
+  for (size_t f = 0; f < families.size(); ++f) {
+    Rng child = rng.Fork();
+    const SolidPtr solid = families[f].build(&child);
+    ASSERT_NE(solid, nullptr) << families[f].name;
+    const Aabb box = solid->BoundingBox();
+    EXPECT_FALSE(box.IsEmpty()) << families[f].name;
+    // The bounding-box center region or some probe point must be inside.
+    bool any_inside = false;
+    for (int i = 0; i < 4000 && !any_inside; ++i) {
+      const Vec3 p{rng.Uniform(box.min.x, box.max.x),
+                   rng.Uniform(box.min.y, box.max.y),
+                   rng.Uniform(box.min.z, box.max.z)};
+      any_inside = solid->Contains(p);
+    }
+    EXPECT_TRUE(any_inside) << families[f].name << " appears empty";
+  }
+}
+
+TEST(PartFamiliesTest, NoiseShapesNonEmpty) {
+  Rng rng(77);
+  for (int i = 0; i < 10; ++i) {
+    Rng child = rng.Fork();
+    const SolidPtr s = BuildNoiseShape(&child);
+    EXPECT_FALSE(s->BoundingBox().IsEmpty());
+  }
+}
+
+TEST(PartFamiliesTest, RandomPoseKeepsSolidNonEmpty) {
+  Rng rng(88);
+  const SolidPtr posed = RandomlyPosed(MakeSphere(1.0), &rng);
+  const Aabb b = posed->BoundingBox();
+  EXPECT_FALSE(b.IsEmpty());
+  EXPECT_TRUE(posed->Contains(b.Center()));
+}
+
+TEST(PartFamiliesTest, InstancesWithinFamilyVary) {
+  const auto& families = StandardPartFamilies();
+  Rng r1(1), r2(2);
+  const SolidPtr a = families[0].build(&r1);
+  const SolidPtr b = families[0].build(&r2);
+  // Different parameter draws give different bounding boxes.
+  EXPECT_NE(a->BoundingBox().Extent().x, b->BoundingBox().Extent().x);
+}
+
+}  // namespace
+}  // namespace dess

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <numeric>
+#include <unistd.h>
+
+#include "src/geom/mesh_integrals.h"
+#include "src/modelgen/dataset.h"
+#include "src/modelgen/dataset_io.h"
+
+namespace dess {
+namespace {
+
+TEST(GroupSizesTest, MatchPaperDescription) {
+  const auto sizes = StandardGroupSizes();
+  EXPECT_EQ(sizes.size(), 26u);
+  EXPECT_EQ(std::accumulate(sizes.begin(), sizes.end(), 0), 86);
+  EXPECT_EQ(*std::min_element(sizes.begin(), sizes.end()), 2);
+  EXPECT_EQ(*std::max_element(sizes.begin(), sizes.end()), 8);
+}
+
+TEST(DatasetTest, SmallDatasetStructure) {
+  DatasetOptions opt;
+  opt.seed = 7;
+  opt.mesh_resolution = 24;
+  opt.num_groups = 5;
+  opt.num_noise = 3;
+  auto ds = BuildStandardDataset(opt);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_EQ(ds->num_groups, 5);
+  // Groups 0..4 with the first five standard sizes (2 each), plus noise.
+  int grouped = 0, noise = 0;
+  for (const DatasetShape& s : ds->shapes) {
+    ASSERT_FALSE(s.mesh.IsEmpty()) << s.name;
+    EXPECT_TRUE(s.mesh.Validate().ok()) << s.name;
+    if (s.group == kNoiseGroup) {
+      ++noise;
+    } else {
+      ++grouped;
+      EXPECT_LT(s.group, 5);
+    }
+  }
+  EXPECT_EQ(noise, 3);
+  EXPECT_EQ(grouped, 2 * 5);
+  // Sequential ids.
+  for (size_t i = 0; i < ds->shapes.size(); ++i) {
+    EXPECT_EQ(ds->shapes[i].id, static_cast<int>(i));
+  }
+}
+
+TEST(DatasetTest, DeterministicForSeed) {
+  DatasetOptions opt;
+  opt.seed = 99;
+  opt.mesh_resolution = 20;
+  opt.num_groups = 3;
+  opt.num_noise = 1;
+  auto a = BuildStandardDataset(opt);
+  auto b = BuildStandardDataset(opt);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->shapes.size(), b->shapes.size());
+  for (size_t i = 0; i < a->shapes.size(); ++i) {
+    EXPECT_EQ(a->shapes[i].mesh.NumVertices(),
+              b->shapes[i].mesh.NumVertices());
+    EXPECT_EQ(a->shapes[i].name, b->shapes[i].name);
+  }
+}
+
+TEST(DatasetTest, DifferentSeedsDiffer) {
+  DatasetOptions a_opt;
+  a_opt.seed = 1;
+  a_opt.mesh_resolution = 20;
+  a_opt.num_groups = 2;
+  a_opt.num_noise = 0;
+  DatasetOptions b_opt = a_opt;
+  b_opt.seed = 2;
+  auto a = BuildStandardDataset(a_opt);
+  auto b = BuildStandardDataset(b_opt);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(a->shapes[0].mesh.NumVertices(),
+            b->shapes[0].mesh.NumVertices());
+}
+
+TEST(DatasetTest, GroupAccessors) {
+  DatasetOptions opt;
+  opt.mesh_resolution = 20;
+  opt.num_groups = 4;
+  opt.num_noise = 2;
+  auto ds = BuildStandardDataset(opt);
+  ASSERT_TRUE(ds.ok());
+  for (int g = 0; g < 4; ++g) {
+    EXPECT_EQ(ds->GroupSize(g), 2);
+    EXPECT_EQ(ds->GroupMembers(g).size(), 2u);
+  }
+  const auto sizes = ds->GroupSizesAscending();
+  EXPECT_EQ(sizes, (std::vector<int>{2, 2, 2, 2}));
+}
+
+TEST(DatasetTest, SyntheticDatasetScales) {
+  DatasetOptions opt;
+  opt.mesh_resolution = 16;
+  auto ds = BuildSyntheticDataset(4, 3, opt);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->shapes.size(), 12u);
+  for (int g = 0; g < 4; ++g) EXPECT_EQ(ds->GroupSize(g), 3);
+}
+
+TEST(DatasetTest, MeshesAreClosedSolids) {
+  DatasetOptions opt;
+  opt.seed = 11;
+  opt.mesh_resolution = 28;
+  opt.num_groups = 6;
+  opt.num_noise = 2;
+  auto ds = BuildStandardDataset(opt);
+  ASSERT_TRUE(ds.ok());
+  for (const DatasetShape& s : ds->shapes) {
+    EXPECT_TRUE(s.mesh.IsClosed()) << s.name;
+    EXPECT_GT(ComputeMeshIntegrals(s.mesh).volume, 0.0) << s.name;
+  }
+}
+
+TEST(DatasetTest, RandomPoseChangesMeshes) {
+  DatasetOptions posed;
+  posed.seed = 5;
+  posed.mesh_resolution = 20;
+  posed.num_groups = 2;
+  posed.num_noise = 0;
+  DatasetOptions unposed = posed;
+  unposed.random_pose = false;
+  auto a = BuildStandardDataset(posed);
+  auto b = BuildStandardDataset(unposed);
+  ASSERT_TRUE(a.ok() && b.ok());
+  // Posed instance occupies a different bounding box.
+  const Aabb ba = a->shapes[0].mesh.BoundingBox();
+  const Aabb bb = b->shapes[0].mesh.BoundingBox();
+  EXPECT_GT((ba.Center() - bb.Center()).Norm() +
+                std::fabs(ba.MaxExtent() - bb.MaxExtent()),
+            1e-3);
+}
+
+TEST(DatasetIoTest, SaveLoadRoundTrip) {
+  DatasetOptions opt;
+  opt.seed = 3;
+  opt.mesh_resolution = 20;
+  opt.num_groups = 3;
+  opt.num_noise = 2;
+  auto ds = BuildStandardDataset(opt);
+  ASSERT_TRUE(ds.ok());
+
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("dess_ds_io_" + std::to_string(::getpid()));
+  ASSERT_TRUE(SaveDatasetAsMeshes(*ds, dir.string()).ok());
+  EXPECT_TRUE(std::filesystem::exists(dir / "manifest.csv"));
+
+  auto loaded = LoadDatasetFromDirectory(dir.string());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->shapes.size(), ds->shapes.size());
+  EXPECT_EQ(loaded->num_groups, ds->num_groups);
+  for (size_t i = 0; i < ds->shapes.size(); ++i) {
+    EXPECT_EQ(loaded->shapes[i].id, ds->shapes[i].id);
+    EXPECT_EQ(loaded->shapes[i].name, ds->shapes[i].name);
+    EXPECT_EQ(loaded->shapes[i].group, ds->shapes[i].group);
+    EXPECT_EQ(loaded->shapes[i].mesh.NumTriangles(),
+              ds->shapes[i].mesh.NumTriangles());
+    const double va = ComputeMeshIntegrals(loaded->shapes[i].mesh).volume;
+    const double vb = ComputeMeshIntegrals(ds->shapes[i].mesh).volume;
+    EXPECT_NEAR(va, vb, 1e-6 * (std::fabs(vb) + 1.0));
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DatasetIoTest, MissingManifestIsIOError) {
+  EXPECT_EQ(
+      LoadDatasetFromDirectory("/nonexistent_dir_xyz").status().code(),
+      StatusCode::kIOError);
+}
+
+TEST(DatasetIoTest, MalformedManifestIsCorruption) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("dess_ds_bad_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  {
+    std::ofstream out(dir / "manifest.csv");
+    out << "id,name,group,file\n1,only_two_fields\n";
+  }
+  EXPECT_EQ(LoadDatasetFromDirectory(dir.string()).status().code(),
+            StatusCode::kCorruption);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DatasetTest, TooManyGroupsRejected) {
+  DatasetOptions opt;
+  opt.mesh_resolution = 16;
+  auto ds = BuildSyntheticDataset(1000, 1, opt);
+  // Clamped to available families rather than erroring.
+  ASSERT_TRUE(ds.ok());
+  EXPECT_LE(ds->shapes.size(), 40u);
+}
+
+}  // namespace
+}  // namespace dess

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <unistd.h>
+
+#include "src/db/shape_database.h"
+#include "src/db/serialization.h"
+
+namespace dess {
+namespace {
+
+ShapeRecord MakeRecord(const std::string& name, int group) {
+  ShapeRecord r;
+  r.name = name;
+  r.group = group;
+  r.mesh.AddVertex({0, 0, 0});
+  r.mesh.AddVertex({1, 0, 0});
+  r.mesh.AddVertex({0, 1, 0});
+  r.mesh.AddTriangle(0, 1, 2);
+  for (FeatureKind kind : AllFeatureKinds()) {
+    FeatureVector& fv = r.signature.Mutable(kind);
+    fv.kind = kind;
+    fv.values.assign(FeatureDim(kind),
+                     static_cast<double>(group) + 0.5);
+  }
+  return r;
+}
+
+class DbTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("dess_db_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string Path(const std::string& n) { return (dir_ / n).string(); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(DbTest, InsertAssignsSequentialIds) {
+  ShapeDatabase db;
+  EXPECT_EQ(db.Insert(MakeRecord("a", 0)), 0);
+  EXPECT_EQ(db.Insert(MakeRecord("b", 0)), 1);
+  EXPECT_EQ(db.Insert(MakeRecord("c", 1)), 2);
+  EXPECT_EQ(db.NumShapes(), 3u);
+  EXPECT_TRUE(db.Contains(1));
+  EXPECT_FALSE(db.Contains(7));
+}
+
+TEST_F(DbTest, GetReturnsRecordOrNotFound) {
+  ShapeDatabase db;
+  db.Insert(MakeRecord("a", 2));
+  auto rec = db.Get(0);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ((*rec)->name, "a");
+  EXPECT_EQ(db.Get(9).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(DbTest, GroupQueries) {
+  ShapeDatabase db;
+  db.Insert(MakeRecord("a", 0));
+  db.Insert(MakeRecord("b", 0));
+  db.Insert(MakeRecord("c", 1));
+  db.Insert(MakeRecord("noise", kUngrouped));
+  EXPECT_EQ(db.GroupSize(0), 2);
+  EXPECT_EQ(db.GroupSize(1), 1);
+  EXPECT_EQ(db.NumGroups(), 2);
+  const auto members = db.GroupMembers(0);
+  EXPECT_EQ(members.size(), 2u);
+}
+
+TEST_F(DbTest, FeatureAccess) {
+  ShapeDatabase db;
+  db.Insert(MakeRecord("a", 3));
+  auto f = db.Feature(0, FeatureKind::kPrincipalMoments);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->size(), static_cast<size_t>(FeatureDim(
+                            FeatureKind::kPrincipalMoments)));
+  EXPECT_DOUBLE_EQ((*f)[0], 3.5);
+  EXPECT_FALSE(db.Feature(5, FeatureKind::kSpectral).ok());
+}
+
+TEST_F(DbTest, ComputeFeatureStats) {
+  ShapeDatabase db;
+  db.Insert(MakeRecord("a", 0));  // features all 0.5
+  db.Insert(MakeRecord("b", 2));  // features all 2.5
+  const FeatureStats stats =
+      db.ComputeFeatureStats(FeatureKind::kPrincipalMoments);
+  EXPECT_DOUBLE_EQ(stats.mean[0], 1.5);
+  EXPECT_DOUBLE_EQ(stats.stddev[0], 1.0);
+  const auto z = stats.Standardize({2.5, 2.5, 2.5});
+  EXPECT_DOUBLE_EQ(z[0], 1.0);
+}
+
+TEST_F(DbTest, SaveLoadRoundTrip) {
+  ShapeDatabase db;
+  db.Insert(MakeRecord("alpha", 0));
+  db.Insert(MakeRecord("beta", 1));
+  db.Insert(MakeRecord("noise", kUngrouped));
+  ASSERT_TRUE(db.Save(Path("db.bin")).ok());
+
+  auto loaded = ShapeDatabase::Load(Path("db.bin"));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->NumShapes(), 3u);
+  auto rec = loaded->Get(1);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ((*rec)->name, "beta");
+  EXPECT_EQ((*rec)->group, 1);
+  EXPECT_EQ((*rec)->mesh.NumTriangles(), 1u);
+  auto f = loaded->Feature(1, FeatureKind::kSpectral);
+  ASSERT_TRUE(f.ok());
+  EXPECT_DOUBLE_EQ((*f)[0], 1.5);
+  // Ids continue after the loaded max.
+  EXPECT_EQ(loaded->Insert(MakeRecord("new", 2)), 3);
+}
+
+TEST_F(DbTest, LoadRejectsMissingFile) {
+  EXPECT_EQ(ShapeDatabase::Load(Path("absent.bin")).status().code(),
+            StatusCode::kIOError);
+}
+
+TEST_F(DbTest, LoadRejectsBadMagic) {
+  {
+    std::ofstream out(Path("junk.bin"), std::ios::binary);
+    out << "this is not a dess database";
+  }
+  EXPECT_EQ(ShapeDatabase::Load(Path("junk.bin")).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST_F(DbTest, LoadRejectsTruncatedFile) {
+  ShapeDatabase db;
+  db.Insert(MakeRecord("a", 0));
+  ASSERT_TRUE(db.Save(Path("full.bin")).ok());
+  // Truncate to half.
+  const auto size = std::filesystem::file_size(Path("full.bin"));
+  std::filesystem::resize_file(Path("full.bin"), size / 2);
+  EXPECT_EQ(ShapeDatabase::Load(Path("full.bin")).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST_F(DbTest, BinaryWriterReaderPrimitives) {
+  {
+    BinaryWriter w(Path("prim.bin"));
+    ASSERT_TRUE(w.ok());
+    w.WriteU32(0xDEADBEEF);
+    w.WriteI32(-42);
+    w.WriteF64(3.25);
+    w.WriteString("hello");
+    w.WriteF64Vector({1.0, 2.0});
+    ASSERT_TRUE(w.Finish().ok());
+  }
+  BinaryReader r(Path("prim.bin"));
+  ASSERT_TRUE(r.ok());
+  uint32_t u;
+  int32_t i;
+  double d;
+  std::string s;
+  std::vector<double> v;
+  EXPECT_TRUE(r.ReadU32(&u));
+  EXPECT_EQ(u, 0xDEADBEEF);
+  EXPECT_TRUE(r.ReadI32(&i));
+  EXPECT_EQ(i, -42);
+  EXPECT_TRUE(r.ReadF64(&d));
+  EXPECT_EQ(d, 3.25);
+  EXPECT_TRUE(r.ReadString(&s));
+  EXPECT_EQ(s, "hello");
+  EXPECT_TRUE(r.ReadF64Vector(&v));
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[1], 2.0);
+  // Reading past EOF fails cleanly.
+  EXPECT_FALSE(r.ReadU32(&u));
+}
+
+}  // namespace
+}  // namespace dess

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <unistd.h>
+
+#include "src/common/rng.h"
+#include "src/index/disk_rtree.h"
+#include "src/index/linear_scan.h"
+
+namespace dess {
+namespace {
+
+class DiskRTreeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("dess_drt_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string Path(const std::string& n) { return (dir_ / n).string(); }
+
+  static std::vector<std::pair<int, std::vector<double>>> RandomPoints(
+      int n, int dim, uint64_t seed) {
+    Rng rng(seed);
+    std::vector<std::pair<int, std::vector<double>>> pts;
+    for (int i = 0; i < n; ++i) {
+      std::vector<double> p(dim);
+      for (double& v : p) v = rng.Uniform(-20, 20);
+      pts.emplace_back(i, std::move(p));
+    }
+    return pts;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(DiskRTreeTest, CapacitiesArePageDerived) {
+  // 4096-byte pages, 4-byte header: leaf entry 4+8d, internal 8+16d.
+  EXPECT_EQ(DiskRTree::LeafCapacity(3), 4092 / 28);
+  EXPECT_EQ(DiskRTree::InternalCapacity(3), 4092 / 56);
+  EXPECT_EQ(DiskRTree::LeafCapacity(8), 4092 / 68);
+  EXPECT_GT(DiskRTree::LeafCapacity(1), DiskRTree::LeafCapacity(8));
+}
+
+TEST_F(DiskRTreeTest, BuildRejectsBadInput) {
+  EXPECT_FALSE(DiskRTree::Build(Path("x.idx"), 0, {}).ok());
+  EXPECT_FALSE(
+      DiskRTree::Build(Path("x.idx"), 3, {{0, {1.0, 2.0}}}).ok());
+  EXPECT_FALSE(DiskRTree::Open(Path("absent.idx")).ok());
+}
+
+TEST_F(DiskRTreeTest, EmptyIndexIsQueryable) {
+  ASSERT_TRUE(DiskRTree::Build(Path("empty.idx"), 4, {}).ok());
+  auto tree = DiskRTree::Open(Path("empty.idx"));
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ((*tree)->size(), 0u);
+  auto nn = (*tree)->KNearest({0, 0, 0, 0}, 5);
+  ASSERT_TRUE(nn.ok());
+  EXPECT_TRUE(nn->empty());
+}
+
+TEST_F(DiskRTreeTest, MatchesLinearScan) {
+  Rng rng(3);
+  for (int dim : {2, 3, 8}) {
+    for (int n : {1, 50, 500, 3000}) {
+      const auto pts = RandomPoints(n, dim, 100 + dim + n);
+      const std::string path =
+          Path("t" + std::to_string(dim) + "_" + std::to_string(n) + ".idx");
+      ASSERT_TRUE(DiskRTree::Build(path, dim, pts).ok());
+      auto tree = DiskRTree::Open(path, 32);
+      ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+      EXPECT_EQ((*tree)->size(), static_cast<size_t>(n));
+
+      LinearScanIndex scan(dim);
+      for (const auto& [id, p] : pts) ASSERT_TRUE(scan.Insert(id, p).ok());
+
+      for (int q = 0; q < 8; ++q) {
+        std::vector<double> query(dim);
+        for (double& v : query) v = rng.Uniform(-25, 25);
+        auto a = (*tree)->KNearest(query, 10);
+        ASSERT_TRUE(a.ok());
+        const auto b = scan.KNearest(query, 10);
+        ASSERT_EQ(a->size(), b.size()) << dim << " " << n;
+        for (size_t i = 0; i < a->size(); ++i) {
+          EXPECT_NEAR((*a)[i].distance, b[i].distance, 1e-9)
+              << dim << " " << n << " " << q;
+        }
+        auto ra = (*tree)->RangeQuery(query, 10.0);
+        ASSERT_TRUE(ra.ok());
+        const auto rb = scan.RangeQuery(query, 10.0);
+        ASSERT_EQ(ra->size(), rb.size());
+        for (size_t i = 0; i < ra->size(); ++i) {
+          EXPECT_EQ((*ra)[i].id, rb[i].id);
+        }
+      }
+    }
+  }
+}
+
+TEST_F(DiskRTreeTest, WeightedQueriesMatchScan) {
+  const int dim = 5;
+  const auto pts = RandomPoints(400, dim, 9);
+  ASSERT_TRUE(DiskRTree::Build(Path("w.idx"), dim, pts).ok());
+  auto tree = DiskRTree::Open(Path("w.idx"));
+  ASSERT_TRUE(tree.ok());
+  LinearScanIndex scan(dim);
+  for (const auto& [id, p] : pts) ASSERT_TRUE(scan.Insert(id, p).ok());
+  const std::vector<double> w{3.0, 0.2, 1.0, 0.0, 2.0};
+  auto a = (*tree)->KNearest({1, 2, 3, 4, 5}, 12, w);
+  ASSERT_TRUE(a.ok());
+  const auto b = scan.KNearest({1, 2, 3, 4, 5}, 12, w);
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_NEAR((*a)[i].distance, b[i].distance, 1e-9);
+  }
+}
+
+TEST_F(DiskRTreeTest, PersistsAcrossReopen) {
+  const int dim = 3;
+  const auto pts = RandomPoints(200, dim, 5);
+  ASSERT_TRUE(DiskRTree::Build(Path("p.idx"), dim, pts).ok());
+  std::vector<Neighbor> first;
+  {
+    auto tree = DiskRTree::Open(Path("p.idx"));
+    ASSERT_TRUE(tree.ok());
+    auto nn = (*tree)->KNearest({0, 0, 0}, 7);
+    ASSERT_TRUE(nn.ok());
+    first = *nn;
+  }
+  auto tree = DiskRTree::Open(Path("p.idx"));
+  ASSERT_TRUE(tree.ok());
+  auto nn = (*tree)->KNearest({0, 0, 0}, 7);
+  ASSERT_TRUE(nn.ok());
+  ASSERT_EQ(nn->size(), first.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ((*nn)[i].id, first[i].id);
+  }
+}
+
+TEST_F(DiskRTreeTest, BufferPoolCachingReducesPhysicalReads) {
+  const int dim = 4;
+  const auto pts = RandomPoints(5000, dim, 11);
+  ASSERT_TRUE(DiskRTree::Build(Path("c.idx"), dim, pts).ok());
+  auto tree = DiskRTree::Open(Path("c.idx"), /*buffer_pages=*/256);
+  ASSERT_TRUE(tree.ok());
+  Rng rng(13);
+  // Warm-up pass, then measure: repeated queries should be mostly hits.
+  auto run_queries = [&] {
+    for (int q = 0; q < 50; ++q) {
+      std::vector<double> query(dim);
+      for (double& v : query) v = rng.Uniform(-20, 20);
+      ASSERT_TRUE((*tree)->KNearest(query, 5).ok());
+    }
+  };
+  run_queries();
+  const uint64_t misses_after_warmup = (*tree)->CacheMisses();
+  run_queries();
+  const uint64_t new_misses = (*tree)->CacheMisses() - misses_after_warmup;
+  const uint64_t new_hits = (*tree)->CacheHits();
+  EXPECT_GT(new_hits, new_misses * 3) << "cache not effective";
+}
+
+TEST_F(DiskRTreeTest, TinyBufferPoolStillCorrect) {
+  const int dim = 6;
+  const auto pts = RandomPoints(2000, dim, 21);
+  ASSERT_TRUE(DiskRTree::Build(Path("tiny.idx"), dim, pts).ok());
+  // Height+1 pages is the bare minimum for best-first descent.
+  auto tree = DiskRTree::Open(Path("tiny.idx"), 4);
+  ASSERT_TRUE(tree.ok());
+  LinearScanIndex scan(dim);
+  for (const auto& [id, p] : pts) ASSERT_TRUE(scan.Insert(id, p).ok());
+  std::vector<double> query(dim, 0.0);
+  auto a = (*tree)->KNearest(query, 10);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  const auto b = scan.KNearest(query, 10);
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_NEAR((*a)[i].distance, b[i].distance, 1e-9);
+  }
+}
+
+TEST_F(DiskRTreeTest, StatsCountPagesAndPoints) {
+  const int dim = 4;
+  const auto pts = RandomPoints(3000, dim, 31);
+  ASSERT_TRUE(DiskRTree::Build(Path("s.idx"), dim, pts).ok());
+  auto tree = DiskRTree::Open(Path("s.idx"));
+  ASSERT_TRUE(tree.ok());
+  QueryStats stats;
+  ASSERT_TRUE((*tree)->KNearest({0, 0, 0, 0}, 10, {}, &stats).ok());
+  EXPECT_GT(stats.nodes_visited, 0u);
+  EXPECT_GT(stats.points_compared, 0u);
+  // Pruning: far fewer than all points examined.
+  EXPECT_LT(stats.points_compared, 1500u);
+}
+
+}  // namespace
+}  // namespace dess

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/features/extended.h"
+#include "src/features/extractors.h"
+#include "src/graph/spectral.h"
+#include "src/index/multidim_index.h"
+#include "src/modelgen/csg.h"
+#include "src/modelgen/marching_cubes.h"
+#include "src/modelgen/part_families.h"
+#include "src/voxel/voxelizer.h"
+
+namespace dess {
+namespace {
+
+TEST(ExtendedMomentsTest, DimensionFormula) {
+  // #(l+m+n = k) = (k+1)(k+2)/2: order 2 -> 6, order 3 -> 10, order 4 -> 15.
+  EXPECT_EQ(NormalizedMomentDescriptorDim(2), 6);
+  EXPECT_EQ(NormalizedMomentDescriptorDim(3), 16);
+  EXPECT_EQ(NormalizedMomentDescriptorDim(4), 31);
+  EXPECT_EQ(NormalizedMomentDescriptorDim(5), 52);
+}
+
+TEST(ExtendedMomentsTest, DescriptorHasDeclaredDim) {
+  auto grid = VoxelizeSolid(*MakeBox({0.5, 0.3, 0.2}), {.resolution = 16});
+  ASSERT_TRUE(grid.ok());
+  for (int order : {2, 3, 4}) {
+    const auto d = NormalizedMomentDescriptor(*grid, order);
+    EXPECT_EQ(static_cast<int>(d.size()),
+              NormalizedMomentDescriptorDim(order));
+  }
+}
+
+TEST(ExtendedMomentsTest, ScaleInvariance) {
+  auto small = VoxelizeSolid(*MakeBox({0.5, 0.3, 0.2}), {.resolution = 32});
+  auto big = VoxelizeSolid(*MakeBox({1.5, 0.9, 0.6}), {.resolution = 32});
+  ASSERT_TRUE(small.ok() && big.ok());
+  const auto ds = NormalizedMomentDescriptor(*small, 3);
+  const auto db = NormalizedMomentDescriptor(*big, 3);
+  for (size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_NEAR(ds[i], db[i], 0.02 * (std::fabs(ds[i]) + 0.02)) << i;
+  }
+}
+
+TEST(ExtendedMomentsTest, OddOrdersVanishForSymmetricBody) {
+  auto grid = VoxelizeSolid(*MakeBox({0.5, 0.4, 0.3}), {.resolution = 32});
+  ASSERT_TRUE(grid.ok());
+  const auto d = NormalizedMomentDescriptor(*grid, 3);
+  // Entries 6..15 are the third-order moments; a centered box is symmetric
+  // so they all vanish (up to discretization).
+  for (size_t i = 6; i < d.size(); ++i) {
+    EXPECT_NEAR(d[i], 0.0, 0.02) << i;
+  }
+}
+
+TEST(ExtendedMomentsTest, ThirdOrderSeparatesAsymmetricShapes) {
+  // A cone frustum is symmetric in xy but not in z; a box is symmetric in
+  // all three. Their third-order blocks must differ.
+  auto box = VoxelizeSolid(*MakeBox({0.5, 0.5, 0.5}), {.resolution = 32});
+  auto cone =
+      VoxelizeSolid(*MakeConeFrustum(0.7, 0.2, 0.5), {.resolution = 32});
+  ASSERT_TRUE(box.ok() && cone.ok());
+  const auto db3 = NormalizedMomentDescriptor(*box, 3);
+  const auto dc3 = NormalizedMomentDescriptor(*cone, 3);
+  double third_order_diff = 0.0;
+  for (size_t i = 6; i < db3.size(); ++i) {
+    third_order_diff += std::fabs(db3[i] - dc3[i]);
+  }
+  EXPECT_GT(third_order_diff, 0.05);
+}
+
+TEST(LengthWeightedSpectralTest, MatchesPlainForUnitLengths) {
+  SkeletalGraph g;
+  GraphNode a;
+  a.type = EntityType::kLine;
+  a.length = 5.0;
+  GraphNode b = a;
+  const int ia = g.AddNode(a);
+  const int ib = g.AddNode(b);
+  g.AddEdge(ia, ib);
+  // Equal lengths -> scale factors are all 1 -> identical spectra.
+  const auto plain = SpectralSignature(g);
+  const auto weighted = LengthWeightedSpectralSignature(g);
+  for (size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_NEAR(plain[i], weighted[i], 1e-12);
+  }
+}
+
+TEST(LengthWeightedSpectralTest, SeparatesIsoTopologyGraphs) {
+  // Two path graphs with identical types but different length profiles:
+  // plain spectra coincide, length-weighted spectra differ.
+  auto make = [](double l0, double l1, double l2) {
+    SkeletalGraph g;
+    GraphNode n;
+    n.type = EntityType::kLine;
+    n.length = l0;
+    const int a = g.AddNode(n);
+    n.length = l1;
+    const int b = g.AddNode(n);
+    n.length = l2;
+    const int c = g.AddNode(n);
+    g.AddEdge(a, b);
+    g.AddEdge(b, c);
+    return g;
+  };
+  const SkeletalGraph even = make(5, 5, 5);
+  const SkeletalGraph skewed = make(1, 5, 9);
+  const auto plain_even = SpectralSignature(even);
+  const auto plain_skewed = SpectralSignature(skewed);
+  for (size_t i = 0; i < plain_even.size(); ++i) {
+    EXPECT_NEAR(plain_even[i], plain_skewed[i], 1e-9) << i;
+  }
+  const auto lw_even = LengthWeightedSpectralSignature(even);
+  const auto lw_skewed = LengthWeightedSpectralSignature(skewed);
+  const double diff = WeightedEuclidean(lw_even, lw_skewed, {});
+  EXPECT_GT(diff, 0.1);
+}
+
+TEST(LengthWeightedSpectralTest, MeanLengthNormalizationGivesScaleInvariance) {
+  // Scaling every entity length by the same factor leaves the weighted
+  // spectrum unchanged (lengths are normalized by the mean).
+  auto make = [](double scale) {
+    SkeletalGraph g;
+    GraphNode n;
+    n.type = EntityType::kCurve;
+    n.length = 2.0 * scale;
+    const int a = g.AddNode(n);
+    n.length = 6.0 * scale;
+    const int b = g.AddNode(n);
+    g.AddEdge(a, b);
+    return g;
+  };
+  const auto s1 = LengthWeightedSpectralSignature(make(1.0));
+  const auto s2 = LengthWeightedSpectralSignature(make(37.5));
+  for (size_t i = 0; i < s1.size(); ++i) {
+    EXPECT_NEAR(s1[i], s2[i], 1e-9);
+  }
+}
+
+TEST(LengthWeightedSpectralTest, EmptyGraphZero) {
+  const auto sig = LengthWeightedSpectralSignature(SkeletalGraph(), 4);
+  for (double v : sig) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+}  // namespace
+}  // namespace dess

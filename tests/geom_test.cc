@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/geom/mesh_integrals.h"
+#include "src/geom/transforms.h"
+#include "src/geom/trimesh.h"
+#include "src/modelgen/csg.h"
+#include "src/modelgen/marching_cubes.h"
+
+namespace dess {
+namespace {
+
+// Unit cube [0,1]^3 as 12 CCW triangles.
+TriMesh MakeUnitCube() {
+  TriMesh m;
+  for (int i = 0; i < 8; ++i) {
+    m.AddVertex({static_cast<double>(i & 1), static_cast<double>((i >> 1) & 1),
+                 static_cast<double>((i >> 2) & 1)});
+  }
+  auto quad = [&](uint32_t a, uint32_t b, uint32_t c, uint32_t d) {
+    m.AddTriangle(a, b, c);
+    m.AddTriangle(a, c, d);
+  };
+  quad(0, 2, 3, 1);  // z = 0, outward -z
+  quad(4, 5, 7, 6);  // z = 1, outward +z
+  quad(0, 1, 5, 4);  // y = 0
+  quad(2, 6, 7, 3);  // y = 1
+  quad(0, 4, 6, 2);  // x = 0
+  quad(1, 3, 7, 5);  // x = 1
+  return m;
+}
+
+TEST(TriMeshTest, CountsAndAccessors) {
+  const TriMesh m = MakeUnitCube();
+  EXPECT_EQ(m.NumVertices(), 8u);
+  EXPECT_EQ(m.NumTriangles(), 12u);
+  EXPECT_FALSE(m.IsEmpty());
+  Vec3 a, b, c;
+  m.TriangleVertices(0, &a, &b, &c);
+  EXPECT_EQ(a, m.vertex(m.triangle(0)[0]));
+}
+
+TEST(TriMeshTest, BoundingBox) {
+  const TriMesh m = MakeUnitCube();
+  const Aabb box = m.BoundingBox();
+  EXPECT_EQ(box.min, Vec3(0, 0, 0));
+  EXPECT_EQ(box.max, Vec3(1, 1, 1));
+  EXPECT_DOUBLE_EQ(box.MaxExtent(), 1.0);
+  EXPECT_EQ(box.Center(), Vec3(0.5, 0.5, 0.5));
+}
+
+TEST(TriMeshTest, EmptyBoundingBox) {
+  const TriMesh m;
+  EXPECT_TRUE(m.BoundingBox().IsEmpty());
+  EXPECT_EQ(m.BoundingBox().MaxExtent(), 0.0);
+}
+
+TEST(AabbTest, OverlapAndContain) {
+  Aabb a;
+  a.Expand({0, 0, 0});
+  a.Expand({2, 2, 2});
+  Aabb b;
+  b.Expand({1, 1, 1});
+  b.Expand({3, 3, 3});
+  EXPECT_TRUE(a.Overlaps(b));
+  EXPECT_TRUE(a.Contains({1, 1, 1}));
+  EXPECT_FALSE(a.Contains({3, 0, 0}));
+  Aabb far_box;
+  far_box.Expand({10, 10, 10});
+  EXPECT_FALSE(a.Overlaps(far_box));
+}
+
+TEST(TriMeshTest, ValidateCatchesBadIndex) {
+  TriMesh m;
+  m.AddVertex({0, 0, 0});
+  m.AddVertex({1, 0, 0});
+  m.AddVertex({0, 1, 0});
+  m.AddTriangle(0, 1, 2);
+  EXPECT_TRUE(m.Validate().ok());
+  m.AddTriangle(0, 1, 9);
+  EXPECT_FALSE(m.Validate().ok());
+}
+
+TEST(TriMeshTest, ValidateCatchesRepeatedVertex) {
+  TriMesh m;
+  m.AddVertex({0, 0, 0});
+  m.AddVertex({1, 0, 0});
+  m.AddTriangle(0, 1, 1);
+  EXPECT_EQ(m.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TriMeshTest, IsClosedOnCube) {
+  EXPECT_TRUE(MakeUnitCube().IsClosed());
+}
+
+TEST(TriMeshTest, OpenMeshNotClosed) {
+  TriMesh m = MakeUnitCube();
+  // Drop one triangle: opens a hole.
+  TriMesh open;
+  for (const Vec3& v : m.vertices()) open.AddVertex(v);
+  for (size_t t = 0; t + 1 < m.NumTriangles(); ++t) {
+    open.AddTriangle(m.triangle(t)[0], m.triangle(t)[1], m.triangle(t)[2]);
+  }
+  EXPECT_FALSE(open.IsClosed());
+}
+
+TEST(TriMeshTest, MergeOffsetsIndices) {
+  TriMesh a = MakeUnitCube();
+  TriMesh b = MakeUnitCube();
+  TranslateMesh({5, 0, 0}, &b);
+  a.Merge(b);
+  EXPECT_EQ(a.NumVertices(), 16u);
+  EXPECT_EQ(a.NumTriangles(), 24u);
+  EXPECT_TRUE(a.Validate().ok());
+  EXPECT_TRUE(a.IsClosed());
+}
+
+TEST(TriMeshTest, WeldMergesDuplicates) {
+  TriMesh m;
+  // Two triangles sharing an edge, with duplicated shared vertices.
+  m.AddVertex({0, 0, 0});
+  m.AddVertex({1, 0, 0});
+  m.AddVertex({0, 1, 0});
+  m.AddVertex({1, 0, 0});  // dup of 1
+  m.AddVertex({0, 1, 0});  // dup of 2
+  m.AddVertex({1, 1, 0});
+  m.AddTriangle(0, 1, 2);
+  m.AddTriangle(3, 5, 4);
+  const size_t removed = m.WeldVertices(1e-9);
+  EXPECT_EQ(removed, 2u);
+  EXPECT_EQ(m.NumVertices(), 4u);
+  EXPECT_EQ(m.NumTriangles(), 2u);
+}
+
+TEST(TriMeshTest, WeldDropsDegenerateTriangles) {
+  TriMesh m;
+  m.AddVertex({0, 0, 0});
+  m.AddVertex({1e-12, 0, 0});  // welds onto vertex 0
+  m.AddVertex({0, 1, 0});
+  m.AddTriangle(0, 1, 2);
+  m.WeldVertices(1e-9);
+  EXPECT_EQ(m.NumTriangles(), 0u);
+}
+
+TEST(MeshIntegralsTest, UnitCubeVolumeCentroid) {
+  const MeshIntegrals mi = ComputeMeshIntegrals(MakeUnitCube());
+  EXPECT_NEAR(mi.volume, 1.0, 1e-12);
+  EXPECT_NEAR(mi.Centroid().x, 0.5, 1e-12);
+  EXPECT_NEAR(mi.Centroid().y, 0.5, 1e-12);
+  EXPECT_NEAR(mi.Centroid().z, 0.5, 1e-12);
+}
+
+TEST(MeshIntegralsTest, UnitCubeSecondMoments) {
+  const MeshIntegrals mi = ComputeMeshIntegrals(MakeUnitCube());
+  // For [0,1]^3: int x^2 = 1/3, int xy = 1/4.
+  EXPECT_NEAR(mi.second_moment(0, 0), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(mi.second_moment(1, 1), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(mi.second_moment(0, 1), 0.25, 1e-12);
+  // Central: mu_200 = 1/3 - 1/4 = 1/12; mu_110 = 0.
+  const Mat3 mu = mi.CentralSecondMoment();
+  EXPECT_NEAR(mu(0, 0), 1.0 / 12.0, 1e-12);
+  EXPECT_NEAR(mu(0, 1), 0.0, 1e-12);
+}
+
+TEST(MeshIntegralsTest, FlippedOrientationNegatesVolume) {
+  TriMesh m = MakeUnitCube();
+  m.FlipOrientation();
+  EXPECT_NEAR(ComputeMeshIntegrals(m).volume, -1.0, 1e-12);
+}
+
+TEST(MeshIntegralsTest, TranslationInvarianceOfCentralMoments) {
+  TriMesh m = MakeUnitCube();
+  const Mat3 mu0 = ComputeMeshIntegrals(m).CentralSecondMoment();
+  TranslateMesh({13.0, -4.5, 7.25}, &m);
+  const Mat3 mu1 = ComputeMeshIntegrals(m).CentralSecondMoment();
+  for (int r = 0; r < 3; ++r)
+    for (int c = 0; c < 3; ++c) EXPECT_NEAR(mu0(r, c), mu1(r, c), 1e-9);
+}
+
+TEST(MeshIntegralsTest, SurfaceAreaCube) {
+  EXPECT_NEAR(SurfaceArea(MakeUnitCube()), 6.0, 1e-12);
+}
+
+TEST(MeshIntegralsTest, SphereVolumeAndArea) {
+  auto mesh = MeshSolid(*MakeSphere(1.0), {.resolution = 64});
+  ASSERT_TRUE(mesh.ok());
+  const double v = ComputeMeshIntegrals(*mesh).volume;
+  const double a = SurfaceArea(*mesh);
+  EXPECT_NEAR(v, 4.0 / 3.0 * M_PI, 0.05 * v);
+  EXPECT_NEAR(a, 4.0 * M_PI, 0.05 * a);
+}
+
+TEST(TransformsTest, ScaleScalesVolumeCubically) {
+  TriMesh m = MakeUnitCube();
+  ScaleMesh(2.0, &m);
+  EXPECT_NEAR(ComputeMeshIntegrals(m).volume, 8.0, 1e-12);
+}
+
+TEST(TransformsTest, NegativeScaleKeepsOrientationConsistent) {
+  TriMesh m = MakeUnitCube();
+  ScaleMesh(-1.0, &m);
+  // Mirror + flip keeps outward orientation: volume stays positive.
+  EXPECT_NEAR(ComputeMeshIntegrals(m).volume, 1.0, 1e-12);
+}
+
+TEST(TransformsTest, RotationPreservesVolumeAndArea) {
+  TriMesh m = MakeUnitCube();
+  Transform t = Transform::Rotate({1, 2, 3}, 1.1);
+  ApplyTransform(t, &m);
+  EXPECT_NEAR(ComputeMeshIntegrals(m).volume, 1.0, 1e-12);
+  EXPECT_NEAR(SurfaceArea(m), 6.0, 1e-12);
+}
+
+TEST(TransformsTest, ComposeAppliesRightToLeft) {
+  const Transform rotate = Transform::Rotate({0, 0, 1}, M_PI / 2);
+  const Transform translate = Transform::Translate({1, 0, 0});
+  // (translate ∘ rotate)(x-axis point): rotate first, then translate.
+  const Transform combined = translate.Compose(rotate);
+  const Vec3 p = combined.Apply({1, 0, 0});
+  EXPECT_NEAR(p.x, 1.0, 1e-12);
+  EXPECT_NEAR(p.y, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace dess

@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/graph/graph_builder.h"
+#include "src/graph/spectral.h"
+#include "src/modelgen/csg.h"
+#include "src/skeleton/thinning.h"
+#include "src/voxel/voxelizer.h"
+
+namespace dess {
+namespace {
+
+TEST(SkeletalGraphTest, AddNodesAndEdges) {
+  SkeletalGraph g;
+  GraphNode a;
+  a.type = EntityType::kLine;
+  GraphNode b;
+  b.type = EntityType::kLoop;
+  const int ia = g.AddNode(a);
+  const int ib = g.AddNode(b);
+  g.AddEdge(ia, ib);
+  g.AddEdge(ib, ia);  // duplicate, deduped
+  EXPECT_EQ(g.NumNodes(), 2);
+  EXPECT_EQ(g.NumEdges(), 1);
+  EXPECT_EQ(g.CountType(EntityType::kLine), 1);
+  EXPECT_EQ(g.CountType(EntityType::kLoop), 1);
+  EXPECT_EQ(g.CountType(EntityType::kCurve), 0);
+}
+
+TEST(SkeletalGraphTest, ConnectionWeightsSymmetricAndTyped) {
+  EXPECT_EQ(SkeletalGraph::ConnectionWeight(EntityType::kLine,
+                                            EntityType::kLoop),
+            SkeletalGraph::ConnectionWeight(EntityType::kLoop,
+                                            EntityType::kLine));
+  EXPECT_NE(SkeletalGraph::ConnectionWeight(EntityType::kLine,
+                                            EntityType::kLine),
+            SkeletalGraph::ConnectionWeight(EntityType::kLoop,
+                                            EntityType::kLoop));
+}
+
+TEST(SkeletalGraphTest, TypedAdjacencyMatrixStructure) {
+  SkeletalGraph g;
+  GraphNode line;
+  line.type = EntityType::kLine;
+  GraphNode loop;
+  loop.type = EntityType::kLoop;
+  const int a = g.AddNode(line);
+  const int b = g.AddNode(loop);
+  g.AddEdge(a, b);
+  const Matrix m = g.TypedAdjacencyMatrix();
+  ASSERT_EQ(m.rows(), 2u);
+  EXPECT_TRUE(m.IsSymmetric());
+  EXPECT_EQ(m(0, 0), SkeletalGraph::SelfWeight(EntityType::kLine));
+  EXPECT_EQ(m(1, 1), SkeletalGraph::SelfWeight(EntityType::kLoop));
+  EXPECT_EQ(m(0, 1), SkeletalGraph::ConnectionWeight(EntityType::kLine,
+                                                     EntityType::kLoop));
+}
+
+TEST(GraphBuilderTest, StraightLineSkeleton) {
+  VoxelGrid skel(20, 5, 5, {0, 0, 0}, 1.0);
+  for (int i = 2; i < 18; ++i) skel.Set(i, 2, 2, true);
+  const SkeletalGraph g = BuildSkeletalGraph(skel);
+  ASSERT_EQ(g.NumNodes(), 1);
+  EXPECT_EQ(g.nodes()[0].type, EntityType::kLine);
+  EXPECT_EQ(g.NumEdges(), 0);
+  EXPECT_NEAR(g.nodes()[0].length, 15.0, 1e-9);
+}
+
+TEST(GraphBuilderTest, CurvedArcClassifiedAsCurve) {
+  // A "V": two diagonal staircase arms meeting at an apex. Every voxel has
+  // degree 2 (no right-angle 3-clique artifacts), and the chord deviation
+  // at the apex is large, so the single arc classifies as a curve.
+  VoxelGrid skel(24, 14, 3, {0, 0, 0}, 1.0);
+  for (int t = 0; t <= 8; ++t) {
+    skel.Set(2 + t, 2 + t, 1, true);        // rising arm
+    skel.Set(11 + t, 9 - t, 1, true);       // falling arm
+  }
+  const SkeletalGraph g = BuildSkeletalGraph(skel);
+  ASSERT_EQ(g.NumNodes(), 1);
+  EXPECT_EQ(g.nodes()[0].type, EntityType::kCurve);
+}
+
+TEST(GraphBuilderTest, StraightDiagonalIsLine) {
+  VoxelGrid skel(16, 16, 3, {0, 0, 0}, 1.0);
+  for (int t = 0; t <= 10; ++t) skel.Set(2 + t, 2 + t, 1, true);
+  const SkeletalGraph g = BuildSkeletalGraph(skel);
+  ASSERT_EQ(g.NumNodes(), 1);
+  EXPECT_EQ(g.nodes()[0].type, EntityType::kLine);
+}
+
+TEST(GraphBuilderTest, PureCycleBecomesLoop) {
+  // Diamond ring (square rotated 45 degrees): a pure diagonal staircase
+  // cycle where every voxel has degree exactly 2.
+  VoxelGrid skel(15, 15, 3, {0, 0, 0}, 1.0);
+  const int c = 7, r = 5;
+  for (int t = 0; t < r; ++t) {
+    skel.Set(c + r - t, c + t, 1, true);
+    skel.Set(c - t, c + r - t, 1, true);
+    skel.Set(c - r + t, c - t, 1, true);
+    skel.Set(c + t, c - r + t, 1, true);
+  }
+  const SkeletalGraph g = BuildSkeletalGraph(skel);
+  ASSERT_EQ(g.NumNodes(), 1);
+  EXPECT_EQ(g.nodes()[0].type, EntityType::kLoop);
+  EXPECT_EQ(g.NumEdges(), 0);
+}
+
+TEST(GraphBuilderTest, TJunctionProducesThreeConnectedArcs) {
+  VoxelGrid skel(21, 21, 3, {0, 0, 0}, 1.0);
+  for (int i = 2; i <= 18; ++i) skel.Set(i, 10, 1, true);   // horizontal bar
+  for (int j = 2; j <= 10; ++j) skel.Set(10, j, 1, true);   // stem
+  const SkeletalGraph g = BuildSkeletalGraph(skel);
+  EXPECT_EQ(g.NumNodes(), 3);
+  // All three arcs meet at one junction: 3 pairwise edges.
+  EXPECT_EQ(g.NumEdges(), 3);
+  EXPECT_EQ(g.CountType(EntityType::kLine), 3);
+}
+
+TEST(GraphBuilderTest, SpurSuppression) {
+  VoxelGrid skel(21, 9, 3, {0, 0, 0}, 1.0);
+  for (int i = 2; i <= 18; ++i) skel.Set(i, 4, 1, true);
+  skel.Set(10, 5, 1, true);  // one-voxel spur off the line
+  GraphBuilderOptions opt;
+  opt.min_arc_length = 1.5;
+  const SkeletalGraph g = BuildSkeletalGraph(skel, opt);
+  // The spur is dropped; the two half-lines meeting at the junction stay.
+  EXPECT_EQ(g.CountType(EntityType::kLine), 2);
+}
+
+TEST(GraphBuilderTest, EmptySkeletonEmptyGraph) {
+  VoxelGrid skel(5, 5, 5, {0, 0, 0}, 1.0);
+  const SkeletalGraph g = BuildSkeletalGraph(skel);
+  EXPECT_EQ(g.NumNodes(), 0);
+  const Matrix m = g.TypedAdjacencyMatrix();
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(GraphBuilderTest, TorusPipelineEndsInLoop) {
+  auto grid = VoxelizeSolid(*MakeTorus(1.0, 0.28), {.resolution = 28});
+  ASSERT_TRUE(grid.ok());
+  const VoxelGrid skel = ThinToSkeleton(*grid);
+  const SkeletalGraph g = BuildSkeletalGraph(skel);
+  EXPECT_GE(g.CountType(EntityType::kLoop), 1);
+}
+
+TEST(GraphBuilderTest, NonPlanarJunctionIn3d) {
+  // Three orthogonal arms meeting at one voxel in 3D (not a planar T).
+  VoxelGrid skel(15, 15, 15, {0, 0, 0}, 1.0);
+  for (int t = 1; t <= 6; ++t) {
+    skel.Set(7 + t, 7, 7, true);   // +x arm
+    skel.Set(7, 7 + t, 7, true);   // +y arm
+    skel.Set(7, 7, 7 + t, true);   // +z arm
+  }
+  skel.Set(7, 7, 7, true);
+  const SkeletalGraph g = BuildSkeletalGraph(skel);
+  EXPECT_EQ(g.NumNodes(), 3);
+  EXPECT_EQ(g.NumEdges(), 3);  // pairwise through the shared junction
+  EXPECT_EQ(g.CountType(EntityType::kLine), 3);
+}
+
+TEST(GraphBuilderTest, TwoDisconnectedComponentsShareNoEdges) {
+  VoxelGrid skel(30, 5, 5, {0, 0, 0}, 1.0);
+  for (int i = 1; i <= 8; ++i) skel.Set(i, 2, 2, true);
+  for (int i = 15; i <= 22; ++i) skel.Set(i, 2, 2, true);
+  const SkeletalGraph g = BuildSkeletalGraph(skel);
+  EXPECT_EQ(g.NumNodes(), 2);
+  EXPECT_EQ(g.NumEdges(), 0);
+}
+
+TEST(GraphBuilderTest, ArcLengthMatchesGeometry) {
+  VoxelGrid skel(20, 5, 5, {0, 0, 0}, 1.0);
+  for (int i = 3; i <= 12; ++i) skel.Set(i, 2, 2, true);  // 10 voxels
+  const SkeletalGraph g = BuildSkeletalGraph(skel);
+  ASSERT_EQ(g.NumNodes(), 1);
+  EXPECT_NEAR(g.nodes()[0].length, 9.0, 1e-9);  // 9 unit steps
+}
+
+TEST(SpectralTest, FixedDimensionPadding) {
+  SkeletalGraph g;
+  GraphNode n;
+  n.type = EntityType::kLine;
+  g.AddNode(n);
+  const auto sig = SpectralSignature(g, 8);
+  ASSERT_EQ(sig.size(), 8u);
+  EXPECT_DOUBLE_EQ(sig[0], SkeletalGraph::SelfWeight(EntityType::kLine));
+  for (int i = 1; i < 8; ++i) EXPECT_DOUBLE_EQ(sig[i], 0.0);
+}
+
+TEST(SpectralTest, EmptyGraphAllZero) {
+  const auto sig = SpectralSignature(SkeletalGraph(), 6);
+  for (double v : sig) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(SpectralTest, SortedByAbsoluteValue) {
+  SkeletalGraph g;
+  GraphNode line;
+  line.type = EntityType::kLine;
+  GraphNode loop;
+  loop.type = EntityType::kLoop;
+  const int a = g.AddNode(loop);
+  const int b = g.AddNode(line);
+  const int c = g.AddNode(line);
+  g.AddEdge(a, b);
+  g.AddEdge(b, c);
+  const auto sig = SpectralSignature(g, 8);
+  for (size_t i = 1; i < sig.size(); ++i) {
+    EXPECT_GE(std::fabs(sig[i - 1]), std::fabs(sig[i]) - 1e-12);
+  }
+}
+
+TEST(SpectralTest, InvariantToNodeRelabeling) {
+  // Same graph built in two different node orders has the same spectrum.
+  SkeletalGraph g1, g2;
+  GraphNode line;
+  line.type = EntityType::kLine;
+  GraphNode loop;
+  loop.type = EntityType::kLoop;
+  {
+    const int a = g1.AddNode(line);
+    const int b = g1.AddNode(loop);
+    const int c = g1.AddNode(line);
+    g1.AddEdge(a, b);
+    g1.AddEdge(b, c);
+  }
+  {
+    const int c = g2.AddNode(line);
+    const int b = g2.AddNode(loop);
+    const int a = g2.AddNode(line);
+    g2.AddEdge(b, c);
+    g2.AddEdge(a, b);
+  }
+  const auto s1 = SpectralSignature(g1);
+  const auto s2 = SpectralSignature(g2);
+  for (size_t i = 0; i < s1.size(); ++i) EXPECT_NEAR(s1[i], s2[i], 1e-9);
+}
+
+TEST(SpectralTest, DistinguishesTopology) {
+  // Path of 3 lines vs triangle of 3 lines.
+  SkeletalGraph path, tri;
+  GraphNode line;
+  line.type = EntityType::kLine;
+  for (int i = 0; i < 3; ++i) {
+    path.AddNode(line);
+    tri.AddNode(line);
+  }
+  path.AddEdge(0, 1);
+  path.AddEdge(1, 2);
+  tri.AddEdge(0, 1);
+  tri.AddEdge(1, 2);
+  tri.AddEdge(0, 2);
+  const auto sp = SpectralSignature(path);
+  const auto st = SpectralSignature(tri);
+  double diff = 0.0;
+  for (size_t i = 0; i < sp.size(); ++i) diff += std::fabs(sp[i] - st[i]);
+  EXPECT_GT(diff, 0.1);
+}
+
+}  // namespace
+}  // namespace dess

@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/linalg/eigen.h"
+#include "src/linalg/mat3.h"
+#include "src/linalg/matrix.h"
+#include "src/linalg/pca.h"
+#include "src/linalg/vec3.h"
+
+namespace dess {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(Vec3Test, Arithmetic) {
+  const Vec3 a(1, 2, 3), b(4, 5, 6);
+  EXPECT_EQ(a + b, Vec3(5, 7, 9));
+  EXPECT_EQ(b - a, Vec3(3, 3, 3));
+  EXPECT_EQ(a * 2.0, Vec3(2, 4, 6));
+  EXPECT_EQ(2.0 * a, Vec3(2, 4, 6));
+  EXPECT_EQ(-a, Vec3(-1, -2, -3));
+}
+
+TEST(Vec3Test, DotAndCross) {
+  const Vec3 x(1, 0, 0), y(0, 1, 0), z(0, 0, 1);
+  EXPECT_DOUBLE_EQ(x.Dot(y), 0.0);
+  EXPECT_EQ(x.Cross(y), z);
+  EXPECT_EQ(y.Cross(z), x);
+  EXPECT_EQ(z.Cross(x), y);
+  EXPECT_DOUBLE_EQ(Vec3(3, 4, 0).Norm(), 5.0);
+}
+
+TEST(Vec3Test, NormalizedZeroSafe) {
+  EXPECT_EQ(Vec3().Normalized(), Vec3());
+  const Vec3 u = Vec3(0, 0, 5).Normalized();
+  EXPECT_DOUBLE_EQ(u.Norm(), 1.0);
+}
+
+TEST(Vec3Test, MinMax) {
+  const Vec3 a(1, 5, 2), b(3, 0, 2);
+  EXPECT_EQ(Vec3::Min(a, b), Vec3(1, 0, 2));
+  EXPECT_EQ(Vec3::Max(a, b), Vec3(3, 5, 2));
+}
+
+TEST(Mat3Test, IdentityAndMultiply) {
+  const Mat3 i = Mat3::Identity();
+  const Vec3 v(1, 2, 3);
+  EXPECT_EQ(i * v, v);
+  const Mat3 ii = i * i;
+  EXPECT_EQ(ii * v, v);
+}
+
+TEST(Mat3Test, RotationPreservesNormAndDeterminantOne) {
+  const Mat3 r = Mat3::Rotation({1, 2, 3}, 0.7);
+  const Vec3 v(4, -5, 6);
+  EXPECT_NEAR((r * v).Norm(), v.Norm(), 1e-12);
+  EXPECT_NEAR(r.Determinant(), 1.0, 1e-12);
+  // R * R^T = I.
+  const Mat3 should_be_i = r * r.Transposed();
+  for (int a = 0; a < 3; ++a)
+    for (int b = 0; b < 3; ++b)
+      EXPECT_NEAR(should_be_i(a, b), a == b ? 1.0 : 0.0, 1e-12);
+}
+
+TEST(Mat3Test, RotationQuarterTurnAboutZ) {
+  const Mat3 r = Mat3::Rotation({0, 0, 1}, kPi / 2);
+  const Vec3 rotated = r * Vec3(1, 0, 0);
+  EXPECT_NEAR(rotated.x, 0.0, 1e-12);
+  EXPECT_NEAR(rotated.y, 1.0, 1e-12);
+  EXPECT_NEAR(rotated.z, 0.0, 1e-12);
+}
+
+TEST(Mat3Test, FromRowsColumnsTranspose) {
+  const Mat3 rows = Mat3::FromRows({1, 2, 3}, {4, 5, 6}, {7, 8, 9});
+  const Mat3 cols = Mat3::FromColumns({1, 2, 3}, {4, 5, 6}, {7, 8, 9});
+  for (int a = 0; a < 3; ++a)
+    for (int b = 0; b < 3; ++b) EXPECT_EQ(rows(a, b), cols(b, a));
+  EXPECT_EQ(rows.Trace(), 15.0);
+}
+
+TEST(MatrixTest, MultiplyIdentity) {
+  Matrix a(2, 3);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(0, 2) = 3;
+  a(1, 0) = 4;
+  a(1, 1) = 5;
+  a(1, 2) = 6;
+  const Matrix i = Matrix::Identity(3);
+  const Matrix p = a * i;
+  for (size_t r = 0; r < 2; ++r)
+    for (size_t c = 0; c < 3; ++c) EXPECT_EQ(p(r, c), a(r, c));
+}
+
+TEST(MatrixTest, TransposeAndSymmetry) {
+  Matrix a(2, 2);
+  a(0, 1) = 5;
+  EXPECT_FALSE(a.IsSymmetric());
+  a(1, 0) = 5;
+  EXPECT_TRUE(a.IsSymmetric());
+  const Matrix t = a.Transposed();
+  EXPECT_EQ(t(1, 0), 5.0);
+}
+
+TEST(EigenTest, DiagonalMatrix) {
+  Matrix a(3, 3);
+  a(0, 0) = 1;
+  a(1, 1) = 5;
+  a(2, 2) = 3;
+  auto res = JacobiEigenSymmetric(a);
+  ASSERT_TRUE(res.ok());
+  EXPECT_NEAR(res->values[0], 5.0, 1e-12);
+  EXPECT_NEAR(res->values[1], 3.0, 1e-12);
+  EXPECT_NEAR(res->values[2], 1.0, 1e-12);
+}
+
+TEST(EigenTest, RejectsNonSquare) {
+  EXPECT_FALSE(JacobiEigenSymmetric(Matrix(2, 3)).ok());
+}
+
+TEST(EigenTest, RejectsAsymmetric) {
+  Matrix a(2, 2);
+  a(0, 1) = 1.0;
+  EXPECT_FALSE(JacobiEigenSymmetric(a).ok());
+}
+
+TEST(EigenTest, EmptyMatrixOk) {
+  auto res = JacobiEigenSymmetric(Matrix());
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res->values.empty());
+}
+
+TEST(EigenTest, ReconstructsMatrixFromDecomposition) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t n = 2 + rng.NextBounded(8);
+    Matrix a(n, n);
+    for (size_t r = 0; r < n; ++r) {
+      for (size_t c = r; c < n; ++c) {
+        a(r, c) = a(c, r) = rng.Uniform(-2, 2);
+      }
+    }
+    auto res = JacobiEigenSymmetric(a);
+    ASSERT_TRUE(res.ok());
+    // A == sum_k lambda_k v_k v_k^T.
+    Matrix recon(n, n);
+    for (size_t k = 0; k < n; ++k) {
+      for (size_t r = 0; r < n; ++r) {
+        for (size_t c = 0; c < n; ++c) {
+          recon(r, c) +=
+              res->values[k] * res->vectors[k][r] * res->vectors[k][c];
+        }
+      }
+    }
+    EXPECT_LT((recon - a).Norm(), 1e-9 * (1.0 + a.Norm()));
+    // Eigenvalues descend.
+    for (size_t k = 1; k < n; ++k) {
+      EXPECT_GE(res->values[k - 1], res->values[k] - 1e-12);
+    }
+  }
+}
+
+TEST(EigenTest, EigenvectorsOrthonormal) {
+  Rng rng(13);
+  const size_t n = 6;
+  Matrix a(n, n);
+  for (size_t r = 0; r < n; ++r)
+    for (size_t c = r; c < n; ++c) a(r, c) = a(c, r) = rng.Uniform(-1, 1);
+  auto res = JacobiEigenSymmetric(a);
+  ASSERT_TRUE(res.ok());
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      double dot = 0.0;
+      for (size_t d = 0; d < n; ++d) {
+        dot += res->vectors[i][d] * res->vectors[j][d];
+      }
+      EXPECT_NEAR(dot, i == j ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(EigenSymmetric3Test, KnownEigenvalues) {
+  // Symmetric matrix with eigenvalues 6, 3, 1 (constructed by rotation).
+  const Mat3 r = Mat3::Rotation({1, 1, 0}, 0.9);
+  Mat3 d;
+  d(0, 0) = 6;
+  d(1, 1) = 3;
+  d(2, 2) = 1;
+  const Mat3 a = r * d * r.Transposed();
+  const SymmetricEigen3 eig = EigenSymmetric3(a);
+  EXPECT_NEAR(eig.values[0], 6.0, 1e-9);
+  EXPECT_NEAR(eig.values[1], 3.0, 1e-9);
+  EXPECT_NEAR(eig.values[2], 1.0, 1e-9);
+  // Each vector satisfies A v = lambda v.
+  for (int k = 0; k < 3; ++k) {
+    const Vec3 av = a * eig.vectors[k];
+    const Vec3 lv = eig.vectors[k] * eig.values[k];
+    EXPECT_NEAR((av - lv).Norm(), 0.0, 1e-8);
+  }
+}
+
+TEST(PcaTest, RecoversDominantAxis) {
+  // Points stretched along a known direction.
+  Rng rng(3);
+  const Vec3 axis = Vec3(2, 1, 0.5).Normalized();
+  std::vector<Vec3> pts;
+  for (int i = 0; i < 500; ++i) {
+    pts.push_back(axis * rng.NextGaussian() * 5.0 +
+                  Vec3(rng.NextGaussian(), rng.NextGaussian(),
+                       rng.NextGaussian()) *
+                      0.3 +
+                  Vec3(10, 20, 30));
+  }
+  const Pca3 pca = ComputePca3(pts);
+  EXPECT_NEAR(pca.centroid.x, 10.0, 0.7);
+  EXPECT_GT(std::fabs(pca.axes[0].Dot(axis)), 0.99);
+  EXPECT_GT(pca.variances[0], pca.variances[1]);
+  EXPECT_GE(pca.variances[1], pca.variances[2]);
+}
+
+TEST(PcaTest, FrameIsRightHanded) {
+  Rng rng(4);
+  std::vector<Vec3> pts;
+  for (int i = 0; i < 50; ++i) {
+    pts.push_back(
+        {rng.Uniform(-1, 1), rng.Uniform(-2, 2), rng.Uniform(-3, 3)});
+  }
+  const Pca3 pca = ComputePca3(pts);
+  EXPECT_NEAR(pca.axes[0].Cross(pca.axes[1]).Dot(pca.axes[2]), 1.0, 1e-9);
+  const Mat3 r = PrincipalFrameRotation(pca);
+  EXPECT_NEAR(r.Determinant(), 1.0, 1e-9);
+}
+
+TEST(PcaTest, WeightsIgnoreNonPositive) {
+  std::vector<Vec3> pts{{0, 0, 0}, {100, 100, 100}};
+  std::vector<double> w{1.0, 0.0};
+  const Pca3 pca = ComputePca3(pts, w);
+  EXPECT_EQ(pca.centroid, Vec3(0, 0, 0));
+}
+
+}  // namespace
+}  // namespace dess

@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "src/common/logging.h"
+
+namespace dess {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = GetLogLevel(); }
+  void TearDown() override { SetLogLevel(saved_); }
+  LogLevel saved_;
+};
+
+TEST_F(LoggingTest, LevelRoundTrip) {
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+}
+
+TEST_F(LoggingTest, SuppressedMessagesDoNotEvaluateExpensively) {
+  // Streaming into a disabled LogMessage must be cheap and safe; this also
+  // exercises the enabled_ short-circuit.
+  SetLogLevel(LogLevel::kError);
+  for (int i = 0; i < 1000; ++i) {
+    DESS_LOG(Debug) << "suppressed " << i;
+  }
+  SUCCEED();
+}
+
+TEST_F(LoggingTest, EnabledMessagesStreamAllTypes) {
+  SetLogLevel(LogLevel::kDebug);
+  ::testing::internal::CaptureStderr();
+  DESS_LOG(Info) << "int=" << 42 << " dbl=" << 1.5 << " str=" << "x";
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("int=42"), std::string::npos);
+  EXPECT_NE(out.find("dbl=1.5"), std::string::npos);
+  EXPECT_NE(out.find("INFO"), std::string::npos);
+  EXPECT_NE(out.find("logging_test.cc"), std::string::npos);
+}
+
+TEST_F(LoggingTest, LevelFiltering) {
+  SetLogLevel(LogLevel::kWarning);
+  ::testing::internal::CaptureStderr();
+  DESS_LOG(Info) << "hidden";
+  DESS_LOG(Warning) << "shown";
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(out.find("hidden"), std::string::npos);
+  EXPECT_NE(out.find("shown"), std::string::npos);
+}
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  DESS_CHECK(1 + 1 == 2);
+  SUCCEED();
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH({ DESS_CHECK(false); }, "Check failed");
+}
+
+}  // namespace
+}  // namespace dess

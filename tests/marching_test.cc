@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/geom/mesh_integrals.h"
+#include "src/modelgen/csg.h"
+#include "src/modelgen/marching_cubes.h"
+#include "src/modelgen/part_families.h"
+
+namespace dess {
+namespace {
+
+TEST(MeshSolidTest, RejectsBadResolution) {
+  auto r = MeshSolid(*MakeSphere(1.0), {.resolution = 1});
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MeshSolidTest, ReportsUnresolvableSolid) {
+  // A sphere far smaller than one cell of a huge bounding union.
+  const SolidPtr tiny = MakeUnion(
+      Translated(MakeSphere(0.001), {0, 0, 0}),
+      Translated(MakeSphere(0.001), {100, 100, 100}));
+  auto r = MeshSolid(*tiny, {.resolution = 4});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(MeshSolidTest, SphereIsClosedAndAccurate) {
+  auto mesh = MeshSolid(*MakeSphere(1.0), {.resolution = 48});
+  ASSERT_TRUE(mesh.ok());
+  EXPECT_TRUE(mesh->Validate().ok());
+  EXPECT_TRUE(mesh->IsClosed());
+  const double v = ComputeMeshIntegrals(*mesh).volume;
+  EXPECT_NEAR(v, 4.0 / 3.0 * M_PI, 0.06 * 4.0 / 3.0 * M_PI);
+}
+
+TEST(MeshSolidTest, BoxVolumeConverges) {
+  const SolidPtr box = MakeBox({0.5, 0.4, 0.3});
+  const double exact = 1.0 * 0.8 * 0.6;
+  double prev_err = 1e9;
+  for (int res : {16, 32, 64}) {
+    auto mesh = MeshSolid(*box, {.resolution = res});
+    ASSERT_TRUE(mesh.ok());
+    const double err =
+        std::fabs(ComputeMeshIntegrals(*mesh).volume - exact) / exact;
+    EXPECT_LT(err, prev_err + 1e-3);  // non-increasing (allow noise)
+    prev_err = err;
+  }
+  EXPECT_LT(prev_err, 0.02);
+}
+
+TEST(MeshSolidTest, TorusIsClosedWithGenus) {
+  auto mesh = MeshSolid(*MakeTorus(1.0, 0.3), {.resolution = 48});
+  ASSERT_TRUE(mesh.ok());
+  EXPECT_TRUE(mesh->IsClosed());
+  // Euler characteristic V - E + F = 0 for a torus.
+  const long long v = static_cast<long long>(mesh->NumVertices());
+  const long long f = static_cast<long long>(mesh->NumTriangles());
+  const long long e = f * 3 / 2;  // closed manifold: every edge shared by 2
+  EXPECT_EQ(v - e + f, 0);
+}
+
+TEST(MeshSolidTest, SphereEulerCharacteristicIsTwo) {
+  auto mesh = MeshSolid(*MakeSphere(1.0), {.resolution = 32});
+  ASSERT_TRUE(mesh.ok());
+  const long long v = static_cast<long long>(mesh->NumVertices());
+  const long long f = static_cast<long long>(mesh->NumTriangles());
+  const long long e = f * 3 / 2;
+  EXPECT_EQ(v - e + f, 2);
+}
+
+TEST(MeshSolidTest, OutwardOrientation) {
+  auto mesh = MeshSolid(*MakeSphere(1.0), {.resolution = 24});
+  ASSERT_TRUE(mesh.ok());
+  EXPECT_GT(ComputeMeshIntegrals(*mesh).volume, 0.0);
+  // Every face normal of a convex solid points away from the center.
+  for (size_t t = 0; t < mesh->NumTriangles(); ++t) {
+    Vec3 a, b, c;
+    mesh->TriangleVertices(t, &a, &b, &c);
+    const Vec3 centroid = (a + b + c) / 3.0;
+    EXPECT_GT(mesh->FaceNormal(t).Dot(centroid), 0.0) << "face " << t;
+  }
+}
+
+TEST(MeshSolidTest, DifferenceProducesCavityFreeClosedMesh) {
+  const SolidPtr tube =
+      MakeDifference(MakeCylinder(1.0, 1.0), MakeCylinder(0.5, 1.5));
+  auto mesh = MeshSolid(*tube, {.resolution = 40});
+  ASSERT_TRUE(mesh.ok());
+  EXPECT_TRUE(mesh->IsClosed());
+  const double v = ComputeMeshIntegrals(*mesh).volume;
+  const double exact = M_PI * (1.0 - 0.25) * 2.0;
+  EXPECT_NEAR(v, exact, 0.08 * exact);
+}
+
+class FamilyMeshTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FamilyMeshTest, EveryFamilyMeshesClosedValidPositiveVolume) {
+  const auto& families = StandardPartFamilies();
+  const int f = GetParam();
+  Rng rng(1000 + f);
+  const SolidPtr solid = families[f].build(&rng);
+  auto mesh = MeshSolid(*solid, {.resolution = 40});
+  ASSERT_TRUE(mesh.ok()) << families[f].name << ": "
+                         << mesh.status().ToString();
+  EXPECT_TRUE(mesh->Validate().ok()) << families[f].name;
+  EXPECT_TRUE(mesh->IsClosed()) << families[f].name;
+  EXPECT_GT(ComputeMeshIntegrals(*mesh).volume, 0.0) << families[f].name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, FamilyMeshTest,
+                         ::testing::Range(0, 26));
+
+}  // namespace
+}  // namespace dess

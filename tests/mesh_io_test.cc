@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "src/geom/mesh_integrals.h"
+#include "src/geom/mesh_io.h"
+#include "src/modelgen/csg.h"
+#include "src/modelgen/marching_cubes.h"
+
+namespace dess {
+namespace {
+
+class MeshIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("dess_io_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  static TriMesh Tetra() {
+    TriMesh m;
+    m.AddVertex({0, 0, 0});
+    m.AddVertex({1, 0, 0});
+    m.AddVertex({0, 1, 0});
+    m.AddVertex({0, 0, 1});
+    m.AddTriangle(0, 2, 1);
+    m.AddTriangle(0, 1, 3);
+    m.AddTriangle(0, 3, 2);
+    m.AddTriangle(1, 2, 3);
+    return m;
+  }
+
+  std::filesystem::path dir_;
+};
+
+void ExpectMeshesEquivalent(const TriMesh& a, const TriMesh& b,
+                            double tol = 1e-6) {
+  ASSERT_EQ(a.NumTriangles(), b.NumTriangles());
+  const MeshIntegrals ia = ComputeMeshIntegrals(a);
+  const MeshIntegrals ib = ComputeMeshIntegrals(b);
+  EXPECT_NEAR(ia.volume, ib.volume, tol);
+  EXPECT_NEAR(SurfaceArea(a), SurfaceArea(b), tol);
+}
+
+TEST_F(MeshIoTest, OffRoundTrip) {
+  const TriMesh m = Tetra();
+  ASSERT_TRUE(WriteOff(m, Path("t.off")).ok());
+  auto r = ReadOff(Path("t.off"));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->NumVertices(), 4u);
+  ExpectMeshesEquivalent(m, *r);
+}
+
+TEST_F(MeshIoTest, ObjRoundTrip) {
+  const TriMesh m = Tetra();
+  ASSERT_TRUE(WriteObj(m, Path("t.obj")).ok());
+  auto r = ReadObj(Path("t.obj"));
+  ASSERT_TRUE(r.ok());
+  ExpectMeshesEquivalent(m, *r);
+}
+
+TEST_F(MeshIoTest, StlRoundTripWeldsVertices) {
+  const TriMesh m = Tetra();
+  ASSERT_TRUE(WriteStlBinary(m, Path("t.stl")).ok());
+  auto r = ReadStl(Path("t.stl"));
+  ASSERT_TRUE(r.ok());
+  // STL duplicates vertices per facet; the reader welds them back.
+  EXPECT_EQ(r->NumVertices(), 4u);
+  ExpectMeshesEquivalent(m, *r, 1e-5);  // float precision
+}
+
+TEST_F(MeshIoTest, DispatchByExtension) {
+  const TriMesh m = Tetra();
+  for (const char* name : {"d.off", "d.obj", "d.stl"}) {
+    ASSERT_TRUE(WriteMesh(m, Path(name)).ok()) << name;
+    auto r = ReadMesh(Path(name));
+    ASSERT_TRUE(r.ok()) << name;
+    EXPECT_EQ(r->NumTriangles(), 4u) << name;
+  }
+}
+
+TEST_F(MeshIoTest, UnknownExtensionRejected) {
+  EXPECT_EQ(ReadMesh("foo.xyz").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(WriteMesh(Tetra(), Path("foo.xyz")).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(MeshIoTest, MissingFileIsIOError) {
+  EXPECT_EQ(ReadOff(Path("absent.off")).status().code(),
+            StatusCode::kIOError);
+}
+
+TEST_F(MeshIoTest, CorruptOffCounts) {
+  std::ofstream(Path("bad.off")) << "OFF\nnot numbers\n";
+  EXPECT_EQ(ReadOff(Path("bad.off")).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST_F(MeshIoTest, TruncatedOffVertexList) {
+  std::ofstream(Path("bad2.off")) << "OFF\n5 1 0\n0 0 0\n1 1 1\n";
+  EXPECT_EQ(ReadOff(Path("bad2.off")).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST_F(MeshIoTest, OffFaceIndexOutOfRange) {
+  std::ofstream(Path("bad3.off"))
+      << "OFF\n3 1 0\n0 0 0\n1 0 0\n0 1 0\n3 0 1 9\n";
+  EXPECT_EQ(ReadOff(Path("bad3.off")).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST_F(MeshIoTest, OffWithCommentsAndCountsOnHeaderLine) {
+  std::ofstream(Path("c.off")) << "# comment\nOFF 3 1 0\n# another\n"
+                               << "0 0 0\n1 0 0\n0 1 0\n3 0 1 2\n";
+  auto r = ReadOff(Path("c.off"));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->NumVertices(), 3u);
+  EXPECT_EQ(r->NumTriangles(), 1u);
+}
+
+TEST_F(MeshIoTest, OffPolygonFanTriangulation) {
+  std::ofstream(Path("quad.off"))
+      << "OFF\n4 1 0\n0 0 0\n1 0 0\n1 1 0\n0 1 0\n4 0 1 2 3\n";
+  auto r = ReadOff(Path("quad.off"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->NumTriangles(), 2u);
+}
+
+TEST_F(MeshIoTest, ObjNegativeIndicesAndSlashes) {
+  std::ofstream(Path("rel.obj"))
+      << "v 0 0 0\nv 1 0 0\nv 0 1 0\nf -3/1/1 -2/2/2 -1/3/3\n";
+  auto r = ReadObj(Path("rel.obj"));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->NumTriangles(), 1u);
+  EXPECT_EQ(r->triangle(0)[0], 0u);
+}
+
+TEST_F(MeshIoTest, ObjBadIndexRejected) {
+  std::ofstream(Path("bad.obj")) << "v 0 0 0\nf 1 2 3\n";
+  EXPECT_EQ(ReadObj(Path("bad.obj")).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST_F(MeshIoTest, AsciiStlParsed) {
+  std::ofstream(Path("a.stl"))
+      << "solid t\n facet normal 0 0 1\n  outer loop\n"
+      << "   vertex 0 0 0\n   vertex 1 0 0\n   vertex 0 1 0\n"
+      << "  endloop\n endfacet\nendsolid t\n";
+  auto r = ReadStl(Path("a.stl"));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->NumTriangles(), 1u);
+  EXPECT_EQ(r->NumVertices(), 3u);
+}
+
+TEST_F(MeshIoTest, LargeMeshRoundTripPreservesIntegrals) {
+  auto mesh = MeshSolid(*MakeTorus(1.0, 0.3), {.resolution = 32});
+  ASSERT_TRUE(mesh.ok());
+  ASSERT_TRUE(WriteMesh(*mesh, Path("torus.off")).ok());
+  auto r = ReadMesh(Path("torus.off"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->IsClosed());
+  ExpectMeshesEquivalent(*mesh, *r, 1e-6);
+}
+
+}  // namespace
+}  // namespace dess

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/features/moments.h"
+#include "src/modelgen/csg.h"
+#include "src/voxel/voxelizer.h"
+
+namespace dess {
+namespace {
+
+VoxelGrid SingleVoxel() {
+  VoxelGrid g(3, 3, 3, {0, 0, 0}, 1.0);
+  g.Set(1, 1, 1, true);
+  return g;
+}
+
+TEST(VoxelMomentTest, ZeroOrderIsVolume) {
+  const VoxelGrid g = SingleVoxel();
+  EXPECT_DOUBLE_EQ(VoxelMoment(g, 0, 0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(VoxelMoment(g, 0, 0, 0), g.SolidVolume());
+}
+
+TEST(VoxelMomentTest, FirstOrderGivesCentroid) {
+  const VoxelGrid g = SingleVoxel();
+  // Voxel (1,1,1) center is (1.5, 1.5, 1.5).
+  EXPECT_DOUBLE_EQ(VoxelMoment(g, 1, 0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(VoxelMoment(g, 0, 1, 0), 1.5);
+  EXPECT_DOUBLE_EQ(VoxelMoment(g, 0, 0, 1), 1.5);
+  EXPECT_EQ(VoxelCentroid(g), Vec3(1.5, 1.5, 1.5));
+}
+
+TEST(VoxelMomentTest, CentralMomentsVanishAtFirstOrder) {
+  auto grid = VoxelizeSolid(*MakeBox({0.6, 0.4, 0.2}), {.resolution = 24});
+  ASSERT_TRUE(grid.ok());
+  EXPECT_NEAR(VoxelCentralMoment(*grid, 1, 0, 0), 0.0, 1e-9);
+  EXPECT_NEAR(VoxelCentralMoment(*grid, 0, 1, 0), 0.0, 1e-9);
+  EXPECT_NEAR(VoxelCentralMoment(*grid, 0, 0, 1), 0.0, 1e-9);
+}
+
+TEST(VoxelMomentTest, BoxSecondMomentsMatchAnalytic) {
+  // Box with half extents (a, b, c): mu_200 = V a^2 / 3.
+  const double a = 0.6, b = 0.4, c = 0.2;
+  auto grid = VoxelizeSolid(*MakeBox({a, b, c}), {.resolution = 64});
+  ASSERT_TRUE(grid.ok());
+  const double v = grid->SolidVolume();
+  const Mat3 m = VoxelSecondMomentMatrix(*grid);
+  EXPECT_NEAR(m(0, 0), v * a * a / 3.0, 0.05 * v * a * a / 3.0);
+  EXPECT_NEAR(m(1, 1), v * b * b / 3.0, 0.05 * v * b * b / 3.0);
+  EXPECT_NEAR(m(2, 2), v * c * c / 3.0, 0.06 * v * c * c / 3.0);
+  EXPECT_NEAR(m(0, 1), 0.0, 1e-6);
+}
+
+TEST(VoxelMomentTest, HigherOrderMomentOfSymmetricShapeVanishes) {
+  auto grid = VoxelizeSolid(*MakeSphere(1.0), {.resolution = 24});
+  ASSERT_TRUE(grid.ok());
+  // Odd central moments of a symmetric body vanish.
+  EXPECT_NEAR(VoxelCentralMoment(*grid, 3, 0, 0), 0.0, 1e-6);
+  EXPECT_NEAR(VoxelCentralMoment(*grid, 1, 1, 1), 0.0, 1e-6);
+}
+
+TEST(ScaleNormalizedTest, ScaleInvariance) {
+  // I_lmn = mu_lmn / mu000^(5/3) is invariant under uniform scaling:
+  // mu'_2 = s^5 mu_2 and V' = s^3 V, so the ratio cancels.
+  auto g1 = VoxelizeSolid(*MakeBox({0.5, 0.3, 0.2}), {.resolution = 48});
+  auto g2 = VoxelizeSolid(*MakeBox({1.0, 0.6, 0.4}), {.resolution = 48});
+  ASSERT_TRUE(g1.ok() && g2.ok());
+  const Mat3 i1 =
+      ScaleNormalizedSecondMoments(VoxelSecondMomentMatrix(*g1),
+                                   g1->SolidVolume());
+  const Mat3 i2 =
+      ScaleNormalizedSecondMoments(VoxelSecondMomentMatrix(*g2),
+                                   g2->SolidVolume());
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_NEAR(i1(r, c), i2(r, c), 0.02 * (std::fabs(i1(r, c)) + 0.01));
+    }
+  }
+}
+
+TEST(MomentInvariantsTest, CharacteristicCoefficientsOfDiagonal) {
+  Mat3 d;
+  d(0, 0) = 2;
+  d(1, 1) = 3;
+  d(2, 2) = 5;
+  double f1, f2, f3;
+  MomentInvariantsF(d, &f1, &f2, &f3);
+  EXPECT_DOUBLE_EQ(f1, 10.0);            // 2+3+5
+  EXPECT_DOUBLE_EQ(f2, 31.0);            // 6+15+10
+  EXPECT_DOUBLE_EQ(f3, 30.0);            // 2*3*5
+}
+
+TEST(MomentInvariantsTest, RotationInvariance) {
+  // F-invariants are similarity invariants of the matrix: conjugating by a
+  // rotation leaves them unchanged.
+  Mat3 m;
+  m(0, 0) = 1.0;
+  m(1, 1) = 2.0;
+  m(2, 2) = 0.5;
+  m(0, 1) = m(1, 0) = 0.2;
+  const Mat3 r = Mat3::Rotation({1, 2, -1}, 0.8);
+  const Mat3 rotated = r * m * r.Transposed();
+  double f1a, f2a, f3a, f1b, f2b, f3b;
+  MomentInvariantsF(m, &f1a, &f2a, &f3a);
+  MomentInvariantsF(rotated, &f1b, &f2b, &f3b);
+  EXPECT_NEAR(f1a, f1b, 1e-10);
+  EXPECT_NEAR(f2a, f2b, 1e-10);
+  EXPECT_NEAR(f3a, f3b, 1e-10);
+}
+
+TEST(MomentInvariantsTest, VoxelRotationInvarianceEndToEnd) {
+  // Voxelize a box and a rotated copy; F-invariants agree within
+  // discretization error.
+  const SolidPtr box = MakeBox({0.6, 0.35, 0.2});
+  const SolidPtr rotated =
+      Rotated(Rotated(MakeBox({0.6, 0.35, 0.2}), {0, 0, 1}, 0.6), {1, 0, 0},
+              0.35);
+  auto g1 = VoxelizeSolid(*box, {.resolution = 48});
+  auto g2 = VoxelizeSolid(*rotated, {.resolution = 48});
+  ASSERT_TRUE(g1.ok() && g2.ok());
+  double fa[3], fb[3];
+  MomentInvariantsF(ScaleNormalizedSecondMoments(
+                        VoxelSecondMomentMatrix(*g1), g1->SolidVolume()),
+                    &fa[0], &fa[1], &fa[2]);
+  MomentInvariantsF(ScaleNormalizedSecondMoments(
+                        VoxelSecondMomentMatrix(*g2), g2->SolidVolume()),
+                    &fb[0], &fb[1], &fb[2]);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NEAR(fa[i], fb[i], 0.03 * (std::fabs(fa[i]) + 1e-3)) << "F" << i;
+  }
+}
+
+}  // namespace
+}  // namespace dess

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/features/normalization.h"
+#include "src/geom/mesh_integrals.h"
+#include "src/modelgen/csg.h"
+#include "src/modelgen/marching_cubes.h"
+#include "src/modelgen/part_families.h"
+
+namespace dess {
+namespace {
+
+Result<TriMesh> BoxMesh(const Vec3& half) {
+  return MeshSolid(*MakeBox(half), {.resolution = 32});
+}
+
+TEST(NormalizationTest, RejectsEmptyMesh) {
+  EXPECT_EQ(NormalizeMesh(TriMesh()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(NormalizationTest, CentroidAtOrigin) {
+  auto mesh = BoxMesh({0.5, 0.3, 0.2});
+  ASSERT_TRUE(mesh.ok());
+  TranslateMesh({5, -3, 2}, &*mesh);
+  auto norm = NormalizeMesh(*mesh);
+  ASSERT_TRUE(norm.ok());
+  const Vec3 c = ComputeMeshIntegrals(norm->mesh).Centroid();
+  EXPECT_NEAR(c.Norm(), 0.0, 1e-9);
+  // The meshed box's centroid carries small discretization asymmetry.
+  EXPECT_NEAR(norm->original_centroid.x, 5.0, 5e-3);
+}
+
+TEST(NormalizationTest, UnitVolume) {
+  auto mesh = BoxMesh({0.9, 0.4, 0.15});
+  ASSERT_TRUE(mesh.ok());
+  auto norm = NormalizeMesh(*mesh);
+  ASSERT_TRUE(norm.ok());
+  EXPECT_NEAR(ComputeMeshIntegrals(norm->mesh).volume, 1.0, 1e-9);
+  // Scale factor is (1/V)^(1/3).
+  EXPECT_NEAR(norm->scale_factor,
+              std::cbrt(1.0 / norm->original_volume), 1e-12);
+}
+
+TEST(NormalizationTest, CustomTargetVolume) {
+  auto mesh = BoxMesh({0.5, 0.5, 0.5});
+  ASSERT_TRUE(mesh.ok());
+  NormalizationOptions opt;
+  opt.target_volume = 8.0;
+  auto norm = NormalizeMesh(*mesh, opt);
+  ASSERT_TRUE(norm.ok());
+  EXPECT_NEAR(ComputeMeshIntegrals(norm->mesh).volume, 8.0, 1e-9);
+}
+
+TEST(NormalizationTest, PrincipalMomentsOrderedOnAxes) {
+  auto mesh = BoxMesh({0.9, 0.4, 0.15});
+  ASSERT_TRUE(mesh.ok());
+  auto norm = NormalizeMesh(*mesh);
+  ASSERT_TRUE(norm.ok());
+  const Mat3 mu = ComputeMeshIntegrals(norm->mesh).CentralSecondMoment();
+  // Diagonalized: off-diagonals vanish; mu_xx >= mu_yy >= mu_zz.
+  EXPECT_NEAR(mu(0, 1), 0.0, 1e-8);
+  EXPECT_NEAR(mu(0, 2), 0.0, 1e-8);
+  EXPECT_NEAR(mu(1, 2), 0.0, 1e-8);
+  EXPECT_GE(mu(0, 0), mu(1, 1) - 1e-9);
+  EXPECT_GE(mu(1, 1), mu(2, 2) - 1e-9);
+}
+
+TEST(NormalizationTest, RotationIsProper) {
+  auto mesh = BoxMesh({0.7, 0.5, 0.2});
+  ASSERT_TRUE(mesh.ok());
+  auto norm = NormalizeMesh(*mesh);
+  ASSERT_TRUE(norm.ok());
+  EXPECT_NEAR(norm->rotation.Determinant(), 1.0, 1e-9);
+  // Normalized mesh keeps positive volume (outward orientation survived).
+  EXPECT_GT(ComputeMeshIntegrals(norm->mesh).volume, 0.0);
+}
+
+TEST(NormalizationTest, InwardOrientedInputIsFlipped) {
+  auto mesh = BoxMesh({0.5, 0.4, 0.3});
+  ASSERT_TRUE(mesh.ok());
+  mesh->FlipOrientation();
+  auto norm = NormalizeMesh(*mesh);
+  ASSERT_TRUE(norm.ok());
+  EXPECT_GT(norm->original_volume, 0.0);
+  EXPECT_NEAR(ComputeMeshIntegrals(norm->mesh).volume, 1.0, 1e-9);
+}
+
+TEST(NormalizationTest, PoseInvariance) {
+  // The canonical form of a mesh must be (nearly) independent of the
+  // original pose: normalize a part and a rigidly transformed copy, then
+  // compare canonical bounding boxes.
+  Rng rng(5);
+  const auto& families = StandardPartFamilies();
+  Rng build_rng(42);
+  const SolidPtr solid = families[0].build(&build_rng);
+  auto mesh = MeshSolid(*solid, {.resolution = 48});
+  ASSERT_TRUE(mesh.ok());
+
+  auto norm_a = NormalizeMesh(*mesh);
+  ASSERT_TRUE(norm_a.ok());
+
+  TriMesh moved = *mesh;
+  Transform t;
+  t.linear = Mat3::Rotation({1, -2, 0.5}, 1.2) * Mat3::Scale(1.7);
+  t.translation = {3, -1, 2};
+  ApplyTransform(t, &moved);
+  auto norm_b = NormalizeMesh(moved);
+  ASSERT_TRUE(norm_b.ok());
+
+  const Aabb ba = norm_a->mesh.BoundingBox();
+  const Aabb bb = norm_b->mesh.BoundingBox();
+  EXPECT_NEAR(ba.Extent().x, bb.Extent().x, 0.02 * ba.Extent().x + 1e-6);
+  EXPECT_NEAR(ba.Extent().y, bb.Extent().y, 0.02 * ba.Extent().y + 1e-6);
+  EXPECT_NEAR(ba.Extent().z, bb.Extent().z, 0.02 * ba.Extent().z + 1e-6);
+  // Also same second moments in the canonical frame.
+  const Mat3 ma = ComputeMeshIntegrals(norm_a->mesh).CentralSecondMoment();
+  const Mat3 mb = ComputeMeshIntegrals(norm_b->mesh).CentralSecondMoment();
+  for (int d = 0; d < 3; ++d) {
+    EXPECT_NEAR(ma(d, d), mb(d, d), 0.02 * std::fabs(ma(d, d)) + 1e-9);
+  }
+}
+
+TEST(NormalizationTest, PositiveHalfSpaceRule) {
+  // An L-bracket is asymmetric; after normalization the heavier extent
+  // must lie in the positive half-space on each axis.
+  Rng rng(9);
+  const SolidPtr solid = StandardPartFamilies()[0].build(&rng);
+  auto mesh = MeshSolid(*solid, {.resolution = 40});
+  ASSERT_TRUE(mesh.ok());
+  auto norm = NormalizeMesh(*mesh);
+  ASSERT_TRUE(norm.ok());
+  const Aabb box = norm->mesh.BoundingBox();
+  // Determinant constraint may override one (weakest) axis, so require the
+  // rule to hold on at least two of the three axes.
+  int satisfied = 0;
+  if (box.max.x >= -box.min.x - 1e-9) ++satisfied;
+  if (box.max.y >= -box.min.y - 1e-9) ++satisfied;
+  if (box.max.z >= -box.min.z - 1e-9) ++satisfied;
+  EXPECT_GE(satisfied, 2);
+}
+
+}  // namespace
+}  // namespace dess

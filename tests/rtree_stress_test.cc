@@ -1,0 +1,148 @@
+// Randomized oracle stress tests: long interleaved insert/remove/query
+// workloads on the R-tree, validated after every phase against a
+// sequential-scan oracle and the structural invariant checker.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/common/rng.h"
+#include "src/index/linear_scan.h"
+#include "src/index/rtree.h"
+
+namespace dess {
+namespace {
+
+class RTreeStressTest : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(RTreeStressTest, InterleavedInsertRemoveQueryAgainstOracle) {
+  const auto [dim, seed] = GetParam();
+  Rng rng(seed);
+  RTreeIndex tree(dim);
+  LinearScanIndex oracle(dim);
+  std::map<int, std::vector<double>> live;
+  int next_id = 0;
+
+  for (int step = 0; step < 600; ++step) {
+    const double roll = rng.NextDouble();
+    if (roll < 0.6 || live.empty()) {
+      // Insert (sometimes duplicating an existing point's coordinates).
+      std::vector<double> p(dim);
+      if (!live.empty() && rng.NextDouble() < 0.15) {
+        p = live.begin()->second;
+      } else {
+        for (double& v : p) v = rng.Uniform(-50, 50);
+      }
+      const int id = next_id++;
+      ASSERT_TRUE(tree.Insert(id, p).ok());
+      ASSERT_TRUE(oracle.Insert(id, p).ok());
+      live[id] = p;
+    } else {
+      // Remove a random live entry.
+      auto it = live.begin();
+      std::advance(it, rng.NextBounded(live.size()));
+      ASSERT_TRUE(tree.Remove(it->first, it->second).ok()) << it->first;
+      ASSERT_TRUE(oracle.Remove(it->first, it->second).ok());
+      live.erase(it);
+    }
+    ASSERT_EQ(tree.size(), live.size());
+
+    if (step % 37 == 0) {
+      ASSERT_TRUE(tree.CheckInvariants().ok()) << "step " << step;
+    }
+    if (step % 11 == 0 && !live.empty()) {
+      std::vector<double> q(dim);
+      for (double& v : q) v = rng.Uniform(-60, 60);
+      const size_t k = 1 + rng.NextBounded(8);
+      const auto a = tree.KNearest(q, k);
+      const auto b = oracle.KNearest(q, k);
+      ASSERT_EQ(a.size(), b.size()) << "step " << step;
+      for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_NEAR(a[i].distance, b[i].distance, 1e-9)
+            << "step " << step << " i " << i;
+      }
+      const double radius = rng.Uniform(1.0, 40.0);
+      const auto ra = tree.RangeQuery(q, radius);
+      const auto rb = oracle.RangeQuery(q, radius);
+      ASSERT_EQ(ra.size(), rb.size()) << "step " << step;
+      for (size_t i = 0; i < ra.size(); ++i) {
+        EXPECT_EQ(ra[i].id, rb[i].id) << "step " << step;
+      }
+    }
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+
+  // Drain completely.
+  for (const auto& [id, p] : live) {
+    ASSERT_TRUE(tree.Remove(id, p).ok());
+  }
+  EXPECT_EQ(tree.size(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimsAndSeeds, RTreeStressTest,
+    ::testing::Combine(::testing::Values(2, 3, 5, 8),
+                       ::testing::Values<uint64_t>(1, 2, 3)));
+
+TEST(RTreeStressTest2, BulkLoadThenMutate) {
+  Rng rng(77);
+  const int dim = 4;
+  std::vector<std::pair<int, std::vector<double>>> bulk;
+  LinearScanIndex oracle(dim);
+  for (int i = 0; i < 700; ++i) {
+    std::vector<double> p(dim);
+    for (double& v : p) v = rng.Uniform(-10, 10);
+    bulk.emplace_back(i, p);
+    ASSERT_TRUE(oracle.Insert(i, p).ok());
+  }
+  RTreeIndex tree(dim);
+  ASSERT_TRUE(tree.BulkLoad(bulk).ok());
+  // Mutations on a packed tree.
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(tree.Remove(bulk[i].first, bulk[i].second).ok());
+    ASSERT_TRUE(oracle.Remove(bulk[i].first, bulk[i].second).ok());
+  }
+  for (int i = 0; i < 100; ++i) {
+    std::vector<double> p(dim);
+    for (double& v : p) v = rng.Uniform(-10, 10);
+    ASSERT_TRUE(tree.Insert(1000 + i, p).ok());
+    ASSERT_TRUE(oracle.Insert(1000 + i, p).ok());
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  const auto a = tree.KNearest(std::vector<double>(dim, 0.0), 20);
+  const auto b = oracle.KNearest(std::vector<double>(dim, 0.0), 20);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i].distance, b[i].distance, 1e-9);
+  }
+}
+
+TEST(RTreeStressTest2, PathologicalIdenticalPoints) {
+  RTreeIndex tree(3);
+  const std::vector<double> p{1.0, 2.0, 3.0};
+  for (int i = 0; i < 200; ++i) ASSERT_TRUE(tree.Insert(i, p).ok());
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  for (int i = 0; i < 200; ++i) ASSERT_TRUE(tree.Remove(i, p).ok());
+  EXPECT_EQ(tree.size(), 0u);
+}
+
+TEST(RTreeStressTest2, CollinearPoints) {
+  // Degenerate geometry: all points on a line (zero-volume rectangles
+  // everywhere) must not break splits or search.
+  RTreeIndex tree(3);
+  LinearScanIndex oracle(3);
+  for (int i = 0; i < 300; ++i) {
+    const std::vector<double> p{static_cast<double>(i), 0.0, 0.0};
+    ASSERT_TRUE(tree.Insert(i, p).ok());
+    ASSERT_TRUE(oracle.Insert(i, p).ok());
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  const auto a = tree.KNearest({150.2, 0.0, 0.0}, 5);
+  const auto b = oracle.KNearest({150.2, 0.0, 0.0}, 5);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+  }
+}
+
+}  // namespace
+}  // namespace dess

@@ -1,0 +1,315 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "src/common/rng.h"
+#include "src/index/linear_scan.h"
+#include "src/index/rtree.h"
+
+namespace dess {
+namespace {
+
+std::vector<std::vector<double>> RandomPoints(int n, int dim, Rng* rng) {
+  std::vector<std::vector<double>> pts(n, std::vector<double>(dim));
+  for (auto& p : pts) {
+    for (double& v : p) v = rng->Uniform(-10, 10);
+  }
+  return pts;
+}
+
+TEST(WeightedEuclideanTest, Basic) {
+  EXPECT_DOUBLE_EQ(WeightedEuclidean({0, 0}, {3, 4}, {}), 5.0);
+  EXPECT_DOUBLE_EQ(WeightedEuclidean({0, 0}, {3, 4}, {1, 1}), 5.0);
+  // Weighting the second dimension by 4 doubles its contribution.
+  EXPECT_DOUBLE_EQ(WeightedEuclidean({0, 0}, {0, 2}, {1, 4}), 4.0);
+}
+
+TEST(RTreeTest, InsertAndSize) {
+  RTreeIndex tree(3);
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.Insert(1, {1, 2, 3}).ok());
+  EXPECT_TRUE(tree.Insert(2, {4, 5, 6}).ok());
+  EXPECT_EQ(tree.size(), 2u);
+  EXPECT_EQ(tree.Insert(3, {1, 2}).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RTreeTest, KnnOnEmptyTree) {
+  RTreeIndex tree(2);
+  EXPECT_TRUE(tree.KNearest({0, 0}, 5).empty());
+  EXPECT_TRUE(tree.RangeQuery({0, 0}, 100.0).empty());
+}
+
+TEST(RTreeTest, KnnExactSmall) {
+  RTreeIndex tree(2);
+  ASSERT_TRUE(tree.Insert(0, {0, 0}).ok());
+  ASSERT_TRUE(tree.Insert(1, {1, 0}).ok());
+  ASSERT_TRUE(tree.Insert(2, {5, 0}).ok());
+  const auto nn = tree.KNearest({0.6, 0}, 2);
+  ASSERT_EQ(nn.size(), 2u);
+  EXPECT_EQ(nn[0].id, 1);
+  EXPECT_EQ(nn[1].id, 0);
+  EXPECT_NEAR(nn[0].distance, 0.4, 1e-12);
+}
+
+TEST(RTreeTest, MatchesLinearScanOnRandomData) {
+  Rng rng(42);
+  for (int dim : {2, 3, 5, 8}) {
+    RTreeIndex tree(dim);
+    LinearScanIndex scan(dim);
+    const auto pts = RandomPoints(500, dim, &rng);
+    for (int i = 0; i < 500; ++i) {
+      ASSERT_TRUE(tree.Insert(i, pts[i]).ok());
+      ASSERT_TRUE(scan.Insert(i, pts[i]).ok());
+    }
+    ASSERT_TRUE(tree.CheckInvariants().ok()) << "dim " << dim;
+    for (int q = 0; q < 20; ++q) {
+      std::vector<double> query(dim);
+      for (double& v : query) v = rng.Uniform(-12, 12);
+      const auto a = tree.KNearest(query, 10);
+      const auto b = scan.KNearest(query, 10);
+      ASSERT_EQ(a.size(), b.size());
+      for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_NEAR(a[i].distance, b[i].distance, 1e-9)
+            << "dim " << dim << " q " << q << " i " << i;
+      }
+    }
+  }
+}
+
+TEST(RTreeTest, WeightedKnnMatchesScan) {
+  Rng rng(7);
+  const int dim = 4;
+  RTreeIndex tree(dim);
+  LinearScanIndex scan(dim);
+  const auto pts = RandomPoints(300, dim, &rng);
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(tree.Insert(i, pts[i]).ok());
+    ASSERT_TRUE(scan.Insert(i, pts[i]).ok());
+  }
+  const std::vector<double> weights{2.0, 0.5, 1.0, 3.0};
+  for (int q = 0; q < 10; ++q) {
+    std::vector<double> query(dim);
+    for (double& v : query) v = rng.Uniform(-12, 12);
+    const auto a = tree.KNearest(query, 7, weights);
+    const auto b = scan.KNearest(query, 7, weights);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_NEAR(a[i].distance, b[i].distance, 1e-9);
+    }
+  }
+}
+
+TEST(RTreeTest, RangeQueryMatchesScan) {
+  Rng rng(9);
+  const int dim = 3;
+  RTreeIndex tree(dim);
+  LinearScanIndex scan(dim);
+  const auto pts = RandomPoints(400, dim, &rng);
+  for (int i = 0; i < 400; ++i) {
+    ASSERT_TRUE(tree.Insert(i, pts[i]).ok());
+    ASSERT_TRUE(scan.Insert(i, pts[i]).ok());
+  }
+  for (double radius : {0.5, 2.0, 5.0, 50.0}) {
+    const auto a = tree.RangeQuery({0, 0, 0}, radius);
+    const auto b = scan.RangeQuery({0, 0, 0}, radius);
+    ASSERT_EQ(a.size(), b.size()) << "radius " << radius;
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].id, b[i].id);
+    }
+  }
+}
+
+TEST(RTreeTest, KnnVisitsFewerNodesThanScanComparesPoints) {
+  Rng rng(11);
+  const int dim = 3;
+  RTreeIndex tree(dim);
+  const auto pts = RandomPoints(5000, dim, &rng);
+  for (int i = 0; i < 5000; ++i) ASSERT_TRUE(tree.Insert(i, pts[i]).ok());
+  QueryStats stats;
+  tree.KNearest({0, 0, 0}, 10, {}, &stats);
+  // Branch-and-bound prunes: far fewer leaf distance evaluations than a
+  // full scan's 5000.
+  EXPECT_LT(stats.points_compared, 1500u);
+  EXPECT_GT(stats.nodes_visited, 0u);
+}
+
+TEST(RTreeTest, RemoveMaintainsInvariantsAndResults) {
+  Rng rng(13);
+  const int dim = 3;
+  RTreeIndex tree(dim);
+  const auto pts = RandomPoints(200, dim, &rng);
+  for (int i = 0; i < 200; ++i) ASSERT_TRUE(tree.Insert(i, pts[i]).ok());
+  // Remove half.
+  for (int i = 0; i < 200; i += 2) {
+    ASSERT_TRUE(tree.Remove(i, pts[i]).ok()) << i;
+  }
+  EXPECT_EQ(tree.size(), 100u);
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  // Removed points are gone; kept points are findable.
+  const auto nn = tree.KNearest(pts[1], 1);
+  ASSERT_EQ(nn.size(), 1u);
+  EXPECT_EQ(nn[0].id, 1);
+  EXPECT_EQ(tree.Remove(0, pts[0]).code(), StatusCode::kNotFound);
+  // Exhaustive: no even id appears in a full-radius range query.
+  const auto all = tree.RangeQuery(pts[1], 1e9);
+  EXPECT_EQ(all.size(), 100u);
+  for (const Neighbor& n : all) EXPECT_EQ(n.id % 2, 1) << n.id;
+}
+
+TEST(RTreeTest, RemoveDownToEmptyAndReuse) {
+  RTreeIndex tree(2);
+  std::vector<std::vector<double>> pts;
+  Rng rng(5);
+  for (int i = 0; i < 60; ++i) {
+    pts.push_back({rng.Uniform(0, 1), rng.Uniform(0, 1)});
+    ASSERT_TRUE(tree.Insert(i, pts.back()).ok());
+  }
+  for (int i = 0; i < 60; ++i) ASSERT_TRUE(tree.Remove(i, pts[i]).ok());
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.KNearest({0.5, 0.5}, 3).empty());
+  ASSERT_TRUE(tree.Insert(99, {0.1, 0.2}).ok());
+  const auto nn = tree.KNearest({0.1, 0.2}, 1);
+  ASSERT_EQ(nn.size(), 1u);
+  EXPECT_EQ(nn[0].id, 99);
+}
+
+TEST(RTreeTest, BulkLoadMatchesScanAndKeepsInvariants) {
+  Rng rng(21);
+  for (int n : {1, 7, 8, 9, 64, 65, 500, 1111}) {
+    const int dim = 3;
+    const auto pts = RandomPoints(n, dim, &rng);
+    std::vector<std::pair<int, std::vector<double>>> bulk;
+    LinearScanIndex scan(dim);
+    for (int i = 0; i < n; ++i) {
+      bulk.emplace_back(i, pts[i]);
+      ASSERT_TRUE(scan.Insert(i, pts[i]).ok());
+    }
+    RTreeIndex tree(dim);
+    ASSERT_TRUE(tree.BulkLoad(bulk).ok()) << "n=" << n;
+    EXPECT_EQ(tree.size(), static_cast<size_t>(n));
+    ASSERT_TRUE(tree.CheckInvariants().ok()) << "n=" << n;
+    const auto a = tree.KNearest({0, 0, 0}, std::min(n, 12));
+    const auto b = scan.KNearest({0, 0, 0}, std::min(n, 12));
+    ASSERT_EQ(a.size(), b.size()) << "n=" << n;
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_NEAR(a[i].distance, b[i].distance, 1e-9) << "n=" << n;
+    }
+  }
+}
+
+TEST(RTreeTest, BulkLoadBetterOccupancyThanInserts) {
+  Rng rng(31);
+  const auto pts = RandomPoints(2000, 4, &rng);
+  std::vector<std::pair<int, std::vector<double>>> bulk;
+  RTreeIndex inserted(4);
+  for (int i = 0; i < 2000; ++i) {
+    bulk.emplace_back(i, pts[i]);
+    ASSERT_TRUE(inserted.Insert(i, pts[i]).ok());
+  }
+  RTreeIndex packed(4);
+  ASSERT_TRUE(packed.BulkLoad(bulk).ok());
+  EXPECT_LT(packed.NodeCount(), inserted.NodeCount());
+}
+
+TEST(RTreeTest, DuplicatePointsSupported) {
+  RTreeIndex tree(2);
+  for (int i = 0; i < 30; ++i) ASSERT_TRUE(tree.Insert(i, {1.0, 1.0}).ok());
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  const auto nn = tree.KNearest({1.0, 1.0}, 30);
+  EXPECT_EQ(nn.size(), 30u);
+  for (const auto& n : nn) EXPECT_EQ(n.distance, 0.0);
+}
+
+TEST(RTreeTest, HeightGrowsLogarithmically) {
+  Rng rng(17);
+  RTreeIndex tree(2);
+  const auto pts = RandomPoints(1000, 2, &rng);
+  for (int i = 0; i < 1000; ++i) ASSERT_TRUE(tree.Insert(i, pts[i]).ok());
+  // With M=8, height of 1000 points should be <= ~5.
+  EXPECT_LE(tree.Height(), 6);
+  EXPECT_GE(tree.Height(), 3);
+}
+
+TEST(RTreeBrowseTest, YieldsAllPointsInAscendingDistance) {
+  Rng rng(3);
+  RTreeIndex tree(3);
+  const auto pts = RandomPoints(300, 3, &rng);
+  for (int i = 0; i < 300; ++i) ASSERT_TRUE(tree.Insert(i, pts[i]).ok());
+  auto it = tree.BrowseNearest({0, 0, 0});
+  double prev = -1.0;
+  int count = 0;
+  std::set<int> seen;
+  while (it.HasNext()) {
+    const Neighbor n = it.Next();
+    EXPECT_GE(n.distance, prev - 1e-12);
+    prev = n.distance;
+    EXPECT_TRUE(seen.insert(n.id).second) << "duplicate " << n.id;
+    ++count;
+  }
+  EXPECT_EQ(count, 300);
+}
+
+TEST(RTreeBrowseTest, PrefixMatchesKnn) {
+  Rng rng(5);
+  RTreeIndex tree(4);
+  const auto pts = RandomPoints(200, 4, &rng);
+  for (int i = 0; i < 200; ++i) ASSERT_TRUE(tree.Insert(i, pts[i]).ok());
+  const std::vector<double> q{1, -2, 0.5, 3};
+  const auto knn = tree.KNearest(q, 15);
+  auto it = tree.BrowseNearest(q);
+  for (const Neighbor& expected : knn) {
+    ASSERT_TRUE(it.HasNext());
+    const Neighbor got = it.Next();
+    EXPECT_NEAR(got.distance, expected.distance, 1e-12);
+  }
+}
+
+TEST(RTreeBrowseTest, EmptyTreeHasNoNext) {
+  RTreeIndex tree(2);
+  auto it = tree.BrowseNearest({0, 0});
+  EXPECT_FALSE(it.HasNext());
+}
+
+TEST(RTreeBrowseTest, WeightedBrowseRespectsMetric) {
+  RTreeIndex tree(2);
+  ASSERT_TRUE(tree.Insert(0, {2.0, 0.0}).ok());
+  ASSERT_TRUE(tree.Insert(1, {0.0, 2.1}).ok());
+  // Unweighted: id 0 first. Weight y down hard: id 1 first.
+  auto a = tree.BrowseNearest({0, 0});
+  EXPECT_EQ(a.Next().id, 0);
+  auto b = tree.BrowseNearest({0, 0}, {1.0, 0.01});
+  EXPECT_EQ(b.Next().id, 1);
+}
+
+class RTreeParamTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RTreeParamTest, InvariantsAcrossDimsAndSizes) {
+  const auto [dim, n] = GetParam();
+  Rng rng(100 + dim * 7 + n);
+  RTreeIndex tree(dim);
+  LinearScanIndex scan(dim);
+  const auto pts = RandomPoints(n, dim, &rng);
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(tree.Insert(i, pts[i]).ok());
+    ASSERT_TRUE(scan.Insert(i, pts[i]).ok());
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  std::vector<double> q(dim, 0.0);
+  const auto a = tree.KNearest(q, 5);
+  const auto b = scan.KNearest(q, 5);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i].distance, b[i].distance, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RTreeParamTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 8),
+                       ::testing::Values(3, 10, 50, 300)));
+
+}  // namespace
+}  // namespace dess

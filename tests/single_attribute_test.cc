@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/index/linear_scan.h"
+#include "src/index/single_attribute.h"
+
+namespace dess {
+namespace {
+
+std::vector<std::vector<double>> RandomPoints(int n, int dim, Rng* rng) {
+  std::vector<std::vector<double>> pts(n, std::vector<double>(dim));
+  for (auto& p : pts) {
+    for (double& v : p) v = rng->Uniform(-5, 5);
+  }
+  return pts;
+}
+
+TEST(SingleAttributeTest, InsertRemoveBasics) {
+  SingleAttributeIndex idx(3, 1);
+  EXPECT_EQ(idx.sort_dim(), 1);
+  ASSERT_TRUE(idx.Insert(0, {1, 2, 3}).ok());
+  ASSERT_TRUE(idx.Insert(1, {0, 5, 0}).ok());
+  EXPECT_EQ(idx.size(), 2u);
+  EXPECT_EQ(idx.Insert(2, {1, 2}).code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(idx.Remove(0, {1, 2, 3}).ok());
+  EXPECT_EQ(idx.Remove(0, {1, 2, 3}).code(), StatusCode::kNotFound);
+  EXPECT_EQ(idx.size(), 1u);
+}
+
+TEST(SingleAttributeTest, KnnMatchesScan) {
+  Rng rng(3);
+  for (int dim : {1, 2, 4, 8}) {
+    SingleAttributeIndex idx(dim, 0);
+    LinearScanIndex scan(dim);
+    const auto pts = RandomPoints(300, dim, &rng);
+    for (int i = 0; i < 300; ++i) {
+      ASSERT_TRUE(idx.Insert(i, pts[i]).ok());
+      ASSERT_TRUE(scan.Insert(i, pts[i]).ok());
+    }
+    for (int q = 0; q < 15; ++q) {
+      std::vector<double> query(dim);
+      for (double& v : query) v = rng.Uniform(-6, 6);
+      const auto a = idx.KNearest(query, 7);
+      const auto b = scan.KNearest(query, 7);
+      ASSERT_EQ(a.size(), b.size());
+      for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_NEAR(a[i].distance, b[i].distance, 1e-9)
+            << "dim " << dim << " q " << q;
+      }
+    }
+  }
+}
+
+TEST(SingleAttributeTest, WeightedKnnMatchesScan) {
+  Rng rng(9);
+  const int dim = 3;
+  SingleAttributeIndex idx(dim, 2);
+  LinearScanIndex scan(dim);
+  const auto pts = RandomPoints(200, dim, &rng);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(idx.Insert(i, pts[i]).ok());
+    ASSERT_TRUE(scan.Insert(i, pts[i]).ok());
+  }
+  const std::vector<double> w{0.5, 2.0, 4.0};
+  for (int q = 0; q < 10; ++q) {
+    std::vector<double> query(dim);
+    for (double& v : query) v = rng.Uniform(-6, 6);
+    const auto a = idx.KNearest(query, 5, w);
+    const auto b = scan.KNearest(query, 5, w);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_NEAR(a[i].distance, b[i].distance, 1e-9);
+    }
+  }
+}
+
+TEST(SingleAttributeTest, RangeMatchesScan) {
+  Rng rng(5);
+  const int dim = 4;
+  SingleAttributeIndex idx(dim, 0);
+  LinearScanIndex scan(dim);
+  const auto pts = RandomPoints(250, dim, &rng);
+  for (int i = 0; i < 250; ++i) {
+    ASSERT_TRUE(idx.Insert(i, pts[i]).ok());
+    ASSERT_TRUE(scan.Insert(i, pts[i]).ok());
+  }
+  for (double radius : {0.5, 2.0, 8.0}) {
+    const auto a = idx.RangeQuery({0, 0, 0, 0}, radius);
+    const auto b = scan.RangeQuery({0, 0, 0, 0}, radius);
+    ASSERT_EQ(a.size(), b.size()) << radius;
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].id, b[i].id);
+    }
+  }
+}
+
+TEST(SingleAttributeTest, PrunesWellInOneDimension) {
+  // When the sort dimension carries all variance, the window stays tight.
+  Rng rng(7);
+  SingleAttributeIndex idx(2, 0);
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(
+        idx.Insert(i, {rng.Uniform(-100, 100), rng.Uniform(-0.01, 0.01)})
+            .ok());
+  }
+  QueryStats stats;
+  idx.KNearest({0.0, 0.0}, 5, {}, &stats);
+  EXPECT_LT(stats.points_compared, 100u);
+}
+
+TEST(SingleAttributeTest, WeakWhenVarianceElsewhere) {
+  // The paper's point: with the discriminating variance in the *other*
+  // dimensions, the 1-d bound barely prunes.
+  Rng rng(7);
+  SingleAttributeIndex idx(2, 0);
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(
+        idx.Insert(i, {rng.Uniform(-0.01, 0.01), rng.Uniform(-100, 100)})
+            .ok());
+  }
+  QueryStats stats;
+  idx.KNearest({0.0, 0.0}, 5, {}, &stats);
+  EXPECT_GT(stats.points_compared, 1500u);
+}
+
+TEST(SingleAttributeTest, EmptyAndZeroK) {
+  SingleAttributeIndex idx(2, 0);
+  EXPECT_TRUE(idx.KNearest({0, 0}, 5).empty());
+  ASSERT_TRUE(idx.Insert(1, {1, 1}).ok());
+  EXPECT_TRUE(idx.KNearest({0, 0}, 0).empty());
+}
+
+}  // namespace
+}  // namespace dess

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <unistd.h>
+
+#include "src/common/rng.h"
+#include "src/storage/buffer_pool.h"
+#include "src/storage/page_file.h"
+
+namespace dess {
+namespace {
+
+class StorageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("dess_storage_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string Path(const std::string& n) { return (dir_ / n).string(); }
+  std::filesystem::path dir_;
+};
+
+void FillPage(uint8_t* buf, uint8_t seed) {
+  for (size_t i = 0; i < kPageSize; ++i) {
+    buf[i] = static_cast<uint8_t>(seed + i);
+  }
+}
+
+TEST_F(StorageTest, CreateAllocateWriteReadRoundTrip) {
+  auto pf = PageFile::Create(Path("a.pf"));
+  ASSERT_TRUE(pf.ok()) << pf.status().ToString();
+  EXPECT_EQ((*pf)->PageCount(), 1u);  // header only
+
+  auto p1 = (*pf)->AllocatePage();
+  auto p2 = (*pf)->AllocatePage();
+  ASSERT_TRUE(p1.ok() && p2.ok());
+  EXPECT_EQ(*p1, 1u);
+  EXPECT_EQ(*p2, 2u);
+  EXPECT_EQ((*pf)->PageCount(), 3u);
+
+  uint8_t out[kPageSize], in[kPageSize];
+  FillPage(out, 7);
+  ASSERT_TRUE((*pf)->WritePage(*p1, out).ok());
+  ASSERT_TRUE((*pf)->ReadPage(*p1, in).ok());
+  EXPECT_EQ(std::memcmp(out, in, kPageSize), 0);
+}
+
+TEST_F(StorageTest, PersistsAcrossReopen) {
+  uint8_t out[kPageSize];
+  FillPage(out, 42);
+  {
+    auto pf = PageFile::Create(Path("b.pf"));
+    ASSERT_TRUE(pf.ok());
+    auto p = (*pf)->AllocatePage();
+    ASSERT_TRUE(p.ok());
+    ASSERT_TRUE((*pf)->WritePage(*p, out).ok());
+    ASSERT_TRUE((*pf)->SetMeta(0, 0xCAFE).ok());
+    ASSERT_TRUE((*pf)->Sync().ok());
+  }
+  auto pf = PageFile::Open(Path("b.pf"));
+  ASSERT_TRUE(pf.ok()) << pf.status().ToString();
+  EXPECT_EQ((*pf)->PageCount(), 2u);
+  EXPECT_EQ((*pf)->GetMeta(0), 0xCAFEu);
+  uint8_t in[kPageSize];
+  ASSERT_TRUE((*pf)->ReadPage(1, in).ok());
+  EXPECT_EQ(std::memcmp(out, in, kPageSize), 0);
+}
+
+TEST_F(StorageTest, FreeListRecyclesPages) {
+  auto pf = PageFile::Create(Path("c.pf"));
+  ASSERT_TRUE(pf.ok());
+  auto p1 = (*pf)->AllocatePage();
+  auto p2 = (*pf)->AllocatePage();
+  auto p3 = (*pf)->AllocatePage();
+  ASSERT_TRUE(p1.ok() && p2.ok() && p3.ok());
+  ASSERT_TRUE((*pf)->FreePage(*p2).ok());
+  ASSERT_TRUE((*pf)->FreePage(*p1).ok());
+  // LIFO recycling: p1 then p2, with no file growth.
+  const uint64_t count_before = (*pf)->PageCount();
+  auto r1 = (*pf)->AllocatePage();
+  auto r2 = (*pf)->AllocatePage();
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_EQ(*r1, *p1);
+  EXPECT_EQ(*r2, *p2);
+  EXPECT_EQ((*pf)->PageCount(), count_before);
+}
+
+TEST_F(StorageTest, GuardsInvalidPageIds) {
+  auto pf = PageFile::Create(Path("d.pf"));
+  ASSERT_TRUE(pf.ok());
+  uint8_t buf[kPageSize] = {0};
+  EXPECT_FALSE((*pf)->ReadPage(99, buf).ok());
+  EXPECT_FALSE((*pf)->FreePage(0).ok());   // header
+  EXPECT_FALSE((*pf)->FreePage(50).ok());  // out of range
+  EXPECT_FALSE((*pf)->SetMeta(8, 1).ok()); // slot out of range
+}
+
+TEST_F(StorageTest, OpenRejectsGarbageFile) {
+  {
+    std::ofstream out(Path("junk.pf"), std::ios::binary);
+    std::vector<char> junk(kPageSize, 'x');
+    out.write(junk.data(), junk.size());
+  }
+  EXPECT_EQ(PageFile::Open(Path("junk.pf")).status().code(),
+            StatusCode::kCorruption);
+  EXPECT_EQ(PageFile::Open(Path("absent.pf")).status().code(),
+            StatusCode::kIOError);
+}
+
+TEST_F(StorageTest, BufferPoolCachesPages) {
+  auto pf = PageFile::Create(Path("e.pf"));
+  ASSERT_TRUE(pf.ok());
+  std::vector<PageId> pages;
+  uint8_t buf[kPageSize];
+  for (int i = 0; i < 4; ++i) {
+    auto p = (*pf)->AllocatePage();
+    ASSERT_TRUE(p.ok());
+    FillPage(buf, static_cast<uint8_t>(i));
+    ASSERT_TRUE((*pf)->WritePage(*p, buf).ok());
+    pages.push_back(*p);
+  }
+  BufferPool pool(pf->get(), 8);
+  for (int round = 0; round < 3; ++round) {
+    for (PageId id : pages) {
+      auto h = pool.Fetch(id);
+      ASSERT_TRUE(h.ok());
+      EXPECT_EQ(h->data()[0], static_cast<uint8_t>(id - 1));
+    }
+  }
+  EXPECT_EQ(pool.misses(), 4u);       // first round only
+  EXPECT_EQ(pool.hits(), 8u);         // two warm rounds
+}
+
+TEST_F(StorageTest, BufferPoolEvictsLruAndWritesBackDirty) {
+  auto pf = PageFile::Create(Path("f.pf"));
+  ASSERT_TRUE(pf.ok());
+  std::vector<PageId> pages;
+  uint8_t buf[kPageSize] = {0};
+  for (int i = 0; i < 3; ++i) {
+    auto p = (*pf)->AllocatePage();
+    ASSERT_TRUE(p.ok());
+    ASSERT_TRUE((*pf)->WritePage(*p, buf).ok());
+    pages.push_back(*p);
+  }
+  BufferPool pool(pf->get(), 2);  // smaller than the working set
+  {
+    auto h = pool.Fetch(pages[0]);
+    ASSERT_TRUE(h.ok());
+    h->mutable_data()[0] = 0xAB;
+    h->MarkDirty();
+  }
+  // Fetching two more pages evicts page[0], forcing the dirty write-back.
+  ASSERT_TRUE(pool.Fetch(pages[1]).ok());
+  ASSERT_TRUE(pool.Fetch(pages[2]).ok());
+  uint8_t check[kPageSize];
+  ASSERT_TRUE((*pf)->ReadPage(pages[0], check).ok());
+  EXPECT_EQ(check[0], 0xAB);
+}
+
+TEST_F(StorageTest, BufferPoolRefusesWhenAllPinned) {
+  auto pf = PageFile::Create(Path("g.pf"));
+  ASSERT_TRUE(pf.ok());
+  auto p1 = (*pf)->AllocatePage();
+  auto p2 = (*pf)->AllocatePage();
+  auto p3 = (*pf)->AllocatePage();
+  ASSERT_TRUE(p1.ok() && p2.ok() && p3.ok());
+  BufferPool pool(pf->get(), 2);
+  auto h1 = pool.Fetch(*p1);
+  auto h2 = pool.Fetch(*p2);
+  ASSERT_TRUE(h1.ok() && h2.ok());
+  EXPECT_FALSE(pool.Fetch(*p3).ok());  // no evictable frame
+  h1->Release();
+  EXPECT_TRUE(pool.Fetch(*p3).ok());   // now one frame is free
+}
+
+TEST_F(StorageTest, BufferPoolAllocateZeroesAndPersists) {
+  auto pf = PageFile::Create(Path("h.pf"));
+  ASSERT_TRUE(pf.ok());
+  PageId id;
+  {
+    BufferPool pool(pf->get(), 2);
+    auto h = pool.Allocate();
+    ASSERT_TRUE(h.ok());
+    id = h->id();
+    for (size_t i = 0; i < 16; ++i) EXPECT_EQ(h->data()[i], 0);
+    h->mutable_data()[5] = 99;
+    h->MarkDirty();
+    h->Release();
+    ASSERT_TRUE(pool.FlushAll().ok());
+  }
+  uint8_t buf[kPageSize];
+  ASSERT_TRUE((*pf)->ReadPage(id, buf).ok());
+  EXPECT_EQ(buf[5], 99);
+}
+
+TEST_F(StorageTest, HandleMoveSemantics) {
+  auto pf = PageFile::Create(Path("i.pf"));
+  ASSERT_TRUE(pf.ok());
+  auto p = (*pf)->AllocatePage();
+  ASSERT_TRUE(p.ok());
+  BufferPool pool(pf->get(), 1);
+  auto h1 = pool.Fetch(*p);
+  ASSERT_TRUE(h1.ok());
+  PageHandle h2 = std::move(*h1);
+  EXPECT_FALSE(h1->valid());
+  EXPECT_TRUE(h2.valid());
+  h2.Release();
+  // Frame is now unpinned: fetching another page may evict it.
+  EXPECT_TRUE(pool.Fetch(*p).ok());
+}
+
+}  // namespace
+}  // namespace dess

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <unistd.h>
+
+#include "src/core/system.h"
+#include "src/modelgen/marching_cubes.h"
+#include "src/modelgen/part_families.h"
+#include "tests/test_util.h"
+
+namespace dess {
+namespace {
+
+SystemOptions FastSystemOptions() {
+  SystemOptions opt;
+  opt.extraction.voxelization.resolution = 20;
+  opt.hierarchy.max_leaf_size = 4;
+  return opt;
+}
+
+Result<TriMesh> QuickMesh(uint64_t seed, int family = 0) {
+  Rng rng(seed);
+  return MeshSolid(*StandardPartFamilies()[family].build(&rng),
+                   {.resolution = 28});
+}
+
+TEST(SystemTest, CommitRequiresShapes) {
+  Dess3System system(FastSystemOptions());
+  EXPECT_FALSE(system.Commit().ok());
+  EXPECT_FALSE(system.engine().ok());
+  EXPECT_FALSE(system.Hierarchy(FeatureKind::kSpectral).ok());
+}
+
+TEST(SystemTest, IngestExtractsAllFeatures) {
+  Dess3System system(FastSystemOptions());
+  auto mesh = QuickMesh(1);
+  ASSERT_TRUE(mesh.ok());
+  auto id = system.IngestMesh(*mesh, "bracket", 0);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  EXPECT_EQ(*id, 0);
+  auto rec = system.db().Get(0);
+  ASSERT_TRUE(rec.ok());
+  for (FeatureKind kind : AllFeatureKinds()) {
+    EXPECT_EQ((*rec)->signature.Get(kind).dim(), FeatureDim(kind));
+  }
+}
+
+TEST(SystemTest, QueryLifecycleAndInvalidation) {
+  Dess3System system(FastSystemOptions());
+  for (uint64_t s = 1; s <= 4; ++s) {
+    auto mesh = QuickMesh(s, s % 2);  // two families
+    ASSERT_TRUE(mesh.ok());
+    ASSERT_TRUE(system.IngestMesh(*mesh, "m" + std::to_string(s),
+                                  static_cast<int>(s % 2))
+                    .ok());
+  }
+  ASSERT_TRUE(system.Commit().ok());
+  ASSERT_TRUE(system.IsCommitted());
+  auto engine = system.engine();
+  ASSERT_TRUE(engine.ok());
+  auto results =
+      (*engine)->QueryByIdTopK(0, FeatureKind::kPrincipalMoments, 2);
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(results->size(), 2u);
+
+  // Ingesting invalidates the committed engine.
+  auto mesh = QuickMesh(9);
+  ASSERT_TRUE(mesh.ok());
+  ASSERT_TRUE(system.IngestMesh(*mesh, "late", 0).ok());
+  EXPECT_FALSE(system.IsCommitted());
+  EXPECT_FALSE(system.engine().ok());
+  ASSERT_TRUE(system.Commit().ok());
+  EXPECT_TRUE(system.IsCommitted());
+}
+
+TEST(SystemTest, QueryByExternalMesh) {
+  Dess3System system(FastSystemOptions());
+  for (uint64_t s = 1; s <= 3; ++s) {
+    auto mesh = QuickMesh(s, 0);
+    ASSERT_TRUE(mesh.ok());
+    ASSERT_TRUE(system.IngestMesh(*mesh, "a" + std::to_string(s), 0).ok());
+  }
+  for (uint64_t s = 1; s <= 3; ++s) {
+    auto mesh = QuickMesh(s + 10, 7);  // straight tubes
+    ASSERT_TRUE(mesh.ok());
+    ASSERT_TRUE(system.IngestMesh(*mesh, "b" + std::to_string(s), 1).ok());
+  }
+  ASSERT_TRUE(system.Commit().ok());
+
+  // Query with a fresh tube (not in the DB): tube group should dominate.
+  auto probe = QuickMesh(42, 7);
+  ASSERT_TRUE(probe.ok());
+  auto results =
+      system.QueryByMesh(*probe, FeatureKind::kPrincipalMoments, 3);
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  ASSERT_EQ(results->size(), 3u);
+  int tube_hits = 0;
+  for (const SearchResult& r : *results) {
+    auto rec = system.db().Get(r.id);
+    ASSERT_TRUE(rec.ok());
+    if ((*rec)->group == 1) ++tube_hits;
+  }
+  EXPECT_GE(tube_hits, 2);
+}
+
+TEST(SystemTest, MultiStepByMesh) {
+  Dess3System system(FastSystemOptions());
+  for (uint64_t s = 1; s <= 6; ++s) {
+    auto mesh = QuickMesh(s, s % 3);
+    ASSERT_TRUE(mesh.ok());
+    ASSERT_TRUE(system
+                    .IngestMesh(*mesh, "m" + std::to_string(s),
+                                static_cast<int>(s % 3))
+                    .ok());
+  }
+  ASSERT_TRUE(system.Commit().ok());
+  auto probe = QuickMesh(50, 0);
+  ASSERT_TRUE(probe.ok());
+  auto results = system.MultiStepByMesh(*probe, MultiStepPlan::Standard(4, 2));
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(results->size(), 2u);
+}
+
+TEST(SystemTest, HierarchiesBuiltPerFeature) {
+  Dess3System system(FastSystemOptions());
+  ShapeDatabase synthetic = testing_util::BuildSyntheticFeatureDb(4, 4, 2);
+  for (const ShapeRecord& rec : synthetic.records()) {
+    system.IngestRecord(rec);
+  }
+  ASSERT_TRUE(system.Commit().ok());
+  for (FeatureKind kind : AllFeatureKinds()) {
+    auto h = system.Hierarchy(kind);
+    ASSERT_TRUE(h.ok()) << FeatureKindName(kind);
+    EXPECT_EQ((*h)->members.size(), system.db().NumShapes());
+  }
+}
+
+TEST(SystemTest, ParallelIngestMatchesSequential) {
+  DatasetOptions ds_opt;
+  ds_opt.seed = 12;
+  ds_opt.mesh_resolution = 24;
+  ds_opt.num_groups = 4;
+  ds_opt.num_noise = 2;
+  auto dataset = BuildStandardDataset(ds_opt);
+  ASSERT_TRUE(dataset.ok());
+
+  Dess3System seq(FastSystemOptions());
+  Dess3System par(FastSystemOptions());
+  ASSERT_TRUE(seq.IngestDataset(*dataset).ok());
+  ASSERT_TRUE(par.IngestDatasetParallel(*dataset, 3).ok());
+
+  ASSERT_EQ(seq.db().NumShapes(), par.db().NumShapes());
+  for (const ShapeRecord& a : seq.db().records()) {
+    auto b = par.db().Get(a.id);
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a.name, (*b)->name);
+    EXPECT_EQ(a.group, (*b)->group);
+    for (FeatureKind kind : AllFeatureKinds()) {
+      const auto& va = a.signature.Get(kind).values;
+      const auto& vb = (*b)->signature.Get(kind).values;
+      ASSERT_EQ(va.size(), vb.size());
+      for (size_t d = 0; d < va.size(); ++d) {
+        EXPECT_EQ(va[d], vb[d])
+            << FeatureKindName(kind) << " shape " << a.id;
+      }
+    }
+  }
+}
+
+TEST(SystemTest, SaveLoadRoundTrip) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("dess_sys_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "sys.bin").string();
+
+  Dess3System system(FastSystemOptions());
+  ShapeDatabase synthetic = testing_util::BuildSyntheticFeatureDb(3, 3, 1);
+  for (const ShapeRecord& rec : synthetic.records()) {
+    system.IngestRecord(rec);
+  }
+  ASSERT_TRUE(system.Commit().ok());
+  ASSERT_TRUE(system.Save(path).ok());
+
+  auto loaded = Dess3System::LoadFrom(path, FastSystemOptions());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->db().NumShapes(), system.db().NumShapes());
+  EXPECT_TRUE((*loaded)->IsCommitted());
+  auto engine = (*loaded)->engine();
+  ASSERT_TRUE(engine.ok());
+  auto results =
+      (*engine)->QueryByIdTopK(0, FeatureKind::kPrincipalMoments, 2);
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(results->size(), 2u);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace dess

@@ -1,0 +1,62 @@
+#ifndef DESS_TESTS_TEST_UTIL_H_
+#define DESS_TESTS_TEST_UTIL_H_
+
+#include "src/common/rng.h"
+#include "src/db/shape_database.h"
+
+namespace dess {
+namespace testing_util {
+
+/// Builds a database of synthetic feature vectors (no geometry pipeline):
+/// each group gets a random center per feature kind and members scatter
+/// tightly around it; noise shapes scatter widely. Fast enough for search
+/// and evaluation unit tests.
+inline ShapeDatabase BuildSyntheticFeatureDb(int num_groups, int group_size,
+                                             int num_noise,
+                                             uint64_t seed = 123,
+                                             double within_spread = 0.05,
+                                             double center_spread = 1.0) {
+  Rng rng(seed);
+  ShapeDatabase db;
+  auto random_center = [&](int dim) {
+    std::vector<double> c(dim);
+    for (double& v : c) v = rng.Uniform(-center_spread, center_spread);
+    return c;
+  };
+  for (int g = 0; g < num_groups; ++g) {
+    std::array<std::vector<double>, kNumFeatureKinds> centers;
+    for (FeatureKind kind : AllFeatureKinds()) {
+      centers[static_cast<int>(kind)] = random_center(FeatureDim(kind));
+    }
+    for (int m = 0; m < group_size; ++m) {
+      ShapeRecord rec;
+      rec.name = "g" + std::to_string(g) + "_m" + std::to_string(m);
+      rec.group = g;
+      for (FeatureKind kind : AllFeatureKinds()) {
+        FeatureVector& fv = rec.signature.Mutable(kind);
+        fv.kind = kind;
+        for (double c : centers[static_cast<int>(kind)]) {
+          fv.values.push_back(c + rng.NextGaussian() * within_spread);
+        }
+      }
+      db.Insert(std::move(rec));
+    }
+  }
+  for (int n = 0; n < num_noise; ++n) {
+    ShapeRecord rec;
+    rec.name = "noise" + std::to_string(n);
+    rec.group = kUngrouped;
+    for (FeatureKind kind : AllFeatureKinds()) {
+      FeatureVector& fv = rec.signature.Mutable(kind);
+      fv.kind = kind;
+      fv.values = random_center(FeatureDim(kind));
+    }
+    db.Insert(std::move(rec));
+  }
+  return db;
+}
+
+}  // namespace testing_util
+}  // namespace dess
+
+#endif  // DESS_TESTS_TEST_UTIL_H_

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "src/geom/mesh_integrals.h"
+#include "src/modelgen/csg.h"
+#include "src/skeleton/thinning.h"
+#include "src/voxel/voxel_mesh.h"
+#include "src/voxel/voxelizer.h"
+
+namespace dess {
+namespace {
+
+TEST(VoxelMeshTest, SingleVoxelIsAUnitCube) {
+  VoxelGrid g(3, 3, 3, {0, 0, 0}, 1.0);
+  g.Set(1, 1, 1, true);
+  const TriMesh m = MeshFromVoxels(g);
+  EXPECT_EQ(m.NumTriangles(), 12u);
+  EXPECT_EQ(m.NumVertices(), 8u);
+  EXPECT_TRUE(m.IsClosed());
+  EXPECT_NEAR(ComputeMeshIntegrals(m).volume, 1.0, 1e-12);
+  const Aabb box = m.BoundingBox();
+  EXPECT_EQ(box.min, Vec3(1, 1, 1));
+  EXPECT_EQ(box.max, Vec3(2, 2, 2));
+}
+
+TEST(VoxelMeshTest, VolumeEqualsVoxelVolumeExactly) {
+  auto grid = VoxelizeSolid(*MakeSphere(1.0), {.resolution = 12});
+  ASSERT_TRUE(grid.ok());
+  const TriMesh m = MeshFromVoxels(*grid);
+  EXPECT_TRUE(m.IsClosed());
+  EXPECT_NEAR(ComputeMeshIntegrals(m).volume, grid->SolidVolume(),
+              1e-9 * grid->SolidVolume());
+}
+
+TEST(VoxelMeshTest, InteriorFacesSuppressed) {
+  // A 2x1x1 bar: 2 cubes share one face -> 12 - 2 = 10 quads = 20 tris.
+  VoxelGrid g(4, 3, 3, {0, 0, 0}, 1.0);
+  g.Set(1, 1, 1, true);
+  g.Set(2, 1, 1, true);
+  const TriMesh m = MeshFromVoxels(g);
+  EXPECT_EQ(m.NumTriangles(), 20u);
+  EXPECT_TRUE(m.IsClosed());
+  EXPECT_NEAR(ComputeMeshIntegrals(m).volume, 2.0, 1e-12);
+}
+
+TEST(VoxelMeshTest, EmptyGridEmptyMesh) {
+  VoxelGrid g(2, 2, 2, {0, 0, 0}, 1.0);
+  EXPECT_TRUE(MeshFromVoxels(g).IsEmpty());
+}
+
+TEST(VoxelMeshTest, OutwardOrientation) {
+  VoxelGrid g(3, 3, 3, {0, 0, 0}, 0.5);
+  g.Set(1, 1, 1, true);
+  const TriMesh m = MeshFromVoxels(g);
+  EXPECT_GT(ComputeMeshIntegrals(m).volume, 0.0);
+}
+
+TEST(CubesFromVoxelsTest, DisjointCubesPerVoxel) {
+  VoxelGrid g(5, 3, 3, {0, 0, 0}, 1.0);
+  g.Set(1, 1, 1, true);
+  g.Set(2, 1, 1, true);  // adjacent, but cubes are shrunk so disjoint
+  const TriMesh m = CubesFromVoxels(g, 0.5);
+  EXPECT_EQ(m.NumTriangles(), 24u);  // 2 full cubes
+  EXPECT_NEAR(ComputeMeshIntegrals(m).volume, 2 * 0.125, 1e-12);
+}
+
+TEST(CubesFromVoxelsTest, SkeletonVisualizationPipeline) {
+  auto grid = VoxelizeSolid(*MakeTorus(1.0, 0.25), {.resolution = 20});
+  ASSERT_TRUE(grid.ok());
+  const VoxelGrid skeleton = ThinToSkeleton(*grid);
+  const TriMesh m = CubesFromVoxels(skeleton);
+  EXPECT_EQ(m.NumTriangles(), skeleton.CountSet() * 12);
+  EXPECT_TRUE(m.Validate().ok());
+}
+
+}  // namespace
+}  // namespace dess
