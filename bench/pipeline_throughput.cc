@@ -8,6 +8,7 @@
 #include <map>
 
 #include "bench/bench_common.h"
+#include "src/common/thread_pool.h"
 #include "src/features/extractors.h"
 #include "src/features/moments.h"
 #include "src/graph/graph_builder.h"
@@ -59,6 +60,18 @@ void BM_Normalization(benchmark::State& state) {
 }
 BENCHMARK(BM_Normalization);
 
+// Long-lived pools shared across benchmark iterations, keyed by worker
+// count; 1 means the serial path (no pool).
+ThreadPool* BenchPool(int threads) {
+  if (threads <= 1) return nullptr;
+  static std::map<int, ThreadPool*>* pools = new std::map<int, ThreadPool*>();
+  auto it = pools->find(threads);
+  if (it == pools->end()) {
+    it = pools->emplace(threads, new ThreadPool(threads)).first;
+  }
+  return it->second;
+}
+
 void BM_Voxelization(benchmark::State& state) {
   VoxelizationOptions opt;
   opt.resolution = static_cast<int>(state.range(0));
@@ -68,13 +81,36 @@ void BM_Voxelization(benchmark::State& state) {
 }
 BENCHMARK(BM_Voxelization)->Arg(16)->Arg(32)->Arg(64);
 
-void BM_Thinning(benchmark::State& state) {
-  const VoxelGrid& grid = SampleVoxels(static_cast<int>(state.range(0)));
+// Intra-shape slab parallelism across z-slabs; threads:1 is the serial
+// baseline the speedup targets are measured against.
+void BM_Voxelize(benchmark::State& state) {
+  VoxelizationOptions opt;
+  opt.resolution = static_cast<int>(state.range(0));
+  opt.pool = BenchPool(static_cast<int>(state.range(1)));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(ThinToSkeleton(grid));
+    benchmark::DoNotOptimize(VoxelizeMesh(SampleNormalized().mesh, opt));
   }
 }
-BENCHMARK(BM_Thinning)->Arg(16)->Arg(32);
+BENCHMARK(BM_Voxelize)
+    ->ArgNames({"res", "threads"})
+    ->Args({64, 1})
+    ->Args({64, 8});
+
+void BM_Thinning(benchmark::State& state) {
+  const VoxelGrid& grid = SampleVoxels(static_cast<int>(state.range(0)));
+  ThinningOptions opt;
+  opt.pool = BenchPool(static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ThinToSkeleton(grid, opt));
+  }
+}
+BENCHMARK(BM_Thinning)
+    ->ArgNames({"res", "threads"})
+    ->Args({16, 1})
+    ->Args({32, 1})
+    ->Args({32, 8})
+    ->Args({64, 1})
+    ->Args({64, 8});
 
 void BM_GraphAndSpectrum(benchmark::State& state) {
   const VoxelGrid skeleton = ThinToSkeleton(SampleVoxels(32));

@@ -1,10 +1,25 @@
 #include "src/core/system.h"
 
+#include <thread>
+
 #include "src/common/thread_pool.h"
 
 namespace dess {
 
 Dess3System::Dess3System(const SystemOptions& options) : options_(options) {}
+
+Dess3System::~Dess3System() = default;
+
+ThreadPool* Dess3System::EnsureIngestPool(int num_threads) {
+  if (num_threads <= 0) {
+    num_threads =
+        static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  }
+  if (ingest_pool_ == nullptr || ingest_pool_->num_threads() != num_threads) {
+    ingest_pool_ = std::make_unique<ThreadPool>(num_threads);
+  }
+  return ingest_pool_.get();
+}
 
 Result<int> Dess3System::IngestMesh(const TriMesh& mesh,
                                     const std::string& name, int group) {
@@ -31,12 +46,27 @@ Status Dess3System::IngestDataset(const Dataset& dataset) {
 Status Dess3System::IngestDatasetParallel(const Dataset& dataset,
                                           int num_threads) {
   const size_t n = dataset.shapes.size();
+  if (n == 0) return Status::OK();
+  ThreadPool* pool = EnsureIngestPool(num_threads);
   std::vector<Result<ShapeSignature>> signatures(
       n, Result<ShapeSignature>(ShapeSignature{}));
-  {
-    ThreadPool pool(num_threads);
+  // Two ways to spend the same pool: fan shapes out across workers, or run
+  // shapes serially with the voxel/thinning slabs of each shape fanned out.
+  // Intra-shape wins when shapes are too few to occupy the workers or grids
+  // are large; either path yields bit-identical signatures.
+  const bool intra_shape =
+      n < static_cast<size_t>(pool->num_threads()) ||
+      options_.extraction.voxelization.resolution >=
+          options_.intra_shape_resolution_threshold;
+  if (intra_shape) {
+    ExtractionOptions options = options_.extraction;
+    options.pool = pool;
+    for (size_t i = 0; i < n; ++i) {
+      signatures[i] = ExtractSignature(dataset.shapes[i].mesh, options);
+    }
+  } else {
     const ExtractionOptions options = options_.extraction;
-    ParallelFor(&pool, n, [&](size_t i) {
+    ParallelFor(pool, n, [&](size_t i) {
       signatures[i] = ExtractSignature(dataset.shapes[i].mesh, options);
     });
   }
@@ -44,12 +74,14 @@ Status Dess3System::IngestDatasetParallel(const Dataset& dataset,
   // surfaces the first extraction failure deterministically.
   for (size_t i = 0; i < n; ++i) {
     if (!signatures[i].ok()) return signatures[i].status();
+  }
+  engine_.reset();  // database changes below; indexes go stale once
+  for (size_t i = 0; i < n; ++i) {
     ShapeRecord record;
     record.name = dataset.shapes[i].name;
     record.group = dataset.shapes[i].group;
     record.mesh = dataset.shapes[i].mesh;
     record.signature = std::move(signatures[i]).value();
-    engine_.reset();
     db_.Insert(std::move(record));
   }
   return Status::OK();

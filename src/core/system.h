@@ -15,11 +15,18 @@
 
 namespace dess {
 
+class ThreadPool;
+
 /// Configuration of a 3DESS instance.
 struct SystemOptions {
   ExtractionOptions extraction;
   SearchEngineOptions search;
   HierarchyOptions hierarchy;
+  /// Voxel resolution at or above which IngestDatasetParallel prefers
+  /// intra-shape parallelism (slab-parallel voxelize/thin within one shape)
+  /// over inter-shape fan-out. Large grids parallelize well internally and
+  /// keep peak memory at one working set per pool instead of one per shape.
+  int intra_shape_resolution_threshold = 96;
 };
 
 /// The 3DESS facade: the paper's three-tier system (Figure 1) in one
@@ -34,6 +41,7 @@ struct SystemOptions {
 class Dess3System {
  public:
   explicit Dess3System(const SystemOptions& options = {});
+  ~Dess3System();
 
   /// Runs the feature-extraction pipeline on a mesh and stores it.
   /// Returns the assigned database id.
@@ -87,9 +95,15 @@ class Dess3System {
       const std::string& path, const SystemOptions& options = {});
 
  private:
+  /// Returns the shared ingest pool, (re)creating it only when the
+  /// requested worker count changes (0 = hardware concurrency). The pool
+  /// is long-lived so repeated ingests don't pay thread startup cost.
+  ThreadPool* EnsureIngestPool(int num_threads);
+
   SystemOptions options_;
   ShapeDatabase db_;
   std::unique_ptr<SearchEngine> engine_;
+  std::unique_ptr<ThreadPool> ingest_pool_;
   std::array<std::unique_ptr<HierarchyNode>, kNumFeatureKinds> hierarchies_;
 };
 

@@ -65,6 +65,15 @@ FeatureVector SpectralFeature(const SkeletalGraph& graph) {
 
 Result<ExtractionArtifacts> ExtractFeatures(const TriMesh& mesh,
                                             const ExtractionOptions& options) {
+  // Forward the pipeline-level pool into the parallelizable stages unless
+  // the caller already configured them individually.
+  VoxelizationOptions vox_options = options.voxelization;
+  ThinningOptions thin_options = options.thinning;
+  if (options.pool != nullptr) {
+    if (vox_options.pool == nullptr) vox_options.pool = options.pool;
+    if (thin_options.pool == nullptr) thin_options.pool = options.pool;
+  }
+
   ExtractionArtifacts art;
   // Stage 1: normalization (translation, rotation, scale — Eq. 3.2-3.4).
   DESS_ASSIGN_OR_RETURN(art.normalization,
@@ -73,12 +82,12 @@ Result<ExtractionArtifacts> ExtractFeatures(const TriMesh& mesh,
   // Stage 2: voxelization of the normalized model (Eq. 3.5). Keep the
   // largest component: sub-voxel gaps in thin CAD features can split the
   // voxel model even when the solid is connected.
-  DESS_ASSIGN_OR_RETURN(
-      art.voxels, VoxelizeMesh(art.normalization.mesh, options.voxelization));
+  DESS_ASSIGN_OR_RETURN(art.voxels,
+                        VoxelizeMesh(art.normalization.mesh, vox_options));
   art.voxels = KeepLargestComponent(art.voxels);
 
   // Stage 3: skeletonization + skeletal graph (Sections 3.3-3.4).
-  art.skeleton = ThinToSkeleton(art.voxels, options.thinning);
+  art.skeleton = ThinToSkeleton(art.voxels, thin_options);
   art.graph = BuildSkeletalGraph(art.skeleton, options.graph);
 
   // Stage 4: feature collection.

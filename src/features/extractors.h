@@ -12,6 +12,8 @@
 
 namespace dess {
 
+class ThreadPool;
+
 /// Parameters for the feature-extraction pipeline of Figure 2
 /// (normalization -> voxelization -> skeletonization -> feature collection).
 struct ExtractionOptions {
@@ -23,6 +25,11 @@ struct ExtractionOptions {
   /// principal-moment features are taken from the voxel model (as in the
   /// paper); if false, exact mesh integrals are used instead.
   bool voxel_moments = true;
+  /// Optional worker pool for intra-shape parallelism: forwarded to the
+  /// voxelization and thinning stages (unless those set their own pool).
+  /// Stage outputs are bit-identical to the serial path for any thread
+  /// count. Non-owning; the pool must outlive the call.
+  ThreadPool* pool = nullptr;
 };
 
 /// All intermediate artifacts of one extraction run, exposed so tests,

@@ -1,168 +1,221 @@
 #include "src/skeleton/thinning.h"
 
+#include <algorithm>
 #include <array>
+#include <bit>
+#include <cstdint>
 #include <cstdlib>
 #include <vector>
+
+#include "src/common/thread_pool.h"
 
 namespace dess {
 namespace {
 
-// The 3x3x3 neighborhood is indexed n = (dz+1)*9 + (dy+1)*3 + (dx+1);
-// index 13 is the center voxel.
+// The 3x3x3 neighborhood is a 27-bit mask with bit n = (dz+1)*9 +
+// (dy+1)*3 + (dx+1); bit 13 is the center voxel. Simple-point conditions
+// become bitwise flood fills over precomputed per-cell adjacency masks.
 constexpr int kCenter = 13;
+constexpr uint32_t kCenterBit = 1u << kCenter;
 
-inline int NbIndex(int dx, int dy, int dz) {
-  return (dz + 1) * 9 + (dy + 1) * 3 + (dx + 1);
+constexpr std::array<uint32_t, 27> MakeAdjacency(bool six_connected) {
+  std::array<uint32_t, 27> adj{};
+  for (int n = 0; n < 27; ++n) {
+    const int x = n % 3, y = (n / 3) % 3, z = n / 9;
+    for (int m = 0; m < 27; ++m) {
+      if (m == n) continue;
+      const int dx = m % 3 - x, dy = (m / 3) % 3 - y, dz = m / 9 - z;
+      const int ax = dx < 0 ? -dx : dx, ay = dy < 0 ? -dy : dy,
+                az = dz < 0 ? -dz : dz;
+      if (ax > 1 || ay > 1 || az > 1) continue;
+      if (six_connected && ax + ay + az != 1) continue;
+      adj[n] |= 1u << m;
+    }
+  }
+  return adj;
 }
 
-// Extracts the 27-voxel neighborhood of (i,j,k); out-of-bounds reads as 0.
-void ExtractNeighborhood(const VoxelGrid& grid, int i, int j, int k,
-                         bool out[27]) {
+// 26- and 6-adjacency within the block, center cell included like any other
+// (callers restrict the flood domain, which never contains the center).
+constexpr std::array<uint32_t, 27> kAdj26 = MakeAdjacency(false);
+constexpr std::array<uint32_t, 27> kAdj6 = MakeAdjacency(true);
+
+constexpr uint32_t MakeManhattanMask(int lo, int hi) {
+  uint32_t mask = 0;
+  for (int n = 0; n < 27; ++n) {
+    const int dx = n % 3 - 1, dy = (n / 3) % 3 - 1, dz = n / 9 - 1;
+    const int m = (dx < 0 ? -dx : dx) + (dy < 0 ? -dy : dy) +
+                  (dz < 0 ? -dz : dz);
+    if (m >= lo && m <= hi) mask |= 1u << n;
+  }
+  return mask;
+}
+
+// 18-neighborhood (|dx|+|dy|+|dz| in {1,2}) and the six face neighbors.
+constexpr uint32_t kN18Mask = MakeManhattanMask(1, 2);
+constexpr uint32_t kSixMask = MakeManhattanMask(1, 1);
+
+// Bitwise closure of `seed` within `domain` under per-cell adjacency.
+inline uint32_t Closure(uint32_t seed, uint32_t domain,
+                        const std::array<uint32_t, 27>& adj) {
+  uint32_t comp = seed;
+  uint32_t frontier = seed;
+  while (frontier != 0) {
+    uint32_t next = 0;
+    do {
+      next |= adj[std::countr_zero(frontier)];
+      frontier &= frontier - 1;
+    } while (frontier != 0);
+    next &= domain & ~comp;
+    comp |= next;
+    frontier = next;
+  }
+  return comp;
+}
+
+// True if the object voxels of the neighborhood (center excluded) form
+// exactly one 26-connected component. Assumes at least one object voxel.
+inline bool SingleObjectComponent26(uint32_t nb) {
+  const uint32_t obj = nb & ~kCenterBit;
+  const uint32_t seed = obj & (~obj + 1);  // lowest set bit
+  return Closure(seed, obj, kAdj26) == obj;
+}
+
+// True if the background voxels of the 18-neighborhood that are 6-adjacent
+// to the center form exactly one 6-connected component within the empty
+// N18 cells (Bertrand-Malandain background condition).
+inline bool SingleBackgroundComponent6(uint32_t nb) {
+  const uint32_t bg = ~nb & kN18Mask;
+  uint32_t seeds = bg & kSixMask;
+  if (seeds == 0) return false;
+  const uint32_t first = Closure(seeds & (~seeds + 1), bg, kAdj6);
+  return (seeds & ~first) == 0;
+}
+
+// Extracts the neighborhood of (i,j,k) as a bit mask; out-of-bounds cells
+// read as 0. Interior voxels take the strided fast path (nine 3-byte row
+// loads, no bounds checks); only the O(N^2) shell falls back to clamped
+// reads.
+uint32_t NeighborhoodMask(const VoxelGrid& grid, int i, int j, int k) {
+  uint32_t mask = 0;
+  if (i >= 1 && i + 1 < grid.nx() && j >= 1 && j + 1 < grid.ny() && k >= 1 &&
+      k + 1 < grid.nz()) {
+    const uint8_t* raw = grid.raw().data();
+    int n = 0;
+    for (int dz = -1; dz <= 1; ++dz) {
+      for (int dy = -1; dy <= 1; ++dy) {
+        const uint8_t* row = raw + grid.Index(i - 1, j + dy, k + dz);
+        if (row[0]) mask |= 1u << n;
+        if (row[1]) mask |= 1u << (n + 1);
+        if (row[2]) mask |= 1u << (n + 2);
+        n += 3;
+      }
+    }
+    return mask;
+  }
   int n = 0;
   for (int dz = -1; dz <= 1; ++dz)
     for (int dy = -1; dy <= 1; ++dy)
-      for (int dx = -1; dx <= 1; ++dx)
-        out[n++] = grid.GetClamped(i + dx, j + dy, k + dz);
+      for (int dx = -1; dx <= 1; ++dx, ++n)
+        if (grid.GetClamped(i + dx, j + dy, k + dz)) mask |= 1u << n;
+  return mask;
 }
 
-// Counts 26-connected components of object voxels within the neighborhood
-// (center excluded). For a simple point this must be exactly 1.
-int ObjectComponents26(const bool nb[27]) {
-  bool visited[27] = {};
-  int components = 0;
-  for (int start = 0; start < 27; ++start) {
-    if (start == kCenter || !nb[start] || visited[start]) continue;
-    ++components;
-    if (components > 1) return components;  // early out
-    // Flood fill with 26-connectivity inside the 3x3x3 block.
-    int stack[27];
-    int top = 0;
-    stack[top++] = start;
-    visited[start] = true;
-    while (top > 0) {
-      const int cur = stack[--top];
-      const int cx = cur % 3, cy = (cur / 3) % 3, cz = cur / 9;
-      for (int dz = -1; dz <= 1; ++dz) {
-        for (int dy = -1; dy <= 1; ++dy) {
-          for (int dx = -1; dx <= 1; ++dx) {
-            if (!dx && !dy && !dz) continue;
-            const int nx = cx + dx, ny = cy + dy, nz = cz + dz;
-            if (nx < 0 || nx > 2 || ny < 0 || ny > 2 || nz < 0 || nz > 2)
-              continue;
-            const int nn = nz * 9 + ny * 3 + nx;
-            if (nn == kCenter || !nb[nn] || visited[nn]) continue;
-            visited[nn] = true;
-            stack[top++] = nn;
-          }
+// Simple-and-not-protected test of one object voxel against the current
+// grid state; shared by the candidate collection and the serial recheck so
+// both phases apply the identical predicate.
+inline bool IsDeletable(const VoxelGrid& grid, int i, int j, int k,
+                        bool preserve_endpoints) {
+  const uint32_t nb = NeighborhoodMask(grid, i, j, k);
+  const int obj = std::popcount(nb & ~kCenterBit);
+  if (preserve_endpoints && obj <= 1) return false;
+  if (obj == 0) return false;  // isolated voxel: deletion kills a component
+  return SingleObjectComponent26(nb) && SingleBackgroundComponent6(nb);
+}
+
+using Coord = std::array<int, 3>;
+
+// Collects, in (k, j, i) scan order, the voxels of k-range [ks, ke) that
+// are border in direction d, simple, and not protected endpoints. Pure
+// read of the grid, so concurrent slab workers need no synchronization.
+void CollectCandidates(const VoxelGrid& grid, const int d[3], int ks, int ke,
+                       bool preserve_endpoints, std::vector<Coord>* out) {
+  const int nx = grid.nx(), ny = grid.ny(), nz = grid.nz();
+  const uint8_t* raw = grid.raw().data();
+  const ptrdiff_t d_stride = d[0] + static_cast<ptrdiff_t>(d[1]) * nx +
+                             static_cast<ptrdiff_t>(d[2]) * nx * ny;
+  for (int k = ks; k < ke; ++k) {
+    for (int j = 0; j < ny; ++j) {
+      const size_t base = (static_cast<size_t>(k) * ny + j) * nx;
+      const int nj = j + d[1], nk = k + d[2];
+      const bool row_nb_in_bounds = nj >= 0 && nj < ny && nk >= 0 && nk < nz;
+      for (int i = 0; i < nx; ++i) {
+        if (!raw[base + i]) continue;
+        // Not a d-border voxel if the d-neighbor exists and is set.
+        const int ni = i + d[0];
+        if (row_nb_in_bounds && ni >= 0 && ni < nx && raw[base + i + d_stride])
+          continue;
+        if (IsDeletable(grid, i, j, k, preserve_endpoints)) {
+          out->push_back({i, j, k});
         }
       }
     }
   }
-  return components;
-}
-
-// Counts 6-connected components of *background* voxels within the
-// 18-neighborhood of the center that are 6-adjacent to the center
-// (Bertrand-Malandain background condition). Must be exactly 1.
-int BackgroundComponents6(const bool nb[27]) {
-  // 18-neighborhood: |dx|+|dy|+|dz| in {1, 2}.
-  auto in_n18 = [](int idx) {
-    const int dx = idx % 3 - 1, dy = (idx / 3) % 3 - 1, dz = idx / 9 - 1;
-    const int m = std::abs(dx) + std::abs(dy) + std::abs(dz);
-    return m >= 1 && m <= 2;
-  };
-  const int six_neighbors[6] = {NbIndex(1, 0, 0), NbIndex(-1, 0, 0),
-                                NbIndex(0, 1, 0), NbIndex(0, -1, 0),
-                                NbIndex(0, 0, 1), NbIndex(0, 0, -1)};
-  bool visited[27] = {};
-  int components = 0;
-  for (const int start : six_neighbors) {
-    if (nb[start] || visited[start]) continue;
-    ++components;
-    if (components > 1) return components;
-    int stack[27];
-    int top = 0;
-    stack[top++] = start;
-    visited[start] = true;
-    while (top > 0) {
-      const int cur = stack[--top];
-      const int cx = cur % 3, cy = (cur / 3) % 3, cz = cur / 9;
-      const int deltas[6][3] = {{1, 0, 0},  {-1, 0, 0}, {0, 1, 0},
-                                {0, -1, 0}, {0, 0, 1},  {0, 0, -1}};
-      for (const auto& d : deltas) {
-        const int nx = cx + d[0], ny = cy + d[1], nz = cz + d[2];
-        if (nx < 0 || nx > 2 || ny < 0 || ny > 2 || nz < 0 || nz > 2) continue;
-        const int nn = nz * 9 + ny * 3 + nx;
-        if (nn == kCenter || nb[nn] || visited[nn] || !in_n18(nn)) continue;
-        visited[nn] = true;
-        stack[top++] = nn;
-      }
-    }
-  }
-  return components;
-}
-
-int CountObjectNeighbors26(const bool nb[27]) {
-  int n = 0;
-  for (int idx = 0; idx < 27; ++idx) {
-    if (idx != kCenter && nb[idx]) ++n;
-  }
-  return n;
 }
 
 }  // namespace
 
 bool IsSimplePoint(const VoxelGrid& grid, int i, int j, int k) {
-  bool nb[27];
-  ExtractNeighborhood(grid, i, j, k, nb);
-  if (!nb[kCenter]) return false;
-  const int obj = CountObjectNeighbors26(nb);
+  const uint32_t nb = NeighborhoodMask(grid, i, j, k);
+  if (!(nb & kCenterBit)) return false;
+  const int obj = std::popcount(nb & ~kCenterBit);
   if (obj == 0) return false;  // isolated voxel: deletion kills a component
-  return ObjectComponents26(nb) == 1 && BackgroundComponents6(nb) == 1;
+  return SingleObjectComponent26(nb) && SingleBackgroundComponent6(nb);
 }
 
 VoxelGrid ThinToSkeleton(const VoxelGrid& solid,
                          const ThinningOptions& options) {
   VoxelGrid grid = solid;
+  const int nz = grid.nz();
   // Direction vectors for the six subiterations: Up, Down, North, South,
   // East, West borders in the Palagyi-Kuba order.
   const int dirs[6][3] = {{0, 0, 1},  {0, 0, -1}, {0, 1, 0},
                           {0, -1, 0}, {1, 0, 0},  {-1, 0, 0}};
 
-  std::vector<std::array<int, 3>> candidates;
+  const int slabs =
+      options.pool != nullptr
+          ? std::max(1, std::min(options.pool->num_threads(), nz))
+          : 1;
+  std::vector<std::vector<Coord>> slab_candidates(slabs);
+  std::vector<Coord> candidates;
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     size_t deleted_this_iter = 0;
     for (const auto& d : dirs) {
-      // Phase 1: collect voxels that are border in direction d, simple, and
-      // not protected endpoints.
+      // Phase 1: collect candidates across z-slabs. Each worker scans a
+      // disjoint k-range in (k, j, i) order against the frozen grid, so
+      // concatenating the per-slab lists in slab order reproduces the
+      // serial scan order exactly.
       candidates.clear();
-      for (int k = 0; k < grid.nz(); ++k) {
-        for (int j = 0; j < grid.ny(); ++j) {
-          for (int i = 0; i < grid.nx(); ++i) {
-            if (!grid.Get(i, j, k)) continue;
-            if (grid.GetClamped(i + d[0], j + d[1], k + d[2])) continue;
-            bool nb[27];
-            ExtractNeighborhood(grid, i, j, k, nb);
-            const int obj = CountObjectNeighbors26(nb);
-            if (options.preserve_endpoints && obj <= 1) continue;
-            if (obj == 0) continue;
-            if (ObjectComponents26(nb) != 1 || BackgroundComponents6(nb) != 1)
-              continue;
-            candidates.push_back({i, j, k});
-          }
+      if (slabs <= 1) {
+        CollectCandidates(grid, d, 0, nz, options.preserve_endpoints,
+                          &candidates);
+      } else {
+        ParallelFor(options.pool, slabs, [&](size_t s) {
+          slab_candidates[s].clear();
+          CollectCandidates(grid, d, static_cast<int>(s * nz / slabs),
+                            static_cast<int>((s + 1) * nz / slabs),
+                            options.preserve_endpoints, &slab_candidates[s]);
+        });
+        for (const auto& part : slab_candidates) {
+          candidates.insert(candidates.end(), part.begin(), part.end());
         }
       }
       // Phase 2: delete sequentially, re-checking simplicity against the
-      // mutated grid so that parallel deletions cannot break topology.
+      // mutated grid so that parallel deletions cannot break topology (and
+      // so the skeleton is identical for every slab count).
       for (const auto& [i, j, k] : candidates) {
         if (!grid.Get(i, j, k)) continue;
-        bool nb[27];
-        ExtractNeighborhood(grid, i, j, k, nb);
-        const int obj = CountObjectNeighbors26(nb);
-        if (options.preserve_endpoints && obj <= 1) continue;
-        if (obj == 0) continue;
-        if (ObjectComponents26(nb) != 1 || BackgroundComponents6(nb) != 1)
-          continue;
+        if (!IsDeletable(grid, i, j, k, options.preserve_endpoints)) continue;
         grid.Set(i, j, k, false);
         ++deleted_this_iter;
       }

@@ -5,6 +5,8 @@
 
 namespace dess {
 
+class ThreadPool;
+
 /// Options for the thinning-based skeletonization of Section 3.3.
 struct ThinningOptions {
   /// Maximum peeling iterations (each is six directional subiterations);
@@ -15,6 +17,12 @@ struct ThinningOptions {
   /// never deleted, producing a curve skeleton suitable for skeletal-graph
   /// construction. If false, a connected blob thins to a single voxel.
   bool preserve_endpoints = true;
+  /// Optional worker pool: each directional subiteration collects its
+  /// simple-point candidates over disjoint z-slabs in parallel, then
+  /// deletions are applied in the serial recheck order, so the skeleton is
+  /// bit-identical to the sequential result. Null means serial.
+  /// Non-owning; the pool must outlive the call.
+  ThreadPool* pool = nullptr;
 };
 
 /// Curve-skeleton extraction by 6-subiteration directional thinning in the

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <vector>
 
+#include "src/common/thread_pool.h"
+
 namespace dess {
 namespace {
 
@@ -86,54 +88,251 @@ Result<GridShape> PlanGrid(const Aabb& box, const VoxelizationOptions& opt) {
   return g;
 }
 
-// Marks as exterior (visited) every empty voxel reachable from the grid
-// boundary with 6-connectivity, then sets all unvisited empty voxels.
+// Candidate voxel range of one triangle: the voxels whose epsilon-inflated
+// box the SAT test could possibly accept.
+struct CandidateRange {
+  int i0, j0, k0, i1, j1, k1;
+  bool Empty() const { return i0 > i1 || j0 > j1 || k0 > k1; }
+};
+
+// The box test accepts voxel i only when its center lies within h of the
+// triangle AABB, i.e. i in [x_min - 1, x_max] in cell units (h/cell =
+// 0.5 + 1e-9). `delta` over-approximates the 1e-9 inflation plus rounding
+// slack; extra voxels it admits are rejected by the very same SAT test, so
+// the marking is unchanged — only wasted work is at stake.
+CandidateRange ComputeCandidateRange(const Aabb& tb, const VoxelGrid& grid) {
+  constexpr double delta = 1e-6;
+  const double inv = 1.0 / grid.cell_size();
+  const Vec3& o = grid.origin();
+  CandidateRange r;
+  r.i0 = std::max(
+      static_cast<int>(std::ceil((tb.min.x - o.x) * inv - 1.0 - delta)), 0);
+  r.j0 = std::max(
+      static_cast<int>(std::ceil((tb.min.y - o.y) * inv - 1.0 - delta)), 0);
+  r.k0 = std::max(
+      static_cast<int>(std::ceil((tb.min.z - o.z) * inv - 1.0 - delta)), 0);
+  r.i1 = std::min(static_cast<int>(std::floor((tb.max.x - o.x) * inv + delta)),
+                  grid.nx() - 1);
+  r.j1 = std::min(static_cast<int>(std::floor((tb.max.y - o.y) * inv + delta)),
+                  grid.ny() - 1);
+  r.k1 = std::min(static_cast<int>(std::floor((tb.max.z - o.z) * inv + delta)),
+                  grid.nz() - 1);
+  return r;
+}
+
+// Per-triangle invariants of the SAT test against boxes of one fixed
+// half-extent: for every candidate axis only the box-center projection
+// c·axis varies from voxel to voxel, so each axis carries its box radius
+// r = h·|axis| and the triangle's projection interval [lo, hi] precomputed.
+// Axes whose cross product is degenerate are dropped, exactly as the
+// reference test skips them. Stack-resident: at ~26k triangles per mesh,
+// materializing these in a vector costs more memory traffic than the SAT.
+struct PrecomputedTriangle {
+  Aabb bounds;  // triangle AABB (box-face separation test)
+  int num_axes = 0;
+  Vec3 axes[10];  // plane normal + up to 9 edge cross axes
+  double r[10];
+  double lo[10];
+  double hi[10];
+};
+
+inline void AddAxis(const Vec3& axis, const Vec3& a, const Vec3& b,
+                    const Vec3& c, const Vec3& h, PrecomputedTriangle* pt) {
+  if (axis.SquaredNorm() < 1e-24) return;
+  const double p0 = a.Dot(axis);
+  const double p1 = b.Dot(axis);
+  const double p2 = c.Dot(axis);
+  const int n = pt->num_axes++;
+  pt->axes[n] = axis;
+  pt->r[n] = h.x * std::fabs(axis.x) + h.y * std::fabs(axis.y) +
+             h.z * std::fabs(axis.z);
+  pt->lo[n] = std::min({p0, p1, p2});
+  pt->hi[n] = std::max({p0, p1, p2});
+}
+
+PrecomputedTriangle PrecomputeTriangle(const Vec3& a, const Vec3& b,
+                                       const Vec3& c, const Aabb& tb,
+                                       const Vec3& h) {
+  PrecomputedTriangle pt;
+  pt.bounds = tb;
+  const Vec3 e0 = b - a;
+  const Vec3 e1 = c - b;
+  const Vec3 e2 = a - c;
+  AddAxis(e0.Cross(e1), a, b, c, h, &pt);  // triangle plane normal
+  const Vec3 edges[3] = {e0, e1, e2};
+  // Cross products with the box basis have one zero component each; the
+  // expanded forms skip the dead multiplies.
+  for (const Vec3& e : edges) AddAxis({0.0, -e.z, e.y}, a, b, c, h, &pt);
+  for (const Vec3& e : edges) AddAxis({e.z, 0.0, -e.x}, a, b, c, h, &pt);
+  for (const Vec3& e : edges) AddAxis({-e.y, e.x, 0.0}, a, b, c, h, &pt);
+  return pt;
+}
+
+// SAT against the box centered at `c`: AABB face tests, then one dot
+// product per surviving axis.
+inline bool OverlapsBoxAt(const PrecomputedTriangle& t, const Vec3& c,
+                          const Vec3& h) {
+  if (t.bounds.min.x > c.x + h.x || t.bounds.max.x < c.x - h.x) return false;
+  if (t.bounds.min.y > c.y + h.y || t.bounds.max.y < c.y - h.y) return false;
+  if (t.bounds.min.z > c.z + h.z || t.bounds.max.z < c.z - h.z) return false;
+  for (int n = 0; n < t.num_axes; ++n) {
+    const double s = c.Dot(t.axes[n]);
+    if (t.lo[n] - s > t.r[n] || t.hi[n] - s < -t.r[n]) return false;
+  }
+  return true;
+}
+
+// Marks the voxels of `t` restricted to the k-range [ks, ke). Disjoint
+// k-ranges touch disjoint index ranges, so concurrent workers never race;
+// marking is an OR, so the final grid is independent of triangle order.
+void MarkTriangleInSlab(const PrecomputedTriangle& t, const CandidateRange& cr,
+                        const Vec3& h, int ks, int ke, VoxelGrid* grid) {
+  const int k0 = std::max(cr.k0, ks);
+  const int k1 = std::min(cr.k1, ke - 1);
+  if (k0 > k1) return;
+  const Vec3 origin = grid->origin();
+  const double cell = grid->cell_size();
+  const int len = cr.i1 - cr.i0 + 1;
+  const double x0 = origin.x + (cr.i0 + 0.5) * cell;
+  uint8_t* raw = grid->mutable_raw().data();
+  for (int k = k0; k <= k1; ++k) {
+    const double cz = origin.z + (k + 0.5) * cell;
+    for (int j = cr.j0; j <= cr.j1; ++j) {
+      uint8_t* row = raw + grid->Index(cr.i0, j, k);
+      // A fully marked row segment can't change; skip the SAT entirely.
+      if (std::find(row, row + len, uint8_t{0}) == row + len) continue;
+      const double cy = origin.y + (j + 0.5) * cell;
+      double cx = x0;
+      for (int i = 0; i < len; ++i, cx += cell) {
+        if (row[i]) continue;
+        if (OverlapsBoxAt(t, Vec3(cx, cy, cz), h)) row[i] = 1;
+      }
+    }
+  }
+}
+
+// True if any candidate voxel of `cr` within [ks, ke) is still unmarked.
+inline bool AnyOpenCandidate(const CandidateRange& cr, int ks, int ke,
+                             const VoxelGrid& grid) {
+  const int k0 = std::max(cr.k0, ks);
+  const int k1 = std::min(cr.k1, ke - 1);
+  const int len = cr.i1 - cr.i0 + 1;
+  const uint8_t* raw = grid.raw().data();
+  for (int k = k0; k <= k1; ++k) {
+    for (int j = cr.j0; j <= cr.j1; ++j) {
+      const uint8_t* row = raw + grid.Index(cr.i0, j, k);
+      if (std::find(row, row + len, uint8_t{0}) != row + len) return true;
+    }
+  }
+  return false;
+}
+
+// Precomputes triangle `t` of `mesh` on the stack and marks its candidate
+// voxels within [ks, ke).
+inline void VoxelizeTriangleInSlab(const TriMesh& mesh, size_t t,
+                                   const Vec3& h, int ks, int ke,
+                                   VoxelGrid* grid) {
+  Vec3 a, b, c;
+  mesh.TriangleVertices(t, &a, &b, &c);
+  Aabb tb;
+  tb.Expand(a);
+  tb.Expand(b);
+  tb.Expand(c);
+  const CandidateRange cr = ComputeCandidateRange(tb, *grid);
+  if (cr.Empty() || cr.k1 < ks || cr.k0 >= ke) return;
+  // Fine meshes put many triangles in each voxel, so the whole candidate
+  // block is frequently marked already; skip the SAT setup outright then.
+  if (!AnyOpenCandidate(cr, ks, ke, *grid)) return;
+  const PrecomputedTriangle pt = PrecomputeTriangle(a, b, c, tb, h);
+  MarkTriangleInSlab(pt, cr, h, ks, ke, grid);
+}
+
+// Runs fn(ks, ke, slab) over a disjoint decomposition of [0, nz) into one
+// contiguous z-slab per pool worker (one slab, inline, when serial).
+void ForEachSlab(ThreadPool* pool, int nz,
+                 const std::function<void(int, int, int)>& fn) {
+  const int slabs =
+      pool != nullptr ? std::max(1, std::min(pool->num_threads(), nz)) : 1;
+  if (slabs <= 1) {
+    fn(0, nz, 0);
+    return;
+  }
+  ParallelFor(pool, slabs, [&](size_t s) {
+    const int ks = static_cast<int>(s * nz / slabs);
+    const int ke = static_cast<int>((s + 1) * nz / slabs);
+    fn(ks, ke, static_cast<int>(s));
+  });
+}
+
+}  // namespace
+
 void FillInterior(VoxelGrid* grid) {
   const int nx = grid->nx(), ny = grid->ny(), nz = grid->nz();
+  const size_t sy = static_cast<size_t>(nx);
+  const size_t sz = static_cast<size_t>(nx) * ny;
+  auto& raw = grid->mutable_raw();
   std::vector<uint8_t> exterior(grid->size(), 0);
-  std::vector<std::array<int, 3>> stack;
-  auto push_if_open = [&](int i, int j, int k) {
-    if (!grid->InBounds(i, j, k)) return;
-    const size_t idx = grid->Index(i, j, k);
-    if (exterior[idx] || grid->raw()[idx]) return;
-    exterior[idx] = 1;
-    stack.push_back({i, j, k});
+  // Scanline flood fill: pop a seed, widen it into a maximal open x-run,
+  // mark the run, then reseed from the four adjacent rows. The filled set
+  // is the unique 6-connected component of open boundary voxels, so the
+  // result matches a plain BFS while avoiding per-voxel stack traffic and
+  // linear-index decoding.
+  struct Seed {
+    int i, j, k;
   };
+  std::vector<Seed> stack;
+  auto open = [&](size_t idx) { return !exterior[idx] && !raw[idx]; };
   for (int k = 0; k < nz; ++k) {
     for (int j = 0; j < ny; ++j) {
-      push_if_open(0, j, k);
-      push_if_open(nx - 1, j, k);
+      const size_t base = static_cast<size_t>(k) * sz + j * sy;
+      if (open(base)) stack.push_back({0, j, k});
+      if (nx > 1 && open(base + nx - 1)) stack.push_back({nx - 1, j, k});
     }
   }
   for (int k = 0; k < nz; ++k) {
     for (int i = 0; i < nx; ++i) {
-      push_if_open(i, 0, k);
-      push_if_open(i, ny - 1, k);
+      const size_t base = static_cast<size_t>(k) * sz + i;
+      if (open(base)) stack.push_back({i, 0, k});
+      if (ny > 1 && open(base + (ny - 1) * sy)) stack.push_back({i, ny - 1, k});
     }
   }
   for (int j = 0; j < ny; ++j) {
     for (int i = 0; i < nx; ++i) {
-      push_if_open(i, j, 0);
-      push_if_open(i, j, nz - 1);
+      const size_t base = j * sy + i;
+      if (open(base)) stack.push_back({i, j, 0});
+      if (nz > 1 && open(base + (nz - 1) * sz)) stack.push_back({i, j, nz - 1});
     }
   }
   while (!stack.empty()) {
-    const auto [i, j, k] = stack.back();
+    const Seed s = stack.back();
     stack.pop_back();
-    push_if_open(i + 1, j, k);
-    push_if_open(i - 1, j, k);
-    push_if_open(i, j + 1, k);
-    push_if_open(i, j - 1, k);
-    push_if_open(i, j, k + 1);
-    push_if_open(i, j, k - 1);
+    const size_t base =
+        static_cast<size_t>(s.k) * sz + static_cast<size_t>(s.j) * sy;
+    if (!open(base + s.i)) continue;  // filled by an earlier run
+    int l = s.i, r = s.i;
+    while (l > 0 && open(base + l - 1)) --l;
+    while (r < nx - 1 && open(base + r + 1)) ++r;
+    for (int x = l; x <= r; ++x) exterior[base + x] = 1;
+    // One seed per maximal open segment inside the run's window; segments
+    // reaching past the window get re-widened when their seed pops.
+    auto reseed = [&](int j, int k) {
+      const size_t nb =
+          static_cast<size_t>(k) * sz + static_cast<size_t>(j) * sy;
+      for (int x = l; x <= r; ++x) {
+        if (open(nb + x) && (x == l || !open(nb + x - 1))) {
+          stack.push_back({x, j, k});
+        }
+      }
+    };
+    if (s.j > 0) reseed(s.j - 1, s.k);
+    if (s.j < ny - 1) reseed(s.j + 1, s.k);
+    if (s.k > 0) reseed(s.j, s.k - 1);
+    if (s.k < nz - 1) reseed(s.j, s.k + 1);
   }
-  auto& raw = grid->mutable_raw();
   for (size_t idx = 0; idx < raw.size(); ++idx) {
     if (!raw[idx] && !exterior[idx]) raw[idx] = 1;
   }
 }
-
-}  // namespace
 
 Result<VoxelGrid> VoxelizeMesh(const TriMesh& mesh,
                                const VoxelizationOptions& options) {
@@ -150,33 +349,43 @@ Result<VoxelGrid> VoxelizeMesh(const TriMesh& mesh,
   // boxes and be missed by both. Conservative marking is harmless.
   const double half_eps = g.cell * (0.5 + 1e-9);
   const Vec3 half(half_eps, half_eps, half_eps);
-  for (size_t t = 0; t < mesh.NumTriangles(); ++t) {
-    Vec3 a, b, c;
-    mesh.TriangleVertices(t, &a, &b, &c);
-    Aabb tb;
-    tb.Expand(a);
-    tb.Expand(b);
-    tb.Expand(c);
-    int i0, j0, k0, i1, j1, k1;
-    grid.WorldToVoxel(tb.min, &i0, &j0, &k0);
-    grid.WorldToVoxel(tb.max, &i1, &j1, &k1);
-    // Candidate range widened by one voxel for the same seam reason.
-    i0 = std::max(i0 - 1, 0);
-    j0 = std::max(j0 - 1, 0);
-    k0 = std::max(k0 - 1, 0);
-    i1 = std::min(i1 + 1, grid.nx() - 1);
-    j1 = std::min(j1 + 1, grid.ny() - 1);
-    k1 = std::min(k1 + 1, grid.nz() - 1);
-    for (int k = k0; k <= k1; ++k) {
-      for (int j = j0; j <= j1; ++j) {
-        for (int i = i0; i <= i1; ++i) {
-          if (grid.Get(i, j, k)) continue;
-          if (TriangleBoxOverlap(grid.VoxelCenter(i, j, k), half, a, b, c)) {
-            grid.Set(i, j, k, true);
-          }
-        }
+
+  const size_t num_tris = mesh.NumTriangles();
+  const int slabs =
+      options.pool != nullptr
+          ? std::max(1, std::min(options.pool->num_threads(), g.nz))
+          : 1;
+  if (slabs <= 1) {
+    for (size_t t = 0; t < num_tris; ++t) {
+      VoxelizeTriangleInSlab(mesh, t, half, 0, g.nz, &grid);
+    }
+  } else {
+    // Bin triangles into the (overlapping) slab buckets their candidate
+    // k-range touches, so each worker scans only relevant triangles. The
+    // SAT invariants are recomputed per worker on the stack: triangles
+    // rarely span a slab seam, and a materialized precompute array costs
+    // more memory traffic than the recompute.
+    std::vector<std::vector<size_t>> buckets(slabs);
+    for (size_t t = 0; t < num_tris; ++t) {
+      Vec3 a, b, c;
+      mesh.TriangleVertices(t, &a, &b, &c);
+      Aabb tb;
+      tb.Expand(a);
+      tb.Expand(b);
+      tb.Expand(c);
+      const CandidateRange cr = ComputeCandidateRange(tb, grid);
+      if (cr.Empty()) continue;
+      for (int s = 0; s < slabs; ++s) {
+        const int ks = s * g.nz / slabs;
+        const int ke = (s + 1) * g.nz / slabs;
+        if (cr.k0 < ke && cr.k1 >= ks) buckets[s].push_back(t);
       }
     }
+    ForEachSlab(options.pool, g.nz, [&](int ks, int ke, int s) {
+      for (const size_t t : buckets[s]) {
+        VoxelizeTriangleInSlab(mesh, t, half, ks, ke, &grid);
+      }
+    });
   }
   if (options.fill_interior) FillInterior(&grid);
   return grid;
@@ -187,15 +396,20 @@ Result<VoxelGrid> VoxelizeSolid(const Solid& solid,
   DESS_ASSIGN_OR_RETURN(GridShape g,
                         PlanGrid(solid.BoundingBox(), options));
   VoxelGrid grid(g.nx, g.ny, g.nz, g.origin, g.cell);
-  for (int k = 0; k < g.nz; ++k) {
-    for (int j = 0; j < g.ny; ++j) {
-      for (int i = 0; i < g.nx; ++i) {
-        if (solid.Contains(grid.VoxelCenter(i, j, k))) {
-          grid.Set(i, j, k, true);
+  uint8_t* raw = grid.mutable_raw().data();
+  ForEachSlab(options.pool, g.nz, [&](int ks, int ke, int /*slab*/) {
+    for (int k = ks; k < ke; ++k) {
+      const double cz = g.origin.z + (k + 0.5) * g.cell;
+      for (int j = 0; j < g.ny; ++j) {
+        const double cy = g.origin.y + (j + 0.5) * g.cell;
+        uint8_t* row = raw + grid.Index(0, j, k);
+        double cx = g.origin.x + 0.5 * g.cell;
+        for (int i = 0; i < g.nx; ++i, cx += g.cell) {
+          if (solid.Contains(Vec3(cx, cy, cz))) row[i] = 1;
         }
       }
     }
-  }
+  });
   return grid;
 }
 

@@ -8,6 +8,8 @@
 
 namespace dess {
 
+class ThreadPool;
+
 /// Voxelization parameters (Section 3.2 of the paper).
 struct VoxelizationOptions {
   /// Number of voxels along the longest bounding-box axis (the paper's N).
@@ -18,13 +20,20 @@ struct VoxelizationOptions {
   /// If true, interior voxels are filled (solid voxelization) via an
   /// exterior flood fill; otherwise only surface voxels are set.
   bool fill_interior = true;
+  /// Optional worker pool for intra-shape parallelism: the grid is split
+  /// into disjoint z-slabs, one per worker, so writes never race and the
+  /// result is bit-identical to the serial path. Null means serial.
+  /// Non-owning; the pool must outlive the call.
+  ThreadPool* pool = nullptr;
 };
 
 /// Voxelizes a closed triangle mesh: surface voxels are found with exact
 /// triangle/box overlap tests (separating-axis theorem), the interior is
 /// filled by flood-filling the exterior from the grid boundary and
-/// complementing. Returns InvalidArgument for an empty mesh or non-positive
-/// resolution.
+/// complementing. Per-triangle SAT invariants (edges, normal, cross-product
+/// axes with their box radii and projection intervals) are precomputed once
+/// so the inner voxel loop only evaluates box-center dot products. Returns
+/// InvalidArgument for an empty mesh or non-positive resolution.
 Result<VoxelGrid> VoxelizeMesh(const TriMesh& mesh,
                                const VoxelizationOptions& options = {});
 
@@ -32,6 +41,11 @@ Result<VoxelGrid> VoxelizeMesh(const TriMesh& mesh,
 /// truth in tests and by the ablation benchmarks.
 Result<VoxelGrid> VoxelizeSolid(const Solid& solid,
                                 const VoxelizationOptions& options = {});
+
+/// Sets every empty voxel not 6-connected to the grid boundary (frontier
+/// BFS over the exterior, then complement). Called by VoxelizeMesh when
+/// `fill_interior` is set; exposed for stage-level tests and benches.
+void FillInterior(VoxelGrid* grid);
 
 /// Exact triangle/axis-aligned-box overlap test (Akenine-Möller SAT).
 /// Exposed for direct unit testing.
