@@ -5,10 +5,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <fstream>
 #include <map>
+#include <sstream>
+#include <string>
 
 #include "bench/bench_common.h"
+#include "src/common/metrics.h"
 #include "src/common/thread_pool.h"
+#include "src/core/system.h"
 #include "src/features/extractors.h"
 #include "src/features/moments.h"
 #include "src/graph/graph_builder.h"
@@ -149,6 +154,79 @@ void BM_MeshSolidGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_MeshSolidGeneration)->Arg(24)->Arg(48);
 
+// End-to-end query path against a small committed system: exercises the
+// query-side extraction, the R-tree search, and the two-step re-rank so
+// their counters and spans appear in the exported metrics snapshot.
+const Dess3System& SampleSystem() {
+  static const Dess3System* system = [] {
+    SystemOptions opt;
+    opt.extraction.voxelization.resolution = 20;
+    opt.hierarchy.max_leaf_size = 4;
+    auto* sys = new Dess3System(opt);
+    for (uint64_t s = 1; s <= 6; ++s) {
+      Rng rng(s);
+      auto mesh = MeshSolid(*StandardPartFamilies()[s % 3].build(&rng),
+                            {.resolution = 24});
+      if (mesh.ok()) {
+        (void)sys->IngestMesh(*mesh, "bench" + std::to_string(s),
+                              static_cast<int>(s % 3));
+      }
+    }
+    (void)sys->Commit();
+    return sys;
+  }();
+  return *system;
+}
+
+void BM_QueryPath(benchmark::State& state) {
+  const Dess3System& system = SampleSystem();
+  Rng rng(99);
+  const auto probe =
+      MeshSolid(*StandardPartFamilies()[0].build(&rng), {.resolution = 24});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        system.QueryByMesh(*probe, FeatureKind::kPrincipalMoments, 3));
+    benchmark::DoNotOptimize(
+        system.MultiStepByMesh(*probe, MultiStepPlan::Standard(4, 2)));
+  }
+}
+BENCHMARK(BM_QueryPath);
+
+// Splices the process-wide metrics snapshot into the google-benchmark JSON
+// report as a top-level "dess_metrics" key, so BENCH_pipeline.json carries
+// the per-stage latency breakdown and query-path counters alongside the
+// benchmark timings.
+void AppendMetricsToReport(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string report = buffer.str();
+  const size_t close = report.find_last_of('}');
+  if (close == std::string::npos) return;  // not the JSON format
+  const std::string metrics =
+      MetricsRegistry::Global()->Snapshot().DumpJson();
+  report.insert(close, ",\n  \"dess_metrics\": " + metrics + "\n");
+  std::ofstream out(path, std::ios::trunc);
+  out << report;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Remember the report path before benchmark::Initialize consumes argv.
+  std::string out_path;
+  const std::string kOutFlag = "--benchmark_out=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.compare(0, kOutFlag.size(), kOutFlag) == 0) {
+      out_path = arg.substr(kOutFlag.size());
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!out_path.empty()) AppendMetricsToReport(out_path);
+  return 0;
+}

@@ -1,13 +1,15 @@
 #include "src/common/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
+#include <chrono>
+#include <thread>
 
 namespace dess {
 namespace {
-
-std::atomic<LogLevel> g_min_level{LogLevel::kWarning};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -23,6 +25,64 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+/// Startup level from DESS_LOG_LEVEL: a level name (case-insensitive,
+/// "warn" accepted) or a numeric 0-3. Unset or unrecognized -> warning.
+LogLevel LevelFromEnv() {
+  const char* env = std::getenv("DESS_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') return LogLevel::kWarning;
+  std::string v;
+  for (const char* p = env; *p; ++p) {
+    v += static_cast<char>(std::tolower(static_cast<unsigned char>(*p)));
+  }
+  if (v == "debug" || v == "0") return LogLevel::kDebug;
+  if (v == "info" || v == "1") return LogLevel::kInfo;
+  if (v == "warning" || v == "warn" || v == "2") return LogLevel::kWarning;
+  if (v == "error" || v == "3") return LogLevel::kError;
+  return LogLevel::kWarning;
+}
+
+std::atomic<LogLevel> g_min_level{LevelFromEnv()};
+
+const char* Basename(const char* file) {
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  return base;
+}
+
+/// "[2026-08-05T12:34:56.789Z LEVEL tid=12345 file.cc:42] " — the shared
+/// prefix of log and check-failure lines.
+void WritePrefix(std::ostringstream* stream, const char* level_name,
+                 const char* file, int line) {
+  using std::chrono::system_clock;
+  const system_clock::time_point now = system_clock::now();
+  const std::time_t secs = system_clock::to_time_t(now);
+  const int millis = static_cast<int>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          now.time_since_epoch())
+          .count() %
+      1000);
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  char stamp[96];  // worst-case %d expansions stay in bounds
+  std::snprintf(stamp, sizeof(stamp),
+                "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ", tm.tm_year + 1900,
+                tm.tm_mon + 1, tm.tm_mday, tm.tm_hour, tm.tm_min, tm.tm_sec,
+                millis);
+  *stream << "[" << stamp << " " << level_name << " tid="
+          << std::this_thread::get_id() << " " << Basename(file) << ":"
+          << line << "] ";
+}
+
+/// One fwrite for the whole line (terminator included): stdio's internal
+/// stream lock makes the write atomic with respect to other threads, so
+/// concurrent messages never interleave mid-line.
+void WriteLine(std::string line) {
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) { g_min_level.store(level); }
@@ -31,20 +91,27 @@ LogLevel GetLogLevel() { return g_min_level.load(); }
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : enabled_(level >= g_min_level.load()), level_(level) {
+    : enabled_(level >= g_min_level.load()) {
   if (enabled_) {
-    const char* base = file;
-    for (const char* p = file; *p; ++p) {
-      if (*p == '/') base = p + 1;
-    }
-    stream_ << "[" << LevelName(level_) << " " << base << ":" << line << "] ";
+    WritePrefix(&stream_, LevelName(level), file, line);
   }
 }
 
 LogMessage::~LogMessage() {
   if (enabled_) {
-    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    WriteLine(stream_.str());
   }
+}
+
+CheckMessage::CheckMessage(const char* file, int line, const char* expr) {
+  WritePrefix(&stream_, "FATAL", file, line);
+  stream_ << "Check failed at " << Basename(file) << ":" << line << ": "
+          << expr;
+}
+
+CheckMessage::~CheckMessage() {
+  WriteLine(stream_.str());
+  std::abort();
 }
 
 }  // namespace internal

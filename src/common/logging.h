@@ -4,17 +4,26 @@
 #include <sstream>
 #include <string>
 
+#include "src/common/result.h"
+
 namespace dess {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
-/// Process-wide minimum level; messages below it are discarded.
+/// Process-wide minimum level; messages below it are discarded. The
+/// initial level honors the DESS_LOG_LEVEL environment variable
+/// ("debug" | "info" | "warning"/"warn" | "error", case-insensitive, or a
+/// numeric 0-3), defaulting to warning.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
 namespace internal {
 
-/// Stream-style log sink; emits on destruction. Used via the DESS_LOG macro.
+/// Stream-style log sink; emits on destruction. Used via the DESS_LOG
+/// macro. Each message is written to stderr as one atomic write (single
+/// fwrite of the whole line) so concurrent threads never interleave
+/// mid-line; the prefix carries an ISO-8601 UTC timestamp, the level tag,
+/// the thread id, and the call site.
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);
@@ -31,9 +40,36 @@ class LogMessage {
 
  private:
   bool enabled_;
-  LogLevel level_;
   std::ostringstream stream_;
 };
+
+/// Failure sink for DESS_CHECK*: collects the message, then emits it
+/// through the atomic log writer (bypassing the minimum-level filter) and
+/// aborts when destroyed at the end of the failing statement.
+class CheckMessage {
+ public:
+  CheckMessage(const char* file, int line, const char* expr);
+  [[noreturn]] ~CheckMessage();
+
+  CheckMessage(const CheckMessage&) = delete;
+  CheckMessage& operator=(const CheckMessage&) = delete;
+
+  template <typename T>
+  CheckMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Adapters so DESS_CHECK_OK accepts both Status and Result<T>.
+inline const Status& ToStatus(const Status& s) { return s; }
+template <typename T>
+Status ToStatus(const Result<T>& r) {
+  return r.status();
+}
 
 }  // namespace internal
 }  // namespace dess
@@ -42,12 +78,25 @@ class LogMessage {
   ::dess::internal::LogMessage(::dess::LogLevel::k##level, __FILE__, \
                                __LINE__)
 
-/// Fatal-on-false invariant check, active in all build types.
+/// Fatal-on-false invariant check, active in all build types. The abort
+/// message carries the failing file:line and the stringified condition;
+/// extra context can be streamed in: DESS_CHECK(n > 0) << "n=" << n;
+/// (The while-loop form makes the macro a single streamable statement;
+/// the body runs at most once because ~CheckMessage aborts.)
 #define DESS_CHECK(cond)                                                  \
+  while (!(cond))                                                         \
+  ::dess::internal::CheckMessage(__FILE__, __LINE__, #cond)
+
+/// Fatal check that a Status (or Result<T>) is OK; the abort message
+/// carries the call site and the status text.
+#define DESS_CHECK_OK(expr)                                               \
   do {                                                                    \
-    if (!(cond)) {                                                        \
-      DESS_LOG(Error) << "Check failed: " #cond;                          \
-      std::abort();                                                       \
+    /* By value: ToStatus may return a reference into a temporary. */     \
+    const ::dess::Status _dess_check_status =                             \
+        ::dess::internal::ToStatus((expr));                               \
+    if (!_dess_check_status.ok()) {                                       \
+      ::dess::internal::CheckMessage(__FILE__, __LINE__, #expr)           \
+          << ": " << _dess_check_status.ToString();                       \
     }                                                                     \
   } while (false)
 

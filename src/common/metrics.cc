@@ -1,0 +1,314 @@
+#include "src/common/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <mutex>
+
+#include "src/common/strings.h"
+
+namespace dess {
+namespace {
+
+// Nanosecond integer domain for histogram cells: fetch_add on uint64_t is
+// lock-free everywhere, unlike atomic<double> read-modify-write.
+uint64_t ToNanos(double seconds) {
+  if (seconds <= 0.0) return 0;
+  return static_cast<uint64_t>(std::llround(seconds * 1e9));
+}
+
+double ToSeconds(uint64_t nanos) { return static_cast<double>(nanos) * 1e-9; }
+
+void AtomicMin(std::atomic<uint64_t>* target, uint64_t v) {
+  uint64_t cur = target->load(std::memory_order_relaxed);
+  while (v < cur && !target->compare_exchange_weak(
+                        cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<uint64_t>* target, uint64_t v) {
+  uint64_t cur = target->load(std::memory_order_relaxed);
+  while (v > cur && !target->compare_exchange_weak(
+                        cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+/// Human-scaled duration for DumpText ("850ns", "3.25ms", "1.2s").
+std::string FormatDuration(double seconds) {
+  if (seconds < 1e-6) return StrFormat("%.0fns", seconds * 1e9);
+  if (seconds < 1e-3) return StrFormat("%.3gus", seconds * 1e6);
+  if (seconds < 1.0) return StrFormat("%.3gms", seconds * 1e3);
+  return StrFormat("%.3gs", seconds);
+}
+
+/// Minimal JSON string escaping; metric names are plain identifiers but a
+/// correct writer should not depend on that.
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonDouble(double v) {
+  if (!std::isfinite(v)) return "0";  // JSON has no inf/nan
+  return StrFormat("%.9g", v);
+}
+
+}  // namespace
+
+const std::vector<double>& LatencyBucketBounds() {
+  // 1-2.5-5 ladder over seven decades: 1us .. 10s.
+  static const std::vector<double>* bounds = new std::vector<double>{
+      1e-6,   2.5e-6, 5e-6,  1e-5,   2.5e-5, 5e-5,  1e-4,
+      2.5e-4, 5e-4,   1e-3,  2.5e-3, 5e-3,   1e-2,  2.5e-2,
+      5e-2,   1e-1,   2.5e-1, 5e-1,  1.0,    2.5,   5.0,
+      10.0};
+  return *bounds;
+}
+
+double HistogramSample::QuantileSeconds(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t rank = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(count)));
+  const std::vector<double>& bounds = LatencyBucketBounds();
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= rank) {
+      // Overflow bucket (and any bucket beyond the observed max) cannot
+      // report more than the exact maximum.
+      const double bound =
+          i < bounds.size() ? bounds[i] : max_seconds;
+      return std::min(bound, max_seconds);
+    }
+  }
+  return max_seconds;
+}
+
+struct MetricsRegistry::CounterCell {
+  std::atomic<uint64_t> value{0};
+};
+
+struct MetricsRegistry::GaugeCell {
+  std::atomic<double> value{0.0};
+};
+
+struct MetricsRegistry::HistogramCell {
+  HistogramCell() : buckets(LatencyBucketBounds().size() + 1) {}
+
+  std::atomic<uint64_t> count{0};
+  std::atomic<uint64_t> sum_nanos{0};
+  std::atomic<uint64_t> min_nanos{UINT64_MAX};
+  std::atomic<uint64_t> max_nanos{0};
+  std::vector<std::atomic<uint64_t>> buckets;  // bounds + overflow
+
+  void Record(double seconds) {
+    const std::vector<double>& bounds = LatencyBucketBounds();
+    const size_t b = static_cast<size_t>(
+        std::upper_bound(bounds.begin(), bounds.end(), seconds) -
+        bounds.begin());
+    buckets[b].fetch_add(1, std::memory_order_relaxed);
+    count.fetch_add(1, std::memory_order_relaxed);
+    const uint64_t ns = ToNanos(seconds);
+    sum_nanos.fetch_add(ns, std::memory_order_relaxed);
+    AtomicMin(&min_nanos, ns);
+    AtomicMax(&max_nanos, ns);
+  }
+};
+
+MetricsRegistry::MetricsRegistry() = default;
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry* MetricsRegistry::Global() {
+  static MetricsRegistry* registry = [] {
+    auto* r = new MetricsRegistry();
+    // DESS_METRICS=0|off|false disables process-wide collection at startup
+    // (instrumented call sites then cost one relaxed load + branch each).
+    if (const char* env = std::getenv("DESS_METRICS")) {
+      const std::string v(env);
+      if (v == "0" || v == "off" || v == "false") r->SetEnabled(false);
+    }
+    return r;
+  }();
+  return registry;
+}
+
+// Shared pattern for the three metric families: find the cell under a
+// shared lock (the steady-state path), fall back to an exclusive lock to
+// register a new name. `map` is a std::map so node addresses are stable
+// and the cell can be updated after the lock is released.
+template <typename Map>
+static typename Map::mapped_type::element_type* FindOrCreateCell(
+    std::shared_mutex* mu, Map* map, std::string_view name) {
+  {
+    std::shared_lock lock(*mu);
+    auto it = map->find(name);
+    if (it != map->end()) return it->second.get();
+  }
+  std::unique_lock lock(*mu);
+  auto [it, inserted] = map->try_emplace(
+      std::string(name),
+      std::make_unique<typename Map::mapped_type::element_type>());
+  (void)inserted;
+  return it->second.get();
+}
+
+void MetricsRegistry::AddCounter(std::string_view name, uint64_t delta) {
+  if (!enabled()) return;
+  FindOrCreateCell(&mu_, &counters_, name)
+      ->value.fetch_add(delta, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::SetGauge(std::string_view name, double value) {
+  if (!enabled()) return;
+  FindOrCreateCell(&mu_, &gauges_, name)
+      ->value.store(value, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::RecordLatency(std::string_view name, double seconds) {
+  if (!enabled()) return;
+  FindOrCreateCell(&mu_, &histograms_, name)->Record(seconds);
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::shared_lock lock(mu_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, cell] : counters_) {
+    snap.counters.push_back(
+        {name, cell->value.load(std::memory_order_relaxed)});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, cell] : gauges_) {
+    snap.gauges.push_back(
+        {name, cell->value.load(std::memory_order_relaxed)});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, cell] : histograms_) {
+    HistogramSample h;
+    h.name = name;
+    h.count = cell->count.load(std::memory_order_relaxed);
+    h.sum_seconds = ToSeconds(cell->sum_nanos.load(std::memory_order_relaxed));
+    const uint64_t min_ns = cell->min_nanos.load(std::memory_order_relaxed);
+    h.min_seconds = min_ns == UINT64_MAX ? 0.0 : ToSeconds(min_ns);
+    h.max_seconds = ToSeconds(cell->max_nanos.load(std::memory_order_relaxed));
+    h.buckets.reserve(cell->buckets.size());
+    for (const auto& b : cell->buckets) {
+      h.buckets.push_back(b.load(std::memory_order_relaxed));
+    }
+    snap.histograms.push_back(std::move(h));
+  }
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  std::unique_lock lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+std::string MetricsSnapshot::DumpText() const {
+  std::string out;
+  auto pad = [](std::string_view name) {
+    std::string s(name);
+    if (s.size() < 44) s.append(44 - s.size(), ' ');
+    return s;
+  };
+  if (!counters.empty()) {
+    out += "counters:\n";
+    for (const CounterSample& c : counters) {
+      out += StrFormat("  %s %12llu\n", pad(c.name).c_str(),
+                       static_cast<unsigned long long>(c.value));
+    }
+  }
+  if (!gauges.empty()) {
+    out += "gauges:\n";
+    for (const GaugeSample& g : gauges) {
+      out += StrFormat("  %s %12.6g\n", pad(g.name).c_str(), g.value);
+    }
+  }
+  if (!histograms.empty()) {
+    out += "latency (count  mean  p50  p95  max):\n";
+    for (const HistogramSample& h : histograms) {
+      out += StrFormat(
+          "  %s %8llu  %8s  %8s  %8s  %8s\n", pad(h.name).c_str(),
+          static_cast<unsigned long long>(h.count),
+          FormatDuration(h.MeanSeconds()).c_str(),
+          FormatDuration(h.QuantileSeconds(0.50)).c_str(),
+          FormatDuration(h.QuantileSeconds(0.95)).c_str(),
+          FormatDuration(h.max_seconds).c_str());
+    }
+  }
+  if (out.empty()) out = "(no metrics recorded)\n";
+  return out;
+}
+
+std::string MetricsSnapshot::DumpJson() const {
+  std::string out = "{\"counters\":{";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    if (i > 0) out += ",";
+    out += StrFormat("\"%s\":%llu", JsonEscape(counters[i].name).c_str(),
+                     static_cast<unsigned long long>(counters[i].value));
+  }
+  out += "},\"gauges\":{";
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    if (i > 0) out += ",";
+    out += StrFormat("\"%s\":%s", JsonEscape(gauges[i].name).c_str(),
+                     JsonDouble(gauges[i].value).c_str());
+  }
+  out += "},\"histograms\":{";
+  const std::vector<double>& bounds = LatencyBucketBounds();
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramSample& h = histograms[i];
+    if (i > 0) out += ",";
+    out += StrFormat(
+        "\"%s\":{\"count\":%llu,\"sum_seconds\":%s,\"min_seconds\":%s,"
+        "\"max_seconds\":%s,\"mean_seconds\":%s,\"p50_seconds\":%s,"
+        "\"p95_seconds\":%s,\"buckets\":[",
+        JsonEscape(h.name).c_str(),
+        static_cast<unsigned long long>(h.count),
+        JsonDouble(h.sum_seconds).c_str(), JsonDouble(h.min_seconds).c_str(),
+        JsonDouble(h.max_seconds).c_str(), JsonDouble(h.MeanSeconds()).c_str(),
+        JsonDouble(h.QuantileSeconds(0.50)).c_str(),
+        JsonDouble(h.QuantileSeconds(0.95)).c_str());
+    for (size_t b = 0; b < h.buckets.size(); ++b) {
+      if (b > 0) out += ",";
+      const std::string le =
+          b < bounds.size() ? JsonDouble(bounds[b]) : "\"inf\"";
+      out += StrFormat("{\"le\":%s,\"count\":%llu}", le.c_str(),
+                       static_cast<unsigned long long>(h.buckets[b]));
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace dess

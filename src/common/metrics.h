@@ -1,0 +1,184 @@
+#ifndef DESS_COMMON_METRICS_H_
+#define DESS_COMMON_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dess {
+
+/// Upper bounds (seconds, inclusive) of the fixed latency-histogram
+/// buckets, ascending; samples above the last bound land in an implicit
+/// overflow bucket. The 1-2.5-5 decade ladder spans 1 microsecond to 10
+/// seconds, matching the dynamic range of the pipeline stages (sub-ms
+/// feature math up to multi-second high-resolution thinning).
+const std::vector<double>& LatencyBucketBounds();
+
+/// One monotonic counter in a snapshot.
+struct CounterSample {
+  std::string name;
+  uint64_t value = 0;
+};
+
+/// One gauge (last-set value) in a snapshot.
+struct GaugeSample {
+  std::string name;
+  double value = 0.0;
+};
+
+/// One latency histogram in a snapshot. `buckets` is parallel to
+/// LatencyBucketBounds() plus one trailing overflow bucket.
+struct HistogramSample {
+  std::string name;
+  uint64_t count = 0;
+  double sum_seconds = 0.0;
+  double min_seconds = 0.0;  // 0 when count == 0
+  double max_seconds = 0.0;
+  std::vector<uint64_t> buckets;
+
+  double MeanSeconds() const {
+    return count == 0 ? 0.0 : sum_seconds / static_cast<double>(count);
+  }
+  /// Bucket-resolution quantile estimate (upper bound of the bucket that
+  /// contains the q-th sample); q in [0, 1].
+  double QuantileSeconds(double q) const;
+};
+
+/// Point-in-time copy of every registered metric, each section sorted by
+/// name so repeated snapshots of the same state serialize identically.
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+
+  bool Empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+
+  /// Aligned human-readable table (one metric per line).
+  std::string DumpText() const;
+
+  /// JSON object {"counters": {...}, "gauges": {...}, "histograms": {...}}
+  /// with keys in sorted order.
+  std::string DumpJson() const;
+};
+
+/// Process-wide metric registry: named monotonic counters, gauges, and
+/// fixed-bucket latency histograms, all safe for concurrent update.
+///
+/// Mutation is lock-cheap: each op takes a shared (read) lock to find the
+/// metric cell, then updates it with relaxed atomics; an exclusive lock is
+/// taken only the first time a name is seen. Callers on hot paths should
+/// accumulate locally (e.g. in QueryStats) and flush aggregates once per
+/// operation rather than per inner-loop step.
+///
+/// A disabled registry records nothing and registers nothing: mutations on
+/// it are a single relaxed atomic load plus branch, and its Snapshot()
+/// stays empty — so instrumentation left in place costs ~nothing when
+/// observability is off.
+class MetricsRegistry {
+ public:
+  // Out-of-line so the cell types only need to be complete in metrics.cc.
+  MetricsRegistry();
+  ~MetricsRegistry();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry used by DESS_TIMED_SCOPE and the built-in
+  /// pipeline/index/search instrumentation. Enabled by default.
+  static MetricsRegistry* Global();
+
+  void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Adds `delta` to the named monotonic counter (registering it at zero
+  /// first if needed).
+  void AddCounter(std::string_view name, uint64_t delta = 1);
+
+  /// Sets the named gauge to `value` (last write wins).
+  void SetGauge(std::string_view name, double value);
+
+  /// Records one latency sample into the named fixed-bucket histogram.
+  void RecordLatency(std::string_view name, double seconds);
+
+  /// Copies all metrics; sections are sorted by name (deterministic).
+  MetricsSnapshot Snapshot() const;
+
+  /// Drops every registered metric (names included). Intended for tests
+  /// and for benchmark harnesses that want a clean slate per phase.
+  void Reset();
+
+ private:
+  struct CounterCell;
+  struct GaugeCell;
+  struct HistogramCell;
+
+  std::atomic<bool> enabled_{true};
+  mutable std::shared_mutex mu_;
+  std::map<std::string, std::unique_ptr<CounterCell>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<GaugeCell>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<HistogramCell>, std::less<>>
+      histograms_;
+};
+
+/// RAII span: records the wall time between construction and destruction
+/// into the registry's latency histogram `name`. When the registry is
+/// disabled at construction the clock is never read and the destructor is
+/// a no-op. `name` must outlive the scope (string literals in practice).
+///
+/// Spans nest lexically: an enclosing span measures its whole extent
+/// including any inner spans, so inner stages are a *breakdown* of the
+/// outer one, not disjoint from it. Work dispatched to pool workers inside
+/// the scope is attributed to the scope on the calling thread (wall time,
+/// not CPU time summed over workers).
+class TimedScope {
+ public:
+  explicit TimedScope(const char* name,
+                      MetricsRegistry* registry = nullptr)
+      : name_(name),
+        registry_(registry != nullptr ? registry
+                                      : MetricsRegistry::Global()) {
+    if (!registry_->enabled()) {
+      registry_ = nullptr;
+      return;
+    }
+    start_ = std::chrono::steady_clock::now();
+  }
+
+  ~TimedScope() {
+    if (registry_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    registry_->RecordLatency(
+        name_, std::chrono::duration<double>(elapsed).count());
+  }
+
+  TimedScope(const TimedScope&) = delete;
+  TimedScope& operator=(const TimedScope&) = delete;
+
+ private:
+  const char* name_;
+  MetricsRegistry* registry_;  // null => disabled at construction
+  std::chrono::steady_clock::time_point start_;
+};
+
+#define DESS_METRICS_CONCAT_INNER_(a, b) a##b
+#define DESS_METRICS_CONCAT_(a, b) DESS_METRICS_CONCAT_INNER_(a, b)
+
+/// Times the rest of the enclosing block into latency histogram `name` on
+/// the global registry: DESS_TIMED_SCOPE("stage.voxelize");
+#define DESS_TIMED_SCOPE(name)                                       \
+  ::dess::TimedScope DESS_METRICS_CONCAT_(_dess_timed_scope_,        \
+                                          __LINE__)(name)
+
+}  // namespace dess
+
+#endif  // DESS_COMMON_METRICS_H_

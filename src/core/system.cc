@@ -2,6 +2,7 @@
 
 #include <thread>
 
+#include "src/common/metrics.h"
 #include "src/common/thread_pool.h"
 
 namespace dess {
@@ -23,6 +24,7 @@ ThreadPool* Dess3System::EnsureIngestPool(int num_threads) {
 
 Result<int> Dess3System::IngestMesh(const TriMesh& mesh,
                                     const std::string& name, int group) {
+  DESS_TIMED_SCOPE("system.ingest_shape");
   DESS_ASSIGN_OR_RETURN(ShapeSignature signature,
                         ExtractSignature(mesh, options_.extraction));
   ShapeRecord record;
@@ -31,7 +33,12 @@ Result<int> Dess3System::IngestMesh(const TriMesh& mesh,
   record.mesh = mesh;
   record.signature = std::move(signature);
   engine_.reset();  // database changed; indexes are stale
-  return db_.Insert(std::move(record));
+  const int id = db_.Insert(std::move(record));
+  MetricsRegistry* registry = MetricsRegistry::Global();
+  registry->AddCounter("system.shapes_ingested");
+  registry->SetGauge("system.db_shapes",
+                     static_cast<double>(db_.NumShapes()));
+  return id;
 }
 
 Status Dess3System::IngestDataset(const Dataset& dataset) {
@@ -47,6 +54,7 @@ Status Dess3System::IngestDatasetParallel(const Dataset& dataset,
                                           int num_threads) {
   const size_t n = dataset.shapes.size();
   if (n == 0) return Status::OK();
+  DESS_TIMED_SCOPE("system.ingest_dataset");
   ThreadPool* pool = EnsureIngestPool(num_threads);
   std::vector<Result<ShapeSignature>> signatures(
       n, Result<ShapeSignature>(ShapeSignature{}));
@@ -84,18 +92,29 @@ Status Dess3System::IngestDatasetParallel(const Dataset& dataset,
     record.signature = std::move(signatures[i]).value();
     db_.Insert(std::move(record));
   }
+  MetricsRegistry* registry = MetricsRegistry::Global();
+  registry->AddCounter("system.shapes_ingested", n);
+  registry->SetGauge("system.db_shapes",
+                     static_cast<double>(db_.NumShapes()));
   return Status::OK();
 }
 
 int Dess3System::IngestRecord(ShapeRecord record) {
   engine_.reset();
-  return db_.Insert(std::move(record));
+  const int id = db_.Insert(std::move(record));
+  MetricsRegistry* registry = MetricsRegistry::Global();
+  registry->AddCounter("system.shapes_ingested");
+  registry->SetGauge("system.db_shapes",
+                     static_cast<double>(db_.NumShapes()));
+  return id;
 }
 
 Status Dess3System::Commit() {
   if (db_.IsEmpty()) {
     return Status::InvalidArgument("commit: database is empty");
   }
+  DESS_TIMED_SCOPE("system.commit");
+  MetricsRegistry::Global()->AddCounter("system.commits");
   DESS_ASSIGN_OR_RETURN(engine_, SearchEngine::Build(&db_, options_.search));
   for (FeatureKind kind : AllFeatureKinds()) {
     std::vector<std::vector<double>> points;
@@ -127,6 +146,8 @@ Result<const SearchEngine*> Dess3System::engine() const {
 Result<std::vector<SearchResult>> Dess3System::QueryByMesh(
     const TriMesh& mesh, FeatureKind kind, size_t k) const {
   DESS_ASSIGN_OR_RETURN(const SearchEngine* eng, engine());
+  DESS_TIMED_SCOPE("system.query_by_mesh");
+  MetricsRegistry::Global()->AddCounter("system.queries_by_mesh");
   DESS_ASSIGN_OR_RETURN(ShapeSignature signature,
                         ExtractSignature(mesh, options_.extraction));
   return eng->QueryTopK(signature.Get(kind).values, kind, k);
@@ -135,6 +156,8 @@ Result<std::vector<SearchResult>> Dess3System::QueryByMesh(
 Result<std::vector<SearchResult>> Dess3System::MultiStepByMesh(
     const TriMesh& mesh, const MultiStepPlan& plan) const {
   DESS_ASSIGN_OR_RETURN(const SearchEngine* eng, engine());
+  DESS_TIMED_SCOPE("system.multistep_by_mesh");
+  MetricsRegistry::Global()->AddCounter("system.multistep_queries_by_mesh");
   DESS_ASSIGN_OR_RETURN(ShapeSignature signature,
                         ExtractSignature(mesh, options_.extraction));
   return MultiStepQuery(*eng, signature, plan);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/common/metrics.h"
 #include "src/features/moments.h"
 #include "src/graph/spectral.h"
 #include "src/linalg/eigen.h"
@@ -74,19 +75,31 @@ Result<ExtractionArtifacts> ExtractFeatures(const TriMesh& mesh,
     if (thin_options.pool == nullptr) thin_options.pool = options.pool;
   }
 
+  // The whole-pipeline span plus per-stage spans: the inner stages
+  // (normalize / voxelize / fill / thin / graph / features) are a
+  // breakdown of "pipeline.extract", which also absorbs glue such as
+  // largest-component selection.
+  DESS_TIMED_SCOPE("pipeline.extract");
+  MetricsRegistry::Global()->AddCounter("pipeline.extractions");
+
   ExtractionArtifacts art;
   // Stage 1: normalization (translation, rotation, scale — Eq. 3.2-3.4).
-  DESS_ASSIGN_OR_RETURN(art.normalization,
-                        NormalizeMesh(mesh, options.normalization));
+  {
+    DESS_TIMED_SCOPE("stage.normalize");
+    DESS_ASSIGN_OR_RETURN(art.normalization,
+                          NormalizeMesh(mesh, options.normalization));
+  }
 
   // Stage 2: voxelization of the normalized model (Eq. 3.5). Keep the
   // largest component: sub-voxel gaps in thin CAD features can split the
-  // voxel model even when the solid is connected.
+  // voxel model even when the solid is connected. VoxelizeMesh records
+  // the stage.voxelize / stage.fill spans internally.
   DESS_ASSIGN_OR_RETURN(art.voxels,
                         VoxelizeMesh(art.normalization.mesh, vox_options));
   art.voxels = KeepLargestComponent(art.voxels);
 
-  // Stage 3: skeletonization + skeletal graph (Sections 3.3-3.4).
+  // Stage 3: skeletonization + skeletal graph (Sections 3.3-3.4); these
+  // record stage.thin and stage.graph internally.
   art.skeleton = ThinToSkeleton(art.voxels, thin_options);
   art.graph = BuildSkeletalGraph(art.skeleton, options.graph);
 
@@ -94,26 +107,41 @@ Result<ExtractionArtifacts> ExtractFeatures(const TriMesh& mesh,
   Mat3 original_mu;  // central second moments of the *original* model
   Mat3 normalized_mu;  // central second moments of the *normalized* model
   double original_volume = art.normalization.original_volume;
-  if (options.voxel_moments) {
-    normalized_mu = VoxelSecondMomentMatrix(art.voxels);
-    // The I-matrix is invariant to the normalization pose, so the voxel
-    // model of the normalized mesh is a valid stand-in for the original —
-    // but its volume must be the voxel volume for consistency.
-    original_mu = normalized_mu;
-    original_volume = art.voxels.SolidVolume();
-  } else {
-    original_mu = art.normalization.original_integrals.CentralSecondMoment();
-    normalized_mu =
-        ComputeMeshIntegrals(art.normalization.mesh).CentralSecondMoment();
+  {
+    DESS_TIMED_SCOPE("stage.moments");
+    if (options.voxel_moments) {
+      normalized_mu = VoxelSecondMomentMatrix(art.voxels);
+      // The I-matrix is invariant to the normalization pose, so the voxel
+      // model of the normalized mesh is a valid stand-in for the original —
+      // but its volume must be the voxel volume for consistency.
+      original_mu = normalized_mu;
+      original_volume = art.voxels.SolidVolume();
+    } else {
+      original_mu = art.normalization.original_integrals.CentralSecondMoment();
+      normalized_mu =
+          ComputeMeshIntegrals(art.normalization.mesh).CentralSecondMoment();
+    }
   }
 
-  art.signature.Mutable(FeatureKind::kMomentInvariants) =
-      MomentInvariantsFeature(original_mu, original_volume);
-  art.signature.Mutable(FeatureKind::kGeometricParams) =
-      GeometricParamsFeature(art.normalization);
-  art.signature.Mutable(FeatureKind::kPrincipalMoments) =
-      PrincipalMomentsFeature(normalized_mu);
-  art.signature.Mutable(FeatureKind::kSpectral) = SpectralFeature(art.graph);
+  {
+    DESS_TIMED_SCOPE("stage.feature.moment_invariants");
+    art.signature.Mutable(FeatureKind::kMomentInvariants) =
+        MomentInvariantsFeature(original_mu, original_volume);
+  }
+  {
+    DESS_TIMED_SCOPE("stage.feature.geometric_params");
+    art.signature.Mutable(FeatureKind::kGeometricParams) =
+        GeometricParamsFeature(art.normalization);
+  }
+  {
+    DESS_TIMED_SCOPE("stage.feature.principal_moments");
+    art.signature.Mutable(FeatureKind::kPrincipalMoments) =
+        PrincipalMomentsFeature(normalized_mu);
+  }
+  {
+    DESS_TIMED_SCOPE("stage.feature.spectral");
+    art.signature.Mutable(FeatureKind::kSpectral) = SpectralFeature(art.graph);
+  }
   return art;
 }
 

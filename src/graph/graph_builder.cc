@@ -5,6 +5,7 @@
 #include <map>
 #include <vector>
 
+#include "src/common/metrics.h"
 #include "src/skeleton/skeleton_analysis.h"
 
 namespace dess {
@@ -74,6 +75,7 @@ EntityType ClassifyOpenArc(const std::vector<Vec3>& path, double line_tol) {
 
 SkeletalGraph BuildSkeletalGraph(const VoxelGrid& skeleton,
                                  const GraphBuilderOptions& options) {
+  DESS_TIMED_SCOPE("stage.graph");
   SkeletalGraph graph;
 
   // Degree map and voxel inventory.

@@ -3,9 +3,28 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/common/metrics.h"
 #include "src/common/strings.h"
 
 namespace dess {
+namespace {
+
+/// One scan = one sequential pass over the whole "file": a single logical
+/// page visit plus one distance evaluation per stored point.
+void FinishScanStats(size_t points, size_t candidates, QueryStats* stats) {
+  if (stats != nullptr) {
+    stats->nodes_visited += 1;
+    stats->leaves_scanned += 1;
+    stats->points_compared += points;
+  }
+  MetricsRegistry* registry = MetricsRegistry::Global();
+  if (!registry->enabled()) return;
+  registry->AddCounter("index.linear_scan.queries");
+  registry->AddCounter("index.linear_scan.points_compared", points);
+  registry->AddCounter("index.linear_scan.candidates_returned", candidates);
+}
+
+}  // namespace
 
 double WeightedEuclidean(const std::vector<double>& q,
                          const std::vector<double>& x,
@@ -49,12 +68,9 @@ std::vector<Neighbor> LinearScanIndex::KNearest(
   for (const Entry& e : points_) {
     all.push_back({e.id, WeightedEuclidean(query, e.point, weights)});
   }
-  if (stats != nullptr) {
-    stats->nodes_visited += 1;  // the whole file, one sequential pass
-    stats->points_compared += points_.size();
-  }
   std::sort(all.begin(), all.end());
   if (all.size() > k) all.resize(k);
+  FinishScanStats(points_.size(), all.size(), stats);
   return all;
 }
 
@@ -66,11 +82,8 @@ std::vector<Neighbor> LinearScanIndex::RangeQuery(
     const double d = WeightedEuclidean(query, e.point, weights);
     if (d <= radius) out.push_back({e.id, d});
   }
-  if (stats != nullptr) {
-    stats->nodes_visited += 1;
-    stats->points_compared += points_.size();
-  }
   std::sort(out.begin(), out.end());
+  FinishScanStats(points_.size(), out.size(), stats);
   return out;
 }
 

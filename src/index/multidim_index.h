@@ -21,9 +21,18 @@ struct Neighbor {
 
 /// Work counters reported by index queries, used by the efficiency
 /// benchmarks (Section 2.3: the R-tree should prune most of the database).
+/// Index implementations also flush these per-query aggregates into the
+/// global MetricsRegistry under "index.<backend>.*".
 struct QueryStats {
   size_t nodes_visited = 0;     // index nodes touched (1 per scan "page")
+  size_t leaves_scanned = 0;    // subset of nodes_visited that were leaves
   size_t points_compared = 0;   // exact distance evaluations
+
+  void MergeFrom(const QueryStats& o) {
+    nodes_visited += o.nodes_visited;
+    leaves_scanned += o.leaves_scanned;
+    points_compared += o.points_compared;
+  }
 };
 
 /// Abstract multidimensional point index over weighted Euclidean space.

@@ -6,6 +6,7 @@
 #include <queue>
 
 #include "src/common/logging.h"
+#include "src/common/metrics.h"
 #include "src/common/strings.h"
 
 namespace dess {
@@ -69,6 +70,20 @@ double MinDist(const std::vector<double>& q, const Rect& r,
     sum += w * diff * diff;
   }
   return std::sqrt(sum);
+}
+
+/// Flushes one query's work counters into the global registry and merges
+/// them into the caller's accumulator, if any.
+void FinishQueryStats(const QueryStats& local, size_t candidates,
+                      QueryStats* caller_stats) {
+  if (caller_stats != nullptr) caller_stats->MergeFrom(local);
+  MetricsRegistry* registry = MetricsRegistry::Global();
+  if (!registry->enabled()) return;
+  registry->AddCounter("index.rtree.queries");
+  registry->AddCounter("index.rtree.nodes_visited", local.nodes_visited);
+  registry->AddCounter("index.rtree.leaves_scanned", local.leaves_scanned);
+  registry->AddCounter("index.rtree.points_compared", local.points_compared);
+  registry->AddCounter("index.rtree.candidates_returned", candidates);
 }
 
 // Cost of growing `base` to include `extra`: volume enlargement with a
@@ -421,6 +436,7 @@ std::vector<Neighbor> RTreeIndex::KNearest(const std::vector<double>& query,
   std::priority_queue<Item, std::vector<Item>, std::greater<Item>> frontier;
   frontier.push({0.0, impl_->root.get(), -1});
 
+  QueryStats local;
   while (!frontier.empty()) {
     const Item item = frontier.top();
     frontier.pop();
@@ -429,12 +445,13 @@ std::vector<Neighbor> RTreeIndex::KNearest(const std::vector<double>& query,
       if (results.size() == k) break;
       continue;
     }
-    if (stats != nullptr) ++stats->nodes_visited;
+    ++local.nodes_visited;
     const Node* node = item.node;
     if (node->leaf) {
+      ++local.leaves_scanned;
       for (size_t i = 0; i < node->Count(); ++i) {
         const double d = WeightedEuclidean(query, node->rects[i].lo, weights);
-        if (stats != nullptr) ++stats->points_compared;
+        ++local.points_compared;
         frontier.push({d, nullptr, node->ids[i]});
       }
     } else {
@@ -444,6 +461,7 @@ std::vector<Neighbor> RTreeIndex::KNearest(const std::vector<double>& query,
       }
     }
   }
+  FinishQueryStats(local, results.size(), stats);
   return results;
 }
 
@@ -453,14 +471,16 @@ std::vector<Neighbor> RTreeIndex::RangeQuery(const std::vector<double>& query,
                                              QueryStats* stats) const {
   std::vector<Neighbor> out;
   std::vector<const Node*> stack{impl_->root.get()};
+  QueryStats local;
   while (!stack.empty()) {
     const Node* node = stack.back();
     stack.pop_back();
-    if (stats != nullptr) ++stats->nodes_visited;
+    ++local.nodes_visited;
     if (node->leaf) {
+      ++local.leaves_scanned;
       for (size_t i = 0; i < node->Count(); ++i) {
         const double d = WeightedEuclidean(query, node->rects[i].lo, weights);
-        if (stats != nullptr) ++stats->points_compared;
+        ++local.points_compared;
         if (d <= radius) out.push_back({node->ids[i], d});
       }
     } else {
@@ -472,6 +492,7 @@ std::vector<Neighbor> RTreeIndex::RangeQuery(const std::vector<double>& query,
     }
   }
   std::sort(out.begin(), out.end());
+  FinishQueryStats(local, out.size(), stats);
   return out;
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/common/metrics.h"
+
 namespace dess {
 
 MultiStepPlan MultiStepPlan::Standard(int first_retrieve, int final_keep) {
@@ -20,6 +22,8 @@ Result<std::vector<SearchResult>> RunPlan(
   if (plan.stages.empty()) {
     return Status::InvalidArgument("multi-step: empty plan");
   }
+  DESS_TIMED_SCOPE("search.multistep");
+  MetricsRegistry* registry = MetricsRegistry::Global();
   std::vector<SearchResult> current;
   for (size_t s = 0; s < plan.stages.size(); ++s) {
     const MultiStepStage& stage = plan.stages[s];
@@ -43,18 +47,28 @@ Result<std::vector<SearchResult>> RunPlan(
       if (stage.keep > 0 && current.size() > static_cast<size_t>(stage.keep)) {
         current.resize(stage.keep);
       }
+      if (registry->enabled()) {
+        registry->AddCounter("multistep.queries");
+        registry->AddCounter("multistep.step1_retrieved", current.size());
+      }
     } else {
       // Later stages: filter the previous results with another feature
       // vector (re-rank and truncate).
       std::vector<int> ids;
       ids.reserve(current.size());
       for (const SearchResult& r : current) ids.push_back(r.id);
+      if (registry->enabled()) {
+        registry->AddCounter("multistep.reranked", ids.size());
+      }
       DESS_ASSIGN_OR_RETURN(current,
                             engine.Rerank(ids, feature, stage.kind));
       if (stage.keep > 0 && current.size() > static_cast<size_t>(stage.keep)) {
         current.resize(stage.keep);
       }
     }
+  }
+  if (registry->enabled()) {
+    registry->AddCounter("multistep.final_results", current.size());
   }
   return current;
 }

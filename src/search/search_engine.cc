@@ -4,6 +4,7 @@
 #include <filesystem>
 
 #include "src/common/logging.h"
+#include "src/common/metrics.h"
 #include "src/common/strings.h"
 #include "src/index/disk_rtree.h"
 #include "src/index/linear_scan.h"
@@ -178,6 +179,15 @@ std::vector<SearchResult> ToResults(const std::vector<Neighbor>& neighbors,
   return out;
 }
 
+/// Engine-level query accounting, shared by the top-k and threshold paths.
+void RecordEngineQuery(size_t results_returned, const QueryStats& work) {
+  MetricsRegistry* registry = MetricsRegistry::Global();
+  if (!registry->enabled()) return;
+  registry->AddCounter("search.queries");
+  registry->AddCounter("search.results_returned", results_returned);
+  registry->AddCounter("search.distance_evals", work.points_compared);
+}
+
 }  // namespace
 
 Result<std::vector<SearchResult>> SearchEngine::QueryTopK(
@@ -187,9 +197,14 @@ Result<std::vector<SearchResult>> SearchEngine::QueryTopK(
   if (static_cast<int>(raw_feature.size()) != FeatureDim(kind)) {
     return Status::InvalidArgument("query feature dimension mismatch");
   }
+  DESS_TIMED_SCOPE("search.query_topk");
   const std::vector<double> q = spaces_[ki].Standardize(raw_feature);
-  return ToResults(indexes_[ki]->KNearest(q, k, spaces_[ki].weights, stats),
-                   spaces_[ki]);
+  QueryStats work;
+  std::vector<SearchResult> results = ToResults(
+      indexes_[ki]->KNearest(q, k, spaces_[ki].weights, &work), spaces_[ki]);
+  if (stats != nullptr) stats->MergeFrom(work);
+  RecordEngineQuery(results.size(), work);
+  return results;
 }
 
 Result<std::vector<SearchResult>> SearchEngine::QueryThreshold(
@@ -203,11 +218,16 @@ Result<std::vector<SearchResult>> SearchEngine::QueryThreshold(
     return Status::InvalidArgument("similarity threshold must be in [0, 1]");
   }
   // s >= s_min  <=>  d <= (1 - s_min) * dmax: a ball (range) query.
+  DESS_TIMED_SCOPE("search.query_threshold");
   const double radius = (1.0 - min_similarity) * spaces_[ki].dmax;
   const std::vector<double> q = spaces_[ki].Standardize(raw_feature);
-  return ToResults(
-      indexes_[ki]->RangeQuery(q, radius, spaces_[ki].weights, stats),
+  QueryStats work;
+  std::vector<SearchResult> results = ToResults(
+      indexes_[ki]->RangeQuery(q, radius, spaces_[ki].weights, &work),
       spaces_[ki]);
+  if (stats != nullptr) stats->MergeFrom(work);
+  RecordEngineQuery(results.size(), work);
+  return results;
 }
 
 Result<std::vector<SearchResult>> SearchEngine::QueryByIdTopK(
@@ -252,6 +272,7 @@ Result<std::vector<SearchResult>> SearchEngine::Rerank(
   if (static_cast<int>(raw_feature.size()) != FeatureDim(kind)) {
     return Status::InvalidArgument("rerank feature dimension mismatch");
   }
+  DESS_TIMED_SCOPE("search.rerank");
   const SimilaritySpace& space = spaces_[ki];
   const std::vector<double> q = space.Standardize(raw_feature);
   std::vector<SearchResult> out;
@@ -262,6 +283,11 @@ Result<std::vector<SearchResult>> SearchEngine::Rerank(
     out.push_back({id, d, space.Similarity(d)});
   }
   std::sort(out.begin(), out.end());
+  MetricsRegistry* registry = MetricsRegistry::Global();
+  if (registry->enabled()) {
+    registry->AddCounter("search.rerank_candidates", candidate_ids.size());
+    registry->AddCounter("search.distance_evals", candidate_ids.size());
+  }
   return out;
 }
 

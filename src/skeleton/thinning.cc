@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <vector>
 
+#include "src/common/metrics.h"
 #include "src/common/thread_pool.h"
 
 namespace dess {
@@ -175,6 +176,7 @@ bool IsSimplePoint(const VoxelGrid& grid, int i, int j, int k) {
 
 VoxelGrid ThinToSkeleton(const VoxelGrid& solid,
                          const ThinningOptions& options) {
+  DESS_TIMED_SCOPE("stage.thin");
   VoxelGrid grid = solid;
   const int nz = grid.nz();
   // Direction vectors for the six subiterations: Up, Down, North, South,

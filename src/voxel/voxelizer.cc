@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "src/common/metrics.h"
 #include "src/common/thread_pool.h"
 
 namespace dess {
@@ -267,6 +268,7 @@ void ForEachSlab(ThreadPool* pool, int nz,
 }  // namespace
 
 void FillInterior(VoxelGrid* grid) {
+  DESS_TIMED_SCOPE("stage.fill");
   const int nx = grid->nx(), ny = grid->ny(), nz = grid->nz();
   const size_t sy = static_cast<size_t>(nx);
   const size_t sz = static_cast<size_t>(nx) * ny;
@@ -350,42 +352,48 @@ Result<VoxelGrid> VoxelizeMesh(const TriMesh& mesh,
   const double half_eps = g.cell * (0.5 + 1e-9);
   const Vec3 half(half_eps, half_eps, half_eps);
 
-  const size_t num_tris = mesh.NumTriangles();
-  const int slabs =
-      options.pool != nullptr
-          ? std::max(1, std::min(options.pool->num_threads(), g.nz))
-          : 1;
-  if (slabs <= 1) {
-    for (size_t t = 0; t < num_tris; ++t) {
-      VoxelizeTriangleInSlab(mesh, t, half, 0, g.nz, &grid);
-    }
-  } else {
-    // Bin triangles into the (overlapping) slab buckets their candidate
-    // k-range touches, so each worker scans only relevant triangles. The
-    // SAT invariants are recomputed per worker on the stack: triangles
-    // rarely span a slab seam, and a materialized precompute array costs
-    // more memory traffic than the recompute.
-    std::vector<std::vector<size_t>> buckets(slabs);
-    for (size_t t = 0; t < num_tris; ++t) {
-      Vec3 a, b, c;
-      mesh.TriangleVertices(t, &a, &b, &c);
-      Aabb tb;
-      tb.Expand(a);
-      tb.Expand(b);
-      tb.Expand(c);
-      const CandidateRange cr = ComputeCandidateRange(tb, grid);
-      if (cr.Empty()) continue;
-      for (int s = 0; s < slabs; ++s) {
-        const int ks = s * g.nz / slabs;
-        const int ke = (s + 1) * g.nz / slabs;
-        if (cr.k0 < ke && cr.k1 >= ks) buckets[s].push_back(t);
+  {
+    // Surface marking is timed separately from the interior fill: the two
+    // stages scale differently (triangle count vs. grid volume) and the
+    // stage breakdown should show which one dominates.
+    DESS_TIMED_SCOPE("stage.voxelize");
+    const size_t num_tris = mesh.NumTriangles();
+    const int slabs =
+        options.pool != nullptr
+            ? std::max(1, std::min(options.pool->num_threads(), g.nz))
+            : 1;
+    if (slabs <= 1) {
+      for (size_t t = 0; t < num_tris; ++t) {
+        VoxelizeTriangleInSlab(mesh, t, half, 0, g.nz, &grid);
       }
-    }
-    ForEachSlab(options.pool, g.nz, [&](int ks, int ke, int s) {
-      for (const size_t t : buckets[s]) {
-        VoxelizeTriangleInSlab(mesh, t, half, ks, ke, &grid);
+    } else {
+      // Bin triangles into the (overlapping) slab buckets their candidate
+      // k-range touches, so each worker scans only relevant triangles. The
+      // SAT invariants are recomputed per worker on the stack: triangles
+      // rarely span a slab seam, and a materialized precompute array costs
+      // more memory traffic than the recompute.
+      std::vector<std::vector<size_t>> buckets(slabs);
+      for (size_t t = 0; t < num_tris; ++t) {
+        Vec3 a, b, c;
+        mesh.TriangleVertices(t, &a, &b, &c);
+        Aabb tb;
+        tb.Expand(a);
+        tb.Expand(b);
+        tb.Expand(c);
+        const CandidateRange cr = ComputeCandidateRange(tb, grid);
+        if (cr.Empty()) continue;
+        for (int s = 0; s < slabs; ++s) {
+          const int ks = s * g.nz / slabs;
+          const int ke = (s + 1) * g.nz / slabs;
+          if (cr.k0 < ke && cr.k1 >= ks) buckets[s].push_back(t);
+        }
       }
-    });
+      ForEachSlab(options.pool, g.nz, [&](int ks, int ke, int s) {
+        for (const size_t t : buckets[s]) {
+          VoxelizeTriangleInSlab(mesh, t, half, ks, ke, &grid);
+        }
+      });
+    }
   }
   if (options.fill_interior) FillInterior(&grid);
   return grid;

@@ -1,5 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
 #include "src/common/logging.h"
 
 namespace dess {
@@ -40,6 +45,54 @@ TEST_F(LoggingTest, EnabledMessagesStreamAllTypes) {
   EXPECT_NE(out.find("logging_test.cc"), std::string::npos);
 }
 
+TEST_F(LoggingTest, PrefixCarriesTimestampThreadIdAndLocation) {
+  SetLogLevel(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  DESS_LOG(Info) << "probe";
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  // "[YYYY-MM-DDTHH:MM:SS.mmmZ LEVEL tid=... file:line] message"
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out[0], '[');
+  EXPECT_EQ(out[5], '-');
+  EXPECT_EQ(out[11], 'T');
+  EXPECT_NE(out.find("Z INFO tid="), std::string::npos);
+  EXPECT_NE(out.find("logging_test.cc:"), std::string::npos);
+  EXPECT_NE(out.find("] probe"), std::string::npos);
+  EXPECT_EQ(out.back(), '\n');
+}
+
+TEST_F(LoggingTest, ConcurrentMessagesDoNotInterleave) {
+  SetLogLevel(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        DESS_LOG(Info) << "BEGIN" << t << "-payload-" << t << "END";
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  // Every line is a complete message: prefix, matched BEGIN/END markers from
+  // the same thread, nothing spliced mid-line.
+  std::istringstream lines(out);
+  std::string line;
+  int count = 0;
+  while (std::getline(lines, line)) {
+    ASSERT_EQ(line.find("BEGIN"), line.rfind("BEGIN")) << line;
+    const size_t begin = line.find("BEGIN");
+    const size_t end = line.find("END");
+    ASSERT_NE(begin, std::string::npos) << line;
+    ASSERT_NE(end, std::string::npos) << line;
+    EXPECT_EQ(line[begin + 5], line[end - 1]) << line;  // same thread tag
+    ++count;
+  }
+  EXPECT_EQ(count, kThreads * kPerThread);
+}
+
 TEST_F(LoggingTest, LevelFiltering) {
   SetLogLevel(LogLevel::kWarning);
   ::testing::internal::CaptureStderr();
@@ -57,6 +110,36 @@ TEST(CheckTest, PassingCheckIsSilent) {
 
 TEST(CheckDeathTest, FailingCheckAborts) {
   EXPECT_DEATH({ DESS_CHECK(false); }, "Check failed");
+}
+
+TEST(CheckDeathTest, FailureMessageNamesFileLineAndExpression) {
+  EXPECT_DEATH({ DESS_CHECK(2 + 2 == 5); },
+               "Check failed at logging_test\\.cc:[0-9]+: 2 \\+ 2 == 5");
+}
+
+TEST(CheckDeathTest, StreamedContextIsAppended) {
+  EXPECT_DEATH({ DESS_CHECK(false) << "ctx=" << 7; }, "ctx=7");
+}
+
+TEST(CheckOkTest, OkStatusAndResultPass) {
+  DESS_CHECK_OK(Status::OK());
+  Result<int> ok_result(3);
+  DESS_CHECK_OK(ok_result);
+  SUCCEED();
+}
+
+TEST(CheckOkDeathTest, ErrorStatusAbortsWithMessage) {
+  EXPECT_DEATH({ DESS_CHECK_OK(Status::InvalidArgument("bad knob")); },
+               "Check failed at logging_test\\.cc:[0-9]+:.*bad knob");
+}
+
+TEST(CheckOkDeathTest, ErrorResultAbortsWithMessage) {
+  EXPECT_DEATH(
+      {
+        Result<int> failed(Status::NotFound("missing shape"));
+        DESS_CHECK_OK(failed);
+      },
+      "missing shape");
 }
 
 }  // namespace

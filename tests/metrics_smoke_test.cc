@@ -1,0 +1,294 @@
+// End-to-end observability smoke test: ingest a small dataset, commit, run
+// one top-k query and one two-step query, then check that the global metrics
+// registry reports every instrumented stage with internally consistent
+// counts and that DumpJson() emits well-formed JSON.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+
+#include "src/common/metrics.h"
+#include "src/core/system.h"
+#include "src/modelgen/marching_cubes.h"
+#include "src/modelgen/part_families.h"
+
+namespace dess {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal recursive-descent JSON validator (the repo has no JSON parser; this
+// checks well-formedness, which is what "DumpJson() parses" requires).
+
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& text) : text_(text) {}
+
+  bool Validate() {
+    SkipSpace();
+    if (!Value()) return false;
+    SkipSpace();
+    return pos_ == text_.size();  // no trailing garbage
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool Literal(const char* word) {
+    const size_t len = std::string(word).size();
+    if (text_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  bool String() {
+    if (!Consume('"')) return false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_++];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (pos_ >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+              return false;
+            }
+            ++pos_;
+          }
+        } else if (std::string("\"\\/bfnrt").find(esc) == std::string::npos) {
+          return false;
+        }
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool Number() {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Object() {
+    if (!Consume('{')) return false;
+    SkipSpace();
+    if (Consume('}')) return true;
+    while (true) {
+      SkipSpace();
+      if (!String()) return false;
+      SkipSpace();
+      if (!Consume(':')) return false;
+      SkipSpace();
+      if (!Value()) return false;
+      SkipSpace();
+      if (Consume('}')) return true;
+      if (!Consume(',')) return false;
+    }
+  }
+
+  bool Array() {
+    if (!Consume('[')) return false;
+    SkipSpace();
+    if (Consume(']')) return true;
+    while (true) {
+      SkipSpace();
+      if (!Value()) return false;
+      SkipSpace();
+      if (Consume(']')) return true;
+      if (!Consume(',')) return false;
+    }
+  }
+
+  bool Value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Snapshot lookup helpers.
+
+uint64_t CounterValue(const MetricsSnapshot& snap, const std::string& name) {
+  for (const CounterSample& c : snap.counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+bool HasHistogram(const MetricsSnapshot& snap, const std::string& name) {
+  for (const HistogramSample& h : snap.histograms) {
+    if (h.name == name && h.count > 0) return true;
+  }
+  return false;
+}
+
+SystemOptions FastSystemOptions() {
+  SystemOptions opt;
+  opt.extraction.voxelization.resolution = 20;
+  opt.hierarchy.max_leaf_size = 4;
+  return opt;
+}
+
+Result<TriMesh> QuickMesh(uint64_t seed, int family = 0) {
+  Rng rng(seed);
+  return MeshSolid(*StandardPartFamilies()[family].build(&rng),
+                   {.resolution = 28});
+}
+
+TEST(MetricsSmokeTest, EndToEndPipelineAndQueryPathCounters) {
+  MetricsRegistry* registry = MetricsRegistry::Global();
+  registry->Reset();
+
+  constexpr int kNumShapes = 4;
+  Dess3System system(FastSystemOptions());
+  for (uint64_t s = 1; s <= kNumShapes; ++s) {
+    auto mesh = QuickMesh(s, static_cast<int>(s % 2));
+    ASSERT_TRUE(mesh.ok());
+    ASSERT_TRUE(system
+                    .IngestMesh(*mesh, "m" + std::to_string(s),
+                                static_cast<int>(s % 2))
+                    .ok());
+  }
+  ASSERT_TRUE(system.Commit().ok());
+
+  auto probe = QuickMesh(77, 0);
+  ASSERT_TRUE(probe.ok());
+  auto topk = system.QueryByMesh(*probe, FeatureKind::kPrincipalMoments, 2);
+  ASSERT_TRUE(topk.ok()) << topk.status().ToString();
+  ASSERT_EQ(topk->size(), 2u);
+  auto multistep =
+      system.MultiStepByMesh(*probe, MultiStepPlan::Standard(3, 2));
+  ASSERT_TRUE(multistep.ok()) << multistep.status().ToString();
+  ASSERT_EQ(multistep->size(), 2u);
+
+  const MetricsSnapshot snap = registry->Snapshot();
+
+  // Every instrumented pipeline stage and query span must be present.
+  const char* kExpectedStages[] = {
+      "pipeline.extract",
+      "stage.normalize",
+      "stage.voxelize",
+      "stage.fill",
+      "stage.thin",
+      "stage.graph",
+      "stage.moments",
+      "stage.feature.moment_invariants",
+      "stage.feature.geometric_params",
+      "stage.feature.principal_moments",
+      "stage.feature.spectral",
+      "search.query_topk",
+      "search.rerank",
+      "search.multistep",
+      "system.ingest_shape",
+      "system.commit",
+      "system.query_by_mesh",
+      "system.multistep_by_mesh",
+  };
+  for (const char* stage : kExpectedStages) {
+    EXPECT_TRUE(HasHistogram(snap, stage)) << "missing stage span: " << stage;
+  }
+
+  // Ingest/commit aggregates: 4 ingests, 1 commit, 2 query-side extractions.
+  EXPECT_EQ(CounterValue(snap, "system.shapes_ingested"), kNumShapes);
+  EXPECT_EQ(CounterValue(snap, "system.commits"), 1u);
+  EXPECT_EQ(CounterValue(snap, "pipeline.extractions"),
+            static_cast<uint64_t>(kNumShapes + 2));
+  EXPECT_EQ(CounterValue(snap, "system.queries_by_mesh"), 1u);
+  EXPECT_EQ(CounterValue(snap, "system.multistep_queries_by_mesh"), 1u);
+
+  // Query-path consistency: step-2 re-ranked <= step-1 retrieved <= db size.
+  const uint64_t step1 = CounterValue(snap, "multistep.step1_retrieved");
+  const uint64_t reranked = CounterValue(snap, "multistep.reranked");
+  const uint64_t final_k = CounterValue(snap, "multistep.final_results");
+  EXPECT_EQ(CounterValue(snap, "multistep.queries"), 1u);
+  EXPECT_GT(step1, 0u);
+  EXPECT_GT(reranked, 0u);
+  EXPECT_LE(reranked, step1);
+  EXPECT_LE(step1, static_cast<uint64_t>(system.db().NumShapes()));
+  EXPECT_EQ(final_k, multistep->size());
+
+  // The search engine answered at least the two explicit queries and
+  // evaluated distances against index candidates.
+  EXPECT_GE(CounterValue(snap, "search.queries"), 2u);
+  EXPECT_GT(CounterValue(snap, "search.distance_evals"), 0u);
+  EXPECT_GE(CounterValue(snap, "search.rerank_candidates"), reranked);
+
+  // Some index backend did real work: the R-tree path reports traversal
+  // counters, the linear-scan fallback reports comparisons.
+  const uint64_t rtree_queries = CounterValue(snap, "index.rtree.queries");
+  const uint64_t scan_queries = CounterValue(snap, "index.linear_scan.queries");
+  EXPECT_GT(rtree_queries + scan_queries, 0u);
+  if (rtree_queries > 0) {
+    EXPECT_GT(CounterValue(snap, "index.rtree.nodes_visited"), 0u);
+    EXPECT_GT(CounterValue(snap, "index.rtree.leaves_scanned"), 0u);
+    EXPECT_GT(CounterValue(snap, "index.rtree.candidates_returned"), 0u);
+  }
+  if (scan_queries > 0) {
+    EXPECT_GT(CounterValue(snap, "index.linear_scan.points_compared"), 0u);
+  }
+
+  // DumpJson() parses and names every stage; DumpText() is human-readable.
+  const std::string json = snap.DumpJson();
+  EXPECT_TRUE(JsonValidator(json).Validate()) << json;
+  for (const char* stage : kExpectedStages) {
+    EXPECT_NE(json.find("\"" + std::string(stage) + "\""), std::string::npos)
+        << "stage missing from JSON: " << stage;
+  }
+  const std::string text = snap.DumpText();
+  EXPECT_NE(text.find("system.shapes_ingested"), std::string::npos);
+  EXPECT_NE(text.find("pipeline.extract"), std::string::npos);
+
+  registry->Reset();
+}
+
+TEST(MetricsSmokeTest, JsonValidatorRejectsMalformedInput) {
+  // Guard the guard: the inline validator must actually detect breakage.
+  const std::string good = R"({"a":[1,2.5e-3],"b":{}})";
+  EXPECT_TRUE(JsonValidator(good).Validate());
+  const std::string bad1 = R"({"a":1)";
+  const std::string bad2 = R"({"a":1}x)";
+  const std::string bad3 = R"({"a":})";
+  EXPECT_FALSE(JsonValidator(bad1).Validate());
+  EXPECT_FALSE(JsonValidator(bad2).Validate());
+  EXPECT_FALSE(JsonValidator(bad3).Validate());
+}
+
+}  // namespace
+}  // namespace dess

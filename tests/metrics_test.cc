@@ -1,0 +1,207 @@
+#include "src/common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace dess {
+namespace {
+
+TEST(MetricsTest, CounterAccumulatesAndDefaultsToOne) {
+  MetricsRegistry registry;
+  registry.AddCounter("a");
+  registry.AddCounter("a", 4);
+  registry.AddCounter("b", 0);
+  const MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].name, "a");
+  EXPECT_EQ(snap.counters[0].value, 5u);
+  EXPECT_EQ(snap.counters[1].name, "b");
+  EXPECT_EQ(snap.counters[1].value, 0u);
+}
+
+TEST(MetricsTest, GaugeLastWriteWins) {
+  MetricsRegistry registry;
+  registry.SetGauge("g", 1.5);
+  registry.SetGauge("g", -2.25);
+  const MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.gauges[0].value, -2.25);
+}
+
+TEST(MetricsTest, HistogramRecordsCountSumMinMax) {
+  MetricsRegistry registry;
+  registry.RecordLatency("h", 1e-3);
+  registry.RecordLatency("h", 3e-3);
+  registry.RecordLatency("h", 2e-3);
+  const MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const HistogramSample& h = snap.histograms[0];
+  EXPECT_EQ(h.count, 3u);
+  EXPECT_NEAR(h.sum_seconds, 6e-3, 1e-9);
+  EXPECT_NEAR(h.min_seconds, 1e-3, 1e-9);
+  EXPECT_NEAR(h.max_seconds, 3e-3, 1e-9);
+  EXPECT_NEAR(h.MeanSeconds(), 2e-3, 1e-9);
+  EXPECT_EQ(h.buckets.size(), LatencyBucketBounds().size() + 1);
+  uint64_t total = 0;
+  for (uint64_t b : h.buckets) total += b;
+  EXPECT_EQ(total, h.count);
+}
+
+TEST(MetricsTest, HistogramBucketPlacementAndQuantiles) {
+  MetricsRegistry registry;
+  // 9 samples at ~2ms, one at ~400ms: p50 lands in the 2.5ms bucket,
+  // p95+ in a much higher one, and the sample above 10s overflows.
+  for (int i = 0; i < 9; ++i) registry.RecordLatency("h", 2e-3);
+  registry.RecordLatency("h", 0.4);
+  registry.RecordLatency("over", 25.0);
+  const MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.histograms.size(), 2u);
+  // Sorted: "h" then "over".
+  const HistogramSample& h = snap.histograms[0];
+  ASSERT_EQ(h.name, "h");
+  EXPECT_DOUBLE_EQ(h.QuantileSeconds(0.5), 2.5e-3);
+  EXPECT_GE(h.QuantileSeconds(0.99), 0.25);
+  const HistogramSample& over = snap.histograms[1];
+  ASSERT_EQ(over.name, "over");
+  EXPECT_EQ(over.buckets.back(), 1u);  // overflow bucket
+  // Quantiles of the overflow bucket are clamped to the observed max.
+  EXPECT_NEAR(over.QuantileSeconds(0.5), 25.0, 1e-6);
+}
+
+TEST(MetricsTest, ConcurrentCounterAndHistogramUpdatesSumExactly) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 20000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&registry, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        registry.AddCounter("shared.counter");
+        registry.AddCounter("per_thread." + std::to_string(t % 2), 2);
+        registry.RecordLatency("shared.hist", 1e-4);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  const MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters[0].name, "per_thread.0");
+  EXPECT_EQ(snap.counters[0].value,
+            static_cast<uint64_t>(kThreads / 2 * kOpsPerThread * 2));
+  EXPECT_EQ(snap.counters[1].name, "per_thread.1");
+  EXPECT_EQ(snap.counters[1].value,
+            static_cast<uint64_t>(kThreads / 2 * kOpsPerThread * 2));
+  EXPECT_EQ(snap.counters[2].name, "shared.counter");
+  EXPECT_EQ(snap.counters[2].value,
+            static_cast<uint64_t>(kThreads * kOpsPerThread));
+
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const HistogramSample& h = snap.histograms[0];
+  EXPECT_EQ(h.count, static_cast<uint64_t>(kThreads * kOpsPerThread));
+  uint64_t total = 0;
+  for (uint64_t b : h.buckets) total += b;
+  EXPECT_EQ(total, h.count);
+  EXPECT_NEAR(h.sum_seconds, kThreads * kOpsPerThread * 1e-4, 1e-3);
+}
+
+TEST(MetricsTest, SnapshotOrderingIsDeterministic) {
+  MetricsRegistry registry;
+  // Register in scrambled order; snapshots must come back sorted and two
+  // snapshots of the same state must serialize byte-identically.
+  for (const char* name : {"zeta", "alpha", "mid", "beta"}) {
+    registry.AddCounter(name, 7);
+    registry.SetGauge(std::string(name) + ".g", 1.0);
+    registry.RecordLatency(std::string(name) + ".h", 1e-3);
+  }
+  const MetricsSnapshot a = registry.Snapshot();
+  const MetricsSnapshot b = registry.Snapshot();
+  ASSERT_EQ(a.counters.size(), 4u);
+  EXPECT_EQ(a.counters[0].name, "alpha");
+  EXPECT_EQ(a.counters[1].name, "beta");
+  EXPECT_EQ(a.counters[2].name, "mid");
+  EXPECT_EQ(a.counters[3].name, "zeta");
+  EXPECT_EQ(a.DumpJson(), b.DumpJson());
+  EXPECT_EQ(a.DumpText(), b.DumpText());
+}
+
+TEST(MetricsTest, DisabledRegistryAddsNoObservableState) {
+  MetricsRegistry registry;
+  registry.SetEnabled(false);
+  registry.AddCounter("c", 5);
+  registry.SetGauge("g", 1.0);
+  registry.RecordLatency("h", 1e-3);
+  { TimedScope scope("scoped", &registry); }
+  EXPECT_TRUE(registry.Snapshot().Empty());
+  EXPECT_EQ(registry.Snapshot().DumpText(), "(no metrics recorded)\n");
+
+  // Re-enabling starts recording again from a clean slate.
+  registry.SetEnabled(true);
+  registry.AddCounter("c", 5);
+  const MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].value, 5u);
+}
+
+TEST(MetricsTest, ResetDropsEverything) {
+  MetricsRegistry registry;
+  registry.AddCounter("c");
+  registry.RecordLatency("h", 1e-3);
+  registry.Reset();
+  EXPECT_TRUE(registry.Snapshot().Empty());
+}
+
+TEST(MetricsTest, TimedScopeRecordsElapsedWallTime) {
+  MetricsRegistry registry;
+  {
+    TimedScope scope("work", &registry);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].name, "work");
+  EXPECT_EQ(snap.histograms[0].count, 1u);
+  EXPECT_GE(snap.histograms[0].sum_seconds, 1.5e-3);
+}
+
+TEST(MetricsTest, TimedScopeMacroUsesGlobalRegistry) {
+  MetricsRegistry* global = MetricsRegistry::Global();
+  global->Reset();
+  { DESS_TIMED_SCOPE("macro.scope"); }
+  const MetricsSnapshot snap = global->Snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].name, "macro.scope");
+  EXPECT_EQ(snap.histograms[0].count, 1u);
+  global->Reset();
+}
+
+TEST(MetricsTest, DumpTextListsEveryMetric) {
+  MetricsRegistry registry;
+  registry.AddCounter("my.counter", 42);
+  registry.SetGauge("my.gauge", 2.5);
+  registry.RecordLatency("my.hist", 1e-3);
+  const std::string text = registry.Snapshot().DumpText();
+  EXPECT_NE(text.find("my.counter"), std::string::npos);
+  EXPECT_NE(text.find("42"), std::string::npos);
+  EXPECT_NE(text.find("my.gauge"), std::string::npos);
+  EXPECT_NE(text.find("my.hist"), std::string::npos);
+}
+
+TEST(MetricsTest, DumpJsonHasAllSectionsAndEscapes) {
+  MetricsRegistry registry;
+  registry.AddCounter("plain", 1);
+  registry.AddCounter("quote\"name", 2);
+  const std::string json = registry.Snapshot().DumpJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"plain\":1"), std::string::npos);
+  EXPECT_NE(json.find("quote\\\"name"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dess
