@@ -14,11 +14,7 @@
 int main() {
   using namespace dess;
   const Dess3System& system = bench::StandardSystem();
-  auto engine = system.engine();
-  if (!engine.ok()) {
-    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
-    return 1;
-  }
+  const SystemSnapshot& snapshot = bench::StandardSnapshot();
 
   bench::PrintHeader(
       "Ablation -- clustering algorithms vs 26-group ground truth");
@@ -32,7 +28,7 @@ int main() {
               "algorithm", "purity", "rand", "ari", "ms");
   for (FeatureKind kind : AllFeatureKinds()) {
     std::vector<std::vector<double>> points;
-    const SimilaritySpace& space = (*engine)->Space(kind);
+    const SimilaritySpace& space = snapshot.engine().Space(kind);
     for (const ShapeRecord& rec : system.db().records()) {
       points.push_back(space.Standardize(rec.signature.Get(kind).values));
     }

@@ -79,6 +79,19 @@ const Dess3System& StandardSystem(const std::string& cache_path) {
   return **holder;
 }
 
+const SystemSnapshot& StandardSnapshot(const std::string& cache_path) {
+  static const std::shared_ptr<const SystemSnapshot>* holder = [&] {
+    auto snapshot = StandardSystem(cache_path).CurrentSnapshot();
+    if (!snapshot.ok()) {
+      std::fprintf(stderr, "snapshot unavailable: %s\n",
+                   snapshot.status().ToString().c_str());
+      std::abort();
+    }
+    return new std::shared_ptr<const SystemSnapshot>(std::move(*snapshot));
+  }();
+  return **holder;
+}
+
 void PrintHeader(const std::string& title) {
   std::printf("\n");
   for (int i = 0; i < 78; ++i) std::printf("=");

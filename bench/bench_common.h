@@ -24,6 +24,11 @@ struct StandardConfig {
 const Dess3System& StandardSystem(
     const std::string& cache_path = "dess113_cache.bin");
 
+/// The published snapshot of StandardSystem(): the engine + hierarchies
+/// every read-only experiment binary queries against.
+const SystemSnapshot& StandardSnapshot(
+    const std::string& cache_path = "dess113_cache.bin");
+
 /// Prints a horizontal rule + centered title, used by the figure benches.
 void PrintHeader(const std::string& title);
 

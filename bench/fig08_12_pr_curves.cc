@@ -16,16 +16,13 @@
 int main(int argc, char** argv) {
   using namespace dess;
   const Dess3System& system = bench::StandardSystem();
-  auto engine = system.engine();
-  if (!engine.ok()) {
-    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
-    return 1;
-  }
+  const SystemSnapshot& snapshot = bench::StandardSnapshot();
 
   const std::vector<int> queries =
       PickRepresentativeQueries(system.db(), 5);
   auto bundles =
-      RunPrCurveExperimentGrid(**engine, queries, DefaultThresholdGrid());
+      RunPrCurveExperimentGrid(snapshot.engine(), queries,
+                               DefaultThresholdGrid());
   if (!bundles.ok()) {
     std::fprintf(stderr, "%s\n", bundles.status().ToString().c_str());
     return 1;
@@ -77,7 +74,7 @@ int main(int argc, char** argv) {
   std::printf("%-11s %-11s %-10s %-10s\n", "threshold", "retrieved",
               "precision", "recall");
   for (double threshold : {0.85, 0.90, 0.93, 0.95, 0.97, 0.99}) {
-    auto results = (*engine)->QueryByIdThreshold(
+    auto results = snapshot.engine().QueryByIdThreshold(
         q, FeatureKind::kMomentInvariants, threshold);
     if (!results.ok()) continue;
     std::vector<int> ids;

@@ -56,12 +56,7 @@ dess::EffectivenessRow CombinedRow(const dess::SearchEngine& engine) {
 int main(int argc, char** argv) {
   using namespace dess;
   const Dess3System& system = bench::StandardSystem();
-  auto engine = system.engine();
-  if (!engine.ok()) {
-    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
-    return 1;
-  }
-  auto rows = RunAverageEffectiveness(**engine);
+  auto rows = RunAverageEffectiveness(bench::StandardSnapshot().engine());
   if (!rows.ok()) {
     std::fprintf(stderr, "%s\n", rows.status().ToString().c_str());
     return 1;
@@ -70,7 +65,8 @@ int main(int argc, char** argv) {
   // Insert the combined-feature baseline before the multi-step row, the
   // ordering the paper's Section 4.2 discussion uses ("individual or
   // combined feature vectors" vs multi-step).
-  rows->insert(rows->end() - 1, CombinedRow(**engine));
+  rows->insert(rows->end() - 1,
+               CombinedRow(bench::StandardSnapshot().engine()));
 
   if (argc > 1) {
     const std::string csv =

@@ -11,12 +11,7 @@
 int main() {
   using namespace dess;
   const Dess3System& system = bench::StandardSystem();
-  auto engine = system.engine();
-  if (!engine.ok()) {
-    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
-    return 1;
-  }
-  auto rows = RunAverageEffectiveness(**engine);
+  auto rows = RunAverageEffectiveness(bench::StandardSnapshot().engine());
   if (!rows.ok()) {
     std::fprintf(stderr, "%s\n", rows.status().ToString().c_str());
     return 1;

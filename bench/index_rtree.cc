@@ -191,8 +191,7 @@ BENCHMARK(BM_RTreeInsertSynthetic);
 // counters (this is the paper's "small real database" case).
 void RealDatabaseReport() {
   const Dess3System& system = bench::StandardSystem();
-  auto engine = system.engine();
-  if (!engine.ok()) return;
+  const SystemSnapshot& snapshot = bench::StandardSnapshot();
   bench::PrintHeader(
       "Section 2.3 -- R-tree efficiency on the real 113-shape database");
   std::printf("%-22s %-16s %-22s %-14s\n", "feature space",
@@ -201,7 +200,8 @@ void RealDatabaseReport() {
     QueryStats stats;
     int queries = 0;
     for (const ShapeRecord& rec : system.db().records()) {
-      auto r = (*engine)->QueryByIdTopK(rec.id, kind, 10, true, &stats);
+      auto r =
+          snapshot.engine().QueryByIdTopK(rec.id, kind, 10, true, &stats);
       if (r.ok()) ++queries;
     }
     std::printf("%-22s %-16.1f %-22.1f %-14.1f\n",

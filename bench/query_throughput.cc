@@ -13,14 +13,7 @@ namespace {
 
 using namespace dess;
 
-const SearchEngine& Engine() {
-  static const SearchEngine* engine = [] {
-    auto e = bench::StandardSystem().engine();
-    if (!e.ok()) std::abort();
-    return static_cast<const SearchEngine*>(*e);
-  }();
-  return *engine;
-}
+const SearchEngine& Engine() { return bench::StandardSnapshot().engine(); }
 
 const std::vector<int>& Queries() {
   static const std::vector<int>* q =

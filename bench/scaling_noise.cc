@@ -50,8 +50,12 @@ int main() {
       std::fprintf(stderr, "system build failed\n");
       return 1;
     }
-    auto engine = system.engine();
-    auto rows = RunAverageEffectiveness(**engine);
+    auto snapshot = system.CurrentSnapshot();
+    if (!snapshot.ok()) {
+      std::fprintf(stderr, "%s\n", snapshot.status().ToString().c_str());
+      return 1;
+    }
+    auto rows = RunAverageEffectiveness((*snapshot)->engine());
     if (!rows.ok()) {
       std::fprintf(stderr, "%s\n", rows.status().ToString().c_str());
       return 1;

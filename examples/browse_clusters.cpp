@@ -59,11 +59,15 @@ int main() {
   }
 
   // Flat clustering comparison on principal moments.
-  auto engine = system.engine();
+  auto snapshot = system.CurrentSnapshot();
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "%s\n", snapshot.status().ToString().c_str());
+    return 1;
+  }
   std::vector<std::vector<double>> points;
   std::vector<int> truth;
   const SimilaritySpace& space =
-      (*engine)->Space(FeatureKind::kPrincipalMoments);
+      (*snapshot)->engine().Space(FeatureKind::kPrincipalMoments);
   for (const ShapeRecord& rec : system.db().records()) {
     points.push_back(space.Standardize(
         rec.signature.Get(FeatureKind::kPrincipalMoments).values));

@@ -154,10 +154,11 @@ int CmdQuery(int argc, char** argv) {
     if (!parsed.ok()) return Fail(parsed.status());
     kind = *parsed;
   }
-  auto results = (*system)->QueryByMesh(*mesh, kind, k);
-  if (!results.ok()) return Fail(results.status());
+  auto response =
+      (*system)->QueryByMesh(*mesh, QueryRequest::TopK(kind, k));
+  if (!response.ok()) return Fail(response.status());
   std::printf("top-%zu by %s:\n", k, FeatureKindName(kind).c_str());
-  for (const SearchResult& r : *results) {
+  for (const SearchResult& r : response->results) {
     auto rec = (*system)->db().Get(r.id);
     std::printf("  #%-4d %-28s sim=%.3f\n", r.id,
                 rec.ok() ? (*rec)->name.c_str() : "?", r.similarity);
@@ -176,11 +177,11 @@ int CmdMultiStep(int argc, char** argv) {
   auto mesh = ReadMesh(argv[3]);
   if (!mesh.ok()) return Fail(mesh.status());
   const int k = argc > 4 ? std::atoi(argv[4]) : 10;
-  auto results =
-      (*system)->MultiStepByMesh(*mesh, MultiStepPlan::Standard(30, k));
-  if (!results.ok()) return Fail(results.status());
+  auto response = (*system)->QueryByMesh(
+      *mesh, QueryRequest::MultiStep(MultiStepPlan::Standard(30, k)));
+  if (!response.ok()) return Fail(response.status());
   std::printf("multi-step top-%d (invariants -> geometric re-rank):\n", k);
-  for (const SearchResult& r : *results) {
+  for (const SearchResult& r : response->results) {
     auto rec = (*system)->db().Get(r.id);
     std::printf("  #%-4d %-28s sim=%.3f\n", r.id,
                 rec.ok() ? (*rec)->name.c_str() : "?", r.similarity);
@@ -298,9 +299,9 @@ int CmdEffectiveness(int argc, char** argv) {
   }
   auto system = Dess3System::LoadFrom(argv[2], CliSystemOptions());
   if (!system.ok()) return Fail(system.status());
-  auto engine = (*system)->engine();
-  if (!engine.ok()) return Fail(engine.status());
-  auto rows = RunAverageEffectiveness(**engine);
+  auto snapshot = (*system)->CurrentSnapshot();
+  if (!snapshot.ok()) return Fail(snapshot.status());
+  auto rows = RunAverageEffectiveness((*snapshot)->engine());
   if (!rows.ok()) return Fail(rows.status());
   std::printf("%-34s %-14s %-12s %-12s\n", "method", "recall@|A|",
               "recall@10", "precision@10");

@@ -29,7 +29,11 @@ int main() {
     std::fprintf(stderr, "system build failed\n");
     return 1;
   }
-  auto engine = system.engine();
+  auto snapshot = system.CurrentSnapshot();
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "%s\n", snapshot.status().ToString().c_str());
+    return 1;
+  }
 
   // The paper's configuration: retrieve 30 with moment invariants, re-rank
   // with geometric parameters, present 10.
@@ -44,14 +48,15 @@ int main() {
     const std::set<int> relevant = RelevantSetFor(system.db(), rec.id);
     if (relevant.empty()) continue;
 
-    auto one_shot = (*engine)->QueryByIdTopK(
-        rec.id, FeatureKind::kMomentInvariants, 10);
-    auto multi = MultiStepQueryById(**engine, rec.id, plan);
+    auto one_shot = (*snapshot)->QueryById(
+        rec.id, QueryRequest::TopK(FeatureKind::kMomentInvariants, 10));
+    auto multi =
+        (*snapshot)->QueryById(rec.id, QueryRequest::MultiStep(plan));
     if (!one_shot.ok() || !multi.ok()) continue;
 
     std::vector<int> one_ids, multi_ids;
-    for (const SearchResult& r : *one_shot) one_ids.push_back(r.id);
-    for (const SearchResult& r : *multi) multi_ids.push_back(r.id);
+    for (const SearchResult& r : one_shot->results) one_ids.push_back(r.id);
+    for (const SearchResult& r : multi->results) multi_ids.push_back(r.id);
     const PrPoint p1 = ComputePrecisionRecall(one_ids, relevant);
     const PrPoint pm = ComputePrecisionRecall(multi_ids, relevant);
 

@@ -49,8 +49,13 @@ int main(int argc, char** argv) {
               system.db().NumShapes());
 
   // 3. Query by example: pick the first shape of group 0 and search each
-  //    feature space.
-  auto engine = system.engine();
+  //    feature space through the snapshot published by Commit().
+  auto snapshot = system.CurrentSnapshot();
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "snapshot: %s\n",
+                 snapshot.status().ToString().c_str());
+    return 1;
+  }
   const int query_id = 0;
   auto query_rec = system.db().Get(query_id);
   std::printf("query shape: '%s' (group %d)\n", (*query_rec)->name.c_str(),
@@ -58,14 +63,17 @@ int main(int argc, char** argv) {
   const std::set<int> relevant = RelevantSetFor(system.db(), query_id);
 
   for (FeatureKind kind : AllFeatureKinds()) {
-    auto results = (*engine)->QueryByIdTopK(query_id, kind, 5);
-    if (!results.ok()) {
-      std::fprintf(stderr, "query: %s\n", results.status().ToString().c_str());
+    auto response =
+        (*snapshot)->QueryById(query_id, QueryRequest::TopK(kind, 5));
+    if (!response.ok()) {
+      std::fprintf(stderr, "query: %s\n",
+                   response.status().ToString().c_str());
       return 1;
     }
-    std::printf("\ntop-5 by %s:\n", FeatureKindName(kind).c_str());
+    std::printf("\ntop-5 by %s (epoch %llu):\n", FeatureKindName(kind).c_str(),
+                static_cast<unsigned long long>(response->epoch));
     std::vector<int> ids;
-    for (const SearchResult& r : *results) {
+    for (const SearchResult& r : response->results) {
       auto rec = system.db().Get(r.id);
       std::printf("  %-24s sim=%.3f dist=%.3f %s\n", (*rec)->name.c_str(),
                   r.similarity, r.distance,

@@ -30,8 +30,12 @@ int main() {
     std::fprintf(stderr, "system build failed\n");
     return 1;
   }
-  auto engine_or = system.engine();
-  SearchEngine* engine = *engine_or;
+  auto snapshot_or = system.CurrentSnapshot();
+  if (!snapshot_or.ok()) {
+    std::fprintf(stderr, "%s\n", snapshot_or.status().ToString().c_str());
+    return 1;
+  }
+  const SearchEngine& engine = (*snapshot_or)->engine();
 
   const FeatureKind kind = FeatureKind::kPrincipalMoments;
   const int k = 8;
@@ -47,9 +51,9 @@ int main() {
     if (!q.ok()) continue;
     std::vector<double> query = *q;
 
-    // Reset weights for each fresh query session.
-    std::vector<double> ones(FeatureDim(kind), 1.0);
-    (void)engine->SetWeights(kind, ones);
+    // Feedback state is per session now: the shared engine stays
+    // immutable and each query session carries its own weights.
+    std::vector<double> session_weights;
 
     auto round = [&](int round_no,
                      const std::vector<SearchResult>& results) {
@@ -69,14 +73,15 @@ int main() {
       return std::make_pair(fb, recall);
     };
 
-    auto results = engine->QueryTopK(query, kind, k + 1);
+    auto results = engine.QueryTopK(query, kind, k + 1);
     if (!results.ok()) continue;
     auto [fb, r0] = round(0, *results);
 
     // Two feedback rounds.
     double last_recall = r0;
     for (int iter = 0; iter < 2; ++iter) {
-      auto next = FeedbackRound(engine, kind, &query, fb, k + 1);
+      auto next = FeedbackRound(engine, kind, &query, &session_weights, fb,
+                                k + 1);
       if (!next.ok()) break;
       auto [fb2, r] = round(iter + 1, *next);
       fb = fb2;
@@ -85,9 +90,6 @@ int main() {
     recall_round2 += last_recall;
     ++queries;
   }
-  // Restore neutral weights.
-  std::vector<double> ones(FeatureDim(kind), 1.0);
-  (void)engine->SetWeights(kind, ones);
 
   std::printf("simulated relevance feedback on %d queries "
               "(top-%d, %s):\n",

@@ -37,11 +37,10 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  auto engine = system.engine();
-  auto results =
-      (*engine)->QueryByIdTopK(0, FeatureKind::kPrincipalMoments, 3);
-  if (!results.ok()) {
-    std::fprintf(stderr, "%s\n", results.status().ToString().c_str());
+  auto response = system.QueryByShapeId(
+      0, QueryRequest::TopK(FeatureKind::kPrincipalMoments, 3));
+  if (!response.ok()) {
+    std::fprintf(stderr, "%s\n", response.status().ToString().c_str());
     return 1;
   }
 
@@ -52,7 +51,7 @@ int main(int argc, char** argv) {
 
   // Render the query itself plus the retrieved shapes.
   std::vector<int> to_render{0};
-  for (const SearchResult& r : *results) to_render.push_back(r.id);
+  for (const SearchResult& r : response->results) to_render.push_back(r.id);
 
   for (int id : to_render) {
     auto rec = system.db().Get(id);

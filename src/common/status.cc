@@ -22,6 +22,10 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "not implemented";
     case StatusCode::kInternal:
       return "internal";
+    case StatusCode::kFailedPrecondition:
+      return "failed precondition";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline exceeded";
   }
   return "unknown";
 }

@@ -19,6 +19,8 @@ enum class StatusCode {
   kCorruption,
   kNotImplemented,
   kInternal,
+  kFailedPrecondition,
+  kDeadlineExceeded,
 };
 
 /// Returns the canonical lowercase name of a status code ("ok",
@@ -62,6 +64,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// The operation was rejected because the system is not in the state it
+  /// requires (e.g. querying before Commit() has published a snapshot).
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  /// The request's deadline passed before the operation could complete.
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

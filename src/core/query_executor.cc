@@ -1,0 +1,153 @@
+#include "src/core/query_executor.h"
+
+#include <utility>
+
+#include "src/common/metrics.h"
+
+namespace dess {
+namespace {
+
+void SetExecutorGauges(size_t queue_depth, int active_workers) {
+  MetricsRegistry* registry = MetricsRegistry::Global();
+  if (!registry->enabled()) return;
+  registry->SetGauge("executor.queue_depth",
+                     static_cast<double>(queue_depth));
+  registry->SetGauge("executor.active_workers",
+                     static_cast<double>(active_workers));
+}
+
+}  // namespace
+
+QueryExecutor::QueryExecutor(SnapshotProvider provider,
+                             const QueryExecutorOptions& options)
+    : provider_(std::move(provider)), options_(options) {
+  const int n = options_.num_threads > 0 ? options_.num_threads : 1;
+  if (options_.max_queue_depth == 0) options_.max_queue_depth = 1;
+  workers_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+QueryExecutor::~QueryExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  // Workers drain the queue before exiting, so every future resolves.
+  queue_not_empty_.notify_all();
+  queue_not_full_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void QueryExecutor::Enqueue(Task task) {
+  std::unique_lock<std::mutex> lock(mu_);
+  queue_not_full_.wait(lock, [this] {
+    return shutdown_ || queue_.size() < options_.max_queue_depth;
+  });
+  queue_.push_back(std::move(task));
+  SetExecutorGauges(queue_.size(), active_workers_);
+  lock.unlock();
+  queue_not_empty_.notify_one();
+}
+
+void QueryExecutor::WorkerLoop() {
+  while (true) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_not_empty_.wait(lock,
+                            [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown and fully drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_workers_;
+      SetExecutorGauges(queue_.size(), active_workers_);
+    }
+    queue_not_full_.notify_one();
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_workers_;
+      SetExecutorGauges(queue_.size(), active_workers_);
+    }
+  }
+}
+
+size_t QueryExecutor::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+std::future<Result<QueryResponse>> QueryExecutor::SubmitQuery(
+    ShapeSignature query, QueryRequest request) {
+  auto promise = std::make_shared<std::promise<Result<QueryResponse>>>();
+  std::future<Result<QueryResponse>> future = promise->get_future();
+  Enqueue([this, promise, query = std::move(query),
+           request = std::move(request)] {
+    DESS_TIMED_SCOPE("executor.query");
+    MetricsRegistry::Global()->AddCounter("executor.queries");
+    Result<std::shared_ptr<const SystemSnapshot>> snapshot = provider_();
+    if (!snapshot.ok()) {
+      promise->set_value(snapshot.status());
+      return;
+    }
+    promise->set_value(snapshot.value()->Query(query, request));
+  });
+  return future;
+}
+
+std::future<Result<QueryResponse>> QueryExecutor::SubmitQueryById(
+    int query_id, QueryRequest request) {
+  auto promise = std::make_shared<std::promise<Result<QueryResponse>>>();
+  std::future<Result<QueryResponse>> future = promise->get_future();
+  Enqueue([this, promise, query_id,
+           request = std::move(request)] {
+    DESS_TIMED_SCOPE("executor.query");
+    MetricsRegistry::Global()->AddCounter("executor.queries");
+    Result<std::shared_ptr<const SystemSnapshot>> snapshot = provider_();
+    if (!snapshot.ok()) {
+      promise->set_value(snapshot.status());
+      return;
+    }
+    promise->set_value(snapshot.value()->QueryById(query_id, request));
+  });
+  return future;
+}
+
+std::vector<Result<QueryResponse>> QueryExecutor::QueryBatch(
+    const std::vector<std::pair<ShapeSignature, QueryRequest>>& queries) {
+  // One snapshot for the whole batch: the results are internally
+  // consistent and bit-identical to a sequential run against that epoch.
+  Result<std::shared_ptr<const SystemSnapshot>> acquired = provider_();
+  std::vector<Result<QueryResponse>> out;
+  out.reserve(queries.size());
+  if (!acquired.ok()) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      out.emplace_back(acquired.status());
+    }
+    return out;
+  }
+  std::shared_ptr<const SystemSnapshot> snapshot =
+      std::move(acquired).value();
+
+  std::vector<std::future<Result<QueryResponse>>> futures;
+  futures.reserve(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const ShapeSignature* query = &queries[i].first;
+    const QueryRequest* request = &queries[i].second;
+    auto promise = std::make_shared<std::promise<Result<QueryResponse>>>();
+    futures.push_back(promise->get_future());
+    // The batch call blocks on every future below, so the pointers into
+    // `queries` stay valid for the tasks' lifetimes.
+    Enqueue([promise, snapshot, query, request] {
+      DESS_TIMED_SCOPE("executor.query");
+      MetricsRegistry::Global()->AddCounter("executor.queries");
+      promise->set_value(snapshot->Query(*query, *request));
+    });
+  }
+  for (auto& f : futures) out.push_back(f.get());
+  return out;
+}
+
+}  // namespace dess

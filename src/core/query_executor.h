@@ -1,0 +1,98 @@
+#ifndef DESS_CORE_QUERY_EXECUTOR_H_
+#define DESS_CORE_QUERY_EXECUTOR_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/core/snapshot.h"
+#include "src/search/query.h"
+
+namespace dess {
+
+struct QueryExecutorOptions {
+  /// Worker threads executing queries.
+  int num_threads = 2;
+  /// Queue slots; Submit* blocks (backpressure) when the queue is full.
+  size_t max_queue_depth = 64;
+};
+
+/// Bounded thread pool + queue for asynchronous query execution against
+/// published snapshots.
+///
+/// The executor does not hold a snapshot itself: each query acquires one
+/// from the `SnapshotProvider` at execution time, so queued queries always
+/// run against the newest published epoch and a long queue never pins an
+/// old snapshot. Submission applies backpressure (blocks) once
+/// `max_queue_depth` queries are waiting. Destruction drains: already
+/// submitted queries run to completion before the workers join, so every
+/// returned future becomes ready.
+///
+/// Observability: gauges `executor.queue_depth` and
+/// `executor.active_workers` track occupancy; each executed query runs
+/// under an `executor.query` timed span and bumps `executor.queries`.
+class QueryExecutor {
+ public:
+  /// Yields the snapshot a query should run against (typically
+  /// Dess3System::CurrentSnapshot). A non-OK result fails the query with
+  /// that status.
+  using SnapshotProvider =
+      std::function<Result<std::shared_ptr<const SystemSnapshot>>()>;
+
+  explicit QueryExecutor(SnapshotProvider provider,
+                         const QueryExecutorOptions& options = {});
+  ~QueryExecutor();
+
+  QueryExecutor(const QueryExecutor&) = delete;
+  QueryExecutor& operator=(const QueryExecutor&) = delete;
+
+  /// Enqueues one query by external signature; the future resolves with
+  /// the response (or the error) once a worker has executed it.
+  std::future<Result<QueryResponse>> SubmitQuery(ShapeSignature query,
+                                                 QueryRequest request);
+
+  /// Enqueues one query by database shape id.
+  std::future<Result<QueryResponse>> SubmitQueryById(int query_id,
+                                                     QueryRequest request);
+
+  /// Executes a batch of signature queries concurrently and returns the
+  /// responses in submission order (blocking until all complete). Every
+  /// query of one batch runs against the same snapshot, so the batch is
+  /// internally consistent — and bit-identical to running the requests
+  /// sequentially against that snapshot.
+  std::vector<Result<QueryResponse>> QueryBatch(
+      const std::vector<std::pair<ShapeSignature, QueryRequest>>& queries);
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Queries currently waiting in the queue (diagnostic).
+  size_t QueueDepth() const;
+
+ private:
+  using Task = std::function<void()>;
+
+  void WorkerLoop();
+  /// Blocks while the queue is full, then enqueues.
+  void Enqueue(Task task);
+
+  SnapshotProvider provider_;
+  QueryExecutorOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_not_empty_;
+  std::condition_variable queue_not_full_;
+  std::deque<Task> queue_;
+  bool shutdown_ = false;
+  int active_workers_ = 0;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace dess
+
+#endif  // DESS_CORE_QUERY_EXECUTOR_H_

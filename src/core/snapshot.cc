@@ -1,0 +1,51 @@
+#include "src/core/snapshot.h"
+
+#include <utility>
+
+#include "src/common/metrics.h"
+
+namespace dess {
+
+Result<std::shared_ptr<const SystemSnapshot>> SystemSnapshot::Build(
+    std::shared_ptr<const ShapeDatabase> db, uint64_t epoch,
+    const SearchEngineOptions& search_options,
+    const HierarchyOptions& hierarchy_options) {
+  if (db == nullptr || db->IsEmpty()) {
+    return Status::InvalidArgument("snapshot: empty database view");
+  }
+  DESS_TIMED_SCOPE("snapshot.build");
+  std::shared_ptr<SystemSnapshot> snapshot(new SystemSnapshot());
+  snapshot->epoch_ = epoch;
+  snapshot->db_ = db;
+  DESS_ASSIGN_OR_RETURN(snapshot->engine_,
+                        SearchEngine::Build(std::move(db), search_options));
+  for (FeatureKind kind : AllFeatureKinds()) {
+    std::vector<std::vector<double>> points;
+    points.reserve(snapshot->db_->NumShapes());
+    const SimilaritySpace& space = snapshot->engine_->Space(kind);
+    for (const ShapeRecord& rec : snapshot->db_->records()) {
+      points.push_back(space.Standardize(rec.signature.Get(kind).values));
+    }
+    DESS_ASSIGN_OR_RETURN(snapshot->hierarchies_[static_cast<int>(kind)],
+                          BuildHierarchy(points, hierarchy_options));
+  }
+  return std::shared_ptr<const SystemSnapshot>(std::move(snapshot));
+}
+
+Result<QueryResponse> SystemSnapshot::Query(const ShapeSignature& query,
+                                            const QueryRequest& request) const {
+  DESS_ASSIGN_OR_RETURN(QueryResponse response,
+                        engine_->Query(query, request));
+  response.epoch = epoch_;
+  return response;
+}
+
+Result<QueryResponse> SystemSnapshot::QueryById(
+    int query_id, const QueryRequest& request) const {
+  DESS_ASSIGN_OR_RETURN(QueryResponse response,
+                        engine_->QueryById(query_id, request));
+  response.epoch = epoch_;
+  return response;
+}
+
+}  // namespace dess

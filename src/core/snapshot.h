@@ -1,0 +1,74 @@
+#ifndef DESS_CORE_SNAPSHOT_H_
+#define DESS_CORE_SNAPSHOT_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+
+#include "src/cluster/hierarchy.h"
+#include "src/db/shape_database.h"
+#include "src/search/query.h"
+#include "src/search/search_engine.h"
+
+namespace dess {
+
+/// An immutable, self-contained view of one committed system state: a
+/// frozen record-store view, the search engine (similarity spaces +
+/// indexes) built over it, and the per-feature browsing hierarchies.
+///
+/// Snapshots are the unit of concurrency in the serving layer:
+///  - Commit() builds the next snapshot off to the side while the current
+///    one keeps serving, then publishes it with one shared_ptr swap.
+///  - Query threads acquire a snapshot once and execute lock-free against
+///    it; nothing they can reach through it ever mutates.
+///  - A superseded snapshot stays alive until its last in-flight query
+///    drops its reference, then the shared_ptr count reclaims it. Commits
+///    never wait for queries; queries never observe a half-built index.
+///
+/// `epoch` identifies which commit produced the snapshot (1 for the first
+/// Commit(), increasing by one per publish); every QueryResponse carries
+/// the epoch of the snapshot that answered it.
+class SystemSnapshot {
+ public:
+  /// Builds a snapshot over a frozen database view. The snapshot shares
+  /// ownership of the view; nothing else may mutate it.
+  static Result<std::shared_ptr<const SystemSnapshot>> Build(
+      std::shared_ptr<const ShapeDatabase> db, uint64_t epoch,
+      const SearchEngineOptions& search_options,
+      const HierarchyOptions& hierarchy_options);
+
+  uint64_t epoch() const { return epoch_; }
+
+  const ShapeDatabase& db() const { return *db_; }
+
+  /// The snapshot's search engine. Immutable: call only const query
+  /// methods; per-query weights go through QueryRequest::weights.
+  const SearchEngine& engine() const { return *engine_; }
+
+  /// Browsing hierarchy for one feature kind.
+  const HierarchyNode& Hierarchy(FeatureKind kind) const {
+    return *hierarchies_[static_cast<int>(kind)];
+  }
+
+  /// Executes a query against this snapshot and stamps the response with
+  /// this snapshot's epoch. Safe to call from any number of threads.
+  Result<QueryResponse> Query(const ShapeSignature& query,
+                              const QueryRequest& request) const;
+
+  /// Same, with a database shape as the query (excluded from its own
+  /// results).
+  Result<QueryResponse> QueryById(int query_id,
+                                  const QueryRequest& request) const;
+
+ private:
+  SystemSnapshot() = default;
+
+  uint64_t epoch_ = 0;
+  std::shared_ptr<const ShapeDatabase> db_;
+  std::unique_ptr<SearchEngine> engine_;
+  std::array<std::unique_ptr<HierarchyNode>, kNumFeatureKinds> hierarchies_;
+};
+
+}  // namespace dess
+
+#endif  // DESS_CORE_SNAPSHOT_H_

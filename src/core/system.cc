@@ -22,9 +22,19 @@ ThreadPool* Dess3System::EnsureIngestPool(int num_threads) {
   return ingest_pool_.get();
 }
 
+void Dess3System::RecordIngestLocked(size_t count) {
+  dirty_ = true;  // published snapshot (if any) no longer covers db_
+  MetricsRegistry* registry = MetricsRegistry::Global();
+  registry->AddCounter("system.shapes_ingested", count);
+  registry->SetGauge("system.db_shapes",
+                     static_cast<double>(db_.NumShapes()));
+}
+
 Result<int> Dess3System::IngestMesh(const TriMesh& mesh,
                                     const std::string& name, int group) {
   DESS_TIMED_SCOPE("system.ingest_shape");
+  // Extraction is the expensive part and touches no shared state, so it
+  // runs outside the writer lock; only the insert itself is serialized.
   DESS_ASSIGN_OR_RETURN(ShapeSignature signature,
                         ExtractSignature(mesh, options_.extraction));
   ShapeRecord record;
@@ -32,12 +42,9 @@ Result<int> Dess3System::IngestMesh(const TriMesh& mesh,
   record.group = group;
   record.mesh = mesh;
   record.signature = std::move(signature);
-  engine_.reset();  // database changed; indexes are stale
+  std::lock_guard<std::mutex> lock(ingest_mu_);
   const int id = db_.Insert(std::move(record));
-  MetricsRegistry* registry = MetricsRegistry::Global();
-  registry->AddCounter("system.shapes_ingested");
-  registry->SetGauge("system.db_shapes",
-                     static_cast<double>(db_.NumShapes()));
+  RecordIngestLocked(1);
   return id;
 }
 
@@ -55,6 +62,7 @@ Status Dess3System::IngestDatasetParallel(const Dataset& dataset,
   const size_t n = dataset.shapes.size();
   if (n == 0) return Status::OK();
   DESS_TIMED_SCOPE("system.ingest_dataset");
+  std::lock_guard<std::mutex> lock(ingest_mu_);
   ThreadPool* pool = EnsureIngestPool(num_threads);
   std::vector<Result<ShapeSignature>> signatures(
       n, Result<ShapeSignature>(ShapeSignature{}));
@@ -83,7 +91,6 @@ Status Dess3System::IngestDatasetParallel(const Dataset& dataset,
   for (size_t i = 0; i < n; ++i) {
     if (!signatures[i].ok()) return signatures[i].status();
   }
-  engine_.reset();  // database changes below; indexes go stale once
   for (size_t i = 0; i < n; ++i) {
     ShapeRecord record;
     record.name = dataset.shapes[i].name;
@@ -92,86 +99,119 @@ Status Dess3System::IngestDatasetParallel(const Dataset& dataset,
     record.signature = std::move(signatures[i]).value();
     db_.Insert(std::move(record));
   }
-  MetricsRegistry* registry = MetricsRegistry::Global();
-  registry->AddCounter("system.shapes_ingested", n);
-  registry->SetGauge("system.db_shapes",
-                     static_cast<double>(db_.NumShapes()));
+  RecordIngestLocked(n);
   return Status::OK();
 }
 
 int Dess3System::IngestRecord(ShapeRecord record) {
-  engine_.reset();
+  std::lock_guard<std::mutex> lock(ingest_mu_);
   const int id = db_.Insert(std::move(record));
-  MetricsRegistry* registry = MetricsRegistry::Global();
-  registry->AddCounter("system.shapes_ingested");
-  registry->SetGauge("system.db_shapes",
-                     static_cast<double>(db_.NumShapes()));
+  RecordIngestLocked(1);
   return id;
 }
 
 Status Dess3System::Commit() {
+  std::lock_guard<std::mutex> lock(ingest_mu_);
   if (db_.IsEmpty()) {
     return Status::InvalidArgument("commit: database is empty");
   }
   DESS_TIMED_SCOPE("system.commit");
-  MetricsRegistry::Global()->AddCounter("system.commits");
-  DESS_ASSIGN_OR_RETURN(engine_, SearchEngine::Build(&db_, options_.search));
-  for (FeatureKind kind : AllFeatureKinds()) {
-    std::vector<std::vector<double>> points;
-    points.reserve(db_.NumShapes());
-    const SimilaritySpace& space = engine_->Space(kind);
-    for (const ShapeRecord& rec : db_.records()) {
-      points.push_back(space.Standardize(rec.signature.Get(kind).values));
-    }
-    DESS_ASSIGN_OR_RETURN(hierarchies_[static_cast<int>(kind)],
-                          BuildHierarchy(points, options_.hierarchy));
+  MetricsRegistry* registry = MetricsRegistry::Global();
+  registry->AddCounter("system.commits");
+  // Freeze the store (pointer copies only), build the next snapshot off
+  // to the side, then publish with one pointer swap. Queries holding the
+  // old snapshot are unaffected; the swap never waits for them.
+  DESS_ASSIGN_OR_RETURN(
+      std::shared_ptr<const SystemSnapshot> next,
+      SystemSnapshot::Build(db_.SnapshotView(), next_epoch_, options_.search,
+                            options_.hierarchy));
+  {
+    std::lock_guard<std::mutex> publish(snapshot_mu_);
+    snapshot_ = std::move(next);
   }
+  registry->SetGauge("system.snapshot_epoch",
+                     static_cast<double>(next_epoch_));
+  ++next_epoch_;
+  dirty_ = false;
   return Status::OK();
 }
 
-Result<SearchEngine*> Dess3System::engine() {
-  if (engine_ == nullptr) {
-    return Status::Internal("engine not built: call Commit() first");
-  }
-  return engine_.get();
+bool Dess3System::IsCommitted() const {
+  std::lock_guard<std::mutex> lock(ingest_mu_);
+  std::lock_guard<std::mutex> snap(snapshot_mu_);
+  return snapshot_ != nullptr && !dirty_;
 }
 
-Result<const SearchEngine*> Dess3System::engine() const {
-  if (engine_ == nullptr) {
-    return Status::Internal("engine not built: call Commit() first");
+uint64_t Dess3System::PublishedEpoch() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return snapshot_ == nullptr ? 0 : snapshot_->epoch();
+}
+
+Result<std::shared_ptr<const SystemSnapshot>> Dess3System::CurrentSnapshot()
+    const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  if (snapshot_ == nullptr) {
+    return Status::FailedPrecondition(
+        "no committed snapshot: call Commit() first");
   }
-  return static_cast<const SearchEngine*>(engine_.get());
+  return snapshot_;
+}
+
+Result<QueryResponse> Dess3System::QueryBySignature(
+    const ShapeSignature& signature, const QueryRequest& request) const {
+  DESS_TIMED_SCOPE("system.query");
+  MetricsRegistry::Global()->AddCounter("system.queries");
+  DESS_ASSIGN_OR_RETURN(std::shared_ptr<const SystemSnapshot> snapshot,
+                        CurrentSnapshot());
+  return snapshot->Query(signature, request);
+}
+
+Result<QueryResponse> Dess3System::QueryByMesh(
+    const TriMesh& mesh, const QueryRequest& request) const {
+  DESS_ASSIGN_OR_RETURN(ShapeSignature signature,
+                        ExtractSignature(mesh, options_.extraction));
+  return QueryBySignature(signature, request);
+}
+
+Result<QueryResponse> Dess3System::QueryByShapeId(
+    int query_id, const QueryRequest& request) const {
+  DESS_TIMED_SCOPE("system.query");
+  MetricsRegistry::Global()->AddCounter("system.queries");
+  DESS_ASSIGN_OR_RETURN(std::shared_ptr<const SystemSnapshot> snapshot,
+                        CurrentSnapshot());
+  return snapshot->QueryById(query_id, request);
 }
 
 Result<std::vector<SearchResult>> Dess3System::QueryByMesh(
     const TriMesh& mesh, FeatureKind kind, size_t k) const {
-  DESS_ASSIGN_OR_RETURN(const SearchEngine* eng, engine());
-  DESS_TIMED_SCOPE("system.query_by_mesh");
-  MetricsRegistry::Global()->AddCounter("system.queries_by_mesh");
-  DESS_ASSIGN_OR_RETURN(ShapeSignature signature,
-                        ExtractSignature(mesh, options_.extraction));
-  return eng->QueryTopK(signature.Get(kind).values, kind, k);
+  DESS_ASSIGN_OR_RETURN(QueryResponse response,
+                        QueryByMesh(mesh, QueryRequest::TopK(kind, k)));
+  return std::move(response.results);
 }
 
 Result<std::vector<SearchResult>> Dess3System::MultiStepByMesh(
     const TriMesh& mesh, const MultiStepPlan& plan) const {
-  DESS_ASSIGN_OR_RETURN(const SearchEngine* eng, engine());
-  DESS_TIMED_SCOPE("system.multistep_by_mesh");
-  MetricsRegistry::Global()->AddCounter("system.multistep_queries_by_mesh");
-  DESS_ASSIGN_OR_RETURN(ShapeSignature signature,
-                        ExtractSignature(mesh, options_.extraction));
-  return MultiStepQuery(*eng, signature, plan);
+  DESS_ASSIGN_OR_RETURN(QueryResponse response,
+                        QueryByMesh(mesh, QueryRequest::MultiStep(plan)));
+  return std::move(response.results);
+}
+
+QueryExecutor& Dess3System::Executor() {
+  if (executor_ == nullptr) {
+    executor_ = std::make_unique<QueryExecutor>(
+        [this] { return CurrentSnapshot(); }, options_.executor);
+  }
+  return *executor_;
 }
 
 Result<const HierarchyNode*> Dess3System::Hierarchy(FeatureKind kind) const {
-  const auto& h = hierarchies_[static_cast<int>(kind)];
-  if (h == nullptr) {
-    return Status::Internal("hierarchy not built: call Commit() first");
-  }
-  return static_cast<const HierarchyNode*>(h.get());
+  DESS_ASSIGN_OR_RETURN(std::shared_ptr<const SystemSnapshot> snapshot,
+                        CurrentSnapshot());
+  return &snapshot->Hierarchy(kind);
 }
 
 Status Dess3System::Save(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(ingest_mu_);
   return db_.Save(path);
 }
 

@@ -1,12 +1,15 @@
 #ifndef DESS_CORE_SYSTEM_H_
 #define DESS_CORE_SYSTEM_H_
 
-#include <array>
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/cluster/hierarchy.h"
+#include "src/core/query_executor.h"
+#include "src/core/snapshot.h"
 #include "src/db/shape_database.h"
 #include "src/features/extractors.h"
 #include "src/modelgen/dataset.h"
@@ -22,6 +25,7 @@ struct SystemOptions {
   ExtractionOptions extraction;
   SearchEngineOptions search;
   HierarchyOptions hierarchy;
+  QueryExecutorOptions executor;
   /// Voxel resolution at or above which IngestDatasetParallel prefers
   /// intra-shape parallelism (slab-parallel voxelize/thin within one shape)
   /// over inter-shape fan-out. Large grids parallelize well internally and
@@ -35,9 +39,21 @@ struct SystemOptions {
 /// generation, clustering) backed by the DATABASE layer (record store +
 /// R-tree indexes).
 ///
-/// Workflow: Ingest* shapes, then Commit() to (re)build indexes and
-/// browsing hierarchies, then query. Queries before Commit() (or after an
-/// ingest invalidated it) return a FailedPrecondition-style error.
+/// Workflow: Ingest* shapes, then Commit() to publish a SystemSnapshot
+/// (frozen record-store view + indexes + browsing hierarchies), then
+/// query. Queries before the first Commit() return FailedPrecondition.
+///
+/// Concurrency model (snapshot isolation):
+///  - Writers (Ingest*, Commit, Save) are serialized by an internal mutex;
+///    concurrent ingest calls are safe but run one at a time.
+///  - Commit() builds the next snapshot while the current one keeps
+///    serving, then publishes it with one pointer swap. It never waits for
+///    in-flight queries.
+///  - Readers acquire the published snapshot (CurrentSnapshot or any
+///    query method) and run lock-free against it; a query never observes
+///    a half-built index. Ingest after a Commit() marks the system dirty
+///    but the last published snapshot keeps serving its epoch until the
+///    next Commit().
 class Dess3System {
  public:
   explicit Dess3System(const SystemOptions& options = {});
@@ -59,31 +75,69 @@ class Dess3System {
   /// Ingests a pre-extracted record (e.g. loaded from disk).
   int IngestRecord(ShapeRecord record);
 
-  /// Builds the search engine and per-feature browsing hierarchies over the
-  /// current database contents.
+  /// Builds and atomically publishes a new SystemSnapshot (indexes +
+  /// browsing hierarchies) over the current database contents. In-flight
+  /// queries keep their old snapshot; new queries see the new epoch.
   Status Commit();
 
-  bool IsCommitted() const { return engine_ != nullptr; }
+  /// True when a snapshot is published and no ingest has happened since.
+  bool IsCommitted() const;
 
+  /// Epoch of the currently published snapshot (0 before the first
+  /// Commit()).
+  uint64_t PublishedEpoch() const;
+
+  /// The currently published snapshot; FailedPrecondition before the first
+  /// Commit(). The returned snapshot stays valid (and immutable) for as
+  /// long as the caller holds it, regardless of later ingests or commits.
+  Result<std::shared_ptr<const SystemSnapshot>> CurrentSnapshot() const;
+
+  /// The record store. NOT synchronized with concurrent ingest: call only
+  /// from the writer side, or use CurrentSnapshot()->db() for a stable
+  /// view.
   const ShapeDatabase& db() const { return db_; }
   const SystemOptions& options() const { return options_; }
 
-  /// The search engine; error if Commit() has not run.
-  Result<SearchEngine*> engine();
-  Result<const SearchEngine*> engine() const;
-
   /// Query by example with an external mesh (a "CAD file" a user submits):
-  /// extracts its signature, then returns the top-k most similar shapes.
+  /// extracts its signature, then executes `request` against the current
+  /// snapshot. The response carries the answering snapshot's epoch.
+  Result<QueryResponse> QueryByMesh(const TriMesh& mesh,
+                                    const QueryRequest& request) const;
+
+  /// Executes `request` against the current snapshot with a pre-extracted
+  /// signature (no geometry pipeline).
+  Result<QueryResponse> QueryBySignature(const ShapeSignature& signature,
+                                         const QueryRequest& request) const;
+
+  /// Executes `request` with a database shape as the query (excluded from
+  /// its own results).
+  Result<QueryResponse> QueryByShapeId(int query_id,
+                                       const QueryRequest& request) const;
+
+  /// DEPRECATED positional overload; use QueryByMesh(mesh,
+  /// QueryRequest::TopK(kind, k)) instead. Kept for one release.
+  [[deprecated("use QueryByMesh(mesh, QueryRequest::TopK(kind, k))")]]
   Result<std::vector<SearchResult>> QueryByMesh(const TriMesh& mesh,
                                                 FeatureKind kind,
                                                 size_t k) const;
 
-  /// Multi-step query by an external mesh.
+  /// DEPRECATED; use QueryByMesh(mesh, QueryRequest::MultiStep(plan)).
+  /// Kept for one release.
+  [[deprecated("use QueryByMesh(mesh, QueryRequest::MultiStep(plan))")]]
   Result<std::vector<SearchResult>> MultiStepByMesh(
       const TriMesh& mesh, const MultiStepPlan& plan) const;
 
-  /// Browsing hierarchy for one feature kind (the paper builds "the
-  /// classification map for each feature vector").
+  /// The asynchronous query executor, wired to this system's published
+  /// snapshots (options_.executor controls pool/queue sizing). Created on
+  /// first use; must not be called for the first time from multiple
+  /// threads concurrently (subsequent use is thread-safe).
+  QueryExecutor& Executor();
+
+  /// Browsing hierarchy for one feature kind from the current snapshot
+  /// (the paper builds "the classification map for each feature vector").
+  /// The pointer stays valid while the caller could also have obtained it
+  /// via CurrentSnapshot(); prefer CurrentSnapshot()->Hierarchy(kind) in
+  /// concurrent code, which ties the lifetime to the acquired snapshot.
   Result<const HierarchyNode*> Hierarchy(FeatureKind kind) const;
 
   /// Persists the database (geometry + features). Indexes are rebuilt on
@@ -98,13 +152,28 @@ class Dess3System {
   /// Returns the shared ingest pool, (re)creating it only when the
   /// requested worker count changes (0 = hardware concurrency). The pool
   /// is long-lived so repeated ingests don't pay thread startup cost.
+  /// Caller must hold ingest_mu_.
   ThreadPool* EnsureIngestPool(int num_threads);
 
+  /// Post-insert bookkeeping (dirty flag + gauges). Caller must hold
+  /// ingest_mu_.
+  void RecordIngestLocked(size_t count);
+
   SystemOptions options_;
-  ShapeDatabase db_;
-  std::unique_ptr<SearchEngine> engine_;
-  std::unique_ptr<ThreadPool> ingest_pool_;
-  std::array<std::unique_ptr<HierarchyNode>, kNumFeatureKinds> hierarchies_;
+
+  /// Serializes writers: ingest, commit, save. Queries never take it.
+  mutable std::mutex ingest_mu_;
+  ShapeDatabase db_;            // guarded by ingest_mu_
+  bool dirty_ = false;          // ingest since last publish; ingest_mu_
+  uint64_t next_epoch_ = 1;     // guarded by ingest_mu_
+  std::unique_ptr<ThreadPool> ingest_pool_;  // guarded by ingest_mu_
+
+  /// Guards only the published-snapshot pointer swap; held for a pointer
+  /// copy on the read side, never across query execution.
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const SystemSnapshot> snapshot_;
+
+  std::unique_ptr<QueryExecutor> executor_;
 };
 
 }  // namespace dess

@@ -15,35 +15,35 @@ constexpr uint32_t kVersion = 1;
 
 int ShapeDatabase::Insert(ShapeRecord record) {
   record.id = next_id_++;
-  records_.push_back(std::move(record));
-  return records_.back().id;
+  const int id = record.id;
+  index_.emplace(id, records_.size());
+  records_.push_back(std::make_shared<const ShapeRecord>(std::move(record)));
+  return id;
 }
 
 Result<const ShapeRecord*> ShapeDatabase::Get(int id) const {
-  for (const ShapeRecord& r : records_) {
-    if (r.id == id) return &r;
+  auto it = index_.find(id);
+  if (it == index_.end()) {
+    return Status::NotFound(StrFormat("shape id %d not in database", id));
   }
-  return Status::NotFound(StrFormat("shape id %d not in database", id));
+  return records_[it->second].get();
 }
 
 bool ShapeDatabase::Contains(int id) const {
-  for (const ShapeRecord& r : records_) {
-    if (r.id == id) return true;
-  }
-  return false;
+  return index_.find(id) != index_.end();
 }
 
 std::vector<int> ShapeDatabase::AllIds() const {
   std::vector<int> ids;
   ids.reserve(records_.size());
-  for (const ShapeRecord& r : records_) ids.push_back(r.id);
+  for (const RecordPtr& r : records_) ids.push_back(r->id);
   return ids;
 }
 
 std::vector<int> ShapeDatabase::GroupMembers(int group) const {
   std::vector<int> ids;
-  for (const ShapeRecord& r : records_) {
-    if (r.group == group) ids.push_back(r.id);
+  for (const RecordPtr& r : records_) {
+    if (r->group == group) ids.push_back(r->id);
   }
   return ids;
 }
@@ -54,8 +54,8 @@ int ShapeDatabase::GroupSize(int group) const {
 
 int ShapeDatabase::NumGroups() const {
   std::set<int> groups;
-  for (const ShapeRecord& r : records_) {
-    if (r.group != kUngrouped) groups.insert(r.group);
+  for (const RecordPtr& r : records_) {
+    if (r->group != kUngrouped) groups.insert(r->group);
   }
   return static_cast<int>(groups.size());
 }
@@ -69,8 +69,8 @@ Result<std::vector<double>> ShapeDatabase::Feature(int id,
 FeatureStats ShapeDatabase::ComputeFeatureStats(FeatureKind kind) const {
   std::vector<std::vector<double>> vectors;
   vectors.reserve(records_.size());
-  for (const ShapeRecord& r : records_) {
-    vectors.push_back(r.signature.Get(kind).values);
+  for (const RecordPtr& r : records_) {
+    vectors.push_back(r->signature.Get(kind).values);
   }
   return FeatureStats::Compute(vectors);
 }
@@ -81,7 +81,8 @@ Status ShapeDatabase::Save(const std::string& path) const {
   w.WriteU32(kMagic);
   w.WriteU32(kVersion);
   w.WriteU64(records_.size());
-  for (const ShapeRecord& r : records_) {
+  for (const RecordPtr& rp : records_) {
+    const ShapeRecord& r = *rp;
     w.WriteI32(r.id);
     w.WriteString(r.name);
     w.WriteI32(r.group);
@@ -166,7 +167,9 @@ Result<ShapeDatabase> ShapeDatabase::Load(const std::string& path) {
       fv.kind = static_cast<FeatureKind>(kind);
       fv.values = std::move(values);
     }
-    db.records_.push_back(std::move(rec));
+    db.index_.emplace(rec.id, db.records_.size());
+    db.records_.push_back(
+        std::make_shared<const ShapeRecord>(std::move(rec)));
     db.next_id_ = std::max(db.next_id_, id + 1);
   }
   DESS_RETURN_NOT_OK(r.Finish());

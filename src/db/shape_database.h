@@ -1,7 +1,9 @@
 #ifndef DESS_DB_SHAPE_DATABASE_H_
 #define DESS_DB_SHAPE_DATABASE_H_
 
+#include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/result.h"
@@ -27,18 +29,82 @@ inline constexpr int kUngrouped = -1;
 /// used Oracle 8i as a feature/geometry store; this is an in-memory record
 /// store with binary file persistence). Multidimensional indexes are built
 /// *on top of* this store by the search engine, exactly as in the paper.
+///
+/// Records are immutable once inserted and held by shared_ptr, so:
+///  - record pointers returned by Get() stay valid across later Inserts
+///    (the pointer vector may reallocate; the records themselves never
+///    move), and
+///  - SnapshotView() produces a frozen, shareable view of the store in
+///    O(#records) pointer copies — no geometry or feature data is copied.
+///    This is what makes snapshot-isolated serving cheap: every Commit()
+///    freezes the store without deep-copying it.
+///
+/// The database itself is not synchronized: writers (Insert) must be
+/// externally serialized, and a SnapshotView must be taken under the same
+/// exclusion. Readers of a SnapshotView need no locking at all.
 class ShapeDatabase {
  public:
+  using RecordPtr = std::shared_ptr<const ShapeRecord>;
+
+  /// Lightweight range over the stored records yielding `const
+  /// ShapeRecord&`, so `for (const ShapeRecord& rec : db.records())` works
+  /// unchanged over the shared-pointer storage.
+  class RecordRange {
+   public:
+    class const_iterator {
+     public:
+      using iterator_category = std::forward_iterator_tag;
+      using value_type = ShapeRecord;
+      using difference_type = std::ptrdiff_t;
+      using pointer = const ShapeRecord*;
+      using reference = const ShapeRecord&;
+
+      explicit const_iterator(std::vector<RecordPtr>::const_iterator it)
+          : it_(it) {}
+      reference operator*() const { return **it_; }
+      pointer operator->() const { return it_->get(); }
+      const_iterator& operator++() {
+        ++it_;
+        return *this;
+      }
+      const_iterator operator++(int) {
+        const_iterator tmp = *this;
+        ++it_;
+        return tmp;
+      }
+      bool operator==(const const_iterator& o) const { return it_ == o.it_; }
+      bool operator!=(const const_iterator& o) const { return it_ != o.it_; }
+
+     private:
+      std::vector<RecordPtr>::const_iterator it_;
+    };
+
+    explicit RecordRange(const std::vector<RecordPtr>* records)
+        : records_(records) {}
+    const_iterator begin() const {
+      return const_iterator(records_->begin());
+    }
+    const_iterator end() const { return const_iterator(records_->end()); }
+    size_t size() const { return records_->size(); }
+    bool empty() const { return records_->empty(); }
+
+   private:
+    const std::vector<RecordPtr>* records_;
+  };
+
   ShapeDatabase() = default;
 
   size_t NumShapes() const { return records_.size(); }
   bool IsEmpty() const { return records_.empty(); }
 
   /// Inserts a record, assigning and returning a fresh database id
-  /// (any id on the input record is ignored).
+  /// (any id on the input record is ignored). The record is frozen on
+  /// insertion; there is no mutation API.
   int Insert(ShapeRecord record);
 
-  /// Record by id; NotFound if absent.
+  /// Record by id; NotFound if absent. The pointer stays valid for the
+  /// lifetime of any view holding the record (it is not invalidated by
+  /// later Inserts).
   Result<const ShapeRecord*> Get(int id) const;
 
   bool Contains(int id) const;
@@ -59,7 +125,14 @@ class ShapeDatabase {
   Result<std::vector<double>> Feature(int id, FeatureKind kind) const;
 
   /// All records (for scans, clustering, stats).
-  const std::vector<ShapeRecord>& records() const { return records_; }
+  RecordRange records() const { return RecordRange(&records_); }
+
+  /// A frozen, immutable view of the current contents: shares the (already
+  /// immutable) records, so the copy is cheap. Later Inserts into this
+  /// database do not affect the view.
+  std::shared_ptr<const ShapeDatabase> SnapshotView() const {
+    return std::make_shared<const ShapeDatabase>(*this);
+  }
 
   /// Per-dimension statistics of one feature kind across the database,
   /// used to standardize the similarity metric.
@@ -72,7 +145,8 @@ class ShapeDatabase {
   static Result<ShapeDatabase> Load(const std::string& path);
 
  private:
-  std::vector<ShapeRecord> records_;
+  std::vector<RecordPtr> records_;
+  std::unordered_map<int, size_t> index_;  // id -> position in records_
   int next_id_ = 0;
 };
 

@@ -1,6 +1,7 @@
 #include "src/search/multistep.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "src/common/metrics.h"
 
@@ -18,7 +19,8 @@ namespace {
 Result<std::vector<SearchResult>> RunPlan(
     const SearchEngine& engine,
     const std::array<std::vector<double>, kNumFeatureKinds>& query_features,
-    int exclude_id, const MultiStepPlan& plan) {
+    int exclude_id, const MultiStepPlan& plan, QueryStats* stats,
+    QueryRequest::TimePoint deadline) {
   if (plan.stages.empty()) {
     return Status::InvalidArgument("multi-step: empty plan");
   }
@@ -26,6 +28,12 @@ Result<std::vector<SearchResult>> RunPlan(
   MetricsRegistry* registry = MetricsRegistry::Global();
   std::vector<SearchResult> current;
   for (size_t s = 0; s < plan.stages.size(); ++s) {
+    if (deadline != QueryRequest::TimePoint{} &&
+        std::chrono::steady_clock::now() > deadline) {
+      return Status::DeadlineExceeded(
+          "multi-step query deadline passed before stage " +
+          std::to_string(s));
+    }
     const MultiStepStage& stage = plan.stages[s];
     const auto& feature = query_features[static_cast<int>(stage.kind)];
     if (s == 0) {
@@ -36,7 +44,7 @@ Result<std::vector<SearchResult>> RunPlan(
       DESS_ASSIGN_OR_RETURN(
           current,
           engine.QueryTopK(feature, stage.kind,
-                           k + (exclude_id >= 0 ? 1 : 0)));
+                           k + (exclude_id >= 0 ? 1 : 0), stats));
       if (exclude_id >= 0) {
         current.erase(std::remove_if(current.begin(), current.end(),
                                      [&](const SearchResult& r) {
@@ -62,6 +70,9 @@ Result<std::vector<SearchResult>> RunPlan(
       }
       DESS_ASSIGN_OR_RETURN(current,
                             engine.Rerank(ids, feature, stage.kind));
+      if (stats != nullptr) {
+        stats->points_compared += ids.size();
+      }
       if (stage.keep > 0 && current.size() > static_cast<size_t>(stage.keep)) {
         current.resize(stage.keep);
       }
@@ -76,23 +87,26 @@ Result<std::vector<SearchResult>> RunPlan(
 }  // namespace
 
 Result<std::vector<SearchResult>> MultiStepQueryById(
-    const SearchEngine& engine, int query_id, const MultiStepPlan& plan) {
+    const SearchEngine& engine, int query_id, const MultiStepPlan& plan,
+    QueryStats* stats, QueryRequest::TimePoint deadline) {
   std::array<std::vector<double>, kNumFeatureKinds> features;
   for (FeatureKind kind : AllFeatureKinds()) {
     DESS_ASSIGN_OR_RETURN(features[static_cast<int>(kind)],
                           engine.db().Feature(query_id, kind));
   }
-  return RunPlan(engine, features, query_id, plan);
+  return RunPlan(engine, features, query_id, plan, stats, deadline);
 }
 
 Result<std::vector<SearchResult>> MultiStepQuery(const SearchEngine& engine,
                                                  const ShapeSignature& query,
-                                                 const MultiStepPlan& plan) {
+                                                 const MultiStepPlan& plan,
+                                                 QueryStats* stats,
+                                                 QueryRequest::TimePoint deadline) {
   std::array<std::vector<double>, kNumFeatureKinds> features;
   for (FeatureKind kind : AllFeatureKinds()) {
     features[static_cast<int>(kind)] = query.Get(kind).values;
   }
-  return RunPlan(engine, features, /*exclude_id=*/-1, plan);
+  return RunPlan(engine, features, /*exclude_id=*/-1, plan, stats, deadline);
 }
 
 }  // namespace dess

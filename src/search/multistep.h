@@ -3,39 +3,29 @@
 
 #include <vector>
 
+#include "src/search/query.h"
 #include "src/search/search_engine.h"
 
 namespace dess {
 
-/// One stage of a multi-step search plan.
-struct MultiStepStage {
-  FeatureKind kind = FeatureKind::kMomentInvariants;
-  /// How many candidates to keep after this stage (the final stage's value
-  /// is the result-list length). <= 0 means "keep all current candidates".
-  int keep = 0;
-};
-
-/// A multi-step plan: the first stage hits the index, later stages re-rank
-/// the surviving candidate set with a different feature vector.
-struct MultiStepPlan {
-  std::vector<MultiStepStage> stages;
-
-  /// The paper's evaluated configuration (Section 4.2): retrieve
-  /// `first_retrieve` shapes by moment invariants, re-rank by geometric
-  /// parameters, present the `final_keep` most similar.
-  static MultiStepPlan Standard(int first_retrieve = 30, int final_keep = 10);
-};
+// MultiStepStage / MultiStepPlan live in src/search/query.h so a
+// QueryRequest can carry a plan without depending on the engine.
 
 /// Runs a multi-step search for a database shape (query by example,
 /// Figure 2's "multi-step search?" loop). The query shape itself is always
-/// excluded. Returns InvalidArgument for an empty plan.
+/// excluded. Returns InvalidArgument for an empty plan. Index-traversal
+/// work accumulates into `stats` when non-null; a non-epoch `deadline` is
+/// checked before every stage (DeadlineExceeded when passed).
 Result<std::vector<SearchResult>> MultiStepQueryById(
-    const SearchEngine& engine, int query_id, const MultiStepPlan& plan);
+    const SearchEngine& engine, int query_id, const MultiStepPlan& plan,
+    QueryStats* stats = nullptr,
+    QueryRequest::TimePoint deadline = QueryRequest::TimePoint{});
 
 /// Multi-step search for an external query signature.
 Result<std::vector<SearchResult>> MultiStepQuery(
     const SearchEngine& engine, const ShapeSignature& query,
-    const MultiStepPlan& plan);
+    const MultiStepPlan& plan, QueryStats* stats = nullptr,
+    QueryRequest::TimePoint deadline = QueryRequest::TimePoint{});
 
 }  // namespace dess
 

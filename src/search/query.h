@@ -1,0 +1,118 @@
+#ifndef DESS_SEARCH_QUERY_H_
+#define DESS_SEARCH_QUERY_H_
+
+#include <chrono>
+#include <cstddef>
+#include <vector>
+
+#include "src/features/feature_vector.h"
+#include "src/index/multidim_index.h"
+
+namespace dess {
+
+/// One retrieved shape.
+struct SearchResult {
+  int id = -1;
+  double distance = 0.0;
+  double similarity = 0.0;
+
+  bool operator<(const SearchResult& o) const {
+    if (distance != o.distance) return distance < o.distance;
+    return id < o.id;
+  }
+  bool operator==(const SearchResult& o) const {
+    return id == o.id && distance == o.distance &&
+           similarity == o.similarity;
+  }
+};
+
+/// One stage of a multi-step search plan.
+struct MultiStepStage {
+  FeatureKind kind = FeatureKind::kMomentInvariants;
+  /// How many candidates to keep after this stage (the final stage's value
+  /// is the result-list length). <= 0 means "keep all current candidates".
+  int keep = 0;
+};
+
+/// A multi-step plan: the first stage hits the index, later stages re-rank
+/// the surviving candidate set with a different feature vector.
+struct MultiStepPlan {
+  std::vector<MultiStepStage> stages;
+
+  /// The paper's evaluated configuration (Section 4.2): retrieve
+  /// `first_retrieve` shapes by moment invariants, re-rank by geometric
+  /// parameters, present the `final_keep` most similar.
+  static MultiStepPlan Standard(int first_retrieve = 30, int final_keep = 10);
+};
+
+/// What kind of retrieval a QueryRequest asks for.
+enum class QueryMode {
+  kTopK,       // k nearest in one feature space
+  kThreshold,  // all shapes with similarity >= min_similarity
+  kMultiStep,  // index retrieve, then re-rank per `plan`
+};
+
+/// One self-describing query: every entry point of the serving layer takes
+/// a QueryRequest instead of positional-argument overloads, so new knobs
+/// (weights, deadlines, plans) extend the struct rather than the API.
+struct QueryRequest {
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  QueryMode mode = QueryMode::kTopK;
+  /// Feature space searched by kTopK / kThreshold (ignored by kMultiStep,
+  /// whose stages carry their own kinds).
+  FeatureKind kind = FeatureKind::kPrincipalMoments;
+  /// Result-list length for kTopK.
+  size_t k = 10;
+  /// Similarity floor in [0, 1] for kThreshold.
+  double min_similarity = 0.0;
+  /// Optional per-query dimension weights for `kind` (the w_i of Eq. 4.3).
+  /// Empty means the similarity space's installed weights. Rejected for
+  /// kMultiStep, whose stages span several feature spaces.
+  std::vector<double> weights;
+  /// The stages executed by kMultiStep.
+  MultiStepPlan plan;
+  /// Optional deadline: the query fails with DeadlineExceeded if this time
+  /// passes before execution starts (and between multi-step stages).
+  /// Default-constructed (epoch) means no deadline.
+  TimePoint deadline{};
+
+  bool has_deadline() const { return deadline != TimePoint{}; }
+
+  static QueryRequest TopK(FeatureKind kind, size_t k) {
+    QueryRequest r;
+    r.mode = QueryMode::kTopK;
+    r.kind = kind;
+    r.k = k;
+    return r;
+  }
+  static QueryRequest Threshold(FeatureKind kind, double min_similarity) {
+    QueryRequest r;
+    r.mode = QueryMode::kThreshold;
+    r.kind = kind;
+    r.min_similarity = min_similarity;
+    return r;
+  }
+  static QueryRequest MultiStep(MultiStepPlan plan) {
+    QueryRequest r;
+    r.mode = QueryMode::kMultiStep;
+    r.plan = std::move(plan);
+    return r;
+  }
+};
+
+/// What a query returns: the ranked results plus the work accounting of
+/// the index traversal and the epoch of the snapshot that answered — the
+/// contract a caller needs to reason about staleness under concurrent
+/// ingest.
+struct QueryResponse {
+  std::vector<SearchResult> results;
+  QueryStats stats;
+  /// Epoch of the SystemSnapshot that served this query (0 when the query
+  /// ran against a bare SearchEngine outside the snapshot layer).
+  uint64_t epoch = 0;
+};
+
+}  // namespace dess
+
+#endif  // DESS_SEARCH_QUERY_H_

@@ -52,12 +52,19 @@ Result<std::vector<double>> ReconstructQuery(const SearchEngine& engine,
   return q;
 }
 
-Result<std::vector<double>> ReconfigureWeights(const SearchEngine& engine,
-                                               FeatureKind kind,
-                                               const Feedback& feedback,
-                                               const FeedbackOptions& options) {
+Result<std::vector<double>> ReconfigureWeights(
+    const SearchEngine& engine, FeatureKind kind, const Feedback& feedback,
+    const FeedbackOptions& options,
+    const std::vector<double>* current_weights) {
   const SimilaritySpace& space = engine.Space(kind);
-  if (feedback.relevant_ids.size() < 2) return space.weights;
+  const std::vector<double>& current =
+      (current_weights != nullptr && !current_weights->empty())
+          ? *current_weights
+          : space.weights;
+  if (current.size() != space.weights.size()) {
+    return Status::InvalidArgument("current weights dimension mismatch");
+  }
+  if (feedback.relevant_ids.size() < 2) return current;
 
   // Standardized per-dimension variance of the relevant set; agreement
   // (small variance) earns a large weight (Rui et al.'s inverse-variance
@@ -91,7 +98,7 @@ Result<std::vector<double>> ReconfigureWeights(const SearchEngine& engine,
   double sum = 0.0;
   for (size_t d = 0; d < dim; ++d) {
     out[d] = options.weight_blend * fresh[d] +
-             (1.0 - options.weight_blend) * space.weights[d];
+             (1.0 - options.weight_blend) * current[d];
     sum += out[d];
   }
   if (sum > 0.0) {
@@ -101,19 +108,17 @@ Result<std::vector<double>> ReconfigureWeights(const SearchEngine& engine,
   return out;
 }
 
-Result<std::vector<SearchResult>> FeedbackRound(SearchEngine* engine,
-                                                FeatureKind kind,
-                                                std::vector<double>* raw_query,
-                                                const Feedback& feedback,
-                                                size_t k,
-                                                const FeedbackOptions& options) {
+Result<std::vector<SearchResult>> FeedbackRound(
+    const SearchEngine& engine, FeatureKind kind,
+    std::vector<double>* raw_query, std::vector<double>* session_weights,
+    const Feedback& feedback, size_t k, const FeedbackOptions& options) {
   DESS_ASSIGN_OR_RETURN(
       *raw_query,
-      ReconstructQuery(*engine, kind, *raw_query, feedback, options));
-  DESS_ASSIGN_OR_RETURN(std::vector<double> weights,
-                        ReconfigureWeights(*engine, kind, feedback, options));
-  DESS_RETURN_NOT_OK(engine->SetWeights(kind, weights));
-  return engine->QueryTopK(*raw_query, kind, k);
+      ReconstructQuery(engine, kind, *raw_query, feedback, options));
+  DESS_ASSIGN_OR_RETURN(
+      *session_weights,
+      ReconfigureWeights(engine, kind, feedback, options, session_weights));
+  return engine.QueryTopKWeighted(*raw_query, kind, k, *session_weights);
 }
 
 }  // namespace dess

@@ -34,19 +34,25 @@ Result<std::vector<double>> ReconstructQuery(
 
 /// Weight reconfiguration (second feedback mechanism): dimensions on which
 /// the relevant shapes agree (low variance) get boosted weights, blended
-/// with the current weights and normalized to mean 1. Needs at least two
-/// relevant shapes to estimate variances; returns the current weights
-/// otherwise.
+/// with the current weights and normalized to mean 1. `current_weights`
+/// carries the session's weights from the previous round (nullptr or empty
+/// means the space's installed weights). Needs at least two relevant shapes
+/// to estimate variances; returns the current weights otherwise.
 Result<std::vector<double>> ReconfigureWeights(
     const SearchEngine& engine, FeatureKind kind, const Feedback& feedback,
-    const FeedbackOptions& options = {});
+    const FeedbackOptions& options = {},
+    const std::vector<double>* current_weights = nullptr);
 
-/// One full feedback round: reconstructs the query, reconfigures and
-/// installs the weights on `engine`, and re-runs the top-k search.
+/// One full feedback round against an immutable engine (e.g. one published
+/// in a snapshot): reconstructs the query in place, reconfigures
+/// `session_weights` in place (pass empty for the first round), and re-runs
+/// the top-k search with the reconfigured weights. Feedback state lives in
+/// the caller's session, not in the shared engine, so concurrent sessions
+/// never see each other's weights.
 Result<std::vector<SearchResult>> FeedbackRound(
-    SearchEngine* engine, FeatureKind kind, std::vector<double>* raw_query,
-    const Feedback& feedback, size_t k,
-    const FeedbackOptions& options = {});
+    const SearchEngine& engine, FeatureKind kind,
+    std::vector<double>* raw_query, std::vector<double>* session_weights,
+    const Feedback& feedback, size_t k, const FeedbackOptions& options = {});
 
 }  // namespace dess
 

@@ -1,7 +1,9 @@
 #include "src/search/search_engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
+#include <mutex>
 
 #include "src/common/logging.h"
 #include "src/common/metrics.h"
@@ -9,6 +11,7 @@
 #include "src/index/disk_rtree.h"
 #include "src/index/linear_scan.h"
 #include "src/index/rtree.h"
+#include "src/search/multistep.h"
 
 namespace dess {
 namespace {
@@ -18,6 +21,11 @@ namespace {
 /// (updates go through an engine rebuild, the standard pattern for packed
 /// indexes). Disk errors during a query are logged and yield an empty
 /// result — they indicate an unreadable index file, not a missing shape.
+///
+/// The underlying buffer pool mutates frame state on every page fetch, so
+/// concurrent snapshot queries must not enter it simultaneously: a mutex
+/// serializes queries against this one index (in-memory backends stay
+/// lock-free).
 class DiskIndexAdapter final : public MultiDimIndex {
  public:
   DiskIndexAdapter(std::unique_ptr<DiskRTree> tree)
@@ -38,6 +46,7 @@ class DiskIndexAdapter final : public MultiDimIndex {
   std::vector<Neighbor> KNearest(const std::vector<double>& query, size_t k,
                                  const std::vector<double>& weights,
                                  QueryStats* stats) const override {
+    std::lock_guard<std::mutex> lock(mu_);
     auto result = tree_->KNearest(query, k, weights, stats);
     if (!result.ok()) {
       DESS_LOG(Error) << "disk index query failed: "
@@ -51,6 +60,7 @@ class DiskIndexAdapter final : public MultiDimIndex {
                                    double radius,
                                    const std::vector<double>& weights,
                                    QueryStats* stats) const override {
+    std::lock_guard<std::mutex> lock(mu_);
     auto result = tree_->RangeQuery(query, radius, weights, stats);
     if (!result.ok()) {
       DESS_LOG(Error) << "disk index query failed: "
@@ -61,25 +71,36 @@ class DiskIndexAdapter final : public MultiDimIndex {
   }
 
  private:
+  mutable std::mutex mu_;  // buffer pool is not thread-safe
   std::unique_ptr<DiskRTree> tree_;
 };
+
+Status CheckDeadline(const QueryRequest& request) {
+  if (request.has_deadline() &&
+      std::chrono::steady_clock::now() > request.deadline) {
+    return Status::DeadlineExceeded("query deadline passed");
+  }
+  return Status::OK();
+}
 
 }  // namespace
 
 Result<std::unique_ptr<SearchEngine>> SearchEngine::Build(
-    const ShapeDatabase* db, const SearchEngineOptions& options) {
+    std::shared_ptr<const ShapeDatabase> db,
+    const SearchEngineOptions& options) {
   if (db == nullptr || db->IsEmpty()) {
     return Status::InvalidArgument("search engine: empty database");
   }
   std::unique_ptr<SearchEngine> engine(new SearchEngine());
-  engine->db_ = db;
+  engine->db_ = std::move(db);
   engine->options_ = options;
+  const ShapeDatabase& store = *engine->db_;
 
   for (FeatureKind kind : AllFeatureKinds()) {
     const int ki = static_cast<int>(kind);
     std::vector<std::vector<double>> raw;
-    raw.reserve(db->NumShapes());
-    for (const ShapeRecord& rec : db->records()) {
+    raw.reserve(store.NumShapes());
+    for (const ShapeRecord& rec : store.records()) {
       const FeatureVector& fv = rec.signature.Get(kind);
       if (fv.dim() != FeatureDim(kind)) {
         return Status::InvalidArgument(StrFormat(
@@ -102,7 +123,7 @@ Result<std::unique_ptr<SearchEngine>> SearchEngine::Build(
         std::vector<std::pair<int, std::vector<double>>> bulk;
         bulk.reserve(raw.size());
         size_t i = 0;
-        for (const ShapeRecord& rec : db->records()) {
+        for (const ShapeRecord& rec : store.records()) {
           bulk.emplace_back(rec.id,
                             engine->spaces_[ki].Standardize(raw[i++]));
         }
@@ -113,7 +134,7 @@ Result<std::unique_ptr<SearchEngine>> SearchEngine::Build(
       case IndexBackend::kLinearScan: {
         auto scan = std::make_unique<LinearScanIndex>(dim);
         size_t i = 0;
-        for (const ShapeRecord& rec : db->records()) {
+        for (const ShapeRecord& rec : store.records()) {
           DESS_RETURN_NOT_OK(scan->Insert(
               rec.id, engine->spaces_[ki].Standardize(raw[i++])));
         }
@@ -131,7 +152,7 @@ Result<std::unique_ptr<SearchEngine>> SearchEngine::Build(
         std::vector<std::pair<int, std::vector<double>>> bulk;
         bulk.reserve(raw.size());
         size_t i = 0;
-        for (const ShapeRecord& rec : db->records()) {
+        for (const ShapeRecord& rec : store.records()) {
           bulk.emplace_back(rec.id,
                             engine->spaces_[ki].Standardize(raw[i++]));
         }
@@ -150,6 +171,15 @@ Result<std::unique_ptr<SearchEngine>> SearchEngine::Build(
   return engine;
 }
 
+Result<std::unique_ptr<SearchEngine>> SearchEngine::Build(
+    const ShapeDatabase* db, const SearchEngineOptions& options) {
+  // Non-owning alias: the caller guarantees the database outlives the
+  // engine (the documented contract of this overload).
+  return Build(std::shared_ptr<const ShapeDatabase>(
+                   std::shared_ptr<const ShapeDatabase>(), db),
+               options);
+}
+
 Status SearchEngine::SetWeights(FeatureKind kind,
                                 const std::vector<double>& weights) {
   SimilaritySpace& space = spaces_[static_cast<int>(kind)];
@@ -164,6 +194,23 @@ Status SearchEngine::SetWeights(FeatureKind kind,
     }
   }
   space.weights = weights;
+  return Status::OK();
+}
+
+Status SearchEngine::CheckRequestWeights(const QueryRequest& request,
+                                         FeatureKind kind) const {
+  if (request.weights.empty()) return Status::OK();
+  const SimilaritySpace& space = spaces_[static_cast<int>(kind)];
+  if (request.weights.size() != space.weights.size()) {
+    return Status::InvalidArgument(
+        StrFormat("request weights dim %zu != feature dim %zu",
+                  request.weights.size(), space.weights.size()));
+  }
+  for (double w : request.weights) {
+    if (w < 0.0) {
+      return Status::InvalidArgument("request weights must be non-negative");
+    }
+  }
   return Status::OK();
 }
 
@@ -188,28 +235,42 @@ void RecordEngineQuery(size_t results_returned, const QueryStats& work) {
   registry->AddCounter("search.distance_evals", work.points_compared);
 }
 
+/// Drops `query_id` from `results` and trims to `k` (0 = no trim).
+void ExcludeAndTrim(std::vector<SearchResult>* results, int query_id,
+                    size_t k) {
+  results->erase(std::remove_if(results->begin(), results->end(),
+                                [&](const SearchResult& r) {
+                                  return r.id == query_id;
+                                }),
+                 results->end());
+  if (k > 0 && results->size() > k) results->resize(k);
+}
+
 }  // namespace
 
-Result<std::vector<SearchResult>> SearchEngine::QueryTopK(
+Result<std::vector<SearchResult>> SearchEngine::QueryTopKImpl(
     const std::vector<double>& raw_feature, FeatureKind kind, size_t k,
-    QueryStats* stats) const {
+    const std::vector<double>* weights, QueryStats* stats) const {
   const int ki = static_cast<int>(kind);
   if (static_cast<int>(raw_feature.size()) != FeatureDim(kind)) {
     return Status::InvalidArgument("query feature dimension mismatch");
   }
   DESS_TIMED_SCOPE("search.query_topk");
+  const std::vector<double>& w =
+      weights != nullptr ? *weights : spaces_[ki].weights;
   const std::vector<double> q = spaces_[ki].Standardize(raw_feature);
   QueryStats work;
-  std::vector<SearchResult> results = ToResults(
-      indexes_[ki]->KNearest(q, k, spaces_[ki].weights, &work), spaces_[ki]);
+  std::vector<SearchResult> results =
+      ToResults(indexes_[ki]->KNearest(q, k, w, &work), spaces_[ki]);
   if (stats != nullptr) stats->MergeFrom(work);
   RecordEngineQuery(results.size(), work);
   return results;
 }
 
-Result<std::vector<SearchResult>> SearchEngine::QueryThreshold(
+Result<std::vector<SearchResult>> SearchEngine::QueryThresholdImpl(
     const std::vector<double>& raw_feature, FeatureKind kind,
-    double min_similarity, QueryStats* stats) const {
+    double min_similarity, const std::vector<double>* weights,
+    QueryStats* stats) const {
   const int ki = static_cast<int>(kind);
   if (static_cast<int>(raw_feature.size()) != FeatureDim(kind)) {
     return Status::InvalidArgument("query feature dimension mismatch");
@@ -219,15 +280,138 @@ Result<std::vector<SearchResult>> SearchEngine::QueryThreshold(
   }
   // s >= s_min  <=>  d <= (1 - s_min) * dmax: a ball (range) query.
   DESS_TIMED_SCOPE("search.query_threshold");
+  const std::vector<double>& w =
+      weights != nullptr ? *weights : spaces_[ki].weights;
   const double radius = (1.0 - min_similarity) * spaces_[ki].dmax;
   const std::vector<double> q = spaces_[ki].Standardize(raw_feature);
   QueryStats work;
   std::vector<SearchResult> results = ToResults(
-      indexes_[ki]->RangeQuery(q, radius, spaces_[ki].weights, &work),
-      spaces_[ki]);
+      indexes_[ki]->RangeQuery(q, radius, w, &work), spaces_[ki]);
   if (stats != nullptr) stats->MergeFrom(work);
   RecordEngineQuery(results.size(), work);
   return results;
+}
+
+Result<std::vector<SearchResult>> SearchEngine::QueryTopK(
+    const std::vector<double>& raw_feature, FeatureKind kind, size_t k,
+    QueryStats* stats) const {
+  return QueryTopKImpl(raw_feature, kind, k, nullptr, stats);
+}
+
+Result<std::vector<SearchResult>> SearchEngine::QueryTopKWeighted(
+    const std::vector<double>& raw_feature, FeatureKind kind, size_t k,
+    const std::vector<double>& weights, QueryStats* stats) const {
+  QueryRequest probe;
+  probe.weights = weights;
+  DESS_RETURN_NOT_OK(CheckRequestWeights(probe, kind));
+  return QueryTopKImpl(raw_feature, kind, k, &weights, stats);
+}
+
+Result<std::vector<SearchResult>> SearchEngine::QueryThreshold(
+    const std::vector<double>& raw_feature, FeatureKind kind,
+    double min_similarity, QueryStats* stats) const {
+  return QueryThresholdImpl(raw_feature, kind, min_similarity, nullptr,
+                            stats);
+}
+
+Result<std::vector<SearchResult>> SearchEngine::QueryThresholdWeighted(
+    const std::vector<double>& raw_feature, FeatureKind kind,
+    double min_similarity, const std::vector<double>& weights,
+    QueryStats* stats) const {
+  QueryRequest probe;
+  probe.weights = weights;
+  DESS_RETURN_NOT_OK(CheckRequestWeights(probe, kind));
+  return QueryThresholdImpl(raw_feature, kind, min_similarity, &weights,
+                            stats);
+}
+
+Result<QueryResponse> SearchEngine::Query(const ShapeSignature& query,
+                                          const QueryRequest& request) const {
+  DESS_RETURN_NOT_OK(CheckDeadline(request));
+  QueryResponse response;
+  switch (request.mode) {
+    case QueryMode::kTopK: {
+      DESS_RETURN_NOT_OK(CheckRequestWeights(request, request.kind));
+      const std::vector<double>* w =
+          request.weights.empty() ? nullptr : &request.weights;
+      DESS_ASSIGN_OR_RETURN(
+          response.results,
+          QueryTopKImpl(query.Get(request.kind).values, request.kind,
+                        request.k, w, &response.stats));
+      break;
+    }
+    case QueryMode::kThreshold: {
+      DESS_RETURN_NOT_OK(CheckRequestWeights(request, request.kind));
+      const std::vector<double>* w =
+          request.weights.empty() ? nullptr : &request.weights;
+      DESS_ASSIGN_OR_RETURN(
+          response.results,
+          QueryThresholdImpl(query.Get(request.kind).values, request.kind,
+                             request.min_similarity, w, &response.stats));
+      break;
+    }
+    case QueryMode::kMultiStep: {
+      if (!request.weights.empty()) {
+        return Status::InvalidArgument(
+            "per-query weights are not supported for multi-step queries; "
+            "the plan's stages span several feature spaces");
+      }
+      DESS_ASSIGN_OR_RETURN(
+          response.results,
+          MultiStepQuery(*this, query, request.plan, &response.stats,
+                         request.deadline));
+      break;
+    }
+  }
+  return response;
+}
+
+Result<QueryResponse> SearchEngine::QueryById(
+    int query_id, const QueryRequest& request) const {
+  DESS_RETURN_NOT_OK(CheckDeadline(request));
+  QueryResponse response;
+  switch (request.mode) {
+    case QueryMode::kTopK: {
+      DESS_RETURN_NOT_OK(CheckRequestWeights(request, request.kind));
+      const std::vector<double>* w =
+          request.weights.empty() ? nullptr : &request.weights;
+      DESS_ASSIGN_OR_RETURN(std::vector<double> raw,
+                            db_->Feature(query_id, request.kind));
+      // Fetch one extra so the count survives dropping the query itself.
+      DESS_ASSIGN_OR_RETURN(
+          response.results,
+          QueryTopKImpl(raw, request.kind, request.k + 1, w,
+                        &response.stats));
+      ExcludeAndTrim(&response.results, query_id, request.k);
+      break;
+    }
+    case QueryMode::kThreshold: {
+      DESS_RETURN_NOT_OK(CheckRequestWeights(request, request.kind));
+      const std::vector<double>* w =
+          request.weights.empty() ? nullptr : &request.weights;
+      DESS_ASSIGN_OR_RETURN(std::vector<double> raw,
+                            db_->Feature(query_id, request.kind));
+      DESS_ASSIGN_OR_RETURN(
+          response.results,
+          QueryThresholdImpl(raw, request.kind, request.min_similarity, w,
+                             &response.stats));
+      ExcludeAndTrim(&response.results, query_id, /*k=*/0);
+      break;
+    }
+    case QueryMode::kMultiStep: {
+      if (!request.weights.empty()) {
+        return Status::InvalidArgument(
+            "per-query weights are not supported for multi-step queries; "
+            "the plan's stages span several feature spaces");
+      }
+      DESS_ASSIGN_OR_RETURN(
+          response.results,
+          MultiStepQueryById(*this, query_id, request.plan, &response.stats,
+                             request.deadline));
+      break;
+    }
+  }
+  return response;
 }
 
 Result<std::vector<SearchResult>> SearchEngine::QueryByIdTopK(
@@ -239,12 +423,7 @@ Result<std::vector<SearchResult>> SearchEngine::QueryByIdTopK(
                         QueryTopK(raw, kind, k + (exclude_query ? 1 : 0),
                                   stats));
   if (exclude_query) {
-    results.erase(std::remove_if(results.begin(), results.end(),
-                                 [&](const SearchResult& r) {
-                                   return r.id == query_id;
-                                 }),
-                  results.end());
-    if (results.size() > k) results.resize(k);
+    ExcludeAndTrim(&results, query_id, k);
   }
   return results;
 }
@@ -256,11 +435,7 @@ Result<std::vector<SearchResult>> SearchEngine::QueryByIdThreshold(
   DESS_ASSIGN_OR_RETURN(std::vector<SearchResult> results,
                         QueryThreshold(raw, kind, min_similarity, stats));
   if (exclude_query) {
-    results.erase(std::remove_if(results.begin(), results.end(),
-                                 [&](const SearchResult& r) {
-                                   return r.id == query_id;
-                                 }),
-                  results.end());
+    ExcludeAndTrim(&results, query_id, /*k=*/0);
   }
   return results;
 }

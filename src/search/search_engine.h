@@ -3,26 +3,16 @@
 
 #include <array>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/common/result.h"
 #include "src/db/shape_database.h"
 #include "src/index/multidim_index.h"
+#include "src/search/query.h"
 #include "src/search/similarity.h"
 
 namespace dess {
-
-/// One retrieved shape.
-struct SearchResult {
-  int id = -1;
-  double distance = 0.0;
-  double similarity = 0.0;
-
-  bool operator<(const SearchResult& o) const {
-    if (distance != o.distance) return distance < o.distance;
-    return id < o.id;
-  }
-};
 
 /// Which index structure backs each feature space.
 enum class IndexBackend {
@@ -49,12 +39,26 @@ struct SearchEngineOptions {
   int disk_buffer_pages = 64;
 };
 
-/// Query-by-example engine over a ShapeDatabase: owns one similarity space
-/// and one multidimensional index per feature kind. The database must
-/// outlive the engine and not change size while the engine exists.
+/// Query-by-example engine over a frozen ShapeDatabase view: owns one
+/// similarity space and one multidimensional index per feature kind.
+///
+/// The engine shares ownership of the database view it was built from, so
+/// a built engine is self-contained and immutable: every query method is
+/// const and safe to call from many threads concurrently (the on-disk
+/// backend serializes its buffer pool internally). SetWeights is the one
+/// mutator and must not race with queries; snapshot-published engines never
+/// call it — per-query weights go through QueryRequest::weights instead.
 class SearchEngine {
  public:
-  /// Builds similarity spaces and indexes from the database contents.
+  /// Builds similarity spaces and indexes from the database contents. The
+  /// engine keeps the view alive for its own lifetime.
+  static Result<std::unique_ptr<SearchEngine>> Build(
+      std::shared_ptr<const ShapeDatabase> db,
+      const SearchEngineOptions& options = {});
+
+  /// Compatibility overload for callers owning a mutable database: the
+  /// engine aliases `db` without owning it. The database must outlive the
+  /// engine and not change while the engine exists.
   static Result<std::unique_ptr<SearchEngine>> Build(
       const ShapeDatabase* db, const SearchEngineOptions& options = {});
 
@@ -64,8 +68,22 @@ class SearchEngine {
     return spaces_[static_cast<int>(kind)];
   }
 
-  /// Replaces the per-dimension weights of one feature space (relevance
-  /// feedback's weight reconfiguration). Size must match the feature dim.
+  /// Executes one self-describing query (kTopK, kThreshold or kMultiStep)
+  /// against an external query signature. Honors `request.weights` and
+  /// `request.deadline`; fills QueryResponse::stats (epoch is left 0 — the
+  /// snapshot layer stamps it).
+  Result<QueryResponse> Query(const ShapeSignature& query,
+                              const QueryRequest& request) const;
+
+  /// Same, with a database shape as the query (always excluded from its own
+  /// results, as in the paper's effectiveness protocol).
+  Result<QueryResponse> QueryById(int query_id,
+                                  const QueryRequest& request) const;
+
+  /// Replaces the per-dimension weights of one feature space. Size must
+  /// match the feature dim. Mutates the engine: only valid on an engine the
+  /// caller exclusively owns, never on one published in a snapshot (use
+  /// QueryRequest::weights there).
   Status SetWeights(FeatureKind kind, const std::vector<double>& weights);
 
   /// Top-k most similar shapes to a raw (unstandardized) query feature
@@ -74,11 +92,25 @@ class SearchEngine {
       const std::vector<double>& raw_feature, FeatureKind kind, size_t k,
       QueryStats* stats = nullptr) const;
 
+  /// Like QueryTopK but with caller-supplied per-dimension weights instead
+  /// of the space's installed ones — the lock-free form of weight
+  /// reconfiguration (similarities are still normalized by the installed
+  /// d_max). Weights must match the feature dim and be non-negative.
+  Result<std::vector<SearchResult>> QueryTopKWeighted(
+      const std::vector<double>& raw_feature, FeatureKind kind, size_t k,
+      const std::vector<double>& weights, QueryStats* stats = nullptr) const;
+
   /// All shapes with similarity >= `min_similarity` (the paper's
   /// threshold-filter workflow of Figure 7), ascending by distance.
   Result<std::vector<SearchResult>> QueryThreshold(
       const std::vector<double>& raw_feature, FeatureKind kind,
       double min_similarity, QueryStats* stats = nullptr) const;
+
+  /// Threshold query with caller-supplied weights (see QueryTopKWeighted).
+  Result<std::vector<SearchResult>> QueryThresholdWeighted(
+      const std::vector<double>& raw_feature, FeatureKind kind,
+      double min_similarity, const std::vector<double>& weights,
+      QueryStats* stats = nullptr) const;
 
   /// Query by a database shape's own feature vector. If `exclude_query`,
   /// the query shape itself is dropped from the results (the paper does not
@@ -101,7 +133,22 @@ class SearchEngine {
  private:
   SearchEngine() = default;
 
-  const ShapeDatabase* db_ = nullptr;
+  /// Shared top-k path; `weights` nullptr means the space's installed
+  /// weights.
+  Result<std::vector<SearchResult>> QueryTopKImpl(
+      const std::vector<double>& raw_feature, FeatureKind kind, size_t k,
+      const std::vector<double>* weights, QueryStats* stats) const;
+
+  Result<std::vector<SearchResult>> QueryThresholdImpl(
+      const std::vector<double>& raw_feature, FeatureKind kind,
+      double min_similarity, const std::vector<double>* weights,
+      QueryStats* stats) const;
+
+  /// Validates request.weights against `kind` (empty is always valid).
+  Status CheckRequestWeights(const QueryRequest& request,
+                             FeatureKind kind) const;
+
+  std::shared_ptr<const ShapeDatabase> db_;
   SearchEngineOptions options_;
   std::array<SimilaritySpace, kNumFeatureKinds> spaces_;
   std::array<std::unique_ptr<MultiDimIndex>, kNumFeatureKinds> indexes_;

@@ -157,7 +157,9 @@ TEST_F(FeedbackTest, FeedbackRoundImprovesRecallForNoisyQuery) {
   if (fb.relevant_ids.size() < 2) GTEST_SKIP() << "query too easy/hard";
 
   std::vector<double> mutable_q = *q;
-  auto second = FeedbackRound(engine_.get(), kind, &mutable_q, fb, 8);
+  std::vector<double> session_weights;
+  auto second =
+      FeedbackRound(*engine_, kind, &mutable_q, &session_weights, fb, 8);
   ASSERT_TRUE(second.ok());
   int hits_after = 0;
   for (const SearchResult& r : *second) {

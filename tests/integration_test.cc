@@ -45,8 +45,8 @@ TEST_F(IntegrationTest, DatabasePopulated) {
 }
 
 TEST_F(IntegrationTest, RetrievalBeatsChanceOnMomentFeatures) {
-  auto engine = system_->engine();
-  ASSERT_TRUE(engine.ok());
+  auto snapshot = system_->CurrentSnapshot();
+  ASSERT_TRUE(snapshot.ok());
   // For each grouped query, check whether its single group mate appears in
   // the top-3 by principal moments. Chance level is 3/19; demand much
   // better.
@@ -54,7 +54,7 @@ TEST_F(IntegrationTest, RetrievalBeatsChanceOnMomentFeatures) {
   for (const ShapeRecord& rec : system_->db().records()) {
     if (rec.group == kUngrouped) continue;
     ++queries;
-    auto results = (*engine)->QueryByIdTopK(
+    auto results = (*snapshot)->engine().QueryByIdTopK(
         rec.id, FeatureKind::kPrincipalMoments, 3);
     ASSERT_TRUE(results.ok());
     for (const SearchResult& r : *results) {
@@ -70,9 +70,9 @@ TEST_F(IntegrationTest, RetrievalBeatsChanceOnMomentFeatures) {
 }
 
 TEST_F(IntegrationTest, AverageEffectivenessRuns) {
-  auto engine = system_->engine();
-  ASSERT_TRUE(engine.ok());
-  auto rows = RunAverageEffectiveness(**engine);
+  auto snapshot = system_->CurrentSnapshot();
+  ASSERT_TRUE(snapshot.ok());
+  auto rows = RunAverageEffectiveness((*snapshot)->engine());
   ASSERT_TRUE(rows.ok()) << rows.status().ToString();
   ASSERT_EQ(rows->size(), 5u);
   // Sanity: all within [0, 1]; at least one method finds something.
@@ -86,10 +86,10 @@ TEST_F(IntegrationTest, AverageEffectivenessRuns) {
 }
 
 TEST_F(IntegrationTest, PrCurvesForRepresentativeShapes) {
-  auto engine = system_->engine();
-  ASSERT_TRUE(engine.ok());
+  auto snapshot = system_->CurrentSnapshot();
+  ASSERT_TRUE(snapshot.ok());
   const auto queries = PickRepresentativeQueries(system_->db(), 3);
-  auto bundles = RunPrCurveExperiment(**engine, queries, 6);
+  auto bundles = RunPrCurveExperiment((*snapshot)->engine(), queries, 6);
   ASSERT_TRUE(bundles.ok());
   EXPECT_EQ(bundles->size(), 3u);
   // Threshold 0 retrieves everything: recall 1.

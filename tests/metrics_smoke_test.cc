@@ -190,13 +190,14 @@ TEST(MetricsSmokeTest, EndToEndPipelineAndQueryPathCounters) {
 
   auto probe = QuickMesh(77, 0);
   ASSERT_TRUE(probe.ok());
-  auto topk = system.QueryByMesh(*probe, FeatureKind::kPrincipalMoments, 2);
+  auto topk = system.QueryByMesh(
+      *probe, QueryRequest::TopK(FeatureKind::kPrincipalMoments, 2));
   ASSERT_TRUE(topk.ok()) << topk.status().ToString();
-  ASSERT_EQ(topk->size(), 2u);
-  auto multistep =
-      system.MultiStepByMesh(*probe, MultiStepPlan::Standard(3, 2));
+  ASSERT_EQ(topk->results.size(), 2u);
+  auto multistep = system.QueryByMesh(
+      *probe, QueryRequest::MultiStep(MultiStepPlan::Standard(3, 2)));
   ASSERT_TRUE(multistep.ok()) << multistep.status().ToString();
-  ASSERT_EQ(multistep->size(), 2u);
+  ASSERT_EQ(multistep->results.size(), 2u);
 
   const MetricsSnapshot snap = registry->Snapshot();
 
@@ -218,8 +219,8 @@ TEST(MetricsSmokeTest, EndToEndPipelineAndQueryPathCounters) {
       "search.multistep",
       "system.ingest_shape",
       "system.commit",
-      "system.query_by_mesh",
-      "system.multistep_by_mesh",
+      "snapshot.build",
+      "system.query",
   };
   for (const char* stage : kExpectedStages) {
     EXPECT_TRUE(HasHistogram(snap, stage)) << "missing stage span: " << stage;
@@ -230,8 +231,7 @@ TEST(MetricsSmokeTest, EndToEndPipelineAndQueryPathCounters) {
   EXPECT_EQ(CounterValue(snap, "system.commits"), 1u);
   EXPECT_EQ(CounterValue(snap, "pipeline.extractions"),
             static_cast<uint64_t>(kNumShapes + 2));
-  EXPECT_EQ(CounterValue(snap, "system.queries_by_mesh"), 1u);
-  EXPECT_EQ(CounterValue(snap, "system.multistep_queries_by_mesh"), 1u);
+  EXPECT_EQ(CounterValue(snap, "system.queries"), 2u);
 
   // Query-path consistency: step-2 re-ranked <= step-1 retrieved <= db size.
   const uint64_t step1 = CounterValue(snap, "multistep.step1_retrieved");
@@ -242,7 +242,7 @@ TEST(MetricsSmokeTest, EndToEndPipelineAndQueryPathCounters) {
   EXPECT_GT(reranked, 0u);
   EXPECT_LE(reranked, step1);
   EXPECT_LE(step1, static_cast<uint64_t>(system.db().NumShapes()));
-  EXPECT_EQ(final_k, multistep->size());
+  EXPECT_EQ(final_k, multistep->results.size());
 
   // The search engine answered at least the two explicit queries and
   // evaluated distances against index candidates.

@@ -1,0 +1,148 @@
+// Pins the error-code taxonomy of the QueryRequest/QueryResponse serving
+// API: uncommitted and invalidated query paths uniformly return
+// FailedPrecondition, expired deadlines return DeadlineExceeded, malformed
+// requests return InvalidArgument, and unknown shapes return NotFound.
+// Callers are expected to branch on these codes, so they are contract.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "src/core/system.h"
+#include "tests/test_util.h"
+
+namespace dess {
+namespace {
+
+SystemOptions FastSystemOptions() {
+  SystemOptions opt;
+  opt.hierarchy.max_leaf_size = 4;
+  return opt;
+}
+
+class QueryApiTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    system_ = std::make_unique<Dess3System>(FastSystemOptions());
+    db_ = testing_util::BuildSyntheticFeatureDb(3, 3, 1);
+    for (const ShapeRecord& rec : db_.records()) {
+      system_->IngestRecord(rec);
+    }
+  }
+
+  const ShapeSignature& Probe() {
+    return (*db_.Get(0))->signature;
+  }
+
+  ShapeDatabase db_;
+  std::unique_ptr<Dess3System> system_;
+};
+
+TEST_F(QueryApiTest, UncommittedPathsReturnFailedPrecondition) {
+  // Every read entry point must agree on the code before the first
+  // Commit(): FailedPrecondition, not NotFound or InvalidArgument.
+  const QueryRequest request =
+      QueryRequest::TopK(FeatureKind::kPrincipalMoments, 2);
+  auto by_sig = system_->QueryBySignature(Probe(), request);
+  ASSERT_FALSE(by_sig.ok());
+  EXPECT_EQ(by_sig.status().code(), StatusCode::kFailedPrecondition);
+  auto by_id = system_->QueryByShapeId(0, request);
+  ASSERT_FALSE(by_id.ok());
+  EXPECT_EQ(by_id.status().code(), StatusCode::kFailedPrecondition);
+  auto snapshot = system_->CurrentSnapshot();
+  ASSERT_FALSE(snapshot.ok());
+  EXPECT_EQ(snapshot.status().code(), StatusCode::kFailedPrecondition);
+  auto hierarchy = system_->Hierarchy(FeatureKind::kSpectral);
+  ASSERT_FALSE(hierarchy.ok());
+  EXPECT_EQ(hierarchy.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(QueryApiTest, ExpiredDeadlineReturnsDeadlineExceeded) {
+  ASSERT_TRUE(system_->Commit().ok());
+  QueryRequest request = QueryRequest::TopK(FeatureKind::kPrincipalMoments, 2);
+  request.deadline =
+      std::chrono::steady_clock::now() - std::chrono::seconds(1);
+  ASSERT_TRUE(request.has_deadline());
+  auto response = system_->QueryBySignature(Probe(), request);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kDeadlineExceeded);
+
+  QueryRequest multi = QueryRequest::MultiStep(MultiStepPlan::Standard(4, 2));
+  multi.deadline = request.deadline;
+  auto multistep = system_->QueryByShapeId(0, multi);
+  ASSERT_FALSE(multistep.ok());
+  EXPECT_EQ(multistep.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(QueryApiTest, FutureDeadlinePasses) {
+  ASSERT_TRUE(system_->Commit().ok());
+  QueryRequest request = QueryRequest::TopK(FeatureKind::kPrincipalMoments, 2);
+  request.deadline = std::chrono::steady_clock::now() + std::chrono::hours(1);
+  auto response = system_->QueryByShapeId(0, request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->results.size(), 2u);
+}
+
+TEST_F(QueryApiTest, MalformedWeightsReturnInvalidArgument) {
+  ASSERT_TRUE(system_->Commit().ok());
+  QueryRequest request = QueryRequest::TopK(FeatureKind::kPrincipalMoments, 2);
+  request.weights = {1.0, 2.0};  // wrong dimension
+  auto wrong_dim = system_->QueryByShapeId(0, request);
+  ASSERT_FALSE(wrong_dim.ok());
+  EXPECT_EQ(wrong_dim.status().code(), StatusCode::kInvalidArgument);
+
+  request.weights.assign(FeatureDim(FeatureKind::kPrincipalMoments), 1.0);
+  request.weights[0] = -1.0;
+  auto negative = system_->QueryByShapeId(0, request);
+  ASSERT_FALSE(negative.ok());
+  EXPECT_EQ(negative.status().code(), StatusCode::kInvalidArgument);
+
+  QueryRequest multi = QueryRequest::MultiStep(MultiStepPlan::Standard(4, 2));
+  multi.weights.assign(FeatureDim(FeatureKind::kMomentInvariants), 1.0);
+  auto multistep = system_->QueryByShapeId(0, multi);
+  ASSERT_FALSE(multistep.ok());
+  EXPECT_EQ(multistep.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(QueryApiTest, UnknownShapeReturnsNotFound) {
+  ASSERT_TRUE(system_->Commit().ok());
+  auto response = system_->QueryByShapeId(
+      9999, QueryRequest::TopK(FeatureKind::kPrincipalMoments, 2));
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(QueryApiTest, PerRequestWeightsMatchInstalledWeights) {
+  ASSERT_TRUE(system_->Commit().ok());
+  auto snapshot = system_->CurrentSnapshot();
+  ASSERT_TRUE(snapshot.ok());
+  const FeatureKind kind = FeatureKind::kPrincipalMoments;
+
+  // Unit weights equal the default installed weights, so the weighted
+  // request must be bit-identical to the unweighted one.
+  QueryRequest plain = QueryRequest::TopK(kind, 4);
+  QueryRequest weighted = plain;
+  weighted.weights.assign(FeatureDim(kind), 1.0);
+  auto a = (*snapshot)->QueryById(0, plain);
+  auto b = (*snapshot)->QueryById(0, weighted);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->results.size(), b->results.size());
+  for (size_t i = 0; i < a->results.size(); ++i) {
+    EXPECT_TRUE(a->results[i] == b->results[i]) << "rank " << i;
+  }
+}
+
+TEST_F(QueryApiTest, ThresholdModeHonorsFloor) {
+  ASSERT_TRUE(system_->Commit().ok());
+  auto response = system_->QueryByShapeId(
+      0, QueryRequest::Threshold(FeatureKind::kPrincipalMoments, 0.9));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  for (const SearchResult& r : response->results) {
+    EXPECT_GE(r.similarity, 0.9);
+    EXPECT_NE(r.id, 0);
+  }
+}
+
+}  // namespace
+}  // namespace dess

@@ -28,7 +28,8 @@ class SearchEngineTest : public ::testing::Test {
 TEST_F(SearchEngineTest, BuildRejectsEmptyDb) {
   ShapeDatabase empty;
   EXPECT_FALSE(SearchEngine::Build(&empty).ok());
-  EXPECT_FALSE(SearchEngine::Build(nullptr).ok());
+  EXPECT_FALSE(
+      SearchEngine::Build(static_cast<const ShapeDatabase*>(nullptr)).ok());
 }
 
 TEST_F(SearchEngineTest, QueryByIdFindsGroupMembersFirst) {

@@ -27,8 +27,12 @@ Result<TriMesh> QuickMesh(uint64_t seed, int family = 0) {
 TEST(SystemTest, CommitRequiresShapes) {
   Dess3System system(FastSystemOptions());
   EXPECT_FALSE(system.Commit().ok());
-  EXPECT_FALSE(system.engine().ok());
-  EXPECT_FALSE(system.Hierarchy(FeatureKind::kSpectral).ok());
+  auto snapshot = system.CurrentSnapshot();
+  ASSERT_FALSE(snapshot.ok());
+  EXPECT_EQ(snapshot.status().code(), StatusCode::kFailedPrecondition);
+  auto hierarchy = system.Hierarchy(FeatureKind::kSpectral);
+  ASSERT_FALSE(hierarchy.ok());
+  EXPECT_EQ(hierarchy.status().code(), StatusCode::kFailedPrecondition);
 }
 
 TEST(SystemTest, IngestExtractsAllFeatures) {
@@ -56,21 +60,29 @@ TEST(SystemTest, QueryLifecycleAndInvalidation) {
   }
   ASSERT_TRUE(system.Commit().ok());
   ASSERT_TRUE(system.IsCommitted());
-  auto engine = system.engine();
-  ASSERT_TRUE(engine.ok());
-  auto results =
-      (*engine)->QueryByIdTopK(0, FeatureKind::kPrincipalMoments, 2);
-  ASSERT_TRUE(results.ok());
-  EXPECT_EQ(results->size(), 2u);
+  EXPECT_EQ(system.PublishedEpoch(), 1u);
+  auto response = system.QueryByShapeId(
+      0, QueryRequest::TopK(FeatureKind::kPrincipalMoments, 2));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->results.size(), 2u);
+  EXPECT_EQ(response->epoch, 1u);
 
-  // Ingesting invalidates the committed engine.
+  // Ingesting marks the system dirty, but the published snapshot keeps
+  // serving its epoch until the next Commit().
   auto mesh = QuickMesh(9);
   ASSERT_TRUE(mesh.ok());
   ASSERT_TRUE(system.IngestMesh(*mesh, "late", 0).ok());
   EXPECT_FALSE(system.IsCommitted());
-  EXPECT_FALSE(system.engine().ok());
+  auto stale = system.QueryByShapeId(
+      0, QueryRequest::TopK(FeatureKind::kPrincipalMoments, 2));
+  ASSERT_TRUE(stale.ok());
+  EXPECT_EQ(stale->epoch, 1u);
+  auto snapshot = system.CurrentSnapshot();
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_LT((*snapshot)->db().NumShapes(), system.db().NumShapes());
   ASSERT_TRUE(system.Commit().ok());
   EXPECT_TRUE(system.IsCommitted());
+  EXPECT_EQ(system.PublishedEpoch(), 2u);
 }
 
 TEST(SystemTest, QueryByExternalMesh) {
@@ -90,12 +102,12 @@ TEST(SystemTest, QueryByExternalMesh) {
   // Query with a fresh tube (not in the DB): tube group should dominate.
   auto probe = QuickMesh(42, 7);
   ASSERT_TRUE(probe.ok());
-  auto results =
-      system.QueryByMesh(*probe, FeatureKind::kPrincipalMoments, 3);
-  ASSERT_TRUE(results.ok()) << results.status().ToString();
-  ASSERT_EQ(results->size(), 3u);
+  auto response = system.QueryByMesh(
+      *probe, QueryRequest::TopK(FeatureKind::kPrincipalMoments, 3));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_EQ(response->results.size(), 3u);
   int tube_hits = 0;
-  for (const SearchResult& r : *results) {
+  for (const SearchResult& r : response->results) {
     auto rec = system.db().Get(r.id);
     ASSERT_TRUE(rec.ok());
     if ((*rec)->group == 1) ++tube_hits;
@@ -116,9 +128,10 @@ TEST(SystemTest, MultiStepByMesh) {
   ASSERT_TRUE(system.Commit().ok());
   auto probe = QuickMesh(50, 0);
   ASSERT_TRUE(probe.ok());
-  auto results = system.MultiStepByMesh(*probe, MultiStepPlan::Standard(4, 2));
-  ASSERT_TRUE(results.ok());
-  EXPECT_EQ(results->size(), 2u);
+  auto response = system.QueryByMesh(
+      *probe, QueryRequest::MultiStep(MultiStepPlan::Standard(4, 2)));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->results.size(), 2u);
 }
 
 TEST(SystemTest, HierarchiesBuiltPerFeature) {
@@ -185,10 +198,10 @@ TEST(SystemTest, SaveLoadRoundTrip) {
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
   EXPECT_EQ((*loaded)->db().NumShapes(), system.db().NumShapes());
   EXPECT_TRUE((*loaded)->IsCommitted());
-  auto engine = (*loaded)->engine();
-  ASSERT_TRUE(engine.ok());
-  auto results =
-      (*engine)->QueryByIdTopK(0, FeatureKind::kPrincipalMoments, 2);
+  auto snapshot = (*loaded)->CurrentSnapshot();
+  ASSERT_TRUE(snapshot.ok());
+  auto results = (*snapshot)->engine().QueryByIdTopK(
+      0, FeatureKind::kPrincipalMoments, 2);
   ASSERT_TRUE(results.ok());
   EXPECT_EQ(results->size(), 2u);
   std::filesystem::remove_all(dir);
