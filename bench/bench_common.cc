@@ -39,7 +39,7 @@ std::unique_ptr<Dess3System> BuildFresh(const std::string& cache_path) {
   }
   auto system = std::make_unique<Dess3System>(StandardSystemOptions());
   Status st = system->IngestDatasetParallel(*dataset);
-  if (st.ok()) st = system->Commit();
+  if (st.ok()) st = system->Commit().status();
   if (!st.ok()) {
     std::fprintf(stderr, "system build failed: %s\n", st.ToString().c_str());
     std::abort();

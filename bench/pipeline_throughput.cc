@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -240,6 +242,85 @@ void BM_QueryConcurrent(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_QueryConcurrent)->ThreadRange(1, 4)->UseRealTime();
+
+// Cold start: reopening a persisted snapshot directory versus re-ingesting
+// the same corpus through the full geometry pipeline and rebuilding every
+// index. The default corpus is small so the smoke run stays fast on one
+// core; set DESS_BENCH_FULL=1 for the paper's 113-shape database at
+// voxel resolution 64.
+struct ColdStartFixture {
+  Dataset dataset;
+  SystemOptions options;
+  std::string snap_dir;
+};
+
+const ColdStartFixture& ColdStart() {
+  static const ColdStartFixture* fixture = [] {
+    auto* f = new ColdStartFixture();
+    const bool full = std::getenv("DESS_BENCH_FULL") != nullptr;
+    DatasetOptions ds;
+    ds.seed = 7;
+    ds.mesh_resolution = full ? 40 : 24;
+    if (!full) {
+      ds.num_groups = 4;
+      ds.num_noise = 3;
+    }
+    f->options.extraction.voxelization.resolution = full ? 64 : 56;
+    f->options.hierarchy.max_leaf_size = 4;
+    auto dataset = BuildStandardDataset(ds);
+    if (!dataset.ok()) return f;
+    f->dataset = std::move(*dataset);
+    Dess3System system(f->options);
+    (void)system.IngestDatasetParallel(f->dataset);
+    (void)system.Commit();
+    f->snap_dir = (std::filesystem::temp_directory_path() /
+                   "dess_bench_snapshot")
+                      .string();
+    SaveOptions save;
+    save.overwrite = true;
+    (void)system.SaveSnapshot(f->snap_dir, save);
+    return f;
+  }();
+  return *fixture;
+}
+
+void BM_ColdStartReopen(benchmark::State& state) {
+  const ColdStartFixture& fx = ColdStart();
+  size_t shapes = 0;
+  for (auto _ : state) {
+    auto system = Dess3System::OpenFromSnapshot(fx.snap_dir);
+    if (system.ok()) shapes = (*system)->db().NumShapes();
+    benchmark::DoNotOptimize(system);
+  }
+  state.counters["shapes"] = static_cast<double>(shapes);
+}
+BENCHMARK(BM_ColdStartReopen);
+
+// Eager open (read_all): rebuilds in-memory R-trees from the persisted
+// features — still no geometry pipeline, so it sits between lazy reopen
+// and full re-ingest.
+void BM_ColdStartReopenEager(benchmark::State& state) {
+  const ColdStartFixture& fx = ColdStart();
+  OpenOptions open;
+  open.read_all = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Dess3System::OpenFromSnapshot(fx.snap_dir, open));
+  }
+}
+BENCHMARK(BM_ColdStartReopenEager);
+
+void BM_ColdStartReingest(benchmark::State& state) {
+  const ColdStartFixture& fx = ColdStart();
+  for (auto _ : state) {
+    Dess3System system(fx.options);
+    (void)system.IngestDatasetParallel(fx.dataset);
+    benchmark::DoNotOptimize(system.Commit());
+  }
+  state.counters["shapes"] =
+      static_cast<double>(fx.dataset.shapes.size());
+}
+BENCHMARK(BM_ColdStartReingest);
 
 // Splices the process-wide metrics snapshot into the google-benchmark JSON
 // report as a top-level "dess_metrics" key, so BENCH_pipeline.json carries

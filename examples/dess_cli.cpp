@@ -84,7 +84,7 @@ int CmdBuild(int argc, char** argv) {
   if (!dataset.ok()) return Fail(dataset.status());
   Dess3System system(CliSystemOptions());
   if (Status st = system.IngestDataset(*dataset); !st.ok()) return Fail(st);
-  if (Status st = system.Commit(); !st.ok()) return Fail(st);
+  if (auto epoch = system.Commit(); !epoch.ok()) return Fail(epoch.status());
   if (Status st = system.Save(argv[2]); !st.ok()) return Fail(st);
   std::printf("built %zu shapes (%d groups) -> %s\n",
               system.db().NumShapes(), system.db().NumGroups(), argv[2]);
@@ -104,7 +104,9 @@ int CmdIngest(int argc, char** argv) {
   const int group = argc > 4 ? std::atoi(argv[4]) : kUngrouped;
   auto id = (*system)->IngestMesh(*mesh, argv[3], group);
   if (!id.ok()) return Fail(id.status());
-  if (Status st = (*system)->Commit(); !st.ok()) return Fail(st);
+  if (auto epoch = (*system)->Commit(); !epoch.ok()) {
+    return Fail(epoch.status());
+  }
   if (Status st = (*system)->Save(argv[2]); !st.ok()) return Fail(st);
   std::printf("ingested '%s' as shape %d (group %d)\n", argv[3], *id, group);
   return 0;
@@ -285,7 +287,7 @@ int CmdBuildFromDir(int argc, char** argv) {
   if (Status st = system.IngestDatasetParallel(*dataset); !st.ok()) {
     return Fail(st);
   }
-  if (Status st = system.Commit(); !st.ok()) return Fail(st);
+  if (auto epoch = system.Commit(); !epoch.ok()) return Fail(epoch.status());
   if (Status st = system.Save(argv[2]); !st.ok()) return Fail(st);
   std::printf("indexed %zu shapes from %s -> %s\n",
               system.db().NumShapes(), argv[3], argv[2]);

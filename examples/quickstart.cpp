@@ -41,12 +41,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "ingest: %s\n", st.ToString().c_str());
     return 1;
   }
-  if (Status st = system.Commit(); !st.ok()) {
-    std::fprintf(stderr, "commit: %s\n", st.ToString().c_str());
+  auto epoch = system.Commit();
+  if (!epoch.ok()) {
+    std::fprintf(stderr, "commit: %s\n", epoch.status().ToString().c_str());
     return 1;
   }
-  std::printf("indexed %zu shapes (4 feature spaces, R-tree each)\n\n",
-              system.db().NumShapes());
+  std::printf("indexed %zu shapes at epoch %llu "
+              "(4 feature spaces, R-tree each)\n\n",
+              system.db().NumShapes(),
+              static_cast<unsigned long long>(*epoch));
 
   // 3. Query by example: pick the first shape of group 0 and search each
   //    feature space through the snapshot published by Commit().
@@ -83,5 +86,34 @@ int main(int argc, char** argv) {
     const PrPoint pr = ComputePrecisionRecall(ids, relevant);
     std::printf("  precision %.2f, recall %.2f\n", pr.precision, pr.recall);
   }
+
+  // 4. Persist the published snapshot and reopen it cold: the reopened
+  //    system answers at the same epoch with identical results, without
+  //    re-running the geometry pipeline or rebuilding any index.
+  const std::string snap_dir = "quickstart_snapshot";
+  SaveOptions save_opt;
+  save_opt.overwrite = true;
+  if (Status st = system.SaveSnapshot(snap_dir, save_opt); !st.ok()) {
+    std::fprintf(stderr, "save snapshot: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  auto reopened = Dess3System::OpenFromSnapshot(snap_dir);
+  if (!reopened.ok()) {
+    std::fprintf(stderr, "reopen: %s\n",
+                 reopened.status().ToString().c_str());
+    return 1;
+  }
+  auto re_response = (*reopened)->QueryByShapeId(
+      query_id, QueryRequest::TopK(FeatureKind::kMomentInvariants, 5));
+  if (!re_response.ok()) {
+    std::fprintf(stderr, "reopened query: %s\n",
+                 re_response.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nsaved -> %s, reopened at epoch %llu; top result '%s'\n",
+              snap_dir.c_str(),
+              static_cast<unsigned long long>((*reopened)->PublishedEpoch()),
+              (*(*reopened)->db().Get(re_response->results[0].id))
+                  ->name.c_str());
   return 0;
 }

@@ -1,0 +1,36 @@
+#include "src/common/crc32c.h"
+
+namespace dess {
+namespace {
+
+/// Reflected CRC-32C polynomial.
+constexpr uint32_t kPoly = 0x82F63B78u;
+
+const uint32_t* Table() {
+  static const uint32_t* table = [] {
+    static uint32_t t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n) {
+  const uint32_t* table = Table();
+  const auto* p = static_cast<const uint8_t*>(data);
+  crc ^= 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace dess

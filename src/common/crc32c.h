@@ -1,0 +1,21 @@
+#ifndef DESS_COMMON_CRC32C_H_
+#define DESS_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dess {
+
+/// Extends a running CRC-32C (Castagnoli polynomial, the checksum used by
+/// iSCSI/ext4/leveldb) over `n` more bytes. Start from 0 and feed chunks in
+/// order; the result is independent of the chunking.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
+
+/// CRC-32C of a single buffer.
+inline uint32_t Crc32c(const void* data, size_t n) {
+  return Crc32cExtend(0, data, n);
+}
+
+}  // namespace dess
+
+#endif  // DESS_COMMON_CRC32C_H_

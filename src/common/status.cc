@@ -26,6 +26,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "failed precondition";
     case StatusCode::kDeadlineExceeded:
       return "deadline exceeded";
+    case StatusCode::kDataLoss:
+      return "data loss";
   }
   return "unknown";
 }

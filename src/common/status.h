@@ -21,6 +21,7 @@ enum class StatusCode {
   kInternal,
   kFailedPrecondition,
   kDeadlineExceeded,
+  kDataLoss,
 };
 
 /// Returns the canonical lowercase name of a status code ("ok",
@@ -73,6 +74,14 @@ class Status {
   /// The request's deadline passed before the operation could complete.
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  /// Stored data is unrecoverably lost or corrupted (e.g. a snapshot
+  /// section whose checksum no longer matches its manifest entry).
+  /// Distinct from kCorruption: DataLoss is the persistence layer's
+  /// verdict after verification, kCorruption is a parser's complaint about
+  /// a malformed stream.
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,634 @@
+// The on-disk snapshot format (see persistence.h for the directory layout
+// and failure taxonomy). Everything format-shaped lives in this one file:
+// SystemSnapshot::SaveTo writes it, Dess3System::OpenFromSnapshot reads it
+// back, and the MANIFEST ties the two together with a format version, the
+// answering epoch, and a CRC-32C per section.
+
+#include "src/core/persistence.h"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/common/crc32c.h"
+#include "src/common/metrics.h"
+#include "src/common/strings.h"
+#include "src/core/snapshot.h"
+#include "src/core/system.h"
+#include "src/db/serialization.h"
+#include "src/index/disk_rtree.h"
+#include "src/index/rtree.h"
+
+namespace dess {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr uint32_t kManifestMagic = 0x504E5344;  // "DSNP"
+constexpr uint32_t kFlagIncludeMeshes = 1u << 0;
+constexpr uint32_t kFlagStandardize = 1u << 1;
+
+/// Parse-time sanity bounds: a valid manifest has ~11 sections and a valid
+/// hierarchy is bounded by HierarchyOptions::max_depth / branch_factor;
+/// anything past these limits is a corrupt length prefix, not real data.
+constexpr uint32_t kMaxManifestSections = 64;
+constexpr int kMaxHierarchyDepth = 64;
+constexpr uint32_t kMaxHierarchyChildren = 4096;
+
+/// One MANIFEST entry: a section file with its expected size and CRC-32C.
+struct ManifestSection {
+  std::string file;
+  uint64_t size = 0;
+  uint32_t crc = 0;
+};
+
+struct Manifest {
+  uint32_t version = kSnapshotFormatVersion;
+  uint64_t epoch = 0;
+  uint32_t flags = 0;
+  uint64_t num_shapes = 0;
+  std::vector<ManifestSection> sections;
+};
+
+std::string HierarchyFileName(FeatureKind kind) {
+  return kSnapshotHierarchyPrefix + FeatureKindName(kind) +
+         kSnapshotHierarchySuffix;
+}
+
+std::string IndexFileName(FeatureKind kind) {
+  return kSnapshotIndexPrefix + FeatureKindName(kind) + kSnapshotIndexSuffix;
+}
+
+const ManifestSection* FindSection(const Manifest& manifest,
+                                   const std::string& file) {
+  for (const ManifestSection& s : manifest.sections) {
+    if (s.file == file) return &s;
+  }
+  return nullptr;
+}
+
+/// Writes the MANIFEST: header, section table, then a trailing CRC-32C of
+/// every preceding byte, so a reader can reject any torn or bit-flipped
+/// manifest before trusting a single field.
+Status WriteManifest(const std::string& path, const Manifest& manifest) {
+  BinaryWriter w(path);
+  if (!w.ok()) return Status::IOError("cannot open for write: " + path);
+  w.WriteU32(kManifestMagic);
+  w.WriteU32(manifest.version);
+  w.WriteU64(manifest.epoch);
+  w.WriteU32(manifest.flags);
+  w.WriteU64(manifest.num_shapes);
+  w.WriteU32(static_cast<uint32_t>(manifest.sections.size()));
+  for (const ManifestSection& s : manifest.sections) {
+    w.WriteString(s.file);
+    w.WriteU64(s.size);
+    w.WriteU32(s.crc);
+  }
+  const uint32_t self_crc = w.crc32c();
+  w.WriteU32(self_crc);
+  return w.Finish();
+}
+
+/// Reads and validates a MANIFEST. Taxonomy, in check order: NotFound when
+/// the file does not exist, DataLoss when its self-CRC (or any field) is
+/// bad, FailedPrecondition when the CRC is valid but the format version is
+/// not ours — the self-CRC runs first so a bit flip in the version field
+/// reads as corruption, not as version skew.
+Result<Manifest> ReadManifest(const std::string& path) {
+  std::error_code ec;
+  if (!fs::exists(path, ec)) {
+    return Status::NotFound("no snapshot manifest at '" + path + "'");
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  std::string buf((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  if (!in.good() && !in.eof()) {
+    return Status::IOError("cannot read manifest: " + path);
+  }
+  // Header (32 bytes) + trailing self-CRC is the smallest valid manifest.
+  if (buf.size() < 36) {
+    return Status::DataLoss("snapshot manifest truncated: " + path);
+  }
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, buf.data() + buf.size() - sizeof(stored_crc),
+              sizeof(stored_crc));
+  if (Crc32c(buf.data(), buf.size() - sizeof(stored_crc)) != stored_crc) {
+    return Status::DataLoss("snapshot manifest checksum mismatch: " + path);
+  }
+
+  BinaryReader r(path);
+  if (!r.ok()) return Status::IOError("cannot open for read: " + path);
+  Manifest manifest;
+  uint32_t magic = 0;
+  if (!r.ReadU32(&magic) || magic != kManifestMagic) {
+    return Status::DataLoss("bad snapshot manifest magic: " + path);
+  }
+  if (!r.ReadU32(&manifest.version)) {
+    return Status::DataLoss("snapshot manifest truncated: " + path);
+  }
+  if (manifest.version != kSnapshotFormatVersion) {
+    return Status::FailedPrecondition(StrFormat(
+        "snapshot format version %u, this build reads version %u: %s",
+        manifest.version, kSnapshotFormatVersion, path.c_str()));
+  }
+  uint32_t num_sections = 0;
+  if (!r.ReadU64(&manifest.epoch) || !r.ReadU32(&manifest.flags) ||
+      !r.ReadU64(&manifest.num_shapes) || !r.ReadU32(&num_sections) ||
+      num_sections > kMaxManifestSections) {
+    return Status::DataLoss("unparseable snapshot manifest: " + path);
+  }
+  manifest.sections.resize(num_sections);
+  for (ManifestSection& s : manifest.sections) {
+    if (!r.ReadString(&s.file) || !r.ReadU64(&s.size) || !r.ReadU32(&s.crc) ||
+        s.file.empty()) {
+      return Status::DataLoss("unparseable snapshot manifest: " + path);
+    }
+  }
+  return manifest;
+}
+
+/// records.bin: the catalog and all four feature vectors of every record,
+/// in store order. Geometry lives in the (optional) meshes.bin so that
+/// feature-only snapshots stay small.
+Status WriteRecords(const std::string& path, const ShapeDatabase& db) {
+  BinaryWriter w(path);
+  if (!w.ok()) return Status::IOError("cannot open for write: " + path);
+  w.WriteU64(db.NumShapes());
+  for (const ShapeRecord& rec : db.records()) {
+    w.WriteI32(rec.id);
+    w.WriteString(rec.name);
+    w.WriteI32(rec.group);
+    w.WriteU32(kNumFeatureKinds);
+    for (const FeatureVector& fv : rec.signature.features) {
+      w.WriteU32(static_cast<uint32_t>(fv.kind));
+      w.WriteF64Vector(fv.values);
+    }
+  }
+  return w.Finish();
+}
+
+Status LoadRecords(const std::string& path,
+                   std::vector<ShapeRecord>* records) {
+  BinaryReader r(path);
+  if (!r.ok()) return Status::IOError("cannot open for read: " + path);
+  uint64_t count = 0;
+  if (!r.ReadU64(&count)) {
+    return Status::DataLoss("truncated snapshot records: " + path);
+  }
+  records->clear();
+  records->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    ShapeRecord rec;
+    int32_t id = 0, group = 0;
+    uint32_t nf = 0;
+    if (!r.ReadI32(&id) || !r.ReadString(&rec.name) || !r.ReadI32(&group) ||
+        !r.ReadU32(&nf) || nf != kNumFeatureKinds) {
+      return Status::DataLoss("truncated snapshot records: " + path);
+    }
+    rec.id = id;
+    rec.group = group;
+    for (uint32_t f = 0; f < nf; ++f) {
+      uint32_t kind = 0;
+      std::vector<double> values;
+      if (!r.ReadU32(&kind) || kind >= kNumFeatureKinds ||
+          !r.ReadF64Vector(&values)) {
+        return Status::DataLoss("bad feature vector in snapshot records: " +
+                                path);
+      }
+      FeatureVector& fv =
+          rec.signature.Mutable(static_cast<FeatureKind>(kind));
+      fv.kind = static_cast<FeatureKind>(kind);
+      fv.values = std::move(values);
+    }
+    records->push_back(std::move(rec));
+  }
+  return r.Finish();
+}
+
+/// meshes.bin: record geometry keyed by id, same order as records.bin.
+Status WriteMeshes(const std::string& path, const ShapeDatabase& db) {
+  BinaryWriter w(path);
+  if (!w.ok()) return Status::IOError("cannot open for write: " + path);
+  w.WriteU64(db.NumShapes());
+  for (const ShapeRecord& rec : db.records()) {
+    w.WriteI32(rec.id);
+    w.WriteU64(rec.mesh.NumVertices());
+    for (const Vec3& v : rec.mesh.vertices()) {
+      w.WriteF64(v.x);
+      w.WriteF64(v.y);
+      w.WriteF64(v.z);
+    }
+    w.WriteU64(rec.mesh.NumTriangles());
+    for (const auto& t : rec.mesh.triangles()) {
+      w.WriteU32(t[0]);
+      w.WriteU32(t[1]);
+      w.WriteU32(t[2]);
+    }
+  }
+  return w.Finish();
+}
+
+Status LoadMeshes(const std::string& path,
+                  std::unordered_map<int, TriMesh>* meshes) {
+  BinaryReader r(path);
+  if (!r.ok()) return Status::IOError("cannot open for read: " + path);
+  uint64_t count = 0;
+  if (!r.ReadU64(&count)) {
+    return Status::DataLoss("truncated snapshot meshes: " + path);
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    int32_t id = 0;
+    uint64_t nv = 0;
+    if (!r.ReadI32(&id) || !r.ReadU64(&nv)) {
+      return Status::DataLoss("truncated snapshot meshes: " + path);
+    }
+    TriMesh mesh;
+    for (uint64_t v = 0; v < nv; ++v) {
+      double x, y, z;
+      if (!r.ReadF64(&x) || !r.ReadF64(&y) || !r.ReadF64(&z)) {
+        return Status::DataLoss("truncated snapshot mesh vertex: " + path);
+      }
+      mesh.AddVertex({x, y, z});
+    }
+    uint64_t nt = 0;
+    if (!r.ReadU64(&nt)) {
+      return Status::DataLoss("truncated snapshot meshes: " + path);
+    }
+    for (uint64_t t = 0; t < nt; ++t) {
+      uint32_t a, b, c;
+      if (!r.ReadU32(&a) || !r.ReadU32(&b) || !r.ReadU32(&c)) {
+        return Status::DataLoss("truncated snapshot mesh triangle: " + path);
+      }
+      if (a >= nv || b >= nv || c >= nv) {
+        return Status::DataLoss("snapshot mesh triangle index out of range: " +
+                                path);
+      }
+      mesh.AddTriangle(a, b, c);
+    }
+    (*meshes)[id] = std::move(mesh);
+  }
+  return r.Finish();
+}
+
+/// spaces.bin: the four calibrated SimilaritySpaces. Persisting stats,
+/// weights and d_max — not recomputing them — is what makes a reopened
+/// system answer bit-identically: every distance and similarity a query
+/// produces is a function of the raw features plus exactly these numbers.
+Status WriteSpaces(const std::string& path, const SearchEngine& engine) {
+  BinaryWriter w(path);
+  if (!w.ok()) return Status::IOError("cannot open for write: " + path);
+  w.WriteU32(kNumFeatureKinds);
+  for (FeatureKind kind : AllFeatureKinds()) {
+    const SimilaritySpace& space = engine.Space(kind);
+    w.WriteU32(static_cast<uint32_t>(space.kind));
+    w.WriteF64Vector(space.stats.mean);
+    w.WriteF64Vector(space.stats.stddev);
+    w.WriteF64Vector(space.weights);
+    w.WriteF64(space.dmax);
+  }
+  return w.Finish();
+}
+
+Result<std::array<SimilaritySpace, kNumFeatureKinds>> LoadSpaces(
+    const std::string& path) {
+  BinaryReader r(path);
+  if (!r.ok()) return Status::IOError("cannot open for read: " + path);
+  uint32_t n = 0;
+  if (!r.ReadU32(&n) || n != kNumFeatureKinds) {
+    return Status::DataLoss("bad space count in snapshot spaces: " + path);
+  }
+  std::array<SimilaritySpace, kNumFeatureKinds> spaces;
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t kind = 0;
+    SimilaritySpace space;
+    if (!r.ReadU32(&kind) || kind != i ||
+        !r.ReadF64Vector(&space.stats.mean) ||
+        !r.ReadF64Vector(&space.stats.stddev) ||
+        !r.ReadF64Vector(&space.weights) || !r.ReadF64(&space.dmax)) {
+      return Status::DataLoss("unparseable snapshot spaces: " + path);
+    }
+    space.kind = static_cast<FeatureKind>(kind);
+    spaces[i] = std::move(space);
+  }
+  DESS_RETURN_NOT_OK(r.Finish());
+  return spaces;
+}
+
+/// hierarchy_<kind>.bin: the browsing tree, preorder-recursive.
+void WriteHierarchyNode(BinaryWriter& w, const HierarchyNode& node) {
+  w.WriteI32Vector(node.members);
+  w.WriteF64Vector(node.centroid);
+  w.WriteU32(static_cast<uint32_t>(node.children.size()));
+  for (const auto& child : node.children) {
+    WriteHierarchyNode(w, *child);
+  }
+}
+
+Result<std::unique_ptr<HierarchyNode>> ReadHierarchyNode(
+    BinaryReader& r, const std::string& path, int depth) {
+  if (depth > kMaxHierarchyDepth) {
+    return Status::DataLoss("snapshot hierarchy too deep: " + path);
+  }
+  auto node = std::make_unique<HierarchyNode>();
+  uint32_t num_children = 0;
+  if (!r.ReadI32Vector(&node->members) || !r.ReadF64Vector(&node->centroid) ||
+      !r.ReadU32(&num_children) || num_children > kMaxHierarchyChildren) {
+    return Status::DataLoss("unparseable snapshot hierarchy: " + path);
+  }
+  node->children.reserve(num_children);
+  for (uint32_t i = 0; i < num_children; ++i) {
+    DESS_ASSIGN_OR_RETURN(std::unique_ptr<HierarchyNode> child,
+                          ReadHierarchyNode(r, path, depth + 1));
+    node->children.push_back(std::move(child));
+  }
+  return node;
+}
+
+Status WriteHierarchy(const std::string& path, const HierarchyNode& root) {
+  BinaryWriter w(path);
+  if (!w.ok()) return Status::IOError("cannot open for write: " + path);
+  WriteHierarchyNode(w, root);
+  return w.Finish();
+}
+
+Result<std::unique_ptr<HierarchyNode>> LoadHierarchy(
+    const std::string& path) {
+  BinaryReader r(path);
+  if (!r.ok()) return Status::IOError("cannot open for read: " + path);
+  DESS_ASSIGN_OR_RETURN(std::unique_ptr<HierarchyNode> root,
+                        ReadHierarchyNode(r, path, 1));
+  DESS_RETURN_NOT_OK(r.Finish());
+  return root;
+}
+
+}  // namespace
+
+Status SystemSnapshot::SaveTo(const std::string& dir,
+                              const SaveOptions& options) const {
+  DESS_TIMED_SCOPE("snapshot.save");
+  const fs::path target(dir);
+  std::error_code ec;
+  const bool target_exists = fs::exists(target, ec);
+  if (target_exists) {
+    if (!fs::is_directory(target, ec)) {
+      return Status::IOError("snapshot target exists and is not a directory: " +
+                             dir);
+    }
+    const bool has_manifest =
+        fs::exists(target / kSnapshotManifestFile, ec);
+    if (has_manifest && !options.overwrite) {
+      return Status::AlreadyExists("snapshot already exists at '" + dir +
+                                   "' (set SaveOptions::overwrite)");
+    }
+    if (!has_manifest && !fs::is_empty(target, ec)) {
+      return Status::InvalidArgument(
+          "refusing to replace '" + dir +
+          "': directory exists but holds no snapshot");
+    }
+  }
+
+  // Stage the whole directory next to the target, then rename into place:
+  // a crash mid-save leaves the (ignorable) staging directory behind, never
+  // a half-written snapshot at the target path.
+  fs::path staging = target;
+  staging += ".tmp";
+  fs::remove_all(staging, ec);
+  ec.clear();
+  fs::create_directories(staging, ec);
+  if (ec) {
+    return Status::IOError("cannot create snapshot staging directory '" +
+                           staging.string() + "': " + ec.message());
+  }
+
+  Manifest manifest;
+  manifest.epoch = epoch_;
+  manifest.flags =
+      (options.include_meshes ? kFlagIncludeMeshes : 0u) |
+      (engine_->options().standardize ? kFlagStandardize : 0u);
+  manifest.num_shapes = db_->NumShapes();
+
+  auto add_section = [&](const std::string& file) -> Status {
+    DESS_ASSIGN_OR_RETURN(auto size_crc,
+                          FileSizeAndCrc32c((staging / file).string()));
+    manifest.sections.push_back({file, size_crc.first, size_crc.second});
+    return Status::OK();
+  };
+
+  DESS_RETURN_NOT_OK(
+      WriteRecords((staging / kSnapshotRecordsFile).string(), *db_));
+  DESS_RETURN_NOT_OK(add_section(kSnapshotRecordsFile));
+  if (options.include_meshes) {
+    DESS_RETURN_NOT_OK(
+        WriteMeshes((staging / kSnapshotMeshesFile).string(), *db_));
+    DESS_RETURN_NOT_OK(add_section(kSnapshotMeshesFile));
+  }
+  DESS_RETURN_NOT_OK(
+      WriteSpaces((staging / kSnapshotSpacesFile).string(), *engine_));
+  DESS_RETURN_NOT_OK(add_section(kSnapshotSpacesFile));
+
+  for (FeatureKind kind : AllFeatureKinds()) {
+    const std::string file = HierarchyFileName(kind);
+    DESS_RETURN_NOT_OK(
+        WriteHierarchy((staging / file).string(), Hierarchy(kind)));
+    DESS_RETURN_NOT_OK(add_section(file));
+  }
+
+  // Pack one static R-tree per feature space over the standardized
+  // coordinates — the same coordinates every engine backend indexes, so a
+  // lazily reopened index answers exactly like the one that served here.
+  for (FeatureKind kind : AllFeatureKinds()) {
+    const SimilaritySpace& space = engine_->Space(kind);
+    std::vector<std::pair<int, std::vector<double>>> bulk;
+    bulk.reserve(db_->NumShapes());
+    for (const ShapeRecord& rec : db_->records()) {
+      bulk.emplace_back(rec.id,
+                        space.Standardize(rec.signature.Get(kind).values));
+    }
+    const std::string file = IndexFileName(kind);
+    DESS_RETURN_NOT_OK(
+        DiskRTree::Build((staging / file).string(), FeatureDim(kind), bulk));
+    DESS_RETURN_NOT_OK(add_section(file));
+  }
+
+  // The manifest is written last inside the staging directory, so even the
+  // staging area never looks complete before it is.
+  DESS_RETURN_NOT_OK(
+      WriteManifest((staging / kSnapshotManifestFile).string(), manifest));
+
+  if (target_exists) {
+    fs::remove_all(target, ec);
+    if (ec) {
+      return Status::IOError("cannot replace snapshot at '" + dir +
+                             "': " + ec.message());
+    }
+  }
+  fs::rename(staging, target, ec);
+  if (ec) {
+    return Status::IOError("cannot publish snapshot to '" + dir +
+                           "': " + ec.message());
+  }
+  MetricsRegistry::Global()->AddCounter("persist.snapshots_saved");
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Dess3System>> Dess3System::OpenFromSnapshot(
+    const std::string& dir, const OpenOptions& open_options,
+    const SystemOptions& options) {
+  DESS_TIMED_SCOPE("snapshot.open");
+  const fs::path root(dir);
+  std::error_code ec;
+  if (!fs::exists(root, ec)) {
+    return Status::NotFound("no snapshot directory at '" + dir + "'");
+  }
+  DESS_ASSIGN_OR_RETURN(
+      Manifest manifest,
+      ReadManifest((root / kSnapshotManifestFile).string()));
+
+  // Every section the manifest promises must exist with the advertised
+  // bytes before anything is parsed or published — a missing, truncated or
+  // bit-flipped section fails the whole open, never a partial publish.
+  std::vector<std::string> required = {kSnapshotRecordsFile,
+                                       kSnapshotSpacesFile};
+  if ((manifest.flags & kFlagIncludeMeshes) != 0) {
+    required.push_back(kSnapshotMeshesFile);
+  }
+  for (FeatureKind kind : AllFeatureKinds()) {
+    required.push_back(HierarchyFileName(kind));
+    required.push_back(IndexFileName(kind));
+  }
+  for (const std::string& file : required) {
+    if (FindSection(manifest, file) == nullptr) {
+      return Status::DataLoss("snapshot manifest lists no section '" + file +
+                              "' in '" + dir + "'");
+    }
+  }
+  for (const ManifestSection& section : manifest.sections) {
+    const std::string path = (root / section.file).string();
+    if (!open_options.verify_checksums) {
+      if (!fs::exists(path, ec)) {
+        return Status::DataLoss("snapshot section missing: " + path);
+      }
+      continue;
+    }
+    Result<std::pair<uint64_t, uint32_t>> size_crc = FileSizeAndCrc32c(path);
+    if (!size_crc.ok()) {
+      return Status::DataLoss("snapshot section unreadable: " + path + " (" +
+                              size_crc.status().message() + ")");
+    }
+    if (size_crc.value().first != section.size ||
+        size_crc.value().second != section.crc) {
+      return Status::DataLoss("snapshot section checksum mismatch: " + path);
+    }
+  }
+
+  std::vector<ShapeRecord> records;
+  DESS_RETURN_NOT_OK(
+      LoadRecords((root / kSnapshotRecordsFile).string(), &records));
+  if (records.size() != manifest.num_shapes) {
+    return Status::DataLoss(
+        StrFormat("snapshot records hold %zu shapes, manifest says %llu: %s",
+                  records.size(),
+                  static_cast<unsigned long long>(manifest.num_shapes),
+                  dir.c_str()));
+  }
+  if ((manifest.flags & kFlagIncludeMeshes) != 0) {
+    std::unordered_map<int, TriMesh> meshes;
+    DESS_RETURN_NOT_OK(
+        LoadMeshes((root / kSnapshotMeshesFile).string(), &meshes));
+    for (ShapeRecord& rec : records) {
+      auto it = meshes.find(rec.id);
+      if (it == meshes.end()) {
+        return Status::DataLoss(
+            StrFormat("snapshot meshes missing shape %d: %s", rec.id,
+                      dir.c_str()));
+      }
+      rec.mesh = std::move(it->second);
+    }
+  }
+
+  auto system = std::make_unique<Dess3System>(options);
+  for (ShapeRecord& rec : records) {
+    Status st = system->db_.InsertWithId(std::move(rec));
+    if (!st.ok()) {
+      return Status::DataLoss("snapshot records invalid: " + st.message());
+    }
+  }
+  std::shared_ptr<const ShapeDatabase> view = system->db_.SnapshotView();
+
+  Result<std::array<SimilaritySpace, kNumFeatureKinds>> spaces_or =
+      LoadSpaces((root / kSnapshotSpacesFile).string());
+  if (!spaces_or.ok()) return spaces_or.status();
+  std::array<SimilaritySpace, kNumFeatureKinds> spaces =
+      std::move(spaces_or).value();
+
+  std::array<std::unique_ptr<HierarchyNode>, kNumFeatureKinds> hierarchies;
+  for (FeatureKind kind : AllFeatureKinds()) {
+    DESS_ASSIGN_OR_RETURN(
+        hierarchies[static_cast<int>(kind)],
+        LoadHierarchy((root / HierarchyFileName(kind)).string()));
+  }
+
+  std::array<std::unique_ptr<MultiDimIndex>, kNumFeatureKinds> indexes;
+  for (FeatureKind kind : AllFeatureKinds()) {
+    const int ki = static_cast<int>(kind);
+    if (open_options.read_all) {
+      // Eager: rebuild an in-memory R-tree from the persisted raw features
+      // through the persisted space — same coordinates as the packed file,
+      // so both open modes answer identically.
+      auto rtree = std::make_unique<RTreeIndex>(FeatureDim(kind));
+      std::vector<std::pair<int, std::vector<double>>> bulk;
+      bulk.reserve(view->NumShapes());
+      for (const ShapeRecord& rec : view->records()) {
+        bulk.emplace_back(
+            rec.id, spaces[ki].Standardize(rec.signature.Get(kind).values));
+      }
+      DESS_RETURN_NOT_OK(rtree->BulkLoad(bulk));
+      indexes[ki] = std::move(rtree);
+    } else {
+      // Lazy: serve straight from the packed page file through a buffer
+      // pool; index nodes page in on first touch.
+      const std::string path = (root / IndexFileName(kind)).string();
+      Result<std::unique_ptr<DiskRTree>> tree =
+          DiskRTree::Open(path, open_options.index_buffer_pages);
+      if (!tree.ok()) {
+        return Status::DataLoss("cannot open snapshot index '" + path +
+                                "': " + tree.status().message());
+      }
+      indexes[ki] = MakeDiskIndexAdapter(std::move(tree).value());
+    }
+  }
+
+  // The engine's standardize flag travels with the snapshot so a later
+  // Commit() on the reopened system calibrates spaces the same way the
+  // saving system did.
+  SearchEngineOptions engine_options = options.search;
+  engine_options.standardize = (manifest.flags & kFlagStandardize) != 0;
+  system->options_.search.standardize = engine_options.standardize;
+  DESS_ASSIGN_OR_RETURN(
+      std::unique_ptr<SearchEngine> engine,
+      SearchEngine::Assemble(view, engine_options, std::move(spaces),
+                             std::move(indexes)));
+  DESS_ASSIGN_OR_RETURN(
+      std::shared_ptr<const SystemSnapshot> snapshot,
+      SystemSnapshot::Assemble(view, manifest.epoch, std::move(engine),
+                               std::move(hierarchies)));
+  {
+    std::lock_guard<std::mutex> publish(system->snapshot_mu_);
+    system->snapshot_ = std::move(snapshot);
+  }
+  system->next_epoch_ = manifest.epoch + 1;
+  system->dirty_ = false;
+  MetricsRegistry* registry = MetricsRegistry::Global();
+  registry->AddCounter("persist.snapshots_opened");
+  registry->SetGauge("system.snapshot_epoch",
+                     static_cast<double>(manifest.epoch));
+  registry->SetGauge("system.db_shapes",
+                     static_cast<double>(system->db_.NumShapes()));
+  return system;
+}
+
+}  // namespace dess

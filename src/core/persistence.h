@@ -1,0 +1,68 @@
+#ifndef DESS_CORE_PERSISTENCE_H_
+#define DESS_CORE_PERSISTENCE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace dess {
+
+/// On-disk snapshot format understood by this build. The snapshot is a
+/// directory of sections — frozen record store, the four feature-vector
+/// sets, calibrated similarity spaces, packed R-tree page files, browsing
+/// hierarchies — described by a MANIFEST that carries the format version,
+/// the answering epoch, and a CRC-32C per section. The manifest itself is
+/// self-checksummed and the whole directory is staged and renamed into
+/// place, so a snapshot either opens completely or not at all.
+///
+/// Failure taxonomy (pinned, like the QueryRequest codes):
+///  - DataLoss: a checksum mismatch, truncated/missing section, or
+///    unparseable manifest — the snapshot cannot be trusted.
+///  - FailedPrecondition: version skew — a valid snapshot written by an
+///    incompatible format revision (an upgrade problem, not data loss).
+///  - NotFound: the directory holds no snapshot at all (no MANIFEST).
+inline constexpr uint32_t kSnapshotFormatVersion = 1;
+
+/// File names inside a snapshot directory. Per-feature-kind sections are
+/// named <prefix><FeatureKindName(kind)><suffix>.
+inline constexpr char kSnapshotManifestFile[] = "MANIFEST";
+inline constexpr char kSnapshotRecordsFile[] = "records.bin";
+inline constexpr char kSnapshotMeshesFile[] = "meshes.bin";
+inline constexpr char kSnapshotSpacesFile[] = "spaces.bin";
+inline constexpr char kSnapshotHierarchyPrefix[] = "hierarchy_";
+inline constexpr char kSnapshotHierarchySuffix[] = ".bin";
+inline constexpr char kSnapshotIndexPrefix[] = "index_";
+inline constexpr char kSnapshotIndexSuffix[] = ".drt";
+
+/// How SystemSnapshot::SaveTo writes a snapshot directory. A struct, not
+/// positional bools, in the QueryRequest style: new knobs extend the
+/// struct rather than the signatures.
+struct SaveOptions {
+  /// Persist record geometry (meshes.bin). Feature-only snapshots are much
+  /// smaller and still serve every query path; they cannot seed workloads
+  /// that need the meshes back (rendering, re-extraction at a different
+  /// resolution).
+  bool include_meshes = true;
+  /// Replace an existing snapshot at the target directory. When false,
+  /// saving over a directory that already holds a MANIFEST fails with
+  /// AlreadyExists.
+  bool overwrite = false;
+};
+
+/// How Dess3System::OpenFromSnapshot reads one back.
+struct OpenOptions {
+  /// Verify every section's CRC-32C against the manifest before trusting
+  /// it (one streaming read per file). Disable only for trusted local
+  /// restarts where cold-start latency matters more than bitrot detection.
+  bool verify_checksums = true;
+  /// Read the R-tree index files eagerly into in-memory R-trees instead of
+  /// serving them lazily from the packed page files through a buffer pool.
+  /// Eager costs more at open, then queries run lock-free; lazy opens in
+  /// O(1) and pages index nodes in on demand.
+  bool read_all = false;
+  /// Buffer-pool frames per lazily-opened index (read_all == false).
+  int index_buffer_pages = 64;
+};
+
+}  // namespace dess
+
+#endif  // DESS_CORE_PERSISTENCE_H_

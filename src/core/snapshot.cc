@@ -32,6 +32,31 @@ Result<std::shared_ptr<const SystemSnapshot>> SystemSnapshot::Build(
   return std::shared_ptr<const SystemSnapshot>(std::move(snapshot));
 }
 
+Result<std::shared_ptr<const SystemSnapshot>> SystemSnapshot::Assemble(
+    std::shared_ptr<const ShapeDatabase> db, uint64_t epoch,
+    std::unique_ptr<SearchEngine> engine,
+    std::array<std::unique_ptr<HierarchyNode>, kNumFeatureKinds>
+        hierarchies) {
+  if (db == nullptr || db->IsEmpty()) {
+    return Status::InvalidArgument("snapshot: empty database view");
+  }
+  if (engine == nullptr || engine->db().NumShapes() != db->NumShapes()) {
+    return Status::InvalidArgument(
+        "snapshot: engine missing or inconsistent with the database view");
+  }
+  for (const auto& hierarchy : hierarchies) {
+    if (hierarchy == nullptr) {
+      return Status::InvalidArgument("snapshot: missing browsing hierarchy");
+    }
+  }
+  std::shared_ptr<SystemSnapshot> snapshot(new SystemSnapshot());
+  snapshot->epoch_ = epoch;
+  snapshot->db_ = std::move(db);
+  snapshot->engine_ = std::move(engine);
+  snapshot->hierarchies_ = std::move(hierarchies);
+  return std::shared_ptr<const SystemSnapshot>(std::move(snapshot));
+}
+
 Result<QueryResponse> SystemSnapshot::Query(const ShapeSignature& query,
                                             const QueryRequest& request) const {
   DESS_ASSIGN_OR_RETURN(QueryResponse response,

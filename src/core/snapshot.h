@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "src/cluster/hierarchy.h"
+#include "src/core/persistence.h"
 #include "src/db/shape_database.h"
 #include "src/search/query.h"
 #include "src/search/search_engine.h"
@@ -36,6 +37,29 @@ class SystemSnapshot {
       std::shared_ptr<const ShapeDatabase> db, uint64_t epoch,
       const SearchEngineOptions& search_options,
       const HierarchyOptions& hierarchy_options);
+
+  /// Assembles a snapshot from preloaded parts — the persistence layer's
+  /// cold-start path (Dess3System::OpenFromSnapshot), which restores the
+  /// engine and hierarchies from disk instead of rebuilding them. All
+  /// parts must describe the same committed state; basic consistency is
+  /// validated, contents are trusted.
+  static Result<std::shared_ptr<const SystemSnapshot>> Assemble(
+      std::shared_ptr<const ShapeDatabase> db, uint64_t epoch,
+      std::unique_ptr<SearchEngine> engine,
+      std::array<std::unique_ptr<HierarchyNode>, kNumFeatureKinds>
+          hierarchies);
+
+  /// Persists this snapshot as a versioned on-disk directory (see
+  /// persistence.h for the format and failure taxonomy): the frozen record
+  /// store (meshes per `options`), all four feature-vector sets, the
+  /// similarity spaces, packed R-tree index files, the browsing
+  /// hierarchies, and a checksummed manifest carrying this snapshot's
+  /// epoch. The directory is staged next to `dir` and renamed into place,
+  /// so a crash never leaves a half-written snapshot at the target path.
+  /// Reopening yields a system that answers queries identically to this
+  /// snapshot.
+  Status SaveTo(const std::string& dir, const SaveOptions& options = {})
+      const;
 
   uint64_t epoch() const { return epoch_; }
 

@@ -110,7 +110,7 @@ int Dess3System::IngestRecord(ShapeRecord record) {
   return id;
 }
 
-Status Dess3System::Commit() {
+Result<uint64_t> Dess3System::Commit() {
   std::lock_guard<std::mutex> lock(ingest_mu_);
   if (db_.IsEmpty()) {
     return Status::InvalidArgument("commit: database is empty");
@@ -121,19 +121,19 @@ Status Dess3System::Commit() {
   // Freeze the store (pointer copies only), build the next snapshot off
   // to the side, then publish with one pointer swap. Queries holding the
   // old snapshot are unaffected; the swap never waits for them.
+  const uint64_t epoch = next_epoch_;
   DESS_ASSIGN_OR_RETURN(
       std::shared_ptr<const SystemSnapshot> next,
-      SystemSnapshot::Build(db_.SnapshotView(), next_epoch_, options_.search,
+      SystemSnapshot::Build(db_.SnapshotView(), epoch, options_.search,
                             options_.hierarchy));
   {
     std::lock_guard<std::mutex> publish(snapshot_mu_);
     snapshot_ = std::move(next);
   }
-  registry->SetGauge("system.snapshot_epoch",
-                     static_cast<double>(next_epoch_));
+  registry->SetGauge("system.snapshot_epoch", static_cast<double>(epoch));
   ++next_epoch_;
   dirty_ = false;
-  return Status::OK();
+  return epoch;
 }
 
 bool Dess3System::IsCommitted() const {
@@ -182,20 +182,6 @@ Result<QueryResponse> Dess3System::QueryByShapeId(
   return snapshot->QueryById(query_id, request);
 }
 
-Result<std::vector<SearchResult>> Dess3System::QueryByMesh(
-    const TriMesh& mesh, FeatureKind kind, size_t k) const {
-  DESS_ASSIGN_OR_RETURN(QueryResponse response,
-                        QueryByMesh(mesh, QueryRequest::TopK(kind, k)));
-  return std::move(response.results);
-}
-
-Result<std::vector<SearchResult>> Dess3System::MultiStepByMesh(
-    const TriMesh& mesh, const MultiStepPlan& plan) const {
-  DESS_ASSIGN_OR_RETURN(QueryResponse response,
-                        QueryByMesh(mesh, QueryRequest::MultiStep(plan)));
-  return std::move(response.results);
-}
-
 QueryExecutor& Dess3System::Executor() {
   if (executor_ == nullptr) {
     executor_ = std::make_unique<QueryExecutor>(
@@ -222,8 +208,15 @@ Result<std::unique_ptr<Dess3System>> Dess3System::LoadFrom(
   for (const ShapeRecord& rec : db.records()) {
     system->IngestRecord(rec);
   }
-  DESS_RETURN_NOT_OK(system->Commit());
+  DESS_RETURN_NOT_OK(system->Commit().status());
   return system;
+}
+
+Status Dess3System::SaveSnapshot(const std::string& dir,
+                                 const SaveOptions& options) const {
+  DESS_ASSIGN_OR_RETURN(std::shared_ptr<const SystemSnapshot> snapshot,
+                        CurrentSnapshot());
+  return snapshot->SaveTo(dir, options);
 }
 
 }  // namespace dess

@@ -76,9 +76,11 @@ class Dess3System {
   int IngestRecord(ShapeRecord record);
 
   /// Builds and atomically publishes a new SystemSnapshot (indexes +
-  /// browsing hierarchies) over the current database contents. In-flight
-  /// queries keep their old snapshot; new queries see the new epoch.
-  Status Commit();
+  /// browsing hierarchies) over the current database contents, returning
+  /// the epoch it published — the name callers (and the persistence layer)
+  /// use for what they just committed or saved. In-flight queries keep
+  /// their old snapshot; new queries see the new epoch.
+  Result<uint64_t> Commit();
 
   /// True when a snapshot is published and no ingest has happened since.
   bool IsCommitted() const;
@@ -114,19 +116,6 @@ class Dess3System {
   Result<QueryResponse> QueryByShapeId(int query_id,
                                        const QueryRequest& request) const;
 
-  /// DEPRECATED positional overload; use QueryByMesh(mesh,
-  /// QueryRequest::TopK(kind, k)) instead. Kept for one release.
-  [[deprecated("use QueryByMesh(mesh, QueryRequest::TopK(kind, k))")]]
-  Result<std::vector<SearchResult>> QueryByMesh(const TriMesh& mesh,
-                                                FeatureKind kind,
-                                                size_t k) const;
-
-  /// DEPRECATED; use QueryByMesh(mesh, QueryRequest::MultiStep(plan)).
-  /// Kept for one release.
-  [[deprecated("use QueryByMesh(mesh, QueryRequest::MultiStep(plan))")]]
-  Result<std::vector<SearchResult>> MultiStepByMesh(
-      const TriMesh& mesh, const MultiStepPlan& plan) const;
-
   /// The asynchronous query executor, wired to this system's published
   /// snapshots (options_.executor controls pool/queue sizing). Created on
   /// first use; must not be called for the first time from multiple
@@ -140,13 +129,37 @@ class Dess3System {
   /// concurrent code, which ties the lifetime to the acquired snapshot.
   Result<const HierarchyNode*> Hierarchy(FeatureKind kind) const;
 
-  /// Persists the database (geometry + features). Indexes are rebuilt on
-  /// load, mirroring the paper's index-on-top-of-database design.
+  /// Persists the database (geometry + features) as one flat file.
+  /// Indexes are rebuilt on load, mirroring the paper's
+  /// index-on-top-of-database design. For restart-fast persistence of the
+  /// full serving state, use SaveSnapshot/OpenFromSnapshot instead.
   Status Save(const std::string& path) const;
 
-  /// Loads a database and commits it.
+  /// Loads a database and commits it (rebuilding all indexes — the slow
+  /// cold start; see OpenFromSnapshot for the fast one).
   static Result<std::unique_ptr<Dess3System>> LoadFrom(
       const std::string& path, const SystemOptions& options = {});
+
+  /// Persists the currently published snapshot as a versioned on-disk
+  /// directory (record store, feature sets, similarity spaces, packed
+  /// R-tree files, hierarchies, checksummed manifest — see persistence.h).
+  /// FailedPrecondition before the first Commit(); the saved epoch is the
+  /// published one, so a caller can pair this with the epoch returned by
+  /// Commit() to name exactly what was saved.
+  Status SaveSnapshot(const std::string& dir,
+                      const SaveOptions& options = {}) const;
+
+  /// Opens a snapshot directory written by SaveSnapshot /
+  /// SystemSnapshot::SaveTo and publishes it without re-ingesting or
+  /// rebuilding: the reopened system answers queries identically to the
+  /// system that saved it, at the saved epoch, and later Ingest*/Commit()
+  /// continue from there. Index pages load lazily through a buffer pool
+  /// unless `open_options.read_all` is set. Failure taxonomy: DataLoss for
+  /// checksum mismatches or truncated/missing sections, FailedPrecondition
+  /// for format-version skew, NotFound when `dir` holds no snapshot.
+  static Result<std::unique_ptr<Dess3System>> OpenFromSnapshot(
+      const std::string& dir, const OpenOptions& open_options = {},
+      const SystemOptions& options = {});
 
  private:
   /// Returns the shared ingest pool, (re)creating it only when the

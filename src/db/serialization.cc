@@ -1,30 +1,33 @@
 #include "src/db/serialization.h"
 
+#include "src/common/crc32c.h"
+
 namespace dess {
 
 BinaryWriter::BinaryWriter(const std::string& path)
     : out_(path, std::ios::binary), path_(path) {}
 
-void BinaryWriter::WriteU32(uint32_t v) {
-  out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
+void BinaryWriter::Append(const void* data, size_t n) {
+  out_.write(static_cast<const char*>(data),
+             static_cast<std::streamsize>(n));
+  crc_ = Crc32cExtend(crc_, data, n);
 }
-void BinaryWriter::WriteU64(uint64_t v) {
-  out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-void BinaryWriter::WriteI32(int32_t v) {
-  out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-void BinaryWriter::WriteF64(double v) {
-  out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
+
+void BinaryWriter::WriteU32(uint32_t v) { Append(&v, sizeof(v)); }
+void BinaryWriter::WriteU64(uint64_t v) { Append(&v, sizeof(v)); }
+void BinaryWriter::WriteI32(int32_t v) { Append(&v, sizeof(v)); }
+void BinaryWriter::WriteF64(double v) { Append(&v, sizeof(v)); }
 void BinaryWriter::WriteString(const std::string& s) {
   WriteU64(s.size());
-  out_.write(s.data(), static_cast<std::streamsize>(s.size()));
+  Append(s.data(), s.size());
 }
 void BinaryWriter::WriteF64Vector(const std::vector<double>& v) {
   WriteU64(v.size());
-  out_.write(reinterpret_cast<const char*>(v.data()),
-             static_cast<std::streamsize>(v.size() * sizeof(double)));
+  Append(v.data(), v.size() * sizeof(double));
+}
+void BinaryWriter::WriteI32Vector(const std::vector<int>& v) {
+  WriteU64(v.size());
+  for (int x : v) WriteI32(x);
 }
 
 Status BinaryWriter::Finish() {
@@ -83,10 +86,39 @@ bool BinaryReader::ReadF64Vector(std::vector<double>* v) {
            static_cast<std::streamsize>(n * sizeof(double)));
   return static_cast<bool>(in_);
 }
+bool BinaryReader::ReadI32Vector(std::vector<int>* v) {
+  uint64_t n = 0;
+  if (!ReadU64(&n) || n > RemainingBytes() / sizeof(int32_t)) return false;
+  v->resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    int32_t x = 0;
+    if (!ReadI32(&x)) return false;
+    (*v)[i] = x;
+  }
+  return static_cast<bool>(in_);
+}
 
 Status BinaryReader::Finish() const {
   if (!in_) return Status::Corruption("read failed or truncated: " + path_);
   return Status::OK();
+}
+
+Result<std::pair<uint64_t, uint32_t>> FileSizeAndCrc32c(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  char buf[64 * 1024];
+  uint64_t size = 0;
+  uint32_t crc = 0;
+  while (in) {
+    in.read(buf, sizeof(buf));
+    const std::streamsize got = in.gcount();
+    if (got <= 0) break;
+    crc = Crc32cExtend(crc, buf, static_cast<size_t>(got));
+    size += static_cast<uint64_t>(got);
+  }
+  if (in.bad()) return Status::IOError("read failed: " + path);
+  return std::make_pair(size, crc);
 }
 
 }  // namespace dess

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/result.h"
@@ -12,6 +13,9 @@ namespace dess {
 
 /// Little-endian binary writer over a file stream. All writes funnel
 /// through here so the on-disk database format is defined in one place.
+/// A CRC-32C of everything written so far is maintained as a side effect,
+/// so section writers can emit self- or manifest-checksummed files without
+/// re-reading them.
 class BinaryWriter {
  public:
   explicit BinaryWriter(const std::string& path);
@@ -24,13 +28,20 @@ class BinaryWriter {
   void WriteF64(double v);
   void WriteString(const std::string& s);
   void WriteF64Vector(const std::vector<double>& v);
+  void WriteI32Vector(const std::vector<int>& v);
+
+  /// CRC-32C of every byte written so far.
+  uint32_t crc32c() const { return crc_; }
 
   /// Flushes and reports any accumulated stream error.
   Status Finish();
 
  private:
+  void Append(const void* data, size_t n);
+
   std::ofstream out_;
   std::string path_;
+  uint32_t crc_ = 0;
 };
 
 /// Binary reader mirroring BinaryWriter. Read methods return false once the
@@ -47,6 +58,7 @@ class BinaryReader {
   bool ReadF64(double* v);
   bool ReadString(std::string* s);
   bool ReadF64Vector(std::vector<double>* v);
+  bool ReadI32Vector(std::vector<int>* v);
 
   Status Finish() const;
 
@@ -60,6 +72,13 @@ class BinaryReader {
   std::string path_;
   uint64_t file_size_ = 0;
 };
+
+/// Streams a file once and returns {size in bytes, CRC-32C of its
+/// contents}; IOError if the file cannot be read. The persistence layer
+/// uses this both to fill manifest entries at save time and to verify them
+/// at open time.
+Result<std::pair<uint64_t, uint32_t>> FileSizeAndCrc32c(
+    const std::string& path);
 
 }  // namespace dess
 

@@ -21,6 +21,21 @@ int ShapeDatabase::Insert(ShapeRecord record) {
   return id;
 }
 
+Status ShapeDatabase::InsertWithId(ShapeRecord record) {
+  if (record.id < 0) {
+    return Status::InvalidArgument(
+        StrFormat("InsertWithId: negative id %d", record.id));
+  }
+  if (Contains(record.id)) {
+    return Status::AlreadyExists(
+        StrFormat("InsertWithId: id %d already in database", record.id));
+  }
+  next_id_ = std::max(next_id_, record.id + 1);
+  index_.emplace(record.id, records_.size());
+  records_.push_back(std::make_shared<const ShapeRecord>(std::move(record)));
+  return Status::OK();
+}
+
 Result<const ShapeRecord*> ShapeDatabase::Get(int id) const {
   auto it = index_.find(id);
   if (it == index_.end()) {
@@ -167,10 +182,7 @@ Result<ShapeDatabase> ShapeDatabase::Load(const std::string& path) {
       fv.kind = static_cast<FeatureKind>(kind);
       fv.values = std::move(values);
     }
-    db.index_.emplace(rec.id, db.records_.size());
-    db.records_.push_back(
-        std::make_shared<const ShapeRecord>(std::move(rec)));
-    db.next_id_ = std::max(db.next_id_, id + 1);
+    DESS_RETURN_NOT_OK(db.InsertWithId(std::move(rec)));
   }
   DESS_RETURN_NOT_OK(r.Finish());
   return db;

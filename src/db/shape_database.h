@@ -102,6 +102,12 @@ class ShapeDatabase {
   /// insertion; there is no mutation API.
   int Insert(ShapeRecord record);
 
+  /// Inserts a record preserving `record.id` — the load path of the
+  /// persistence layer, which must reproduce a saved store exactly.
+  /// InvalidArgument for negative ids, AlreadyExists for duplicates;
+  /// future Insert() calls continue above the highest id seen.
+  Status InsertWithId(ShapeRecord record);
+
   /// Record by id; NotFound if absent. The pointer stays valid for the
   /// lifetime of any view holding the record (it is not invalidated by
   /// later Inserts).

@@ -85,6 +85,42 @@ Status CheckDeadline(const QueryRequest& request) {
 
 }  // namespace
 
+std::unique_ptr<MultiDimIndex> MakeDiskIndexAdapter(
+    std::unique_ptr<DiskRTree> tree) {
+  return std::make_unique<DiskIndexAdapter>(std::move(tree));
+}
+
+Result<std::unique_ptr<SearchEngine>> SearchEngine::Assemble(
+    std::shared_ptr<const ShapeDatabase> db,
+    const SearchEngineOptions& options,
+    std::array<SimilaritySpace, kNumFeatureKinds> spaces,
+    std::array<std::unique_ptr<MultiDimIndex>, kNumFeatureKinds> indexes) {
+  if (db == nullptr || db->IsEmpty()) {
+    return Status::InvalidArgument("search engine: empty database");
+  }
+  for (FeatureKind kind : AllFeatureKinds()) {
+    const int ki = static_cast<int>(kind);
+    const int dim = FeatureDim(kind);
+    if (static_cast<int>(spaces[ki].weights.size()) != dim) {
+      return Status::InvalidArgument(StrFormat(
+          "assemble: space '%s' has %zu weights, expected %d",
+          FeatureKindName(kind).c_str(), spaces[ki].weights.size(), dim));
+    }
+    if (indexes[ki] == nullptr || indexes[ki]->dim() != dim ||
+        indexes[ki]->size() != db->NumShapes()) {
+      return Status::InvalidArgument(StrFormat(
+          "assemble: index '%s' missing or inconsistent with the database",
+          FeatureKindName(kind).c_str()));
+    }
+  }
+  std::unique_ptr<SearchEngine> engine(new SearchEngine());
+  engine->db_ = std::move(db);
+  engine->options_ = options;
+  engine->spaces_ = std::move(spaces);
+  engine->indexes_ = std::move(indexes);
+  return engine;
+}
+
 Result<std::unique_ptr<SearchEngine>> SearchEngine::Build(
     std::shared_ptr<const ShapeDatabase> db,
     const SearchEngineOptions& options) {
@@ -162,8 +198,7 @@ Result<std::unique_ptr<SearchEngine>> SearchEngine::Build(
         DESS_ASSIGN_OR_RETURN(
             std::unique_ptr<DiskRTree> tree,
             DiskRTree::Open(path, options.disk_buffer_pages));
-        engine->indexes_[ki] =
-            std::make_unique<DiskIndexAdapter>(std::move(tree));
+        engine->indexes_[ki] = MakeDiskIndexAdapter(std::move(tree));
         break;
       }
     }

@@ -14,6 +14,8 @@
 
 namespace dess {
 
+class DiskRTree;
+
 /// Which index structure backs each feature space.
 enum class IndexBackend {
   kRTree,       // in-memory R-tree (the paper's DATABASE layer)
@@ -62,7 +64,19 @@ class SearchEngine {
   static Result<std::unique_ptr<SearchEngine>> Build(
       const ShapeDatabase* db, const SearchEngineOptions& options = {});
 
+  /// Assembles an engine from preloaded parts — the persistence layer's
+  /// cold-start path, which restores spaces and indexes from a snapshot
+  /// directory instead of recomputing them. `spaces[k]`/`indexes[k]` must
+  /// describe feature kind k over exactly the shapes of `db`; dimensions
+  /// and sizes are validated, contents are trusted.
+  static Result<std::unique_ptr<SearchEngine>> Assemble(
+      std::shared_ptr<const ShapeDatabase> db,
+      const SearchEngineOptions& options,
+      std::array<SimilaritySpace, kNumFeatureKinds> spaces,
+      std::array<std::unique_ptr<MultiDimIndex>, kNumFeatureKinds> indexes);
+
   const ShapeDatabase& db() const { return *db_; }
+  const SearchEngineOptions& options() const { return options_; }
 
   const SimilaritySpace& Space(FeatureKind kind) const {
     return spaces_[static_cast<int>(kind)];
@@ -153,6 +167,13 @@ class SearchEngine {
   std::array<SimilaritySpace, kNumFeatureKinds> spaces_;
   std::array<std::unique_ptr<MultiDimIndex>, kNumFeatureKinds> indexes_;
 };
+
+/// Wraps an opened DiskRTree in the MultiDimIndex interface (queries are
+/// serialized internally — the buffer pool mutates frame state on every
+/// fetch). Used by SearchEngine::Build's kDiskRTree backend and by the
+/// persistence layer when reopening a snapshot's packed index files.
+std::unique_ptr<MultiDimIndex> MakeDiskIndexAdapter(
+    std::unique_ptr<DiskRTree> tree);
 
 }  // namespace dess
 

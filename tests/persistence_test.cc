@@ -1,0 +1,233 @@
+// Round-trip tests of the snapshot persistence layer: a committed system
+// is saved as a versioned directory and reopened cold, and the reopened
+// system must answer every query mode bit-identically at the saved epoch.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+
+#include "src/core/system.h"
+#include "tests/test_util.h"
+
+namespace dess {
+namespace {
+
+namespace fs = std::filesystem;
+
+class PersistenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("dess_persist_" + std::to_string(::getpid()));
+    fs::create_directories(dir_);
+    ShapeDatabase db = testing_util::BuildSyntheticFeatureDb(4, 4, 3);
+    for (const ShapeRecord& rec : db.records()) {
+      system_.IngestRecord(rec);
+    }
+    auto epoch = system_.Commit();
+    ASSERT_TRUE(epoch.ok()) << epoch.status().ToString();
+    epoch_ = *epoch;
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string SnapDir(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  static void ExpectSameAnswers(const QueryResponse& a,
+                                const QueryResponse& b) {
+    ASSERT_EQ(a.results.size(), b.results.size());
+    for (size_t i = 0; i < a.results.size(); ++i) {
+      EXPECT_TRUE(a.results[i] == b.results[i])
+          << "result " << i << ": (" << a.results[i].id << ", "
+          << a.results[i].distance << ") vs (" << b.results[i].id << ", "
+          << b.results[i].distance << ")";
+    }
+  }
+
+  fs::path dir_;
+  Dess3System system_;
+  uint64_t epoch_ = 0;
+};
+
+TEST_F(PersistenceTest, CommitReturnsTheEpochItPublished) {
+  EXPECT_EQ(epoch_, 1u);
+  EXPECT_EQ(system_.PublishedEpoch(), epoch_);
+  ShapeRecord extra;
+  extra.name = "late";
+  for (FeatureKind kind : AllFeatureKinds()) {
+    FeatureVector& fv = extra.signature.Mutable(kind);
+    fv.kind = kind;
+    fv.values.assign(FeatureDim(kind), 0.25);
+  }
+  system_.IngestRecord(extra);
+  auto next = system_.Commit();
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(*next, epoch_ + 1);
+  EXPECT_EQ(system_.PublishedEpoch(), epoch_ + 1);
+}
+
+TEST_F(PersistenceTest, SaveBeforeCommitIsFailedPrecondition) {
+  Dess3System fresh;
+  EXPECT_EQ(fresh.SaveSnapshot(SnapDir("none")).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(PersistenceTest, ReopenedSystemAnswersTopKBitIdentically) {
+  ASSERT_TRUE(system_.SaveSnapshot(SnapDir("snap")).ok());
+  auto reopened = Dess3System::OpenFromSnapshot(SnapDir("snap"));
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->PublishedEpoch(), epoch_);
+  EXPECT_EQ((*reopened)->db().NumShapes(), system_.db().NumShapes());
+  for (FeatureKind kind : AllFeatureKinds()) {
+    for (int query_id : {0, 5, 11}) {
+      const QueryRequest request = QueryRequest::TopK(kind, 6);
+      auto original = system_.QueryByShapeId(query_id, request);
+      auto restored = (*reopened)->QueryByShapeId(query_id, request);
+      ASSERT_TRUE(original.ok() && restored.ok())
+          << FeatureKindName(kind) << " id " << query_id;
+      EXPECT_EQ(restored->epoch, epoch_);
+      ExpectSameAnswers(*original, *restored);
+    }
+  }
+}
+
+TEST_F(PersistenceTest, ThresholdAndMultiStepSurviveTheRoundTrip) {
+  ASSERT_TRUE(system_.SaveSnapshot(SnapDir("snap")).ok());
+  auto reopened = Dess3System::OpenFromSnapshot(SnapDir("snap"));
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  const QueryRequest threshold =
+      QueryRequest::Threshold(FeatureKind::kGeometricParams, 0.6);
+  const QueryRequest multistep =
+      QueryRequest::MultiStep(MultiStepPlan::Standard(10, 5));
+  for (const QueryRequest& request : {threshold, multistep}) {
+    for (int query_id : {1, 8}) {
+      auto original = system_.QueryByShapeId(query_id, request);
+      auto restored = (*reopened)->QueryByShapeId(query_id, request);
+      ASSERT_TRUE(original.ok() && restored.ok());
+      ExpectSameAnswers(*original, *restored);
+    }
+  }
+}
+
+TEST_F(PersistenceTest, ExternalSignatureQueriesMatchAfterReopen) {
+  ASSERT_TRUE(system_.SaveSnapshot(SnapDir("snap")).ok());
+  auto reopened = Dess3System::OpenFromSnapshot(SnapDir("snap"));
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  // A signature the database has never seen: the snapshot's similarity
+  // spaces, not the records, decide its distances.
+  auto probe = system_.db().Get(3);
+  ASSERT_TRUE(probe.ok());
+  ShapeSignature signature = (*probe)->signature;
+  signature.Mutable(FeatureKind::kSpectral).values[0] += 0.125;
+  const QueryRequest request =
+      QueryRequest::TopK(FeatureKind::kSpectral, 4);
+  auto original = system_.QueryBySignature(signature, request);
+  auto restored = (*reopened)->QueryBySignature(signature, request);
+  ASSERT_TRUE(original.ok() && restored.ok());
+  ExpectSameAnswers(*original, *restored);
+}
+
+TEST_F(PersistenceTest, EagerOpenMatchesLazyOpen) {
+  ASSERT_TRUE(system_.SaveSnapshot(SnapDir("snap")).ok());
+  OpenOptions eager;
+  eager.read_all = true;
+  auto lazy = Dess3System::OpenFromSnapshot(SnapDir("snap"));
+  auto read_all = Dess3System::OpenFromSnapshot(SnapDir("snap"), eager);
+  ASSERT_TRUE(lazy.ok() && read_all.ok());
+  for (FeatureKind kind : AllFeatureKinds()) {
+    const QueryRequest request = QueryRequest::TopK(kind, 8);
+    auto a = (*lazy)->QueryByShapeId(2, request);
+    auto b = (*read_all)->QueryByShapeId(2, request);
+    ASSERT_TRUE(a.ok() && b.ok());
+    ExpectSameAnswers(*a, *b);
+  }
+}
+
+TEST_F(PersistenceTest, HierarchiesSurviveTheRoundTrip) {
+  ASSERT_TRUE(system_.SaveSnapshot(SnapDir("snap")).ok());
+  auto reopened = Dess3System::OpenFromSnapshot(SnapDir("snap"));
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  for (FeatureKind kind : AllFeatureKinds()) {
+    auto original = system_.Hierarchy(kind);
+    auto restored = (*reopened)->Hierarchy(kind);
+    ASSERT_TRUE(original.ok() && restored.ok());
+    EXPECT_EQ((*original)->SubtreeSize(), (*restored)->SubtreeSize());
+    EXPECT_EQ((*original)->Depth(), (*restored)->Depth());
+    EXPECT_EQ((*original)->members, (*restored)->members);
+    EXPECT_EQ((*original)->centroid, (*restored)->centroid);
+  }
+}
+
+TEST_F(PersistenceTest, IngestAndCommitContinueFromTheSavedEpoch) {
+  ASSERT_TRUE(system_.SaveSnapshot(SnapDir("snap")).ok());
+  auto reopened = Dess3System::OpenFromSnapshot(SnapDir("snap"));
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_TRUE((*reopened)->IsCommitted());
+  ShapeRecord extra;
+  extra.name = "post-reopen";
+  for (FeatureKind kind : AllFeatureKinds()) {
+    FeatureVector& fv = extra.signature.Mutable(kind);
+    fv.kind = kind;
+    fv.values.assign(FeatureDim(kind), -0.5);
+  }
+  const int id = (*reopened)->IngestRecord(extra);
+  EXPECT_EQ(id, static_cast<int>(system_.db().NumShapes()));
+  auto next = (*reopened)->Commit();
+  ASSERT_TRUE(next.ok()) << next.status().ToString();
+  EXPECT_EQ(*next, epoch_ + 1);
+}
+
+TEST_F(PersistenceTest, MeshlessSnapshotStillServesEveryQueryPath) {
+  SaveOptions save;
+  save.include_meshes = false;
+  ASSERT_TRUE(system_.SaveSnapshot(SnapDir("lean"), save).ok());
+  auto reopened = Dess3System::OpenFromSnapshot(SnapDir("lean"));
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  auto rec = (*reopened)->db().Get(0);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ((*rec)->name, "g0_m0");
+  EXPECT_EQ((*rec)->mesh.NumVertices(), 0u);
+  auto response = (*reopened)->QueryByShapeId(
+      0, QueryRequest::TopK(FeatureKind::kMomentInvariants, 5));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->results.size(), 5u);
+}
+
+TEST_F(PersistenceTest, SavingOverAnExistingSnapshotNeedsOverwrite) {
+  ASSERT_TRUE(system_.SaveSnapshot(SnapDir("snap")).ok());
+  EXPECT_EQ(system_.SaveSnapshot(SnapDir("snap")).code(),
+            StatusCode::kAlreadyExists);
+  SaveOptions replace;
+  replace.overwrite = true;
+  EXPECT_TRUE(system_.SaveSnapshot(SnapDir("snap"), replace).ok());
+  auto reopened = Dess3System::OpenFromSnapshot(SnapDir("snap"));
+  EXPECT_TRUE(reopened.ok()) << reopened.status().ToString();
+}
+
+TEST_F(PersistenceTest, OpeningANonSnapshotIsNotFound) {
+  EXPECT_EQ(Dess3System::OpenFromSnapshot(SnapDir("missing")).status().code(),
+            StatusCode::kNotFound);
+  fs::create_directories(dir_ / "empty");
+  EXPECT_EQ(Dess3System::OpenFromSnapshot(SnapDir("empty")).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(PersistenceTest, SkippingChecksumVerificationStillRoundTrips) {
+  ASSERT_TRUE(system_.SaveSnapshot(SnapDir("snap")).ok());
+  OpenOptions trusting;
+  trusting.verify_checksums = false;
+  auto reopened = Dess3System::OpenFromSnapshot(SnapDir("snap"), trusting);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  auto original = system_.QueryByShapeId(
+      7, QueryRequest::TopK(FeatureKind::kPrincipalMoments, 5));
+  auto restored = (*reopened)->QueryByShapeId(
+      7, QueryRequest::TopK(FeatureKind::kPrincipalMoments, 5));
+  ASSERT_TRUE(original.ok() && restored.ok());
+  ExpectSameAnswers(*original, *restored);
+}
+
+}  // namespace
+}  // namespace dess

@@ -1,7 +1,8 @@
-// Corruption-injection tests: a persisted database is truncated and
-// bit-flipped at many offsets; every load attempt must either succeed (a
-// flip may land in a don't-care byte or produce an equally valid file) or
-// fail with a clean Corruption/IOError — never crash or hang.
+// Corruption-injection tests: a persisted database (and, below, a full
+// snapshot directory) is truncated and bit-flipped at many offsets; every
+// load attempt must either succeed (a flip may land in a don't-care byte or
+// produce an equally valid file) or fail with a clean error — never crash,
+// hang, or publish a partially-loaded system.
 
 #include <gtest/gtest.h>
 
@@ -10,7 +11,10 @@
 #include <fstream>
 #include <unistd.h>
 
+#include "src/common/crc32c.h"
 #include "src/common/rng.h"
+#include "src/core/persistence.h"
+#include "src/core/system.h"
 #include "src/db/shape_database.h"
 #include "tests/test_util.h"
 
@@ -107,6 +111,176 @@ TEST_F(SerializationFuzzTest, AppendedGarbageIsHarmless) {
   auto result = ShapeDatabase::Load(WriteVariant(padded));
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_EQ(result->NumShapes(), db_.NumShapes());
+}
+
+/// Snapshot-directory corruption: a golden snapshot is copied per trial,
+/// one file is damaged, and OpenFromSnapshot must fail with the pinned
+/// taxonomy — DataLoss for corruption, FailedPrecondition for version
+/// skew, NotFound for no-snapshot — and never crash or half-open.
+class SnapshotFuzzTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("dess_snapfuzz_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+    golden_ = dir_ / "golden";
+    Dess3System system;
+    ShapeDatabase db = testing_util::BuildSyntheticFeatureDb(3, 3, 2);
+    for (const ShapeRecord& rec : db.records()) {
+      system.IngestRecord(rec);
+    }
+    ASSERT_TRUE(system.Commit().ok());
+    ASSERT_TRUE(system.SaveSnapshot(golden_.string()).ok());
+    baseline_ = system.QueryByShapeId(
+        0, QueryRequest::TopK(FeatureKind::kMomentInvariants, 5));
+    ASSERT_TRUE(baseline_.ok());
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  /// Fresh copy of the golden snapshot to damage.
+  std::filesystem::path MakeVariant() {
+    const std::filesystem::path variant = dir_ / "variant";
+    std::filesystem::remove_all(variant);
+    std::filesystem::copy(golden_, variant,
+                          std::filesystem::copy_options::recursive);
+    return variant;
+  }
+
+  static std::vector<char> ReadFile(const std::filesystem::path& p) {
+    std::ifstream in(p, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+  }
+
+  static void WriteFile(const std::filesystem::path& p,
+                        const std::vector<char>& data) {
+    std::ofstream out(p, std::ios::binary | std::ios::trunc);
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  }
+
+  std::filesystem::path dir_;
+  std::filesystem::path golden_;
+  Result<QueryResponse> baseline_{QueryResponse{}};
+};
+
+TEST_F(SnapshotFuzzTest, GoldenSnapshotReopensAndAnswersIdentically) {
+  auto reopened = Dess3System::OpenFromSnapshot(golden_.string());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  auto response = (*reopened)->QueryByShapeId(
+      0, QueryRequest::TopK(FeatureKind::kMomentInvariants, 5));
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->results.size(), baseline_->results.size());
+  for (size_t i = 0; i < response->results.size(); ++i) {
+    EXPECT_TRUE(response->results[i] == baseline_->results[i]);
+  }
+}
+
+TEST_F(SnapshotFuzzTest, TruncatedSectionsFailAsDataLoss) {
+  for (const char* file :
+       {kSnapshotRecordsFile, kSnapshotSpacesFile,
+        "hierarchy_eigenvalues.bin", "index_geometric_params.drt"}) {
+    const std::filesystem::path variant = MakeVariant();
+    std::vector<char> bytes = ReadFile(variant / file);
+    ASSERT_GT(bytes.size(), 8u) << file;
+    bytes.resize(bytes.size() / 2);
+    WriteFile(variant / file, bytes);
+    auto result = Dess3System::OpenFromSnapshot(variant.string());
+    ASSERT_FALSE(result.ok()) << file;
+    EXPECT_EQ(result.status().code(), StatusCode::kDataLoss)
+        << file << ": " << result.status().ToString();
+  }
+}
+
+TEST_F(SnapshotFuzzTest, BitFlippedSectionsFailAsDataLoss) {
+  Rng rng(77);
+  const char* files[] = {kSnapshotRecordsFile, kSnapshotSpacesFile,
+                         kSnapshotMeshesFile,
+                         "hierarchy_moment_invariants.bin",
+                         "index_principal_moments.drt"};
+  for (const char* file : files) {
+    for (int trial = 0; trial < 8; ++trial) {
+      const std::filesystem::path variant = MakeVariant();
+      std::vector<char> bytes = ReadFile(variant / file);
+      ASSERT_FALSE(bytes.empty()) << file;
+      bytes[rng.NextBounded(bytes.size())] ^=
+          static_cast<char>(1 << rng.NextBounded(8));
+      WriteFile(variant / file, bytes);
+      auto result = Dess3System::OpenFromSnapshot(variant.string());
+      // Every section is CRC-verified against the manifest before parsing,
+      // so any flip — even in a don't-care byte — is DataLoss.
+      ASSERT_FALSE(result.ok()) << file << " trial " << trial;
+      EXPECT_EQ(result.status().code(), StatusCode::kDataLoss)
+          << file << ": " << result.status().ToString();
+    }
+  }
+}
+
+TEST_F(SnapshotFuzzTest, BitFlippedManifestFailsCleanly) {
+  Rng rng(99);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::filesystem::path variant = MakeVariant();
+    std::vector<char> bytes = ReadFile(variant / kSnapshotManifestFile);
+    ASSERT_GT(bytes.size(), 36u);
+    bytes[rng.NextBounded(bytes.size())] ^=
+        static_cast<char>(1 << rng.NextBounded(8));
+    WriteFile(variant / kSnapshotManifestFile, bytes);
+    auto result = Dess3System::OpenFromSnapshot(variant.string());
+    // The manifest is self-checksummed, so a flip anywhere (including the
+    // version field or the trailing CRC itself) reads as DataLoss.
+    ASSERT_FALSE(result.ok()) << "trial " << trial;
+    EXPECT_EQ(result.status().code(), StatusCode::kDataLoss)
+        << result.status().ToString();
+  }
+}
+
+TEST_F(SnapshotFuzzTest, TruncatedManifestFailsCleanly) {
+  std::vector<char> bytes = ReadFile(golden_ / kSnapshotManifestFile);
+  for (size_t cut = 0; cut < bytes.size(); cut += 7) {
+    const std::filesystem::path variant = MakeVariant();
+    std::vector<char> truncated(bytes.begin(), bytes.begin() + cut);
+    WriteFile(variant / kSnapshotManifestFile, truncated);
+    auto result = Dess3System::OpenFromSnapshot(variant.string());
+    ASSERT_FALSE(result.ok()) << "cut at " << cut;
+    EXPECT_EQ(result.status().code(), StatusCode::kDataLoss)
+        << "cut at " << cut << ": " << result.status().ToString();
+  }
+}
+
+TEST_F(SnapshotFuzzTest, VersionSkewWithValidChecksumIsFailedPrecondition) {
+  // A future writer bumps the version and re-seals the manifest: the CRC is
+  // valid, so the reader must report skew, not corruption. Rebuild the
+  // manifest tail CRC after patching the version field (offset 4).
+  const std::filesystem::path variant = MakeVariant();
+  std::vector<char> bytes = ReadFile(variant / kSnapshotManifestFile);
+  ASSERT_GT(bytes.size(), 36u);
+  const uint32_t future = kSnapshotFormatVersion + 1;
+  std::memcpy(bytes.data() + 4, &future, sizeof(future));
+  const uint32_t crc = Crc32c(bytes.data(), bytes.size() - 4);
+  std::memcpy(bytes.data() + bytes.size() - 4, &crc, sizeof(crc));
+  WriteFile(variant / kSnapshotManifestFile, bytes);
+  auto result = Dess3System::OpenFromSnapshot(variant.string());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition)
+      << result.status().ToString();
+}
+
+TEST_F(SnapshotFuzzTest, MissingManifestIsNotFound) {
+  const std::filesystem::path variant = MakeVariant();
+  std::filesystem::remove(variant / kSnapshotManifestFile);
+  auto result = Dess3System::OpenFromSnapshot(variant.string());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(SnapshotFuzzTest, MissingSectionIsDataLoss) {
+  for (const char* file :
+       {kSnapshotRecordsFile, kSnapshotSpacesFile,
+        "index_eigenvalues.drt"}) {
+    const std::filesystem::path variant = MakeVariant();
+    std::filesystem::remove(variant / file);
+    auto result = Dess3System::OpenFromSnapshot(variant.string());
+    ASSERT_FALSE(result.ok()) << file;
+    EXPECT_EQ(result.status().code(), StatusCode::kDataLoss) << file;
+  }
 }
 
 }  // namespace
