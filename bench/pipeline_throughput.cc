@@ -18,6 +18,7 @@
 #include "src/core/system.h"
 #include "src/features/extractors.h"
 #include "src/features/moments.h"
+#include "src/features/shape_distribution.h"
 #include "src/graph/graph_builder.h"
 #include "src/graph/spectral.h"
 #include "src/modelgen/marching_cubes.h"
@@ -157,11 +158,17 @@ void BM_MeshSolidGeneration(benchmark::State& state) {
 BENCHMARK(BM_MeshSolidGeneration)->Arg(24)->Arg(48);
 
 // End-to-end query path against a small committed system: exercises the
-// query-side extraction, the R-tree search, and the two-step re-rank so
-// their counters and spans appear in the exported metrics snapshot.
+// query-side extraction, the index search, and the multi-step re-rank so
+// their counters and spans appear in the exported metrics snapshot. The
+// system registers the D2 shape distribution beside the canonical four, so
+// the per-space series below covers a registry-extended space and the
+// metrics snapshot carries a stage.feature.d2_distribution latency series.
 const Dess3System& SampleSystem() {
   static const Dess3System* system = [] {
+    auto registry = std::make_shared<FeatureSpaceRegistry>();
+    (void)registry->Register(MakeD2SpaceDef());
     SystemOptions opt;
+    opt.feature_spaces = std::move(registry);
     opt.extraction.voxelization.resolution = 20;
     opt.hierarchy.max_leaf_size = 4;
     auto* sys = new Dess3System(opt);
@@ -180,19 +187,44 @@ const Dess3System& SampleSystem() {
   return *system;
 }
 
+const TriMesh& SampleProbe() {
+  static const TriMesh* mesh = [] {
+    Rng rng(99);
+    auto m = MeshSolid(*StandardPartFamilies()[0].build(&rng),
+                       {.resolution = 24});
+    return new TriMesh(std::move(*m));
+  }();
+  return *mesh;
+}
+
+// One series per registered feature space (arg = registry ordinal;
+// 0..3 canonical, 4 = d2_distribution), labeled with the space id.
 void BM_QueryPath(benchmark::State& state) {
   const Dess3System& system = SampleSystem();
-  Rng rng(99);
-  const auto probe =
-      MeshSolid(*StandardPartFamilies()[0].build(&rng), {.resolution = 24});
+  const FeatureSpaceRegistry& registry = *system.options().feature_spaces;
+  const std::string space = registry.id(static_cast<int>(state.range(0)));
+  state.SetLabel(space);
+  const QueryRequest request = QueryRequest::TopK(space, 3);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(system.QueryByMesh(
-        *probe, QueryRequest::TopK(FeatureKind::kPrincipalMoments, 3)));
-    benchmark::DoNotOptimize(system.QueryByMesh(
-        *probe, QueryRequest::MultiStep(MultiStepPlan::Standard(4, 2))));
+    benchmark::DoNotOptimize(system.QueryByMesh(SampleProbe(), request));
   }
 }
-BENCHMARK(BM_QueryPath);
+BENCHMARK(BM_QueryPath)
+    ->ArgName("space")
+    ->DenseRange(0, kNumFeatureKinds);  // the canonical four, then D2
+
+// The paper's two-step plan, plus a final D2 re-rank stage to time a
+// registered space inside the multi-step path.
+void BM_QueryPathMultiStep(benchmark::State& state) {
+  const Dess3System& system = SampleSystem();
+  MultiStepPlan plan = MultiStepPlan::Standard(4, 3);
+  plan.stages.push_back({std::string(kD2SpaceId), 2});
+  const QueryRequest request = QueryRequest::MultiStep(std::move(plan));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(system.QueryByMesh(SampleProbe(), request));
+  }
+}
+BENCHMARK(BM_QueryPathMultiStep);
 
 // Snapshot-isolated concurrent serving: N reader threads query one
 // committed system through the lock-free snapshot path. Built at res 64 so

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# The full CI gate, runnable locally: the tier-1 suite under the `ci`
+# preset, the persistence parsers under ASan/UBSan (ctest label `persist`),
+# and the concurrent serving layer under TSan (label `tsan`). Any failing
+# step fails the script.
+#
+# Usage: scripts/ci.sh [--fast]
+#   --fast   tier-1 only (skip the sanitizer passes)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+FAST=0
+if [[ "${1:-}" == "--fast" ]]; then
+  FAST=1
+fi
+
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+run_preset() {
+  local preset="$1"
+  echo "==> [$preset] configure"
+  cmake --preset "$preset"
+  echo "==> [$preset] build"
+  cmake --build --preset "$preset" -j "$JOBS"
+  echo "==> [$preset] test"
+  ctest --preset "$preset" -j "$JOBS"
+}
+
+run_preset ci
+
+if [[ "$FAST" == "0" ]]; then
+  run_preset asan
+  run_preset tsan
+fi
+
+echo "CI: all passes green"

@@ -31,10 +31,12 @@ constexpr uint32_t kManifestMagic = 0x504E5344;  // "DSNP"
 constexpr uint32_t kFlagIncludeMeshes = 1u << 0;
 constexpr uint32_t kFlagStandardize = 1u << 1;
 
-/// Parse-time sanity bounds: a valid manifest has ~11 sections and a valid
-/// hierarchy is bounded by HierarchyOptions::max_depth / branch_factor;
-/// anything past these limits is a corrupt length prefix, not real data.
+/// Parse-time sanity bounds: a valid manifest has 3 + 2 sections per
+/// feature space and a valid hierarchy is bounded by
+/// HierarchyOptions::max_depth / branch_factor; anything past these limits
+/// is a corrupt length prefix, not real data.
 constexpr uint32_t kMaxManifestSections = 64;
+constexpr uint32_t kMaxManifestSpaces = 30;
 constexpr int kMaxHierarchyDepth = 64;
 constexpr uint32_t kMaxHierarchyChildren = 4096;
 
@@ -45,22 +47,22 @@ struct ManifestSection {
   uint32_t crc = 0;
 };
 
+/// One feature-space entry of a v2 MANIFEST: which space, at which
+/// dimension, the snapshot's i-th sections describe. A v1 manifest has no
+/// table on disk; ReadManifest synthesizes the canonical four.
+struct ManifestSpace {
+  std::string id;
+  uint32_t dim = 0;
+};
+
 struct Manifest {
   uint32_t version = kSnapshotFormatVersion;
   uint64_t epoch = 0;
   uint32_t flags = 0;
   uint64_t num_shapes = 0;
+  std::vector<ManifestSpace> spaces;
   std::vector<ManifestSection> sections;
 };
-
-std::string HierarchyFileName(FeatureKind kind) {
-  return kSnapshotHierarchyPrefix + FeatureKindName(kind) +
-         kSnapshotHierarchySuffix;
-}
-
-std::string IndexFileName(FeatureKind kind) {
-  return kSnapshotIndexPrefix + FeatureKindName(kind) + kSnapshotIndexSuffix;
-}
 
 const ManifestSection* FindSection(const Manifest& manifest,
                                    const std::string& file) {
@@ -81,6 +83,16 @@ Status WriteManifest(const std::string& path, const Manifest& manifest) {
   w.WriteU64(manifest.epoch);
   w.WriteU32(manifest.flags);
   w.WriteU64(manifest.num_shapes);
+  if (manifest.version >= 2) {
+    // The feature-space table: which spaces, in which registry order, this
+    // snapshot's sections describe. Version 1 had exactly the canonical
+    // four and no table.
+    w.WriteU32(static_cast<uint32_t>(manifest.spaces.size()));
+    for (const ManifestSpace& s : manifest.spaces) {
+      w.WriteString(s.id);
+      w.WriteU32(s.dim);
+    }
+  }
   w.WriteU32(static_cast<uint32_t>(manifest.sections.size()));
   for (const ManifestSection& s : manifest.sections) {
     w.WriteString(s.file);
@@ -130,15 +142,38 @@ Result<Manifest> ReadManifest(const std::string& path) {
   if (!r.ReadU32(&manifest.version)) {
     return Status::DataLoss("snapshot manifest truncated: " + path);
   }
-  if (manifest.version != kSnapshotFormatVersion) {
+  if (manifest.version < 1 || manifest.version > kSnapshotFormatVersion) {
     return Status::FailedPrecondition(StrFormat(
-        "snapshot format version %u, this build reads version %u: %s",
+        "snapshot format version %u, this build reads versions 1..%u: %s",
         manifest.version, kSnapshotFormatVersion, path.c_str()));
   }
-  uint32_t num_sections = 0;
   if (!r.ReadU64(&manifest.epoch) || !r.ReadU32(&manifest.flags) ||
-      !r.ReadU64(&manifest.num_shapes) || !r.ReadU32(&num_sections) ||
-      num_sections > kMaxManifestSections) {
+      !r.ReadU64(&manifest.num_shapes)) {
+    return Status::DataLoss("unparseable snapshot manifest: " + path);
+  }
+  if (manifest.version >= 2) {
+    uint32_t num_spaces = 0;
+    if (!r.ReadU32(&num_spaces) || num_spaces < kNumFeatureKinds ||
+        num_spaces > kMaxManifestSpaces) {
+      return Status::DataLoss("unparseable snapshot manifest: " + path);
+    }
+    manifest.spaces.resize(num_spaces);
+    for (ManifestSpace& s : manifest.spaces) {
+      if (!r.ReadString(&s.id) || !r.ReadU32(&s.dim) || s.id.empty() ||
+          s.dim == 0) {
+        return Status::DataLoss("unparseable snapshot manifest: " + path);
+      }
+    }
+  } else {
+    // A v1 snapshot is, by definition, the canonical four spaces.
+    manifest.spaces.reserve(kNumFeatureKinds);
+    for (FeatureKind kind : AllFeatureKinds()) {
+      manifest.spaces.push_back(
+          {CanonicalSpaceId(kind), static_cast<uint32_t>(FeatureDim(kind))});
+    }
+  }
+  uint32_t num_sections = 0;
+  if (!r.ReadU32(&num_sections) || num_sections > kMaxManifestSections) {
     return Status::DataLoss("unparseable snapshot manifest: " + path);
   }
   manifest.sections.resize(num_sections);
@@ -151,9 +186,12 @@ Result<Manifest> ReadManifest(const std::string& path) {
   return manifest;
 }
 
-/// records.bin: the catalog and all four feature vectors of every record,
-/// in store order. Geometry lives in the (optional) meshes.bin so that
-/// feature-only snapshots stay small.
+/// records.bin: the catalog and every feature vector of every record, in
+/// store order. Each feature is tagged with its registry ordinal — the same
+/// bytes a v1 writer produced (the FeatureKind value IS the ordinal), so
+/// canonical-registry snapshots stay byte-identical across versions.
+/// Geometry lives in the (optional) meshes.bin so that feature-only
+/// snapshots stay small.
 Status WriteRecords(const std::string& path, const ShapeDatabase& db) {
   BinaryWriter w(path);
   if (!w.ok()) return Status::IOError("cannot open for write: " + path);
@@ -162,16 +200,18 @@ Status WriteRecords(const std::string& path, const ShapeDatabase& db) {
     w.WriteI32(rec.id);
     w.WriteString(rec.name);
     w.WriteI32(rec.group);
-    w.WriteU32(kNumFeatureKinds);
-    for (const FeatureVector& fv : rec.signature.features) {
-      w.WriteU32(static_cast<uint32_t>(fv.kind));
-      w.WriteF64Vector(fv.values);
+    const uint32_t nf = static_cast<uint32_t>(rec.signature.NumSpaces());
+    w.WriteU32(nf);
+    for (uint32_t f = 0; f < nf; ++f) {
+      w.WriteU32(f);
+      w.WriteF64Vector(rec.signature.At(f).values);
     }
   }
   return w.Finish();
 }
 
 Status LoadRecords(const std::string& path,
+                   const FeatureSpaceRegistry& registry,
                    std::vector<ShapeRecord>* records) {
   BinaryReader r(path);
   if (!r.ok()) return Status::IOError("cannot open for read: " + path);
@@ -181,27 +221,29 @@ Status LoadRecords(const std::string& path,
   }
   records->clear();
   records->reserve(count);
+  const uint32_t num_spaces = static_cast<uint32_t>(registry.size());
   for (uint64_t i = 0; i < count; ++i) {
     ShapeRecord rec;
     int32_t id = 0, group = 0;
     uint32_t nf = 0;
     if (!r.ReadI32(&id) || !r.ReadString(&rec.name) || !r.ReadI32(&group) ||
-        !r.ReadU32(&nf) || nf != kNumFeatureKinds) {
+        !r.ReadU32(&nf) || nf != num_spaces) {
       return Status::DataLoss("truncated snapshot records: " + path);
     }
     rec.id = id;
     rec.group = group;
     for (uint32_t f = 0; f < nf; ++f) {
-      uint32_t kind = 0;
+      uint32_t ordinal = 0;
       std::vector<double> values;
-      if (!r.ReadU32(&kind) || kind >= kNumFeatureKinds ||
-          !r.ReadF64Vector(&values)) {
+      if (!r.ReadU32(&ordinal) || ordinal >= num_spaces ||
+          !r.ReadF64Vector(&values) ||
+          values.size() != static_cast<size_t>(registry.dim(ordinal))) {
         return Status::DataLoss("bad feature vector in snapshot records: " +
                                 path);
       }
-      FeatureVector& fv =
-          rec.signature.Mutable(static_cast<FeatureKind>(kind));
-      fv.kind = static_cast<FeatureKind>(kind);
+      FeatureVector& fv = rec.signature.MutableAt(static_cast<int>(ordinal));
+      fv.kind = static_cast<FeatureKind>(ordinal);
+      fv.space = registry.id(ordinal);
       fv.values = std::move(values);
     }
     records->push_back(std::move(rec));
@@ -274,17 +316,19 @@ Status LoadMeshes(const std::string& path,
   return r.Finish();
 }
 
-/// spaces.bin: the four calibrated SimilaritySpaces. Persisting stats,
-/// weights and d_max — not recomputing them — is what makes a reopened
-/// system answer bit-identically: every distance and similarity a query
-/// produces is a function of the raw features plus exactly these numbers.
+/// spaces.bin: every calibrated SimilaritySpace, tagged with its registry
+/// ordinal (the same bytes a v1 writer produced for the canonical four).
+/// Persisting stats, weights and d_max — not recomputing them — is what
+/// makes a reopened system answer bit-identically: every distance and
+/// similarity a query produces is a function of the raw features plus
+/// exactly these numbers.
 Status WriteSpaces(const std::string& path, const SearchEngine& engine) {
   BinaryWriter w(path);
   if (!w.ok()) return Status::IOError("cannot open for write: " + path);
-  w.WriteU32(kNumFeatureKinds);
-  for (FeatureKind kind : AllFeatureKinds()) {
-    const SimilaritySpace& space = engine.Space(kind);
-    w.WriteU32(static_cast<uint32_t>(space.kind));
+  w.WriteU32(static_cast<uint32_t>(engine.NumSpaces()));
+  for (int ordinal = 0; ordinal < engine.NumSpaces(); ++ordinal) {
+    const SimilaritySpace& space = engine.SpaceAt(ordinal);
+    w.WriteU32(static_cast<uint32_t>(ordinal));
     w.WriteF64Vector(space.stats.mean);
     w.WriteF64Vector(space.stats.stddev);
     w.WriteF64Vector(space.weights);
@@ -293,25 +337,26 @@ Status WriteSpaces(const std::string& path, const SearchEngine& engine) {
   return w.Finish();
 }
 
-Result<std::array<SimilaritySpace, kNumFeatureKinds>> LoadSpaces(
-    const std::string& path) {
+Result<std::vector<SimilaritySpace>> LoadSpaces(
+    const std::string& path, const FeatureSpaceRegistry& registry) {
   BinaryReader r(path);
   if (!r.ok()) return Status::IOError("cannot open for read: " + path);
   uint32_t n = 0;
-  if (!r.ReadU32(&n) || n != kNumFeatureKinds) {
+  if (!r.ReadU32(&n) || n != static_cast<uint32_t>(registry.size())) {
     return Status::DataLoss("bad space count in snapshot spaces: " + path);
   }
-  std::array<SimilaritySpace, kNumFeatureKinds> spaces;
+  std::vector<SimilaritySpace> spaces(n);
   for (uint32_t i = 0; i < n; ++i) {
-    uint32_t kind = 0;
+    uint32_t ordinal = 0;
     SimilaritySpace space;
-    if (!r.ReadU32(&kind) || kind != i ||
+    if (!r.ReadU32(&ordinal) || ordinal != i ||
         !r.ReadF64Vector(&space.stats.mean) ||
         !r.ReadF64Vector(&space.stats.stddev) ||
         !r.ReadF64Vector(&space.weights) || !r.ReadF64(&space.dmax)) {
       return Status::DataLoss("unparseable snapshot spaces: " + path);
     }
-    space.kind = static_cast<FeatureKind>(kind);
+    space.kind = static_cast<FeatureKind>(i);
+    space.id = registry.id(i);
     spaces[i] = std::move(space);
   }
   DESS_RETURN_NOT_OK(r.Finish());
@@ -370,6 +415,19 @@ Result<std::unique_ptr<HierarchyNode>> LoadHierarchy(
 Status SystemSnapshot::SaveTo(const std::string& dir,
                               const SaveOptions& options) const {
   DESS_TIMED_SCOPE("snapshot.save");
+  const FeatureSpaceRegistry& registry = engine_->registry();
+  if (options.format_version < 1 ||
+      options.format_version > kSnapshotFormatVersion) {
+    return Status::InvalidArgument(
+        StrFormat("cannot write snapshot format version %u (this build "
+                  "writes versions 1..%u)",
+                  options.format_version, kSnapshotFormatVersion));
+  }
+  if (options.format_version == 1 && registry.size() != kNumFeatureKinds) {
+    return Status::InvalidArgument(
+        "snapshot format version 1 cannot express a registry beyond the "
+        "canonical four feature spaces");
+  }
   const fs::path target(dir);
   std::error_code ec;
   const bool target_exists = fs::exists(target, ec);
@@ -405,11 +463,17 @@ Status SystemSnapshot::SaveTo(const std::string& dir,
   }
 
   Manifest manifest;
+  manifest.version = options.format_version;
   manifest.epoch = epoch_;
   manifest.flags =
       (options.include_meshes ? kFlagIncludeMeshes : 0u) |
       (engine_->options().standardize ? kFlagStandardize : 0u);
   manifest.num_shapes = db_->NumShapes();
+  manifest.spaces.reserve(registry.size());
+  for (int ordinal = 0; ordinal < registry.size(); ++ordinal) {
+    manifest.spaces.push_back(
+        {registry.id(ordinal), static_cast<uint32_t>(registry.dim(ordinal))});
+  }
 
   auto add_section = [&](const std::string& file) -> Status {
     DESS_ASSIGN_OR_RETURN(auto size_crc,
@@ -430,27 +494,27 @@ Status SystemSnapshot::SaveTo(const std::string& dir,
       WriteSpaces((staging / kSnapshotSpacesFile).string(), *engine_));
   DESS_RETURN_NOT_OK(add_section(kSnapshotSpacesFile));
 
-  for (FeatureKind kind : AllFeatureKinds()) {
-    const std::string file = HierarchyFileName(kind);
+  for (int ordinal = 0; ordinal < registry.size(); ++ordinal) {
+    const std::string file = SnapshotHierarchyFile(registry.id(ordinal));
     DESS_RETURN_NOT_OK(
-        WriteHierarchy((staging / file).string(), Hierarchy(kind)));
+        WriteHierarchy((staging / file).string(), Hierarchy(ordinal)));
     DESS_RETURN_NOT_OK(add_section(file));
   }
 
   // Pack one static R-tree per feature space over the standardized
   // coordinates — the same coordinates every engine backend indexes, so a
   // lazily reopened index answers exactly like the one that served here.
-  for (FeatureKind kind : AllFeatureKinds()) {
-    const SimilaritySpace& space = engine_->Space(kind);
+  for (int ordinal = 0; ordinal < registry.size(); ++ordinal) {
+    const SimilaritySpace& space = engine_->SpaceAt(ordinal);
     std::vector<std::pair<int, std::vector<double>>> bulk;
     bulk.reserve(db_->NumShapes());
     for (const ShapeRecord& rec : db_->records()) {
       bulk.emplace_back(rec.id,
-                        space.Standardize(rec.signature.Get(kind).values));
+                        space.Standardize(rec.signature.At(ordinal).values));
     }
-    const std::string file = IndexFileName(kind);
-    DESS_RETURN_NOT_OK(
-        DiskRTree::Build((staging / file).string(), FeatureDim(kind), bulk));
+    const std::string file = SnapshotIndexFile(registry.id(ordinal));
+    DESS_RETURN_NOT_OK(DiskRTree::Build((staging / file).string(),
+                                        registry.dim(ordinal), bulk));
     DESS_RETURN_NOT_OK(add_section(file));
   }
 
@@ -488,6 +552,30 @@ Result<std::unique_ptr<Dess3System>> Dess3System::OpenFromSnapshot(
       Manifest manifest,
       ReadManifest((root / kSnapshotManifestFile).string()));
 
+  // The snapshot's feature-space table must match this process's registry
+  // exactly (same spaces, same order, same dimensions): the persisted
+  // sections were written in registry order and carry no meaning under a
+  // different one. A mismatch is a configuration problem — the snapshot is
+  // intact, this process just is not set up to serve it.
+  const std::shared_ptr<const FeatureSpaceRegistry> registry =
+      RegistryOrCanonical(options.feature_spaces);
+  if (static_cast<int>(manifest.spaces.size()) != registry->size()) {
+    return Status::FailedPrecondition(StrFormat(
+        "snapshot serves %zu feature spaces, this process registers %d: %s",
+        manifest.spaces.size(), registry->size(), dir.c_str()));
+  }
+  for (int ordinal = 0; ordinal < registry->size(); ++ordinal) {
+    const ManifestSpace& s = manifest.spaces[ordinal];
+    if (s.id != registry->id(ordinal) ||
+        s.dim != static_cast<uint32_t>(registry->dim(ordinal))) {
+      return Status::FailedPrecondition(StrFormat(
+          "snapshot feature space %d is '%s' (dim %u), this process "
+          "registers '%s' (dim %d): %s",
+          ordinal, s.id.c_str(), s.dim, registry->id(ordinal).c_str(),
+          registry->dim(ordinal), dir.c_str()));
+    }
+  }
+
   // Every section the manifest promises must exist with the advertised
   // bytes before anything is parsed or published — a missing, truncated or
   // bit-flipped section fails the whole open, never a partial publish.
@@ -496,9 +584,9 @@ Result<std::unique_ptr<Dess3System>> Dess3System::OpenFromSnapshot(
   if ((manifest.flags & kFlagIncludeMeshes) != 0) {
     required.push_back(kSnapshotMeshesFile);
   }
-  for (FeatureKind kind : AllFeatureKinds()) {
-    required.push_back(HierarchyFileName(kind));
-    required.push_back(IndexFileName(kind));
+  for (int ordinal = 0; ordinal < registry->size(); ++ordinal) {
+    required.push_back(SnapshotHierarchyFile(registry->id(ordinal)));
+    required.push_back(SnapshotIndexFile(registry->id(ordinal)));
   }
   for (const std::string& file : required) {
     if (FindSection(manifest, file) == nullptr) {
@@ -527,7 +615,8 @@ Result<std::unique_ptr<Dess3System>> Dess3System::OpenFromSnapshot(
 
   std::vector<ShapeRecord> records;
   DESS_RETURN_NOT_OK(
-      LoadRecords((root / kSnapshotRecordsFile).string(), &records));
+      LoadRecords((root / kSnapshotRecordsFile).string(), *registry,
+                  &records));
   if (records.size() != manifest.num_shapes) {
     return Status::DataLoss(
         StrFormat("snapshot records hold %zu shapes, manifest says %llu: %s",
@@ -559,39 +648,39 @@ Result<std::unique_ptr<Dess3System>> Dess3System::OpenFromSnapshot(
   }
   std::shared_ptr<const ShapeDatabase> view = system->db_.SnapshotView();
 
-  Result<std::array<SimilaritySpace, kNumFeatureKinds>> spaces_or =
-      LoadSpaces((root / kSnapshotSpacesFile).string());
+  Result<std::vector<SimilaritySpace>> spaces_or =
+      LoadSpaces((root / kSnapshotSpacesFile).string(), *registry);
   if (!spaces_or.ok()) return spaces_or.status();
-  std::array<SimilaritySpace, kNumFeatureKinds> spaces =
-      std::move(spaces_or).value();
+  std::vector<SimilaritySpace> spaces = std::move(spaces_or).value();
 
-  std::array<std::unique_ptr<HierarchyNode>, kNumFeatureKinds> hierarchies;
-  for (FeatureKind kind : AllFeatureKinds()) {
+  std::vector<std::unique_ptr<HierarchyNode>> hierarchies(registry->size());
+  for (int ordinal = 0; ordinal < registry->size(); ++ordinal) {
     DESS_ASSIGN_OR_RETURN(
-        hierarchies[static_cast<int>(kind)],
-        LoadHierarchy((root / HierarchyFileName(kind)).string()));
+        hierarchies[ordinal],
+        LoadHierarchy(
+            (root / SnapshotHierarchyFile(registry->id(ordinal))).string()));
   }
 
-  std::array<std::unique_ptr<MultiDimIndex>, kNumFeatureKinds> indexes;
-  for (FeatureKind kind : AllFeatureKinds()) {
-    const int ki = static_cast<int>(kind);
+  std::vector<std::unique_ptr<MultiDimIndex>> indexes(registry->size());
+  for (int ki = 0; ki < registry->size(); ++ki) {
     if (open_options.read_all) {
       // Eager: rebuild an in-memory R-tree from the persisted raw features
       // through the persisted space — same coordinates as the packed file,
       // so both open modes answer identically.
-      auto rtree = std::make_unique<RTreeIndex>(FeatureDim(kind));
+      auto rtree = std::make_unique<RTreeIndex>(registry->dim(ki));
       std::vector<std::pair<int, std::vector<double>>> bulk;
       bulk.reserve(view->NumShapes());
       for (const ShapeRecord& rec : view->records()) {
         bulk.emplace_back(
-            rec.id, spaces[ki].Standardize(rec.signature.Get(kind).values));
+            rec.id, spaces[ki].Standardize(rec.signature.At(ki).values));
       }
       DESS_RETURN_NOT_OK(rtree->BulkLoad(bulk));
       indexes[ki] = std::move(rtree);
     } else {
       // Lazy: serve straight from the packed page file through a buffer
       // pool; index nodes page in on first touch.
-      const std::string path = (root / IndexFileName(kind)).string();
+      const std::string path =
+          (root / SnapshotIndexFile(registry->id(ki))).string();
       Result<std::unique_ptr<DiskRTree>> tree =
           DiskRTree::Open(path, open_options.index_buffer_pages);
       if (!tree.ok()) {
@@ -606,6 +695,7 @@ Result<std::unique_ptr<Dess3System>> Dess3System::OpenFromSnapshot(
   // Commit() on the reopened system calibrates spaces the same way the
   // saving system did.
   SearchEngineOptions engine_options = options.search;
+  engine_options.registry = registry;
   engine_options.standardize = (manifest.flags & kFlagStandardize) != 0;
   system->options_.search.standardize = engine_options.standardize;
   DESS_ASSIGN_OR_RETURN(
@@ -622,12 +712,12 @@ Result<std::unique_ptr<Dess3System>> Dess3System::OpenFromSnapshot(
   }
   system->next_epoch_ = manifest.epoch + 1;
   system->dirty_ = false;
-  MetricsRegistry* registry = MetricsRegistry::Global();
-  registry->AddCounter("persist.snapshots_opened");
-  registry->SetGauge("system.snapshot_epoch",
-                     static_cast<double>(manifest.epoch));
-  registry->SetGauge("system.db_shapes",
-                     static_cast<double>(system->db_.NumShapes()));
+  MetricsRegistry* metrics = MetricsRegistry::Global();
+  metrics->AddCounter("persist.snapshots_opened");
+  metrics->SetGauge("system.snapshot_epoch",
+                    static_cast<double>(manifest.epoch));
+  metrics->SetGauge("system.db_shapes",
+                    static_cast<double>(system->db_.NumShapes()));
   return system;
 }
 

@@ -17,13 +17,21 @@ namespace dess {
 /// Failure taxonomy (pinned, like the QueryRequest codes):
 ///  - DataLoss: a checksum mismatch, truncated/missing section, or
 ///    unparseable manifest — the snapshot cannot be trusted.
-///  - FailedPrecondition: version skew — a valid snapshot written by an
-///    incompatible format revision (an upgrade problem, not data loss).
+///  - FailedPrecondition: version skew or a feature-space mismatch — a
+///    valid snapshot that this process cannot serve as configured (an
+///    upgrade/configuration problem, not data loss).
 ///  - NotFound: the directory holds no snapshot at all (no MANIFEST).
-inline constexpr uint32_t kSnapshotFormatVersion = 1;
+///
+/// Version 2 adds a feature-space table (id + dimension per registered
+/// space, in registry order) to the manifest; the section files themselves
+/// are byte-identical to v1 when the registry is the canonical four-space
+/// one, so v1 snapshots still open via the canonical mapping.
+inline constexpr uint32_t kSnapshotFormatVersion = 2;
 
-/// File names inside a snapshot directory. Per-feature-kind sections are
-/// named <prefix><FeatureKindName(kind)><suffix>.
+/// File names inside a snapshot directory. Per-feature-space sections are
+/// named <prefix><space id><suffix>; use SnapshotHierarchyFile /
+/// SnapshotIndexFile below instead of concatenating by hand, so the layout
+/// has one source of truth.
 inline constexpr char kSnapshotManifestFile[] = "MANIFEST";
 inline constexpr char kSnapshotRecordsFile[] = "records.bin";
 inline constexpr char kSnapshotMeshesFile[] = "meshes.bin";
@@ -32,6 +40,25 @@ inline constexpr char kSnapshotHierarchyPrefix[] = "hierarchy_";
 inline constexpr char kSnapshotHierarchySuffix[] = ".bin";
 inline constexpr char kSnapshotIndexPrefix[] = "index_";
 inline constexpr char kSnapshotIndexSuffix[] = ".drt";
+
+/// Browsing-hierarchy section of one feature space ("hierarchy_<id>.bin").
+inline std::string SnapshotHierarchyFile(const std::string& space_id) {
+  return std::string(kSnapshotHierarchyPrefix) + space_id +
+         kSnapshotHierarchySuffix;
+}
+
+/// Packed index section of one feature space ("index_<id>.drt").
+inline std::string SnapshotIndexFile(const std::string& space_id) {
+  return std::string(kSnapshotIndexPrefix) + space_id + kSnapshotIndexSuffix;
+}
+
+/// Scratch index file written by SearchEngine::Build's kDiskRTree backend
+/// under SearchEngineOptions::disk_index_dir (not part of a snapshot
+/// directory, but named here so the on-disk layout has one source of
+/// truth).
+inline std::string EngineDiskIndexFile(const std::string& space_id) {
+  return "dess_index_" + space_id + kSnapshotIndexSuffix;
+}
 
 /// How SystemSnapshot::SaveTo writes a snapshot directory. A struct, not
 /// positional bools, in the QueryRequest style: new knobs extend the
@@ -46,6 +73,12 @@ struct SaveOptions {
   /// saving over a directory that already holds a MANIFEST fails with
   /// AlreadyExists.
   bool overwrite = false;
+  /// Manifest format version to write: kSnapshotFormatVersion (default) or
+  /// 1 for a pre-registry snapshot. Version 1 is only expressible when the
+  /// system serves exactly the canonical four spaces (InvalidArgument
+  /// otherwise); it exists so tests and rollback paths can produce
+  /// snapshots an older build opens.
+  uint32_t format_version = kSnapshotFormatVersion;
 };
 
 /// How Dess3System::OpenFromSnapshot reads one back.

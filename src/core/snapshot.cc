@@ -19,14 +19,15 @@ Result<std::shared_ptr<const SystemSnapshot>> SystemSnapshot::Build(
   snapshot->db_ = db;
   DESS_ASSIGN_OR_RETURN(snapshot->engine_,
                         SearchEngine::Build(std::move(db), search_options));
-  for (FeatureKind kind : AllFeatureKinds()) {
+  snapshot->hierarchies_.resize(snapshot->engine_->NumSpaces());
+  for (int ordinal = 0; ordinal < snapshot->engine_->NumSpaces(); ++ordinal) {
     std::vector<std::vector<double>> points;
     points.reserve(snapshot->db_->NumShapes());
-    const SimilaritySpace& space = snapshot->engine_->Space(kind);
+    const SimilaritySpace& space = snapshot->engine_->SpaceAt(ordinal);
     for (const ShapeRecord& rec : snapshot->db_->records()) {
-      points.push_back(space.Standardize(rec.signature.Get(kind).values));
+      points.push_back(space.Standardize(rec.signature.At(ordinal).values));
     }
-    DESS_ASSIGN_OR_RETURN(snapshot->hierarchies_[static_cast<int>(kind)],
+    DESS_ASSIGN_OR_RETURN(snapshot->hierarchies_[ordinal],
                           BuildHierarchy(points, hierarchy_options));
   }
   return std::shared_ptr<const SystemSnapshot>(std::move(snapshot));
@@ -35,14 +36,18 @@ Result<std::shared_ptr<const SystemSnapshot>> SystemSnapshot::Build(
 Result<std::shared_ptr<const SystemSnapshot>> SystemSnapshot::Assemble(
     std::shared_ptr<const ShapeDatabase> db, uint64_t epoch,
     std::unique_ptr<SearchEngine> engine,
-    std::array<std::unique_ptr<HierarchyNode>, kNumFeatureKinds>
-        hierarchies) {
+    std::vector<std::unique_ptr<HierarchyNode>> hierarchies) {
   if (db == nullptr || db->IsEmpty()) {
     return Status::InvalidArgument("snapshot: empty database view");
   }
   if (engine == nullptr || engine->db().NumShapes() != db->NumShapes()) {
     return Status::InvalidArgument(
         "snapshot: engine missing or inconsistent with the database view");
+  }
+  if (static_cast<int>(hierarchies.size()) != engine->NumSpaces()) {
+    return Status::InvalidArgument(
+        "snapshot: one browsing hierarchy per engine feature space "
+        "required");
   }
   for (const auto& hierarchy : hierarchies) {
     if (hierarchy == nullptr) {
@@ -55,6 +60,13 @@ Result<std::shared_ptr<const SystemSnapshot>> SystemSnapshot::Assemble(
   snapshot->engine_ = std::move(engine);
   snapshot->hierarchies_ = std::move(hierarchies);
   return std::shared_ptr<const SystemSnapshot>(std::move(snapshot));
+}
+
+Result<const HierarchyNode*> SystemSnapshot::Hierarchy(
+    const std::string& space_id) const {
+  DESS_ASSIGN_OR_RETURN(const int ordinal,
+                        engine_->ResolveSpace(space_id));
+  return hierarchies_[ordinal].get();
 }
 
 Result<QueryResponse> SystemSnapshot::Query(const ShapeSignature& query,

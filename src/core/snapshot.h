@@ -1,9 +1,10 @@
 #ifndef DESS_CORE_SNAPSHOT_H_
 #define DESS_CORE_SNAPSHOT_H_
 
-#include <array>
 #include <cstdint>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "src/cluster/hierarchy.h"
 #include "src/core/persistence.h"
@@ -43,11 +44,12 @@ class SystemSnapshot {
   /// engine and hierarchies from disk instead of rebuilding them. All
   /// parts must describe the same committed state; basic consistency is
   /// validated, contents are trusted.
+  /// `hierarchies[i]` is the browsing hierarchy of the engine's i-th
+  /// feature space (one per registered space).
   static Result<std::shared_ptr<const SystemSnapshot>> Assemble(
       std::shared_ptr<const ShapeDatabase> db, uint64_t epoch,
       std::unique_ptr<SearchEngine> engine,
-      std::array<std::unique_ptr<HierarchyNode>, kNumFeatureKinds>
-          hierarchies);
+      std::vector<std::unique_ptr<HierarchyNode>> hierarchies);
 
   /// Persists this snapshot as a versioned on-disk directory (see
   /// persistence.h for the format and failure taxonomy): the frozen record
@@ -69,10 +71,18 @@ class SystemSnapshot {
   /// methods; per-query weights go through QueryRequest::weights.
   const SearchEngine& engine() const { return *engine_; }
 
-  /// Browsing hierarchy for one feature kind.
+  /// Browsing hierarchy for one feature kind / registry ordinal.
   const HierarchyNode& Hierarchy(FeatureKind kind) const {
     return *hierarchies_[static_cast<int>(kind)];
   }
+  const HierarchyNode& Hierarchy(int ordinal) const {
+    return *hierarchies_[ordinal];
+  }
+  /// Browsing hierarchy of a registered feature space by id;
+  /// InvalidArgument for an unknown id.
+  Result<const HierarchyNode*> Hierarchy(const std::string& space_id) const;
+
+  int NumHierarchies() const { return static_cast<int>(hierarchies_.size()); }
 
   /// Executes a query against this snapshot and stamps the response with
   /// this snapshot's epoch. Safe to call from any number of threads.
@@ -90,7 +100,8 @@ class SystemSnapshot {
   uint64_t epoch_ = 0;
   std::shared_ptr<const ShapeDatabase> db_;
   std::unique_ptr<SearchEngine> engine_;
-  std::array<std::unique_ptr<HierarchyNode>, kNumFeatureKinds> hierarchies_;
+  // One browsing hierarchy per registered feature space, in registry order.
+  std::vector<std::unique_ptr<HierarchyNode>> hierarchies_;
 };
 
 }  // namespace dess

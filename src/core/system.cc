@@ -7,7 +7,18 @@
 
 namespace dess {
 
-Dess3System::Dess3System(const SystemOptions& options) : options_(options) {}
+Dess3System::Dess3System(const SystemOptions& options) : options_(options) {
+  // One registry for the whole instance: whatever spaces the caller
+  // registered (or the canonical four) drive extraction, the engine, and
+  // snapshot persistence alike.
+  options_.feature_spaces = RegistryOrCanonical(options_.feature_spaces);
+  if (options_.extraction.registry == nullptr) {
+    options_.extraction.registry = options_.feature_spaces;
+  }
+  if (options_.search.registry == nullptr) {
+    options_.search.registry = options_.feature_spaces;
+  }
+}
 
 Dess3System::~Dess3System() = default;
 
@@ -194,6 +205,13 @@ Result<const HierarchyNode*> Dess3System::Hierarchy(FeatureKind kind) const {
   DESS_ASSIGN_OR_RETURN(std::shared_ptr<const SystemSnapshot> snapshot,
                         CurrentSnapshot());
   return &snapshot->Hierarchy(kind);
+}
+
+Result<const HierarchyNode*> Dess3System::Hierarchy(
+    const std::string& space_id) const {
+  DESS_ASSIGN_OR_RETURN(std::shared_ptr<const SystemSnapshot> snapshot,
+                        CurrentSnapshot());
+  return snapshot->Hierarchy(space_id);
 }
 
 Status Dess3System::Save(const std::string& path) const {

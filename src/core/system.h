@@ -22,6 +22,12 @@ class ThreadPool;
 
 /// Configuration of a 3DESS instance.
 struct SystemOptions {
+  /// The feature spaces this instance extracts, indexes, searches and
+  /// persists (nullptr means the canonical four). The one knob that wires
+  /// a registered space through the whole system: the constructor threads
+  /// it into `extraction` and `search`, and OpenFromSnapshot requires the
+  /// opened snapshot to serve exactly these spaces.
+  std::shared_ptr<const FeatureSpaceRegistry> feature_spaces;
   ExtractionOptions extraction;
   SearchEngineOptions search;
   HierarchyOptions hierarchy;
@@ -128,6 +134,10 @@ class Dess3System {
   /// via CurrentSnapshot(); prefer CurrentSnapshot()->Hierarchy(kind) in
   /// concurrent code, which ties the lifetime to the acquired snapshot.
   Result<const HierarchyNode*> Hierarchy(FeatureKind kind) const;
+
+  /// Same, addressed by registered feature-space id; InvalidArgument for
+  /// an id the system's registry does not serve.
+  Result<const HierarchyNode*> Hierarchy(const std::string& space_id) const;
 
   /// Persists the database (geometry + features) as one flat file.
   /// Indexes are rebuilt on load, mirroring the paper's

@@ -9,7 +9,12 @@ namespace dess {
 namespace {
 
 constexpr uint32_t kMagic = 0x33445353;  // "SSD3"
-constexpr uint32_t kVersion = 1;
+// v1: exactly the four canonical features per record, tagged by enum value.
+// v2: any number of feature spaces per record, each tagged by its space id.
+// Save picks v1 whenever the content is expressible in it (all-canonical
+// signatures), so pre-registry databases stay byte-identical.
+constexpr uint32_t kVersionCanonical = 1;
+constexpr uint32_t kVersionSpaces = 2;
 
 }  // namespace
 
@@ -77,24 +82,47 @@ int ShapeDatabase::NumGroups() const {
 
 Result<std::vector<double>> ShapeDatabase::Feature(int id,
                                                    FeatureKind kind) const {
+  return Feature(id, static_cast<int>(kind));
+}
+
+Result<std::vector<double>> ShapeDatabase::Feature(int id, int ordinal) const {
   DESS_ASSIGN_OR_RETURN(const ShapeRecord* rec, Get(id));
-  return rec->signature.Get(kind).values;
+  if (ordinal < 0 || ordinal >= rec->signature.NumSpaces()) {
+    return Status::InvalidArgument(StrFormat(
+        "shape %d carries no feature at space ordinal %d", id, ordinal));
+  }
+  return rec->signature.At(ordinal).values;
 }
 
 FeatureStats ShapeDatabase::ComputeFeatureStats(FeatureKind kind) const {
+  return ComputeFeatureStats(static_cast<int>(kind));
+}
+
+FeatureStats ShapeDatabase::ComputeFeatureStats(int ordinal) const {
   std::vector<std::vector<double>> vectors;
   vectors.reserve(records_.size());
   for (const RecordPtr& r : records_) {
-    vectors.push_back(r->signature.Get(kind).values);
+    vectors.push_back(r->signature.At(ordinal).values);
   }
   return FeatureStats::Compute(vectors);
 }
 
 Status ShapeDatabase::Save(const std::string& path) const {
+  // All-canonical content is written in the v1 layout so pre-registry
+  // databases stay byte-identical; any extra feature space upgrades the
+  // file to v2 (space-id-tagged features).
+  bool canonical = true;
+  for (const RecordPtr& rp : records_) {
+    if (rp->signature.NumSpaces() != kNumFeatureKinds) {
+      canonical = false;
+      break;
+    }
+  }
+  const uint32_t version = canonical ? kVersionCanonical : kVersionSpaces;
   BinaryWriter w(path);
   if (!w.ok()) return Status::IOError("cannot open for write: " + path);
   w.WriteU32(kMagic);
-  w.WriteU32(kVersion);
+  w.WriteU32(version);
   w.WriteU64(records_.size());
   for (const RecordPtr& rp : records_) {
     const ShapeRecord& r = *rp;
@@ -115,9 +143,13 @@ Status ShapeDatabase::Save(const std::string& path) const {
       w.WriteU32(t[2]);
     }
     // Features.
-    w.WriteU32(kNumFeatureKinds);
+    w.WriteU32(static_cast<uint32_t>(r.signature.NumSpaces()));
     for (const FeatureVector& fv : r.signature.features) {
-      w.WriteU32(static_cast<uint32_t>(fv.kind));
+      if (version == kVersionCanonical) {
+        w.WriteU32(static_cast<uint32_t>(fv.kind));
+      } else {
+        w.WriteString(fv.space);
+      }
       w.WriteF64Vector(fv.values);
     }
   }
@@ -131,7 +163,8 @@ Result<ShapeDatabase> ShapeDatabase::Load(const std::string& path) {
   if (!r.ReadU32(&magic) || magic != kMagic) {
     return Status::Corruption("bad magic in " + path);
   }
-  if (!r.ReadU32(&version) || version != kVersion) {
+  if (!r.ReadU32(&version) ||
+      (version != kVersionCanonical && version != kVersionSpaces)) {
     return Status::Corruption("unsupported version in " + path);
   }
   uint64_t count = 0;
@@ -168,18 +201,31 @@ Result<ShapeDatabase> ShapeDatabase::Load(const std::string& path) {
       rec.mesh.AddTriangle(a, b, c);
     }
     uint32_t nf = 0;
-    if (!r.ReadU32(&nf) || nf != kNumFeatureKinds) {
+    if (!r.ReadU32(&nf) ||
+        (version == kVersionCanonical && nf != kNumFeatureKinds) ||
+        (version == kVersionSpaces && nf < kNumFeatureKinds)) {
       return Status::Corruption("bad feature count in " + path);
     }
     for (uint32_t f = 0; f < nf; ++f) {
-      uint32_t kind = 0;
       std::vector<double> values;
-      if (!r.ReadU32(&kind) || kind >= kNumFeatureKinds ||
-          !r.ReadF64Vector(&values)) {
+      uint32_t ordinal = f;
+      std::string space;
+      if (version == kVersionCanonical) {
+        if (!r.ReadU32(&ordinal) || ordinal >= kNumFeatureKinds) {
+          return Status::Corruption("bad feature vector in " + path);
+        }
+        space = FeatureKindName(static_cast<FeatureKind>(ordinal));
+      } else {
+        if (!r.ReadString(&space) || space.empty()) {
+          return Status::Corruption("bad feature space id in " + path);
+        }
+      }
+      if (!r.ReadF64Vector(&values)) {
         return Status::Corruption("bad feature vector in " + path);
       }
-      FeatureVector& fv = rec.signature.Mutable(static_cast<FeatureKind>(kind));
-      fv.kind = static_cast<FeatureKind>(kind);
+      FeatureVector& fv = rec.signature.MutableAt(static_cast<int>(ordinal));
+      fv.kind = static_cast<FeatureKind>(ordinal);
+      fv.space = std::move(space);
       fv.values = std::move(values);
     }
     DESS_RETURN_NOT_OK(db.InsertWithId(std::move(rec)));

@@ -130,6 +130,11 @@ class ShapeDatabase {
   /// The feature vector of one shape for one feature kind.
   Result<std::vector<double>> Feature(int id, FeatureKind kind) const;
 
+  /// The feature vector of one shape at one registry ordinal; NotFound for
+  /// an unknown id, InvalidArgument when the shape's signature carries no
+  /// vector at that ordinal.
+  Result<std::vector<double>> Feature(int id, int ordinal) const;
+
   /// All records (for scans, clustering, stats).
   RecordRange records() const { return RecordRange(&records_); }
 
@@ -143,6 +148,7 @@ class ShapeDatabase {
   /// Per-dimension statistics of one feature kind across the database,
   /// used to standardize the similarity metric.
   FeatureStats ComputeFeatureStats(FeatureKind kind) const;
+  FeatureStats ComputeFeatureStats(int ordinal) const;
 
   /// Persists the full database (geometry + features + catalog).
   Status Save(const std::string& path) const;

@@ -80,19 +80,20 @@ Result<std::vector<EffectivenessRow>> RunAverageEffectiveness(
   }
 
   std::vector<EffectivenessRow> rows;
-  // One-shot rows, one per feature vector.
-  for (FeatureKind kind : AllFeatureKinds()) {
+  // One-shot rows, one per feature space the engine serves (the canonical
+  // four plus any registered ones).
+  for (int ordinal = 0; ordinal < engine.NumSpaces(); ++ordinal) {
     EffectivenessRow row;
-    row.method = FeatureKindName(kind) + " (one-shot)";
+    row.method = engine.registry().id(ordinal) + " (one-shot)";
     for (int q : queries) {
       const std::set<int> relevant = RelevantSetFor(db, q);
       const int group_r = static_cast<int>(relevant.size());
       DESS_ASSIGN_OR_RETURN(std::vector<SearchResult> by_group,
-                            engine.QueryByIdTopK(q, kind, group_r));
+                            engine.QueryByIdTopK(q, ordinal, group_r));
       row.avg_recall_group_size +=
           ComputePrecisionRecall(IdsOf(by_group), relevant).recall;
       DESS_ASSIGN_OR_RETURN(std::vector<SearchResult> by_ten,
-                            engine.QueryByIdTopK(q, kind, 10));
+                            engine.QueryByIdTopK(q, ordinal, 10));
       const PrPoint p10 = ComputePrecisionRecall(IdsOf(by_ten), relevant);
       row.avg_recall_10 += p10.recall;
       row.avg_precision_10 += p10.precision;
@@ -139,11 +140,13 @@ Result<std::vector<PrCurveBundle>> RunPrCurveExperimentGrid(
     bundle.query_id = q;
     DESS_ASSIGN_OR_RETURN(const ShapeRecord* rec, engine.db().Get(q));
     bundle.query_name = rec->name;
-    bundle.curves.resize(kNumFeatureKinds);
-    for (FeatureKind kind : AllFeatureKinds()) {
+    bundle.curves.resize(engine.NumSpaces());
+    bundle.spaces.resize(engine.NumSpaces());
+    for (int ordinal = 0; ordinal < engine.NumSpaces(); ++ordinal) {
+      bundle.spaces[ordinal] = engine.registry().id(ordinal);
       DESS_ASSIGN_OR_RETURN(
-          bundle.curves[static_cast<int>(kind)],
-          PrCurveForThresholds(engine, q, kind, thresholds));
+          bundle.curves[ordinal],
+          PrCurveForThresholds(engine, q, ordinal, thresholds));
     }
     out.push_back(std::move(bundle));
   }

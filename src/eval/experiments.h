@@ -37,11 +37,13 @@ Result<std::vector<EffectivenessRow>> RunAverageEffectiveness(
     const MultiStepPlan& plan = MultiStepPlan::Standard());
 
 /// A full PR-curve bundle for one query shape (one Figure 8-12 panel):
-/// curves for all four feature vectors.
+/// one curve per feature space the engine serves — the canonical four
+/// plus any registered ones.
 struct PrCurveBundle {
   int query_id = -1;
   std::string query_name;
-  std::vector<std::vector<PrPoint>> curves;  // indexed by FeatureKind
+  std::vector<std::string> spaces;           // feature-space id per curve
+  std::vector<std::vector<PrPoint>> curves;  // indexed by registry ordinal
 };
 
 /// Generates the Figure 8-12 PR-curve panels for the given query shapes.

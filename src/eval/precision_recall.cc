@@ -31,6 +31,13 @@ std::set<int> RelevantSetFor(const ShapeDatabase& db, int query_id) {
 Result<std::vector<PrPoint>> PrCurveForThresholds(
     const SearchEngine& engine, int query_id, FeatureKind kind,
     const std::vector<double>& thresholds) {
+  return PrCurveForThresholds(engine, query_id, static_cast<int>(kind),
+                              thresholds);
+}
+
+Result<std::vector<PrPoint>> PrCurveForThresholds(
+    const SearchEngine& engine, int query_id, int ordinal,
+    const std::vector<double>& thresholds) {
   if (thresholds.size() < 2) {
     return Status::InvalidArgument("PR curve needs at least 2 thresholds");
   }
@@ -40,7 +47,7 @@ Result<std::vector<PrPoint>> PrCurveForThresholds(
   for (double threshold : thresholds) {
     DESS_ASSIGN_OR_RETURN(
         std::vector<SearchResult> results,
-        engine.QueryByIdThreshold(query_id, kind, threshold));
+        engine.QueryByIdThreshold(query_id, ordinal, threshold));
     std::vector<int> ids;
     ids.reserve(results.size());
     for (const SearchResult& r : results) ids.push_back(r.id);
@@ -54,6 +61,13 @@ Result<std::vector<PrPoint>> PrCurveForThresholds(
 Result<std::vector<PrPoint>> PrCurveForQuery(const SearchEngine& engine,
                                              int query_id, FeatureKind kind,
                                              int num_thresholds) {
+  return PrCurveForQuery(engine, query_id, static_cast<int>(kind),
+                         num_thresholds);
+}
+
+Result<std::vector<PrPoint>> PrCurveForQuery(const SearchEngine& engine,
+                                             int query_id, int ordinal,
+                                             int num_thresholds) {
   if (num_thresholds < 2) {
     return Status::InvalidArgument("PR curve needs at least 2 thresholds");
   }
@@ -63,7 +77,7 @@ Result<std::vector<PrPoint>> PrCurveForQuery(const SearchEngine& engine,
     thresholds.push_back(static_cast<double>(t) /
                          static_cast<double>(num_thresholds - 1));
   }
-  return PrCurveForThresholds(engine, query_id, kind, thresholds);
+  return PrCurveForThresholds(engine, query_id, ordinal, thresholds);
 }
 
 std::vector<double> DefaultThresholdGrid() {

@@ -29,16 +29,23 @@ PrPoint ComputePrecisionRecall(const std::vector<int>& retrieved_ids,
 std::set<int> RelevantSetFor(const ShapeDatabase& db, int query_id);
 
 /// Sweeps the similarity threshold over [0, 1] in `num_thresholds` steps
-/// for one query shape and feature kind, producing a precision-recall
-/// curve (Figures 8-12).
+/// for one query shape and feature space, producing a precision-recall
+/// curve (Figures 8-12). Addressable by FeatureKind (canonical) or by
+/// registry ordinal, so registered spaces evaluate the same way.
 Result<std::vector<PrPoint>> PrCurveForQuery(const SearchEngine& engine,
                                              int query_id, FeatureKind kind,
+                                             int num_thresholds = 21);
+Result<std::vector<PrPoint>> PrCurveForQuery(const SearchEngine& engine,
+                                             int query_id, int ordinal,
                                              int num_thresholds = 21);
 
 /// Same, over an explicit threshold grid (each in [0, 1]). Useful when the
 /// interesting operating points cluster near similarity 1.
 Result<std::vector<PrPoint>> PrCurveForThresholds(
     const SearchEngine& engine, int query_id, FeatureKind kind,
+    const std::vector<double>& thresholds);
+Result<std::vector<PrPoint>> PrCurveForThresholds(
+    const SearchEngine& engine, int query_id, int ordinal,
     const std::vector<double>& thresholds);
 
 /// A two-regime grid: coarse over [0, 0.7], fine over (0.7, 1] — matches

@@ -12,11 +12,15 @@ Status WritePrCurvesCsv(const std::vector<PrCurveBundle>& bundles,
          "retrieved\n";
   out.precision(10);
   for (const PrCurveBundle& bundle : bundles) {
-    for (FeatureKind kind : AllFeatureKinds()) {
-      for (const PrPoint& p : bundle.curves[static_cast<int>(kind)]) {
-        out << bundle.query_id << "," << bundle.query_name << ","
-            << FeatureKindName(kind) << "," << p.threshold << ","
-            << p.precision << "," << p.recall << "," << p.retrieved << "\n";
+    for (size_t ki = 0; ki < bundle.curves.size(); ++ki) {
+      const std::string& space = ki < bundle.spaces.size()
+                                     ? bundle.spaces[ki]
+                                     : FeatureKindName(
+                                           static_cast<FeatureKind>(ki));
+      for (const PrPoint& p : bundle.curves[ki]) {
+        out << bundle.query_id << "," << bundle.query_name << "," << space
+            << "," << p.threshold << "," << p.precision << "," << p.recall
+            << "," << p.retrieved << "\n";
       }
     }
   }

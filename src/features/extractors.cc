@@ -1,6 +1,7 @@
 #include "src/features/extractors.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "src/common/metrics.h"
@@ -15,6 +16,7 @@ FeatureVector MomentInvariantsFeature(const Mat3& central_second_moments,
                                       double volume) {
   FeatureVector fv;
   fv.kind = FeatureKind::kMomentInvariants;
+  fv.space = CanonicalSpaceId(fv.kind);
   const Mat3 i_matrix =
       ScaleNormalizedSecondMoments(central_second_moments, volume);
   double f1, f2, f3;
@@ -31,6 +33,7 @@ FeatureVector MomentInvariantsFeature(const Mat3& central_second_moments,
 FeatureVector GeometricParamsFeature(const NormalizationResult& norm) {
   FeatureVector fv;
   fv.kind = FeatureKind::kGeometricParams;
+  fv.space = CanonicalSpaceId(fv.kind);
   const Aabb box = norm.mesh.BoundingBox();
   const Vec3 ext = box.Extent();
   // After PCA alignment, extents are ordered roughly x >= y >= z; both
@@ -52,6 +55,7 @@ FeatureVector GeometricParamsFeature(const NormalizationResult& norm) {
 FeatureVector PrincipalMomentsFeature(const Mat3& central_second_moments) {
   FeatureVector fv;
   fv.kind = FeatureKind::kPrincipalMoments;
+  fv.space = CanonicalSpaceId(fv.kind);
   const SymmetricEigen3 eig = EigenSymmetric3(central_second_moments);
   fv.values = {eig.values[0], eig.values[1], eig.values[2]};
   return fv;
@@ -60,6 +64,7 @@ FeatureVector PrincipalMomentsFeature(const Mat3& central_second_moments) {
 FeatureVector SpectralFeature(const SkeletalGraph& graph) {
   FeatureVector fv;
   fv.kind = FeatureKind::kSpectral;
+  fv.space = CanonicalSpaceId(fv.kind);
   fv.values = SpectralSignature(graph);
   return fv;
 }
@@ -141,6 +146,38 @@ Result<ExtractionArtifacts> ExtractFeatures(const TriMesh& mesh,
   {
     DESS_TIMED_SCOPE("stage.feature.spectral");
     art.signature.Mutable(FeatureKind::kSpectral) = SpectralFeature(art.graph);
+  }
+
+  // Stage 5: registered (non-canonical) feature spaces, in registry order.
+  // Canonical ordinals 0..3 were computed inline above; everything after
+  // them runs its registered extractor over the artifacts.
+  const std::shared_ptr<const FeatureSpaceRegistry> registry =
+      RegistryOrCanonical(options.registry);
+  for (int ordinal = kNumFeatureKinds; ordinal < registry->size(); ++ordinal) {
+    const FeatureSpaceDef& def = registry->space(ordinal);
+    // DESS_TIMED_SCOPE needs a literal name; for dynamic per-space stage
+    // names we time manually into the same histogram namespace.
+    const auto start = std::chrono::steady_clock::now();
+    Result<FeatureVector> extracted = def.extractor(art);
+    MetricsRegistry::Global()->RecordLatency(
+        "stage.feature." + def.id,
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count());
+    if (!extracted.ok()) {
+      return Status(extracted.status().code(),
+                    "feature space '" + def.id +
+                        "': " + extracted.status().message());
+    }
+    if (extracted->dim() != def.dim) {
+      return Status::Internal(
+          "feature space '" + def.id + "': extractor returned dim " +
+          std::to_string(extracted->dim()) + ", registered dim " +
+          std::to_string(def.dim));
+    }
+    FeatureVector& slot = art.signature.MutableAt(ordinal);
+    slot = std::move(extracted).value();
+    slot.space = def.id;
+    slot.kind = static_cast<FeatureKind>(ordinal);
   }
   return art;
 }

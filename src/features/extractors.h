@@ -1,7 +1,10 @@
 #ifndef DESS_FEATURES_EXTRACTORS_H_
 #define DESS_FEATURES_EXTRACTORS_H_
 
+#include <memory>
+
 #include "src/common/result.h"
+#include "src/features/feature_space.h"
 #include "src/features/feature_vector.h"
 #include "src/features/normalization.h"
 #include "src/geom/trimesh.h"
@@ -30,6 +33,11 @@ struct ExtractionOptions {
   /// Stage outputs are bit-identical to the serial path for any thread
   /// count. Non-owning; the pool must outlive the call.
   ThreadPool* pool = nullptr;
+  /// Feature spaces to extract. Null means the canonical registry (the
+  /// paper's four descriptors); a registry with additional spaces runs
+  /// each registered extractor over the pipeline artifacts, appending its
+  /// vector at the space's registry ordinal.
+  std::shared_ptr<const FeatureSpaceRegistry> registry;
 };
 
 /// All intermediate artifacts of one extraction run, exposed so tests,

@@ -34,6 +34,30 @@ std::string FeatureKindName(FeatureKind kind) {
   return "?";
 }
 
+ShapeSignature::ShapeSignature() {
+  features.resize(kNumFeatureKinds);
+  for (FeatureKind kind : AllFeatureKinds()) {
+    FeatureVector& fv = features[static_cast<int>(kind)];
+    fv.kind = kind;
+    fv.space = FeatureKindName(kind);
+  }
+}
+
+FeatureVector& ShapeSignature::MutableAt(int ordinal) {
+  DESS_CHECK(ordinal >= 0);
+  if (ordinal >= static_cast<int>(features.size())) {
+    features.resize(ordinal + 1);
+  }
+  return features[ordinal];
+}
+
+const FeatureVector* ShapeSignature::Find(const std::string& space_id) const {
+  for (const FeatureVector& fv : features) {
+    if (fv.space == space_id) return &fv;
+  }
+  return nullptr;
+}
+
 std::vector<double> ShapeSignature::Concatenated() const {
   std::vector<double> out;
   for (const FeatureVector& fv : features) {

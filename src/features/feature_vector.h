@@ -31,17 +31,28 @@ int FeatureDim(FeatureKind kind);
 /// Human-readable name ("moment_invariants", ...).
 std::string FeatureKindName(FeatureKind kind);
 
-/// One extracted feature vector.
+/// One extracted feature vector. `space` is the id of the feature space it
+/// belongs to (the registry's addressing key); `kind` is the legacy enum
+/// alias, meaningful only for the four canonical spaces.
 struct FeatureVector {
   FeatureKind kind = FeatureKind::kMomentInvariants;
+  std::string space;
   std::vector<double> values;
 
   int dim() const { return static_cast<int>(values.size()); }
 };
 
-/// The full signature of a shape: one vector per feature kind.
+/// The full signature of a shape: one vector per registered feature space,
+/// in registry order. Default-constructed signatures hold the four
+/// canonical spaces; extraction against an extended registry appends the
+/// additional spaces after them (so a canonical space's registry ordinal
+/// is always `static_cast<int>(kind)`).
 struct ShapeSignature {
-  std::array<FeatureVector, kNumFeatureKinds> features;
+  std::vector<FeatureVector> features;
+
+  ShapeSignature();
+
+  int NumSpaces() const { return static_cast<int>(features.size()); }
 
   const FeatureVector& Get(FeatureKind kind) const {
     return features[static_cast<int>(kind)];
@@ -50,7 +61,18 @@ struct ShapeSignature {
     return features[static_cast<int>(kind)];
   }
 
-  /// Concatenation of all four vectors (for combined-feature search).
+  /// Vector at one registry ordinal; callers must bounds-check against
+  /// NumSpaces() (the engine maps out-of-range to InvalidArgument).
+  const FeatureVector& At(int ordinal) const { return features[ordinal]; }
+
+  /// Mutable slot at one registry ordinal, growing the signature with
+  /// empty slots as needed (extraction fills ordinals in registry order).
+  FeatureVector& MutableAt(int ordinal);
+
+  /// Vector for a feature-space id, nullptr when the signature lacks it.
+  const FeatureVector* Find(const std::string& space_id) const;
+
+  /// Concatenation of all vectors (for combined-feature search).
   std::vector<double> Concatenated() const;
 };
 

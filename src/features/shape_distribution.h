@@ -1,0 +1,40 @@
+#ifndef DESS_FEATURES_SHAPE_DISTRIBUTION_H_
+#define DESS_FEATURES_SHAPE_DISTRIBUTION_H_
+
+#include "src/features/feature_space.h"
+#include "src/features/feature_vector.h"
+#include "src/geom/trimesh.h"
+
+namespace dess {
+
+/// D2 shape distribution (Osada et al., "Shape Distributions"): the
+/// histogram of Euclidean distances between random surface point pairs.
+/// This is the demonstration fifth feature space — registered through the
+/// public FeatureSpaceRegistry API, never special-cased by any layer.
+struct D2Options {
+  /// Number of point pairs sampled from the surface.
+  int num_samples = 1024;
+  /// Histogram resolution. Bins cover [0, bbox diagonal].
+  int num_bins = 32;
+  /// Seed for the sampling stream; fixed so extraction is deterministic.
+  uint64_t seed = 17;
+};
+
+inline constexpr char kD2SpaceId[] = "d2_distribution";
+
+/// Computes the D2 histogram of `mesh` (normalized so bins sum to 1).
+/// Pair distances are normalized by the bounding-box diagonal, making the
+/// descriptor scale-invariant. A degenerate mesh (no triangles or zero
+/// total area) yields an all-zero histogram.
+FeatureVector D2Feature(const TriMesh& mesh, const D2Options& options = {});
+
+/// The registry definition for the D2 space: id "d2_distribution",
+/// dim = options.num_bins, extractor running D2Feature over the normalized
+/// mesh artifact. The histogram is already a probability distribution, so
+/// standardize defaults to false and the space prefers a linear scan (an
+/// R-tree degenerates at 32 dimensions).
+FeatureSpaceDef MakeD2SpaceDef(const D2Options& options = {});
+
+}  // namespace dess
+
+#endif  // DESS_FEATURES_SHAPE_DISTRIBUTION_H_

@@ -4,16 +4,20 @@
 
 namespace dess {
 
-CombinationWeights CombinationWeights::Uniform() {
+CombinationWeights CombinationWeights::Uniform(int num_spaces) {
   CombinationWeights w;
-  w.alpha.fill(1.0 / kNumFeatureKinds);
+  w.alpha.assign(std::max(1, num_spaces), 1.0 / std::max(1, num_spaces));
   return w;
 }
 
 CombinationWeights CombinationWeights::Only(FeatureKind kind) {
+  return Only(static_cast<int>(kind), kNumFeatureKinds);
+}
+
+CombinationWeights CombinationWeights::Only(int ordinal, int num_spaces) {
   CombinationWeights w;
-  w.alpha.fill(0.0);
-  w.alpha[static_cast<int>(kind)] = 1.0;
+  w.alpha.assign(std::max(num_spaces, ordinal + 1), 0.0);
+  w.alpha[ordinal] = 1.0;
   return w;
 }
 
@@ -29,6 +33,22 @@ void CombinationWeights::Normalize() {
 
 namespace {
 
+/// Pads `weights.alpha` with zeros up to the engine's space count
+/// (shorter vectors keep their pre-registry meaning) and rejects vectors
+/// addressing spaces the engine does not serve.
+Result<CombinationWeights> FitWeights(const SearchEngine& engine,
+                                      const CombinationWeights& weights) {
+  if (static_cast<int>(weights.alpha.size()) > engine.NumSpaces()) {
+    return Status::InvalidArgument(
+        "combination weights address " +
+        std::to_string(weights.alpha.size()) + " feature spaces, engine has " +
+        std::to_string(engine.NumSpaces()));
+  }
+  CombinationWeights w = weights;
+  w.alpha.resize(engine.NumSpaces(), 0.0);
+  return w;
+}
+
 // Scores every database shape by the alpha-weighted per-feature
 // similarities of Eq. 4.4 and returns the top k (excluding `exclude_id`
 // when >= 0). A sequential pass is appropriate: combined similarity is not
@@ -36,7 +56,7 @@ namespace {
 // cannot prune for it directly.
 Result<std::vector<SearchResult>> CombinedScan(
     const SearchEngine& engine,
-    const std::array<std::vector<double>, kNumFeatureKinds>& query_std,
+    const std::vector<std::vector<double>>& query_std,
     const CombinationWeights& weights, int exclude_id, size_t k) {
   std::vector<SearchResult> scored;
   scored.reserve(engine.db().NumShapes());
@@ -44,12 +64,11 @@ Result<std::vector<SearchResult>> CombinedScan(
     if (rec.id == exclude_id) continue;
     double combined_similarity = 0.0;
     double combined_distance = 0.0;
-    for (FeatureKind kind : AllFeatureKinds()) {
-      const int ki = static_cast<int>(kind);
+    for (int ki = 0; ki < engine.NumSpaces(); ++ki) {
       if (weights.alpha[ki] == 0.0) continue;
-      const SimilaritySpace& space = engine.Space(kind);
+      const SimilaritySpace& space = engine.SpaceAt(ki);
       const std::vector<double> x =
-          space.Standardize(rec.signature.Get(kind).values);
+          space.Standardize(rec.signature.At(ki).values);
       const double d = space.Distance(query_std[ki], x);
       combined_similarity += weights.alpha[ki] * space.Similarity(d);
       combined_distance += weights.alpha[ki] * d;
@@ -71,16 +90,20 @@ Result<std::vector<SearchResult>> CombinedScan(
   return scored;
 }
 
-Result<std::array<std::vector<double>, kNumFeatureKinds>> StandardizeAll(
+Result<std::vector<std::vector<double>>> StandardizeAll(
     const SearchEngine& engine, const ShapeSignature& signature) {
-  std::array<std::vector<double>, kNumFeatureKinds> out;
-  for (FeatureKind kind : AllFeatureKinds()) {
-    const int ki = static_cast<int>(kind);
-    const FeatureVector& fv = signature.Get(kind);
-    if (fv.dim() != FeatureDim(kind)) {
+  std::vector<std::vector<double>> out(engine.NumSpaces());
+  for (int ki = 0; ki < engine.NumSpaces(); ++ki) {
+    if (ki >= signature.NumSpaces()) {
+      return Status::InvalidArgument(
+          "combined query: signature carries no vector for feature space '" +
+          engine.registry().id(ki) + "'");
+    }
+    const FeatureVector& fv = signature.At(ki);
+    if (fv.dim() != engine.registry().dim(ki)) {
       return Status::InvalidArgument("combined query: feature dim mismatch");
     }
-    out[ki] = engine.Space(kind).Standardize(fv.values);
+    out[ki] = engine.SpaceAt(ki).Standardize(fv.values);
   }
   return out;
 }
@@ -93,7 +116,7 @@ Result<std::vector<SearchResult>> CombinedQueryById(
   DESS_ASSIGN_OR_RETURN(const ShapeRecord* rec, engine.db().Get(query_id));
   DESS_ASSIGN_OR_RETURN(auto query_std,
                         StandardizeAll(engine, rec->signature));
-  CombinationWeights w = weights;
+  DESS_ASSIGN_OR_RETURN(CombinationWeights w, FitWeights(engine, weights));
   w.Normalize();
   return CombinedScan(engine, query_std, w, query_id, k);
 }
@@ -102,7 +125,7 @@ Result<std::vector<SearchResult>> CombinedQuery(
     const SearchEngine& engine, const ShapeSignature& query,
     const CombinationWeights& weights, size_t k) {
   DESS_ASSIGN_OR_RETURN(auto query_std, StandardizeAll(engine, query));
-  CombinationWeights w = weights;
+  DESS_ASSIGN_OR_RETURN(CombinationWeights w, FitWeights(engine, weights));
   w.Normalize();
   return CombinedScan(engine, query_std, w, /*exclude_id=*/-1, k);
 }
@@ -115,19 +138,20 @@ Result<CombinationWeights> ReconfigureCombinationWeights(
   if (blend < 0.0 || blend > 1.0) {
     return Status::InvalidArgument("blend must be in [0, 1]");
   }
+  DESS_ASSIGN_OR_RETURN(CombinationWeights base, FitWeights(engine, current));
   DESS_ASSIGN_OR_RETURN(auto query_std, StandardizeAll(engine, query));
 
   // A feature vector that rates the relevant shapes as highly similar to
   // the query deserves more weight (Rui et al.-style feature re-weighting,
   // the cross-feature mechanism of Section 2.2).
   CombinationWeights fresh;
-  for (FeatureKind kind : AllFeatureKinds()) {
-    const int ki = static_cast<int>(kind);
-    const SimilaritySpace& space = engine.Space(kind);
+  fresh.alpha.assign(engine.NumSpaces(), 0.0);
+  for (int ki = 0; ki < engine.NumSpaces(); ++ki) {
+    const SimilaritySpace& space = engine.SpaceAt(ki);
     double mean_similarity = 0.0;
     for (int id : relevant_ids) {
       DESS_ASSIGN_OR_RETURN(std::vector<double> raw,
-                            engine.db().Feature(id, kind));
+                            engine.db().Feature(id, ki));
       const double d = space.Distance(query_std[ki], space.Standardize(raw));
       mean_similarity += space.Similarity(d);
     }
@@ -136,9 +160,10 @@ Result<CombinationWeights> ReconfigureCombinationWeights(
   fresh.Normalize();
 
   CombinationWeights out;
-  for (int ki = 0; ki < kNumFeatureKinds; ++ki) {
+  out.alpha.assign(engine.NumSpaces(), 0.0);
+  for (int ki = 0; ki < engine.NumSpaces(); ++ki) {
     out.alpha[ki] =
-        blend * fresh.alpha[ki] + (1.0 - blend) * current.alpha[ki];
+        blend * fresh.alpha[ki] + (1.0 - blend) * base.alpha[ki];
   }
   out.Normalize();
   return out;

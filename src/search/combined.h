@@ -1,7 +1,7 @@
 #ifndef DESS_SEARCH_COMBINED_H_
 #define DESS_SEARCH_COMBINED_H_
 
-#include <array>
+#include <vector>
 
 #include "src/search/search_engine.h"
 
@@ -10,16 +10,20 @@ namespace dess {
 /// Per-feature-vector combination weights for combined-feature search.
 /// The overall similarity of Section 3.5.3 ("linear combinations of
 /// similarity based on different feature vectors are used as the overall
-/// similarity") is s(q, x) = sum_k alpha_k * s_k(q, x) with alpha >= 0
-/// normalized to sum 1.
+/// similarity") is s(q, x) = sum_i alpha_i * s_i(q, x) with alpha >= 0
+/// normalized to sum 1, indexed by registry ordinal. A weights vector
+/// shorter than the engine's registry treats the missing tail as 0 (so
+/// four-entry weights keep their pre-registry meaning against an extended
+/// engine); longer than the registry is InvalidArgument.
 struct CombinationWeights {
-  std::array<double, kNumFeatureKinds> alpha{0.25, 0.25, 0.25, 0.25};
+  std::vector<double> alpha{0.25, 0.25, 0.25, 0.25};
 
-  /// Equal weights over all four feature vectors.
-  static CombinationWeights Uniform();
+  /// Equal weights over the first `num_spaces` feature vectors.
+  static CombinationWeights Uniform(int num_spaces = kNumFeatureKinds);
 
   /// All weight on a single feature vector (degenerates to one-shot).
   static CombinationWeights Only(FeatureKind kind);
+  static CombinationWeights Only(int ordinal, int num_spaces);
 
   /// Clamps negatives to zero and rescales to sum 1. No-op if all zero.
   void Normalize();

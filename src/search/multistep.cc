@@ -9,17 +9,25 @@ namespace dess {
 
 MultiStepPlan MultiStepPlan::Standard(int first_retrieve, int final_keep) {
   MultiStepPlan plan;
-  plan.stages.push_back({FeatureKind::kMomentInvariants, first_retrieve});
-  plan.stages.push_back({FeatureKind::kGeometricParams, final_keep});
+  plan.stages.push_back({FeatureKind::kMomentInvariants, "", first_retrieve});
+  plan.stages.push_back({FeatureKind::kGeometricParams, "", final_keep});
   return plan;
 }
 
 namespace {
 
+/// The registry ordinal a stage addresses: `space` (id) when set, the
+/// legacy `kind` enum otherwise. Unknown ids fail InvalidArgument.
+Result<int> StageOrdinal(const SearchEngine& engine,
+                         const MultiStepStage& stage) {
+  if (!stage.space.empty()) return engine.ResolveSpace(stage.space);
+  return static_cast<int>(stage.kind);
+}
+
 Result<std::vector<SearchResult>> RunPlan(
     const SearchEngine& engine,
-    const std::array<std::vector<double>, kNumFeatureKinds>& query_features,
-    int exclude_id, const MultiStepPlan& plan, QueryStats* stats,
+    const std::vector<std::vector<double>>& query_features, int exclude_id,
+    const MultiStepPlan& plan, QueryStats* stats,
     QueryRequest::TimePoint deadline) {
   if (plan.stages.empty()) {
     return Status::InvalidArgument("multi-step: empty plan");
@@ -35,7 +43,14 @@ Result<std::vector<SearchResult>> RunPlan(
           std::to_string(s));
     }
     const MultiStepStage& stage = plan.stages[s];
-    const auto& feature = query_features[static_cast<int>(stage.kind)];
+    DESS_ASSIGN_OR_RETURN(const int ordinal, StageOrdinal(engine, stage));
+    if (ordinal < 0 ||
+        ordinal >= static_cast<int>(query_features.size())) {
+      return Status::InvalidArgument(
+          "multi-step: query carries no feature for stage " +
+          std::to_string(s));
+    }
+    const auto& feature = query_features[ordinal];
     if (s == 0) {
       // First stage: index search. Over-fetch by one when excluding the
       // query shape itself.
@@ -43,7 +58,7 @@ Result<std::vector<SearchResult>> RunPlan(
           stage.keep > 0 ? static_cast<size_t>(stage.keep) : engine.db().NumShapes();
       DESS_ASSIGN_OR_RETURN(
           current,
-          engine.QueryTopK(feature, stage.kind,
+          engine.QueryTopK(feature, ordinal,
                            k + (exclude_id >= 0 ? 1 : 0), stats));
       if (exclude_id >= 0) {
         current.erase(std::remove_if(current.begin(), current.end(),
@@ -68,8 +83,7 @@ Result<std::vector<SearchResult>> RunPlan(
       if (registry->enabled()) {
         registry->AddCounter("multistep.reranked", ids.size());
       }
-      DESS_ASSIGN_OR_RETURN(current,
-                            engine.Rerank(ids, feature, stage.kind));
+      DESS_ASSIGN_OR_RETURN(current, engine.Rerank(ids, feature, ordinal));
       if (stats != nullptr) {
         stats->points_compared += ids.size();
       }
@@ -89,10 +103,15 @@ Result<std::vector<SearchResult>> RunPlan(
 Result<std::vector<SearchResult>> MultiStepQueryById(
     const SearchEngine& engine, int query_id, const MultiStepPlan& plan,
     QueryStats* stats, QueryRequest::TimePoint deadline) {
-  std::array<std::vector<double>, kNumFeatureKinds> features;
-  for (FeatureKind kind : AllFeatureKinds()) {
-    DESS_ASSIGN_OR_RETURN(features[static_cast<int>(kind)],
-                          engine.db().Feature(query_id, kind));
+  // Resolve every stage before touching the database so an unknown space
+  // id fails InvalidArgument regardless of the query shape.
+  for (const MultiStepStage& stage : plan.stages) {
+    DESS_RETURN_NOT_OK(StageOrdinal(engine, stage).status());
+  }
+  std::vector<std::vector<double>> features(engine.NumSpaces());
+  for (int ordinal = 0; ordinal < engine.NumSpaces(); ++ordinal) {
+    DESS_ASSIGN_OR_RETURN(features[ordinal],
+                          engine.db().Feature(query_id, ordinal));
   }
   return RunPlan(engine, features, query_id, plan, stats, deadline);
 }
@@ -102,9 +121,10 @@ Result<std::vector<SearchResult>> MultiStepQuery(const SearchEngine& engine,
                                                  const MultiStepPlan& plan,
                                                  QueryStats* stats,
                                                  QueryRequest::TimePoint deadline) {
-  std::array<std::vector<double>, kNumFeatureKinds> features;
-  for (FeatureKind kind : AllFeatureKinds()) {
-    features[static_cast<int>(kind)] = query.Get(kind).values;
+  std::vector<std::vector<double>> features(
+      std::min(engine.NumSpaces(), query.NumSpaces()));
+  for (size_t i = 0; i < features.size(); ++i) {
+    features[i] = query.At(static_cast<int>(i)).values;
   }
   return RunPlan(engine, features, /*exclude_id=*/-1, plan, stats, deadline);
 }

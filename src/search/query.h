@@ -3,6 +3,8 @@
 
 #include <chrono>
 #include <cstddef>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "src/features/feature_vector.h"
@@ -26,12 +28,22 @@ struct SearchResult {
   }
 };
 
-/// One stage of a multi-step search plan.
+/// One stage of a multi-step search plan. The stage's feature space is
+/// addressed by `space` (registry id); when `space` is empty the legacy
+/// `kind` enum selects one of the four canonical spaces.
 struct MultiStepStage {
   FeatureKind kind = FeatureKind::kMomentInvariants;
+  std::string space;
   /// How many candidates to keep after this stage (the final stage's value
   /// is the result-list length). <= 0 means "keep all current candidates".
   int keep = 0;
+
+  MultiStepStage() = default;
+  MultiStepStage(FeatureKind kind, int keep) : kind(kind), keep(keep) {}
+  MultiStepStage(std::string space, int keep)
+      : space(std::move(space)), keep(keep) {}
+  MultiStepStage(FeatureKind kind, std::string space, int keep)
+      : kind(kind), space(std::move(space)), keep(keep) {}
 };
 
 /// A multi-step plan: the first stage hits the index, later stages re-rank
@@ -60,8 +72,12 @@ struct QueryRequest {
 
   QueryMode mode = QueryMode::kTopK;
   /// Feature space searched by kTopK / kThreshold (ignored by kMultiStep,
-  /// whose stages carry their own kinds).
+  /// whose stages carry their own spaces). `space` addresses any registered
+  /// space by id; when it is empty the legacy `kind` enum selects one of
+  /// the four canonical spaces. An id that is not registered with the
+  /// serving engine fails with InvalidArgument.
   FeatureKind kind = FeatureKind::kPrincipalMoments;
+  std::string space;
   /// Result-list length for kTopK.
   size_t k = 10;
   /// Similarity floor in [0, 1] for kThreshold.
@@ -86,10 +102,24 @@ struct QueryRequest {
     r.k = k;
     return r;
   }
+  static QueryRequest TopK(std::string space, size_t k) {
+    QueryRequest r;
+    r.mode = QueryMode::kTopK;
+    r.space = std::move(space);
+    r.k = k;
+    return r;
+  }
   static QueryRequest Threshold(FeatureKind kind, double min_similarity) {
     QueryRequest r;
     r.mode = QueryMode::kThreshold;
     r.kind = kind;
+    r.min_similarity = min_similarity;
+    return r;
+  }
+  static QueryRequest Threshold(std::string space, double min_similarity) {
+    QueryRequest r;
+    r.mode = QueryMode::kThreshold;
+    r.space = std::move(space);
     r.min_similarity = min_similarity;
     return r;
   }

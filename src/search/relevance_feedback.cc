@@ -6,12 +6,12 @@ namespace dess {
 namespace {
 
 // Mean of the raw feature vectors of the given shapes.
-Result<std::vector<double>> MeanFeature(const ShapeDatabase& db,
-                                        FeatureKind kind,
+Result<std::vector<double>> MeanFeature(const ShapeDatabase& db, int ordinal,
+                                        int dim,
                                         const std::vector<int>& ids) {
-  std::vector<double> mean(FeatureDim(kind), 0.0);
+  std::vector<double> mean(dim, 0.0);
   for (int id : ids) {
-    DESS_ASSIGN_OR_RETURN(std::vector<double> f, db.Feature(id, kind));
+    DESS_ASSIGN_OR_RETURN(std::vector<double> f, db.Feature(id, ordinal));
     for (size_t d = 0; d < mean.size(); ++d) mean[d] += f[d];
   }
   for (double& v : mean) v /= static_cast<double>(ids.size());
@@ -25,7 +25,22 @@ Result<std::vector<double>> ReconstructQuery(const SearchEngine& engine,
                                              const std::vector<double>& raw_query,
                                              const Feedback& feedback,
                                              const FeedbackOptions& options) {
-  if (static_cast<int>(raw_query.size()) != FeatureDim(kind)) {
+  return ReconstructQuery(engine, static_cast<int>(kind), raw_query,
+                          feedback, options);
+}
+
+Result<std::vector<double>> ReconstructQuery(const SearchEngine& engine,
+                                             int ordinal,
+                                             const std::vector<double>& raw_query,
+                                             const Feedback& feedback,
+                                             const FeedbackOptions& options) {
+  if (ordinal < 0 || ordinal >= engine.NumSpaces()) {
+    return Status::InvalidArgument("feedback: feature-space ordinal " +
+                                   std::to_string(ordinal) +
+                                   " out of range");
+  }
+  const int dim = engine.registry().dim(ordinal);
+  if (static_cast<int>(raw_query.size()) != dim) {
     return Status::InvalidArgument("feedback: query dimension mismatch");
   }
   std::vector<double> q = raw_query;
@@ -33,13 +48,13 @@ Result<std::vector<double>> ReconstructQuery(const SearchEngine& engine,
   if (!feedback.relevant_ids.empty()) {
     DESS_ASSIGN_OR_RETURN(
         std::vector<double> rel,
-        MeanFeature(engine.db(), kind, feedback.relevant_ids));
+        MeanFeature(engine.db(), ordinal, dim, feedback.relevant_ids));
     for (size_t d = 0; d < q.size(); ++d) q[d] += options.beta * rel[d];
   }
   if (!feedback.irrelevant_ids.empty()) {
     DESS_ASSIGN_OR_RETURN(
         std::vector<double> irr,
-        MeanFeature(engine.db(), kind, feedback.irrelevant_ids));
+        MeanFeature(engine.db(), ordinal, dim, feedback.irrelevant_ids));
     for (size_t d = 0; d < q.size(); ++d) q[d] -= options.gamma * irr[d];
   }
   // Renormalize so the reconstructed query stays at the original scale.
@@ -56,7 +71,20 @@ Result<std::vector<double>> ReconfigureWeights(
     const SearchEngine& engine, FeatureKind kind, const Feedback& feedback,
     const FeedbackOptions& options,
     const std::vector<double>* current_weights) {
-  const SimilaritySpace& space = engine.Space(kind);
+  return ReconfigureWeights(engine, static_cast<int>(kind), feedback,
+                            options, current_weights);
+}
+
+Result<std::vector<double>> ReconfigureWeights(
+    const SearchEngine& engine, int ordinal, const Feedback& feedback,
+    const FeedbackOptions& options,
+    const std::vector<double>* current_weights) {
+  if (ordinal < 0 || ordinal >= engine.NumSpaces()) {
+    return Status::InvalidArgument("feedback: feature-space ordinal " +
+                                   std::to_string(ordinal) +
+                                   " out of range");
+  }
+  const SimilaritySpace& space = engine.SpaceAt(ordinal);
   const std::vector<double>& current =
       (current_weights != nullptr && !current_weights->empty())
           ? *current_weights
@@ -73,7 +101,7 @@ Result<std::vector<double>> ReconfigureWeights(
   std::vector<std::vector<double>> rel;
   for (int id : feedback.relevant_ids) {
     DESS_ASSIGN_OR_RETURN(std::vector<double> f,
-                          engine.db().Feature(id, kind));
+                          engine.db().Feature(id, ordinal));
     rel.push_back(space.Standardize(f));
   }
   std::vector<double> mean(dim, 0.0);
@@ -112,13 +140,22 @@ Result<std::vector<SearchResult>> FeedbackRound(
     const SearchEngine& engine, FeatureKind kind,
     std::vector<double>* raw_query, std::vector<double>* session_weights,
     const Feedback& feedback, size_t k, const FeedbackOptions& options) {
+  return FeedbackRound(engine, static_cast<int>(kind), raw_query,
+                       session_weights, feedback, k, options);
+}
+
+Result<std::vector<SearchResult>> FeedbackRound(
+    const SearchEngine& engine, int ordinal,
+    std::vector<double>* raw_query, std::vector<double>* session_weights,
+    const Feedback& feedback, size_t k, const FeedbackOptions& options) {
   DESS_ASSIGN_OR_RETURN(
       *raw_query,
-      ReconstructQuery(engine, kind, *raw_query, feedback, options));
+      ReconstructQuery(engine, ordinal, *raw_query, feedback, options));
   DESS_ASSIGN_OR_RETURN(
       *session_weights,
-      ReconfigureWeights(engine, kind, feedback, options, session_weights));
-  return engine.QueryTopKWeighted(*raw_query, kind, k, *session_weights);
+      ReconfigureWeights(engine, ordinal, feedback, options,
+                         session_weights));
+  return engine.QueryTopKWeighted(*raw_query, ordinal, k, *session_weights);
 }
 
 }  // namespace dess

@@ -26,9 +26,15 @@ struct FeedbackOptions {
 
 /// Query reconstruction (first feedback mechanism of Section 2.2): moves
 /// the raw query vector toward the centroid of the relevant shapes and away
-/// from the centroid of the irrelevant ones.
+/// from the centroid of the irrelevant ones. Each entry point exists in
+/// FeatureKind (canonical) and registry-ordinal addressing forms and works
+/// against any registered feature space.
 Result<std::vector<double>> ReconstructQuery(
     const SearchEngine& engine, FeatureKind kind,
+    const std::vector<double>& raw_query, const Feedback& feedback,
+    const FeedbackOptions& options = {});
+Result<std::vector<double>> ReconstructQuery(
+    const SearchEngine& engine, int ordinal,
     const std::vector<double>& raw_query, const Feedback& feedback,
     const FeedbackOptions& options = {});
 
@@ -42,6 +48,10 @@ Result<std::vector<double>> ReconfigureWeights(
     const SearchEngine& engine, FeatureKind kind, const Feedback& feedback,
     const FeedbackOptions& options = {},
     const std::vector<double>* current_weights = nullptr);
+Result<std::vector<double>> ReconfigureWeights(
+    const SearchEngine& engine, int ordinal, const Feedback& feedback,
+    const FeedbackOptions& options = {},
+    const std::vector<double>* current_weights = nullptr);
 
 /// One full feedback round against an immutable engine (e.g. one published
 /// in a snapshot): reconstructs the query in place, reconfigures
@@ -51,6 +61,10 @@ Result<std::vector<double>> ReconfigureWeights(
 /// never see each other's weights.
 Result<std::vector<SearchResult>> FeedbackRound(
     const SearchEngine& engine, FeatureKind kind,
+    std::vector<double>* raw_query, std::vector<double>* session_weights,
+    const Feedback& feedback, size_t k, const FeedbackOptions& options = {});
+Result<std::vector<SearchResult>> FeedbackRound(
+    const SearchEngine& engine, int ordinal,
     std::vector<double>* raw_query, std::vector<double>* session_weights,
     const Feedback& feedback, size_t k, const FeedbackOptions& options = {});
 

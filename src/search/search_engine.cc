@@ -8,6 +8,7 @@
 #include "src/common/logging.h"
 #include "src/common/metrics.h"
 #include "src/common/strings.h"
+#include "src/core/persistence.h"
 #include "src/index/disk_rtree.h"
 #include "src/index/linear_scan.h"
 #include "src/index/rtree.h"
@@ -92,30 +93,43 @@ std::unique_ptr<MultiDimIndex> MakeDiskIndexAdapter(
 
 Result<std::unique_ptr<SearchEngine>> SearchEngine::Assemble(
     std::shared_ptr<const ShapeDatabase> db,
-    const SearchEngineOptions& options,
-    std::array<SimilaritySpace, kNumFeatureKinds> spaces,
-    std::array<std::unique_ptr<MultiDimIndex>, kNumFeatureKinds> indexes) {
+    const SearchEngineOptions& options, std::vector<SimilaritySpace> spaces,
+    std::vector<std::unique_ptr<MultiDimIndex>> indexes) {
   if (db == nullptr || db->IsEmpty()) {
     return Status::InvalidArgument("search engine: empty database");
   }
-  for (FeatureKind kind : AllFeatureKinds()) {
-    const int ki = static_cast<int>(kind);
-    const int dim = FeatureDim(kind);
-    if (static_cast<int>(spaces[ki].weights.size()) != dim) {
-      return Status::InvalidArgument(StrFormat(
-          "assemble: space '%s' has %zu weights, expected %d",
-          FeatureKindName(kind).c_str(), spaces[ki].weights.size(), dim));
+  std::shared_ptr<const FeatureSpaceRegistry> registry =
+      RegistryOrCanonical(options.registry);
+  if (static_cast<int>(spaces.size()) != registry->size() ||
+      spaces.size() != indexes.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "assemble: %zu spaces / %zu indexes for a %d-space registry",
+        spaces.size(), indexes.size(), registry->size()));
+  }
+  for (int i = 0; i < registry->size(); ++i) {
+    const std::string& id = registry->id(i);
+    const int dim = registry->dim(i);
+    if (spaces[i].id != id) {
+      return Status::InvalidArgument(
+          StrFormat("assemble: space %d is '%s', registry expects '%s'", i,
+                    spaces[i].id.c_str(), id.c_str()));
     }
-    if (indexes[ki] == nullptr || indexes[ki]->dim() != dim ||
-        indexes[ki]->size() != db->NumShapes()) {
+    if (static_cast<int>(spaces[i].weights.size()) != dim) {
+      return Status::InvalidArgument(StrFormat(
+          "assemble: space '%s' has %zu weights, expected %d", id.c_str(),
+          spaces[i].weights.size(), dim));
+    }
+    if (indexes[i] == nullptr || indexes[i]->dim() != dim ||
+        indexes[i]->size() != db->NumShapes()) {
       return Status::InvalidArgument(StrFormat(
           "assemble: index '%s' missing or inconsistent with the database",
-          FeatureKindName(kind).c_str()));
+          id.c_str()));
     }
   }
   std::unique_ptr<SearchEngine> engine(new SearchEngine());
   engine->db_ = std::move(db);
   engine->options_ = options;
+  engine->registry_ = std::move(registry);
   engine->spaces_ = std::move(spaces);
   engine->indexes_ = std::move(indexes);
   return engine;
@@ -130,27 +144,47 @@ Result<std::unique_ptr<SearchEngine>> SearchEngine::Build(
   std::unique_ptr<SearchEngine> engine(new SearchEngine());
   engine->db_ = std::move(db);
   engine->options_ = options;
+  engine->registry_ = RegistryOrCanonical(options.registry);
+  const FeatureSpaceRegistry& registry = *engine->registry_;
+  engine->spaces_.resize(registry.size());
+  engine->indexes_.resize(registry.size());
   const ShapeDatabase& store = *engine->db_;
 
-  for (FeatureKind kind : AllFeatureKinds()) {
-    const int ki = static_cast<int>(kind);
+  for (int ordinal = 0; ordinal < registry.size(); ++ordinal) {
+    const FeatureSpaceDef& def = registry.space(ordinal);
+    const int dim = def.dim;
     std::vector<std::vector<double>> raw;
     raw.reserve(store.NumShapes());
     for (const ShapeRecord& rec : store.records()) {
-      const FeatureVector& fv = rec.signature.Get(kind);
-      if (fv.dim() != FeatureDim(kind)) {
+      if (ordinal >= rec.signature.NumSpaces()) {
         return Status::InvalidArgument(StrFormat(
-            "shape %d: feature '%s' has dim %d, expected %d", rec.id,
-            FeatureKindName(kind).c_str(), fv.dim(), FeatureDim(kind)));
+            "shape %d carries no vector for feature space '%s'", rec.id,
+            def.id.c_str()));
+      }
+      const FeatureVector& fv = rec.signature.At(ordinal);
+      if (fv.dim() != dim) {
+        return Status::InvalidArgument(
+            StrFormat("shape %d: feature '%s' has dim %d, expected %d",
+                      rec.id, def.id.c_str(), fv.dim(), dim));
       }
       raw.push_back(fv.values);
     }
-    engine->spaces_[ki] =
-        BuildSimilaritySpace(kind, raw, options.standardize);
+    // A space opts out of standardization (histograms) via its definition;
+    // the engine-wide flag still disables it globally.
+    engine->spaces_[ordinal] =
+        BuildSimilaritySpace(def.id, static_cast<FeatureKind>(ordinal), raw,
+                             options.standardize && def.standardize);
+    if (!def.default_weights.empty()) {
+      engine->spaces_[ordinal].weights = def.default_weights;
+    }
 
-    const int dim = FeatureDim(kind);
     IndexBackend backend = options.backend;
     if (backend == IndexBackend::kRTree && !options.use_rtree) {
+      backend = IndexBackend::kLinearScan;
+    }
+    if (def.index_preference == IndexPreference::kRTree) {
+      backend = IndexBackend::kRTree;
+    } else if (def.index_preference == IndexPreference::kLinearScan) {
       backend = IndexBackend::kLinearScan;
     }
     switch (backend) {
@@ -161,10 +195,10 @@ Result<std::unique_ptr<SearchEngine>> SearchEngine::Build(
         size_t i = 0;
         for (const ShapeRecord& rec : store.records()) {
           bulk.emplace_back(rec.id,
-                            engine->spaces_[ki].Standardize(raw[i++]));
+                            engine->spaces_[ordinal].Standardize(raw[i++]));
         }
         DESS_RETURN_NOT_OK(rtree->BulkLoad(bulk));
-        engine->indexes_[ki] = std::move(rtree);
+        engine->indexes_[ordinal] = std::move(rtree);
         break;
       }
       case IndexBackend::kLinearScan: {
@@ -172,9 +206,9 @@ Result<std::unique_ptr<SearchEngine>> SearchEngine::Build(
         size_t i = 0;
         for (const ShapeRecord& rec : store.records()) {
           DESS_RETURN_NOT_OK(scan->Insert(
-              rec.id, engine->spaces_[ki].Standardize(raw[i++])));
+              rec.id, engine->spaces_[ordinal].Standardize(raw[i++])));
         }
-        engine->indexes_[ki] = std::move(scan);
+        engine->indexes_[ordinal] = std::move(scan);
         break;
       }
       case IndexBackend::kDiskRTree: {
@@ -190,15 +224,15 @@ Result<std::unique_ptr<SearchEngine>> SearchEngine::Build(
         size_t i = 0;
         for (const ShapeRecord& rec : store.records()) {
           bulk.emplace_back(rec.id,
-                            engine->spaces_[ki].Standardize(raw[i++]));
+                            engine->spaces_[ordinal].Standardize(raw[i++]));
         }
-        const std::string path = options.disk_index_dir + "/dess_index_" +
-                                 FeatureKindName(kind) + ".drt";
+        const std::string path =
+            options.disk_index_dir + "/" + EngineDiskIndexFile(def.id);
         DESS_RETURN_NOT_OK(DiskRTree::Build(path, dim, bulk));
         DESS_ASSIGN_OR_RETURN(
             std::unique_ptr<DiskRTree> tree,
             DiskRTree::Open(path, options.disk_buffer_pages));
-        engine->indexes_[ki] = MakeDiskIndexAdapter(std::move(tree));
+        engine->indexes_[ordinal] = MakeDiskIndexAdapter(std::move(tree));
         break;
       }
     }
@@ -215,9 +249,31 @@ Result<std::unique_ptr<SearchEngine>> SearchEngine::Build(
                options);
 }
 
+Status SearchEngine::CheckOrdinal(int ordinal) const {
+  if (ordinal < 0 || ordinal >= NumSpaces()) {
+    return Status::InvalidArgument(
+        StrFormat("feature-space ordinal %d out of range [0, %d)", ordinal,
+                  NumSpaces()));
+  }
+  return Status::OK();
+}
+
+Result<int> SearchEngine::RequestOrdinal(const QueryRequest& request) const {
+  if (!request.space.empty()) return registry_->Resolve(request.space);
+  const int ordinal = static_cast<int>(request.kind);
+  DESS_RETURN_NOT_OK(CheckOrdinal(ordinal));
+  return ordinal;
+}
+
 Status SearchEngine::SetWeights(FeatureKind kind,
                                 const std::vector<double>& weights) {
-  SimilaritySpace& space = spaces_[static_cast<int>(kind)];
+  return SetWeights(static_cast<int>(kind), weights);
+}
+
+Status SearchEngine::SetWeights(int ordinal,
+                                const std::vector<double>& weights) {
+  DESS_RETURN_NOT_OK(CheckOrdinal(ordinal));
+  SimilaritySpace& space = spaces_[ordinal];
   if (weights.size() != space.weights.size()) {
     return Status::InvalidArgument(
         StrFormat("weights dim %zu != feature dim %zu", weights.size(),
@@ -233,9 +289,9 @@ Status SearchEngine::SetWeights(FeatureKind kind,
 }
 
 Status SearchEngine::CheckRequestWeights(const QueryRequest& request,
-                                         FeatureKind kind) const {
+                                         int ordinal) const {
   if (request.weights.empty()) return Status::OK();
-  const SimilaritySpace& space = spaces_[static_cast<int>(kind)];
+  const SimilaritySpace& space = spaces_[ordinal];
   if (request.weights.size() != space.weights.size()) {
     return Status::InvalidArgument(
         StrFormat("request weights dim %zu != feature dim %zu",
@@ -284,10 +340,11 @@ void ExcludeAndTrim(std::vector<SearchResult>* results, int query_id,
 }  // namespace
 
 Result<std::vector<SearchResult>> SearchEngine::QueryTopKImpl(
-    const std::vector<double>& raw_feature, FeatureKind kind, size_t k,
+    const std::vector<double>& raw_feature, int ordinal, size_t k,
     const std::vector<double>* weights, QueryStats* stats) const {
-  const int ki = static_cast<int>(kind);
-  if (static_cast<int>(raw_feature.size()) != FeatureDim(kind)) {
+  DESS_RETURN_NOT_OK(CheckOrdinal(ordinal));
+  const int ki = ordinal;
+  if (static_cast<int>(raw_feature.size()) != registry_->dim(ordinal)) {
     return Status::InvalidArgument("query feature dimension mismatch");
   }
   DESS_TIMED_SCOPE("search.query_topk");
@@ -303,11 +360,12 @@ Result<std::vector<SearchResult>> SearchEngine::QueryTopKImpl(
 }
 
 Result<std::vector<SearchResult>> SearchEngine::QueryThresholdImpl(
-    const std::vector<double>& raw_feature, FeatureKind kind,
+    const std::vector<double>& raw_feature, int ordinal,
     double min_similarity, const std::vector<double>* weights,
     QueryStats* stats) const {
-  const int ki = static_cast<int>(kind);
-  if (static_cast<int>(raw_feature.size()) != FeatureDim(kind)) {
+  DESS_RETURN_NOT_OK(CheckOrdinal(ordinal));
+  const int ki = ordinal;
+  if (static_cast<int>(raw_feature.size()) != registry_->dim(ordinal)) {
     return Status::InvalidArgument("query feature dimension mismatch");
   }
   if (min_similarity < 0.0 || min_similarity > 1.0) {
@@ -330,22 +388,59 @@ Result<std::vector<SearchResult>> SearchEngine::QueryThresholdImpl(
 Result<std::vector<SearchResult>> SearchEngine::QueryTopK(
     const std::vector<double>& raw_feature, FeatureKind kind, size_t k,
     QueryStats* stats) const {
-  return QueryTopKImpl(raw_feature, kind, k, nullptr, stats);
+  return QueryTopKImpl(raw_feature, static_cast<int>(kind), k, nullptr,
+                       stats);
+}
+
+Result<std::vector<SearchResult>> SearchEngine::QueryTopK(
+    const std::vector<double>& raw_feature, int ordinal, size_t k,
+    QueryStats* stats) const {
+  return QueryTopKImpl(raw_feature, ordinal, k, nullptr, stats);
+}
+
+Result<std::vector<SearchResult>> SearchEngine::QueryTopK(
+    const std::vector<double>& raw_feature, const std::string& space_id,
+    size_t k, QueryStats* stats) const {
+  DESS_ASSIGN_OR_RETURN(const int ordinal, registry_->Resolve(space_id));
+  return QueryTopKImpl(raw_feature, ordinal, k, nullptr, stats);
 }
 
 Result<std::vector<SearchResult>> SearchEngine::QueryTopKWeighted(
     const std::vector<double>& raw_feature, FeatureKind kind, size_t k,
     const std::vector<double>& weights, QueryStats* stats) const {
+  return QueryTopKWeighted(raw_feature, static_cast<int>(kind), k, weights,
+                           stats);
+}
+
+Result<std::vector<SearchResult>> SearchEngine::QueryTopKWeighted(
+    const std::vector<double>& raw_feature, int ordinal, size_t k,
+    const std::vector<double>& weights, QueryStats* stats) const {
+  DESS_RETURN_NOT_OK(CheckOrdinal(ordinal));
   QueryRequest probe;
   probe.weights = weights;
-  DESS_RETURN_NOT_OK(CheckRequestWeights(probe, kind));
-  return QueryTopKImpl(raw_feature, kind, k, &weights, stats);
+  DESS_RETURN_NOT_OK(CheckRequestWeights(probe, ordinal));
+  return QueryTopKImpl(raw_feature, ordinal, k, &weights, stats);
 }
 
 Result<std::vector<SearchResult>> SearchEngine::QueryThreshold(
     const std::vector<double>& raw_feature, FeatureKind kind,
     double min_similarity, QueryStats* stats) const {
-  return QueryThresholdImpl(raw_feature, kind, min_similarity, nullptr,
+  return QueryThresholdImpl(raw_feature, static_cast<int>(kind),
+                            min_similarity, nullptr, stats);
+}
+
+Result<std::vector<SearchResult>> SearchEngine::QueryThreshold(
+    const std::vector<double>& raw_feature, int ordinal,
+    double min_similarity, QueryStats* stats) const {
+  return QueryThresholdImpl(raw_feature, ordinal, min_similarity, nullptr,
+                            stats);
+}
+
+Result<std::vector<SearchResult>> SearchEngine::QueryThreshold(
+    const std::vector<double>& raw_feature, const std::string& space_id,
+    double min_similarity, QueryStats* stats) const {
+  DESS_ASSIGN_OR_RETURN(const int ordinal, registry_->Resolve(space_id));
+  return QueryThresholdImpl(raw_feature, ordinal, min_similarity, nullptr,
                             stats);
 }
 
@@ -353,10 +448,19 @@ Result<std::vector<SearchResult>> SearchEngine::QueryThresholdWeighted(
     const std::vector<double>& raw_feature, FeatureKind kind,
     double min_similarity, const std::vector<double>& weights,
     QueryStats* stats) const {
+  return QueryThresholdWeighted(raw_feature, static_cast<int>(kind),
+                                min_similarity, weights, stats);
+}
+
+Result<std::vector<SearchResult>> SearchEngine::QueryThresholdWeighted(
+    const std::vector<double>& raw_feature, int ordinal,
+    double min_similarity, const std::vector<double>& weights,
+    QueryStats* stats) const {
+  DESS_RETURN_NOT_OK(CheckOrdinal(ordinal));
   QueryRequest probe;
   probe.weights = weights;
-  DESS_RETURN_NOT_OK(CheckRequestWeights(probe, kind));
-  return QueryThresholdImpl(raw_feature, kind, min_similarity, &weights,
+  DESS_RETURN_NOT_OK(CheckRequestWeights(probe, ordinal));
+  return QueryThresholdImpl(raw_feature, ordinal, min_similarity, &weights,
                             stats);
 }
 
@@ -366,22 +470,34 @@ Result<QueryResponse> SearchEngine::Query(const ShapeSignature& query,
   QueryResponse response;
   switch (request.mode) {
     case QueryMode::kTopK: {
-      DESS_RETURN_NOT_OK(CheckRequestWeights(request, request.kind));
+      DESS_ASSIGN_OR_RETURN(const int ordinal, RequestOrdinal(request));
+      DESS_RETURN_NOT_OK(CheckRequestWeights(request, ordinal));
+      if (ordinal >= query.NumSpaces()) {
+        return Status::InvalidArgument(
+            "query signature carries no vector for feature space '" +
+            registry_->id(ordinal) + "'");
+      }
       const std::vector<double>* w =
           request.weights.empty() ? nullptr : &request.weights;
       DESS_ASSIGN_OR_RETURN(
           response.results,
-          QueryTopKImpl(query.Get(request.kind).values, request.kind,
-                        request.k, w, &response.stats));
+          QueryTopKImpl(query.At(ordinal).values, ordinal, request.k, w,
+                        &response.stats));
       break;
     }
     case QueryMode::kThreshold: {
-      DESS_RETURN_NOT_OK(CheckRequestWeights(request, request.kind));
+      DESS_ASSIGN_OR_RETURN(const int ordinal, RequestOrdinal(request));
+      DESS_RETURN_NOT_OK(CheckRequestWeights(request, ordinal));
+      if (ordinal >= query.NumSpaces()) {
+        return Status::InvalidArgument(
+            "query signature carries no vector for feature space '" +
+            registry_->id(ordinal) + "'");
+      }
       const std::vector<double>* w =
           request.weights.empty() ? nullptr : &request.weights;
       DESS_ASSIGN_OR_RETURN(
           response.results,
-          QueryThresholdImpl(query.Get(request.kind).values, request.kind,
+          QueryThresholdImpl(query.At(ordinal).values, ordinal,
                              request.min_similarity, w, &response.stats));
       break;
     }
@@ -407,28 +523,29 @@ Result<QueryResponse> SearchEngine::QueryById(
   QueryResponse response;
   switch (request.mode) {
     case QueryMode::kTopK: {
-      DESS_RETURN_NOT_OK(CheckRequestWeights(request, request.kind));
+      DESS_ASSIGN_OR_RETURN(const int ordinal, RequestOrdinal(request));
+      DESS_RETURN_NOT_OK(CheckRequestWeights(request, ordinal));
       const std::vector<double>* w =
           request.weights.empty() ? nullptr : &request.weights;
       DESS_ASSIGN_OR_RETURN(std::vector<double> raw,
-                            db_->Feature(query_id, request.kind));
+                            db_->Feature(query_id, ordinal));
       // Fetch one extra so the count survives dropping the query itself.
       DESS_ASSIGN_OR_RETURN(
           response.results,
-          QueryTopKImpl(raw, request.kind, request.k + 1, w,
-                        &response.stats));
+          QueryTopKImpl(raw, ordinal, request.k + 1, w, &response.stats));
       ExcludeAndTrim(&response.results, query_id, request.k);
       break;
     }
     case QueryMode::kThreshold: {
-      DESS_RETURN_NOT_OK(CheckRequestWeights(request, request.kind));
+      DESS_ASSIGN_OR_RETURN(const int ordinal, RequestOrdinal(request));
+      DESS_RETURN_NOT_OK(CheckRequestWeights(request, ordinal));
       const std::vector<double>* w =
           request.weights.empty() ? nullptr : &request.weights;
       DESS_ASSIGN_OR_RETURN(std::vector<double> raw,
-                            db_->Feature(query_id, request.kind));
+                            db_->Feature(query_id, ordinal));
       DESS_ASSIGN_OR_RETURN(
           response.results,
-          QueryThresholdImpl(raw, request.kind, request.min_similarity, w,
+          QueryThresholdImpl(raw, ordinal, request.min_similarity, w,
                              &response.stats));
       ExcludeAndTrim(&response.results, query_id, /*k=*/0);
       break;
@@ -452,10 +569,19 @@ Result<QueryResponse> SearchEngine::QueryById(
 Result<std::vector<SearchResult>> SearchEngine::QueryByIdTopK(
     int query_id, FeatureKind kind, size_t k, bool exclude_query,
     QueryStats* stats) const {
-  DESS_ASSIGN_OR_RETURN(std::vector<double> raw, db_->Feature(query_id, kind));
+  return QueryByIdTopK(query_id, static_cast<int>(kind), k, exclude_query,
+                       stats);
+}
+
+Result<std::vector<SearchResult>> SearchEngine::QueryByIdTopK(
+    int query_id, int ordinal, size_t k, bool exclude_query,
+    QueryStats* stats) const {
+  DESS_RETURN_NOT_OK(CheckOrdinal(ordinal));
+  DESS_ASSIGN_OR_RETURN(std::vector<double> raw,
+                        db_->Feature(query_id, ordinal));
   // Fetch one extra so the count survives dropping the query itself.
   DESS_ASSIGN_OR_RETURN(std::vector<SearchResult> results,
-                        QueryTopK(raw, kind, k + (exclude_query ? 1 : 0),
+                        QueryTopK(raw, ordinal, k + (exclude_query ? 1 : 0),
                                   stats));
   if (exclude_query) {
     ExcludeAndTrim(&results, query_id, k);
@@ -463,32 +589,62 @@ Result<std::vector<SearchResult>> SearchEngine::QueryByIdTopK(
   return results;
 }
 
+Result<std::vector<SearchResult>> SearchEngine::QueryByIdTopK(
+    int query_id, const std::string& space_id, size_t k, bool exclude_query,
+    QueryStats* stats) const {
+  DESS_ASSIGN_OR_RETURN(const int ordinal, registry_->Resolve(space_id));
+  return QueryByIdTopK(query_id, ordinal, k, exclude_query, stats);
+}
+
 Result<std::vector<SearchResult>> SearchEngine::QueryByIdThreshold(
     int query_id, FeatureKind kind, double min_similarity, bool exclude_query,
     QueryStats* stats) const {
-  DESS_ASSIGN_OR_RETURN(std::vector<double> raw, db_->Feature(query_id, kind));
+  return QueryByIdThreshold(query_id, static_cast<int>(kind), min_similarity,
+                            exclude_query, stats);
+}
+
+Result<std::vector<SearchResult>> SearchEngine::QueryByIdThreshold(
+    int query_id, int ordinal, double min_similarity, bool exclude_query,
+    QueryStats* stats) const {
+  DESS_RETURN_NOT_OK(CheckOrdinal(ordinal));
+  DESS_ASSIGN_OR_RETURN(std::vector<double> raw,
+                        db_->Feature(query_id, ordinal));
   DESS_ASSIGN_OR_RETURN(std::vector<SearchResult> results,
-                        QueryThreshold(raw, kind, min_similarity, stats));
+                        QueryThreshold(raw, ordinal, min_similarity, stats));
   if (exclude_query) {
     ExcludeAndTrim(&results, query_id, /*k=*/0);
   }
   return results;
 }
 
+Result<std::vector<SearchResult>> SearchEngine::QueryByIdThreshold(
+    int query_id, const std::string& space_id, double min_similarity,
+    bool exclude_query, QueryStats* stats) const {
+  DESS_ASSIGN_OR_RETURN(const int ordinal, registry_->Resolve(space_id));
+  return QueryByIdThreshold(query_id, ordinal, min_similarity, exclude_query,
+                            stats);
+}
+
 Result<std::vector<SearchResult>> SearchEngine::Rerank(
     const std::vector<int>& candidate_ids,
     const std::vector<double>& raw_feature, FeatureKind kind) const {
-  const int ki = static_cast<int>(kind);
-  if (static_cast<int>(raw_feature.size()) != FeatureDim(kind)) {
+  return Rerank(candidate_ids, raw_feature, static_cast<int>(kind));
+}
+
+Result<std::vector<SearchResult>> SearchEngine::Rerank(
+    const std::vector<int>& candidate_ids,
+    const std::vector<double>& raw_feature, int ordinal) const {
+  DESS_RETURN_NOT_OK(CheckOrdinal(ordinal));
+  if (static_cast<int>(raw_feature.size()) != registry_->dim(ordinal)) {
     return Status::InvalidArgument("rerank feature dimension mismatch");
   }
   DESS_TIMED_SCOPE("search.rerank");
-  const SimilaritySpace& space = spaces_[ki];
+  const SimilaritySpace& space = spaces_[ordinal];
   const std::vector<double> q = space.Standardize(raw_feature);
   std::vector<SearchResult> out;
   out.reserve(candidate_ids.size());
   for (int id : candidate_ids) {
-    DESS_ASSIGN_OR_RETURN(std::vector<double> raw, db_->Feature(id, kind));
+    DESS_ASSIGN_OR_RETURN(std::vector<double> raw, db_->Feature(id, ordinal));
     const double d = space.Distance(q, space.Standardize(raw));
     out.push_back({id, d, space.Similarity(d)});
   }

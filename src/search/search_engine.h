@@ -33,12 +33,17 @@ struct SearchEngineOptions {
   bool standardize = true;
   /// Explicit backend selection; kRTree/kLinearScan mirror `use_rtree`.
   /// kDiskRTree persists one index file per feature space under
-  /// `disk_index_dir`.
+  /// `disk_index_dir`. A space whose FeatureSpaceDef carries an explicit
+  /// IndexPreference overrides this engine-wide choice.
   IndexBackend backend = IndexBackend::kRTree;
   /// Directory for kDiskRTree index files (created if missing).
   std::string disk_index_dir = ".";
   /// Buffer-pool frames per on-disk index.
   int disk_buffer_pages = 64;
+  /// Feature spaces the engine serves. Null means the canonical registry
+  /// (the paper's four descriptors). Every shape in the database must
+  /// carry a vector for every registered space.
+  std::shared_ptr<const FeatureSpaceRegistry> registry;
 };
 
 /// Query-by-example engine over a frozen ShapeDatabase view: owns one
@@ -66,20 +71,38 @@ class SearchEngine {
 
   /// Assembles an engine from preloaded parts — the persistence layer's
   /// cold-start path, which restores spaces and indexes from a snapshot
-  /// directory instead of recomputing them. `spaces[k]`/`indexes[k]` must
-  /// describe feature kind k over exactly the shapes of `db`; dimensions
-  /// and sizes are validated, contents are trusted.
+  /// directory instead of recomputing them. `spaces[i]`/`indexes[i]` must
+  /// describe the i-th space of the registry (options.registry, canonical
+  /// when null) over exactly the shapes of `db`; dimensions and sizes are
+  /// validated, contents are trusted.
   static Result<std::unique_ptr<SearchEngine>> Assemble(
       std::shared_ptr<const ShapeDatabase> db,
       const SearchEngineOptions& options,
-      std::array<SimilaritySpace, kNumFeatureKinds> spaces,
-      std::array<std::unique_ptr<MultiDimIndex>, kNumFeatureKinds> indexes);
+      std::vector<SimilaritySpace> spaces,
+      std::vector<std::unique_ptr<MultiDimIndex>> indexes);
 
   const ShapeDatabase& db() const { return *db_; }
   const SearchEngineOptions& options() const { return options_; }
 
+  /// The feature spaces this engine serves.
+  const FeatureSpaceRegistry& registry() const { return *registry_; }
+  std::shared_ptr<const FeatureSpaceRegistry> shared_registry() const {
+    return registry_;
+  }
+  int NumSpaces() const { return static_cast<int>(spaces_.size()); }
+
   const SimilaritySpace& Space(FeatureKind kind) const {
     return spaces_[static_cast<int>(kind)];
+  }
+  /// Similarity space at one registry ordinal.
+  const SimilaritySpace& SpaceAt(int ordinal) const {
+    return spaces_[ordinal];
+  }
+
+  /// Registry ordinal of a space id; InvalidArgument when the id is not
+  /// registered with this engine (the pinned unknown-space taxonomy).
+  Result<int> ResolveSpace(const std::string& space_id) const {
+    return registry_->Resolve(space_id);
   }
 
   /// Executes one self-describing query (kTopK, kThreshold or kMultiStep)
@@ -99,12 +122,22 @@ class SearchEngine {
   /// caller exclusively owns, never on one published in a snapshot (use
   /// QueryRequest::weights there).
   Status SetWeights(FeatureKind kind, const std::vector<double>& weights);
+  Status SetWeights(int ordinal, const std::vector<double>& weights);
 
   /// Top-k most similar shapes to a raw (unstandardized) query feature
   /// vector, ascending by distance. The query need not be a database shape.
+  /// Every query entry point below exists in three addressing forms: by
+  /// legacy FeatureKind (canonical spaces), by registry ordinal, and by
+  /// space id (any registered space; unknown ids fail InvalidArgument).
   Result<std::vector<SearchResult>> QueryTopK(
       const std::vector<double>& raw_feature, FeatureKind kind, size_t k,
       QueryStats* stats = nullptr) const;
+  Result<std::vector<SearchResult>> QueryTopK(
+      const std::vector<double>& raw_feature, int ordinal, size_t k,
+      QueryStats* stats = nullptr) const;
+  Result<std::vector<SearchResult>> QueryTopK(
+      const std::vector<double>& raw_feature, const std::string& space_id,
+      size_t k, QueryStats* stats = nullptr) const;
 
   /// Like QueryTopK but with caller-supplied per-dimension weights instead
   /// of the space's installed ones — the lock-free form of weight
@@ -113,16 +146,29 @@ class SearchEngine {
   Result<std::vector<SearchResult>> QueryTopKWeighted(
       const std::vector<double>& raw_feature, FeatureKind kind, size_t k,
       const std::vector<double>& weights, QueryStats* stats = nullptr) const;
+  Result<std::vector<SearchResult>> QueryTopKWeighted(
+      const std::vector<double>& raw_feature, int ordinal, size_t k,
+      const std::vector<double>& weights, QueryStats* stats = nullptr) const;
 
   /// All shapes with similarity >= `min_similarity` (the paper's
   /// threshold-filter workflow of Figure 7), ascending by distance.
   Result<std::vector<SearchResult>> QueryThreshold(
       const std::vector<double>& raw_feature, FeatureKind kind,
       double min_similarity, QueryStats* stats = nullptr) const;
+  Result<std::vector<SearchResult>> QueryThreshold(
+      const std::vector<double>& raw_feature, int ordinal,
+      double min_similarity, QueryStats* stats = nullptr) const;
+  Result<std::vector<SearchResult>> QueryThreshold(
+      const std::vector<double>& raw_feature, const std::string& space_id,
+      double min_similarity, QueryStats* stats = nullptr) const;
 
   /// Threshold query with caller-supplied weights (see QueryTopKWeighted).
   Result<std::vector<SearchResult>> QueryThresholdWeighted(
       const std::vector<double>& raw_feature, FeatureKind kind,
+      double min_similarity, const std::vector<double>& weights,
+      QueryStats* stats = nullptr) const;
+  Result<std::vector<SearchResult>> QueryThresholdWeighted(
+      const std::vector<double>& raw_feature, int ordinal,
       double min_similarity, const std::vector<double>& weights,
       QueryStats* stats = nullptr) const;
 
@@ -132,9 +178,21 @@ class SearchEngine {
   Result<std::vector<SearchResult>> QueryByIdTopK(
       int query_id, FeatureKind kind, size_t k, bool exclude_query = true,
       QueryStats* stats = nullptr) const;
+  Result<std::vector<SearchResult>> QueryByIdTopK(
+      int query_id, int ordinal, size_t k, bool exclude_query = true,
+      QueryStats* stats = nullptr) const;
+  Result<std::vector<SearchResult>> QueryByIdTopK(
+      int query_id, const std::string& space_id, size_t k,
+      bool exclude_query = true, QueryStats* stats = nullptr) const;
 
   Result<std::vector<SearchResult>> QueryByIdThreshold(
       int query_id, FeatureKind kind, double min_similarity,
+      bool exclude_query = true, QueryStats* stats = nullptr) const;
+  Result<std::vector<SearchResult>> QueryByIdThreshold(
+      int query_id, int ordinal, double min_similarity,
+      bool exclude_query = true, QueryStats* stats = nullptr) const;
+  Result<std::vector<SearchResult>> QueryByIdThreshold(
+      int query_id, const std::string& space_id, double min_similarity,
       bool exclude_query = true, QueryStats* stats = nullptr) const;
 
   /// Re-ranks an explicit candidate set by distance to the query in the
@@ -143,29 +201,41 @@ class SearchEngine {
   Result<std::vector<SearchResult>> Rerank(
       const std::vector<int>& candidate_ids,
       const std::vector<double>& raw_feature, FeatureKind kind) const;
+  Result<std::vector<SearchResult>> Rerank(
+      const std::vector<int>& candidate_ids,
+      const std::vector<double>& raw_feature, int ordinal) const;
 
  private:
   SearchEngine() = default;
 
+  /// Validates an ordinal arriving from a query surface (enum casts and
+  /// signature indexes included): InvalidArgument when out of range.
+  Status CheckOrdinal(int ordinal) const;
+
+  /// The space a QueryRequest addresses: request.space when set (resolved
+  /// through the registry), else the legacy request.kind.
+  Result<int> RequestOrdinal(const QueryRequest& request) const;
+
   /// Shared top-k path; `weights` nullptr means the space's installed
   /// weights.
   Result<std::vector<SearchResult>> QueryTopKImpl(
-      const std::vector<double>& raw_feature, FeatureKind kind, size_t k,
+      const std::vector<double>& raw_feature, int ordinal, size_t k,
       const std::vector<double>* weights, QueryStats* stats) const;
 
   Result<std::vector<SearchResult>> QueryThresholdImpl(
-      const std::vector<double>& raw_feature, FeatureKind kind,
+      const std::vector<double>& raw_feature, int ordinal,
       double min_similarity, const std::vector<double>* weights,
       QueryStats* stats) const;
 
-  /// Validates request.weights against `kind` (empty is always valid).
-  Status CheckRequestWeights(const QueryRequest& request,
-                             FeatureKind kind) const;
+  /// Validates request.weights against the space at `ordinal` (empty is
+  /// always valid).
+  Status CheckRequestWeights(const QueryRequest& request, int ordinal) const;
 
   std::shared_ptr<const ShapeDatabase> db_;
   SearchEngineOptions options_;
-  std::array<SimilaritySpace, kNumFeatureKinds> spaces_;
-  std::array<std::unique_ptr<MultiDimIndex>, kNumFeatureKinds> indexes_;
+  std::shared_ptr<const FeatureSpaceRegistry> registry_;
+  std::vector<SimilaritySpace> spaces_;
+  std::vector<std::unique_ptr<MultiDimIndex>> indexes_;
 };
 
 /// Wraps an opened DiskRTree in the MultiDimIndex interface (queries are

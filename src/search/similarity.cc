@@ -20,8 +20,16 @@ double SimilaritySpace::Similarity(double distance) const {
 SimilaritySpace BuildSimilaritySpace(
     FeatureKind kind, const std::vector<std::vector<double>>& raw_vectors,
     bool standardize) {
+  return BuildSimilaritySpace(CanonicalSpaceId(kind), kind, raw_vectors,
+                              standardize);
+}
+
+SimilaritySpace BuildSimilaritySpace(
+    std::string id, FeatureKind kind,
+    const std::vector<std::vector<double>>& raw_vectors, bool standardize) {
   SimilaritySpace space;
   space.kind = kind;
+  space.id = std::move(id);
   if (raw_vectors.empty()) return space;
   const size_t dim = raw_vectors[0].size();
   if (standardize) {

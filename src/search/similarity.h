@@ -1,18 +1,23 @@
 #ifndef DESS_SEARCH_SIMILARITY_H_
 #define DESS_SEARCH_SIMILARITY_H_
 
+#include <string>
 #include <vector>
 
+#include "src/features/feature_space.h"
 #include "src/features/feature_vector.h"
 
 namespace dess {
 
-/// A calibrated feature space for one feature kind: standardization stats
-/// (so no dimension dominates), per-dimension weights (the w_i of Eq. 4.3,
-/// reconfigurable by relevance feedback), and the maximum distance d_max
-/// used to map distances onto [0, 1] similarities (Eq. 4.4).
+/// A calibrated feature space for one registered feature space:
+/// standardization stats (so no dimension dominates), per-dimension weights
+/// (the w_i of Eq. 4.3, reconfigurable by relevance feedback), and the
+/// maximum distance d_max used to map distances onto [0, 1] similarities
+/// (Eq. 4.4). `id` is the registry space id; `kind` is the legacy enum
+/// alias, meaningful only for the canonical four.
 struct SimilaritySpace {
   FeatureKind kind = FeatureKind::kMomentInvariants;
+  std::string id;
   FeatureStats stats;
   std::vector<double> weights;  // one per dimension, default 1.0
   double dmax = 1.0;
@@ -33,7 +38,15 @@ struct SimilaritySpace {
 
 /// Builds a similarity space over a set of raw feature vectors: computes
 /// standardization stats and d_max (exact max pairwise distance for small
-/// sets, standardized-bounding-box diagonal for large ones).
+/// sets, standardized-bounding-box diagonal for large ones). `id` is the
+/// registry space id; `kind` should be the space's registry ordinal cast to
+/// the enum (exactly the FeatureKind for canonical spaces).
+SimilaritySpace BuildSimilaritySpace(
+    std::string id, FeatureKind kind,
+    const std::vector<std::vector<double>>& raw_vectors,
+    bool standardize = true);
+
+/// Canonical-space convenience overload (id deduced from the kind).
 SimilaritySpace BuildSimilaritySpace(
     FeatureKind kind, const std::vector<std::vector<double>>& raw_vectors,
     bool standardize = true);

@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <filesystem>
+#include <memory>
 #include <string>
 
 #include "src/core/system.h"
@@ -213,6 +214,132 @@ TEST_F(PersistenceTest, OpeningANonSnapshotIsNotFound) {
   fs::create_directories(dir_ / "empty");
   EXPECT_EQ(Dess3System::OpenFromSnapshot(SnapDir("empty")).status().code(),
             StatusCode::kNotFound);
+}
+
+// --- Registry-aware persistence -------------------------------------------
+//
+// The manifest's space table (format v2) makes a snapshot self-describing:
+// a snapshot round-trips through any registry that serves the same spaces,
+// and registry/snapshot disagreement is a deployment-configuration error —
+// FailedPrecondition — never DataLoss (the bytes are fine).
+
+namespace {
+
+constexpr char kSynthId[] = "synth";
+constexpr int kSynthDim = 6;
+
+std::unique_ptr<Dess3System> MakeExtendedSystem() {
+  SystemOptions options;
+  options.hierarchy.max_leaf_size = 4;
+  options.feature_spaces =
+      testing_util::MakeSyntheticRegistry({{kSynthId, kSynthDim}});
+  auto system = std::make_unique<Dess3System>(options);
+  ShapeDatabase db = testing_util::BuildSyntheticFeatureDb(
+      4, 4, 3, /*seed=*/123, 0.05, 1.0, {{kSynthId, kSynthDim}});
+  for (const ShapeRecord& rec : db.records()) {
+    system->IngestRecord(rec);
+  }
+  return system;
+}
+
+}  // namespace
+
+TEST_F(PersistenceTest, ExtendedRegistryRoundTripsThroughSnapshot) {
+  auto extended = MakeExtendedSystem();
+  ASSERT_TRUE(extended->Commit().ok());
+  ASSERT_TRUE(extended->SaveSnapshot(SnapDir("ext")).ok());
+
+  SystemOptions reopen_options;
+  reopen_options.feature_spaces =
+      testing_util::MakeSyntheticRegistry({{kSynthId, kSynthDim}});
+  auto reopened =
+      Dess3System::OpenFromSnapshot(SnapDir("ext"), {}, reopen_options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+
+  // The registered fifth space answers identically after the round trip,
+  // in both one-shot modes, alongside a canonical space.
+  const QueryRequest by_id = QueryRequest::TopK(std::string(kSynthId), 6);
+  const QueryRequest floor =
+      QueryRequest::Threshold(std::string(kSynthId), 0.5);
+  const QueryRequest canonical =
+      QueryRequest::TopK(FeatureKind::kSpectral, 6);
+  for (const QueryRequest& request : {by_id, floor, canonical}) {
+    for (int query_id : {0, 5, 11}) {
+      auto original = extended->QueryByShapeId(query_id, request);
+      auto restored = (*reopened)->QueryByShapeId(query_id, request);
+      ASSERT_TRUE(original.ok()) << original.status().ToString();
+      ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+      ExpectSameAnswers(*original, *restored);
+    }
+  }
+
+  // The extra space's browsing hierarchy was persisted and reopened too.
+  auto original_h = extended->Hierarchy(std::string(kSynthId));
+  auto restored_h = (*reopened)->Hierarchy(std::string(kSynthId));
+  ASSERT_TRUE(original_h.ok() && restored_h.ok());
+  EXPECT_EQ((*original_h)->SubtreeSize(), (*restored_h)->SubtreeSize());
+  EXPECT_EQ((*original_h)->members, (*restored_h)->members);
+}
+
+TEST_F(PersistenceTest, RegistryMismatchIsFailedPreconditionNotDataLoss) {
+  // Extended snapshot opened by a canonical process: the canonical process
+  // cannot serve the fifth space, so the open is refused up front.
+  auto extended = MakeExtendedSystem();
+  ASSERT_TRUE(extended->Commit().ok());
+  ASSERT_TRUE(extended->SaveSnapshot(SnapDir("ext")).ok());
+  auto canonical_open = Dess3System::OpenFromSnapshot(SnapDir("ext"));
+  ASSERT_FALSE(canonical_open.ok());
+  EXPECT_EQ(canonical_open.status().code(), StatusCode::kFailedPrecondition);
+
+  // Canonical snapshot opened by an extended process: same refusal, the
+  // snapshot has no data for the fifth space.
+  ASSERT_TRUE(system_.SaveSnapshot(SnapDir("canon")).ok());
+  SystemOptions extended_options;
+  extended_options.feature_spaces =
+      testing_util::MakeSyntheticRegistry({{kSynthId, kSynthDim}});
+  auto extended_open =
+      Dess3System::OpenFromSnapshot(SnapDir("canon"), {}, extended_options);
+  ASSERT_FALSE(extended_open.ok());
+  EXPECT_EQ(extended_open.status().code(), StatusCode::kFailedPrecondition);
+
+  // A registry with the right count but a different id is also refused.
+  SystemOptions renamed_options;
+  renamed_options.feature_spaces =
+      testing_util::MakeSyntheticRegistry({{"other_space", kSynthDim}});
+  auto renamed_open =
+      Dess3System::OpenFromSnapshot(SnapDir("ext"), {}, renamed_options);
+  ASSERT_FALSE(renamed_open.ok());
+  EXPECT_EQ(renamed_open.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(PersistenceTest, FormatVersionOneRoundTripsForTheCanonicalFour) {
+  // v1 is the pre-registry format: a canonical system can still write it
+  // (for rollback to older builds) and this build still reads it.
+  SaveOptions save;
+  save.format_version = 1;
+  ASSERT_TRUE(system_.SaveSnapshot(SnapDir("v1"), save).ok());
+  auto reopened = Dess3System::OpenFromSnapshot(SnapDir("v1"));
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  for (FeatureKind kind : AllFeatureKinds()) {
+    const QueryRequest request = QueryRequest::TopK(kind, 6);
+    auto original = system_.QueryByShapeId(2, request);
+    auto restored = (*reopened)->QueryByShapeId(2, request);
+    ASSERT_TRUE(original.ok() && restored.ok());
+    ExpectSameAnswers(*original, *restored);
+  }
+}
+
+TEST_F(PersistenceTest, FormatVersionOneCannotExpressAnExtendedRegistry) {
+  auto extended = MakeExtendedSystem();
+  ASSERT_TRUE(extended->Commit().ok());
+  SaveOptions save;
+  save.format_version = 1;
+  EXPECT_EQ(extended->SaveSnapshot(SnapDir("v1ext"), save).code(),
+            StatusCode::kInvalidArgument);
+  SaveOptions bogus;
+  bogus.format_version = 99;
+  EXPECT_EQ(extended->SaveSnapshot(SnapDir("v99"), bogus).code(),
+            StatusCode::kInvalidArgument);
 }
 
 TEST_F(PersistenceTest, SkippingChecksumVerificationStillRoundTrips) {

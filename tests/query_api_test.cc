@@ -104,6 +104,47 @@ TEST_F(QueryApiTest, MalformedWeightsReturnInvalidArgument) {
   EXPECT_EQ(multistep.status().code(), StatusCode::kInvalidArgument);
 }
 
+TEST_F(QueryApiTest, UnknownSpaceIdReturnsInvalidArgument) {
+  // Addressing a feature space that is not registered with the serving
+  // engine is a malformed request — InvalidArgument, never NotFound or a
+  // crash — on every surface that accepts a space id.
+  ASSERT_TRUE(system_->Commit().ok());
+
+  auto topk = system_->QueryByShapeId(0, QueryRequest::TopK("no_such", 2));
+  ASSERT_FALSE(topk.ok());
+  EXPECT_EQ(topk.status().code(), StatusCode::kInvalidArgument);
+
+  auto by_sig =
+      system_->QueryBySignature(Probe(), QueryRequest::TopK("no_such", 2));
+  ASSERT_FALSE(by_sig.ok());
+  EXPECT_EQ(by_sig.status().code(), StatusCode::kInvalidArgument);
+
+  auto threshold =
+      system_->QueryByShapeId(0, QueryRequest::Threshold("no_such", 0.5));
+  ASSERT_FALSE(threshold.ok());
+  EXPECT_EQ(threshold.status().code(), StatusCode::kInvalidArgument);
+
+  // A multi-step stage addressing an unknown space fails the same way.
+  MultiStepPlan plan;
+  plan.stages.push_back({FeatureKind::kMomentInvariants, 4});
+  plan.stages.push_back({std::string("no_such"), 2});
+  auto multistep = system_->QueryByShapeId(0, QueryRequest::MultiStep(plan));
+  ASSERT_FALSE(multistep.ok());
+  EXPECT_EQ(multistep.status().code(), StatusCode::kInvalidArgument);
+
+  // Canonical ids resolve on the same surface, pinning the id spelling.
+  auto canonical = system_->QueryByShapeId(
+      0, QueryRequest::TopK("principal_moments", 2));
+  ASSERT_TRUE(canonical.ok()) << canonical.status().ToString();
+  auto by_kind = system_->QueryByShapeId(
+      0, QueryRequest::TopK(FeatureKind::kPrincipalMoments, 2));
+  ASSERT_TRUE(by_kind.ok());
+  ASSERT_EQ(canonical->results.size(), by_kind->results.size());
+  for (size_t i = 0; i < canonical->results.size(); ++i) {
+    EXPECT_TRUE(canonical->results[i] == by_kind->results[i]) << i;
+  }
+}
+
 TEST_F(QueryApiTest, UnknownShapeReturnsNotFound) {
   ASSERT_TRUE(system_->Commit().ok());
   auto response = system_->QueryByShapeId(
