@@ -15,6 +15,11 @@
 #include "bench/bench_common.h"
 #include "src/common/metrics.h"
 #include "src/common/thread_pool.h"
+#include "src/index/distance_kernel.h"
+#include "src/index/multidim_index.h"
+#include "src/index/signature_block.h"
+#include "src/search/search_engine.h"
+#include "tests/test_util.h"
 #include "src/core/system.h"
 #include "src/features/extractors.h"
 #include "src/features/moments.h"
@@ -99,10 +104,14 @@ void BM_Voxelize(benchmark::State& state) {
     benchmark::DoNotOptimize(VoxelizeMesh(SampleNormalized().mesh, opt));
   }
 }
+// Explicit MinTime: the threads series exists to compare configurations
+// against each other, so it needs a tighter noise floor than the smoke
+// run's global --benchmark_min_time would give it.
 BENCHMARK(BM_Voxelize)
     ->ArgNames({"res", "threads"})
     ->Args({64, 1})
-    ->Args({64, 8});
+    ->Args({64, 8})
+    ->MinTime(0.5);
 
 void BM_Thinning(benchmark::State& state) {
   const VoxelGrid& grid = SampleVoxels(static_cast<int>(state.range(0)));
@@ -118,7 +127,8 @@ BENCHMARK(BM_Thinning)
     ->Args({32, 1})
     ->Args({32, 8})
     ->Args({64, 1})
-    ->Args({64, 8});
+    ->Args({64, 8})
+    ->MinTime(0.5);
 
 void BM_GraphAndSpectrum(benchmark::State& state) {
   const VoxelGrid skeleton = ThinToSkeleton(SampleVoxels(32));
@@ -353,6 +363,119 @@ void BM_ColdStartReingest(benchmark::State& state) {
       static_cast<double>(fx.dataset.shapes.size());
 }
 BENCHMARK(BM_ColdStartReingest);
+
+// Synthetic feature database for the distance-kernel series: n shapes in
+// groups of 100 across the canonical four spaces plus a 32-dim registered
+// space, served by the linear-scan backend so the scan path (not an index)
+// is what gets timed.
+struct ScanFixture {
+  std::unique_ptr<SearchEngine> engine;
+  // Per-vector baseline state: the same standardized vectors the engine's
+  // signature blocks hold, one heap allocation per row — the layout the
+  // batched kernel replaced.
+  std::vector<std::vector<std::vector<double>>> rows;  // [space][row]
+  std::vector<std::vector<int>> ids;                   // [space][row]
+};
+
+const ScanFixture& ScanDb(size_t n) {
+  static std::map<size_t, ScanFixture*>* cache =
+      new std::map<size_t, ScanFixture*>();
+  auto it = cache->find(n);
+  if (it != cache->end()) return *it->second;
+  auto* f = new ScanFixture();
+  const std::vector<testing_util::SyntheticExtraSpace> extra = {
+      {"synthetic_wide32", 32}};
+  auto db = std::make_shared<ShapeDatabase>(
+      testing_util::BuildSyntheticFeatureDb(static_cast<int>(n) / 100, 100,
+                                            0, 12345, 0.05, 1.0, extra));
+  SearchEngineOptions opt;
+  opt.backend = IndexBackend::kLinearScan;
+  opt.registry = testing_util::MakeSyntheticRegistry(extra);
+  auto engine = SearchEngine::Build(std::move(db), opt);
+  f->engine = std::move(*engine);
+  const int spaces = f->engine->NumSpaces();
+  f->rows.resize(spaces);
+  f->ids.resize(spaces);
+  for (int ki = 0; ki < spaces; ++ki) {
+    const SignatureBlock& block = f->engine->BlockAt(ki);
+    for (size_t r = 0; r < block.size(); ++r) {
+      f->rows[ki].push_back(block.Row(r));
+      f->ids[ki].push_back(block.id(r));
+    }
+  }
+  cache->emplace(n, f);
+  return *f;
+}
+
+// Full scan for the 10 nearest: the per-vector baseline (impl 0) evaluates
+// WeightedEuclidean row by row and fully sorts, exactly what the linear
+// scan did before the SoA signature blocks; the block impl (1) runs the
+// batched kernel over the packed block with partial top-k selection. Both
+// return identical neighbors, so the ratio is pure kernel+layout speedup.
+void BM_LinearScan(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const int ki = static_cast<int>(state.range(1));
+  const bool block_impl = state.range(2) != 0;
+  const ScanFixture& fx = ScanDb(n);
+  state.SetLabel(fx.engine->registry().id(ki) +
+                 (block_impl ? "/block" : "/pervector"));
+  const SimilaritySpace& space = fx.engine->SpaceAt(ki);
+  const std::vector<double> query = fx.rows[ki][n / 2];
+  constexpr size_t kK = 10;
+  if (block_impl) {
+    const SignatureBlock& block = fx.engine->BlockAt(ki);
+    std::vector<double> dist(block.size());
+    for (auto _ : state) {
+      BatchedWeightedL2(block, query.data(), space.weights.data(),
+                        dist.data());
+      std::vector<Neighbor> top;
+      top.reserve(block.size());
+      for (size_t r = 0; r < block.size(); ++r) {
+        top.push_back({block.id(r), dist[r]});
+      }
+      PartialSortSmallest(&top, kK);
+      benchmark::DoNotOptimize(top);
+    }
+  } else {
+    for (auto _ : state) {
+      std::vector<Neighbor> top;
+      top.reserve(fx.rows[ki].size());
+      for (size_t r = 0; r < fx.rows[ki].size(); ++r) {
+        top.push_back({fx.ids[ki][r],
+                       WeightedEuclidean(query, fx.rows[ki][r],
+                                         space.weights)});
+      }
+      std::sort(top.begin(), top.end());
+      if (top.size() > kK) top.resize(kK);
+      benchmark::DoNotOptimize(top);
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_LinearScan)
+    ->ArgNames({"n", "space", "impl"})
+    ->ArgsProduct({{10000, 100000}, {0, 1, 2, 3, 4}, {0, 1}});
+
+// Candidate re-rank through the engine (gathered block rows + partial
+// selection): 1000 candidates cut to the best 100, per feature space.
+void BM_Rerank(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const int ki = static_cast<int>(state.range(1));
+  const ScanFixture& fx = ScanDb(n);
+  state.SetLabel(fx.engine->registry().id(ki));
+  const std::vector<int> candidates(fx.ids[ki].begin(),
+                                    fx.ids[ki].begin() + 1000);
+  const std::vector<double> query =
+      *fx.engine->db().Feature(fx.ids[ki][0], ki);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.engine->Rerank(candidates, query, ki, 100));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_Rerank)
+    ->ArgNames({"n", "space"})
+    ->ArgsProduct({{10000, 100000}, {0, 1, 2, 3, 4}});
 
 // Splices the process-wide metrics snapshot into the google-benchmark JSON
 // report as a top-level "dess_metrics" key, so BENCH_pipeline.json carries

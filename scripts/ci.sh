@@ -31,6 +31,11 @@ run_preset ci
 
 if [[ "$FAST" == "0" ]]; then
   run_preset asan
+  # The SIMD distance kernels under UBSan (label `kernel`, same asan
+  # build tree: -fsanitize=address,undefined): misaligned loads or
+  # out-of-bounds tail lanes in any ISA variant fail here.
+  echo "==> [ubsan] kernel tests"
+  ctest --preset ubsan -j "$JOBS"
   run_preset tsan
 fi
 

@@ -72,4 +72,17 @@ void ParallelFor(ThreadPool* pool, size_t n,
   pool->Wait();
 }
 
+int RecommendedWorkers(const ThreadPool* pool, double estimated_cost_ns,
+                       double min_cost_per_worker_ns) {
+  if (pool == nullptr || pool->num_threads() <= 1) return 1;
+  const unsigned hw = std::thread::hardware_concurrency();
+  int cap = std::min(pool->num_threads(),
+                     static_cast<int>(hw == 0 ? 1u : hw));
+  if (min_cost_per_worker_ns > 0.0) {
+    const double by_cost = estimated_cost_ns / min_cost_per_worker_ns;
+    cap = std::min(cap, static_cast<int>(by_cost));
+  }
+  return std::max(1, cap);
+}
+
 }  // namespace dess

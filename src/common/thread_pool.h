@@ -50,6 +50,17 @@ class ThreadPool {
 void ParallelFor(ThreadPool* pool, size_t n,
                  const std::function<void(size_t)>& fn);
 
+/// How many workers a job of `estimated_cost_ns` should fan out to.
+/// Caps the pool's width by the machine's actual core count (a wide pool
+/// on a narrow machine just time-slices one core and loses to the serial
+/// path on dispatch overhead) and by estimated_cost_ns /
+/// min_cost_per_worker_ns, so a worker is only added when it has at
+/// least that much work to amortize queueing + wakeup. Always >= 1;
+/// returns 1 for a null or single-thread pool, making the caller's
+/// serial fallback the automatic choice for small jobs.
+int RecommendedWorkers(const ThreadPool* pool, double estimated_cost_ns,
+                       double min_cost_per_worker_ns);
+
 }  // namespace dess
 
 #endif  // DESS_COMMON_THREAD_POOL_H_

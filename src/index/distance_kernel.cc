@@ -1,0 +1,273 @@
+#include "src/index/distance_kernel.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define DESS_KERNEL_X86 1
+#endif
+#if defined(__aarch64__)
+#include <arm_neon.h>
+#define DESS_KERNEL_NEON 1
+#endif
+
+namespace dess {
+namespace {
+
+constexpr size_t kLane = SignatureBlock::kLane;
+
+/// Stores the first min(kLane, n - base) lanes of `res` — tail-tile lanes
+/// beyond the block's row count are computed (they hold exact zeros) but
+/// never reported.
+inline void StoreLanes(const double* res, size_t base, size_t n,
+                       double* out) {
+  const size_t count = std::min(kLane, n - base);
+  for (size_t l = 0; l < count; ++l) out[base + l] = res[l];
+}
+
+/// Portable tile kernel: dimension-outer, lane-inner with one accumulator
+/// per lane. Each lane's accumulation chain is the scalar reference order
+/// (sum += (w * d) * d per dimension, sqrt last); the lane-inner loop is
+/// trivially autovectorizable.
+void BatchedScalar(const SignatureBlock& block, const double* q,
+                   const double* w, double* out) {
+  const size_t n = block.size();
+  const int dim = block.dim();
+  for (size_t t = 0; t < block.num_tiles(); ++t) {
+    const double* tile = block.tile(t);
+    double acc[kLane] = {0, 0, 0, 0, 0, 0, 0, 0};
+    for (int d = 0; d < dim; ++d) {
+      const double qd = q[d];
+      const double wd = w != nullptr ? w[d] : 1.0;
+      const double* x = tile + static_cast<size_t>(d) * kLane;
+      for (size_t l = 0; l < kLane; ++l) {
+        const double diff = qd - x[l];
+        acc[l] += wd * diff * diff;
+      }
+    }
+    double res[kLane];
+    for (size_t l = 0; l < kLane; ++l) res[l] = std::sqrt(acc[l]);
+    StoreLanes(res, t * kLane, n, out);
+  }
+}
+
+#if defined(DESS_KERNEL_X86)
+
+/// SSE2 (x86-64 baseline): four 2-wide accumulators per tile. sqrtpd and
+/// the mul/add sequence are IEEE-rounded per operation, so lanes match
+/// the scalar chains bitwise.
+void BatchedSse2(const SignatureBlock& block, const double* q,
+                 const double* w, double* out) {
+  const size_t n = block.size();
+  const int dim = block.dim();
+  for (size_t t = 0; t < block.num_tiles(); ++t) {
+    const double* tile = block.tile(t);
+    __m128d acc[4] = {_mm_setzero_pd(), _mm_setzero_pd(), _mm_setzero_pd(),
+                      _mm_setzero_pd()};
+    for (int d = 0; d < dim; ++d) {
+      const __m128d qd = _mm_set1_pd(q[d]);
+      const __m128d wd = _mm_set1_pd(w != nullptr ? w[d] : 1.0);
+      const double* x = tile + static_cast<size_t>(d) * kLane;
+      for (int half = 0; half < 4; ++half) {
+        const __m128d diff = _mm_sub_pd(qd, _mm_load_pd(x + 2 * half));
+        acc[half] = _mm_add_pd(
+            acc[half], _mm_mul_pd(_mm_mul_pd(wd, diff), diff));
+      }
+    }
+    alignas(16) double res[kLane];
+    for (int half = 0; half < 4; ++half) {
+      _mm_store_pd(res + 2 * half, _mm_sqrt_pd(acc[half]));
+    }
+    StoreLanes(res, t * kLane, n, out);
+  }
+}
+
+__attribute__((target("avx2")))
+void BatchedAvx2(const SignatureBlock& block, const double* q,
+                 const double* w, double* out) {
+  const size_t n = block.size();
+  const int dim = block.dim();
+  for (size_t t = 0; t < block.num_tiles(); ++t) {
+    const double* tile = block.tile(t);
+    __m256d acc0 = _mm256_setzero_pd();
+    __m256d acc1 = _mm256_setzero_pd();
+    for (int d = 0; d < dim; ++d) {
+      const __m256d qd = _mm256_set1_pd(q[d]);
+      const __m256d wd = _mm256_set1_pd(w != nullptr ? w[d] : 1.0);
+      const double* x = tile + static_cast<size_t>(d) * kLane;
+      const __m256d diff0 = _mm256_sub_pd(qd, _mm256_load_pd(x));
+      const __m256d diff1 = _mm256_sub_pd(qd, _mm256_load_pd(x + 4));
+      // Two explicit multiplies, no FMA: the scalar reference rounds
+      // after w * d before multiplying by d again.
+      acc0 = _mm256_add_pd(acc0,
+                           _mm256_mul_pd(_mm256_mul_pd(wd, diff0), diff0));
+      acc1 = _mm256_add_pd(acc1,
+                           _mm256_mul_pd(_mm256_mul_pd(wd, diff1), diff1));
+    }
+    alignas(32) double res[kLane];
+    _mm256_store_pd(res, _mm256_sqrt_pd(acc0));
+    _mm256_store_pd(res + 4, _mm256_sqrt_pd(acc1));
+    StoreLanes(res, t * kLane, n, out);
+  }
+}
+
+bool CpuHasAvx2() { return __builtin_cpu_supports("avx2") != 0; }
+
+#endif  // DESS_KERNEL_X86
+
+#if defined(DESS_KERNEL_NEON)
+
+void BatchedNeon(const SignatureBlock& block, const double* q,
+                 const double* w, double* out) {
+  const size_t n = block.size();
+  const int dim = block.dim();
+  for (size_t t = 0; t < block.num_tiles(); ++t) {
+    const double* tile = block.tile(t);
+    float64x2_t acc[4] = {vdupq_n_f64(0.0), vdupq_n_f64(0.0),
+                          vdupq_n_f64(0.0), vdupq_n_f64(0.0)};
+    for (int d = 0; d < dim; ++d) {
+      const float64x2_t qd = vdupq_n_f64(q[d]);
+      const float64x2_t wd = vdupq_n_f64(w != nullptr ? w[d] : 1.0);
+      const double* x = tile + static_cast<size_t>(d) * kLane;
+      for (int half = 0; half < 4; ++half) {
+        const float64x2_t diff = vsubq_f64(qd, vld1q_f64(x + 2 * half));
+        acc[half] = vaddq_f64(acc[half],
+                              vmulq_f64(vmulq_f64(wd, diff), diff));
+      }
+    }
+    double res[kLane];
+    for (int half = 0; half < 4; ++half) {
+      vst1q_f64(res + 2 * half, vsqrtq_f64(acc[half]));
+    }
+    StoreLanes(res, t * kLane, n, out);
+  }
+}
+
+#endif  // DESS_KERNEL_NEON
+
+KernelIsa DetectIsa() {
+  if (const char* env = std::getenv("DESS_SIMD")) {
+    const std::optional<KernelIsa> forced = KernelIsaFromName(env);
+    if (forced.has_value()) {
+      for (KernelIsa isa : AvailableKernelIsas()) {
+        if (isa == *forced) return *forced;
+      }
+    }
+    // Unknown or unavailable name: fall through to auto-detection.
+  }
+#if defined(DESS_KERNEL_X86)
+  return CpuHasAvx2() ? KernelIsa::kAvx2 : KernelIsa::kSse2;
+#elif defined(DESS_KERNEL_NEON)
+  return KernelIsa::kNeon;
+#else
+  return KernelIsa::kScalar;
+#endif
+}
+
+}  // namespace
+
+const char* KernelIsaName(KernelIsa isa) {
+  switch (isa) {
+    case KernelIsa::kScalar:
+      return "scalar";
+    case KernelIsa::kSse2:
+      return "sse2";
+    case KernelIsa::kAvx2:
+      return "avx2";
+    case KernelIsa::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+std::optional<KernelIsa> KernelIsaFromName(std::string_view name) {
+  if (name == "scalar") return KernelIsa::kScalar;
+  if (name == "sse2") return KernelIsa::kSse2;
+  if (name == "avx2") return KernelIsa::kAvx2;
+  if (name == "neon") return KernelIsa::kNeon;
+  return std::nullopt;
+}
+
+std::vector<KernelIsa> AvailableKernelIsas() {
+  std::vector<KernelIsa> isas{KernelIsa::kScalar};
+#if defined(DESS_KERNEL_X86)
+  isas.push_back(KernelIsa::kSse2);
+  if (CpuHasAvx2()) isas.push_back(KernelIsa::kAvx2);
+#endif
+#if defined(DESS_KERNEL_NEON)
+  isas.push_back(KernelIsa::kNeon);
+#endif
+  return isas;
+}
+
+KernelIsa ActiveKernelIsa() {
+  static const KernelIsa isa = DetectIsa();
+  return isa;
+}
+
+double WeightedL2(const double* q, const double* x, const double* w,
+                  size_t dim) {
+  double sum = 0.0;
+  for (size_t i = 0; i < dim; ++i) {
+    const double wi = w != nullptr ? w[i] : 1.0;
+    const double d = q[i] - x[i];
+    sum += wi * d * d;
+  }
+  return std::sqrt(sum);
+}
+
+double RowWeightedL2(const SignatureBlock& block, size_t row,
+                     const double* query, const double* weights) {
+  double sum = 0.0;
+  for (int d = 0; d < block.dim(); ++d) {
+    const double w = weights != nullptr ? weights[d] : 1.0;
+    const double diff = query[d] - block.At(row, d);
+    sum += w * diff * diff;
+  }
+  return std::sqrt(sum);
+}
+
+void BatchedWeightedL2As(KernelIsa isa, const SignatureBlock& block,
+                         const double* query, const double* weights,
+                         double* out) {
+  switch (isa) {
+#if defined(DESS_KERNEL_X86)
+    case KernelIsa::kSse2:
+      BatchedSse2(block, query, weights, out);
+      return;
+    case KernelIsa::kAvx2:
+      BatchedAvx2(block, query, weights, out);
+      return;
+#endif
+#if defined(DESS_KERNEL_NEON)
+    case KernelIsa::kNeon:
+      BatchedNeon(block, query, weights, out);
+      return;
+#endif
+    default:
+      BatchedScalar(block, query, weights, out);
+      return;
+  }
+}
+
+void BatchedWeightedL2(const SignatureBlock& block, const double* query,
+                       const double* weights, double* out) {
+  BatchedWeightedL2As(ActiveKernelIsa(), block, query, weights, out);
+}
+
+double MaxPairwiseDistance(const SignatureBlock& block) {
+  const size_t n = block.size();
+  if (n < 2) return 0.0;
+  std::vector<double> row(block.dim());
+  std::vector<double> dist(n);
+  double dmax = 0.0;
+  for (size_t i = 0; i + 1 < n; ++i) {
+    block.CopyRow(i, row.data());
+    BatchedWeightedL2(block, row.data(), /*weights=*/nullptr, dist.data());
+    for (size_t j = i + 1; j < n; ++j) dmax = std::max(dmax, dist[j]);
+  }
+  return dmax;
+}
+
+}  // namespace dess

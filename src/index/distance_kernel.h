@@ -1,0 +1,82 @@
+#ifndef DESS_INDEX_DISTANCE_KERNEL_H_
+#define DESS_INDEX_DISTANCE_KERNEL_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "src/index/signature_block.h"
+
+namespace dess {
+
+/// Instruction set a batched kernel runs with. The default is detected at
+/// runtime (AVX2 when the CPU has it, else SSE2 on x86-64, NEON on
+/// aarch64, scalar otherwise) and can be forced down with the DESS_SIMD
+/// environment variable ("scalar", "sse2", "avx2", "neon") — useful for
+/// pinning A/B comparisons and for exercising every path in tests.
+///
+/// Every path produces bitwise-identical distances: each SIMD lane owns
+/// one row and accumulates that row's terms in exactly the order of the
+/// scalar reference (see SignatureBlock). No FMA is used — the reference
+/// rounds after every multiply, and fusing would change the result.
+enum class KernelIsa { kScalar, kSse2, kAvx2, kNeon };
+
+const char* KernelIsaName(KernelIsa isa);
+std::optional<KernelIsa> KernelIsaFromName(std::string_view name);
+
+/// ISAs runnable on this machine, scalar first. Always non-empty.
+std::vector<KernelIsa> AvailableKernelIsas();
+
+/// The ISA BatchedWeightedL2 dispatches to (detection + DESS_SIMD
+/// override, resolved once per process).
+KernelIsa ActiveKernelIsa();
+
+/// Weighted L2 of Eq. 4.3 over two raw arrays; `w` may be null (all
+/// ones). Single-pair form of the kernel, with the reference op order —
+/// used by the R-tree leaf re-check.
+double WeightedL2(const double* q, const double* x, const double* w,
+                  size_t dim);
+
+/// Weighted L2 between `query` and row `row` of `block`. Reads the lane
+/// layout in place; bitwise equal to WeightedL2 on the copied-out row.
+double RowWeightedL2(const SignatureBlock& block, size_t row,
+                     const double* query, const double* weights);
+
+/// out[r] = weighted L2 between `query` and row r, for every row of
+/// `block`. `weights` may be null (all ones); `out` must hold
+/// block.size() doubles.
+void BatchedWeightedL2(const SignatureBlock& block, const double* query,
+                       const double* weights, double* out);
+
+/// BatchedWeightedL2 forced onto one ISA; `isa` must come from
+/// AvailableKernelIsas(). Test/bench hook.
+void BatchedWeightedL2As(KernelIsa isa, const SignatureBlock& block,
+                         const double* query, const double* weights,
+                         double* out);
+
+/// Max pairwise unweighted L2 over the rows of `block` — the exact d_max
+/// calibration of Eq. 4.4, evaluated one-row-vs-block with the batched
+/// kernel instead of scalar pair-at-a-time. Identical to the O(n^2)
+/// reference loop (max over bitwise-identical values).
+double MaxPairwiseDistance(const SignatureBlock& block);
+
+/// Keeps the min(k, size) smallest elements of `items` in sorted order —
+/// nth_element partition then a sort of the kept prefix. Identical output
+/// to a full sort + truncate whenever `less` is a total order (every
+/// comparator in the query paths ties on record id), without the
+/// O(n log n) full sort on scan and re-rank paths.
+template <typename T, typename Less = std::less<T>>
+void PartialSortSmallest(std::vector<T>* items, size_t k, Less less = {}) {
+  if (k < items->size()) {
+    std::nth_element(items->begin(), items->begin() + k, items->end(), less);
+    items->resize(k);
+  }
+  std::sort(items->begin(), items->end(), less);
+}
+
+}  // namespace dess
+
+#endif  // DESS_INDEX_DISTANCE_KERNEL_H_

@@ -5,6 +5,7 @@
 
 #include "src/common/metrics.h"
 #include "src/common/strings.h"
+#include "src/index/distance_kernel.h"
 
 namespace dess {
 namespace {
@@ -38,7 +39,8 @@ double WeightedEuclidean(const std::vector<double>& q,
   return std::sqrt(sum);
 }
 
-LinearScanIndex::LinearScanIndex(int dim) : dim_(dim) {}
+LinearScanIndex::LinearScanIndex(int dim)
+    : dim_(dim), block_(dim) {}
 
 Status LinearScanIndex::Insert(int id, const std::vector<double>& point) {
   if (static_cast<int>(point.size()) != dim_) {
@@ -46,14 +48,19 @@ Status LinearScanIndex::Insert(int id, const std::vector<double>& point) {
         StrFormat("linear scan: expected dim %d, got %zu", dim_,
                   point.size()));
   }
-  points_.push_back({id, point});
+  block_.Append(id, point);
   return Status::OK();
 }
 
 Status LinearScanIndex::Remove(int id, const std::vector<double>& point) {
-  for (size_t i = 0; i < points_.size(); ++i) {
-    if (points_[i].id == id && points_[i].point == point) {
-      points_.erase(points_.begin() + i);
+  for (size_t r = 0; r < block_.size(); ++r) {
+    if (block_.id(r) != id) continue;
+    bool match = static_cast<int>(point.size()) == dim_;
+    for (int d = 0; match && d < dim_; ++d) {
+      match = block_.At(r, d) == point[d];
+    }
+    if (match) {
+      block_.RemoveRow(r);
       return Status::OK();
     }
   }
@@ -63,27 +70,31 @@ Status LinearScanIndex::Remove(int id, const std::vector<double>& point) {
 std::vector<Neighbor> LinearScanIndex::KNearest(
     const std::vector<double>& query, size_t k,
     const std::vector<double>& weights, QueryStats* stats) const {
+  const size_t n = block_.size();
+  std::vector<double> dist(n);
+  BatchedWeightedL2(block_, query.data(),
+                    weights.empty() ? nullptr : weights.data(), dist.data());
   std::vector<Neighbor> all;
-  all.reserve(points_.size());
-  for (const Entry& e : points_) {
-    all.push_back({e.id, WeightedEuclidean(query, e.point, weights)});
-  }
-  std::sort(all.begin(), all.end());
-  if (all.size() > k) all.resize(k);
-  FinishScanStats(points_.size(), all.size(), stats);
+  all.reserve(n);
+  for (size_t r = 0; r < n; ++r) all.push_back({block_.id(r), dist[r]});
+  PartialSortSmallest(&all, k);
+  FinishScanStats(n, all.size(), stats);
   return all;
 }
 
 std::vector<Neighbor> LinearScanIndex::RangeQuery(
     const std::vector<double>& query, double radius,
     const std::vector<double>& weights, QueryStats* stats) const {
+  const size_t n = block_.size();
+  std::vector<double> dist(n);
+  BatchedWeightedL2(block_, query.data(),
+                    weights.empty() ? nullptr : weights.data(), dist.data());
   std::vector<Neighbor> out;
-  for (const Entry& e : points_) {
-    const double d = WeightedEuclidean(query, e.point, weights);
-    if (d <= radius) out.push_back({e.id, d});
+  for (size_t r = 0; r < n; ++r) {
+    if (dist[r] <= radius) out.push_back({block_.id(r), dist[r]});
   }
   std::sort(out.begin(), out.end());
-  FinishScanStats(points_.size(), out.size(), stats);
+  FinishScanStats(n, out.size(), stats);
   return out;
 }
 

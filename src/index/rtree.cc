@@ -8,9 +8,20 @@
 #include "src/common/logging.h"
 #include "src/common/metrics.h"
 #include "src/common/strings.h"
+#include "src/index/distance_kernel.h"
 
 namespace dess {
 namespace {
+
+/// Exact leaf re-check through the single-pair distance kernel (same op
+/// order as WeightedEuclidean, so scores are bitwise-unchanged).
+inline double LeafDistance(const std::vector<double>& query,
+                           const std::vector<double>& point,
+                           const std::vector<double>& weights) {
+  return WeightedL2(query.data(), point.data(),
+                    weights.empty() ? nullptr : weights.data(),
+                    query.size());
+}
 
 /// Axis-aligned hyper-rectangle; points are stored with lo == hi.
 struct Rect {
@@ -450,7 +461,7 @@ std::vector<Neighbor> RTreeIndex::KNearest(const std::vector<double>& query,
     if (node->leaf) {
       ++local.leaves_scanned;
       for (size_t i = 0; i < node->Count(); ++i) {
-        const double d = WeightedEuclidean(query, node->rects[i].lo, weights);
+        const double d = LeafDistance(query, node->rects[i].lo, weights);
         ++local.points_compared;
         frontier.push({d, nullptr, node->ids[i]});
       }
@@ -479,7 +490,7 @@ std::vector<Neighbor> RTreeIndex::RangeQuery(const std::vector<double>& query,
     if (node->leaf) {
       ++local.leaves_scanned;
       for (size_t i = 0; i < node->Count(); ++i) {
-        const double d = WeightedEuclidean(query, node->rects[i].lo, weights);
+        const double d = LeafDistance(query, node->rects[i].lo, weights);
         ++local.points_compared;
         if (d <= radius) out.push_back({node->ids[i], d});
       }
@@ -631,7 +642,7 @@ struct RTreeIndex::NearestIterator::State {
       frontier.pop();
       if (node->leaf) {
         for (size_t i = 0; i < node->Count(); ++i) {
-          frontier.push({WeightedEuclidean(query, node->rects[i].lo, weights),
+          frontier.push({LeafDistance(query, node->rects[i].lo, weights),
                          nullptr, node->ids[i]});
         }
       } else {

@@ -1,0 +1,129 @@
+#ifndef DESS_INDEX_SIGNATURE_BLOCK_H_
+#define DESS_INDEX_SIGNATURE_BLOCK_H_
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace dess {
+
+/// STL allocator returning storage aligned to `Alignment` bytes, so the
+/// SIMD kernels can use aligned loads over a SignatureBlock's tiles.
+template <typename T, std::size_t Alignment>
+struct AlignedAllocator {
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+  void deallocate(T* p, std::size_t) {
+    ::operator delete(p, std::align_val_t(Alignment));
+  }
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+  bool operator==(const AlignedAllocator&) const { return true; }
+  bool operator!=(const AlignedAllocator&) const { return false; }
+};
+
+/// One feature space's standardized vectors packed into a contiguous,
+/// 64-byte-aligned block, plus the matching record ids. Built once per
+/// engine (i.e. per snapshot epoch) and immutable while queries run, so it
+/// inherits the snapshot layer's isolation for free.
+///
+/// Layout: rows are grouped into tiles of kLane = 8 consecutive rows.
+/// Within a tile values are interleaved dimension-major — the 8 doubles of
+/// one dimension sit in one 64-byte cache line:
+///
+///   value(row, d) = data[(row / 8) * dim * 8  +  d * 8  +  row % 8]
+///
+/// A batched kernel walks dimensions outermost and keeps one accumulator
+/// per lane, so every lane accumulates its row's terms in exactly the
+/// per-element order of the scalar reference (WeightedEuclidean) — batched
+/// distances are bitwise identical to the per-vector path, not just close.
+/// Tail lanes of the last tile and vacated lanes after RemoveRow hold
+/// exact zeros; kernels compute them but never report them.
+class SignatureBlock {
+ public:
+  static constexpr size_t kLane = 8;       // rows per tile
+  static constexpr size_t kAlignment = 64;  // bytes; one cache line
+
+  SignatureBlock() = default;
+  explicit SignatureBlock(int dim) : dim_(dim) {}
+
+  int dim() const { return dim_; }
+  size_t size() const { return ids_.size(); }
+  bool empty() const { return ids_.empty(); }
+  size_t num_tiles() const { return (ids_.size() + kLane - 1) / kLane; }
+
+  const std::vector<int>& ids() const { return ids_; }
+  int id(size_t row) const { return ids_[row]; }
+
+  /// Base of tile `t`: dim * kLane doubles, 64-byte aligned.
+  const double* tile(size_t t) const { return data_.data() + t * dim_ * kLane; }
+
+  double At(size_t row, int d) const { return data_[Offset(row, d)]; }
+
+  /// Copies row `row` into `out` (dim doubles).
+  void CopyRow(size_t row, double* out) const {
+    for (int d = 0; d < dim_; ++d) out[d] = data_[Offset(row, d)];
+  }
+  std::vector<double> Row(size_t row) const {
+    std::vector<double> out(dim_);
+    CopyRow(row, out.data());
+    return out;
+  }
+
+  void Reserve(size_t rows) {
+    ids_.reserve(rows);
+    data_.reserve(((rows + kLane - 1) / kLane) * dim_ * kLane);
+  }
+
+  /// Appends one row. `values` must hold dim doubles.
+  void Append(int id, const double* values) {
+    const size_t row = ids_.size();
+    if (row % kLane == 0) data_.resize(data_.size() + dim_ * kLane, 0.0);
+    ids_.push_back(id);
+    for (int d = 0; d < dim_; ++d) data_[Offset(row, d)] = values[d];
+  }
+  void Append(int id, const std::vector<double>& values) {
+    Append(id, values.data());
+  }
+
+  /// Removes one row, shifting the later rows back by one lane so row
+  /// order (and therefore scan order) is preserved. O(n * dim) — mutation
+  /// is the rare path; blocks are rebuilt wholesale at commit time.
+  void RemoveRow(size_t row) {
+    const size_t last = ids_.size() - 1;
+    for (size_t r = row; r < last; ++r) {
+      for (int d = 0; d < dim_; ++d) {
+        data_[Offset(r, d)] = data_[Offset(r + 1, d)];
+      }
+    }
+    // Re-zero the vacated lane so tail padding stays exact zeros.
+    for (int d = 0; d < dim_; ++d) data_[Offset(last, d)] = 0.0;
+    ids_.erase(ids_.begin() + row);
+    if (last % kLane == 0) data_.resize(data_.size() - dim_ * kLane);
+  }
+
+ private:
+  size_t Offset(size_t row, int d) const {
+    return (row / kLane) * dim_ * kLane + static_cast<size_t>(d) * kLane +
+           row % kLane;
+  }
+
+  int dim_ = 0;
+  std::vector<int> ids_;
+  std::vector<double, AlignedAllocator<double, kAlignment>> data_;
+};
+
+}  // namespace dess
+
+#endif  // DESS_INDEX_SIGNATURE_BLOCK_H_

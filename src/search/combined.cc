@@ -1,6 +1,10 @@
 #include "src/search/combined.h"
 
 #include <algorithm>
+#include <optional>
+
+#include "src/index/distance_kernel.h"
+#include "src/index/signature_block.h"
 
 namespace dess {
 
@@ -58,18 +62,32 @@ Result<std::vector<SearchResult>> CombinedScan(
     const SearchEngine& engine,
     const std::vector<std::vector<double>>& query_std,
     const CombinationWeights& weights, int exclude_id, size_t k) {
+  // One batched kernel pass per active feature space over its packed
+  // signature block, then a row-wise combine. Spaces are visited in
+  // ascending ordinal exactly as the per-record loop did, so the
+  // floating-point sums (and every score) are bitwise-unchanged.
+  const size_t n = engine.db().NumShapes();
+  std::vector<std::vector<double>> dists(engine.NumSpaces());
+  for (int ki = 0; ki < engine.NumSpaces(); ++ki) {
+    if (weights.alpha[ki] == 0.0) continue;
+    const SimilaritySpace& space = engine.SpaceAt(ki);
+    dists[ki].resize(n);
+    BatchedWeightedL2(engine.BlockAt(ki), query_std[ki].data(),
+                      space.weights.empty() ? nullptr : space.weights.data(),
+                      dists[ki].data());
+  }
   std::vector<SearchResult> scored;
-  scored.reserve(engine.db().NumShapes());
+  scored.reserve(n);
+  size_t row = 0;
   for (const ShapeRecord& rec : engine.db().records()) {
+    const size_t r_row = row++;
     if (rec.id == exclude_id) continue;
     double combined_similarity = 0.0;
     double combined_distance = 0.0;
     for (int ki = 0; ki < engine.NumSpaces(); ++ki) {
       if (weights.alpha[ki] == 0.0) continue;
       const SimilaritySpace& space = engine.SpaceAt(ki);
-      const std::vector<double> x =
-          space.Standardize(rec.signature.At(ki).values);
-      const double d = space.Distance(query_std[ki], x);
+      const double d = dists[ki][r_row];
       combined_similarity += weights.alpha[ki] * space.Similarity(d);
       combined_distance += weights.alpha[ki] * d;
     }
@@ -79,14 +97,15 @@ Result<std::vector<SearchResult>> CombinedScan(
     r.similarity = combined_similarity;
     scored.push_back(r);
   }
-  std::sort(scored.begin(), scored.end(),
-            [](const SearchResult& a, const SearchResult& b) {
-              if (a.similarity != b.similarity) {
-                return a.similarity > b.similarity;
-              }
-              return a.id < b.id;
-            });
-  if (scored.size() > k) scored.resize(k);
+  // Similarity-descending with id as the tiebreak is a total order, so
+  // partial selection keeps the same top k as the old full sort.
+  PartialSortSmallest(&scored, k,
+                      [](const SearchResult& a, const SearchResult& b) {
+                        if (a.similarity != b.similarity) {
+                          return a.similarity > b.similarity;
+                        }
+                        return a.id < b.id;
+                      });
   return scored;
 }
 
@@ -148,11 +167,20 @@ Result<CombinationWeights> ReconfigureCombinationWeights(
   fresh.alpha.assign(engine.NumSpaces(), 0.0);
   for (int ki = 0; ki < engine.NumSpaces(); ++ki) {
     const SimilaritySpace& space = engine.SpaceAt(ki);
+    const SignatureBlock& block = engine.BlockAt(ki);
+    const double* w = space.weights.empty() ? nullptr : space.weights.data();
     double mean_similarity = 0.0;
     for (int id : relevant_ids) {
-      DESS_ASSIGN_OR_RETURN(std::vector<double> raw,
-                            engine.db().Feature(id, ki));
-      const double d = space.Distance(query_std[ki], space.Standardize(raw));
+      double d = 0.0;
+      if (const std::optional<size_t> r = engine.RowOf(id)) {
+        // Packed standardized row: same values and op order as the
+        // Feature + Standardize + Distance chain below.
+        d = RowWeightedL2(block, *r, query_std[ki].data(), w);
+      } else {
+        DESS_ASSIGN_OR_RETURN(std::vector<double> raw,
+                              engine.db().Feature(id, ki));
+        d = space.Distance(query_std[ki], space.Standardize(raw));
+      }
       mean_similarity += space.Similarity(d);
     }
     fresh.alpha[ki] = mean_similarity / relevant_ids.size();

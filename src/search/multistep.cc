@@ -83,7 +83,10 @@ Result<std::vector<SearchResult>> RunPlan(
       if (registry->enabled()) {
         registry->AddCounter("multistep.reranked", ids.size());
       }
-      DESS_ASSIGN_OR_RETURN(current, engine.Rerank(ids, feature, ordinal));
+      DESS_ASSIGN_OR_RETURN(
+          current,
+          engine.Rerank(ids, feature, ordinal,
+                        stage.keep > 0 ? static_cast<size_t>(stage.keep) : 0));
       if (stats != nullptr) {
         stats->points_compared += ids.size();
       }

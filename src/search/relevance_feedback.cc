@@ -1,6 +1,9 @@
 #include "src/search/relevance_feedback.h"
 
 #include <cmath>
+#include <optional>
+
+#include "src/index/signature_block.h"
 
 namespace dess {
 namespace {
@@ -100,6 +103,12 @@ Result<std::vector<double>> ReconfigureWeights(
   const size_t dim = space.weights.size();
   std::vector<std::vector<double>> rel;
   for (int id : feedback.relevant_ids) {
+    // Known shapes read their standardized row straight from the packed
+    // signature block (same values the engine standardized at build time).
+    if (const std::optional<size_t> row = engine.RowOf(id)) {
+      rel.push_back(engine.BlockAt(ordinal).Row(*row));
+      continue;
+    }
     DESS_ASSIGN_OR_RETURN(std::vector<double> f,
                           engine.db().Feature(id, ordinal));
     rel.push_back(space.Standardize(f));

@@ -10,6 +10,7 @@
 #include "src/common/strings.h"
 #include "src/core/persistence.h"
 #include "src/index/disk_rtree.h"
+#include "src/index/distance_kernel.h"
 #include "src/index/linear_scan.h"
 #include "src/index/rtree.h"
 #include "src/search/multistep.h"
@@ -132,7 +133,36 @@ Result<std::unique_ptr<SearchEngine>> SearchEngine::Assemble(
   engine->registry_ = std::move(registry);
   engine->spaces_ = std::move(spaces);
   engine->indexes_ = std::move(indexes);
+  // The persisted stats make standardization bit-reproducible, so the
+  // repacked blocks match what Build() would have produced.
+  DESS_RETURN_NOT_OK(engine->PackSignatureBlocks());
   return engine;
+}
+
+Status SearchEngine::PackSignatureBlocks() {
+  blocks_.assign(spaces_.size(), nullptr);
+  row_of_.clear();
+  row_of_.reserve(db_->NumShapes());
+  size_t row = 0;
+  for (const ShapeRecord& rec : db_->records()) row_of_[rec.id] = row++;
+  for (int ordinal = 0; ordinal < static_cast<int>(spaces_.size());
+       ++ordinal) {
+    const int dim = registry_->dim(ordinal);
+    auto block = std::make_shared<SignatureBlock>(dim);
+    block->Reserve(db_->NumShapes());
+    for (const ShapeRecord& rec : db_->records()) {
+      if (ordinal >= rec.signature.NumSpaces() ||
+          rec.signature.At(ordinal).dim() != dim) {
+        return Status::InvalidArgument(StrFormat(
+            "shape %d carries no %d-dim vector for feature space '%s'",
+            rec.id, dim, registry_->id(ordinal).c_str()));
+      }
+      block->Append(
+          rec.id, spaces_[ordinal].Standardize(rec.signature.At(ordinal).values));
+    }
+    blocks_[ordinal] = std::move(block);
+  }
+  return Status::OK();
 }
 
 Result<std::unique_ptr<SearchEngine>> SearchEngine::Build(
@@ -177,6 +207,16 @@ Result<std::unique_ptr<SearchEngine>> SearchEngine::Build(
     if (!def.default_weights.empty()) {
       engine->spaces_[ordinal].weights = def.default_weights;
     }
+  }
+
+  // Standardize each space's vectors once into its packed block; the
+  // indexes below load from the blocks rather than re-standardizing.
+  DESS_RETURN_NOT_OK(engine->PackSignatureBlocks());
+
+  for (int ordinal = 0; ordinal < registry.size(); ++ordinal) {
+    const FeatureSpaceDef& def = registry.space(ordinal);
+    const int dim = def.dim;
+    const SignatureBlock& block = *engine->blocks_[ordinal];
 
     IndexBackend backend = options.backend;
     if (backend == IndexBackend::kRTree && !options.use_rtree) {
@@ -191,11 +231,9 @@ Result<std::unique_ptr<SearchEngine>> SearchEngine::Build(
       case IndexBackend::kRTree: {
         auto rtree = std::make_unique<RTreeIndex>(dim);
         std::vector<std::pair<int, std::vector<double>>> bulk;
-        bulk.reserve(raw.size());
-        size_t i = 0;
-        for (const ShapeRecord& rec : store.records()) {
-          bulk.emplace_back(rec.id,
-                            engine->spaces_[ordinal].Standardize(raw[i++]));
+        bulk.reserve(block.size());
+        for (size_t r = 0; r < block.size(); ++r) {
+          bulk.emplace_back(block.id(r), block.Row(r));
         }
         DESS_RETURN_NOT_OK(rtree->BulkLoad(bulk));
         engine->indexes_[ordinal] = std::move(rtree);
@@ -203,10 +241,8 @@ Result<std::unique_ptr<SearchEngine>> SearchEngine::Build(
       }
       case IndexBackend::kLinearScan: {
         auto scan = std::make_unique<LinearScanIndex>(dim);
-        size_t i = 0;
-        for (const ShapeRecord& rec : store.records()) {
-          DESS_RETURN_NOT_OK(scan->Insert(
-              rec.id, engine->spaces_[ordinal].Standardize(raw[i++])));
+        for (size_t r = 0; r < block.size(); ++r) {
+          DESS_RETURN_NOT_OK(scan->Insert(block.id(r), block.Row(r)));
         }
         engine->indexes_[ordinal] = std::move(scan);
         break;
@@ -220,11 +256,9 @@ Result<std::unique_ptr<SearchEngine>> SearchEngine::Build(
                                  "': " + ec.message());
         }
         std::vector<std::pair<int, std::vector<double>>> bulk;
-        bulk.reserve(raw.size());
-        size_t i = 0;
-        for (const ShapeRecord& rec : store.records()) {
-          bulk.emplace_back(rec.id,
-                            engine->spaces_[ordinal].Standardize(raw[i++]));
+        bulk.reserve(block.size());
+        for (size_t r = 0; r < block.size(); ++r) {
+          bulk.emplace_back(block.id(r), block.Row(r));
         }
         const std::string path =
             options.disk_index_dir + "/" + EngineDiskIndexFile(def.id);
@@ -627,13 +661,15 @@ Result<std::vector<SearchResult>> SearchEngine::QueryByIdThreshold(
 
 Result<std::vector<SearchResult>> SearchEngine::Rerank(
     const std::vector<int>& candidate_ids,
-    const std::vector<double>& raw_feature, FeatureKind kind) const {
-  return Rerank(candidate_ids, raw_feature, static_cast<int>(kind));
+    const std::vector<double>& raw_feature, FeatureKind kind,
+    size_t keep) const {
+  return Rerank(candidate_ids, raw_feature, static_cast<int>(kind), keep);
 }
 
 Result<std::vector<SearchResult>> SearchEngine::Rerank(
     const std::vector<int>& candidate_ids,
-    const std::vector<double>& raw_feature, int ordinal) const {
+    const std::vector<double>& raw_feature, int ordinal,
+    size_t keep) const {
   DESS_RETURN_NOT_OK(CheckOrdinal(ordinal));
   if (static_cast<int>(raw_feature.size()) != registry_->dim(ordinal)) {
     return Status::InvalidArgument("rerank feature dimension mismatch");
@@ -641,14 +677,27 @@ Result<std::vector<SearchResult>> SearchEngine::Rerank(
   DESS_TIMED_SCOPE("search.rerank");
   const SimilaritySpace& space = spaces_[ordinal];
   const std::vector<double> q = space.Standardize(raw_feature);
+  const SignatureBlock& block = *blocks_[ordinal];
+  const double* w = space.weights.empty() ? nullptr : space.weights.data();
   std::vector<SearchResult> out;
   out.reserve(candidate_ids.size());
   for (int id : candidate_ids) {
-    DESS_ASSIGN_OR_RETURN(std::vector<double> raw, db_->Feature(id, ordinal));
-    const double d = space.Distance(q, space.Standardize(raw));
+    const std::optional<size_t> row = RowOf(id);
+    if (!row.has_value()) {
+      // Unknown candidate: surface the database's own error taxonomy.
+      DESS_ASSIGN_OR_RETURN(std::vector<double> raw,
+                            db_->Feature(id, ordinal));
+      const double d = space.Distance(q, space.Standardize(raw));
+      out.push_back({id, d, space.Similarity(d)});
+      continue;
+    }
+    // Gathered row read of the packed block: same standardized values and
+    // the reference op order, so distances match the per-vector path
+    // bitwise.
+    const double d = RowWeightedL2(block, *row, q.data(), w);
     out.push_back({id, d, space.Similarity(d)});
   }
-  std::sort(out.begin(), out.end());
+  PartialSortSmallest(&out, keep > 0 ? keep : out.size());
   MetricsRegistry* registry = MetricsRegistry::Global();
   if (registry->enabled()) {
     registry->AddCounter("search.rerank_candidates", candidate_ids.size());

@@ -3,12 +3,15 @@
 
 #include <array>
 #include <memory>
+#include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/result.h"
 #include "src/db/shape_database.h"
 #include "src/index/multidim_index.h"
+#include "src/index/signature_block.h"
 #include "src/search/query.h"
 #include "src/search/similarity.h"
 
@@ -105,6 +108,21 @@ class SearchEngine {
     return registry_->Resolve(space_id);
   }
 
+  /// The packed standardized-signature block of one space (one row per
+  /// database shape, in record order). Owned by the engine — and therefore
+  /// by the snapshot that owns the engine — so it is immutable for the
+  /// epoch and rebuilt on every Commit(). Batched re-rank, combined and
+  /// feedback scoring read these instead of per-shape feature vectors.
+  const SignatureBlock& BlockAt(int ordinal) const { return *blocks_[ordinal]; }
+
+  /// Block row of a database shape (the same row across all spaces);
+  /// nullopt for ids not in the database.
+  std::optional<size_t> RowOf(int id) const {
+    const auto it = row_of_.find(id);
+    if (it == row_of_.end()) return std::nullopt;
+    return it->second;
+  }
+
   /// Executes one self-describing query (kTopK, kThreshold or kMultiStep)
   /// against an external query signature. Honors `request.weights` and
   /// `request.deadline`; fills QueryResponse::stats (epoch is left 0 — the
@@ -197,13 +215,18 @@ class SearchEngine {
 
   /// Re-ranks an explicit candidate set by distance to the query in the
   /// given feature space — the second and later passes of multi-step
-  /// search. Candidates not in the database are an error.
+  /// search. Candidates not in the database are an error. `keep` > 0
+  /// returns only the best `keep` results (partial selection instead of a
+  /// full sort — identical to sorting and truncating, ties break by id);
+  /// 0 keeps every candidate.
   Result<std::vector<SearchResult>> Rerank(
       const std::vector<int>& candidate_ids,
-      const std::vector<double>& raw_feature, FeatureKind kind) const;
+      const std::vector<double>& raw_feature, FeatureKind kind,
+      size_t keep = 0) const;
   Result<std::vector<SearchResult>> Rerank(
       const std::vector<int>& candidate_ids,
-      const std::vector<double>& raw_feature, int ordinal) const;
+      const std::vector<double>& raw_feature, int ordinal,
+      size_t keep = 0) const;
 
  private:
   SearchEngine() = default;
@@ -231,11 +254,17 @@ class SearchEngine {
   /// always valid).
   Status CheckRequestWeights(const QueryRequest& request, int ordinal) const;
 
+  /// Packs every space's standardized vectors into blocks_ (record order)
+  /// and fills row_of_. Shared by Build and Assemble.
+  Status PackSignatureBlocks();
+
   std::shared_ptr<const ShapeDatabase> db_;
   SearchEngineOptions options_;
   std::shared_ptr<const FeatureSpaceRegistry> registry_;
   std::vector<SimilaritySpace> spaces_;
   std::vector<std::unique_ptr<MultiDimIndex>> indexes_;
+  std::vector<std::shared_ptr<const SignatureBlock>> blocks_;
+  std::unordered_map<int, size_t> row_of_;
 };
 
 /// Wraps an opened DiskRTree in the MultiDimIndex interface (queries are

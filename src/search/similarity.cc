@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/index/distance_kernel.h"
 #include "src/index/multidim_index.h"
+#include "src/index/signature_block.h"
 
 namespace dess {
 
@@ -46,15 +48,23 @@ SimilaritySpace BuildSimilaritySpace(
     std_vectors.push_back(space.stats.Standardize(v));
   }
 
-  constexpr size_t kExactPairwiseLimit = 2000;
+  // Exact d_max runs row-vs-block through the batched SIMD kernel (one
+  // pass per row instead of scalar pair-at-a-time), which moved the
+  // calibration/build-time crossover from 2000 to 8192 vectors: the
+  // kernel retires ~8-16 scalar-equivalent pairs per step, so the 8192^2
+  // exact pass costs about what the old 2000^2 scalar pass did. The max
+  // ranges over bitwise-identical pair distances, so d_max (and every
+  // similarity score derived from it) is unchanged for databases at or
+  // below the old limit.
+  constexpr size_t kExactPairwiseLimit = 8192;
   double dmax = 0.0;
   if (std_vectors.size() <= kExactPairwiseLimit) {
+    SignatureBlock block(static_cast<int>(dim));
+    block.Reserve(std_vectors.size());
     for (size_t i = 0; i < std_vectors.size(); ++i) {
-      for (size_t j = i + 1; j < std_vectors.size(); ++j) {
-        dmax = std::max(dmax, WeightedEuclidean(std_vectors[i],
-                                                std_vectors[j], {}));
-      }
+      block.Append(static_cast<int>(i), std_vectors[i]);
     }
+    dmax = MaxPairwiseDistance(block);
   } else {
     // Diagonal of the bounding box: an upper bound within sqrt(2)x of the
     // true diameter, cheap for large databases.

@@ -184,10 +184,14 @@ VoxelGrid ThinToSkeleton(const VoxelGrid& solid,
   const int dirs[6][3] = {{0, 0, 1},  {0, 0, -1}, {0, 1, 0},
                           {0, -1, 0}, {1, 0, 0},  {-1, 0, 0}};
 
-  const int slabs =
-      options.pool != nullptr
-          ? std::max(1, std::min(options.pool->num_threads(), nz))
-          : 1;
+  // Each subiteration scans the whole grid (~2ns/voxel of mask work);
+  // only fan out when a worker's share clears the 2ms amortization floor
+  // of RecommendedWorkers and the machine actually has idle cores —
+  // otherwise the serial path is faster (see BENCH threads series).
+  const int slabs = std::min(
+      RecommendedWorkers(options.pool, 2.0 * static_cast<double>(grid.size()),
+                         2e6),
+      nz);
   std::vector<std::vector<Coord>> slab_candidates(slabs);
   std::vector<Coord> candidates;
   for (int iter = 0; iter < options.max_iterations; ++iter) {

@@ -248,12 +248,20 @@ inline void VoxelizeTriangleInSlab(const TriMesh& mesh, size_t t,
   MarkTriangleInSlab(pt, cr, h, ks, ke, grid);
 }
 
+// Minimum estimated work (ns) a slab worker must have before fanning out
+// pays for its queueing + wakeup; below this the serial path wins even on
+// a wide machine, and on a narrow machine (or one saturated core) the cap
+// in RecommendedWorkers keeps us serial regardless of pool width. This is
+// what makes `threads:8` no slower than `threads:1` on small grids.
+constexpr double kMinSlabCostNs = 2e6;
+
 // Runs fn(ks, ke, slab) over a disjoint decomposition of [0, nz) into one
-// contiguous z-slab per pool worker (one slab, inline, when serial).
-void ForEachSlab(ThreadPool* pool, int nz,
+// contiguous z-slab per recommended worker (one slab, inline, when the
+// estimated cost or the machine does not justify the fan-out).
+void ForEachSlab(ThreadPool* pool, int nz, double estimated_cost_ns,
                  const std::function<void(int, int, int)>& fn) {
-  const int slabs =
-      pool != nullptr ? std::max(1, std::min(pool->num_threads(), nz)) : 1;
+  const int slabs = std::min(
+      RecommendedWorkers(pool, estimated_cost_ns, kMinSlabCostNs), nz);
   if (slabs <= 1) {
     fn(0, nz, 0);
     return;
@@ -358,10 +366,15 @@ Result<VoxelGrid> VoxelizeMesh(const TriMesh& mesh,
     // stage breakdown should show which one dominates.
     DESS_TIMED_SCOPE("stage.voxelize");
     const size_t num_tris = mesh.NumTriangles();
-    const int slabs =
-        options.pool != nullptr
-            ? std::max(1, std::min(options.pool->num_threads(), g.nz))
-            : 1;
+    // Cost model from the pipeline benchmarks: ~120ns of SAT work per
+    // triangle plus ~0.5ns of candidate probing per voxel. At res 64 this
+    // lands well under kMinSlabCostNs per extra worker, so the slab
+    // machinery (binning + dispatch) is skipped entirely.
+    const double est_cost_ns =
+        120.0 * static_cast<double>(num_tris) + 0.5 * grid.size();
+    const int slabs = std::min(
+        RecommendedWorkers(options.pool, est_cost_ns, kMinSlabCostNs),
+        g.nz);
     if (slabs <= 1) {
       for (size_t t = 0; t < num_tris; ++t) {
         VoxelizeTriangleInSlab(mesh, t, half, 0, g.nz, &grid);
@@ -388,7 +401,8 @@ Result<VoxelGrid> VoxelizeMesh(const TriMesh& mesh,
           if (cr.k0 < ke && cr.k1 >= ks) buckets[s].push_back(t);
         }
       }
-      ForEachSlab(options.pool, g.nz, [&](int ks, int ke, int s) {
+      ForEachSlab(options.pool, g.nz, est_cost_ns,
+                  [&](int ks, int ke, int s) {
         for (const size_t t : buckets[s]) {
           VoxelizeTriangleInSlab(mesh, t, half, ks, ke, &grid);
         }
@@ -405,7 +419,10 @@ Result<VoxelGrid> VoxelizeSolid(const Solid& solid,
                         PlanGrid(solid.BoundingBox(), options));
   VoxelGrid grid(g.nx, g.ny, g.nz, g.origin, g.cell);
   uint8_t* raw = grid.mutable_raw().data();
-  ForEachSlab(options.pool, g.nz, [&](int ks, int ke, int /*slab*/) {
+  // ~20ns per Contains() probe, one probe per voxel.
+  const double est_cost_ns = 20.0 * static_cast<double>(grid.size());
+  ForEachSlab(options.pool, g.nz, est_cost_ns,
+              [&](int ks, int ke, int /*slab*/) {
     for (int k = ks; k < ke; ++k) {
       const double cz = g.origin.z + (k + 0.5) * g.cell;
       for (int j = 0; j < g.ny; ++j) {
