@@ -15,6 +15,7 @@
 #include "bench/bench_common.h"
 #include "src/common/metrics.h"
 #include "src/common/thread_pool.h"
+#include "src/common/trace.h"
 #include "src/index/distance_kernel.h"
 #include "src/index/multidim_index.h"
 #include "src/index/signature_block.h"
@@ -222,6 +223,26 @@ void BM_QueryPath(benchmark::State& state) {
 BENCHMARK(BM_QueryPath)
     ->ArgName("space")
     ->DenseRange(0, kNumFeatureKinds);  // the canonical four, then D2
+
+// Tracing A/B on the same query path: arg 0 runs with sampling disabled,
+// arg 1 traces every request. The two series bound the tracer's overhead;
+// with sampling off the delta must sit within run-to-run noise (span
+// scopes reduce to a thread-local load + branch).
+void BM_QueryPathTraced(benchmark::State& state) {
+  const Dess3System& system = SampleSystem();
+  Tracer* tracer = Tracer::Global();
+  const uint32_t saved_rate = tracer->sample_rate();
+  const bool traced = state.range(0) != 0;
+  tracer->SetSampleRate(traced ? 1 : 0);
+  state.SetLabel(traced ? "trace_on" : "trace_off");
+  const QueryRequest request =
+      QueryRequest::TopK(FeatureKind::kPrincipalMoments, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(system.QueryByMesh(SampleProbe(), request));
+  }
+  tracer->SetSampleRate(saved_rate);
+}
+BENCHMARK(BM_QueryPathTraced)->ArgName("trace")->DenseRange(0, 1);
 
 // The paper's two-step plan, plus a final D2 re-rank stage to time a
 // registered space inside the multi-step path.
@@ -491,7 +512,15 @@ void AppendMetricsToReport(const std::string& path) {
   if (close == std::string::npos) return;  // not the JSON format
   const std::string metrics =
       MetricsRegistry::Global()->Snapshot().DumpJson();
-  report.insert(close, ",\n  \"dess_metrics\": " + metrics + "\n");
+  const Tracer::Stats trace = Tracer::Global()->GetStats();
+  const std::string trace_json =
+      "{\"traces_started\": " + std::to_string(trace.traces_started) +
+      ", \"traces_sampled\": " + std::to_string(trace.traces_sampled) +
+      ", \"spans_recorded\": " + std::to_string(trace.spans_recorded) +
+      ", \"spans_dropped\": " + std::to_string(trace.spans_dropped) +
+      ", \"sample_rate\": " + std::to_string(trace.sample_rate) + "}";
+  report.insert(close, ",\n  \"dess_metrics\": " + metrics +
+                           ",\n  \"dess_trace\": " + trace_json + "\n");
   std::ofstream out(path, std::ios::trunc);
   out << report;
 }

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON reports benchmark-by-benchmark.
+
+Usage: scripts/bench_diff.py [baseline.json] [current.json]
+       (defaults: BENCH_pipeline_seed.json BENCH_pipeline.json)
+
+Prints a per-benchmark delta table of median real time (median across
+repetitions when the report carries them, the single measurement
+otherwise) and exits non-zero when any benchmark present in both reports
+regressed by more than the threshold (default 20%, override with
+--threshold=<pct>). Benchmarks that appear in only one report are listed
+but never fail the comparison, so adding or retiring benchmarks does not
+break CI.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+# Normalize every measurement to nanoseconds for comparison.
+_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_medians(path):
+    """Returns {benchmark name: median real_time in ns}."""
+    with open(path) as f:
+        report = json.load(f)
+    samples = {}
+    for b in report.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev): we aggregate ourselves
+        # from the iteration rows so both report styles compare equally.
+        if b.get("run_type") == "aggregate":
+            continue
+        scale = _UNIT_NS.get(b.get("time_unit", "ns"), 1.0)
+        samples.setdefault(b.get("run_name", b["name"]), []).append(
+            b["real_time"] * scale)
+    return {name: statistics.median(v) for name, v in samples.items()}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", nargs="?",
+                        default="BENCH_pipeline_seed.json")
+    parser.add_argument("current", nargs="?", default="BENCH_pipeline.json")
+    parser.add_argument("--threshold", type=float, default=20.0,
+                        help="regression threshold in percent (default 20)")
+    args = parser.parse_args()
+
+    try:
+        base = load_medians(args.baseline)
+        curr = load_medians(args.current)
+    except (OSError, ValueError, KeyError) as e:
+        print(f"bench_diff: cannot read reports: {e}", file=sys.stderr)
+        return 2
+
+    names = sorted(set(base) | set(curr))
+    width = max((len(n) for n in names), default=4)
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  "
+          f"{'delta':>8}")
+    regressions = []
+    for name in names:
+        b, c = base.get(name), curr.get(name)
+        if b is None or c is None:
+            status = "only in current" if b is None else "only in baseline"
+            print(f"{name:<{width}}  {'-' if b is None else f'{b:12.0f}'}"
+                  f"{'':>2}{'-' if c is None else f'{c:12.0f}'}"
+                  f"{'':>2}  ({status})")
+            continue
+        delta = (c - b) / b * 100.0 if b > 0 else 0.0
+        flag = "  << REGRESSION" if delta > args.threshold else ""
+        print(f"{name:<{width}}  {b:12.0f}  {c:12.0f}  {delta:+7.1f}%{flag}")
+        if delta > args.threshold:
+            regressions.append((name, delta))
+
+    if regressions:
+        print(f"\nbench_diff: {len(regressions)} benchmark(s) regressed "
+              f"more than {args.threshold:.0f}% in median real time:")
+        for name, delta in regressions:
+            print(f"  {name}: {delta:+.1f}%")
+        return 1
+    print(f"\nbench_diff: no regression above {args.threshold:.0f}% "
+          f"({len([n for n in names if n in base and n in curr])} compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,6 +29,15 @@ run_preset() {
 
 run_preset ci
 
+# Advisory perf comparison against the checked-in seed report: prints a
+# per-benchmark delta table and flags >20% median regressions. Wall-clock
+# numbers vary across hosts, so a regression warns but does not gate.
+if [[ -f BENCH_pipeline.json && -f BENCH_pipeline_seed.json ]]; then
+  echo "==> [bench] advisory diff vs seed report"
+  python3 scripts/bench_diff.py ||
+    echo "bench_diff: regression flagged (advisory, non-gating)"
+fi
+
 if [[ "$FAST" == "0" ]]; then
   run_preset asan
   # The SIMD distance kernels under UBSan (label `kernel`, same asan

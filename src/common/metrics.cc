@@ -94,6 +94,9 @@ const std::vector<double>& LatencyBucketBounds() {
 double HistogramSample::QuantileSeconds(double q) const {
   if (count == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
+  // q = 0 is the observed minimum, not the bound of the first occupied
+  // bucket (rank 0 would otherwise match at cumulative == 0).
+  if (q <= 0.0) return min_seconds;
   const uint64_t rank = static_cast<uint64_t>(
       std::ceil(q * static_cast<double>(count)));
   const std::vector<double>& bounds = LatencyBucketBounds();
@@ -308,6 +311,55 @@ std::string MetricsSnapshot::DumpJson() const {
     out += "]}";
   }
   out += "}}";
+  return out;
+}
+
+namespace {
+
+// Prometheus metric names allow [a-zA-Z0-9_:]; our dotted names map onto
+// that by replacing every other character with '_' and prefixing "dess_".
+std::string PrometheusName(std::string_view name) {
+  std::string out = "dess_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::DumpPrometheus() const {
+  std::string out;
+  for (const CounterSample& c : counters) {
+    const std::string name = PrometheusName(c.name);
+    out += StrFormat("# TYPE %s counter\n%s %llu\n", name.c_str(),
+                     name.c_str(), static_cast<unsigned long long>(c.value));
+  }
+  for (const GaugeSample& g : gauges) {
+    const std::string name = PrometheusName(g.name);
+    out += StrFormat("# TYPE %s gauge\n%s %s\n", name.c_str(), name.c_str(),
+                     JsonDouble(g.value).c_str());
+  }
+  const std::vector<double>& bounds = LatencyBucketBounds();
+  for (const HistogramSample& h : histograms) {
+    const std::string name = PrometheusName(h.name) + "_seconds";
+    out += StrFormat("# TYPE %s histogram\n", name.c_str());
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < h.buckets.size(); ++b) {
+      cumulative += h.buckets[b];
+      const std::string le =
+          b < bounds.size() ? JsonDouble(bounds[b]) : "+Inf";
+      out += StrFormat("%s_bucket{le=\"%s\"} %llu\n", name.c_str(),
+                       le.c_str(),
+                       static_cast<unsigned long long>(cumulative));
+    }
+    out += StrFormat("%s_sum %s\n%s_count %llu\n", name.c_str(),
+                     JsonDouble(h.sum_seconds).c_str(), name.c_str(),
+                     static_cast<unsigned long long>(h.count));
+  }
   return out;
 }
 

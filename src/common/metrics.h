@@ -3,6 +3,8 @@
 
 #include <atomic>
 #include <chrono>
+
+#include "src/common/trace.h"
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -46,7 +48,13 @@ struct HistogramSample {
     return count == 0 ? 0.0 : sum_seconds / static_cast<double>(count);
   }
   /// Bucket-resolution quantile estimate (upper bound of the bucket that
-  /// contains the q-th sample); q in [0, 1].
+  /// contains the q-th sample); q in [0, 1]. Edge behavior:
+  ///  - q <= 0 returns the observed `min_seconds` exactly;
+  ///  - q >= 1 selects the last occupied bucket;
+  ///  - quantiles landing in a bucket whose bound exceeds the observed
+  ///    maximum — including the unbounded overflow bucket for samples
+  ///    above the last bound (10 s) — are clamped to `max_seconds`, so
+  ///    the estimate never exceeds a value that was actually recorded.
   double QuantileSeconds(double q) const;
 };
 
@@ -67,6 +75,12 @@ struct MetricsSnapshot {
   /// JSON object {"counters": {...}, "gauges": {...}, "histograms": {...}}
   /// with keys in sorted order.
   std::string DumpJson() const;
+
+  /// Prometheus text exposition (version 0.0.4): metric names are
+  /// sanitized (dots become underscores) and prefixed with "dess_";
+  /// histograms emit cumulative `_bucket{le="..."}` series plus `_sum`
+  /// and `_count`, ready for a scrape endpoint to serve verbatim.
+  std::string DumpPrometheus() const;
 };
 
 /// Process-wide metric registry: named monotonic counters, gauges, and
@@ -174,10 +188,15 @@ class TimedScope {
 #define DESS_METRICS_CONCAT_(a, b) DESS_METRICS_CONCAT_INNER_(a, b)
 
 /// Times the rest of the enclosing block into latency histogram `name` on
-/// the global registry: DESS_TIMED_SCOPE("stage.voxelize");
-#define DESS_TIMED_SCOPE(name)                                       \
-  ::dess::TimedScope DESS_METRICS_CONCAT_(_dess_timed_scope_,        \
-                                          __LINE__)(name)
+/// the global registry — and, when the calling thread is working for a
+/// sampled trace, records a hierarchical trace span under the same name,
+/// keeping metrics and traces in lockstep:
+/// DESS_TIMED_SCOPE("stage.voxelize");
+#define DESS_TIMED_SCOPE(name)                                         \
+  ::dess::TimedScope DESS_METRICS_CONCAT_(_dess_timed_scope_,          \
+                                          __LINE__)(name);             \
+  ::dess::TraceSpanScope DESS_METRICS_CONCAT_(_dess_trace_scope_,      \
+                                              __LINE__)(name)
 
 }  // namespace dess
 

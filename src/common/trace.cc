@@ -1,0 +1,373 @@
+#include "src/common/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <set>
+#include <vector>
+
+namespace dess {
+namespace {
+
+// Spans per thread ring. A slot is ~96 bytes, so this is ~768 KiB per
+// tracing thread — enough for several fully sampled queries before wrap.
+constexpr size_t kRingCapacity = 8192;
+
+thread_local TraceContext g_trace_context;
+thread_local TraceSpanScope* g_innermost_span = nullptr;
+
+std::chrono::steady_clock::time_point TraceEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+uint32_t SampleRateFromEnv() {
+  const char* env = std::getenv("DESS_TRACE_SAMPLE");
+  if (env == nullptr || *env == '\0') return 0;
+  // Accept "1/N" (sample one request in N) or a plain integer N.
+  const char* num = env;
+  if (const char* slash = std::strchr(env, '/')) num = slash + 1;
+  char* end = nullptr;
+  const long value = std::strtol(num, &end, 10);
+  if (end == num || value < 0) return 0;
+  return static_cast<uint32_t>(value);
+}
+
+double SlowQueryThresholdFromEnv() {
+  const char* env = std::getenv("DESS_SLOW_QUERY_MS");
+  if (env == nullptr || *env == '\0') return -1.0;
+  char* end = nullptr;
+  const double value = std::strtod(env, &end);
+  if (end == env) return -1.0;
+  return value;
+}
+
+}  // namespace
+
+uint64_t TraceNowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - TraceEpoch())
+          .count());
+}
+
+// One seqlock-published span slot. All fields are atomics accessed with
+// relaxed ordering inside an odd/even `seq` window (release on publish,
+// acquire on read), so concurrent export never races the writer: a torn
+// read is detected by the sequence check and discarded.
+struct Slot {
+  std::atomic<uint64_t> seq{0};  // odd = being written
+  std::atomic<const char*> name{nullptr};
+  std::atomic<uint64_t> trace_id{0};
+  std::atomic<uint64_t> span_id{0};
+  std::atomic<uint64_t> parent_span_id{0};
+  std::atomic<uint64_t> start_ns{0};
+  std::atomic<uint64_t> duration_ns{0};
+  std::atomic<const char*> arg_name0{nullptr};
+  std::atomic<const char*> arg_name1{nullptr};
+  std::atomic<uint64_t> arg_value0{0};
+  std::atomic<uint64_t> arg_value1{0};
+};
+
+struct Tracer::ThreadRing {
+  explicit ThreadRing(uint32_t tid_in) : tid(tid_in), slots(kRingCapacity) {}
+
+  const uint32_t tid;
+  // Total spans ever pushed; slot index is head % capacity, so spans
+  // older than head - capacity have been overwritten (dropped).
+  std::atomic<uint64_t> head{0};
+  std::vector<Slot> slots;
+
+  void Push(const SpanRecord& span) {
+    const uint64_t pos = head.load(std::memory_order_relaxed);
+    Slot& slot = slots[pos % kRingCapacity];
+    const uint64_t seq = slot.seq.load(std::memory_order_relaxed);
+    slot.seq.store(seq + 1, std::memory_order_relaxed);  // odd: in progress
+    std::atomic_thread_fence(std::memory_order_release);
+    slot.name.store(span.name, std::memory_order_relaxed);
+    slot.trace_id.store(span.trace_id, std::memory_order_relaxed);
+    slot.span_id.store(span.span_id, std::memory_order_relaxed);
+    slot.parent_span_id.store(span.parent_span_id,
+                              std::memory_order_relaxed);
+    slot.start_ns.store(span.start_ns, std::memory_order_relaxed);
+    slot.duration_ns.store(span.duration_ns, std::memory_order_relaxed);
+    slot.arg_name0.store(span.arg_name[0], std::memory_order_relaxed);
+    slot.arg_name1.store(span.arg_name[1], std::memory_order_relaxed);
+    slot.arg_value0.store(span.arg_value[0], std::memory_order_relaxed);
+    slot.arg_value1.store(span.arg_value[1], std::memory_order_relaxed);
+    slot.seq.store(seq + 2, std::memory_order_release);  // even: published
+    head.store(pos + 1, std::memory_order_release);
+  }
+};
+
+struct Tracer::Registry {
+  std::mutex mu;
+  // Rings are kept alive for the process lifetime (bounded by the number
+  // of distinct threads that ever traced), so export can read spans from
+  // threads that have since exited.
+  std::vector<std::unique_ptr<ThreadRing>> rings;
+  std::set<std::string> interned_names;
+};
+
+Tracer::Tracer() : registry_(new Registry) {
+  sample_rate_.store(SampleRateFromEnv(), std::memory_order_relaxed);
+  slow_query_threshold_ms_.store(SlowQueryThresholdFromEnv(),
+                                 std::memory_order_relaxed);
+}
+
+Tracer::~Tracer() = default;
+
+Tracer* Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return tracer;
+}
+
+TraceContext Tracer::StartTrace() {
+  TraceContext ctx;
+  ctx.trace_id = next_trace_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const uint32_t rate = sample_rate();
+  ctx.sampled = rate > 0 && ((ctx.trace_id - 1) % rate == 0);
+  traces_started_.fetch_add(1, std::memory_order_relaxed);
+  if (ctx.sampled) traces_sampled_.fetch_add(1, std::memory_order_relaxed);
+  return ctx;
+}
+
+Tracer::ThreadRing* Tracer::RingForThisThread() {
+  // Per-thread cache of (tracer, ring) pairs so test-local Tracer
+  // instances don't mix rings with the global one or re-register a fresh
+  // ring on every alternation.
+  thread_local std::vector<std::pair<Tracer*, ThreadRing*>> cached;
+  for (const auto& [owner, ring] : cached) {
+    if (owner == this) return ring;
+  }
+  std::lock_guard<std::mutex> lock(registry_->mu);
+  auto ring = std::make_unique<ThreadRing>(
+      static_cast<uint32_t>(registry_->rings.size() + 1));
+  ThreadRing* raw = ring.get();
+  registry_->rings.push_back(std::move(ring));
+  cached.emplace_back(this, raw);
+  return raw;
+}
+
+void Tracer::RecordSpan(const SpanRecord& span) {
+  RingForThisThread()->Push(span);
+}
+
+std::vector<Tracer::SpanRecord> Tracer::CollectSpans() const {
+  std::vector<SpanRecord> out;
+  std::lock_guard<std::mutex> lock(registry_->mu);
+  for (const auto& ring : registry_->rings) {
+    const uint64_t head = ring->head.load(std::memory_order_acquire);
+    const uint64_t count = std::min<uint64_t>(head, kRingCapacity);
+    for (uint64_t i = head - count; i < head; ++i) {
+      const Slot& slot = ring->slots[i % kRingCapacity];
+      const uint64_t seq_before = slot.seq.load(std::memory_order_acquire);
+      if (seq_before % 2 != 0) continue;  // mid-write
+      SpanRecord span;
+      span.name = slot.name.load(std::memory_order_relaxed);
+      span.trace_id = slot.trace_id.load(std::memory_order_relaxed);
+      span.span_id = slot.span_id.load(std::memory_order_relaxed);
+      span.parent_span_id =
+          slot.parent_span_id.load(std::memory_order_relaxed);
+      span.start_ns = slot.start_ns.load(std::memory_order_relaxed);
+      span.duration_ns = slot.duration_ns.load(std::memory_order_relaxed);
+      span.arg_name[0] = slot.arg_name0.load(std::memory_order_relaxed);
+      span.arg_name[1] = slot.arg_name1.load(std::memory_order_relaxed);
+      span.arg_value[0] = slot.arg_value0.load(std::memory_order_relaxed);
+      span.arg_value[1] = slot.arg_value1.load(std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (slot.seq.load(std::memory_order_relaxed) != seq_before) {
+        continue;  // torn: overwritten while reading
+      }
+      span.tid = ring->tid;
+      if (span.name != nullptr) out.push_back(span);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.span_id < b.span_id;
+            });
+  return out;
+}
+
+Tracer::Stats Tracer::GetStats() const {
+  Stats stats;
+  stats.sample_rate = sample_rate();
+  stats.traces_started = traces_started_.load(std::memory_order_relaxed);
+  stats.traces_sampled = traces_sampled_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(registry_->mu);
+  for (const auto& ring : registry_->rings) {
+    const uint64_t head = ring->head.load(std::memory_order_acquire);
+    stats.spans_recorded += head;
+    if (head > kRingCapacity) stats.spans_dropped += head - kRingCapacity;
+  }
+  return stats;
+}
+
+std::string Tracer::ExportChromeTrace() const {
+  const std::vector<SpanRecord> spans = CollectSpans();
+  std::string out;
+  out.reserve(128 + spans.size() * 160);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buf[256];
+  bool first = true;
+  for (const SpanRecord& span : spans) {
+    if (!first) out += ",";
+    first = false;
+    // "X" complete events; ts/dur are microseconds with ns precision.
+    std::snprintf(buf, sizeof(buf),
+                  "\n{\"name\":\"%s\",\"cat\":\"dess\",\"ph\":\"X\","
+                  "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%u,"
+                  "\"args\":{\"trace_id\":%llu,\"span_id\":%llu,"
+                  "\"parent_span_id\":%llu",
+                  span.name, static_cast<double>(span.start_ns) / 1e3,
+                  static_cast<double>(span.duration_ns) / 1e3, span.tid,
+                  static_cast<unsigned long long>(span.trace_id),
+                  static_cast<unsigned long long>(span.span_id),
+                  static_cast<unsigned long long>(span.parent_span_id));
+    out += buf;
+    for (int i = 0; i < 2; ++i) {
+      if (span.arg_name[i] == nullptr) continue;
+      std::snprintf(buf, sizeof(buf), ",\"%s\":%llu", span.arg_name[i],
+                    static_cast<unsigned long long>(span.arg_value[i]));
+      out += buf;
+    }
+    out += "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool Tracer::WriteChromeTrace(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::string json = ExportChromeTrace();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool ok = std::fclose(f) == 0 && written == json.size();
+  return ok;
+}
+
+const char* Tracer::InternName(std::string_view name) {
+  std::lock_guard<std::mutex> lock(registry_->mu);
+  return registry_->interned_names.emplace(name).first->c_str();
+}
+
+void Tracer::ResetForTest() {
+  std::lock_guard<std::mutex> lock(registry_->mu);
+  for (auto& ring : registry_->rings) {
+    // Invalidate published slots before zeroing the head so a collector
+    // racing this reset reads empty, not stale, spans.
+    for (Slot& slot : ring->slots) {
+      slot.name.store(nullptr, std::memory_order_relaxed);
+      slot.seq.store(0, std::memory_order_relaxed);
+    }
+    ring->head.store(0, std::memory_order_release);
+  }
+  next_trace_id_.store(0, std::memory_order_relaxed);
+  next_span_id_.store(0, std::memory_order_relaxed);
+  traces_started_.store(0, std::memory_order_relaxed);
+  traces_sampled_.store(0, std::memory_order_relaxed);
+}
+
+// --- Slow-query log --------------------------------------------------------
+
+namespace {
+std::mutex g_slow_query_mu;
+std::function<void(const std::string&)>* g_slow_query_sink = nullptr;
+}  // namespace
+
+void Tracer::SetSlowQuerySink(std::function<void(const std::string&)> sink) {
+  std::lock_guard<std::mutex> lock(g_slow_query_mu);
+  delete g_slow_query_sink;
+  g_slow_query_sink =
+      sink ? new std::function<void(const std::string&)>(std::move(sink))
+           : nullptr;
+}
+
+void Tracer::EmitSlowQueryLine(const std::string& json_line) {
+  std::lock_guard<std::mutex> lock(g_slow_query_mu);
+  if (g_slow_query_sink != nullptr) {
+    (*g_slow_query_sink)(json_line);
+    return;
+  }
+  std::string line = json_line;
+  line.push_back('\n');
+  std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
+// --- Scopes ----------------------------------------------------------------
+
+TraceContext CurrentTraceContext() { return g_trace_context; }
+
+ScopedTraceContext::ScopedTraceContext(const TraceContext& ctx)
+    : prev_(g_trace_context) {
+  g_trace_context = ctx;
+}
+
+ScopedTraceContext::~ScopedTraceContext() { g_trace_context = prev_; }
+
+ScopedTraceRequest::ScopedTraceRequest(Tracer* tracer) {
+  if (g_trace_context.active()) {
+    ctx_ = g_trace_context;
+    return;
+  }
+  if (tracer == nullptr) tracer = Tracer::Global();
+  ctx_ = tracer->StartTrace();
+  prev_ = g_trace_context;
+  g_trace_context = ctx_;
+  installed_ = true;
+}
+
+ScopedTraceRequest::~ScopedTraceRequest() {
+  if (installed_) g_trace_context = prev_;
+}
+
+TraceSpanScope::TraceSpanScope(const char* name) {
+  if (!g_trace_context.sampled) return;
+  active_ = true;
+  name_ = name;
+  Tracer* tracer = Tracer::Global();
+  span_id_ = tracer->NextSpanId();
+  saved_parent_ = g_trace_context.parent_span_id;
+  g_trace_context.parent_span_id = span_id_;
+  prev_innermost_ = g_innermost_span;
+  g_innermost_span = this;
+  start_ns_ = TraceNowNanos();
+}
+
+TraceSpanScope::~TraceSpanScope() {
+  if (!active_) return;
+  const uint64_t end_ns = TraceNowNanos();
+  g_innermost_span = prev_innermost_;
+  g_trace_context.parent_span_id = saved_parent_;
+  Tracer::SpanRecord span;
+  span.name = name_;
+  span.trace_id = g_trace_context.trace_id;
+  span.span_id = span_id_;
+  span.parent_span_id = saved_parent_;
+  span.start_ns = start_ns_;
+  span.duration_ns = end_ns - start_ns_;
+  for (int i = 0; i < num_args_; ++i) {
+    span.arg_name[i] = arg_name_[i];
+    span.arg_value[i] = arg_value_[i];
+  }
+  Tracer::Global()->RecordSpan(span);
+}
+
+void TraceSpanScope::Annotate(const char* key, uint64_t value) {
+  if (!active_ || num_args_ >= 2) return;
+  arg_name_[num_args_] = key;
+  arg_value_[num_args_] = value;
+  ++num_args_;
+}
+
+void TraceAnnotate(const char* key, uint64_t value) {
+  if (g_innermost_span != nullptr) g_innermost_span->Annotate(key, value);
+}
+
+}  // namespace dess

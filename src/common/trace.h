@@ -1,0 +1,231 @@
+#ifndef DESS_COMMON_TRACE_H_
+#define DESS_COMMON_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dess {
+
+/// Per-thread trace context: which request (if any) the current thread is
+/// working for. `trace_id` is non-zero for every request once it enters
+/// the system — even when the request is not sampled — so diagnostics
+/// (slow-query log, QueryResponse) can always name the request. Spans are
+/// recorded only when `sampled` is true.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t parent_span_id = 0;  // innermost open span on this thread
+  bool sampled = false;
+
+  bool active() const { return trace_id != 0; }
+};
+
+/// Returns the calling thread's current trace context (zero/inactive when
+/// no request is in flight on this thread).
+TraceContext CurrentTraceContext();
+
+/// Process-wide tracer: allocates 64-bit trace ids, decides sampling, and
+/// owns the per-thread span ring buffers.
+///
+/// Spans are written into fixed-capacity per-thread rings whose slots are
+/// published with a seqlock of relaxed atomics (writer bumps an odd/even
+/// sequence around the field stores; readers discard torn slots), so the
+/// write path takes no locks and is data-race-free under TSan. When a ring
+/// wraps, the oldest spans are overwritten and counted as dropped.
+///
+/// Sampling is deterministic: with rate N > 0, trace ids 1, N+1, 2N+1, ...
+/// are sampled (i.e. `(id - 1) % N == 0`); rate 0 disables span recording
+/// entirely — requests still get trace ids (one relaxed fetch_add), but
+/// span scopes reduce to a thread-local load and branch.
+class Tracer {
+ public:
+  struct Stats {
+    uint64_t traces_started = 0;
+    uint64_t traces_sampled = 0;
+    uint64_t spans_recorded = 0;
+    uint64_t spans_dropped = 0;  // overwritten on ring wrap
+    uint32_t sample_rate = 0;
+  };
+
+  /// One completed span, as read back out of the rings.
+  struct SpanRecord {
+    const char* name = nullptr;
+    uint64_t trace_id = 0;
+    uint64_t span_id = 0;
+    uint64_t parent_span_id = 0;
+    uint64_t start_ns = 0;  // relative to process trace epoch
+    uint64_t duration_ns = 0;
+    uint32_t tid = 0;  // small per-thread ordinal, not the OS tid
+    // Up to two integer annotations (counter payloads).
+    const char* arg_name[2] = {nullptr, nullptr};
+    uint64_t arg_value[2] = {0, 0};
+  };
+
+  /// The process-wide tracer used by DESS_TIMED_SCOPE. Sample rate is
+  /// initialized once from DESS_TRACE_SAMPLE ("1/N" or plain "N"; 0 or
+  /// unset = off).
+  static Tracer* Global();
+
+  Tracer();
+  ~Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  void SetSampleRate(uint32_t rate) {
+    sample_rate_.store(rate, std::memory_order_relaxed);
+  }
+  uint32_t sample_rate() const {
+    return sample_rate_.load(std::memory_order_relaxed);
+  }
+
+  /// Allocates a trace id and applies the sampling decision. Does not
+  /// install the context on the thread; see ScopedTraceRequest.
+  TraceContext StartTrace();
+
+  uint64_t NextSpanId() {
+    return next_span_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  /// Appends one completed span to the calling thread's ring.
+  void RecordSpan(const SpanRecord& span);
+
+  /// Copies every readable (non-torn, non-overwritten) span out of all
+  /// thread rings, sorted by start time.
+  std::vector<SpanRecord> CollectSpans() const;
+
+  Stats GetStats() const;
+
+  /// Chrome trace-event JSON ("X" complete events, ts/dur in
+  /// microseconds) loadable in chrome://tracing or https://ui.perfetto.dev.
+  std::string ExportChromeTrace() const;
+
+  /// Writes ExportChromeTrace() to `path`; returns false on I/O error.
+  bool WriteChromeTrace(const std::string& path) const;
+
+  /// Interns a dynamically built span name (e.g. "stage.feature.<id>");
+  /// the returned pointer is stable for the process lifetime. Literal
+  /// names do not need interning.
+  const char* InternName(std::string_view name);
+
+  /// Clears all rings and restarts the trace/span id counters at zero so
+  /// sampling decisions replay deterministically. Test-only: must not run
+  /// concurrently with span recording.
+  void ResetForTest();
+
+  // --- Slow-query log ------------------------------------------------------
+
+  /// Threshold in milliseconds above which a query emits one structured
+  /// JSON line; negative disables. Initialized from DESS_SLOW_QUERY_MS
+  /// (unset = disabled).
+  void SetSlowQueryThresholdMs(double ms) {
+    slow_query_threshold_ms_.store(ms, std::memory_order_relaxed);
+  }
+  double slow_query_threshold_ms() const {
+    return slow_query_threshold_ms_.load(std::memory_order_relaxed);
+  }
+
+  /// Redirects slow-query lines (tests); null restores the default sink
+  /// (one atomic fwrite of the line + '\n' to stderr).
+  void SetSlowQuerySink(std::function<void(const std::string&)> sink);
+
+  /// Emits one slow-query line through the current sink.
+  void EmitSlowQueryLine(const std::string& json_line);
+
+ private:
+  struct ThreadRing;
+  struct Registry;
+
+  ThreadRing* RingForThisThread();
+
+  std::atomic<uint32_t> sample_rate_{0};
+  std::atomic<uint64_t> next_trace_id_{0};
+  std::atomic<uint64_t> next_span_id_{0};
+  std::atomic<uint64_t> traces_started_{0};
+  std::atomic<uint64_t> traces_sampled_{0};
+  std::atomic<double> slow_query_threshold_ms_{-1.0};
+  std::unique_ptr<Registry> registry_;
+};
+
+/// Nanoseconds since the process trace epoch (first use of the clock).
+uint64_t TraceNowNanos();
+
+/// Installs `ctx` as the calling thread's trace context for the scope's
+/// lifetime, restoring the previous context on exit. Used to carry a
+/// request's context onto executor worker threads: capture
+/// CurrentTraceContext() at submit time, install it in the worker.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(const TraceContext& ctx);
+  ~ScopedTraceContext();
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext prev_;
+};
+
+/// Request boundary: if the thread already has an active trace context
+/// (e.g. the executor installed one before calling into the snapshot),
+/// this reuses it; otherwise it starts a new trace for the scope's
+/// lifetime. `trace_id()` is always non-zero after construction.
+class ScopedTraceRequest {
+ public:
+  explicit ScopedTraceRequest(Tracer* tracer = nullptr);
+  ~ScopedTraceRequest();
+  ScopedTraceRequest(const ScopedTraceRequest&) = delete;
+  ScopedTraceRequest& operator=(const ScopedTraceRequest&) = delete;
+
+  uint64_t trace_id() const { return ctx_.trace_id; }
+  bool sampled() const { return ctx_.sampled; }
+
+ private:
+  bool installed_ = false;
+  TraceContext prev_;
+  TraceContext ctx_;
+};
+
+/// RAII span: when the calling thread's context is sampled, records a
+/// hierarchical span (parented to the innermost enclosing span on this
+/// thread) covering the scope's extent. When tracing is off or the
+/// request is unsampled, construction is a thread-local load plus branch —
+/// no clock read, no allocation. `name` must outlive the tracer (string
+/// literal or Tracer::InternName result).
+class TraceSpanScope {
+ public:
+  explicit TraceSpanScope(const char* name);
+  ~TraceSpanScope();
+  TraceSpanScope(const TraceSpanScope&) = delete;
+  TraceSpanScope& operator=(const TraceSpanScope&) = delete;
+
+  /// Attaches an integer payload (e.g. points_compared) to this span.
+  /// At most two annotations are kept; extras are dropped.
+  void Annotate(const char* key, uint64_t value);
+
+  bool active() const { return active_; }
+
+ private:
+  friend void TraceAnnotate(const char*, uint64_t);
+
+  bool active_ = false;
+  const char* name_ = nullptr;
+  uint64_t span_id_ = 0;
+  uint64_t saved_parent_ = 0;
+  uint64_t start_ns_ = 0;
+  int num_args_ = 0;
+  const char* arg_name_[2] = {nullptr, nullptr};
+  uint64_t arg_value_[2] = {0, 0};
+  TraceSpanScope* prev_innermost_ = nullptr;
+};
+
+/// Annotates the innermost active span on the calling thread (no-op when
+/// none is open). Lets leaf code attach counters without threading the
+/// scope object through call signatures.
+void TraceAnnotate(const char* key, uint64_t value);
+
+}  // namespace dess
+
+#endif  // DESS_COMMON_TRACE_H_

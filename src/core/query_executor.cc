@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/common/metrics.h"
+#include "src/common/trace.h"
 
 namespace dess {
 namespace {
@@ -14,6 +15,16 @@ void SetExecutorGauges(size_t queue_depth, int active_workers) {
                      static_cast<double>(queue_depth));
   registry->SetGauge("executor.active_workers",
                      static_cast<double>(active_workers));
+}
+
+/// Trace context a submitted task carries onto its worker thread: the
+/// submitter's context when one is active (nested dispatch), otherwise a
+/// fresh trace allocated at submit time — so queue wait is inside the
+/// request's "executor.query" span rather than before its trace starts.
+TraceContext ContextForSubmit() {
+  TraceContext ctx = CurrentTraceContext();
+  if (!ctx.active()) ctx = Tracer::Global()->StartTrace();
+  return ctx;
 }
 
 }  // namespace
@@ -84,7 +95,8 @@ std::future<Result<QueryResponse>> QueryExecutor::SubmitQuery(
   auto promise = std::make_shared<std::promise<Result<QueryResponse>>>();
   std::future<Result<QueryResponse>> future = promise->get_future();
   Enqueue([this, promise, query = std::move(query),
-           request = std::move(request)] {
+           request = std::move(request), ctx = ContextForSubmit()] {
+    ScopedTraceContext trace(ctx);
     DESS_TIMED_SCOPE("executor.query");
     MetricsRegistry::Global()->AddCounter("executor.queries");
     Result<std::shared_ptr<const SystemSnapshot>> snapshot = provider_();
@@ -102,7 +114,8 @@ std::future<Result<QueryResponse>> QueryExecutor::SubmitQueryById(
   auto promise = std::make_shared<std::promise<Result<QueryResponse>>>();
   std::future<Result<QueryResponse>> future = promise->get_future();
   Enqueue([this, promise, query_id,
-           request = std::move(request)] {
+           request = std::move(request), ctx = ContextForSubmit()] {
+    ScopedTraceContext trace(ctx);
     DESS_TIMED_SCOPE("executor.query");
     MetricsRegistry::Global()->AddCounter("executor.queries");
     Result<std::shared_ptr<const SystemSnapshot>> snapshot = provider_();
@@ -140,7 +153,8 @@ std::vector<Result<QueryResponse>> QueryExecutor::QueryBatch(
     futures.push_back(promise->get_future());
     // The batch call blocks on every future below, so the pointers into
     // `queries` stay valid for the tasks' lifetimes.
-    Enqueue([promise, snapshot, query, request] {
+    Enqueue([promise, snapshot, query, request, ctx = ContextForSubmit()] {
+      ScopedTraceContext trace(ctx);
       DESS_TIMED_SCOPE("executor.query");
       MetricsRegistry::Global()->AddCounter("executor.queries");
       promise->set_value(snapshot->Query(*query, *request));

@@ -1,10 +1,80 @@
 #include "src/core/snapshot.h"
 
+#include <chrono>
 #include <utility>
 
 #include "src/common/metrics.h"
+#include "src/common/strings.h"
+#include "src/common/trace.h"
 
 namespace dess {
+namespace {
+
+const char* ModeName(QueryMode mode) {
+  switch (mode) {
+    case QueryMode::kTopK:
+      return "topk";
+    case QueryMode::kThreshold:
+      return "threshold";
+    case QueryMode::kMultiStep:
+      return "multistep";
+  }
+  return "unknown";
+}
+
+/// Emits one structured JSON line when the completed query's wall time
+/// exceeded the tracer's slow-query threshold. Runs in the snapshot layer
+/// so every serving path (direct system call, executor future, batch)
+/// produces exactly one line per offending query.
+void MaybeEmitSlowQuery(const QueryRequest& request,
+                        const QueryResponse& response,
+                        double total_seconds) {
+  Tracer* tracer = Tracer::Global();
+  const double threshold_ms = tracer->slow_query_threshold_ms();
+  if (threshold_ms < 0.0 || total_seconds * 1e3 < threshold_ms) return;
+  MetricsRegistry::Global()->AddCounter("trace.slow_queries");
+  std::string line = StrFormat(
+      "{\"event\":\"slow_query\",\"trace_id\":%llu,\"epoch\":%llu,"
+      "\"mode\":\"%s\",\"space\":\"%s\",\"total_ms\":%.3f,"
+      "\"results\":%zu,\"has_deadline\":%s",
+      static_cast<unsigned long long>(response.trace_id),
+      static_cast<unsigned long long>(response.epoch),
+      ModeName(request.mode),
+      request.space.empty()
+          ? StrFormat("kind:%d", static_cast<int>(request.kind)).c_str()
+          : request.space.c_str(),
+      total_seconds * 1e3, response.results.size(),
+      request.has_deadline() ? "true" : "false");
+  if (request.has_deadline()) {
+    // Slack left when the query finished: negative means it blew through
+    // the deadline without a stage-boundary check catching it.
+    const double end_slack =
+        std::chrono::duration<double>(request.deadline -
+                                      std::chrono::steady_clock::now())
+            .count();
+    line += StrFormat(",\"deadline_slack_ms_at_end\":%.3f", end_slack * 1e3);
+  }
+  line += StrFormat(
+      ",\"stats\":{\"nodes_visited\":%zu,\"leaves_scanned\":%zu,"
+      "\"points_compared\":%zu,\"kernel_batches\":%zu},\"stages\":[",
+      response.stats.nodes_visited, response.stats.leaves_scanned,
+      response.stats.points_compared, response.stats.kernel_batches);
+  for (size_t i = 0; i < response.stage_timings.size(); ++i) {
+    const StageTiming& t = response.stage_timings[i];
+    if (i > 0) line += ",";
+    line += StrFormat("{\"stage\":\"%s\",\"ms\":%.3f", t.stage.c_str(),
+                      t.seconds * 1e3);
+    if (t.has_deadline) {
+      line += StrFormat(",\"deadline_slack_ms\":%.3f",
+                        t.deadline_slack_seconds * 1e3);
+    }
+    line += "}";
+  }
+  line += "]}";
+  tracer->EmitSlowQueryLine(line);
+}
+
+}  // namespace
 
 Result<std::shared_ptr<const SystemSnapshot>> SystemSnapshot::Build(
     std::shared_ptr<const ShapeDatabase> db, uint64_t epoch,
@@ -71,17 +141,33 @@ Result<const HierarchyNode*> SystemSnapshot::Hierarchy(
 
 Result<QueryResponse> SystemSnapshot::Query(const ShapeSignature& query,
                                             const QueryRequest& request) const {
+  // Reuses the executor-installed trace context when present, otherwise
+  // this query becomes its own trace (direct system calls).
+  ScopedTraceRequest trace(/*tracer=*/nullptr);
+  const auto start = std::chrono::steady_clock::now();
   DESS_ASSIGN_OR_RETURN(QueryResponse response,
                         engine_->Query(query, request));
   response.epoch = epoch_;
+  response.trace_id = trace.trace_id();
+  MaybeEmitSlowQuery(
+      request, response,
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count());
   return response;
 }
 
 Result<QueryResponse> SystemSnapshot::QueryById(
     int query_id, const QueryRequest& request) const {
+  ScopedTraceRequest trace(/*tracer=*/nullptr);
+  const auto start = std::chrono::steady_clock::now();
   DESS_ASSIGN_OR_RETURN(QueryResponse response,
                         engine_->QueryById(query_id, request));
   response.epoch = epoch_;
+  response.trace_id = trace.trace_id();
+  MaybeEmitSlowQuery(
+      request, response,
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count());
   return response;
 }
 

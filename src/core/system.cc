@@ -4,6 +4,7 @@
 
 #include "src/common/metrics.h"
 #include "src/common/thread_pool.h"
+#include "src/common/trace.h"
 
 namespace dess {
 
@@ -43,6 +44,8 @@ void Dess3System::RecordIngestLocked(size_t count) {
 
 Result<int> Dess3System::IngestMesh(const TriMesh& mesh,
                                     const std::string& name, int group) {
+  // Each ingest is its own trace (pipeline stage spans nest under it).
+  ScopedTraceRequest trace;
   DESS_TIMED_SCOPE("system.ingest_shape");
   // Extraction is the expensive part and touches no shared state, so it
   // runs outside the writer lock; only the insert itself is serialized.
@@ -72,6 +75,7 @@ Status Dess3System::IngestDatasetParallel(const Dataset& dataset,
                                           int num_threads) {
   const size_t n = dataset.shapes.size();
   if (n == 0) return Status::OK();
+  ScopedTraceRequest trace;
   DESS_TIMED_SCOPE("system.ingest_dataset");
   std::lock_guard<std::mutex> lock(ingest_mu_);
   ThreadPool* pool = EnsureIngestPool(num_threads);
@@ -93,7 +97,11 @@ Status Dess3System::IngestDatasetParallel(const Dataset& dataset,
     }
   } else {
     const ExtractionOptions options = options_.extraction;
+    const TraceContext ctx = CurrentTraceContext();
     ParallelFor(pool, n, [&](size_t i) {
+      // Carry the ingest trace onto the pool workers so per-shape pipeline
+      // spans attribute to this dataset's trace.
+      ScopedTraceContext worker_trace(ctx);
       signatures[i] = ExtractSignature(dataset.shapes[i].mesh, options);
     });
   }
@@ -126,6 +134,7 @@ Result<uint64_t> Dess3System::Commit() {
   if (db_.IsEmpty()) {
     return Status::InvalidArgument("commit: database is empty");
   }
+  ScopedTraceRequest trace;
   DESS_TIMED_SCOPE("system.commit");
   MetricsRegistry* registry = MetricsRegistry::Global();
   registry->AddCounter("system.commits");
@@ -170,6 +179,10 @@ Result<std::shared_ptr<const SystemSnapshot>> Dess3System::CurrentSnapshot()
 
 Result<QueryResponse> Dess3System::QueryBySignature(
     const ShapeSignature& signature, const QueryRequest& request) const {
+  // Start (or join) the request's trace here so the "system.query" span —
+  // and, for QueryByMesh, the extraction stages — belong to the trace the
+  // snapshot layer will reuse.
+  ScopedTraceRequest trace;
   DESS_TIMED_SCOPE("system.query");
   MetricsRegistry::Global()->AddCounter("system.queries");
   DESS_ASSIGN_OR_RETURN(std::shared_ptr<const SystemSnapshot> snapshot,
@@ -179,6 +192,7 @@ Result<QueryResponse> Dess3System::QueryBySignature(
 
 Result<QueryResponse> Dess3System::QueryByMesh(
     const TriMesh& mesh, const QueryRequest& request) const {
+  ScopedTraceRequest trace;
   DESS_ASSIGN_OR_RETURN(ShapeSignature signature,
                         ExtractSignature(mesh, options_.extraction));
   return QueryBySignature(signature, request);
@@ -186,6 +200,7 @@ Result<QueryResponse> Dess3System::QueryByMesh(
 
 Result<QueryResponse> Dess3System::QueryByShapeId(
     int query_id, const QueryRequest& request) const {
+  ScopedTraceRequest trace;
   DESS_TIMED_SCOPE("system.query");
   MetricsRegistry::Global()->AddCounter("system.queries");
   DESS_ASSIGN_OR_RETURN(std::shared_ptr<const SystemSnapshot> snapshot,

@@ -11,12 +11,14 @@ namespace dess {
 namespace {
 
 /// One scan = one sequential pass over the whole "file": a single logical
-/// page visit plus one distance evaluation per stored point.
+/// page visit plus one distance evaluation per stored point, all computed
+/// by a single batched-kernel invocation.
 void FinishScanStats(size_t points, size_t candidates, QueryStats* stats) {
   if (stats != nullptr) {
     stats->nodes_visited += 1;
     stats->leaves_scanned += 1;
     stats->points_compared += points;
+    stats->kernel_batches += 1;
   }
   MetricsRegistry* registry = MetricsRegistry::Global();
   if (!registry->enabled()) return;
@@ -70,14 +72,21 @@ Status LinearScanIndex::Remove(int id, const std::vector<double>& point) {
 std::vector<Neighbor> LinearScanIndex::KNearest(
     const std::vector<double>& query, size_t k,
     const std::vector<double>& weights, QueryStats* stats) const {
+  DESS_TIMED_SCOPE("index.linear_scan.knearest");
   const size_t n = block_.size();
   std::vector<double> dist(n);
-  BatchedWeightedL2(block_, query.data(),
-                    weights.empty() ? nullptr : weights.data(), dist.data());
+  {
+    DESS_TIMED_SCOPE("kernel.batch");
+    TraceAnnotate("rows", n);
+    BatchedWeightedL2(block_, query.data(),
+                      weights.empty() ? nullptr : weights.data(),
+                      dist.data());
+  }
   std::vector<Neighbor> all;
   all.reserve(n);
   for (size_t r = 0; r < n; ++r) all.push_back({block_.id(r), dist[r]});
   PartialSortSmallest(&all, k);
+  TraceAnnotate("points_compared", n);
   FinishScanStats(n, all.size(), stats);
   return all;
 }
@@ -85,15 +94,22 @@ std::vector<Neighbor> LinearScanIndex::KNearest(
 std::vector<Neighbor> LinearScanIndex::RangeQuery(
     const std::vector<double>& query, double radius,
     const std::vector<double>& weights, QueryStats* stats) const {
+  DESS_TIMED_SCOPE("index.linear_scan.range");
   const size_t n = block_.size();
   std::vector<double> dist(n);
-  BatchedWeightedL2(block_, query.data(),
-                    weights.empty() ? nullptr : weights.data(), dist.data());
+  {
+    DESS_TIMED_SCOPE("kernel.batch");
+    TraceAnnotate("rows", n);
+    BatchedWeightedL2(block_, query.data(),
+                      weights.empty() ? nullptr : weights.data(),
+                      dist.data());
+  }
   std::vector<Neighbor> out;
   for (size_t r = 0; r < n; ++r) {
     if (dist[r] <= radius) out.push_back({block_.id(r), dist[r]});
   }
   std::sort(out.begin(), out.end());
+  TraceAnnotate("points_compared", n);
   FinishScanStats(n, out.size(), stats);
   return out;
 }

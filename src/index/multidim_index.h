@@ -27,11 +27,13 @@ struct QueryStats {
   size_t nodes_visited = 0;     // index nodes touched (1 per scan "page")
   size_t leaves_scanned = 0;    // subset of nodes_visited that were leaves
   size_t points_compared = 0;   // exact distance evaluations
+  size_t kernel_batches = 0;    // SIMD batched-distance kernel invocations
 
   void MergeFrom(const QueryStats& o) {
     nodes_visited += o.nodes_visited;
     leaves_scanned += o.leaves_scanned;
     points_compared += o.points_compared;
+    kernel_batches += o.kernel_batches;
   }
 };
 

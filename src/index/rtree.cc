@@ -434,6 +434,7 @@ std::vector<Neighbor> RTreeIndex::KNearest(const std::vector<double>& query,
                                            QueryStats* stats) const {
   std::vector<Neighbor> results;
   if (k == 0 || size_ == 0) return results;
+  DESS_TIMED_SCOPE("index.rtree.knearest");
 
   // Best-first search: the frontier holds nodes (keyed by MINDIST) and
   // concrete points (keyed by exact distance). When a point reaches the
@@ -472,6 +473,8 @@ std::vector<Neighbor> RTreeIndex::KNearest(const std::vector<double>& query,
       }
     }
   }
+  TraceAnnotate("nodes_visited", local.nodes_visited);
+  TraceAnnotate("points_compared", local.points_compared);
   FinishQueryStats(local, results.size(), stats);
   return results;
 }
@@ -480,6 +483,7 @@ std::vector<Neighbor> RTreeIndex::RangeQuery(const std::vector<double>& query,
                                              double radius,
                                              const std::vector<double>& weights,
                                              QueryStats* stats) const {
+  DESS_TIMED_SCOPE("index.rtree.range");
   std::vector<Neighbor> out;
   std::vector<const Node*> stack{impl_->root.get()};
   QueryStats local;
@@ -503,6 +507,8 @@ std::vector<Neighbor> RTreeIndex::RangeQuery(const std::vector<double>& query,
     }
   }
   std::sort(out.begin(), out.end());
+  TraceAnnotate("nodes_visited", local.nodes_visited);
+  TraceAnnotate("points_compared", local.points_compared);
   FinishQueryStats(local, out.size(), stats);
   return out;
 }

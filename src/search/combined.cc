@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <optional>
 
+#include "src/common/metrics.h"
 #include "src/index/distance_kernel.h"
 #include "src/index/signature_block.h"
 
@@ -66,12 +67,15 @@ Result<std::vector<SearchResult>> CombinedScan(
   // signature block, then a row-wise combine. Spaces are visited in
   // ascending ordinal exactly as the per-record loop did, so the
   // floating-point sums (and every score) are bitwise-unchanged.
+  DESS_TIMED_SCOPE("search.combined");
   const size_t n = engine.db().NumShapes();
   std::vector<std::vector<double>> dists(engine.NumSpaces());
   for (int ki = 0; ki < engine.NumSpaces(); ++ki) {
     if (weights.alpha[ki] == 0.0) continue;
     const SimilaritySpace& space = engine.SpaceAt(ki);
     dists[ki].resize(n);
+    DESS_TIMED_SCOPE("kernel.batch");
+    TraceAnnotate("rows", n);
     BatchedWeightedL2(engine.BlockAt(ki), query_std[ki].data(),
                       space.weights.empty() ? nullptr : space.weights.data(),
                       dists[ki].data());

@@ -28,7 +28,8 @@ Result<std::vector<SearchResult>> RunPlan(
     const SearchEngine& engine,
     const std::vector<std::vector<double>>& query_features, int exclude_id,
     const MultiStepPlan& plan, QueryStats* stats,
-    QueryRequest::TimePoint deadline) {
+    QueryRequest::TimePoint deadline,
+    std::vector<StageTiming>* stage_timings) {
   if (plan.stages.empty()) {
     return Status::InvalidArgument("multi-step: empty plan");
   }
@@ -51,6 +52,7 @@ Result<std::vector<SearchResult>> RunPlan(
           std::to_string(s));
     }
     const auto& feature = query_features[ordinal];
+    const auto stage_start = std::chrono::steady_clock::now();
     if (s == 0) {
       // First stage: index search. Over-fetch by one when excluding the
       // query shape itself.
@@ -94,6 +96,11 @@ Result<std::vector<SearchResult>> RunPlan(
         current.resize(stage.keep);
       }
     }
+    if (stage_timings != nullptr) {
+      stage_timings->push_back(MakeStageTiming(
+          s == 0 ? "search.query_topk" : "search.rerank", deadline,
+          stage_start, std::chrono::steady_clock::now()));
+    }
   }
   if (registry->enabled()) {
     registry->AddCounter("multistep.final_results", current.size());
@@ -105,7 +112,8 @@ Result<std::vector<SearchResult>> RunPlan(
 
 Result<std::vector<SearchResult>> MultiStepQueryById(
     const SearchEngine& engine, int query_id, const MultiStepPlan& plan,
-    QueryStats* stats, QueryRequest::TimePoint deadline) {
+    QueryStats* stats, QueryRequest::TimePoint deadline,
+    std::vector<StageTiming>* stage_timings) {
   // Resolve every stage before touching the database so an unknown space
   // id fails InvalidArgument regardless of the query shape.
   for (const MultiStepStage& stage : plan.stages) {
@@ -116,20 +124,23 @@ Result<std::vector<SearchResult>> MultiStepQueryById(
     DESS_ASSIGN_OR_RETURN(features[ordinal],
                           engine.db().Feature(query_id, ordinal));
   }
-  return RunPlan(engine, features, query_id, plan, stats, deadline);
+  return RunPlan(engine, features, query_id, plan, stats, deadline,
+                 stage_timings);
 }
 
 Result<std::vector<SearchResult>> MultiStepQuery(const SearchEngine& engine,
                                                  const ShapeSignature& query,
                                                  const MultiStepPlan& plan,
                                                  QueryStats* stats,
-                                                 QueryRequest::TimePoint deadline) {
+                                                 QueryRequest::TimePoint deadline,
+                                                 std::vector<StageTiming>* stage_timings) {
   std::vector<std::vector<double>> features(
       std::min(engine.NumSpaces(), query.NumSpaces()));
   for (size_t i = 0; i < features.size(); ++i) {
     features[i] = query.At(static_cast<int>(i)).values;
   }
-  return RunPlan(engine, features, /*exclude_id=*/-1, plan, stats, deadline);
+  return RunPlan(engine, features, /*exclude_id=*/-1, plan, stats, deadline,
+                 stage_timings);
 }
 
 }  // namespace dess

@@ -15,17 +15,22 @@ namespace dess {
 /// Figure 2's "multi-step search?" loop). The query shape itself is always
 /// excluded. Returns InvalidArgument for an empty plan. Index-traversal
 /// work accumulates into `stats` when non-null; a non-epoch `deadline` is
-/// checked before every stage (DeadlineExceeded when passed).
+/// checked before every stage (DeadlineExceeded when passed). When
+/// `stage_timings` is non-null, one StageTiming per executed plan stage is
+/// appended ("search.query_topk" for the index stage, "search.rerank" for
+/// each later pass), with deadline slack measured at stage start.
 Result<std::vector<SearchResult>> MultiStepQueryById(
     const SearchEngine& engine, int query_id, const MultiStepPlan& plan,
     QueryStats* stats = nullptr,
-    QueryRequest::TimePoint deadline = QueryRequest::TimePoint{});
+    QueryRequest::TimePoint deadline = QueryRequest::TimePoint{},
+    std::vector<StageTiming>* stage_timings = nullptr);
 
 /// Multi-step search for an external query signature.
 Result<std::vector<SearchResult>> MultiStepQuery(
     const SearchEngine& engine, const ShapeSignature& query,
     const MultiStepPlan& plan, QueryStats* stats = nullptr,
-    QueryRequest::TimePoint deadline = QueryRequest::TimePoint{});
+    QueryRequest::TimePoint deadline = QueryRequest::TimePoint{},
+    std::vector<StageTiming>* stage_timings = nullptr);
 
 }  // namespace dess
 

@@ -131,6 +131,40 @@ struct QueryRequest {
   }
 };
 
+/// Wall-time attribution for one stage of a query's execution. Stage
+/// names match the latency-histogram names of the metrics registry
+/// ("search.query_topk", "search.rerank", ...) so per-request timings and
+/// process aggregates describe the same spans.
+struct StageTiming {
+  std::string stage;
+  /// Wall seconds spent inside the stage.
+  double seconds = 0.0;
+  /// Whether the request carried a deadline when this stage started.
+  bool has_deadline = false;
+  /// Time remaining until the request deadline when the stage started
+  /// (negative when the stage started past the deadline); 0 and
+  /// meaningless when `has_deadline` is false. The serving layer's
+  /// admission control reads this to decide where a deadline was burned.
+  double deadline_slack_seconds = 0.0;
+};
+
+/// Builds one StageTiming entry from a stage's wall-clock interval and the
+/// request deadline (epoch TimePoint = no deadline).
+inline StageTiming MakeStageTiming(const char* stage,
+                                   QueryRequest::TimePoint deadline,
+                                   QueryRequest::TimePoint start,
+                                   QueryRequest::TimePoint end) {
+  StageTiming t;
+  t.stage = stage;
+  t.seconds = std::chrono::duration<double>(end - start).count();
+  t.has_deadline = deadline != QueryRequest::TimePoint{};
+  if (t.has_deadline) {
+    t.deadline_slack_seconds =
+        std::chrono::duration<double>(deadline - start).count();
+  }
+  return t;
+}
+
 /// What a query returns: the ranked results plus the work accounting of
 /// the index traversal and the epoch of the snapshot that answered — the
 /// contract a caller needs to reason about staleness under concurrent
@@ -141,6 +175,14 @@ struct QueryResponse {
   /// Epoch of the SystemSnapshot that served this query (0 when the query
   /// ran against a bare SearchEngine outside the snapshot layer).
   uint64_t epoch = 0;
+  /// Trace id assigned to this request (non-zero when the query ran inside
+  /// the snapshot/executor layer, even when unsampled; 0 against a bare
+  /// SearchEngine). Key for correlating the response with trace spans and
+  /// slow-query log lines.
+  uint64_t trace_id = 0;
+  /// Per-stage time attribution, in execution order. Always populated by
+  /// engine-level Query/QueryById (independent of trace sampling).
+  std::vector<StageTiming> stage_timings;
 };
 
 }  // namespace dess

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <optional>
 
+#include "src/common/metrics.h"
 #include "src/index/signature_block.h"
 
 namespace dess {
@@ -157,6 +158,7 @@ Result<std::vector<SearchResult>> FeedbackRound(
     const SearchEngine& engine, int ordinal,
     std::vector<double>* raw_query, std::vector<double>* session_weights,
     const Feedback& feedback, size_t k, const FeedbackOptions& options) {
+  DESS_TIMED_SCOPE("search.feedback_round");
   DESS_ASSIGN_OR_RETURN(
       *raw_query,
       ReconstructQuery(engine, ordinal, *raw_query, feedback, options));

@@ -513,10 +513,14 @@ Result<QueryResponse> SearchEngine::Query(const ShapeSignature& query,
       }
       const std::vector<double>* w =
           request.weights.empty() ? nullptr : &request.weights;
+      const auto start = std::chrono::steady_clock::now();
       DESS_ASSIGN_OR_RETURN(
           response.results,
           QueryTopKImpl(query.At(ordinal).values, ordinal, request.k, w,
                         &response.stats));
+      response.stage_timings.push_back(
+          MakeStageTiming("search.query_topk", request.deadline, start,
+                          std::chrono::steady_clock::now()));
       break;
     }
     case QueryMode::kThreshold: {
@@ -529,10 +533,14 @@ Result<QueryResponse> SearchEngine::Query(const ShapeSignature& query,
       }
       const std::vector<double>* w =
           request.weights.empty() ? nullptr : &request.weights;
+      const auto start = std::chrono::steady_clock::now();
       DESS_ASSIGN_OR_RETURN(
           response.results,
           QueryThresholdImpl(query.At(ordinal).values, ordinal,
                              request.min_similarity, w, &response.stats));
+      response.stage_timings.push_back(
+          MakeStageTiming("search.query_threshold", request.deadline, start,
+                          std::chrono::steady_clock::now()));
       break;
     }
     case QueryMode::kMultiStep: {
@@ -544,7 +552,7 @@ Result<QueryResponse> SearchEngine::Query(const ShapeSignature& query,
       DESS_ASSIGN_OR_RETURN(
           response.results,
           MultiStepQuery(*this, query, request.plan, &response.stats,
-                         request.deadline));
+                         request.deadline, &response.stage_timings));
       break;
     }
   }
@@ -564,10 +572,14 @@ Result<QueryResponse> SearchEngine::QueryById(
       DESS_ASSIGN_OR_RETURN(std::vector<double> raw,
                             db_->Feature(query_id, ordinal));
       // Fetch one extra so the count survives dropping the query itself.
+      const auto start = std::chrono::steady_clock::now();
       DESS_ASSIGN_OR_RETURN(
           response.results,
           QueryTopKImpl(raw, ordinal, request.k + 1, w, &response.stats));
       ExcludeAndTrim(&response.results, query_id, request.k);
+      response.stage_timings.push_back(
+          MakeStageTiming("search.query_topk", request.deadline, start,
+                          std::chrono::steady_clock::now()));
       break;
     }
     case QueryMode::kThreshold: {
@@ -577,11 +589,15 @@ Result<QueryResponse> SearchEngine::QueryById(
           request.weights.empty() ? nullptr : &request.weights;
       DESS_ASSIGN_OR_RETURN(std::vector<double> raw,
                             db_->Feature(query_id, ordinal));
+      const auto start = std::chrono::steady_clock::now();
       DESS_ASSIGN_OR_RETURN(
           response.results,
           QueryThresholdImpl(raw, ordinal, request.min_similarity, w,
                              &response.stats));
       ExcludeAndTrim(&response.results, query_id, /*k=*/0);
+      response.stage_timings.push_back(
+          MakeStageTiming("search.query_threshold", request.deadline, start,
+                          std::chrono::steady_clock::now()));
       break;
     }
     case QueryMode::kMultiStep: {
@@ -593,7 +609,7 @@ Result<QueryResponse> SearchEngine::QueryById(
       DESS_ASSIGN_OR_RETURN(
           response.results,
           MultiStepQueryById(*this, query_id, request.plan, &response.stats,
-                             request.deadline));
+                             request.deadline, &response.stage_timings));
       break;
     }
   }
@@ -681,6 +697,8 @@ Result<std::vector<SearchResult>> SearchEngine::Rerank(
   const double* w = space.weights.empty() ? nullptr : space.weights.data();
   std::vector<SearchResult> out;
   out.reserve(candidate_ids.size());
+  DESS_TIMED_SCOPE("kernel.batch");
+  TraceAnnotate("rows", candidate_ids.size());
   for (int id : candidate_ids) {
     const std::optional<size_t> row = RowOf(id);
     if (!row.has_value()) {

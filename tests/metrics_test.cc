@@ -71,6 +71,64 @@ TEST(MetricsTest, HistogramBucketPlacementAndQuantiles) {
   EXPECT_NEAR(over.QuantileSeconds(0.5), 25.0, 1e-6);
 }
 
+TEST(MetricsTest, QuantileEndpointsAndOverflowClampToObservedRange) {
+  MetricsRegistry registry;
+  registry.RecordLatency("h", 3e-3);
+  registry.RecordLatency("h", 7e-3);
+  registry.RecordLatency("h", 40.0);  // beyond the 10s bound: overflow
+  const MetricsSnapshot first = registry.Snapshot();
+  const HistogramSample& h = first.histograms[0];
+  // q = 0 is the observed minimum, not the first occupied bucket's upper
+  // bound (3e-3 sits in the 5e-3 bucket).
+  EXPECT_NEAR(h.QuantileSeconds(0.0), 3e-3, 1e-9);
+  EXPECT_NEAR(h.QuantileSeconds(-1.0), 3e-3, 1e-9);  // clamped to 0
+  // q = 1 lands in the overflow bucket, which has no upper bound; the
+  // observed maximum is the only honest answer.
+  EXPECT_NEAR(h.QuantileSeconds(1.0), 40.0, 1e-6);
+  EXPECT_NEAR(h.QuantileSeconds(2.0), 40.0, 1e-6);  // clamped to 1
+  // Mid quantiles keep reporting bucket bounds.
+  EXPECT_DOUBLE_EQ(h.QuantileSeconds(0.5), 1e-2);
+
+  // An empty histogram has no observations to report.
+  HistogramSample empty;
+  EXPECT_DOUBLE_EQ(empty.QuantileSeconds(0.5), 0.0);
+
+  // When every sample overflows, all quantiles clamp to the maximum.
+  registry.RecordLatency("over", 12.0);
+  registry.RecordLatency("over", 30.0);
+  const MetricsSnapshot snap = registry.Snapshot();
+  const HistogramSample& over = snap.histograms[1];
+  ASSERT_EQ(over.name, "over");
+  EXPECT_NEAR(over.QuantileSeconds(0.0), 12.0, 1e-6);
+  EXPECT_NEAR(over.QuantileSeconds(0.5), 30.0, 1e-6);
+  EXPECT_NEAR(over.QuantileSeconds(1.0), 30.0, 1e-6);
+}
+
+TEST(MetricsTest, DumpPrometheusExposesSanitizedNamesAndHistograms) {
+  MetricsRegistry registry;
+  registry.AddCounter("search.queries", 7);
+  registry.SetGauge("pool.depth", 3.5);
+  registry.RecordLatency("stage.voxelize", 2e-3);
+  registry.RecordLatency("stage.voxelize", 30.0);  // overflow sample
+  const std::string text = registry.Snapshot().DumpPrometheus();
+  // Metric names are prefixed and sanitized for the exposition format.
+  EXPECT_NE(text.find("# TYPE dess_search_queries counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("dess_search_queries 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE dess_pool_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE dess_stage_voxelize_seconds histogram"),
+            std::string::npos);
+  // Cumulative buckets end at +Inf with the total count, and the
+  // histogram carries _sum/_count.
+  EXPECT_NE(text.find("dess_stage_voxelize_seconds_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("dess_stage_voxelize_seconds_count 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("dess_stage_voxelize_seconds_sum"), std::string::npos);
+  // No raw (unsanitized) metric names leak into the output.
+  EXPECT_EQ(text.find("stage.voxelize"), std::string::npos);
+}
+
 TEST(MetricsTest, ConcurrentCounterAndHistogramUpdatesSumExactly) {
   MetricsRegistry registry;
   constexpr int kThreads = 8;
