@@ -1,0 +1,333 @@
+// Open-loop load generator for dess_serve: offered load is scheduled on a
+// fixed clock (request i departs at start + i/qps) regardless of how fast
+// the server answers, so queueing delay is charged to latency instead of
+// silently throttling the generator (the closed-loop coordinated-omission
+// trap). One in-process server on an ephemeral loopback port; one
+// pipelined client connection per QPS step (a sender thread paces the
+// schedule, a receiver thread matches replies by request id).
+//
+// Per step it reports offered QPS vs {p50, p99, p999} of OK-request
+// latency measured from the *scheduled* send time, plus the completed
+// count per status class (error rate per class). Results are printed as a
+// table and merged into BENCH_pipeline.json: a "dess_serve_load" top-level
+// key with the full table, and one "BM_ServeOpenLoop/qps:N" benchmarks[]
+// entry per step (real_time = p99 ns) so scripts/bench_diff.py tracks the
+// serving tail across runs.
+//
+// Usage: load_open_loop [--smoke] [--out=FILE.json]
+//   --smoke  tiny steps/duration for CI (ctest bench_serve_load)
+//   --out    google-benchmark JSON report to merge into (created if absent)
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cctype>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/serve/client.h"
+#include "src/serve/server.h"
+#include "src/serve/synthetic.h"
+
+namespace {
+
+using namespace dess;
+using Clock = std::chrono::steady_clock;
+
+struct StepResult {
+  int qps = 0;
+  int offered = 0;    // requests scheduled and sent
+  int completed = 0;  // responses received (any class)
+  double p50_s = 0.0, p99_s = 0.0, p999_s = 0.0;
+  std::vector<uint64_t> by_code = std::vector<uint64_t>(kNumStatusCodes, 0);
+};
+
+double Quantile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const size_t idx = static_cast<size_t>(q * (sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+/// Drives one QPS step over a fresh connection. `num_shapes` bounds the
+/// query-by-id rotation.
+Result<StepResult> RunStep(uint16_t port, int qps, double duration_s,
+                           int num_shapes) {
+  DESS_ASSIGN_OR_RETURN(std::unique_ptr<Client> client,
+                        Client::Connect("127.0.0.1", port));
+  StepResult result;
+  result.qps = qps;
+  result.offered = std::max(1, static_cast<int>(qps * duration_s));
+
+  // request id -> scheduled departure time. The sender inserts under the
+  // lock *around* Send() so the receiver (which can only see a reply after
+  // the send) always finds the id.
+  std::unordered_map<uint64_t, Clock::time_point> scheduled;
+  std::mutex mu;
+  Status receiver_status;
+  std::vector<double> ok_latencies;
+
+  std::thread receiver([&] {
+    for (int received = 0; received < result.offered; ++received) {
+      auto reply = client->Receive();
+      if (!reply.ok()) {
+        receiver_status = reply.status();
+        return;
+      }
+      const Clock::time_point now = Clock::now();
+      Clock::time_point departed;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        auto it = scheduled.find(reply->first);
+        if (it == scheduled.end()) {
+          receiver_status =
+              Status::Internal("reply for unknown request id " +
+                               std::to_string(reply->first));
+          return;
+        }
+        departed = it->second;
+        scheduled.erase(it);
+      }
+      ++result.completed;
+      const uint32_t code = reply->second.status_code;
+      if (code < result.by_code.size()) ++result.by_code[code];
+      if (reply->second.ok()) {
+        ok_latencies.push_back(
+            std::chrono::duration<double>(now - departed).count());
+      }
+    }
+  });
+
+  const auto period =
+      std::chrono::duration_cast<Clock::duration>(
+          std::chrono::duration<double>(1.0 / qps));
+  const Clock::time_point start = Clock::now();
+  Status send_status;
+  for (int i = 0; i < result.offered; ++i) {
+    const Clock::time_point departure = start + period * i;
+    std::this_thread::sleep_until(departure);
+    WireQueryRequest request;
+    request.target = WireQueryRequest::Target::kById;
+    request.shape_id = i % num_shapes;
+    request.k = 10;
+    request.SetDeadlineBudget(std::chrono::seconds(1));
+    std::lock_guard<std::mutex> lock(mu);
+    auto id = client->Send(request);
+    if (!id.ok()) {
+      send_status = id.status();
+      break;
+    }
+    scheduled.emplace(*id, departure);
+  }
+
+  receiver.join();
+  DESS_RETURN_NOT_OK(send_status);
+  DESS_RETURN_NOT_OK(receiver_status);
+
+  std::sort(ok_latencies.begin(), ok_latencies.end());
+  result.p50_s = Quantile(ok_latencies, 0.50);
+  result.p99_s = Quantile(ok_latencies, 0.99);
+  result.p999_s = Quantile(ok_latencies, 0.999);
+  return result;
+}
+
+std::string StepJson(const StepResult& r) {
+  std::ostringstream os;
+  os << "{\"qps\": " << r.qps << ", \"offered\": " << r.offered
+     << ", \"completed\": " << r.completed << ", \"p50_seconds\": " << r.p50_s
+     << ", \"p99_seconds\": " << r.p99_s
+     << ", \"p999_seconds\": " << r.p999_s << ", \"by_code\": {";
+  bool first = true;
+  for (int c = 0; c < kNumStatusCodes; ++c) {
+    if (r.by_code[c] == 0) continue;
+    if (!first) os << ", ";
+    first = false;
+    os << "\"" << StatusCodeToString(static_cast<StatusCode>(c))
+       << "\": " << r.by_code[c];
+  }
+  os << "}}";
+  return os.str();
+}
+
+std::string BenchmarkEntryJson(const StepResult& r) {
+  std::ostringstream os;
+  const double p99_ns = r.p99_s * 1e9;
+  os << "    {\n"
+     << "      \"name\": \"BM_ServeOpenLoop/qps:" << r.qps << "\",\n"
+     << "      \"run_name\": \"BM_ServeOpenLoop/qps:" << r.qps << "\",\n"
+     << "      \"run_type\": \"iteration\",\n"
+     << "      \"iterations\": " << r.completed << ",\n"
+     << "      \"real_time\": " << p99_ns << ",\n"
+     << "      \"cpu_time\": " << p99_ns << ",\n"
+     << "      \"time_unit\": \"ns\"\n"
+     << "    }";
+  return os.str();
+}
+
+/// Removes serve-load data a previous run merged into `report`, so
+/// re-running against the same file (the ci script's full pass followed by
+/// its `-L serve` pass) replaces rather than duplicates. Both shapes being
+/// erased are exactly what this binary writes: flat one-level JSON
+/// objects, so scanning to the next '}' / ']' is sound.
+void StripExistingServeLoad(std::string& report) {
+  while (true) {
+    const size_t start =
+        report.find("{\n      \"name\": \"BM_ServeOpenLoop");
+    if (start == std::string::npos) break;
+    size_t end = report.find('}', start);
+    if (end == std::string::npos) break;
+    ++end;
+    size_t after = end;
+    while (after < report.size() &&
+           std::isspace(static_cast<unsigned char>(report[after]))) {
+      ++after;
+    }
+    size_t from = start;
+    if (after < report.size() && report[after] == ',') {
+      end = after + 1;  // swallow the separator after this entry
+    } else {
+      size_t before = start;  // last entry: swallow the comma before it
+      while (before > 0 &&
+             std::isspace(static_cast<unsigned char>(report[before - 1]))) {
+        --before;
+      }
+      if (before > 0 && report[before - 1] == ',') from = before - 1;
+    }
+    report.erase(from, end - from);
+  }
+  const size_t key = report.find("\"dess_serve_load\":");
+  if (key != std::string::npos) {
+    const size_t close = report.find(']', key);
+    if (close != std::string::npos) {
+      size_t from = key;
+      size_t before = key;
+      while (before > 0 &&
+             std::isspace(static_cast<unsigned char>(report[before - 1]))) {
+        --before;
+      }
+      if (before > 0 && report[before - 1] == ',') from = before - 1;
+      report.erase(from, close + 1 - from);
+    }
+  }
+}
+
+/// Merges the step table into a google-benchmark JSON report: entries are
+/// prepended to "benchmarks" and the raw table lands under a top-level
+/// "dess_serve_load" key (replacing any previous run's). Creates a minimal
+/// report when `path` is absent (running standalone, before any
+/// bench_smoke).
+bool MergeIntoReport(const std::string& path,
+                     const std::vector<StepResult>& steps) {
+  std::string entries;
+  std::string table = "[";
+  for (size_t i = 0; i < steps.size(); ++i) {
+    if (i) {
+      entries += ",\n";
+      table += ", ";
+    }
+    entries += BenchmarkEntryJson(steps[i]);
+    table += StepJson(steps[i]);
+  }
+  table += "]";
+
+  std::string report;
+  {
+    std::ifstream in(path);
+    if (in) {
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      report = buffer.str();
+    }
+  }
+  StripExistingServeLoad(report);
+  if (report.empty()) {
+    report = "{\n  \"context\": {\"executable\": \"load_open_loop\"},\n"
+             "  \"benchmarks\": [\n" + entries + "\n  ],\n" +
+             "  \"dess_serve_load\": " + table + "\n}\n";
+  } else {
+    const size_t array = report.find("\"benchmarks\": [");
+    const size_t close = report.find_last_of('}');
+    if (array == std::string::npos || close == std::string::npos) {
+      return false;
+    }
+    report.insert(close, ",\n  \"dess_serve_load\": " + table + "\n");
+    const size_t after = report.find('[', array) + 1;
+    report.insert(after, "\n" + entries + ",");
+  }
+  std::ofstream out(path, std::ios::trunc);
+  out << report;
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strncmp(argv[i], "--out=", 6) == 0) out_path = argv[i] + 6;
+  }
+
+  const int num_groups = 8, group_size = 6, num_noise = 10;
+  const int num_shapes = num_groups * group_size + num_noise;
+  auto system = MakeSyntheticCorpusSystem(num_groups, group_size, num_noise);
+  if (!system.ok()) {
+    std::fprintf(stderr, "corpus: %s\n", system.status().ToString().c_str());
+    return 1;
+  }
+  Server server(system->get());
+  if (Status st = server.Start(); !st.ok()) {
+    std::fprintf(stderr, "start: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  const std::vector<int> qps_steps =
+      smoke ? std::vector<int>{200, 400}
+            : std::vector<int>{500, 1000, 2000, 4000};
+  const double duration_s = smoke ? 0.25 : 2.0;
+
+  std::printf("%8s  %8s  %8s  %10s  %10s  %10s  %s\n", "qps", "offered",
+              "ok", "p50_ms", "p99_ms", "p999_ms", "errors");
+  std::vector<StepResult> steps;
+  for (int qps : qps_steps) {
+    auto step = RunStep(server.port(), qps, duration_s, num_shapes);
+    if (!step.ok()) {
+      std::fprintf(stderr, "qps %d: %s\n", qps,
+                   step.status().ToString().c_str());
+      server.Stop();
+      return 1;
+    }
+    std::string errors;
+    for (int c = 1; c < kNumStatusCodes; ++c) {
+      if (step->by_code[c] == 0) continue;
+      if (!errors.empty()) errors += " ";
+      errors += std::string(StatusCodeToString(static_cast<StatusCode>(c))) +
+                "=" + std::to_string(step->by_code[c]);
+    }
+    std::printf("%8d  %8d  %8llu  %10.3f  %10.3f  %10.3f  %s\n", step->qps,
+                step->offered,
+                static_cast<unsigned long long>(step->by_code[0]),
+                step->p50_s * 1e3, step->p99_s * 1e3, step->p999_s * 1e3,
+                errors.empty() ? "-" : errors.c_str());
+    steps.push_back(std::move(*step));
+  }
+  server.Stop();
+
+  if (!out_path.empty()) {
+    if (!MergeIntoReport(out_path, steps)) {
+      std::fprintf(stderr, "cannot merge results into %s\n",
+                   out_path.c_str());
+      return 1;
+    }
+    std::printf("merged %zu serve-load entries into %s\n", steps.size(),
+                out_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,123 @@
+// dess_client: scripted client batch against a running dess_serve.
+//
+// Usage: dess_client --port N [--host H]
+//
+// Runs the loopback smoke sequence the CI serve step relies on:
+//  1. ping (liveness + framing round trip);
+//  2. a batch of top-k queries by shape id, checking each returns ranked
+//     results under the deadline budget;
+//  3. a query whose deadline budget is already spent, asserting the server
+//     rejects it with DeadlineExceeded and a non-zero trace id;
+//  4. a stats fetch, printing the server-side latency quantiles.
+//
+// Exits 0 only when every assertion holds.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include <chrono>
+#include <string>
+
+#include "src/serve/client.h"
+
+int main(int argc, char** argv) {
+  using namespace dess;
+  std::string host = "127.0.0.1";
+  int port = 0;
+  for (int i = 1; i < argc - 1; ++i) {
+    if (std::strcmp(argv[i], "--port") == 0) port = std::atoi(argv[++i]);
+    if (std::strcmp(argv[i], "--host") == 0) host = argv[++i];
+  }
+  if (port <= 0) {
+    std::fprintf(stderr, "usage: dess_client --port N [--host H]\n");
+    return 2;
+  }
+
+  auto client = Client::Connect(host, static_cast<uint16_t>(port));
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect: %s\n", client.status().ToString().c_str());
+    return 1;
+  }
+
+  if (Status st = (*client)->Ping(); !st.ok()) {
+    std::fprintf(stderr, "ping: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("ping ok\n");
+
+  // Scripted query batch: top-5 by id over the first few committed shapes,
+  // each under a generous 5 s budget.
+  for (int id = 0; id < 4; ++id) {
+    WireQueryRequest request;
+    request.target = WireQueryRequest::Target::kById;
+    request.shape_id = id;
+    request.k = 5;
+    request.SetDeadlineBudget(std::chrono::seconds(5));
+    auto response = (*client)->Query(request);
+    if (!response.ok()) {
+      std::fprintf(stderr, "query %d transport: %s\n", id,
+                   response.status().ToString().c_str());
+      return 1;
+    }
+    if (!response->ok()) {
+      std::fprintf(stderr, "query %d: %s\n", id,
+                   response->ToStatus().ToString().c_str());
+      return 1;
+    }
+    if (response->results.empty()) {
+      std::fprintf(stderr, "query %d: no results\n", id);
+      return 1;
+    }
+    std::printf("query %d: %zu results, best id=%d sim=%.3f (trace %llu)\n",
+                id, response->results.size(), response->results[0].id,
+                response->results[0].similarity,
+                static_cast<unsigned long long>(response->trace_id));
+  }
+
+  // Past-deadline request: the budget is spent before it is sent, so the
+  // server must reject at admission with DeadlineExceeded — and still hand
+  // back a trace id for correlation.
+  {
+    WireQueryRequest request;
+    request.target = WireQueryRequest::Target::kById;
+    request.shape_id = 0;
+    request.k = 5;
+    request.SetDeadlineBudget(std::chrono::milliseconds(-1));
+    auto response = (*client)->Query(request);
+    if (!response.ok()) {
+      std::fprintf(stderr, "deadline probe transport: %s\n",
+                   response.status().ToString().c_str());
+      return 1;
+    }
+    if (response->code() != StatusCode::kDeadlineExceeded) {
+      std::fprintf(stderr,
+                   "deadline probe: expected DeadlineExceeded, got %s\n",
+                   response->ToStatus().ToString().c_str());
+      return 1;
+    }
+    if (response->trace_id == 0) {
+      std::fprintf(stderr, "deadline probe: rejection carried no trace id\n");
+      return 1;
+    }
+    std::printf("past-deadline request rejected as expected (trace %llu)\n",
+                static_cast<unsigned long long>(response->trace_id));
+  }
+
+  auto stats = (*client)->GetStats();
+  if (!stats.ok()) {
+    std::fprintf(stderr, "stats: %s\n", stats.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "server stats: %llu requests, p50=%.3fms p99=%.3fms p999=%.3fms, "
+      "deadline_exceeded=%llu\n",
+      static_cast<unsigned long long>(stats->requests),
+      stats->p50_seconds * 1e3, stats->p99_seconds * 1e3,
+      stats->p999_seconds * 1e3,
+      static_cast<unsigned long long>(
+          stats->errors_by_code[static_cast<int>(
+              StatusCode::kDeadlineExceeded)]));
+  std::printf("all checks passed\n");
+  return 0;
+}

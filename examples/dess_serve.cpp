@@ -1,0 +1,68 @@
+// dess_serve: stand up the network front end over a synthetic committed
+// corpus and serve the binary wire protocol until SIGINT/SIGTERM.
+//
+// Usage: dess_serve [--port N] [--groups N] [--group-size N] [--noise N]
+//
+// With --port 0 (the default) the kernel picks an ephemeral port; the
+// chosen port is printed to stdout as "dess_serve listening on HOST:PORT"
+// so scripts (scripts/serve_smoke.sh) can parse it before connecting.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "src/serve/server.h"
+#include "src/serve/synthetic.h"
+
+namespace {
+std::atomic<bool> g_stop{false};
+void HandleSignal(int) { g_stop.store(true); }
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dess;
+  ServerOptions options;
+  int num_groups = 8, group_size = 6, num_noise = 10;
+  for (int i = 1; i < argc - 1; ++i) {
+    if (std::strcmp(argv[i], "--port") == 0) {
+      options.port = static_cast<uint16_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--groups") == 0) {
+      num_groups = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--group-size") == 0) {
+      group_size = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--noise") == 0) {
+      num_noise = std::atoi(argv[++i]);
+    }
+  }
+
+  auto system = MakeSyntheticCorpusSystem(num_groups, group_size, num_noise);
+  if (!system.ok()) {
+    std::fprintf(stderr, "corpus: %s\n", system.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "committed %d shapes (%d groups x %d + %d noise)\n",
+               num_groups * group_size + num_noise, num_groups, group_size,
+               num_noise);
+
+  Server server(system->get(), options);
+  if (Status st = server.Start(); !st.ok()) {
+    std::fprintf(stderr, "start: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  // Scripts parse this exact line; keep it on stdout and flushed.
+  std::printf("dess_serve listening on 127.0.0.1:%u\n", server.port());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.Stop();
+  return 0;
+}

@@ -59,10 +59,13 @@ def main():
     print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  "
           f"{'delta':>8}")
     regressions = []
+    new_series, retired_series = [], []
     for name in names:
         b, c = base.get(name), curr.get(name)
         if b is None or c is None:
-            status = "only in current" if b is None else "only in baseline"
+            status = "skipped: not in baseline" if b is None \
+                else "skipped: not in current"
+            (new_series if b is None else retired_series).append(name)
             print(f"{name:<{width}}  {'-' if b is None else f'{b:12.0f}'}"
                   f"{'':>2}{'-' if c is None else f'{c:12.0f}'}"
                   f"{'':>2}  ({status})")
@@ -72,6 +75,20 @@ def main():
         print(f"{name:<{width}}  {b:12.0f}  {c:12.0f}  {delta:+7.1f}%{flag}")
         if delta > args.threshold:
             regressions.append((name, delta))
+
+    # Series present in only one report are skipped, never failed: a new
+    # benchmark (e.g. a serving series the seed report predates) or a
+    # retired one must not break the comparison.
+    if new_series:
+        print(f"\nbench_diff: skipped {len(new_series)} series absent from "
+              f"the baseline (new since seed): "
+              f"{', '.join(new_series[:5])}"
+              f"{', ...' if len(new_series) > 5 else ''}")
+    if retired_series:
+        print(f"bench_diff: skipped {len(retired_series)} series absent "
+              f"from the current report (retired): "
+              f"{', '.join(retired_series[:5])}"
+              f"{', ...' if len(retired_series) > 5 else ''}")
 
     if regressions:
         print(f"\nbench_diff: {len(regressions)} benchmark(s) regressed "

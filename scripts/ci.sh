@@ -29,6 +29,15 @@ run_preset() {
 
 run_preset ci
 
+# Serving-layer loopback smoke, isolated for visibility: the wire-protocol
+# end-to-end tests, the open-loop load smoke, and the dess_serve +
+# dess_client script batch (which asserts a past-deadline request is
+# rejected with DeadlineExceeded). All carry the ctest label `serve` and
+# also run as part of the unfiltered ci pass above; this step makes a
+# serving regression fail loudly under its own banner.
+echo "==> [serve] loopback smoke (ctest -L serve)"
+ctest --preset ci -L serve -j "$JOBS"
+
 # Advisory perf comparison against the checked-in seed report: prints a
 # per-benchmark delta table and flags >20% median regressions. Wall-clock
 # numbers vary across hosts, so a regression warns but does not gate.

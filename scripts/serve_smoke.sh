@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Loopback smoke test of the serving layer using the real binaries: start
+# dess_serve on an ephemeral port, run the dess_client scripted batch
+# (pings, top-k queries, a past-deadline request that must come back as
+# DeadlineExceeded, a stats fetch), then tear the server down. Registered
+# as the `serve_loopback_smoke` ctest (label `serve`); runnable standalone.
+#
+# Usage: scripts/serve_smoke.sh [build-dir]   (default: build)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+SERVE_BIN="$BUILD_DIR/examples/dess_serve"
+CLIENT_BIN="$BUILD_DIR/examples/dess_client"
+
+if [[ ! -x "$SERVE_BIN" || ! -x "$CLIENT_BIN" ]]; then
+  echo "serve_smoke: $SERVE_BIN / $CLIENT_BIN not built" >&2
+  exit 1
+fi
+
+OUT="$(mktemp)"
+SERVER_PID=""
+cleanup() {
+  if [[ -n "$SERVER_PID" ]] && kill -0 "$SERVER_PID" 2>/dev/null; then
+    kill -TERM "$SERVER_PID" 2>/dev/null || true
+    wait "$SERVER_PID" 2>/dev/null || true
+  fi
+  rm -f "$OUT"
+}
+trap cleanup EXIT
+
+"$SERVE_BIN" --port 0 --groups 4 --group-size 4 --noise 4 > "$OUT" &
+SERVER_PID=$!
+
+# Wait for the server to print its bound port (ephemeral --port 0).
+PORT=""
+for _ in $(seq 1 100); do
+  PORT="$(sed -n 's/^dess_serve listening on .*:\([0-9][0-9]*\)$/\1/p' "$OUT")"
+  [[ -n "$PORT" ]] && break
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "serve_smoke: server exited before binding" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+if [[ -z "$PORT" ]]; then
+  echo "serve_smoke: server never reported a port" >&2
+  exit 1
+fi
+
+echo "serve_smoke: server pid $SERVER_PID on port $PORT"
+"$CLIENT_BIN" --port "$PORT"
+
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID"
+SERVER_PID=""
+echo "serve_smoke: clean shutdown"

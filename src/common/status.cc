@@ -28,6 +28,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "deadline exceeded";
     case StatusCode::kDataLoss:
       return "data loss";
+    case StatusCode::kResourceExhausted:
+      return "resource exhausted";
   }
   return "unknown";
 }

@@ -9,20 +9,51 @@ namespace dess {
 
 /// Machine-readable category of a failure, in the spirit of
 /// arrow::StatusCode / rocksdb::Status::Code.
+///
+/// The numeric values are a stable public contract: they are the error
+/// codes of the binary wire protocol (src/serve/wire.h) and the keys the
+/// slow-query log and per-class serving metrics aggregate on. Append new
+/// codes at the end with the next value; never renumber or reuse a value
+/// (the static_asserts below and common_test pin them).
 enum class StatusCode {
   kOk = 0,
-  kInvalidArgument,
-  kNotFound,
-  kAlreadyExists,
-  kOutOfRange,
-  kIOError,
-  kCorruption,
-  kNotImplemented,
-  kInternal,
-  kFailedPrecondition,
-  kDeadlineExceeded,
-  kDataLoss,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kIOError = 5,
+  kCorruption = 6,
+  kNotImplemented = 7,
+  kInternal = 8,
+  kFailedPrecondition = 9,
+  kDeadlineExceeded = 10,
+  kDataLoss = 11,
+  /// The server refused the request because a bounded resource (the
+  /// admission queue, in-flight budget, ...) is full. Retry later;
+  /// nothing about the request itself is wrong.
+  kResourceExhausted = 12,
 };
+
+// The wire protocol serializes StatusCode values verbatim; a drifted value
+// would silently re-map errors between client and server versions.
+static_assert(static_cast<int>(StatusCode::kOk) == 0 &&
+                  static_cast<int>(StatusCode::kInvalidArgument) == 1 &&
+                  static_cast<int>(StatusCode::kNotFound) == 2 &&
+                  static_cast<int>(StatusCode::kAlreadyExists) == 3 &&
+                  static_cast<int>(StatusCode::kOutOfRange) == 4 &&
+                  static_cast<int>(StatusCode::kIOError) == 5 &&
+                  static_cast<int>(StatusCode::kCorruption) == 6 &&
+                  static_cast<int>(StatusCode::kNotImplemented) == 7 &&
+                  static_cast<int>(StatusCode::kInternal) == 8 &&
+                  static_cast<int>(StatusCode::kFailedPrecondition) == 9 &&
+                  static_cast<int>(StatusCode::kDeadlineExceeded) == 10 &&
+                  static_cast<int>(StatusCode::kDataLoss) == 11 &&
+                  static_cast<int>(StatusCode::kResourceExhausted) == 12,
+              "StatusCode wire values must never drift");
+
+/// Number of pinned status codes (one past the last wire value). Wire
+/// decoders use this to map unknown peer codes to kInternal.
+inline constexpr int kNumStatusCodes = 13;
 
 /// Returns the canonical lowercase name of a status code ("ok",
 /// "invalid argument", ...).
@@ -82,6 +113,12 @@ class Status {
   /// a malformed stream.
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  /// A bounded serving resource (admission queue, in-flight budget) is
+  /// full; the request was rejected without being examined further and is
+  /// safe to retry.
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

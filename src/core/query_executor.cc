@@ -62,6 +62,20 @@ void QueryExecutor::Enqueue(Task task) {
   queue_not_empty_.notify_one();
 }
 
+bool QueryExecutor::TryEnqueue(Task task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_ || queue_.size() >= options_.max_queue_depth) {
+      MetricsRegistry::Global()->AddCounter("executor.admission_rejects");
+      return false;
+    }
+    queue_.push_back(std::move(task));
+    SetExecutorGauges(queue_.size(), active_workers_);
+  }
+  queue_not_empty_.notify_one();
+  return true;
+}
+
 void QueryExecutor::WorkerLoop() {
   while (true) {
     Task task;
@@ -126,6 +140,39 @@ std::future<Result<QueryResponse>> QueryExecutor::SubmitQueryById(
     promise->set_value(snapshot.value()->QueryById(query_id, request));
   });
   return future;
+}
+
+bool QueryExecutor::TrySubmitQuery(ShapeSignature query, QueryRequest request,
+                                   DoneCallback done) {
+  return TryEnqueue([this, query = std::move(query),
+                     request = std::move(request), done = std::move(done),
+                     ctx = ContextForSubmit()] {
+    ScopedTraceContext trace(ctx);
+    DESS_TIMED_SCOPE("executor.query");
+    MetricsRegistry::Global()->AddCounter("executor.queries");
+    Result<std::shared_ptr<const SystemSnapshot>> snapshot = provider_();
+    if (!snapshot.ok()) {
+      done(snapshot.status());
+      return;
+    }
+    done(snapshot.value()->Query(query, request));
+  });
+}
+
+bool QueryExecutor::TrySubmitQueryById(int query_id, QueryRequest request,
+                                       DoneCallback done) {
+  return TryEnqueue([this, query_id, request = std::move(request),
+                     done = std::move(done), ctx = ContextForSubmit()] {
+    ScopedTraceContext trace(ctx);
+    DESS_TIMED_SCOPE("executor.query");
+    MetricsRegistry::Global()->AddCounter("executor.queries");
+    Result<std::shared_ptr<const SystemSnapshot>> snapshot = provider_();
+    if (!snapshot.ok()) {
+      done(snapshot.status());
+      return;
+    }
+    done(snapshot.value()->QueryById(query_id, request));
+  });
 }
 
 std::vector<Result<QueryResponse>> QueryExecutor::QueryBatch(

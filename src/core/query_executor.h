@@ -60,6 +60,25 @@ class QueryExecutor {
   std::future<Result<QueryResponse>> SubmitQueryById(int query_id,
                                                      QueryRequest request);
 
+  /// Completion callback of the TrySubmit* admission path; runs on a
+  /// worker thread with the query's result.
+  using DoneCallback = std::function<void(Result<QueryResponse>)>;
+
+  /// Non-blocking admission for the serving layer: enqueues the query and
+  /// returns true, or returns false immediately when the queue is at
+  /// `max_queue_depth` — the overload signal the network server converts
+  /// into a ResourceExhausted reply instead of stalling its event loop the
+  /// way the blocking Submit* backpressure would. On success `done` runs
+  /// exactly once on a worker thread; on refusal it never runs. The
+  /// submitting thread's trace context (when active) is captured onto the
+  /// worker, so queue wait stays inside the request's trace.
+  bool TrySubmitQuery(ShapeSignature query, QueryRequest request,
+                      DoneCallback done);
+
+  /// Same, by database shape id.
+  bool TrySubmitQueryById(int query_id, QueryRequest request,
+                          DoneCallback done);
+
   /// Executes a batch of signature queries concurrently and returns the
   /// responses in submission order (blocking until all complete). Every
   /// query of one batch runs against the same snapshot, so the batch is
@@ -79,6 +98,9 @@ class QueryExecutor {
   void WorkerLoop();
   /// Blocks while the queue is full, then enqueues.
   void Enqueue(Task task);
+  /// Enqueues only if a slot is free; returns false (dropping the task)
+  /// when the queue is full or the executor is shutting down.
+  bool TryEnqueue(Task task);
 
   SnapshotProvider provider_;
   QueryExecutorOptions options_;

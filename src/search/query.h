@@ -91,9 +91,29 @@ struct QueryRequest {
   /// Optional deadline: the query fails with DeadlineExceeded if this time
   /// passes before execution starts (and between multi-step stages).
   /// Default-constructed (epoch) means no deadline.
+  ///
+  /// Set it with WithDeadlineAfter(budget) rather than assigning a raw
+  /// TimePoint: the builder is the one deadline idiom shared by library
+  /// callers and the wire protocol (whose relative budget the server
+  /// resolves the same way), so "how much time does this request have"
+  /// reads identically everywhere. Raw assignment remains for resolving a
+  /// wire budget against an explicit decode instant.
   TimePoint deadline{};
 
   bool has_deadline() const { return deadline != TimePoint{}; }
+
+  /// Gives the request a deadline `budget` from now and returns the
+  /// request for chaining:
+  ///   QueryRequest::TopK(kind, 10).WithDeadlineAfter(50ms)
+  /// A zero or negative budget yields an already-expired deadline — the
+  /// request is rejected with DeadlineExceeded before any work.
+  template <typename Rep, typename Period>
+  QueryRequest& WithDeadlineAfter(std::chrono::duration<Rep, Period> budget) {
+    deadline = std::chrono::steady_clock::now() +
+               std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                   budget);
+    return *this;
+  }
 
   static QueryRequest TopK(FeatureKind kind, size_t k) {
     QueryRequest r;

@@ -1,0 +1,134 @@
+#include "src/serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace dess {
+
+Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
+                                                uint16_t port) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IOError("client: socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return Status::InvalidArgument("client: bad address " + host);
+  }
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    return Status::IOError("client: cannot connect to " + host + ":" +
+                           std::to_string(port) + ": " +
+                           std::strerror(errno));
+  }
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<Client>(new Client(fd));
+}
+
+Client::~Client() {
+  if (fd_ >= 0) close(fd_);
+}
+
+Status Client::SendFrame(FrameType type, uint64_t request_id,
+                         std::string_view payload) {
+  const std::string frame = EncodeFrame(type, request_id, payload);
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n =
+        send(fd_, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return Status::IOError("client: connection lost while sending");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<WireFrame> Client::ReceiveFrame() {
+  while (true) {
+    Result<std::optional<WireFrame>> next = parser_.Next();
+    DESS_RETURN_NOT_OK(next.status());
+    if (next.value().has_value()) return std::move(*next.value());
+    char buffer[65536];
+    const ssize_t n = recv(fd_, buffer, sizeof(buffer), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return Status::IOError("client: connection closed by server");
+    }
+    parser_.Append(buffer, static_cast<size_t>(n));
+  }
+}
+
+Result<uint64_t> Client::Send(const WireQueryRequest& request) {
+  std::lock_guard<std::mutex> lock(send_mu_);
+  const uint64_t id = next_request_id_++;
+  DESS_RETURN_NOT_OK(
+      SendFrame(FrameType::kQuery, id, EncodeQueryRequest(request)));
+  return id;
+}
+
+Result<std::pair<uint64_t, WireQueryResponse>> Client::Receive() {
+  std::lock_guard<std::mutex> lock(recv_mu_);
+  DESS_ASSIGN_OR_RETURN(WireFrame frame, ReceiveFrame());
+  if (frame.type != FrameType::kResponse) {
+    return Status::Internal("client: unexpected frame type " +
+                            std::to_string(static_cast<int>(frame.type)));
+  }
+  if (!frame.payload_status.ok()) return frame.payload_status;
+  DESS_ASSIGN_OR_RETURN(WireQueryResponse response,
+                        DecodeQueryResponse(frame.payload));
+  return std::make_pair(frame.request_id, std::move(response));
+}
+
+Result<WireFrame> Client::AwaitReply(uint64_t request_id,
+                                     FrameType expected) {
+  std::lock_guard<std::mutex> lock(recv_mu_);
+  DESS_ASSIGN_OR_RETURN(WireFrame frame, ReceiveFrame());
+  if (!frame.payload_status.ok()) return frame.payload_status;
+  if (frame.request_id != request_id || frame.type != expected) {
+    return Status::Internal(
+        "client: out-of-order reply (mixing synchronous calls with "
+        "pipelined Receive?)");
+  }
+  return frame;
+}
+
+Result<WireQueryResponse> Client::Query(const WireQueryRequest& request) {
+  DESS_ASSIGN_OR_RETURN(const uint64_t id, Send(request));
+  DESS_ASSIGN_OR_RETURN(WireFrame frame,
+                        AwaitReply(id, FrameType::kResponse));
+  return DecodeQueryResponse(frame.payload);
+}
+
+Status Client::Ping() {
+  uint64_t id;
+  {
+    std::lock_guard<std::mutex> lock(send_mu_);
+    id = next_request_id_++;
+    DESS_RETURN_NOT_OK(SendFrame(FrameType::kPing, id, {}));
+  }
+  return AwaitReply(id, FrameType::kPong).status();
+}
+
+Result<WireServerStats> Client::GetStats() {
+  uint64_t id;
+  {
+    std::lock_guard<std::mutex> lock(send_mu_);
+    id = next_request_id_++;
+    DESS_RETURN_NOT_OK(SendFrame(FrameType::kStats, id, {}));
+  }
+  DESS_ASSIGN_OR_RETURN(WireFrame frame,
+                        AwaitReply(id, FrameType::kStatsReply));
+  return DecodeServerStats(frame.payload);
+}
+
+}  // namespace dess

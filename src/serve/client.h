@@ -1,0 +1,78 @@
+#ifndef DESS_SERVE_CLIENT_H_
+#define DESS_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "src/serve/wire.h"
+
+namespace dess {
+
+/// Blocking TCP client for the dess_serve wire protocol.
+///
+/// Two usage styles, per connection:
+///  - Synchronous: Query()/Ping()/GetStats() send one frame and wait for
+///    its reply.
+///  - Pipelined: Send() returns immediately with the assigned request id;
+///    Receive() blocks for the *next* response frame, whatever request it
+///    answers (the server may complete out of order) — the caller pairs
+///    ids itself. One thread may Send() while another Receive()s (the two
+///    directions are locked independently); multiple concurrent senders or
+///    receivers also serialize correctly, but mixing the synchronous calls
+///    with a concurrent Receive() thread would steal replies — pick one
+///    style per connection.
+class Client {
+ public:
+  /// Connects over TCP; IOError when the server is unreachable.
+  static Result<std::unique_ptr<Client>> Connect(const std::string& host,
+                                                 uint16_t port);
+
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends one query frame; returns the request id it travels under.
+  Result<uint64_t> Send(const WireQueryRequest& request);
+
+  /// Blocks for the next response frame. The returned pair is {request id,
+  /// decoded response}; a response whose `status_code` is non-zero is a
+  /// per-request server error (the transport is fine). A non-OK Result
+  /// means the connection itself failed.
+  Result<std::pair<uint64_t, WireQueryResponse>> Receive();
+
+  /// Send + wait for the matching reply (synchronous style).
+  Result<WireQueryResponse> Query(const WireQueryRequest& request);
+
+  /// Round-trips an empty ping frame — a liveness probe and, in pipelined
+  /// use, a barrier proving all earlier frames were parsed.
+  Status Ping();
+
+  /// Fetches the server's serving-side stats (latency quantiles and
+  /// per-class error counts).
+  Result<WireServerStats> GetStats();
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  Status SendFrame(FrameType type, uint64_t request_id,
+                   std::string_view payload);
+  /// Reads until one complete frame is parsed; fatal parse errors poison
+  /// the connection.
+  Result<WireFrame> ReceiveFrame();
+  /// Waits for the frame answering `request_id` with the given type,
+  /// failing on anything unexpected (synchronous style only).
+  Result<WireFrame> AwaitReply(uint64_t request_id, FrameType expected);
+
+  int fd_ = -1;
+  std::mutex send_mu_;
+  uint64_t next_request_id_ = 1;  // guarded by send_mu_
+  std::mutex recv_mu_;
+  FrameParser parser_;  // guarded by recv_mu_
+};
+
+}  // namespace dess
+
+#endif  // DESS_SERVE_CLIENT_H_

@@ -1,0 +1,504 @@
+#include "src/serve/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/common/metrics.h"
+#include "src/common/trace.h"
+
+namespace dess {
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+bool SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+/// Registry counter name for a completed request's status class, e.g.
+/// "serve.responses.deadline_exceeded".
+std::string ResponseClassCounter(StatusCode code) {
+  std::string name = "serve.responses.";
+  for (char c : StatusCodeToString(code)) {
+    name.push_back(c == ' ' || c == '/' ? '_' : c);
+  }
+  return name;
+}
+
+}  // namespace
+
+/// Shared between the event loop and executor-worker completion
+/// callbacks. Callbacks may outlive Stop() (the executor drains its queue
+/// on destruction), so they hold this state via shared_ptr and check
+/// `closed` under the lock before touching the wake pipe.
+struct CompletionState {
+  struct Completion {
+    uint64_t conn_id = 0;
+    std::string frame;  // fully encoded, ready to write
+  };
+
+  std::mutex mu;
+  std::vector<Completion> ready;  // guarded by mu
+  int wake_fd = -1;               // guarded by mu (validity), write-only
+  bool closed = false;            // guarded by mu
+
+  std::atomic<size_t> in_flight{0};
+  std::atomic<uint64_t> requests{0};
+  /// Mirrors the loop-owned connection map's size so Stats() can read it
+  /// from any thread.
+  std::atomic<uint64_t> connection_count{0};
+  std::array<std::atomic<uint64_t>, kNumStatusCodes> by_code{};
+
+  void CountCompletion(StatusCode code) {
+    by_code[static_cast<size_t>(code)].fetch_add(1,
+                                                 std::memory_order_relaxed);
+    MetricsRegistry::Global()->AddCounter(ResponseClassCounter(code));
+  }
+
+  /// Hands one encoded reply to the event loop (dropped after Stop()).
+  void Push(uint64_t conn_id, std::string frame) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (closed) return;
+    ready.push_back({conn_id, std::move(frame)});
+    // Wake the poll loop; a full pipe is fine (it is already waking).
+    const char byte = 1;
+    [[maybe_unused]] ssize_t n = write(wake_fd, &byte, 1);
+  }
+};
+
+struct Server::Impl {
+  Dess3System* system = nullptr;
+  ServerOptions options;
+  QueryExecutor* executor = nullptr;
+
+  int listen_fd = -1;
+  int wake_read_fd = -1;
+  std::atomic<bool> stop{false};
+
+  std::shared_ptr<CompletionState> completions =
+      std::make_shared<CompletionState>();
+
+  struct Connection {
+    int fd = -1;
+    FrameParser parser;
+    std::string out;       // pending bytes to write
+    size_t out_pos = 0;    // prefix of `out` already written
+    bool closing = false;  // close once `out` drains
+  };
+
+  uint64_t next_conn_id = 1;
+  std::unordered_map<uint64_t, Connection> connections;
+
+  ~Impl() {
+    if (listen_fd >= 0) close(listen_fd);
+    if (wake_read_fd >= 0) close(wake_read_fd);
+    {
+      std::lock_guard<std::mutex> lock(completions->mu);
+      completions->closed = true;
+      if (completions->wake_fd >= 0) close(completions->wake_fd);
+      completions->wake_fd = -1;
+    }
+    for (auto& [id, conn] : connections) close(conn.fd);
+  }
+
+  void Loop();
+  void DrainWakePipe();
+  void DrainCompletions();
+  void AcceptNew();
+  void ReadFrom(uint64_t conn_id, Connection& conn);
+  void HandleFrame(Connection& conn, uint64_t conn_id, WireFrame frame);
+  void HandleQuery(Connection& conn, uint64_t conn_id, const WireFrame& frame);
+  void SendReply(Connection& conn, FrameType type, uint64_t request_id,
+                 std::string_view payload);
+  void SendError(Connection& conn, uint64_t request_id, const Status& status,
+                 uint64_t trace_id);
+  bool FlushWrites(Connection& conn);
+  WireServerStats BuildStats() const;
+};
+
+void Server::Impl::SendReply(Connection& conn, FrameType type,
+                             uint64_t request_id, std::string_view payload) {
+  conn.out += EncodeFrame(type, request_id, payload);
+}
+
+void Server::Impl::SendError(Connection& conn, uint64_t request_id,
+                             const Status& status, uint64_t trace_id) {
+  completions->CountCompletion(status.code());
+  SendReply(conn, FrameType::kResponse, request_id,
+            EncodeQueryResponse(MakeErrorResponse(status, trace_id)));
+}
+
+WireServerStats Server::Impl::BuildStats() const {
+  WireServerStats stats;
+  stats.requests = completions->requests.load(std::memory_order_relaxed);
+  stats.connections =
+      completions->connection_count.load(std::memory_order_relaxed);
+  stats.in_flight = completions->in_flight.load(std::memory_order_relaxed);
+  for (int c = 0; c < kNumStatusCodes; ++c) {
+    stats.errors_by_code[c] =
+        completions->by_code[c].load(std::memory_order_relaxed);
+  }
+  const MetricsSnapshot snapshot = MetricsRegistry::Global()->Snapshot();
+  for (const HistogramSample& h : snapshot.histograms) {
+    if (h.name == "serve.request") {
+      stats.p50_seconds = h.QuantileSeconds(0.50);
+      stats.p99_seconds = h.QuantileSeconds(0.99);
+      stats.p999_seconds = h.QuantileSeconds(0.999);
+      break;
+    }
+  }
+  return stats;
+}
+
+void Server::Impl::HandleQuery(Connection& conn, uint64_t conn_id,
+                               const WireFrame& frame) {
+  MetricsRegistry::Global()->AddCounter("serve.requests");
+  completions->requests.fetch_add(1, std::memory_order_relaxed);
+
+  // Every network request gets a trace id at the door — including ones
+  // rejected below — so any reply a client ever sees can be matched to
+  // server-side diagnostics.
+  const TraceContext ctx = Tracer::Global()->StartTrace();
+
+  Result<WireQueryRequest> decoded = DecodeQueryRequest(frame.payload);
+  if (!decoded.ok()) {
+    SendError(conn, frame.request_id, decoded.status(), ctx.trace_id);
+    return;
+  }
+  const WireQueryRequest& wire = decoded.value();
+  const SteadyClock::time_point now = SteadyClock::now();
+  QueryRequest request = ToQueryRequest(wire, now);
+
+  // Admission check 1: the relative budget may already be spent (non-
+  // positive on the wire, or decode happened after a long socket queue).
+  // Reject before the executor — the engine is never touched.
+  if (request.has_deadline() && request.deadline <= now) {
+    MetricsRegistry::Global()->AddCounter("serve.rejected.deadline");
+    SendError(conn, frame.request_id,
+              Status::DeadlineExceeded(
+                  "deadline budget expired before dispatch"),
+              ctx.trace_id);
+    return;
+  }
+
+  // Admission check 2: bounded in-flight work. Shedding here keeps the
+  // reply immediate under overload instead of parking the event loop on
+  // the executor's blocking backpressure.
+  if (options.max_in_flight > 0 &&
+      completions->in_flight.load(std::memory_order_relaxed) >=
+          options.max_in_flight) {
+    MetricsRegistry::Global()->AddCounter("serve.rejected.overload");
+    SendError(conn, frame.request_id,
+              Status::ResourceExhausted("server at max in-flight requests"),
+              ctx.trace_id);
+    return;
+  }
+
+  completions->in_flight.fetch_add(1, std::memory_order_relaxed);
+  MetricsRegistry::Global()->SetGauge(
+      "serve.in_flight",
+      static_cast<double>(
+          completions->in_flight.load(std::memory_order_relaxed)));
+
+  auto done = [state = completions, conn_id, request_id = frame.request_id,
+               trace_id = ctx.trace_id,
+               admitted = now](Result<QueryResponse> result) {
+    WireQueryResponse reply;
+    if (result.ok()) {
+      QueryResponse& response = result.value();
+      reply.trace_id = response.trace_id;
+      reply.epoch = response.epoch;
+      reply.results = std::move(response.results);
+      reply.stats = response.stats;
+      reply.stage_timings = std::move(response.stage_timings);
+    } else {
+      reply = MakeErrorResponse(result.status(), trace_id);
+    }
+    MetricsRegistry::Global()->RecordLatency(
+        "serve.request",
+        std::chrono::duration<double>(SteadyClock::now() - admitted).count());
+    state->CountCompletion(result.ok() ? StatusCode::kOk
+                                       : result.status().code());
+    state->in_flight.fetch_sub(1, std::memory_order_relaxed);
+    state->Push(conn_id, EncodeFrame(FrameType::kResponse, request_id,
+                                     EncodeQueryResponse(reply)));
+  };
+
+  // Install the request's context around the submit so the executor task
+  // inherits this trace (queue wait included) instead of starting its own.
+  ScopedTraceContext scope(ctx);
+  const bool admitted =
+      wire.target == WireQueryRequest::Target::kBySignature
+          ? executor->TrySubmitQuery(wire.signature, std::move(request),
+                                     std::move(done))
+          : executor->TrySubmitQueryById(wire.shape_id, std::move(request),
+                                         std::move(done));
+  if (!admitted) {
+    completions->in_flight.fetch_sub(1, std::memory_order_relaxed);
+    MetricsRegistry::Global()->AddCounter("serve.rejected.overload");
+    SendError(conn, frame.request_id,
+              Status::ResourceExhausted("executor queue full"), ctx.trace_id);
+  }
+}
+
+void Server::Impl::HandleFrame(Connection& conn, uint64_t conn_id,
+                               WireFrame frame) {
+  if (!frame.payload_status.ok()) {
+    // Framing held but the payload cannot be trusted (CRC mismatch,
+    // version skew, unknown type): one error reply, connection survives.
+    SendError(conn, frame.request_id, frame.payload_status,
+              Tracer::Global()->StartTrace().trace_id);
+    return;
+  }
+  switch (frame.type) {
+    case FrameType::kQuery:
+      HandleQuery(conn, conn_id, frame);
+      return;
+    case FrameType::kPing:
+      SendReply(conn, FrameType::kPong, frame.request_id, {});
+      return;
+    case FrameType::kStats:
+      SendReply(conn, FrameType::kStatsReply, frame.request_id,
+                EncodeServerStats(BuildStats()));
+      return;
+    default:
+      // A client sending server-to-client frame types is confused but not
+      // dangerous; answer with InvalidArgument.
+      SendError(conn, frame.request_id,
+                Status::InvalidArgument("wire: unexpected frame type"),
+                Tracer::Global()->StartTrace().trace_id);
+      return;
+  }
+}
+
+void Server::Impl::ReadFrom(uint64_t conn_id, Connection& conn) {
+  char buffer[65536];
+  while (true) {
+    const ssize_t n = recv(conn.fd, buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      conn.parser.Append(buffer, static_cast<size_t>(n));
+      if (static_cast<size_t>(n) < sizeof(buffer)) break;
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    // Peer closed (or hard error): stop reading, flush what we owe.
+    conn.closing = true;
+    break;
+  }
+  while (true) {
+    Result<std::optional<WireFrame>> next = conn.parser.Next();
+    if (!next.ok()) {
+      // Framing destroyed — drop the connection (iproto does the same on
+      // a bad greeting/length): there is no request id left to answer.
+      MetricsRegistry::Global()->AddCounter("serve.protocol_errors");
+      conn.closing = true;
+      conn.out.clear();
+      conn.out_pos = 0;
+      break;
+    }
+    if (!next.value().has_value()) break;
+    HandleFrame(conn, conn_id, std::move(*next.value()));
+  }
+}
+
+bool Server::Impl::FlushWrites(Connection& conn) {
+  while (conn.out_pos < conn.out.size()) {
+    const ssize_t n = send(conn.fd, conn.out.data() + conn.out_pos,
+                           conn.out.size() - conn.out_pos, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out_pos += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    return false;  // peer gone
+  }
+  if (conn.out_pos == conn.out.size()) {
+    conn.out.clear();
+    conn.out_pos = 0;
+  }
+  return true;
+}
+
+void Server::Impl::DrainWakePipe() {
+  char buffer[256];
+  while (read(wake_read_fd, buffer, sizeof(buffer)) > 0) {
+  }
+}
+
+void Server::Impl::DrainCompletions() {
+  std::vector<CompletionState::Completion> ready;
+  {
+    std::lock_guard<std::mutex> lock(completions->mu);
+    ready.swap(completions->ready);
+  }
+  for (CompletionState::Completion& completion : ready) {
+    auto it = connections.find(completion.conn_id);
+    if (it == connections.end()) continue;  // connection already gone
+    it->second.out += completion.frame;
+  }
+}
+
+void Server::Impl::AcceptNew() {
+  while (true) {
+    const int fd = accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) break;
+    if (static_cast<int>(connections.size()) >= options.max_connections ||
+        !SetNonBlocking(fd)) {
+      close(fd);
+      continue;
+    }
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    Connection conn;
+    conn.fd = fd;
+    connections.emplace(next_conn_id++, std::move(conn));
+    completions->connection_count.store(connections.size(),
+                                        std::memory_order_relaxed);
+    MetricsRegistry::Global()->SetGauge(
+        "serve.connections", static_cast<double>(connections.size()));
+  }
+}
+
+void Server::Impl::Loop() {
+  std::vector<pollfd> fds;
+  std::vector<uint64_t> fd_conn_ids;
+  while (!stop.load(std::memory_order_acquire)) {
+    fds.clear();
+    fd_conn_ids.clear();
+    fds.push_back({wake_read_fd, POLLIN, 0});
+    fds.push_back({listen_fd, POLLIN, 0});
+    for (auto& [id, conn] : connections) {
+      short events = POLLIN;
+      if (conn.out_pos < conn.out.size()) events |= POLLOUT;
+      fds.push_back({conn.fd, events, 0});
+      fd_conn_ids.push_back(id);
+    }
+    // 100ms cap so a missed wake can never wedge shutdown.
+    if (poll(fds.data(), fds.size(), 100) < 0 && errno != EINTR) break;
+
+    if (fds[0].revents & POLLIN) DrainWakePipe();
+    DrainCompletions();
+    if (fds[1].revents & POLLIN) AcceptNew();
+
+    std::vector<uint64_t> dead;
+    for (size_t i = 2; i < fds.size(); ++i) {
+      const uint64_t conn_id = fd_conn_ids[i - 2];
+      Connection& conn = connections[conn_id];
+      if (fds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) {
+        conn.closing = true;
+        conn.out.clear();
+        conn.out_pos = 0;
+      } else if (fds[i].revents & POLLIN) {
+        ReadFrom(conn_id, conn);
+      }
+      if (!FlushWrites(conn)) {
+        conn.closing = true;
+        conn.out.clear();
+        conn.out_pos = 0;
+      }
+      if (conn.out.size() - conn.out_pos > options.max_write_buffer_bytes) {
+        MetricsRegistry::Global()->AddCounter("serve.slow_reader_drops");
+        conn.closing = true;
+        conn.out.clear();
+        conn.out_pos = 0;
+      }
+      if (conn.closing && conn.out_pos >= conn.out.size()) {
+        dead.push_back(conn_id);
+      }
+    }
+    for (uint64_t conn_id : dead) {
+      close(connections[conn_id].fd);
+      connections.erase(conn_id);
+    }
+    if (!dead.empty()) {
+      completions->connection_count.store(connections.size(),
+                                          std::memory_order_relaxed);
+      MetricsRegistry::Global()->SetGauge(
+          "serve.connections", static_cast<double>(connections.size()));
+    }
+  }
+}
+
+Server::Server(Dess3System* system, const ServerOptions& options)
+    : system_(system), options_(options) {}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("server already running");
+  }
+  impl_ = std::make_unique<Impl>();
+  impl_->system = system_;
+  impl_->options = options_;
+  impl_->executor = &system_->Executor();
+
+  int pipe_fds[2];
+  if (pipe(pipe_fds) != 0) {
+    return Status::IOError("serve: pipe() failed");
+  }
+  SetNonBlocking(pipe_fds[0]);
+  SetNonBlocking(pipe_fds[1]);
+  impl_->wake_read_fd = pipe_fds[0];
+  impl_->completions->wake_fd = pipe_fds[1];
+
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IOError("serve: socket() failed");
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return Status::InvalidArgument("serve: bad bind address " +
+                                   options_.host);
+  }
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      listen(fd, 128) != 0 || !SetNonBlocking(fd)) {
+    close(fd);
+    return Status::IOError("serve: cannot bind " + options_.host + ":" +
+                           std::to_string(options_.port));
+  }
+  socklen_t addr_len = sizeof(addr);
+  getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  port_ = ntohs(addr.sin_port);
+  impl_->listen_fd = fd;
+
+  running_.store(true, std::memory_order_release);
+  loop_thread_ = std::thread([this] { impl_->Loop(); });
+  DESS_LOG(Info) << "dess_serve listening on " << options_.host << ":"
+                 << port_;
+  return Status::OK();
+}
+
+void Server::Stop() {
+  if (!running_.exchange(false)) return;
+  impl_->stop.store(true, std::memory_order_release);
+  impl_->completions->Push(0, "");  // wake the loop
+  loop_thread_.join();
+  impl_.reset();  // closes fds, detaches the completion queue
+}
+
+WireServerStats Server::Stats() const {
+  if (impl_ == nullptr) return WireServerStats{};
+  return impl_->BuildStats();
+}
+
+}  // namespace dess

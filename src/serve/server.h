@@ -1,0 +1,102 @@
+#ifndef DESS_SERVE_SERVER_H_
+#define DESS_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "src/core/system.h"
+#include "src/serve/wire.h"
+
+namespace dess {
+
+struct ServerOptions {
+  /// Interface to bind; loopback by default (the load harness and smoke
+  /// tests drive the server over 127.0.0.1).
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (read the choice from port()).
+  uint16_t port = 0;
+  /// Accepted connections beyond this are closed immediately.
+  int max_connections = 256;
+  /// Admission control: requests admitted to the executor but not yet
+  /// answered, across all connections. At the bound, new queries get an
+  /// immediate ResourceExhausted reply — the server sheds load instead of
+  /// queueing unboundedly (the executor's own queue depth bounds a second,
+  /// inner ring). 0 means "executor queue capacity only".
+  size_t max_in_flight = 128;
+  /// A connection whose outbound buffer exceeds this (a reader that never
+  /// drains responses) is dropped rather than ballooning server memory.
+  size_t max_write_buffer_bytes = 64u << 20;
+};
+
+/// `dess_serve`: the network front end of a committed Dess3System.
+///
+/// One event-loop thread multiplexes all connections with poll(2) over
+/// nonblocking sockets; query execution happens on the system's
+/// QueryExecutor workers. The loop therefore never blocks on the engine:
+/// a request frame is decoded, admission-checked, and handed to
+/// QueryExecutor::TrySubmit*, whose completion callback encodes the reply
+/// and wakes the loop through a self-pipe to flush it. Pipelined requests
+/// on one connection may complete out of order; the request id pairs them.
+///
+/// Request lifecycle and error taxonomy:
+///  - header-corrupt frame (bad magic, oversized length)  -> connection
+///    closed (framing is unrecoverable);
+///  - payload-corrupt frame (CRC mismatch, bad version, undecodable
+///    body) -> per-request error reply, connection survives;
+///  - expired deadline budget at admission -> DeadlineExceeded reply
+///    carrying a fresh trace id, without touching the engine;
+///  - executor queue or in-flight budget full -> ResourceExhausted reply;
+///  - engine errors pass through with their library status codes.
+///
+/// Metrics (registry names): serve.request latency histogram (admission to
+/// reply enqueue), serve.requests / serve.responses.<class> counters,
+/// serve.rejected.{deadline,overload} counters, serve.connections and
+/// serve.in_flight gauges.
+class Server {
+ public:
+  /// The served system must outlive the server and have a published
+  /// snapshot by the time the first query arrives (queries before the
+  /// first Commit() are answered with FailedPrecondition, same as the
+  /// library API).
+  Server(Dess3System* system, const ServerOptions& options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and starts the event-loop thread. IOError when the
+  /// address cannot be bound.
+  Status Start();
+
+  /// Stops accepting, closes every connection, and joins the loop thread.
+  /// In-flight executor callbacks finish against a detached completion
+  /// queue; their replies are dropped. Idempotent.
+  void Stop();
+
+  /// The bound TCP port (resolves the ephemeral choice when options.port
+  /// was 0). Valid after Start().
+  uint16_t port() const { return port_; }
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Snapshot of the serving-side stats, the same data a kStats frame
+  /// returns.
+  WireServerStats Stats() const;
+
+ private:
+  struct Impl;
+
+  Dess3System* system_;
+  ServerOptions options_;
+  std::unique_ptr<Impl> impl_;
+  std::atomic<bool> running_{false};
+  uint16_t port_ = 0;
+  std::thread loop_thread_;
+};
+
+}  // namespace dess
+
+#endif  // DESS_SERVE_SERVER_H_

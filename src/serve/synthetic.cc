@@ -1,0 +1,60 @@
+#include "src/serve/synthetic.h"
+
+#include <array>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace dess {
+
+Result<std::unique_ptr<Dess3System>> MakeSyntheticCorpusSystem(
+    int num_groups, int group_size, int num_noise, uint64_t seed,
+    const SystemOptions& options) {
+  if (num_groups * group_size + num_noise <= 0) {
+    return Status::InvalidArgument("synthetic corpus: no shapes requested");
+  }
+  Rng rng(seed);
+  auto system = std::make_unique<Dess3System>(options);
+  auto random_vector = [&rng](int dim, double spread) {
+    std::vector<double> v(dim);
+    for (double& x : v) x = rng.Uniform(-spread, spread);
+    return v;
+  };
+  for (int g = 0; g < num_groups; ++g) {
+    std::array<std::vector<double>, kNumFeatureKinds> centers;
+    for (FeatureKind kind : AllFeatureKinds()) {
+      centers[static_cast<int>(kind)] = random_vector(FeatureDim(kind), 1.0);
+    }
+    for (int m = 0; m < group_size; ++m) {
+      ShapeRecord record;
+      record.name = "g" + std::to_string(g) + "_m" + std::to_string(m);
+      record.group = g;
+      for (FeatureKind kind : AllFeatureKinds()) {
+        FeatureVector& fv = record.signature.Mutable(kind);
+        fv.kind = kind;
+        for (double c : centers[static_cast<int>(kind)]) {
+          fv.values.push_back(c + rng.NextGaussian() * 0.05);
+        }
+      }
+      system->IngestRecord(std::move(record));
+    }
+  }
+  for (int n = 0; n < num_noise; ++n) {
+    ShapeRecord record;
+    record.name = "noise" + std::to_string(n);
+    record.group = kUngrouped;
+    for (FeatureKind kind : AllFeatureKinds()) {
+      FeatureVector& fv = record.signature.Mutable(kind);
+      fv.kind = kind;
+      fv.values = random_vector(FeatureDim(kind), 1.0);
+    }
+    system->IngestRecord(std::move(record));
+  }
+  DESS_ASSIGN_OR_RETURN([[maybe_unused]] const uint64_t epoch,
+                        system->Commit());
+  return system;
+}
+
+}  // namespace dess

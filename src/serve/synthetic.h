@@ -1,0 +1,23 @@
+#ifndef DESS_SERVE_SYNTHETIC_H_
+#define DESS_SERVE_SYNTHETIC_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/core/system.h"
+
+namespace dess {
+
+/// Builds and commits a Dess3System over a synthetic pre-extracted corpus
+/// (no geometry pipeline): `num_groups` clusters of `group_size` shapes
+/// scattered tightly around random per-space centers, plus `num_noise`
+/// loners — the same shape the search unit tests use, sized for serving
+/// demos and the load harness where sub-second startup matters more than
+/// real geometry. Deterministic for a given seed.
+Result<std::unique_ptr<Dess3System>> MakeSyntheticCorpusSystem(
+    int num_groups, int group_size, int num_noise, uint64_t seed = 20260809,
+    const SystemOptions& options = {});
+
+}  // namespace dess
+
+#endif  // DESS_SERVE_SYNTHETIC_H_

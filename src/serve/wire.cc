@@ -1,0 +1,435 @@
+#include "src/serve/wire.h"
+
+#include <cstring>
+#include <utility>
+
+#include "src/common/crc32c.h"
+
+namespace dess {
+namespace {
+
+/// Little-endian append-only encoder over a std::string. The wire format
+/// is defined entirely by the Append*/Read* pairs below; both sides of the
+/// protocol funnel through them.
+class WireWriter {
+ public:
+  void AppendBytes(const void* data, size_t n) {
+    out_.append(static_cast<const char*>(data), n);
+  }
+  void AppendU8(uint8_t v) { AppendBytes(&v, 1); }
+  void AppendU16(uint16_t v) { AppendLe(v); }
+  void AppendU32(uint32_t v) { AppendLe(v); }
+  void AppendU64(uint64_t v) { AppendLe(v); }
+  void AppendI32(int32_t v) { AppendLe(static_cast<uint32_t>(v)); }
+  void AppendI64(int64_t v) { AppendLe(static_cast<uint64_t>(v)); }
+  void AppendF64(double v) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    AppendLe(bits);
+  }
+  void AppendString(std::string_view s) {
+    AppendU32(static_cast<uint32_t>(s.size()));
+    AppendBytes(s.data(), s.size());
+  }
+  void AppendF64Vector(const std::vector<double>& v) {
+    AppendU32(static_cast<uint32_t>(v.size()));
+    for (double d : v) AppendF64(d);
+  }
+
+  std::string Take() { return std::move(out_); }
+
+ private:
+  template <typename T>
+  void AppendLe(T v) {
+    char bytes[sizeof(T)];
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      bytes[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+    }
+    AppendBytes(bytes, sizeof(T));
+  }
+
+  std::string out_;
+};
+
+/// Bounds-checked little-endian reader over a byte view. Every length
+/// prefix is validated against the remaining bytes *before* any
+/// allocation, so a hostile payload cannot request a huge vector. Read
+/// methods return false once the view is exhausted or malformed; callers
+/// turn that into one Corruption status at the end.
+class WireReader {
+ public:
+  explicit WireReader(std::string_view data) : data_(data) {}
+
+  size_t Remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return Remaining() == 0; }
+
+  bool ReadU8(uint8_t* v) {
+    if (Remaining() < 1) return false;
+    *v = static_cast<uint8_t>(data_[pos_++]);
+    return true;
+  }
+  bool ReadU16(uint16_t* v) { return ReadLe(v); }
+  bool ReadU32(uint32_t* v) { return ReadLe(v); }
+  bool ReadU64(uint64_t* v) { return ReadLe(v); }
+  bool ReadI32(int32_t* v) {
+    uint32_t u;
+    if (!ReadLe(&u)) return false;
+    *v = static_cast<int32_t>(u);
+    return true;
+  }
+  bool ReadI64(int64_t* v) {
+    uint64_t u;
+    if (!ReadLe(&u)) return false;
+    *v = static_cast<int64_t>(u);
+    return true;
+  }
+  bool ReadF64(double* v) {
+    uint64_t bits;
+    if (!ReadLe(&bits)) return false;
+    std::memcpy(v, &bits, sizeof(bits));
+    return true;
+  }
+  bool ReadString(std::string* s) {
+    uint32_t n;
+    if (!ReadU32(&n) || n > Remaining()) return false;
+    s->assign(data_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  bool ReadF64Vector(std::vector<double>* v) {
+    uint32_t n;
+    if (!ReadU32(&n) || static_cast<uint64_t>(n) * 8 > Remaining()) {
+      return false;
+    }
+    v->resize(n);
+    for (double& d : *v) {
+      if (!ReadF64(&d)) return false;
+    }
+    return true;
+  }
+
+ private:
+  template <typename T>
+  bool ReadLe(T* v) {
+    if (Remaining() < sizeof(T)) return false;
+    T out = 0;
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      out |= static_cast<T>(static_cast<uint8_t>(data_[pos_ + i]))
+             << (8 * i);
+    }
+    pos_ += sizeof(T);
+    *v = out;
+    return true;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+Status MalformedPayload(const char* what) {
+  return Status::Corruption(std::string("wire: malformed payload: ") + what);
+}
+
+}  // namespace
+
+std::string EncodeFrame(FrameType type, uint64_t request_id,
+                        std::string_view payload) {
+  WireWriter w;
+  w.AppendU32(kWireMagic);
+  w.AppendU16(kWireVersion);
+  w.AppendU16(static_cast<uint16_t>(type));
+  w.AppendU64(request_id);
+  w.AppendU32(static_cast<uint32_t>(payload.size()));
+  w.AppendU32(Crc32c(payload.data(), payload.size()));
+  w.AppendBytes(payload.data(), payload.size());
+  return w.Take();
+}
+
+std::string EncodeQueryRequest(const WireQueryRequest& request) {
+  WireWriter w;
+  w.AppendU8(static_cast<uint8_t>(request.target));
+  w.AppendI32(request.shape_id);
+  if (request.target == WireQueryRequest::Target::kBySignature) {
+    w.AppendU32(static_cast<uint32_t>(request.signature.features.size()));
+    for (const FeatureVector& fv : request.signature.features) {
+      w.AppendString(fv.space);
+      w.AppendF64Vector(fv.values);
+    }
+  }
+  w.AppendU8(static_cast<uint8_t>(request.mode));
+  w.AppendI32(static_cast<int32_t>(request.kind));
+  w.AppendString(request.space);
+  w.AppendU64(request.k);
+  w.AppendF64(request.min_similarity);
+  w.AppendF64Vector(request.weights);
+  w.AppendU32(static_cast<uint32_t>(request.plan.stages.size()));
+  for (const MultiStepStage& stage : request.plan.stages) {
+    w.AppendI32(static_cast<int32_t>(stage.kind));
+    w.AppendString(stage.space);
+    w.AppendI32(stage.keep);
+  }
+  w.AppendU8(request.has_deadline ? 1 : 0);
+  w.AppendI64(request.deadline_budget_us);
+  return w.Take();
+}
+
+Result<WireQueryRequest> DecodeQueryRequest(std::string_view payload) {
+  WireReader r(payload);
+  WireQueryRequest out;
+  uint8_t target;
+  if (!r.ReadU8(&target) || target > 1) {
+    return MalformedPayload("query target");
+  }
+  out.target = static_cast<WireQueryRequest::Target>(target);
+  if (!r.ReadI32(&out.shape_id)) return MalformedPayload("shape id");
+  if (out.target == WireQueryRequest::Target::kBySignature) {
+    uint32_t num_spaces;
+    // Each space needs >= 8 bytes (two length prefixes); bounding the
+    // count by the remaining bytes rejects absurd vector counts early.
+    if (!r.ReadU32(&num_spaces) || num_spaces > r.Remaining() / 8) {
+      return MalformedPayload("signature space count");
+    }
+    out.signature.features.clear();
+    out.signature.features.resize(num_spaces);
+    for (uint32_t i = 0; i < num_spaces; ++i) {
+      FeatureVector& fv = out.signature.features[i];
+      fv.kind = static_cast<FeatureKind>(i);
+      if (!r.ReadString(&fv.space) || !r.ReadF64Vector(&fv.values)) {
+        return MalformedPayload("signature vector");
+      }
+    }
+  }
+  uint8_t mode;
+  if (!r.ReadU8(&mode) || mode > static_cast<uint8_t>(QueryMode::kMultiStep)) {
+    return MalformedPayload("query mode");
+  }
+  out.mode = static_cast<QueryMode>(mode);
+  int32_t kind;
+  if (!r.ReadI32(&kind)) return MalformedPayload("feature kind");
+  out.kind = static_cast<FeatureKind>(kind);
+  if (!r.ReadString(&out.space)) return MalformedPayload("space id");
+  if (!r.ReadU64(&out.k)) return MalformedPayload("k");
+  if (!r.ReadF64(&out.min_similarity)) {
+    return MalformedPayload("min similarity");
+  }
+  if (!r.ReadF64Vector(&out.weights)) return MalformedPayload("weights");
+  uint32_t num_stages;
+  if (!r.ReadU32(&num_stages) || num_stages > r.Remaining() / 12) {
+    return MalformedPayload("plan stage count");
+  }
+  out.plan.stages.resize(num_stages);
+  for (MultiStepStage& stage : out.plan.stages) {
+    int32_t stage_kind;
+    if (!r.ReadI32(&stage_kind) || !r.ReadString(&stage.space) ||
+        !r.ReadI32(&stage.keep)) {
+      return MalformedPayload("plan stage");
+    }
+    stage.kind = static_cast<FeatureKind>(stage_kind);
+  }
+  uint8_t has_deadline;
+  if (!r.ReadU8(&has_deadline) || has_deadline > 1 ||
+      !r.ReadI64(&out.deadline_budget_us)) {
+    return MalformedPayload("deadline budget");
+  }
+  out.has_deadline = has_deadline != 0;
+  if (!r.AtEnd()) return MalformedPayload("trailing bytes");
+  return out;
+}
+
+std::string EncodeQueryResponse(const WireQueryResponse& response) {
+  WireWriter w;
+  w.AppendU32(response.status_code);
+  w.AppendString(response.status_message);
+  w.AppendU64(response.trace_id);
+  w.AppendU64(response.epoch);
+  w.AppendU32(static_cast<uint32_t>(response.results.size()));
+  for (const SearchResult& result : response.results) {
+    w.AppendI32(result.id);
+    w.AppendF64(result.distance);
+    w.AppendF64(result.similarity);
+  }
+  w.AppendU64(response.stats.nodes_visited);
+  w.AppendU64(response.stats.leaves_scanned);
+  w.AppendU64(response.stats.points_compared);
+  w.AppendU64(response.stats.kernel_batches);
+  w.AppendU32(static_cast<uint32_t>(response.stage_timings.size()));
+  for (const StageTiming& timing : response.stage_timings) {
+    w.AppendString(timing.stage);
+    w.AppendF64(timing.seconds);
+    w.AppendU8(timing.has_deadline ? 1 : 0);
+    w.AppendF64(timing.deadline_slack_seconds);
+  }
+  return w.Take();
+}
+
+Result<WireQueryResponse> DecodeQueryResponse(std::string_view payload) {
+  WireReader r(payload);
+  WireQueryResponse out;
+  if (!r.ReadU32(&out.status_code) || !r.ReadString(&out.status_message) ||
+      !r.ReadU64(&out.trace_id) || !r.ReadU64(&out.epoch)) {
+    return MalformedPayload("response head");
+  }
+  uint32_t num_results;
+  if (!r.ReadU32(&num_results) || num_results > r.Remaining() / 20) {
+    return MalformedPayload("result count");
+  }
+  out.results.resize(num_results);
+  for (SearchResult& result : out.results) {
+    if (!r.ReadI32(&result.id) || !r.ReadF64(&result.distance) ||
+        !r.ReadF64(&result.similarity)) {
+      return MalformedPayload("result entry");
+    }
+  }
+  uint64_t nodes, leaves, points, batches;
+  if (!r.ReadU64(&nodes) || !r.ReadU64(&leaves) || !r.ReadU64(&points) ||
+      !r.ReadU64(&batches)) {
+    return MalformedPayload("query stats");
+  }
+  out.stats.nodes_visited = static_cast<size_t>(nodes);
+  out.stats.leaves_scanned = static_cast<size_t>(leaves);
+  out.stats.points_compared = static_cast<size_t>(points);
+  out.stats.kernel_batches = static_cast<size_t>(batches);
+  uint32_t num_timings;
+  if (!r.ReadU32(&num_timings) || num_timings > r.Remaining() / 21) {
+    return MalformedPayload("stage timing count");
+  }
+  out.stage_timings.resize(num_timings);
+  for (StageTiming& timing : out.stage_timings) {
+    uint8_t has_deadline;
+    if (!r.ReadString(&timing.stage) || !r.ReadF64(&timing.seconds) ||
+        !r.ReadU8(&has_deadline) || has_deadline > 1 ||
+        !r.ReadF64(&timing.deadline_slack_seconds)) {
+      return MalformedPayload("stage timing");
+    }
+    timing.has_deadline = has_deadline != 0;
+  }
+  if (!r.AtEnd()) return MalformedPayload("trailing bytes");
+  return out;
+}
+
+std::string EncodeServerStats(const WireServerStats& stats) {
+  WireWriter w;
+  w.AppendU64(stats.requests);
+  w.AppendU64(stats.connections);
+  w.AppendU64(stats.in_flight);
+  w.AppendF64(stats.p50_seconds);
+  w.AppendF64(stats.p99_seconds);
+  w.AppendF64(stats.p999_seconds);
+  w.AppendU32(static_cast<uint32_t>(stats.errors_by_code.size()));
+  for (uint64_t count : stats.errors_by_code) w.AppendU64(count);
+  return w.Take();
+}
+
+Result<WireServerStats> DecodeServerStats(std::string_view payload) {
+  WireReader r(payload);
+  WireServerStats out;
+  if (!r.ReadU64(&out.requests) || !r.ReadU64(&out.connections) ||
+      !r.ReadU64(&out.in_flight) || !r.ReadF64(&out.p50_seconds) ||
+      !r.ReadF64(&out.p99_seconds) || !r.ReadF64(&out.p999_seconds)) {
+    return MalformedPayload("stats head");
+  }
+  uint32_t num_codes;
+  if (!r.ReadU32(&num_codes) || num_codes > r.Remaining() / 8) {
+    return MalformedPayload("stats error-class count");
+  }
+  out.errors_by_code.resize(num_codes);
+  for (uint64_t& count : out.errors_by_code) {
+    if (!r.ReadU64(&count)) return MalformedPayload("stats error class");
+  }
+  if (!r.AtEnd()) return MalformedPayload("trailing bytes");
+  return out;
+}
+
+QueryRequest ToQueryRequest(const WireQueryRequest& wire,
+                            QueryRequest::TimePoint now) {
+  QueryRequest request;
+  request.mode = wire.mode;
+  request.kind = wire.kind;
+  request.space = wire.space;
+  request.k = static_cast<size_t>(wire.k);
+  request.min_similarity = wire.min_similarity;
+  request.weights = wire.weights;
+  request.plan = wire.plan;
+  if (wire.has_deadline) {
+    request.deadline =
+        now + std::chrono::microseconds(wire.deadline_budget_us);
+    // A non-positive budget must still register as "deadline set" even
+    // though now + budget could collide with the epoch sentinel only in
+    // theory; has_deadline() is what the engine checks.
+  }
+  return request;
+}
+
+WireQueryResponse MakeErrorResponse(const Status& status, uint64_t trace_id) {
+  WireQueryResponse response;
+  response.status_code = static_cast<uint32_t>(status.code());
+  response.status_message = status.message();
+  response.trace_id = trace_id;
+  return response;
+}
+
+void FrameParser::Append(const void* data, size_t n) {
+  // Periodically drop the consumed prefix so a long-lived connection's
+  // buffer does not grow without bound.
+  if (consumed_ > 0 && (consumed_ >= buffer_.size() || consumed_ > 65536)) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(static_cast<const char*>(data), n);
+}
+
+Result<std::optional<WireFrame>> FrameParser::Next() {
+  if (!fatal_.ok()) return fatal_;
+  const size_t available = buffer_.size() - consumed_;
+  if (available < kFrameHeaderBytes) return std::optional<WireFrame>();
+  WireReader header(
+      std::string_view(buffer_).substr(consumed_, kFrameHeaderBytes));
+  uint32_t magic, payload_len, payload_crc;
+  uint16_t version, type;
+  header.ReadU32(&magic);
+  header.ReadU16(&version);
+  header.ReadU16(&type);
+  WireFrame frame;
+  header.ReadU64(&frame.request_id);
+  header.ReadU32(&payload_len);
+  header.ReadU32(&payload_crc);
+  if (magic != kWireMagic) {
+    fatal_ = Status::Corruption("wire: bad frame magic");
+    return fatal_;
+  }
+  if (payload_len > kMaxPayloadBytes) {
+    fatal_ = Status::Corruption("wire: oversized frame payload");
+    return fatal_;
+  }
+  if (available < kFrameHeaderBytes + payload_len) {
+    return std::optional<WireFrame>();
+  }
+  frame.version = version;
+  frame.type = static_cast<FrameType>(type);
+  frame.payload.assign(buffer_, consumed_ + kFrameHeaderBytes, payload_len);
+  consumed_ += kFrameHeaderBytes + payload_len;
+  // Payload-level checks: framing survived, so these are per-request
+  // errors the caller can answer without closing the connection.
+  if (version != kWireVersion) {
+    frame.payload_status = Status::FailedPrecondition(
+        "wire: protocol version " + std::to_string(version) +
+        " not supported (server speaks " + std::to_string(kWireVersion) +
+        ")");
+  } else if (Crc32c(frame.payload.data(), frame.payload.size()) !=
+             payload_crc) {
+    frame.payload_status =
+        Status::DataLoss("wire: frame payload CRC mismatch");
+  } else if (frame.type != FrameType::kQuery &&
+             frame.type != FrameType::kResponse &&
+             frame.type != FrameType::kPing &&
+             frame.type != FrameType::kPong &&
+             frame.type != FrameType::kStats &&
+             frame.type != FrameType::kStatsReply) {
+    frame.payload_status = Status::InvalidArgument(
+        "wire: unknown frame type " + std::to_string(type));
+  }
+  return std::optional<WireFrame>(std::move(frame));
+}
+
+}  // namespace dess

@@ -1,0 +1,224 @@
+#ifndef DESS_SERVE_WIRE_H_
+#define DESS_SERVE_WIRE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/search/query.h"
+
+namespace dess {
+
+/// Versioned binary wire protocol of the serving layer (tarantool's iproto
+/// is the idiom): a TCP byte stream is a sequence of length-prefixed
+/// frames, each carrying a 64-bit request id so many requests can be in
+/// flight on one connection (pipelining) and responses may complete out of
+/// order — the id, not arrival order, pairs them.
+///
+/// Frame layout (all integers little-endian):
+///
+///   offset  size  field
+///        0     4  magic        0x33534544 ("DES3")
+///        4     2  version      kWireVersion
+///        6     2  type         FrameType
+///        8     8  request_id   echoed verbatim in the response frame
+///       16     4  payload_len  bytes following the header (may be 0)
+///       20     4  payload_crc  CRC-32C of the payload bytes
+///       24   ...  payload      type-specific body, see Encode*/Decode*
+///
+/// Error handling is two-tier, matching what a peer can still trust:
+///  - Header-level damage (bad magic, payload_len above
+///    kMaxPayloadBytes) destroys framing — the parser reports a fatal
+///    Corruption error and the connection must close.
+///  - Payload-level damage (CRC mismatch, undecodable body, version skew)
+///    leaves framing intact — the frame is delivered with a non-OK
+///    `payload_status` so the server can answer that one request with an
+///    error frame and keep serving the connection.
+///
+/// Error codes on the wire are the pinned numeric values of StatusCode
+/// (src/common/status.h); both sides static_assert the mapping.
+
+/// Bump when the payload encodings change incompatibly. A frame with a
+/// different version decodes as FailedPrecondition (per-request error),
+/// never as garbage.
+inline constexpr uint16_t kWireVersion = 1;
+
+inline constexpr uint32_t kWireMagic = 0x33534544;  // "DES3" little-endian
+
+/// Upper bound on payload_len; a larger length is header corruption (or a
+/// hostile peer) and closes the connection before any allocation.
+inline constexpr uint32_t kMaxPayloadBytes = 16u << 20;
+
+/// Fixed frame header size in bytes.
+inline constexpr size_t kFrameHeaderBytes = 24;
+
+/// What a frame carries. Values are wire-stable; append only.
+enum class FrameType : uint16_t {
+  kQuery = 1,       // WireQueryRequest payload
+  kResponse = 2,    // WireQueryResponse payload (also all error replies)
+  kPing = 3,        // empty payload; liveness probe / pipeline barrier
+  kPong = 4,        // empty payload; answer to kPing
+  kStats = 5,       // empty payload; ask for serving-side stats
+  kStatsReply = 6,  // WireServerStats payload
+};
+
+/// A query as it travels over the wire: the serializable form of
+/// QueryRequest plus the query target. The deadline crosses the network as
+/// a *relative* budget (client clocks never touch server clocks); the
+/// server turns it into an absolute QueryRequest::deadline at decode time,
+/// so the engine's existing DeadlineExceeded path and per-stage
+/// deadline-slack attribution apply unchanged to network queries.
+struct WireQueryRequest {
+  /// How the query shape is named. kById queries a committed database
+  /// shape (excluded from its own results); kBySignature ships the
+  /// pre-extracted feature vectors.
+  enum class Target : uint8_t { kById = 0, kBySignature = 1 };
+
+  Target target = Target::kById;
+  int32_t shape_id = -1;
+  /// Feature vectors in registry-ordinal order, used when kBySignature.
+  /// Each vector carries its space id for self-description; dimensions are
+  /// validated by the engine, not the codec.
+  ShapeSignature signature;
+
+  QueryMode mode = QueryMode::kTopK;
+  /// Feature space addressing, mirroring QueryRequest: `space` by registry
+  /// id when non-empty, else the canonical `kind`.
+  FeatureKind kind = FeatureKind::kPrincipalMoments;
+  std::string space;
+  uint64_t k = 10;
+  double min_similarity = 0.0;
+  std::vector<double> weights;
+  MultiStepPlan plan;
+
+  /// Relative deadline budget in microseconds, meaningful when
+  /// `has_deadline`. Zero or negative means "already expired": the server
+  /// rejects at admission with DeadlineExceeded, before the engine.
+  bool has_deadline = false;
+  int64_t deadline_budget_us = 0;
+
+  /// Convenience: sets the budget from any duration.
+  template <typename Rep, typename Period>
+  void SetDeadlineBudget(std::chrono::duration<Rep, Period> budget) {
+    has_deadline = true;
+    deadline_budget_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(budget).count();
+  }
+};
+
+/// A response (or error) as it travels over the wire: status + the
+/// serializable parts of QueryResponse. Every response carries the trace
+/// id the server assigned, including rejections that never reached the
+/// engine — the handle for correlating a client-observed failure with
+/// server-side traces and the slow-query log.
+struct WireQueryResponse {
+  /// Pinned numeric StatusCode value; 0 is success.
+  uint32_t status_code = 0;
+  std::string status_message;
+  uint64_t trace_id = 0;
+  uint64_t epoch = 0;
+  std::vector<SearchResult> results;
+  QueryStats stats;
+  std::vector<StageTiming> stage_timings;
+
+  bool ok() const { return status_code == 0; }
+  StatusCode code() const {
+    return status_code < static_cast<uint32_t>(kNumStatusCodes)
+               ? static_cast<StatusCode>(status_code)
+               : StatusCode::kInternal;
+  }
+  /// Reconstructs the Status a library caller would have seen.
+  Status ToStatus() const {
+    if (ok()) return Status::OK();
+    return Status(code(), status_message);
+  }
+};
+
+/// Serving-side counters a client can poll without a metrics scrape:
+/// latency quantiles of the server's end-to-end request histogram and the
+/// per-class error counts admission control produces.
+struct WireServerStats {
+  uint64_t requests = 0;
+  uint64_t connections = 0;
+  uint64_t in_flight = 0;
+  double p50_seconds = 0.0;
+  double p99_seconds = 0.0;
+  double p999_seconds = 0.0;
+  /// errors_by_code[c] = completed requests whose status code was c.
+  std::vector<uint64_t> errors_by_code =
+      std::vector<uint64_t>(kNumStatusCodes, 0);
+};
+
+/// One parsed frame. `payload_status` is OK when the payload passed the
+/// CRC and version checks; otherwise the header (type/request_id) is
+/// trustworthy but the payload must not be decoded, and the right reply is
+/// an error frame with that status.
+struct WireFrame {
+  FrameType type = FrameType::kQuery;
+  uint16_t version = kWireVersion;
+  uint64_t request_id = 0;
+  std::string payload;
+  Status payload_status;
+};
+
+// --- Encoding ------------------------------------------------------------
+
+/// Encodes a complete frame (header + payload) ready to write to a socket.
+std::string EncodeFrame(FrameType type, uint64_t request_id,
+                        std::string_view payload);
+
+/// Payload codecs. Decoders are hardened against arbitrary bytes: every
+/// length prefix is validated against the remaining payload before
+/// allocation, and any structural violation yields Corruption (never a
+/// crash, hang, or oversized allocation).
+std::string EncodeQueryRequest(const WireQueryRequest& request);
+Result<WireQueryRequest> DecodeQueryRequest(std::string_view payload);
+
+std::string EncodeQueryResponse(const WireQueryResponse& response);
+Result<WireQueryResponse> DecodeQueryResponse(std::string_view payload);
+
+std::string EncodeServerStats(const WireServerStats& stats);
+Result<WireServerStats> DecodeServerStats(std::string_view payload);
+
+/// Converts a decoded wire query into the library QueryRequest, resolving
+/// the relative deadline budget against `now` (the decode instant). The
+/// returned request is what the admission layer and engine execute.
+QueryRequest ToQueryRequest(const WireQueryRequest& wire,
+                            QueryRequest::TimePoint now);
+
+/// Builds the error-reply payload for a failed request.
+WireQueryResponse MakeErrorResponse(const Status& status, uint64_t trace_id);
+
+// --- Streaming decode ----------------------------------------------------
+
+/// Incremental frame parser over a TCP byte stream: feed bytes as they
+/// arrive, pull complete frames out. One parser per connection.
+///
+/// Next() returns:
+///  - a frame (possibly with non-OK payload_status — answer and continue),
+///  - std::nullopt when more bytes are needed,
+///  - a fatal Corruption status when framing itself is broken (bad magic,
+///    oversized length): the connection must close, and every later call
+///    returns the same error.
+class FrameParser {
+ public:
+  /// Appends raw bytes from the socket.
+  void Append(const void* data, size_t n);
+
+  Result<std::optional<WireFrame>> Next();
+
+  /// Bytes buffered but not yet consumed by Next().
+  size_t BufferedBytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::string buffer_;
+  size_t consumed_ = 0;  // prefix of buffer_ already parsed away
+  Status fatal_;         // sticky framing error
+};
+
+}  // namespace dess
+
+#endif  // DESS_SERVE_WIRE_H_

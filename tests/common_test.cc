@@ -25,6 +25,30 @@ TEST(StatusTest, FactoryConstructorsCarryCodeAndMessage) {
   EXPECT_EQ(s.ToString(), "not found: missing shape 7");
 }
 
+TEST(StatusTest, WireValuesArePinned) {
+  // The numeric values are serialized verbatim by the wire protocol and
+  // keyed on by the slow-query log and per-class serving metrics; a drift
+  // here is a silent cross-version protocol break. Never renumber.
+  EXPECT_EQ(static_cast<int>(StatusCode::kOk), 0);
+  EXPECT_EQ(static_cast<int>(StatusCode::kInvalidArgument), 1);
+  EXPECT_EQ(static_cast<int>(StatusCode::kNotFound), 2);
+  EXPECT_EQ(static_cast<int>(StatusCode::kAlreadyExists), 3);
+  EXPECT_EQ(static_cast<int>(StatusCode::kOutOfRange), 4);
+  EXPECT_EQ(static_cast<int>(StatusCode::kIOError), 5);
+  EXPECT_EQ(static_cast<int>(StatusCode::kCorruption), 6);
+  EXPECT_EQ(static_cast<int>(StatusCode::kNotImplemented), 7);
+  EXPECT_EQ(static_cast<int>(StatusCode::kInternal), 8);
+  EXPECT_EQ(static_cast<int>(StatusCode::kFailedPrecondition), 9);
+  EXPECT_EQ(static_cast<int>(StatusCode::kDeadlineExceeded), 10);
+  EXPECT_EQ(static_cast<int>(StatusCode::kDataLoss), 11);
+  EXPECT_EQ(static_cast<int>(StatusCode::kResourceExhausted), 12);
+  EXPECT_EQ(kNumStatusCodes, 13);
+  EXPECT_EQ(Status::ResourceExhausted("q").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(StatusCodeToString(StatusCode::kResourceExhausted),
+            "resource exhausted");
+}
+
 TEST(StatusTest, EqualityComparesCodeAndMessage) {
   EXPECT_EQ(Status::IOError("x"), Status::IOError("x"));
   EXPECT_FALSE(Status::IOError("x") == Status::IOError("y"));

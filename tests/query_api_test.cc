@@ -60,15 +60,14 @@ TEST_F(QueryApiTest, UncommittedPathsReturnFailedPrecondition) {
 TEST_F(QueryApiTest, ExpiredDeadlineReturnsDeadlineExceeded) {
   ASSERT_TRUE(system_->Commit().ok());
   QueryRequest request = QueryRequest::TopK(FeatureKind::kPrincipalMoments, 2);
-  request.deadline =
-      std::chrono::steady_clock::now() - std::chrono::seconds(1);
+  request.WithDeadlineAfter(std::chrono::seconds(-1));
   ASSERT_TRUE(request.has_deadline());
   auto response = system_->QueryBySignature(Probe(), request);
   ASSERT_FALSE(response.ok());
   EXPECT_EQ(response.status().code(), StatusCode::kDeadlineExceeded);
 
-  QueryRequest multi = QueryRequest::MultiStep(MultiStepPlan::Standard(4, 2));
-  multi.deadline = request.deadline;
+  QueryRequest multi = QueryRequest::MultiStep(MultiStepPlan::Standard(4, 2))
+                           .WithDeadlineAfter(std::chrono::seconds(-1));
   auto multistep = system_->QueryByShapeId(0, multi);
   ASSERT_FALSE(multistep.ok());
   EXPECT_EQ(multistep.status().code(), StatusCode::kDeadlineExceeded);
@@ -76,8 +75,8 @@ TEST_F(QueryApiTest, ExpiredDeadlineReturnsDeadlineExceeded) {
 
 TEST_F(QueryApiTest, FutureDeadlinePasses) {
   ASSERT_TRUE(system_->Commit().ok());
-  QueryRequest request = QueryRequest::TopK(FeatureKind::kPrincipalMoments, 2);
-  request.deadline = std::chrono::steady_clock::now() + std::chrono::hours(1);
+  QueryRequest request = QueryRequest::TopK(FeatureKind::kPrincipalMoments, 2)
+                             .WithDeadlineAfter(std::chrono::hours(1));
   auto response = system_->QueryByShapeId(0, request);
   ASSERT_TRUE(response.ok()) << response.status().ToString();
   EXPECT_EQ(response->results.size(), 2u);

@@ -1,0 +1,308 @@
+// End-to-end tests of the serving layer over real loopback TCP: a Server
+// on an ephemeral port fronting a small committed synthetic corpus, driven
+// by the Client library. Covers the full request lifecycle — queries by id
+// and by signature, pipelined out-of-order completion, the admission
+// rejections (expired deadline budget, in-flight overload), protocol
+// damage handling, and the stats endpoint.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <set>
+#include <string>
+#include <thread>
+
+#include "src/common/metrics.h"
+#include "src/serve/client.h"
+#include "src/serve/server.h"
+#include "src/serve/synthetic.h"
+
+namespace dess {
+namespace {
+
+uint64_t CounterValue(const std::string& name) {
+  const MetricsSnapshot snapshot = MetricsRegistry::Global()->Snapshot();
+  for (const CounterSample& c : snapshot.counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+class ServeTest : public ::testing::Test {
+ protected:
+  static constexpr int kGroups = 4, kGroupSize = 5, kNoise = 6;
+
+  void SetUp() override {
+    auto system = MakeSyntheticCorpusSystem(kGroups, kGroupSize, kNoise);
+    ASSERT_TRUE(system.ok()) << system.status().ToString();
+    system_ = std::move(system.value());
+  }
+
+  Result<std::unique_ptr<Client>> StartAndConnect(ServerOptions options = {}) {
+    server_ = std::make_unique<Server>(system_.get(), options);
+    DESS_RETURN_NOT_OK(server_->Start());
+    return Client::Connect("127.0.0.1", server_->port());
+  }
+
+  void TearDown() override {
+    if (server_) server_->Stop();
+  }
+
+  static WireQueryRequest ById(int id, int k = 5) {
+    WireQueryRequest request;
+    request.target = WireQueryRequest::Target::kById;
+    request.shape_id = id;
+    request.k = static_cast<uint64_t>(k);
+    request.SetDeadlineBudget(std::chrono::seconds(30));
+    return request;
+  }
+
+  std::unique_ptr<Dess3System> system_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(ServeTest, QueryByIdReturnsRankedResults) {
+  auto client = StartAndConnect();
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  auto response = (*client)->Query(ById(0));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_TRUE(response->ok()) << response->ToStatus().ToString();
+  ASSERT_EQ(response->results.size(), 5u);
+  EXPECT_NE(response->trace_id, 0u);
+  EXPECT_GT(response->epoch, 0u);
+  // Ranked by ascending distance, and the query shape excludes itself.
+  for (size_t i = 1; i < response->results.size(); ++i) {
+    EXPECT_LE(response->results[i - 1].distance,
+              response->results[i].distance);
+    EXPECT_NE(response->results[i].id, 0);
+  }
+  // Group members dominate the neighborhood of a clustered corpus.
+  EXPECT_GT(response->results[0].similarity, 0.5);
+}
+
+TEST_F(ServeTest, QueryBySignatureMatchesLibraryPath) {
+  auto client = StartAndConnect();
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  auto snapshot = system_->CurrentSnapshot();
+  ASSERT_TRUE(snapshot.ok());
+  auto record = (*snapshot)->db().Get(3);
+  ASSERT_TRUE(record.ok()) << record.status().ToString();
+
+  WireQueryRequest request;
+  request.target = WireQueryRequest::Target::kBySignature;
+  request.signature = (*record)->signature;
+  request.k = 4;
+  request.SetDeadlineBudget(std::chrono::seconds(30));
+  auto response = (*client)->Query(request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_TRUE(response->ok()) << response->ToStatus().ToString();
+  ASSERT_FALSE(response->results.empty());
+  // A committed shape's own signature finds the shape itself first.
+  EXPECT_EQ(response->results[0].id, 3);
+  EXPECT_NEAR(response->results[0].similarity, 1.0, 1e-9);
+}
+
+TEST_F(ServeTest, ExpiredDeadlineBudgetRejectedBeforeEngine) {
+  auto client = StartAndConnect();
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  const uint64_t engine_before = CounterValue("executor.queries");
+  const uint64_t rejects_before = CounterValue("serve.rejected.deadline");
+
+  WireQueryRequest request = ById(0);
+  request.SetDeadlineBudget(std::chrono::milliseconds(-5));
+  auto response = (*client)->Query(request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+
+  // The acceptance contract: DeadlineExceeded, a usable trace id, and the
+  // engine never touched.
+  EXPECT_EQ(response->code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(response->trace_id, 0u);
+  EXPECT_EQ(CounterValue("executor.queries"), engine_before);
+  EXPECT_EQ(CounterValue("serve.rejected.deadline"), rejects_before + 1);
+}
+
+TEST_F(ServeTest, OverloadShedsWithResourceExhausted) {
+  ServerOptions options;
+  options.max_in_flight = 1;
+  auto client = StartAndConnect(options);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  // Pipeline a burst far wider than the in-flight bound. The event loop
+  // admits at most one at a time, so most of the burst must shed.
+  constexpr int kBurst = 64;
+  for (int i = 0; i < kBurst; ++i) {
+    ASSERT_TRUE((*client)->Send(ById(i % (kGroups * kGroupSize))).ok());
+  }
+  int ok = 0, shed = 0;
+  for (int i = 0; i < kBurst; ++i) {
+    auto reply = (*client)->Receive();
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    if (reply->second.ok()) {
+      ++ok;
+    } else {
+      ASSERT_EQ(reply->second.code(), StatusCode::kResourceExhausted)
+          << reply->second.ToStatus().ToString();
+      EXPECT_NE(reply->second.trace_id, 0u);
+      ++shed;
+    }
+  }
+  EXPECT_EQ(ok + shed, kBurst);
+  EXPECT_GE(ok, 1);    // the admitted head of the burst completes
+  EXPECT_GE(shed, 1);  // and the server actually shed load
+}
+
+TEST_F(ServeTest, PipelinedRepliesPairByRequestId) {
+  auto client = StartAndConnect();
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  std::set<uint64_t> sent_ids;
+  constexpr int kInFlight = 16;
+  for (int i = 0; i < kInFlight; ++i) {
+    auto id = (*client)->Send(ById(i));
+    ASSERT_TRUE(id.ok());
+    EXPECT_TRUE(sent_ids.insert(*id).second) << "duplicate request id";
+  }
+  std::set<uint64_t> replied_ids;
+  for (int i = 0; i < kInFlight; ++i) {
+    auto reply = (*client)->Receive();
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    EXPECT_TRUE(reply->second.ok()) << reply->second.ToStatus().ToString();
+    replied_ids.insert(reply->first);
+  }
+  // Whatever the completion order, every request got exactly one reply.
+  EXPECT_EQ(replied_ids, sent_ids);
+}
+
+TEST_F(ServeTest, PingAndStats) {
+  auto client = StartAndConnect();
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  ASSERT_TRUE((*client)->Ping().ok());
+  ASSERT_TRUE((*client)->Query(ById(1)).ok());
+
+  auto stats = (*client)->GetStats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_GE(stats->requests, 1u);
+  EXPECT_EQ(stats->connections, 1u);
+  ASSERT_EQ(stats->errors_by_code.size(),
+            static_cast<size_t>(kNumStatusCodes));
+  EXPECT_GE(stats->errors_by_code[static_cast<int>(StatusCode::kOk)], 1u);
+}
+
+TEST_F(ServeTest, EngineErrorsPassThroughWithTheirCode) {
+  auto client = StartAndConnect();
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  auto response = (*client)->Query(ById(999999));  // no such shape
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_FALSE(response->ok());
+  EXPECT_EQ(response->code(), StatusCode::kNotFound);
+  EXPECT_NE(response->trace_id, 0u);
+}
+
+TEST_F(ServeTest, CorruptPayloadGetsErrorReplyAndConnectionSurvives) {
+  ServerOptions options;
+  server_ = std::make_unique<Server>(system_.get(), options);
+  ASSERT_TRUE(server_->Start().ok());
+
+  // Raw socket so we can damage payload bytes after the CRC was computed.
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server_->port());
+  ASSERT_EQ(inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+
+  std::string bad =
+      EncodeFrame(FrameType::kQuery, 21, EncodeQueryRequest(ById(0)));
+  bad[kFrameHeaderBytes] ^= 0x01;  // CRC now mismatches
+  const std::string good =
+      EncodeFrame(FrameType::kQuery, 22, EncodeQueryRequest(ById(0)));
+  ASSERT_GT(send(fd, bad.data(), bad.size(), 0), 0);
+  ASSERT_GT(send(fd, good.data(), good.size(), 0), 0);
+
+  // Both requests are answered: the damaged one with DataLoss, the healthy
+  // one normally — payload damage is per-request, not connection-fatal.
+  FrameParser parser;
+  int replies = 0;
+  char buffer[65536];
+  while (replies < 2) {
+    auto next = parser.Next();
+    ASSERT_TRUE(next.ok()) << next.status().ToString();
+    if (next.value().has_value()) {
+      const WireFrame& frame = next.value().value();
+      ASSERT_EQ(frame.type, FrameType::kResponse);
+      ASSERT_TRUE(frame.payload_status.ok());
+      auto response = DecodeQueryResponse(frame.payload);
+      ASSERT_TRUE(response.ok());
+      if (frame.request_id == 21) {
+        EXPECT_EQ(response->code(), StatusCode::kDataLoss);
+        EXPECT_NE(response->trace_id, 0u);
+      } else {
+        EXPECT_EQ(frame.request_id, 22u);
+        EXPECT_TRUE(response->ok()) << response->ToStatus().ToString();
+      }
+      ++replies;
+      continue;
+    }
+    const ssize_t n = recv(fd, buffer, sizeof(buffer), 0);
+    ASSERT_GT(n, 0) << "server closed a connection it should keep";
+    parser.Append(buffer, static_cast<size_t>(n));
+  }
+  close(fd);
+}
+
+TEST_F(ServeTest, GarbageBytesCloseTheConnection) {
+  auto client = StartAndConnect();
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  // Raw socket speaking nonsense: framing is unrecoverable, so the server
+  // must close this connection (and only this one).
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server_->port());
+  ASSERT_EQ(inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  const char garbage[] = "this is not a DES3 frame at all, not even close";
+  ASSERT_GT(send(fd, garbage, sizeof(garbage), 0), 0);
+  char buffer[64];
+  // recv returns 0 on orderly shutdown by the server.
+  EXPECT_EQ(recv(fd, buffer, sizeof(buffer), 0), 0);
+  close(fd);
+
+  // The healthy connection is unaffected.
+  auto response = (*client)->Query(ById(0));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_TRUE(response->ok());
+}
+
+TEST_F(ServeTest, StopIsIdempotentAndRefusesNewConnections) {
+  auto client = StartAndConnect();
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  ASSERT_TRUE((*client)->Ping().ok());
+
+  const uint16_t port = server_->port();
+  server_->Stop();
+  server_->Stop();  // idempotent
+
+  auto after = Client::Connect("127.0.0.1", port);
+  if (after.ok()) {
+    // The kernel may accept briefly on a dying socket; the protocol must
+    // still be dead.
+    EXPECT_FALSE((*after)->Ping().ok());
+  }
+}
+
+}  // namespace
+}  // namespace dess

@@ -330,8 +330,7 @@ TEST_F(TraceSystemTest, StageTimingsReportDeadlineSlack) {
   EXPECT_GE(response->stage_timings[0].seconds, 0.0);
   EXPECT_FALSE(response->stage_timings[0].has_deadline);
 
-  request.deadline = std::chrono::steady_clock::now() +
-                     std::chrono::seconds(30);
+  request.WithDeadlineAfter(std::chrono::seconds(30));
   response = system_->QueryBySignature(Signature(0), request);
   ASSERT_TRUE(response.ok());
   ASSERT_EQ(response->stage_timings.size(), 1u);
