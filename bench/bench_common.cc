@@ -38,7 +38,8 @@ std::unique_ptr<Dess3System> BuildFresh(const std::string& cache_path) {
     std::abort();
   }
   auto system = std::make_unique<Dess3System>(StandardSystemOptions());
-  Status st = system->IngestDatasetParallel(*dataset);
+  Status st =
+      system->IngestDataset(*dataset, IngestOptions{.num_threads = 0});
   if (st.ok()) st = system->Commit().status();
   if (!st.ok()) {
     std::fprintf(stderr, "system build failed: %s\n", st.ToString().c_str());

@@ -9,6 +9,7 @@
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -334,7 +335,7 @@ const ColdStartFixture& ColdStart() {
     if (!dataset.ok()) return f;
     f->dataset = std::move(*dataset);
     Dess3System system(f->options);
-    (void)system.IngestDatasetParallel(f->dataset);
+    (void)system.IngestDataset(f->dataset, IngestOptions{.num_threads = 0});
     (void)system.Commit();
     f->snap_dir = (std::filesystem::temp_directory_path() /
                    "dess_bench_snapshot")
@@ -377,13 +378,102 @@ void BM_ColdStartReingest(benchmark::State& state) {
   const ColdStartFixture& fx = ColdStart();
   for (auto _ : state) {
     Dess3System system(fx.options);
-    (void)system.IngestDatasetParallel(fx.dataset);
+    (void)system.IngestDataset(fx.dataset, IngestOptions{.num_threads = 0});
     benchmark::DoNotOptimize(system.Commit());
   }
   state.counters["shapes"] =
       static_cast<double>(fx.dataset.shapes.size());
 }
 BENCHMARK(BM_ColdStartReingest);
+
+// Incremental publish cost — the acceptance axis of the WAL/delta-commit
+// redesign: a delta publish must scale with delta size, not corpus size.
+// Each iteration ingests `delta` fresh records (untimed) and times exactly
+// one Commit(): BM_CommitFull rebuilds every per-space index and browsing
+// hierarchy over the whole corpus, BM_CommitDelta publishes only the
+// side-index layered over the unchanged main indexes. The delta series
+// folds the side away untimed after each measurement so every iteration
+// covers a side of the same size, and both series pin recalibrate=false
+// full folds so the compared snapshots stay frozen-calibration
+// bit-identical. Default corpus 1000 keeps the tier-1 smoke fast; set
+// DESS_BENCH_FULL=1 for the acceptance-scale 10k corpus / 100 delta.
+struct CommitFixture {
+  ShapeDatabase pool;  // synthetic source records, recycled round-robin
+  size_t corpus = 0;
+  size_t delta = 0;
+};
+
+const CommitFixture& CommitCorpus() {
+  static const CommitFixture* fixture = [] {
+    auto* f = new CommitFixture();
+    const bool full = std::getenv("DESS_BENCH_FULL") != nullptr;
+    f->corpus = full ? 10000 : 1000;
+    f->delta = 100;
+    f->pool = testing_util::BuildSyntheticFeatureDb(
+        static_cast<int>(f->corpus / 100), 100, 0, /*seed=*/4242);
+    return f;
+  }();
+  return *fixture;
+}
+
+std::unique_ptr<Dess3System> BuildCommittedSystem(const CommitFixture& fx) {
+  SystemOptions opt;
+  opt.hierarchy.max_leaf_size = 4;
+  // The series folds manually; a background fold mid-measurement would
+  // race the timed commits.
+  opt.compaction_min_delta_records = 0;
+  auto system = std::make_unique<Dess3System>(opt);
+  for (size_t i = 0; i < fx.corpus; ++i) {
+    auto record = fx.pool.Get(static_cast<int>(i));
+    if (record.ok()) system->IngestRecord(**record);
+  }
+  (void)system->Commit();
+  return system;
+}
+
+void IngestDelta(Dess3System* system, const CommitFixture& fx,
+                 size_t* next) {
+  for (size_t i = 0; i < fx.delta; ++i) {
+    auto record = fx.pool.Get(static_cast<int>((*next)++ % fx.corpus));
+    if (record.ok()) system->IngestRecord(**record);
+  }
+}
+
+void BM_CommitFull(benchmark::State& state) {
+  const CommitFixture& fx = CommitCorpus();
+  auto system = BuildCommittedSystem(fx);
+  size_t next = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    IngestDelta(system.get(), fx, &next);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(system->Commit(
+        CommitOptions{.mode = CommitMode::kFull, .recalibrate = false}));
+  }
+  state.counters["corpus"] = static_cast<double>(fx.corpus);
+  state.counters["delta"] = static_cast<double>(fx.delta);
+}
+BENCHMARK(BM_CommitFull)->Iterations(5)->Unit(benchmark::kMillisecond);
+
+void BM_CommitDelta(benchmark::State& state) {
+  const CommitFixture& fx = CommitCorpus();
+  auto system = BuildCommittedSystem(fx);
+  size_t next = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    IngestDelta(system.get(), fx, &next);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(
+        system->Commit(CommitOptions{.mode = CommitMode::kDelta}));
+    state.PauseTiming();
+    (void)system->Commit(
+        CommitOptions{.mode = CommitMode::kFull, .recalibrate = false});
+    state.ResumeTiming();
+  }
+  state.counters["corpus"] = static_cast<double>(fx.corpus);
+  state.counters["delta"] = static_cast<double>(fx.delta);
+}
+BENCHMARK(BM_CommitDelta)->Iterations(5)->Unit(benchmark::kMillisecond);
 
 // Synthetic feature database for the distance-kernel series: n shapes in
 // groups of 100 across the canonical four spaces plus a 32-dim registered

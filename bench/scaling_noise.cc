@@ -45,7 +45,8 @@ int main() {
     sys_opt.extraction.voxelization.resolution = cfg.voxel_resolution;
     sys_opt.search.standardize = false;
     Dess3System system(sys_opt);
-    if (!system.IngestDatasetParallel(*dataset).ok() ||
+    if (!system.IngestDataset(*dataset, IngestOptions{.num_threads = 0})
+             .ok() ||
         !system.Commit().ok()) {
       std::fprintf(stderr, "system build failed\n");
       return 1;

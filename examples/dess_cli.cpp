@@ -284,7 +284,9 @@ int CmdBuildFromDir(int argc, char** argv) {
   auto dataset = LoadDatasetFromDirectory(argv[3]);
   if (!dataset.ok()) return Fail(dataset.status());
   Dess3System system(CliSystemOptions());
-  if (Status st = system.IngestDatasetParallel(*dataset); !st.ok()) {
+  if (Status st =
+          system.IngestDataset(*dataset, IngestOptions{.num_threads = 0});
+      !st.ok()) {
     return Fail(st);
   }
   if (auto epoch = system.Commit(); !epoch.ok()) return Fail(epoch.status());

@@ -118,6 +118,10 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(
           stats->errors_by_code[static_cast<int>(
               StatusCode::kDeadlineExceeded)]));
+  std::printf("publish state: epoch=%llu wal_sequence=%llu pending=%llu\n",
+              static_cast<unsigned long long>(stats->epoch),
+              static_cast<unsigned long long>(stats->wal_sequence),
+              static_cast<unsigned long long>(stats->pending_records));
   std::printf("all checks passed\n");
   return 0;
 }

@@ -41,15 +41,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "ingest: %s\n", st.ToString().c_str());
     return 1;
   }
-  auto epoch = system.Commit();
-  if (!epoch.ok()) {
-    std::fprintf(stderr, "commit: %s\n", epoch.status().ToString().c_str());
+  auto receipt = system.Commit();
+  if (!receipt.ok()) {
+    std::fprintf(stderr, "commit: %s\n", receipt.status().ToString().c_str());
     return 1;
   }
   std::printf("indexed %zu shapes at epoch %llu "
               "(4 feature spaces, R-tree each)\n\n",
               system.db().NumShapes(),
-              static_cast<unsigned long long>(*epoch));
+              static_cast<unsigned long long>(receipt->epoch));
 
   // 3. Query by example: pick the first shape of group 0 and search each
   //    feature space through the snapshot published by Commit().

@@ -11,6 +11,13 @@ regressed by more than the threshold (default 20%, override with
 --threshold=<pct>). Benchmarks that appear in only one report are listed
 but never fail the comparison, so adding or retiring benchmarks does not
 break CI.
+
+The incremental-commit pair (BM_CommitFull vs BM_CommitDelta) is also
+checked within the current report: the delta publish must be faster than
+the full rebuild by at least --min-commit-speedup (default 10x, the
+acceptance bar for O(delta) ingest; 0 disables the gate). The speedup is
+a within-run ratio, so it is stable across hosts in a way wall-clock
+medians are not.
 """
 
 import argparse
@@ -45,6 +52,9 @@ def main():
     parser.add_argument("current", nargs="?", default="BENCH_pipeline.json")
     parser.add_argument("--threshold", type=float, default=20.0,
                         help="regression threshold in percent (default 20)")
+    parser.add_argument("--min-commit-speedup", type=float, default=10.0,
+                        help="required BM_CommitFull / BM_CommitDelta ratio "
+                             "in the current report (default 10; 0 disables)")
     args = parser.parse_args()
 
     try:
@@ -90,11 +100,34 @@ def main():
               f"{', '.join(retired_series[:5])}"
               f"{', ...' if len(retired_series) > 5 else ''}")
 
+    # Within-run ratio check for the incremental-commit pair: benchmark
+    # names carry argument/iteration suffixes ("BM_CommitFull/iterations:5"),
+    # so match by prefix.
+    def series(prefix):
+        matches = [v for n, v in curr.items()
+                   if n == prefix or n.startswith(prefix + "/")]
+        return statistics.median(matches) if matches else None
+
+    full, delta = series("BM_CommitFull"), series("BM_CommitDelta")
+    speedup_failed = False
+    if full is not None and delta is not None and delta > 0:
+        speedup = full / delta
+        print(f"\nbench_diff: commit delta speedup {speedup:.1f}x "
+              f"(full {full:.0f} ns / delta {delta:.0f} ns)")
+        if args.min_commit_speedup > 0 and speedup < args.min_commit_speedup:
+            print(f"bench_diff: delta commit is only {speedup:.1f}x faster "
+                  f"than a full rebuild (required: "
+                  f"{args.min_commit_speedup:.0f}x) — O(delta) publish "
+                  f"regressed toward O(corpus)")
+            speedup_failed = True
+
     if regressions:
         print(f"\nbench_diff: {len(regressions)} benchmark(s) regressed "
               f"more than {args.threshold:.0f}% in median real time:")
         for name, delta in regressions:
             print(f"  {name}: {delta:+.1f}%")
+        return 1
+    if speedup_failed:
         return 1
     print(f"\nbench_diff: no regression above {args.threshold:.0f}% "
           f"({len([n for n in names if n in base and n in curr])} compared)")

@@ -38,6 +38,14 @@ run_preset ci
 echo "==> [serve] loopback smoke (ctest -L serve)"
 ctest --preset ci -L serve -j "$JOBS"
 
+# Incremental ingest/commit contract, isolated for visibility: delta
+# commits bit-identical to a frozen full rebuild, commit receipts,
+# background compaction, and the durable-home (WAL) round trips. The WAL
+# kill-point fuzz itself carries the `persist` label and runs with the
+# other persistence parsers here and under ASan below.
+echo "==> [incr] incremental ingest/commit suite (ctest -L incr)"
+ctest --preset ci -L incr -j "$JOBS"
+
 # Advisory perf comparison against the checked-in seed report: prints a
 # per-benchmark delta table and flags >20% median regressions. Wall-clock
 # numbers vary across hosts, so a regression warns but does not gate.

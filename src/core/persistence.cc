@@ -708,8 +708,14 @@ Result<std::unique_ptr<Dess3System>> Dess3System::OpenFromSnapshot(
                                std::move(hierarchies)));
   {
     std::lock_guard<std::mutex> publish(system->snapshot_mu_);
-    system->snapshot_ = std::move(snapshot);
+    system->snapshot_ = snapshot;
   }
+  // The reopened snapshot is a full (non-layered) publish: it is the base
+  // a later delta commit layers over, and every loaded record is covered.
+  system->base_snapshot_ = std::move(snapshot);
+  system->committed_records_ = system->db_.NumShapes();
+  system->base_records_ = system->db_.NumShapes();
+  system->calibration_records_ = system->db_.NumShapes();
   system->next_epoch_ = manifest.epoch + 1;
   system->dirty_ = false;
   MetricsRegistry* metrics = MetricsRegistry::Global();

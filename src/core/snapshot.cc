@@ -80,6 +80,24 @@ Result<std::shared_ptr<const SystemSnapshot>> SystemSnapshot::Build(
     std::shared_ptr<const ShapeDatabase> db, uint64_t epoch,
     const SearchEngineOptions& search_options,
     const HierarchyOptions& hierarchy_options) {
+  return BuildImpl(std::move(db), epoch, search_options, hierarchy_options,
+                   /*frozen_spaces=*/nullptr);
+}
+
+Result<std::shared_ptr<const SystemSnapshot>> SystemSnapshot::BuildWithSpaces(
+    std::shared_ptr<const ShapeDatabase> db, uint64_t epoch,
+    const SearchEngineOptions& search_options,
+    const HierarchyOptions& hierarchy_options,
+    std::vector<SimilaritySpace> spaces) {
+  return BuildImpl(std::move(db), epoch, search_options, hierarchy_options,
+                   &spaces);
+}
+
+Result<std::shared_ptr<const SystemSnapshot>> SystemSnapshot::BuildImpl(
+    std::shared_ptr<const ShapeDatabase> db, uint64_t epoch,
+    const SearchEngineOptions& search_options,
+    const HierarchyOptions& hierarchy_options,
+    std::vector<SimilaritySpace>* frozen_spaces) {
   if (db == nullptr || db->IsEmpty()) {
     return Status::InvalidArgument("snapshot: empty database view");
   }
@@ -87,8 +105,15 @@ Result<std::shared_ptr<const SystemSnapshot>> SystemSnapshot::Build(
   std::shared_ptr<SystemSnapshot> snapshot(new SystemSnapshot());
   snapshot->epoch_ = epoch;
   snapshot->db_ = db;
-  DESS_ASSIGN_OR_RETURN(snapshot->engine_,
-                        SearchEngine::Build(std::move(db), search_options));
+  if (frozen_spaces != nullptr) {
+    DESS_ASSIGN_OR_RETURN(
+        snapshot->engine_,
+        SearchEngine::Rebuild(std::move(db), search_options,
+                              std::move(*frozen_spaces)));
+  } else {
+    DESS_ASSIGN_OR_RETURN(snapshot->engine_,
+                          SearchEngine::Build(std::move(db), search_options));
+  }
   snapshot->hierarchies_.resize(snapshot->engine_->NumSpaces());
   for (int ordinal = 0; ordinal < snapshot->engine_->NumSpaces(); ++ordinal) {
     std::vector<std::vector<double>> points;
@@ -97,9 +122,33 @@ Result<std::shared_ptr<const SystemSnapshot>> SystemSnapshot::Build(
     for (const ShapeRecord& rec : snapshot->db_->records()) {
       points.push_back(space.Standardize(rec.signature.At(ordinal).values));
     }
-    DESS_ASSIGN_OR_RETURN(snapshot->hierarchies_[ordinal],
+    DESS_ASSIGN_OR_RETURN(std::unique_ptr<HierarchyNode> hierarchy,
                           BuildHierarchy(points, hierarchy_options));
+    snapshot->hierarchies_[ordinal] = std::move(hierarchy);
   }
+  return std::shared_ptr<const SystemSnapshot>(std::move(snapshot));
+}
+
+Result<std::shared_ptr<const SystemSnapshot>> SystemSnapshot::LayerDelta(
+    const std::shared_ptr<const SystemSnapshot>& base,
+    std::shared_ptr<const ShapeDatabase> full_view, uint64_t epoch) {
+  if (base == nullptr) {
+    return Status::InvalidArgument("layer delta: null base snapshot");
+  }
+  if (full_view == nullptr || full_view->IsEmpty()) {
+    return Status::InvalidArgument("layer delta: empty database view");
+  }
+  DESS_TIMED_SCOPE("snapshot.layer_delta");
+  std::shared_ptr<SystemSnapshot> snapshot(new SystemSnapshot());
+  snapshot->epoch_ = epoch;
+  snapshot->db_ = full_view;
+  DESS_ASSIGN_OR_RETURN(
+      snapshot->engine_,
+      SearchEngine::Layer(base->engine(), std::move(full_view)));
+  // Browsing reuses the base hierarchies (shared, not copied): delta
+  // records appear in hierarchies only after the next full commit or
+  // compaction. Search covers them immediately via the side-index.
+  snapshot->hierarchies_ = base->hierarchies_;
   return std::shared_ptr<const SystemSnapshot>(std::move(snapshot));
 }
 
@@ -128,7 +177,10 @@ Result<std::shared_ptr<const SystemSnapshot>> SystemSnapshot::Assemble(
   snapshot->epoch_ = epoch;
   snapshot->db_ = std::move(db);
   snapshot->engine_ = std::move(engine);
-  snapshot->hierarchies_ = std::move(hierarchies);
+  snapshot->hierarchies_.reserve(hierarchies.size());
+  for (auto& hierarchy : hierarchies) {
+    snapshot->hierarchies_.push_back(std::move(hierarchy));
+  }
   return std::shared_ptr<const SystemSnapshot>(std::move(snapshot));
 }
 

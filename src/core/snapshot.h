@@ -39,6 +39,29 @@ class SystemSnapshot {
       const SearchEngineOptions& search_options,
       const HierarchyOptions& hierarchy_options);
 
+  /// Like Build, but reuses previously calibrated similarity spaces
+  /// instead of recalibrating over `db`. This is the compaction/recovery
+  /// path: folding a delta side-index into full per-space indexes without
+  /// recalibration keeps every distance — and therefore every query
+  /// result — bit-identical to the layered snapshot it replaces.
+  static Result<std::shared_ptr<const SystemSnapshot>> BuildWithSpaces(
+      std::shared_ptr<const ShapeDatabase> db, uint64_t epoch,
+      const SearchEngineOptions& search_options,
+      const HierarchyOptions& hierarchy_options,
+      std::vector<SimilaritySpace> spaces);
+
+  /// Publishes a delta commit in O(delta): layers the records of
+  /// `full_view` beyond `base`'s coverage as a side-index over base's
+  /// engine (indexes, packed blocks and calibration shared untouched) and
+  /// reuses base's browsing hierarchies. Queries merge main and side
+  /// candidates, bit-identical to a frozen-calibration full rebuild;
+  /// hierarchies cover only the base records until the next full commit
+  /// or compaction folds the delta in. `base` must be a full (non-layered)
+  /// snapshot and `full_view` must extend its record view.
+  static Result<std::shared_ptr<const SystemSnapshot>> LayerDelta(
+      const std::shared_ptr<const SystemSnapshot>& base,
+      std::shared_ptr<const ShapeDatabase> full_view, uint64_t epoch);
+
   /// Assembles a snapshot from preloaded parts — the persistence layer's
   /// cold-start path (Dess3System::OpenFromSnapshot), which restores the
   /// engine and hierarchies from disk instead of rebuilding them. All
@@ -71,6 +94,11 @@ class SystemSnapshot {
   /// methods; per-query weights go through QueryRequest::weights.
   const SearchEngine& engine() const { return *engine_; }
 
+  /// Number of records served from the delta side-index (0 for a full
+  /// snapshot). A layered snapshot's engine covers base + delta; its
+  /// hierarchies cover only the base records.
+  size_t NumDeltaRecords() const { return engine_->NumSideRecords(); }
+
   /// Browsing hierarchy for one feature kind / registry ordinal.
   const HierarchyNode& Hierarchy(FeatureKind kind) const {
     return *hierarchies_[static_cast<int>(kind)];
@@ -97,11 +125,21 @@ class SystemSnapshot {
  private:
   SystemSnapshot() = default;
 
+  /// Shared Build/BuildWithSpaces body; `frozen_spaces` null means
+  /// recalibrate over `db`.
+  static Result<std::shared_ptr<const SystemSnapshot>> BuildImpl(
+      std::shared_ptr<const ShapeDatabase> db, uint64_t epoch,
+      const SearchEngineOptions& search_options,
+      const HierarchyOptions& hierarchy_options,
+      std::vector<SimilaritySpace>* frozen_spaces);
+
   uint64_t epoch_ = 0;
   std::shared_ptr<const ShapeDatabase> db_;
   std::unique_ptr<SearchEngine> engine_;
-  // One browsing hierarchy per registered feature space, in registry order.
-  std::vector<std::unique_ptr<HierarchyNode>> hierarchies_;
+  // One browsing hierarchy per registered feature space, in registry
+  // order. Shared (const) so a delta snapshot can reuse its base's
+  // hierarchies without copying them.
+  std::vector<std::shared_ptr<const HierarchyNode>> hierarchies_;
 };
 
 }  // namespace dess

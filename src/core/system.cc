@@ -1,8 +1,12 @@
 #include "src/core/system.h"
 
+#include <algorithm>
+#include <filesystem>
 #include <thread>
 
+#include "src/common/logging.h"
 #include "src/common/metrics.h"
+#include "src/common/strings.h"
 #include "src/common/thread_pool.h"
 #include "src/common/trace.h"
 
@@ -21,7 +25,16 @@ Dess3System::Dess3System(const SystemOptions& options) : options_(options) {
   }
 }
 
-Dess3System::~Dess3System() = default;
+Dess3System::~Dess3System() {
+  // Drain the ingest pool outside the writer lock: a queued background
+  // compaction task takes ingest_mu_ when it publishes.
+  std::unique_ptr<ThreadPool> pool;
+  {
+    std::lock_guard<std::mutex> lock(ingest_mu_);
+    pool = std::move(ingest_pool_);
+  }
+  pool.reset();  // joins workers after running whatever is queued
+}
 
 ThreadPool* Dess3System::EnsureIngestPool(int num_threads) {
   if (num_threads <= 0) {
@@ -36,76 +49,110 @@ ThreadPool* Dess3System::EnsureIngestPool(int num_threads) {
 
 void Dess3System::RecordIngestLocked(size_t count) {
   dirty_ = true;  // published snapshot (if any) no longer covers db_
+  stat_pending_records_.store(db_.NumShapes() - committed_records_,
+                              std::memory_order_relaxed);
   MetricsRegistry* registry = MetricsRegistry::Global();
   registry->AddCounter("system.shapes_ingested", count);
   registry->SetGauge("system.db_shapes",
                      static_cast<double>(db_.NumShapes()));
 }
 
+Result<int> Dess3System::InsertLocked(ShapeRecord record,
+                                      const IngestOptions& options,
+                                      bool defer_sync) {
+  const int id = db_.Insert(std::move(record));
+  if (wal_ != nullptr &&
+      options.durability != WriteAheadLog::Durability::kOff) {
+    // The id is assigned at insert, so the append carries the stored
+    // record; durability is settled before the ingest returns (and before
+    // any commit could publish the record), which is all "write-ahead"
+    // must mean here.
+    DESS_ASSIGN_OR_RETURN(const ShapeRecord* stored, db_.Get(id));
+    const bool sync =
+        !defer_sync && options.durability == WriteAheadLog::Durability::kFsync;
+    DESS_ASSIGN_OR_RETURN([[maybe_unused]] const uint64_t seq,
+                          wal_->AppendRecord(*stored, sync));
+    stat_wal_sequence_.store(wal_->last_sequence(),
+                             std::memory_order_relaxed);
+  }
+  return id;
+}
+
 Result<int> Dess3System::IngestMesh(const TriMesh& mesh,
-                                    const std::string& name, int group) {
+                                    const std::string& name, int group,
+                                    const IngestOptions& options) {
   // Each ingest is its own trace (pipeline stage spans nest under it).
   ScopedTraceRequest trace;
   DESS_TIMED_SCOPE("system.ingest_shape");
-  // Extraction is the expensive part and touches no shared state, so it
-  // runs outside the writer lock; only the insert itself is serialized.
-  DESS_ASSIGN_OR_RETURN(ShapeSignature signature,
-                        ExtractSignature(mesh, options_.extraction));
+  Result<ShapeSignature> signature{ShapeSignature{}};
+  if (options.num_threads == 1) {
+    // Extraction is the expensive part and touches no shared state, so it
+    // runs outside the writer lock; only the insert itself is serialized.
+    signature = ExtractSignature(mesh, options_.extraction);
+  } else {
+    // Intra-shape parallel extraction borrows the shared ingest pool, so
+    // it runs under the writer lock like any other pool user.
+    std::lock_guard<std::mutex> lock(ingest_mu_);
+    ExtractionOptions extraction = options_.extraction;
+    extraction.pool = EnsureIngestPool(options.num_threads);
+    signature = ExtractSignature(mesh, extraction);
+  }
+  DESS_RETURN_NOT_OK(signature.status());
   ShapeRecord record;
   record.name = name;
   record.group = group;
   record.mesh = mesh;
-  record.signature = std::move(signature);
+  record.signature = std::move(signature).value();
   std::lock_guard<std::mutex> lock(ingest_mu_);
-  const int id = db_.Insert(std::move(record));
+  DESS_ASSIGN_OR_RETURN(const int id,
+                        InsertLocked(std::move(record), options));
   RecordIngestLocked(1);
   return id;
 }
 
-Status Dess3System::IngestDataset(const Dataset& dataset) {
-  for (const DatasetShape& shape : dataset.shapes) {
-    DESS_ASSIGN_OR_RETURN(int id,
-                          IngestMesh(shape.mesh, shape.name, shape.group));
-    (void)id;
-  }
-  return Status::OK();
-}
-
-Status Dess3System::IngestDatasetParallel(const Dataset& dataset,
-                                          int num_threads) {
+Status Dess3System::IngestDataset(const Dataset& dataset,
+                                  const IngestOptions& options) {
   const size_t n = dataset.shapes.size();
   if (n == 0) return Status::OK();
   ScopedTraceRequest trace;
   DESS_TIMED_SCOPE("system.ingest_dataset");
   std::lock_guard<std::mutex> lock(ingest_mu_);
-  ThreadPool* pool = EnsureIngestPool(num_threads);
   std::vector<Result<ShapeSignature>> signatures(
       n, Result<ShapeSignature>(ShapeSignature{}));
-  // Two ways to spend the same pool: fan shapes out across workers, or run
-  // shapes serially with the voxel/thinning slabs of each shape fanned out.
-  // Intra-shape wins when shapes are too few to occupy the workers or grids
-  // are large; either path yields bit-identical signatures.
-  const bool intra_shape =
-      n < static_cast<size_t>(pool->num_threads()) ||
-      options_.extraction.voxelization.resolution >=
-          options_.intra_shape_resolution_threshold;
-  if (intra_shape) {
-    ExtractionOptions options = options_.extraction;
-    options.pool = pool;
+  if (options.num_threads == 1) {
     for (size_t i = 0; i < n; ++i) {
-      signatures[i] = ExtractSignature(dataset.shapes[i].mesh, options);
+      signatures[i] =
+          ExtractSignature(dataset.shapes[i].mesh, options_.extraction);
     }
   } else {
-    const ExtractionOptions options = options_.extraction;
-    const TraceContext ctx = CurrentTraceContext();
-    ParallelFor(pool, n, [&](size_t i) {
-      // Carry the ingest trace onto the pool workers so per-shape pipeline
-      // spans attribute to this dataset's trace.
-      ScopedTraceContext worker_trace(ctx);
-      signatures[i] = ExtractSignature(dataset.shapes[i].mesh, options);
-    });
+    ThreadPool* pool = EnsureIngestPool(options.num_threads);
+    // Two ways to spend the same pool: fan shapes out across workers, or
+    // run shapes serially with the voxel/thinning slabs of each shape
+    // fanned out. Intra-shape wins when shapes are too few to occupy the
+    // workers or grids are large; either path yields bit-identical
+    // signatures.
+    const bool intra_shape =
+        n < static_cast<size_t>(pool->num_threads()) ||
+        options_.extraction.voxelization.resolution >=
+            options_.intra_shape_resolution_threshold;
+    if (intra_shape) {
+      ExtractionOptions extraction = options_.extraction;
+      extraction.pool = pool;
+      for (size_t i = 0; i < n; ++i) {
+        signatures[i] = ExtractSignature(dataset.shapes[i].mesh, extraction);
+      }
+    } else {
+      const ExtractionOptions extraction = options_.extraction;
+      const TraceContext ctx = CurrentTraceContext();
+      ParallelFor(pool, n, [&](size_t i) {
+        // Carry the ingest trace onto the pool workers so per-shape
+        // pipeline spans attribute to this dataset's trace.
+        ScopedTraceContext worker_trace(ctx);
+        signatures[i] = ExtractSignature(dataset.shapes[i].mesh, extraction);
+      });
+    }
   }
-  // Serial insertion keeps ids identical to the sequential path and
+  // Serial insertion keeps ids identical across extraction widths and
   // surfaces the first extraction failure deterministically.
   for (size_t i = 0; i < n; ++i) {
     if (!signatures[i].ok()) return signatures[i].status();
@@ -116,21 +163,95 @@ Status Dess3System::IngestDatasetParallel(const Dataset& dataset,
     record.group = dataset.shapes[i].group;
     record.mesh = dataset.shapes[i].mesh;
     record.signature = std::move(signatures[i]).value();
-    db_.Insert(std::move(record));
+    // Group commit: every record is appended, one sync settles the batch.
+    DESS_ASSIGN_OR_RETURN(
+        [[maybe_unused]] const int id,
+        InsertLocked(std::move(record), options, /*defer_sync=*/true));
+  }
+  if (wal_ != nullptr &&
+      options.durability == WriteAheadLog::Durability::kFsync) {
+    DESS_RETURN_NOT_OK(wal_->Sync());
   }
   RecordIngestLocked(n);
   return Status::OK();
 }
 
-int Dess3System::IngestRecord(ShapeRecord record) {
+Status Dess3System::IngestDatasetParallel(const Dataset& dataset,
+                                          int num_threads) {
+  IngestOptions options;
+  options.num_threads = num_threads;
+  if (options.num_threads == 1) options.num_threads = 2;
+  return IngestDataset(dataset, options);
+}
+
+Result<int> Dess3System::Ingest(ShapeRecord record,
+                                const IngestOptions& options) {
   std::lock_guard<std::mutex> lock(ingest_mu_);
-  const int id = db_.Insert(std::move(record));
+  DESS_ASSIGN_OR_RETURN(const int id,
+                        InsertLocked(std::move(record), options));
   RecordIngestLocked(1);
   return id;
 }
 
-Result<uint64_t> Dess3System::Commit() {
+int Dess3System::IngestRecord(ShapeRecord record) {
   std::lock_guard<std::mutex> lock(ingest_mu_);
+  const int id = db_.Insert(std::move(record));
+  if (wal_ != nullptr) {
+    // Legacy int-returning API: a failed append degrades durability, not
+    // the in-memory ingest — log it and keep the id contract.
+    const ShapeRecord* stored = db_.Get(id).ValueOr(nullptr);
+    Result<uint64_t> seq =
+        stored != nullptr
+            ? wal_->AppendRecord(*stored, /*sync=*/false)
+            : Result<uint64_t>(Status::Internal("inserted record vanished"));
+    if (!seq.ok()) {
+      DESS_LOG(Error) << "WAL append failed for shape " << id << ": "
+                      << seq.status().ToString();
+    } else {
+      stat_wal_sequence_.store(wal_->last_sequence(),
+                               std::memory_order_relaxed);
+    }
+  }
+  RecordIngestLocked(1);
+  return id;
+}
+
+std::vector<SimilaritySpace> Dess3System::PublishedSpacesLocked() const {
+  const SearchEngine& engine = base_snapshot_->engine();
+  std::vector<SimilaritySpace> spaces;
+  spaces.reserve(engine.NumSpaces());
+  for (int ordinal = 0; ordinal < engine.NumSpaces(); ++ordinal) {
+    spaces.push_back(engine.SpaceAt(ordinal));
+  }
+  return spaces;
+}
+
+void Dess3System::PublishLocked(std::shared_ptr<const SystemSnapshot> next,
+                                bool is_full, size_t calibration_records,
+                                size_t base_records,
+                                size_t committed_records) {
+  const uint64_t epoch = next->epoch();
+  {
+    std::lock_guard<std::mutex> publish(snapshot_mu_);
+    snapshot_ = next;
+  }
+  if (is_full) base_snapshot_ = std::move(next);
+  calibration_records_ = calibration_records;
+  base_records_ = base_records;
+  committed_records_ = committed_records;
+  stat_pending_records_.store(db_.NumShapes() - committed_records_,
+                              std::memory_order_relaxed);
+  MetricsRegistry::Global()->SetGauge("system.snapshot_epoch",
+                                      static_cast<double>(epoch));
+}
+
+Result<CommitReceipt> Dess3System::Commit(const CommitOptions& options) {
+  std::lock_guard<std::mutex> lock(ingest_mu_);
+  return CommitLocked(options);
+}
+
+Result<CommitReceipt> Dess3System::CommitLocked(
+    const CommitOptions& options) {
   if (db_.IsEmpty()) {
     return Status::InvalidArgument("commit: database is empty");
   }
@@ -142,18 +263,107 @@ Result<uint64_t> Dess3System::Commit() {
   // to the side, then publish with one pointer swap. Queries holding the
   // old snapshot are unaffected; the swap never waits for them.
   const uint64_t epoch = next_epoch_;
-  DESS_ASSIGN_OR_RETURN(
-      std::shared_ptr<const SystemSnapshot> next,
-      SystemSnapshot::Build(db_.SnapshotView(), epoch, options_.search,
-                            options_.hierarchy));
-  {
-    std::lock_guard<std::mutex> publish(snapshot_mu_);
-    snapshot_ = std::move(next);
+  const size_t total = db_.NumShapes();
+  CommitMode mode = options.mode;
+  if (mode == CommitMode::kDelta && base_snapshot_ == nullptr) {
+    mode = CommitMode::kFull;  // nothing published to layer over yet
   }
-  registry->SetGauge("system.snapshot_epoch", static_cast<double>(epoch));
+  std::shared_ptr<const SystemSnapshot> next;
+  size_t new_calibration = total;
+  size_t new_base = total;
+  if (mode == CommitMode::kDelta) {
+    DESS_ASSIGN_OR_RETURN(
+        next, SystemSnapshot::LayerDelta(base_snapshot_, db_.SnapshotView(),
+                                         epoch));
+    new_calibration = calibration_records_;
+    new_base = base_records_;
+    registry->AddCounter("system.delta_commits");
+  } else if (!options.recalibrate && base_snapshot_ != nullptr) {
+    DESS_ASSIGN_OR_RETURN(
+        next, SystemSnapshot::BuildWithSpaces(
+                  db_.SnapshotView(), epoch, options_.search,
+                  options_.hierarchy, PublishedSpacesLocked()));
+    new_calibration = calibration_records_;
+  } else {
+    DESS_ASSIGN_OR_RETURN(
+        next, SystemSnapshot::Build(db_.SnapshotView(), epoch,
+                                    options_.search, options_.hierarchy));
+  }
+  CommitReceipt receipt;
+  receipt.epoch = epoch;
+  receipt.mode = mode;
+  receipt.delta_records = total - committed_records_;
+  if (wal_ != nullptr) {
+    // The marker is fsynced before the publish: once a caller holds the
+    // receipt, recovery reproduces this exact state.
+    WriteAheadLog::CommitMarker marker;
+    marker.epoch = epoch;
+    marker.mode = static_cast<uint8_t>(mode);
+    marker.calibration_records = new_calibration;
+    marker.base_records = new_base;
+    marker.committed_records = total;
+    DESS_ASSIGN_OR_RETURN(receipt.wal_sequence, wal_->AppendCommit(marker));
+    stat_wal_sequence_.store(wal_->last_sequence(),
+                             std::memory_order_relaxed);
+  }
+  PublishLocked(std::move(next), mode == CommitMode::kFull, new_calibration,
+                new_base, total);
   ++next_epoch_;
   dirty_ = false;
-  return epoch;
+  if (mode == CommitMode::kFull && wal_ != nullptr) {
+    // Checkpoint the published snapshot, then truncate the log it
+    // supersedes. A crash between the two replays already-checkpointed
+    // records on the next open; replay skips duplicates, so the order is
+    // safe (the reverse order could lose records).
+    SaveOptions save;
+    save.overwrite = true;
+    DESS_RETURN_NOT_OK(
+        base_snapshot_->SaveTo(home_dir_ + "/snapshot", save));
+    DESS_RETURN_NOT_OK(wal_->Reset());
+    stat_wal_sequence_.store(wal_->last_sequence(),
+                             std::memory_order_relaxed);
+  }
+  if (mode == CommitMode::kDelta) MaybeScheduleCompactionLocked();
+  return receipt;
+}
+
+void Dess3System::MaybeScheduleCompactionLocked() {
+  if (options_.compaction_min_delta_records == 0) return;  // disabled
+  if (compaction_scheduled_) return;
+  const size_t delta = committed_records_ - base_records_;
+  if (delta < options_.compaction_min_delta_records) return;
+  if (static_cast<double>(delta) <
+      options_.compaction_delta_ratio * static_cast<double>(base_records_)) {
+    return;
+  }
+  compaction_scheduled_ = true;
+  EnsureIngestPool(ingest_pool_ != nullptr ? ingest_pool_->num_threads() : 0)
+      ->Schedule([this] { CompactDelta(); });
+}
+
+void Dess3System::CompactDelta() {
+  std::lock_guard<std::mutex> lock(ingest_mu_);
+  compaction_scheduled_ = false;
+  if (committed_records_ == base_records_) return;  // already folded
+  DESS_TIMED_SCOPE("system.compact_delta");
+  // Fold the committed records into full per-space indexes under the
+  // published calibration: same epoch, bit-identical answers — records
+  // only move from the linear-scan side structures into real indexes (and
+  // into refreshed browsing hierarchies). No WAL marker is written; the
+  // last marker already describes this state and recovery reproduces it.
+  Result<std::shared_ptr<const SystemSnapshot>> next =
+      SystemSnapshot::BuildWithSpaces(
+          db_.PrefixView(committed_records_), PublishedEpoch(),
+          options_.search, options_.hierarchy, PublishedSpacesLocked());
+  if (!next.ok()) {
+    DESS_LOG(Error) << "background compaction failed: "
+                    << next.status().ToString();
+    return;
+  }
+  PublishLocked(std::move(next).value(), /*is_full=*/true,
+                calibration_records_, committed_records_,
+                committed_records_);
+  MetricsRegistry::Global()->AddCounter("system.compactions");
 }
 
 bool Dess3System::IsCommitted() const {
@@ -250,6 +460,139 @@ Status Dess3System::SaveSnapshot(const std::string& dir,
   DESS_ASSIGN_OR_RETURN(std::shared_ptr<const SystemSnapshot> snapshot,
                         CurrentSnapshot());
   return snapshot->SaveTo(dir, options);
+}
+
+Result<std::unique_ptr<Dess3System>> Dess3System::Open(
+    const std::string& dir, const OpenOptions& open_options,
+    const SystemOptions& options) {
+  DESS_TIMED_SCOPE("system.open");
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create home directory '" + dir +
+                           "': " + ec.message());
+  }
+
+  // The checkpoint half: the snapshot the last full commit wrote, opened
+  // with the full persistence-layer validation. A home that has never
+  // checkpointed simply starts empty.
+  std::unique_ptr<Dess3System> system;
+  Result<std::unique_ptr<Dess3System>> opened =
+      OpenFromSnapshot(dir + "/snapshot", open_options, options);
+  if (opened.ok()) {
+    system = std::move(opened).value();
+  } else if (opened.status().code() == StatusCode::kNotFound) {
+    system = std::make_unique<Dess3System>(options);
+  } else {
+    return opened.status();
+  }
+  const size_t snap_count = system->db_.NumShapes();
+
+  // The log half: every record ingested since that checkpoint plus the
+  // commit markers, validated frame by frame (torn tails truncate, real
+  // damage and version skew surface — see WriteAheadLog::Open).
+  WriteAheadLog::Replay replay;
+  DESS_ASSIGN_OR_RETURN(
+      system->wal_,
+      WriteAheadLog::Open(dir + "/wal.log", *system->options_.feature_spaces,
+                          &replay));
+  system->home_dir_ = dir;
+
+  for (ShapeRecord& rec : replay.records) {
+    Status st = system->db_.InsertWithId(std::move(rec));
+    if (st.ok()) continue;
+    if (st.code() == StatusCode::kAlreadyExists) {
+      continue;  // checkpointed before the log was truncated — idempotent
+    }
+    return Status::DataLoss("WAL record conflicts with the snapshot: " +
+                            st.message());
+  }
+
+  size_t committed = snap_count;
+  if (replay.has_marker &&
+      replay.marker.committed_records > static_cast<uint64_t>(snap_count)) {
+    // The last durable commit reached past the checkpoint: republish the
+    // exact state the marker describes. The marker's prefix counts pin the
+    // calibration, the main-index coverage, and the served record count,
+    // so the rebuilt snapshot answers bit-identically to the one that was
+    // serving when the marker was written.
+    const WriteAheadLog::CommitMarker& marker = replay.marker;
+    committed = static_cast<size_t>(marker.committed_records);
+    if (system->db_.NumShapes() < committed) {
+      return Status::DataLoss(StrFormat(
+          "WAL commit marker covers %llu records but only %zu were "
+          "recovered",
+          static_cast<unsigned long long>(marker.committed_records),
+          system->db_.NumShapes()));
+    }
+    std::shared_ptr<const SystemSnapshot> base;
+    if (marker.base_records == static_cast<uint64_t>(snap_count) &&
+        snap_count > 0) {
+      // The checkpoint IS the base the marker layered over.
+      base = system->snapshot_;
+    } else if (marker.calibration_records == marker.base_records) {
+      // Checkpoint lagged the marker (crash between marker and
+      // checkpoint): recalibrating over the same prefix reproduces the
+      // lost build bitwise.
+      DESS_ASSIGN_OR_RETURN(
+          base, SystemSnapshot::Build(
+                    system->db_.PrefixView(
+                        static_cast<size_t>(marker.base_records)),
+                    marker.epoch, system->options_.search,
+                    system->options_.hierarchy));
+    } else {
+      // The lost base was itself a frozen-calibration rebuild: recover
+      // the calibration from its own prefix first, then rebuild under it.
+      DESS_ASSIGN_OR_RETURN(
+          std::shared_ptr<const SystemSnapshot> calibration_snapshot,
+          SystemSnapshot::Build(
+              system->db_.PrefixView(
+                  static_cast<size_t>(marker.calibration_records)),
+              marker.epoch, system->options_.search,
+              system->options_.hierarchy));
+      const SearchEngine& engine = calibration_snapshot->engine();
+      std::vector<SimilaritySpace> spaces;
+      spaces.reserve(engine.NumSpaces());
+      for (int ordinal = 0; ordinal < engine.NumSpaces(); ++ordinal) {
+        spaces.push_back(engine.SpaceAt(ordinal));
+      }
+      DESS_ASSIGN_OR_RETURN(
+          base, SystemSnapshot::BuildWithSpaces(
+                    system->db_.PrefixView(
+                        static_cast<size_t>(marker.base_records)),
+                    marker.epoch, system->options_.search,
+                    system->options_.hierarchy, std::move(spaces)));
+    }
+    std::shared_ptr<const SystemSnapshot> next = base;
+    if (marker.committed_records > marker.base_records) {
+      DESS_ASSIGN_OR_RETURN(
+          next, SystemSnapshot::LayerDelta(
+                    base, system->db_.PrefixView(committed), marker.epoch));
+    }
+    {
+      std::lock_guard<std::mutex> publish(system->snapshot_mu_);
+      system->snapshot_ = std::move(next);
+    }
+    system->base_snapshot_ = std::move(base);
+    system->base_records_ = static_cast<size_t>(marker.base_records);
+    system->calibration_records_ =
+        static_cast<size_t>(marker.calibration_records);
+    system->next_epoch_ = std::max(system->next_epoch_, marker.epoch + 1);
+    MetricsRegistry::Global()->SetGauge("system.snapshot_epoch",
+                                        static_cast<double>(marker.epoch));
+  }
+  system->committed_records_ = committed;
+  // Records beyond the last durable commit replay as pending ingests: they
+  // are in the store (and still in the log) but not published until the
+  // next Commit().
+  system->dirty_ = system->db_.NumShapes() > committed;
+  system->stat_wal_sequence_.store(system->wal_->last_sequence(),
+                                   std::memory_order_relaxed);
+  system->stat_pending_records_.store(system->db_.NumShapes() - committed,
+                                      std::memory_order_relaxed);
+  MetricsRegistry::Global()->SetGauge(
+      "system.db_shapes", static_cast<double>(system->db_.NumShapes()));
+  return system;
 }
 
 }  // namespace dess

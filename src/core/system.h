@@ -1,6 +1,7 @@
 #ifndef DESS_CORE_SYSTEM_H_
 #define DESS_CORE_SYSTEM_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -10,6 +11,7 @@
 #include "src/cluster/hierarchy.h"
 #include "src/core/query_executor.h"
 #include "src/core/snapshot.h"
+#include "src/core/wal.h"
 #include "src/db/shape_database.h"
 #include "src/features/extractors.h"
 #include "src/modelgen/dataset.h"
@@ -32,11 +34,71 @@ struct SystemOptions {
   SearchEngineOptions search;
   HierarchyOptions hierarchy;
   QueryExecutorOptions executor;
-  /// Voxel resolution at or above which IngestDatasetParallel prefers
+  /// Voxel resolution at or above which parallel ingest prefers
   /// intra-shape parallelism (slab-parallel voxelize/thin within one shape)
   /// over inter-shape fan-out. Large grids parallelize well internally and
   /// keep peak memory at one working set per pool instead of one per shape.
   int intra_shape_resolution_threshold = 96;
+  /// Delta side-index compaction triggers. After a delta commit leaves at
+  /// least `compaction_min_delta_records` records in the side-index AND the
+  /// side has grown past `compaction_delta_ratio` of the main indexes, a
+  /// frozen-calibration fold of the committed records into full per-space
+  /// indexes is scheduled on the ingest pool. Compaction republishes the
+  /// same epoch with bit-identical answers; it only moves records from the
+  /// linear-scan side structures into the real indexes. Set
+  /// `compaction_min_delta_records` to 0 to disable background compaction.
+  size_t compaction_min_delta_records = 512;
+  double compaction_delta_ratio = 0.10;
+};
+
+/// How ingest calls behave: extraction fan-out and write-ahead-log
+/// durability travel together so each call site states its contract in
+/// one place.
+struct IngestOptions {
+  /// Extraction worker threads: 1 runs sequentially on the caller, 0 uses
+  /// hardware concurrency, n > 1 uses n pool workers. Whatever the width,
+  /// insertion order and assigned ids match the sequential path exactly.
+  int num_threads = 1;
+  /// Write-ahead-log durability for the ingested records. Meaningful only
+  /// on a system with a durable home (Dess3System::Open); others carry no
+  /// WAL and ignore this. Dataset ingests group-commit: whatever the mode,
+  /// at most one fsync per call, not one per record.
+  WriteAheadLog::Durability durability = WriteAheadLog::Durability::kAsync;
+};
+
+/// What Commit() builds before publishing.
+enum class CommitMode : uint8_t {
+  /// Rebuild the per-space indexes and browsing hierarchies over every
+  /// record. O(corpus), and the only mode that folds an existing delta
+  /// side-index away.
+  kFull = 0,
+  /// Index only the records ingested since the last publish as a small
+  /// side-index layered over the unchanged main indexes. O(delta), and the
+  /// merged query results are bit-identical to a frozen-calibration full
+  /// rebuild; browsing hierarchies lag until the next full commit or
+  /// background compaction.
+  kDelta = 1,
+};
+
+struct CommitOptions {
+  CommitMode mode = CommitMode::kFull;
+  /// Recalibrate the similarity spaces over the full corpus (kFull only;
+  /// a delta commit always reuses the published calibration). When false,
+  /// the rebuild keeps the published calibration so its answers stay
+  /// bit-identical to the layered snapshot it replaces — the compaction
+  /// and recovery path.
+  bool recalibrate = true;
+};
+
+/// What a Commit() published. `epoch` names the snapshot (the value query
+/// responses carry); `wal_sequence` is the fsynced commit marker's log
+/// sequence (0 on a system without a durable home); `delta_records` is how
+/// many records this publish covers that the previous one did not.
+struct CommitReceipt {
+  uint64_t epoch = 0;
+  uint64_t wal_sequence = 0;
+  uint64_t delta_records = 0;
+  CommitMode mode = CommitMode::kFull;
 };
 
 /// The 3DESS facade: the paper's three-tier system (Figure 1) in one
@@ -66,27 +128,48 @@ class Dess3System {
   ~Dess3System();
 
   /// Runs the feature-extraction pipeline on a mesh and stores it.
-  /// Returns the assigned database id.
+  /// Returns the assigned database id. `options.num_threads` widens the
+  /// intra-shape extraction stages; `options.durability` governs the WAL
+  /// append on a durable system.
   Result<int> IngestMesh(const TriMesh& mesh, const std::string& name,
-                         int group = kUngrouped);
+                         int group = kUngrouped,
+                         const IngestOptions& options = {});
 
   /// Ingests every shape of a generated dataset, preserving group labels.
-  Status IngestDataset(const Dataset& dataset);
+  /// `options.num_threads` selects sequential (1), hardware-concurrency
+  /// (0) or n-worker extraction; insertion order and assigned ids are
+  /// identical across all widths. On a durable system every record is
+  /// WAL-appended per `options.durability` with one group fsync per call.
+  Status IngestDataset(const Dataset& dataset,
+                       const IngestOptions& options = {});
 
-  /// Same, with feature extraction fanned out over `num_threads` workers
-  /// (0 = hardware concurrency). Insertion order and assigned ids match
-  /// the sequential version exactly.
+  /// Deprecated spelling of IngestDataset with extraction fan-out; kept
+  /// one release as a shim.
+  [[deprecated(
+      "use IngestDataset(dataset, IngestOptions{.num_threads = n})")]]
   Status IngestDatasetParallel(const Dataset& dataset, int num_threads = 0);
 
-  /// Ingests a pre-extracted record (e.g. loaded from disk).
+  /// Ingests a pre-extracted record (e.g. loaded from disk), WAL-appending
+  /// it per `options.durability` on a durable system.
+  Result<int> Ingest(ShapeRecord record, const IngestOptions& options);
+
+  /// Ingests a pre-extracted record. Equivalent to Ingest() with default
+  /// options except that a WAL append failure is logged instead of
+  /// surfaced (the record is still inserted in memory).
   int IngestRecord(ShapeRecord record);
 
-  /// Builds and atomically publishes a new SystemSnapshot (indexes +
-  /// browsing hierarchies) over the current database contents, returning
-  /// the epoch it published — the name callers (and the persistence layer)
-  /// use for what they just committed or saved. In-flight queries keep
-  /// their old snapshot; new queries see the new epoch.
-  Result<uint64_t> Commit();
+  /// Builds and atomically publishes a new SystemSnapshot over the current
+  /// database contents and returns its receipt: the published epoch (the
+  /// name callers and the persistence layer use for what they just
+  /// committed or saved), the fsynced WAL marker sequence, and how many
+  /// records the publish newly covers. CommitOptions::mode selects a full
+  /// rebuild or an O(delta) side-index publish (see CommitMode). In-flight
+  /// queries keep their old snapshot; new queries see the new epoch.
+  ///
+  /// On a durable system (Open): the commit marker is fsynced to the WAL
+  /// before the publish, and a full commit then checkpoints the snapshot
+  /// to the home directory and truncates the WAL.
+  Result<CommitReceipt> Commit(const CommitOptions& options = {});
 
   /// True when a snapshot is published and no ingest has happened since.
   bool IsCommitted() const;
@@ -94,6 +177,19 @@ class Dess3System {
   /// Epoch of the currently published snapshot (0 before the first
   /// Commit()).
   uint64_t PublishedEpoch() const;
+
+  /// Sequence of the last WAL entry this system wrote or replayed (0 on a
+  /// system without a durable home). Lock-free; safe from the serving
+  /// layer's stats path.
+  uint64_t WalSequence() const {
+    return stat_wal_sequence_.load(std::memory_order_relaxed);
+  }
+
+  /// Records ingested but not yet covered by a published snapshot.
+  /// Lock-free; safe from the serving layer's stats path.
+  uint64_t PendingRecords() const {
+    return stat_pending_records_.load(std::memory_order_relaxed);
+  }
 
   /// The currently published snapshot; FailedPrecondition before the first
   /// Commit(). The returned snapshot stays valid (and immutable) for as
@@ -171,6 +267,24 @@ class Dess3System {
       const std::string& dir, const OpenOptions& open_options = {},
       const SystemOptions& options = {});
 
+  /// Opens (creating if needed) a durable home directory — the incremental
+  /// counterpart to OpenFromSnapshot. `dir` holds the last checkpointed
+  /// snapshot (`<dir>/snapshot`, written by each full commit) and the
+  /// write-ahead log (`<dir>/wal.log`, carrying every record ingested
+  /// since plus the commit markers). Recovery replays the WAL tail over
+  /// the snapshot and republishes the state of the last durable commit
+  /// marker bit-identically — including a layered delta snapshot if that
+  /// is what the marker describes; records beyond the marker replay as
+  /// pending (uncommitted) ingests.
+  ///
+  /// Failure taxonomy matches OpenFromSnapshot plus the WAL tiers: a torn
+  /// WAL tail from a crashed append is truncated and recovery succeeds;
+  /// mid-log damage is DataLoss; a verifying frame with an unknown format
+  /// version or entry type is FailedPrecondition.
+  static Result<std::unique_ptr<Dess3System>> Open(
+      const std::string& dir, const OpenOptions& open_options = {},
+      const SystemOptions& options = {});
+
  private:
   /// Returns the shared ingest pool, (re)creating it only when the
   /// requested worker count changes (0 = hardware concurrency). The pool
@@ -182,6 +296,33 @@ class Dess3System {
   /// ingest_mu_.
   void RecordIngestLocked(size_t count);
 
+  /// Inserts one record and WAL-appends it per `options.durability`
+  /// (without syncing when `defer_sync` — dataset group commit). Caller
+  /// must hold ingest_mu_ and call RecordIngestLocked afterwards.
+  Result<int> InsertLocked(ShapeRecord record, const IngestOptions& options,
+                           bool defer_sync = false);
+
+  /// Commit body; caller must hold ingest_mu_.
+  Result<CommitReceipt> CommitLocked(const CommitOptions& options);
+
+  /// Publishes `next` (snapshot_mu_ swap) and refreshes the bookkeeping
+  /// counters/gauges. Caller must hold ingest_mu_.
+  void PublishLocked(std::shared_ptr<const SystemSnapshot> next,
+                     bool is_full, size_t calibration_records,
+                     size_t base_records, size_t committed_records);
+
+  /// Schedules a background frozen-calibration fold of the committed
+  /// records when the delta side-index has outgrown the thresholds in
+  /// SystemOptions. Caller must hold ingest_mu_.
+  void MaybeScheduleCompactionLocked();
+
+  /// The body of the background compaction task.
+  void CompactDelta();
+
+  /// Copies the published calibration out of `base_snapshot_`'s engine.
+  /// Caller must hold ingest_mu_ and base_snapshot_ must be set.
+  std::vector<SimilaritySpace> PublishedSpacesLocked() const;
+
   SystemOptions options_;
 
   /// Serializes writers: ingest, commit, save. Queries never take it.
@@ -191,10 +332,28 @@ class Dess3System {
   uint64_t next_epoch_ = 1;     // guarded by ingest_mu_
   std::unique_ptr<ThreadPool> ingest_pool_;  // guarded by ingest_mu_
 
+  /// Durable home (Open); both empty/null on an in-memory system. The WAL
+  /// is guarded by ingest_mu_ like every other writer-side member.
+  std::string home_dir_;
+  std::unique_ptr<WriteAheadLog> wal_;
+
+  /// Incremental-commit bookkeeping, guarded by ingest_mu_.
+  /// `base_snapshot_` is the last *full* (non-layered) snapshot — what a
+  /// delta commit layers over and what holds the published calibration.
+  std::shared_ptr<const SystemSnapshot> base_snapshot_;
+  size_t committed_records_ = 0;    // records the published snapshot serves
+  size_t base_records_ = 0;         // records the main indexes cover
+  size_t calibration_records_ = 0;  // records the spaces calibrated over
+  bool compaction_scheduled_ = false;
+
   /// Guards only the published-snapshot pointer swap; held for a pointer
   /// copy on the read side, never across query execution.
   mutable std::mutex snapshot_mu_;
   std::shared_ptr<const SystemSnapshot> snapshot_;
+
+  /// Lock-free mirrors for the serving layer's stats path.
+  std::atomic<uint64_t> stat_wal_sequence_{0};
+  std::atomic<uint64_t> stat_pending_records_{0};
 
   std::unique_ptr<QueryExecutor> executor_;
 };

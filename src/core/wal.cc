@@ -1,0 +1,363 @@
+#include "src/core/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "src/common/crc32c.h"
+#include "src/db/serialization.h"
+
+namespace dess {
+namespace {
+
+constexpr uint32_t kWalMagic = 0x4C415744;       // "DWAL"
+constexpr uint32_t kWalFormatVersion = 1;
+constexpr uint32_t kWalEntryMagic = 0x52544E45;  // "ENTR"
+constexpr size_t kWalHeaderSize = 4 + 4 + 8 + 4;
+constexpr size_t kWalEntryHeaderSize = 4 + 1 + 8 + 4 + 4;
+
+std::vector<uint8_t> EncodeHeader(uint64_t base_sequence) {
+  ByteWriter w;
+  w.WriteU32(kWalMagic);
+  w.WriteU32(kWalFormatVersion);
+  w.WriteU64(base_sequence);
+  w.WriteU32(Crc32c(w.bytes().data(), w.bytes().size()));
+  return w.TakeBytes();
+}
+
+Status WriteAll(int fd, const uint8_t* data, size_t n,
+                const std::string& path) {
+  while (n > 0) {
+    const ssize_t wrote = ::write(fd, data, n);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("WAL write failed: " + path);
+    }
+    data += wrote;
+    n -= static_cast<size_t>(wrote);
+  }
+  return Status::OK();
+}
+
+Status SyncFd(int fd, const std::string& path) {
+  if (::fsync(fd) != 0) return Status::IOError("WAL fsync failed: " + path);
+  return Status::OK();
+}
+
+/// Record payload: the records.bin and meshes.bin encodings of one record,
+/// fused (see persistence.cc WriteRecords/WriteMeshes).
+std::vector<uint8_t> EncodeRecordPayload(const ShapeRecord& rec) {
+  ByteWriter w;
+  w.WriteI32(rec.id);
+  w.WriteString(rec.name);
+  w.WriteI32(rec.group);
+  const uint32_t nf = static_cast<uint32_t>(rec.signature.NumSpaces());
+  w.WriteU32(nf);
+  for (uint32_t f = 0; f < nf; ++f) {
+    w.WriteU32(f);
+    w.WriteF64Vector(rec.signature.At(static_cast<int>(f)).values);
+  }
+  w.WriteU64(rec.mesh.NumVertices());
+  for (const Vec3& v : rec.mesh.vertices()) {
+    w.WriteF64(v.x);
+    w.WriteF64(v.y);
+    w.WriteF64(v.z);
+  }
+  w.WriteU64(rec.mesh.NumTriangles());
+  for (const auto& t : rec.mesh.triangles()) {
+    w.WriteU32(t[0]);
+    w.WriteU32(t[1]);
+    w.WriteU32(t[2]);
+  }
+  return w.TakeBytes();
+}
+
+/// Decodes and validates a record payload against the registry with the
+/// same checks LoadRecords/LoadMeshes apply to snapshot sections. The
+/// frame checksum already verified, so any failure here is real damage
+/// (or a writer bug), never a torn write: DataLoss.
+Status DecodeRecordPayload(const uint8_t* data, size_t len,
+                           const FeatureSpaceRegistry& registry,
+                           const std::string& path, ShapeRecord* rec) {
+  ByteReader r(data, len);
+  int32_t id = 0, group = 0;
+  uint32_t nf = 0;
+  const uint32_t num_spaces = static_cast<uint32_t>(registry.size());
+  if (!r.ReadI32(&id) || !r.ReadString(&rec->name) || !r.ReadI32(&group) ||
+      !r.ReadU32(&nf) || nf != num_spaces) {
+    return Status::DataLoss("bad WAL record entry: " + path);
+  }
+  rec->id = id;
+  rec->group = group;
+  for (uint32_t f = 0; f < nf; ++f) {
+    uint32_t ordinal = 0;
+    std::vector<double> values;
+    if (!r.ReadU32(&ordinal) || ordinal >= num_spaces ||
+        !r.ReadF64Vector(&values) ||
+        values.size() != static_cast<size_t>(registry.dim(ordinal))) {
+      return Status::DataLoss("bad feature vector in WAL record: " + path);
+    }
+    FeatureVector& fv = rec->signature.MutableAt(static_cast<int>(ordinal));
+    fv.kind = static_cast<FeatureKind>(ordinal);
+    fv.space = registry.id(ordinal);
+    fv.values = std::move(values);
+  }
+  uint64_t nv = 0;
+  if (!r.ReadU64(&nv)) return Status::DataLoss("bad WAL record mesh: " + path);
+  for (uint64_t v = 0; v < nv; ++v) {
+    double x, y, z;
+    if (!r.ReadF64(&x) || !r.ReadF64(&y) || !r.ReadF64(&z)) {
+      return Status::DataLoss("bad WAL record mesh vertex: " + path);
+    }
+    rec->mesh.AddVertex({x, y, z});
+  }
+  uint64_t nt = 0;
+  if (!r.ReadU64(&nt)) return Status::DataLoss("bad WAL record mesh: " + path);
+  for (uint64_t t = 0; t < nt; ++t) {
+    uint32_t a, b, c;
+    if (!r.ReadU32(&a) || !r.ReadU32(&b) || !r.ReadU32(&c) || a >= nv ||
+        b >= nv || c >= nv) {
+      return Status::DataLoss("bad WAL record mesh triangle: " + path);
+    }
+    rec->mesh.AddTriangle(a, b, c);
+  }
+  if (!r.AtEnd()) {
+    return Status::DataLoss("trailing bytes in WAL record entry: " + path);
+  }
+  return Status::OK();
+}
+
+std::vector<uint8_t> EncodeCommitPayload(
+    const WriteAheadLog::CommitMarker& marker) {
+  ByteWriter w;
+  w.WriteU64(marker.epoch);
+  w.WriteU8(marker.mode);
+  w.WriteU64(marker.calibration_records);
+  w.WriteU64(marker.base_records);
+  w.WriteU64(marker.committed_records);
+  return w.TakeBytes();
+}
+
+Status DecodeCommitPayload(const uint8_t* data, size_t len,
+                           const std::string& path,
+                           WriteAheadLog::CommitMarker* marker) {
+  ByteReader r(data, len);
+  if (!r.ReadU64(&marker->epoch) || !r.ReadU8(&marker->mode) ||
+      !r.ReadU64(&marker->calibration_records) ||
+      !r.ReadU64(&marker->base_records) ||
+      !r.ReadU64(&marker->committed_records) || !r.AtEnd()) {
+    return Status::DataLoss("bad WAL commit marker: " + path);
+  }
+  if (marker->calibration_records > marker->base_records ||
+      marker->base_records > marker->committed_records) {
+    return Status::DataLoss("inconsistent WAL commit marker: " + path);
+  }
+  return Status::OK();
+}
+
+/// True when a structurally valid frame (magic, length bounds, checksum)
+/// starts at `offset`. Payload semantics are not checked.
+bool FrameValidAt(const std::vector<uint8_t>& bytes, size_t offset,
+                  uint8_t* type, uint64_t* seq, uint32_t* len) {
+  if (offset + kWalEntryHeaderSize > bytes.size()) return false;
+  uint32_t magic;
+  std::memcpy(&magic, &bytes[offset], 4);
+  if (magic != kWalEntryMagic) return false;
+  uint64_t s;
+  uint32_t l, stored;
+  std::memcpy(&s, &bytes[offset + 5], 8);
+  std::memcpy(&l, &bytes[offset + 13], 4);
+  std::memcpy(&stored, &bytes[offset + 17], 4);
+  if (l > bytes.size() - offset - kWalEntryHeaderSize) return false;
+  uint32_t crc = Crc32c(&bytes[offset + 4], 13);
+  crc = Crc32cExtend(crc, &bytes[offset + kWalEntryHeaderSize], l);
+  if (crc != stored) return false;
+  *type = bytes[offset + 4];
+  *seq = s;
+  *len = l;
+  return true;
+}
+
+}  // namespace
+
+WriteAheadLog::~WriteAheadLog() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
+    const std::string& path, const FeatureSpaceRegistry& registry,
+    Replay* replay) {
+  *replay = Replay();
+  std::vector<uint8_t> bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (in) {
+      in.seekg(0, std::ios::end);
+      const auto size = in.tellg();
+      in.seekg(0, std::ios::beg);
+      if (size > 0) {
+        bytes.resize(static_cast<size_t>(size));
+        in.read(reinterpret_cast<char*>(bytes.data()),
+                static_cast<std::streamsize>(bytes.size()));
+        if (!in) return Status::IOError("cannot read WAL: " + path);
+      }
+    }
+  }
+
+  if (bytes.size() < kWalHeaderSize) {
+    // Missing, empty, or torn before the header landed (the header is
+    // fsynced at creation before any entry append, so a short file can
+    // hold no committed entries): start fresh.
+    replay->truncated_bytes = bytes.size();
+    const int fd =
+        ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0) return Status::IOError("cannot open WAL for write: " + path);
+    const std::vector<uint8_t> header = EncodeHeader(0);
+    Status st = WriteAll(fd, header.data(), header.size(), path);
+    if (st.ok()) st = SyncFd(fd, path);
+    if (!st.ok()) {
+      ::close(fd);
+      return st;
+    }
+    return std::unique_ptr<WriteAheadLog>(new WriteAheadLog(path, fd, 0));
+  }
+
+  uint32_t magic, version, stored_crc;
+  uint64_t base_sequence;
+  std::memcpy(&magic, &bytes[0], 4);
+  std::memcpy(&version, &bytes[4], 4);
+  std::memcpy(&base_sequence, &bytes[8], 8);
+  std::memcpy(&stored_crc, &bytes[16], 4);
+  if (magic != kWalMagic) {
+    return Status::DataLoss("not a write-ahead log: " + path);
+  }
+  if (Crc32c(bytes.data(), 16) != stored_crc) {
+    return Status::DataLoss("WAL header checksum mismatch: " + path);
+  }
+  if (version != kWalFormatVersion) {
+    return Status::FailedPrecondition(
+        "WAL format version " + std::to_string(version) +
+        " not supported (this build reads " +
+        std::to_string(kWalFormatVersion) + "): " + path);
+  }
+
+  size_t offset = kWalHeaderSize;
+  uint64_t seq = base_sequence;
+  while (offset < bytes.size()) {
+    uint8_t type;
+    uint64_t entry_seq;
+    uint32_t len;
+    if (!FrameValidAt(bytes, offset, &type, &entry_seq, &len)) break;
+    // The frame's checksum verified, so what it says is what was written:
+    // anything wrong from here on is damage or skew, never a torn append.
+    if (entry_seq != seq + 1) {
+      return Status::DataLoss("WAL sequence discontinuity: " + path);
+    }
+    const uint8_t* payload = bytes.data() + offset + kWalEntryHeaderSize;
+    switch (static_cast<EntryType>(type)) {
+      case EntryType::kRecord: {
+        ShapeRecord rec;
+        DESS_RETURN_NOT_OK(
+            DecodeRecordPayload(payload, len, registry, path, &rec));
+        replay->records.push_back(std::move(rec));
+        break;
+      }
+      case EntryType::kCommit: {
+        CommitMarker marker;
+        DESS_RETURN_NOT_OK(DecodeCommitPayload(payload, len, path, &marker));
+        replay->has_marker = true;
+        replay->marker = marker;
+        break;
+      }
+      default:
+        return Status::FailedPrecondition(
+            "unknown WAL entry type " + std::to_string(type) +
+            " (written by a newer build?): " + path);
+    }
+    seq = entry_seq;
+    offset += kWalEntryHeaderSize + len;
+  }
+
+  if (offset < bytes.size()) {
+    // Bad frame at `offset`. A torn append damages only the tail; if any
+    // structurally valid frame exists beyond this point the damage is
+    // mid-file — that lost data.
+    for (size_t probe = offset + 1;
+         probe + kWalEntryHeaderSize <= bytes.size(); ++probe) {
+      uint8_t t;
+      uint64_t s;
+      uint32_t l;
+      if (FrameValidAt(bytes, probe, &t, &s, &l)) {
+        return Status::DataLoss(
+            "corrupt WAL entry followed by valid entries: " + path);
+      }
+    }
+    replay->truncated_bytes = bytes.size() - offset;
+  }
+
+  const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+  if (fd < 0) return Status::IOError("cannot open WAL for append: " + path);
+  if (replay->truncated_bytes > 0) {
+    if (::ftruncate(fd, static_cast<off_t>(offset)) != 0 ||
+        ::fsync(fd) != 0) {
+      ::close(fd);
+      return Status::IOError("cannot truncate torn WAL tail: " + path);
+    }
+  }
+  replay->last_sequence = seq;
+  return std::unique_ptr<WriteAheadLog>(new WriteAheadLog(path, fd, seq));
+}
+
+Result<uint64_t> WriteAheadLog::AppendEntry(
+    EntryType type, const std::vector<uint8_t>& payload, bool sync) {
+  const uint64_t seq = sequence_ + 1;
+  ByteWriter body;
+  body.WriteU8(static_cast<uint8_t>(type));
+  body.WriteU64(seq);
+  body.WriteU32(static_cast<uint32_t>(payload.size()));
+  uint32_t crc = Crc32c(body.bytes().data(), body.bytes().size());
+  crc = Crc32cExtend(crc, payload.data(), payload.size());
+  ByteWriter frame;
+  frame.WriteU32(kWalEntryMagic);
+  frame.WriteBytes(body.bytes().data(), body.bytes().size());
+  frame.WriteU32(crc);
+  frame.WriteBytes(payload.data(), payload.size());
+  DESS_RETURN_NOT_OK(
+      WriteAll(fd_, frame.bytes().data(), frame.bytes().size(), path_));
+  sequence_ = seq;
+  if (sync) DESS_RETURN_NOT_OK(SyncFd(fd_, path_));
+  return seq;
+}
+
+Result<uint64_t> WriteAheadLog::AppendRecord(const ShapeRecord& record,
+                                             bool sync) {
+  return AppendEntry(EntryType::kRecord, EncodeRecordPayload(record), sync);
+}
+
+Result<uint64_t> WriteAheadLog::AppendCommit(const CommitMarker& marker) {
+  return AppendEntry(EntryType::kCommit, EncodeCommitPayload(marker),
+                     /*sync=*/true);
+}
+
+Status WriteAheadLog::Sync() { return SyncFd(fd_, path_); }
+
+Status WriteAheadLog::Reset() {
+  if (::ftruncate(fd_, 0) != 0) {
+    return Status::IOError("cannot truncate WAL: " + path_);
+  }
+  // The fd is not necessarily O_APPEND (fresh creation opens plain
+  // O_WRONLY): without the seek the header would land at the stale offset,
+  // leaving a zero-filled prefix where the magic belongs.
+  if (::lseek(fd_, 0, SEEK_SET) < 0) {
+    return Status::IOError("cannot rewind WAL: " + path_);
+  }
+  const std::vector<uint8_t> header = EncodeHeader(sequence_);
+  DESS_RETURN_NOT_OK(WriteAll(fd_, header.data(), header.size(), path_));
+  return SyncFd(fd_, path_);
+}
+
+}  // namespace dess

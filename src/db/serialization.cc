@@ -1,5 +1,7 @@
 #include "src/db/serialization.h"
 
+#include <cstring>
+
 #include "src/common/crc32c.h"
 
 namespace dess {
@@ -101,6 +103,46 @@ bool BinaryReader::ReadI32Vector(std::vector<int>* v) {
 Status BinaryReader::Finish() const {
   if (!in_) return Status::Corruption("read failed or truncated: " + path_);
   return Status::OK();
+}
+
+void ByteWriter::Append(const void* data, size_t n) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  bytes_.insert(bytes_.end(), p, p + n);
+}
+
+bool ByteReader::Extract(void* out, size_t n) {
+  if (!ok_ || n > Remaining()) {
+    ok_ = false;
+    return false;
+  }
+  std::memcpy(out, data_ + pos_, n);
+  pos_ += n;
+  return true;
+}
+
+bool ByteReader::ReadString(std::string* s) {
+  uint64_t n = 0;
+  if (!ReadU64(&n) || n > Remaining()) {
+    ok_ = false;
+    return false;
+  }
+  s->assign(reinterpret_cast<const char*>(data_ + pos_),
+            static_cast<size_t>(n));
+  pos_ += static_cast<size_t>(n);
+  return true;
+}
+
+bool ByteReader::ReadF64Vector(std::vector<double>* v) {
+  uint64_t n = 0;
+  if (!ReadU64(&n) || n > Remaining() / sizeof(double)) {
+    ok_ = false;
+    return false;
+  }
+  v->resize(static_cast<size_t>(n));
+  std::memcpy(v->data(), data_ + pos_,
+              static_cast<size_t>(n) * sizeof(double));
+  pos_ += static_cast<size_t>(n) * sizeof(double);
+  return true;
 }
 
 Result<std::pair<uint64_t, uint32_t>> FileSizeAndCrc32c(

@@ -1,5 +1,6 @@
 #include "src/db/shape_database.h"
 
+#include <algorithm>
 #include <set>
 
 #include "src/common/strings.h"
@@ -39,6 +40,17 @@ Status ShapeDatabase::InsertWithId(ShapeRecord record) {
   index_.emplace(record.id, records_.size());
   records_.push_back(std::make_shared<const ShapeRecord>(std::move(record)));
   return Status::OK();
+}
+
+std::shared_ptr<const ShapeDatabase> ShapeDatabase::PrefixView(
+    size_t n) const {
+  auto view = std::make_shared<ShapeDatabase>();
+  const size_t count = std::min(n, records_.size());
+  view->records_.assign(records_.begin(), records_.begin() + count);
+  view->index_.reserve(count);
+  for (size_t i = 0; i < count; ++i) view->index_[view->records_[i]->id] = i;
+  view->next_id_ = next_id_;
+  return view;
 }
 
 Result<const ShapeRecord*> ShapeDatabase::Get(int id) const {

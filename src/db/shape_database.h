@@ -145,6 +145,14 @@ class ShapeDatabase {
     return std::make_shared<const ShapeDatabase>(*this);
   }
 
+  /// A frozen view of the first `n` records in insertion order (all of
+  /// them when n >= NumShapes()). The incremental-commit paths use this to
+  /// name a committed prefix of the store while later ingests stay
+  /// pending: WAL recovery republishes exactly the records a commit marker
+  /// covered, and background compaction folds the committed records
+  /// without freezing uncommitted ones in.
+  std::shared_ptr<const ShapeDatabase> PrefixView(size_t n) const;
+
   /// Per-dimension statistics of one feature kind across the database,
   /// used to standardize the similarity metric.
   FeatureStats ComputeFeatureStats(FeatureKind kind) const;

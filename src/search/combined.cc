@@ -69,6 +69,10 @@ Result<std::vector<SearchResult>> CombinedScan(
   // floating-point sums (and every score) are bitwise-unchanged.
   DESS_TIMED_SCOPE("search.combined");
   const size_t n = engine.db().NumShapes();
+  // A layered engine stores records [0, main_rows) in the main blocks and
+  // the delta tail [main_rows, n) in the side blocks, in record order — so
+  // two kernel passes fill one contiguous distance array per space.
+  const size_t main_rows = engine.NumMainRows();
   std::vector<std::vector<double>> dists(engine.NumSpaces());
   for (int ki = 0; ki < engine.NumSpaces(); ++ki) {
     if (weights.alpha[ki] == 0.0) continue;
@@ -79,6 +83,12 @@ Result<std::vector<SearchResult>> CombinedScan(
     BatchedWeightedL2(engine.BlockAt(ki), query_std[ki].data(),
                       space.weights.empty() ? nullptr : space.weights.data(),
                       dists[ki].data());
+    if (engine.NumSideRecords() > 0) {
+      BatchedWeightedL2(
+          engine.SideBlockAt(ki), query_std[ki].data(),
+          space.weights.empty() ? nullptr : space.weights.data(),
+          dists[ki].data() + main_rows);
+    }
   }
   std::vector<SearchResult> scored;
   scored.reserve(n);
@@ -180,6 +190,9 @@ Result<CombinationWeights> ReconfigureCombinationWeights(
         // Packed standardized row: same values and op order as the
         // Feature + Standardize + Distance chain below.
         d = RowWeightedL2(block, *r, query_std[ki].data(), w);
+      } else if (const std::optional<size_t> sr = engine.SideRowOf(id)) {
+        d = RowWeightedL2(engine.SideBlockAt(ki), *sr, query_std[ki].data(),
+                          w);
       } else {
         DESS_ASSIGN_OR_RETURN(std::vector<double> raw,
                               engine.db().Feature(id, ki));

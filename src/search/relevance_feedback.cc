@@ -110,6 +110,10 @@ Result<std::vector<double>> ReconfigureWeights(
       rel.push_back(engine.BlockAt(ordinal).Row(*row));
       continue;
     }
+    if (const std::optional<size_t> side_row = engine.SideRowOf(id)) {
+      rel.push_back(engine.SideBlockAt(ordinal).Row(*side_row));
+      continue;
+    }
     DESS_ASSIGN_OR_RETURN(std::vector<double> f,
                           engine.db().Feature(id, ordinal));
     rel.push_back(space.Standardize(f));

@@ -101,30 +101,18 @@ Result<std::unique_ptr<SearchEngine>> SearchEngine::Assemble(
   }
   std::shared_ptr<const FeatureSpaceRegistry> registry =
       RegistryOrCanonical(options.registry);
-  if (static_cast<int>(spaces.size()) != registry->size() ||
-      spaces.size() != indexes.size()) {
+  if (spaces.size() != indexes.size()) {
     return Status::InvalidArgument(StrFormat(
         "assemble: %zu spaces / %zu indexes for a %d-space registry",
         spaces.size(), indexes.size(), registry->size()));
   }
+  DESS_RETURN_NOT_OK(CheckSpacesMatchRegistry(spaces, *registry));
   for (int i = 0; i < registry->size(); ++i) {
-    const std::string& id = registry->id(i);
-    const int dim = registry->dim(i);
-    if (spaces[i].id != id) {
-      return Status::InvalidArgument(
-          StrFormat("assemble: space %d is '%s', registry expects '%s'", i,
-                    spaces[i].id.c_str(), id.c_str()));
-    }
-    if (static_cast<int>(spaces[i].weights.size()) != dim) {
-      return Status::InvalidArgument(StrFormat(
-          "assemble: space '%s' has %zu weights, expected %d", id.c_str(),
-          spaces[i].weights.size(), dim));
-    }
-    if (indexes[i] == nullptr || indexes[i]->dim() != dim ||
+    if (indexes[i] == nullptr || indexes[i]->dim() != registry->dim(i) ||
         indexes[i]->size() != db->NumShapes()) {
       return Status::InvalidArgument(StrFormat(
           "assemble: index '%s' missing or inconsistent with the database",
-          id.c_str()));
+          registry->id(i).c_str()));
     }
   }
   std::unique_ptr<SearchEngine> engine(new SearchEngine());
@@ -132,19 +120,46 @@ Result<std::unique_ptr<SearchEngine>> SearchEngine::Assemble(
   engine->options_ = options;
   engine->registry_ = std::move(registry);
   engine->spaces_ = std::move(spaces);
-  engine->indexes_ = std::move(indexes);
+  engine->indexes_.reserve(indexes.size());
+  for (auto& index : indexes) engine->indexes_.push_back(std::move(index));
   // The persisted stats make standardization bit-reproducible, so the
   // repacked blocks match what Build() would have produced.
   DESS_RETURN_NOT_OK(engine->PackSignatureBlocks());
   return engine;
 }
 
+Status SearchEngine::CheckSpacesMatchRegistry(
+    const std::vector<SimilaritySpace>& spaces,
+    const FeatureSpaceRegistry& registry) {
+  if (static_cast<int>(spaces.size()) != registry.size()) {
+    return Status::InvalidArgument(
+        StrFormat("%zu similarity spaces for a %d-space registry",
+                  spaces.size(), registry.size()));
+  }
+  for (int i = 0; i < registry.size(); ++i) {
+    const std::string& id = registry.id(i);
+    const int dim = registry.dim(i);
+    if (spaces[i].id != id) {
+      return Status::InvalidArgument(
+          StrFormat("space %d is '%s', registry expects '%s'", i,
+                    spaces[i].id.c_str(), id.c_str()));
+    }
+    if (static_cast<int>(spaces[i].weights.size()) != dim) {
+      return Status::InvalidArgument(
+          StrFormat("space '%s' has %zu weights, expected %d", id.c_str(),
+                    spaces[i].weights.size(), dim));
+    }
+  }
+  return Status::OK();
+}
+
 Status SearchEngine::PackSignatureBlocks() {
   blocks_.assign(spaces_.size(), nullptr);
-  row_of_.clear();
-  row_of_.reserve(db_->NumShapes());
+  auto row_map = std::make_shared<std::unordered_map<int, size_t>>();
+  row_map->reserve(db_->NumShapes());
   size_t row = 0;
-  for (const ShapeRecord& rec : db_->records()) row_of_[rec.id] = row++;
+  for (const ShapeRecord& rec : db_->records()) (*row_map)[rec.id] = row++;
+  row_of_ = std::move(row_map);
   for (int ordinal = 0; ordinal < static_cast<int>(spaces_.size());
        ++ordinal) {
     const int dim = registry_->dim(ordinal);
@@ -210,16 +225,22 @@ Result<std::unique_ptr<SearchEngine>> SearchEngine::Build(
   }
 
   // Standardize each space's vectors once into its packed block; the
-  // indexes below load from the blocks rather than re-standardizing.
+  // indexes load from the blocks rather than re-standardizing.
   DESS_RETURN_NOT_OK(engine->PackSignatureBlocks());
+  DESS_RETURN_NOT_OK(engine->BuildIndexes());
+  return engine;
+}
 
+Status SearchEngine::BuildIndexes() {
+  const FeatureSpaceRegistry& registry = *registry_;
+  indexes_.assign(registry.size(), nullptr);
   for (int ordinal = 0; ordinal < registry.size(); ++ordinal) {
     const FeatureSpaceDef& def = registry.space(ordinal);
     const int dim = def.dim;
-    const SignatureBlock& block = *engine->blocks_[ordinal];
+    const SignatureBlock& block = *blocks_[ordinal];
 
-    IndexBackend backend = options.backend;
-    if (backend == IndexBackend::kRTree && !options.use_rtree) {
+    IndexBackend backend = options_.backend;
+    if (backend == IndexBackend::kRTree && !options_.use_rtree) {
       backend = IndexBackend::kLinearScan;
     }
     if (def.index_preference == IndexPreference::kRTree) {
@@ -236,7 +257,7 @@ Result<std::unique_ptr<SearchEngine>> SearchEngine::Build(
           bulk.emplace_back(block.id(r), block.Row(r));
         }
         DESS_RETURN_NOT_OK(rtree->BulkLoad(bulk));
-        engine->indexes_[ordinal] = std::move(rtree);
+        indexes_[ordinal] = std::move(rtree);
         break;
       }
       case IndexBackend::kLinearScan: {
@@ -244,15 +265,15 @@ Result<std::unique_ptr<SearchEngine>> SearchEngine::Build(
         for (size_t r = 0; r < block.size(); ++r) {
           DESS_RETURN_NOT_OK(scan->Insert(block.id(r), block.Row(r)));
         }
-        engine->indexes_[ordinal] = std::move(scan);
+        indexes_[ordinal] = std::move(scan);
         break;
       }
       case IndexBackend::kDiskRTree: {
         std::error_code ec;
-        std::filesystem::create_directories(options.disk_index_dir, ec);
+        std::filesystem::create_directories(options_.disk_index_dir, ec);
         if (ec) {
           return Status::IOError("cannot create index directory '" +
-                                 options.disk_index_dir +
+                                 options_.disk_index_dir +
                                  "': " + ec.message());
         }
         std::vector<std::pair<int, std::vector<double>>> bulk;
@@ -261,16 +282,88 @@ Result<std::unique_ptr<SearchEngine>> SearchEngine::Build(
           bulk.emplace_back(block.id(r), block.Row(r));
         }
         const std::string path =
-            options.disk_index_dir + "/" + EngineDiskIndexFile(def.id);
+            options_.disk_index_dir + "/" + EngineDiskIndexFile(def.id);
         DESS_RETURN_NOT_OK(DiskRTree::Build(path, dim, bulk));
         DESS_ASSIGN_OR_RETURN(
             std::unique_ptr<DiskRTree> tree,
-            DiskRTree::Open(path, options.disk_buffer_pages));
-        engine->indexes_[ordinal] = MakeDiskIndexAdapter(std::move(tree));
+            DiskRTree::Open(path, options_.disk_buffer_pages));
+        indexes_[ordinal] = MakeDiskIndexAdapter(std::move(tree));
         break;
       }
     }
   }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<SearchEngine>> SearchEngine::Rebuild(
+    std::shared_ptr<const ShapeDatabase> db,
+    const SearchEngineOptions& options, std::vector<SimilaritySpace> spaces) {
+  if (db == nullptr || db->IsEmpty()) {
+    return Status::InvalidArgument("search engine: empty database");
+  }
+  std::unique_ptr<SearchEngine> engine(new SearchEngine());
+  engine->db_ = std::move(db);
+  engine->options_ = options;
+  engine->registry_ = RegistryOrCanonical(options.registry);
+  DESS_RETURN_NOT_OK(CheckSpacesMatchRegistry(spaces, *engine->registry_));
+  engine->spaces_ = std::move(spaces);
+  DESS_RETURN_NOT_OK(engine->PackSignatureBlocks());
+  DESS_RETURN_NOT_OK(engine->BuildIndexes());
+  return engine;
+}
+
+Result<std::unique_ptr<SearchEngine>> SearchEngine::Layer(
+    const SearchEngine& base, std::shared_ptr<const ShapeDatabase> full_db) {
+  if (full_db == nullptr) {
+    return Status::InvalidArgument("layer: null database view");
+  }
+  if (base.side_ != nullptr) {
+    // One side level only: the system always layers over the last *full*
+    // snapshot, growing a single side until compaction folds it in.
+    return Status::InvalidArgument(
+        "layer: base engine is already layered; compact it first");
+  }
+  const size_t base_rows = base.NumMainRows();
+  if (full_db->NumShapes() < base_rows) {
+    return Status::InvalidArgument(
+        "layer: database view is smaller than the base engine");
+  }
+  std::unique_ptr<SearchEngine> engine(new SearchEngine());
+  engine->db_ = std::move(full_db);
+  engine->options_ = base.options_;
+  engine->registry_ = base.registry_;
+  engine->spaces_ = base.spaces_;  // frozen calibration
+  engine->indexes_ = base.indexes_;
+  engine->blocks_ = base.blocks_;
+  engine->row_of_ = base.row_of_;
+
+  auto side = std::make_unique<DeltaSideIndex>();
+  side->first_row = base_rows;
+  const FeatureSpaceRegistry& registry = *engine->registry_;
+  side->scans.reserve(registry.size());
+  for (int ordinal = 0; ordinal < registry.size(); ++ordinal) {
+    side->scans.push_back(
+        std::make_unique<LinearScanIndex>(registry.dim(ordinal)));
+  }
+  size_t row = 0;
+  size_t side_row = 0;
+  for (const ShapeRecord& rec : engine->db_->records()) {
+    if (row++ < base_rows) continue;  // covered by the main indexes
+    for (int ordinal = 0; ordinal < registry.size(); ++ordinal) {
+      const int dim = registry.dim(ordinal);
+      if (ordinal >= rec.signature.NumSpaces() ||
+          rec.signature.At(ordinal).dim() != dim) {
+        return Status::InvalidArgument(StrFormat(
+            "shape %d carries no %d-dim vector for feature space '%s'",
+            rec.id, dim, registry.id(ordinal).c_str()));
+      }
+      DESS_RETURN_NOT_OK(side->scans[ordinal]->Insert(
+          rec.id, engine->spaces_[ordinal].Standardize(
+                      rec.signature.At(ordinal).values)));
+    }
+    side->row_of[rec.id] = side_row++;
+  }
+  engine->side_ = std::move(side);
   return engine;
 }
 
@@ -386,8 +479,17 @@ Result<std::vector<SearchResult>> SearchEngine::QueryTopKImpl(
       weights != nullptr ? *weights : spaces_[ki].weights;
   const std::vector<double> q = spaces_[ki].Standardize(raw_feature);
   QueryStats work;
-  std::vector<SearchResult> results =
-      ToResults(indexes_[ki]->KNearest(q, k, w, &work), spaces_[ki]);
+  std::vector<Neighbor> neighbors = indexes_[ki]->KNearest(q, k, w, &work);
+  if (side_ != nullptr && side_->NumRecords() > 0) {
+    std::vector<Neighbor> extra = side_->scans[ki]->KNearest(q, k, w, &work);
+    neighbors.insert(neighbors.end(), extra.begin(), extra.end());
+    // Both runs are ordered by (distance, id); re-sorting the
+    // concatenation under the same total order yields exactly what one
+    // index over the union would return.
+    std::sort(neighbors.begin(), neighbors.end());
+    if (neighbors.size() > k) neighbors.resize(k);
+  }
+  std::vector<SearchResult> results = ToResults(neighbors, spaces_[ki]);
   if (stats != nullptr) stats->MergeFrom(work);
   RecordEngineQuery(results.size(), work);
   return results;
@@ -412,8 +514,15 @@ Result<std::vector<SearchResult>> SearchEngine::QueryThresholdImpl(
   const double radius = (1.0 - min_similarity) * spaces_[ki].dmax;
   const std::vector<double> q = spaces_[ki].Standardize(raw_feature);
   QueryStats work;
-  std::vector<SearchResult> results = ToResults(
-      indexes_[ki]->RangeQuery(q, radius, w, &work), spaces_[ki]);
+  std::vector<Neighbor> neighbors = indexes_[ki]->RangeQuery(q, radius, w,
+                                                             &work);
+  if (side_ != nullptr && side_->NumRecords() > 0) {
+    std::vector<Neighbor> extra =
+        side_->scans[ki]->RangeQuery(q, radius, w, &work);
+    neighbors.insert(neighbors.end(), extra.begin(), extra.end());
+    std::sort(neighbors.begin(), neighbors.end());
+  }
+  std::vector<SearchResult> results = ToResults(neighbors, spaces_[ki]);
   if (stats != nullptr) stats->MergeFrom(work);
   RecordEngineQuery(results.size(), work);
   return results;
@@ -702,6 +811,14 @@ Result<std::vector<SearchResult>> SearchEngine::Rerank(
   for (int id : candidate_ids) {
     const std::optional<size_t> row = RowOf(id);
     if (!row.has_value()) {
+      // Delta records of a layered engine live in the side blocks.
+      const std::optional<size_t> side_row = SideRowOf(id);
+      if (side_row.has_value()) {
+        const double d =
+            RowWeightedL2(SideBlockAt(ordinal), *side_row, q.data(), w);
+        out.push_back({id, d, space.Similarity(d)});
+        continue;
+      }
       // Unknown candidate: surface the database's own error taxonomy.
       DESS_ASSIGN_OR_RETURN(std::vector<double> raw,
                             db_->Feature(id, ordinal));

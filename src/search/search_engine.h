@@ -10,6 +10,7 @@
 
 #include "src/common/result.h"
 #include "src/db/shape_database.h"
+#include "src/index/linear_scan.h"
 #include "src/index/multidim_index.h"
 #include "src/index/signature_block.h"
 #include "src/search/query.h"
@@ -18,6 +19,26 @@
 namespace dess {
 
 class DiskRTree;
+
+/// Immutable overlay of records ingested after an engine's main indexes
+/// were built: one linear-scan SoA block per feature space, standardized
+/// by the *base* calibration, so distances are directly comparable with
+/// main-index distances and merged results are ordered exactly as one
+/// index over the union would order them. Built by SearchEngine::Layer in
+/// O(delta); shared (never mutated) once the layered engine is published.
+struct DeltaSideIndex {
+  /// Record-order row of the first side record — equal to the number of
+  /// rows in every main block. Combined scans use it to place side rows.
+  size_t first_row = 0;
+  /// Per registry ordinal, the side index over the delta records.
+  std::vector<std::unique_ptr<LinearScanIndex>> scans;
+  /// Shape id -> side-local row (0-based within the side blocks).
+  std::unordered_map<int, size_t> row_of;
+
+  size_t NumRecords() const {
+    return scans.empty() ? 0 : scans[0]->size();
+  }
+};
 
 /// Which index structure backs each feature space.
 enum class IndexBackend {
@@ -84,6 +105,27 @@ class SearchEngine {
       std::vector<SimilaritySpace> spaces,
       std::vector<std::unique_ptr<MultiDimIndex>> indexes);
 
+  /// Like Build, but reuses previously calibrated similarity spaces
+  /// instead of recalibrating over `db` — the frozen-calibration path
+  /// (delta compaction, WAL recovery), which keeps every distance the
+  /// layered engine produced bit-identical after the side records are
+  /// folded into the main indexes. `spaces` must match the registry
+  /// (ids, weight dims), same validation as Assemble.
+  static Result<std::unique_ptr<SearchEngine>> Rebuild(
+      std::shared_ptr<const ShapeDatabase> db,
+      const SearchEngineOptions& options,
+      std::vector<SimilaritySpace> spaces);
+
+  /// Builds a layered engine in O(delta): shares `base`'s similarity
+  /// spaces, indexes, packed blocks and row map untouched, and indexes
+  /// only the records of `full_db` beyond `base.db()`'s coverage into a
+  /// DeltaSideIndex. `full_db` must extend the base view (same records in
+  /// the same order, new ones appended); the base must not itself be
+  /// layered. Queries merge main and side candidates at equal rank, so
+  /// results are bit-identical to a frozen-calibration full rebuild.
+  static Result<std::unique_ptr<SearchEngine>> Layer(
+      const SearchEngine& base, std::shared_ptr<const ShapeDatabase> full_db);
+
   const ShapeDatabase& db() const { return *db_; }
   const SearchEngineOptions& options() const { return options_; }
 
@@ -115,11 +157,37 @@ class SearchEngine {
   /// feedback scoring read these instead of per-shape feature vectors.
   const SignatureBlock& BlockAt(int ordinal) const { return *blocks_[ordinal]; }
 
-  /// Block row of a database shape (the same row across all spaces);
-  /// nullopt for ids not in the database.
+  /// Main-block row of a database shape (the same row across all spaces);
+  /// nullopt for ids not covered by the main blocks — including delta
+  /// records of a layered engine, which live in the side blocks instead
+  /// (SideRowOf).
   std::optional<size_t> RowOf(int id) const {
-    const auto it = row_of_.find(id);
-    if (it == row_of_.end()) return std::nullopt;
+    const auto it = row_of_->find(id);
+    if (it == row_of_->end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// True for an engine built by Layer(): a delta side-index overlays the
+  /// main blocks/indexes.
+  bool HasSideIndex() const { return side_ != nullptr; }
+  /// Number of delta records in the side-index (0 without one).
+  size_t NumSideRecords() const {
+    return side_ == nullptr ? 0 : side_->NumRecords();
+  }
+  /// Rows in every main block — the record-order offset of side row 0.
+  size_t NumMainRows() const {
+    return blocks_.empty() ? 0 : blocks_[0]->size();
+  }
+  /// The side-index block of one space; HasSideIndex() must hold.
+  const SignatureBlock& SideBlockAt(int ordinal) const {
+    return side_->scans[ordinal]->block();
+  }
+  /// Side-local row of a delta record; nullopt for main-block ids and
+  /// unknown ids.
+  std::optional<size_t> SideRowOf(int id) const {
+    if (side_ == nullptr) return std::nullopt;
+    const auto it = side_->row_of.find(id);
+    if (it == side_->row_of.end()) return std::nullopt;
     return it->second;
   }
 
@@ -255,16 +323,31 @@ class SearchEngine {
   Status CheckRequestWeights(const QueryRequest& request, int ordinal) const;
 
   /// Packs every space's standardized vectors into blocks_ (record order)
-  /// and fills row_of_. Shared by Build and Assemble.
+  /// and fills row_of_. Shared by Build, Rebuild and Assemble.
   Status PackSignatureBlocks();
+
+  /// Builds the per-space backend indexes from the packed blocks (honors
+  /// options_.backend and per-space preferences). Shared by Build and
+  /// Rebuild; requires blocks_ to be packed.
+  Status BuildIndexes();
+
+  /// Validates `spaces` against the registry (ids, weight dims) — shared
+  /// by Assemble and Rebuild.
+  static Status CheckSpacesMatchRegistry(
+      const std::vector<SimilaritySpace>& spaces,
+      const FeatureSpaceRegistry& registry);
 
   std::shared_ptr<const ShapeDatabase> db_;
   SearchEngineOptions options_;
   std::shared_ptr<const FeatureSpaceRegistry> registry_;
   std::vector<SimilaritySpace> spaces_;
-  std::vector<std::unique_ptr<MultiDimIndex>> indexes_;
+  // Indexes, packed blocks and the row map are immutable once built and
+  // shared untouched with engines layered on top of this one, so a delta
+  // publish is O(delta), not O(corpus).
+  std::vector<std::shared_ptr<const MultiDimIndex>> indexes_;
   std::vector<std::shared_ptr<const SignatureBlock>> blocks_;
-  std::unordered_map<int, size_t> row_of_;
+  std::shared_ptr<const std::unordered_map<int, size_t>> row_of_;
+  std::shared_ptr<const DeltaSideIndex> side_;
 };
 
 /// Wraps an opened DiskRTree in the MultiDimIndex interface (queries are

@@ -150,6 +150,13 @@ WireServerStats Server::Impl::BuildStats() const {
   stats.connections =
       completions->connection_count.load(std::memory_order_relaxed);
   stats.in_flight = completions->in_flight.load(std::memory_order_relaxed);
+  if (system != nullptr) {
+    // Lock-free system-side reads (atomics + one pointer copy): the event
+    // loop never waits on the writer lock an ingest might hold.
+    stats.epoch = system->PublishedEpoch();
+    stats.wal_sequence = system->WalSequence();
+    stats.pending_records = system->PendingRecords();
+  }
   for (int c = 0; c < kNumStatusCodes; ++c) {
     stats.errors_by_code[c] =
         completions->by_code[c].load(std::memory_order_relaxed);

@@ -52,7 +52,7 @@ Result<std::unique_ptr<Dess3System>> MakeSyntheticCorpusSystem(
     }
     system->IngestRecord(std::move(record));
   }
-  DESS_ASSIGN_OR_RETURN([[maybe_unused]] const uint64_t epoch,
+  DESS_ASSIGN_OR_RETURN([[maybe_unused]] const CommitReceipt receipt,
                         system->Commit());
   return system;
 }

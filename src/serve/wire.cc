@@ -316,6 +316,9 @@ std::string EncodeServerStats(const WireServerStats& stats) {
   w.AppendF64(stats.p50_seconds);
   w.AppendF64(stats.p99_seconds);
   w.AppendF64(stats.p999_seconds);
+  w.AppendU64(stats.epoch);
+  w.AppendU64(stats.wal_sequence);
+  w.AppendU64(stats.pending_records);
   w.AppendU32(static_cast<uint32_t>(stats.errors_by_code.size()));
   for (uint64_t count : stats.errors_by_code) w.AppendU64(count);
   return w.Take();
@@ -326,7 +329,9 @@ Result<WireServerStats> DecodeServerStats(std::string_view payload) {
   WireServerStats out;
   if (!r.ReadU64(&out.requests) || !r.ReadU64(&out.connections) ||
       !r.ReadU64(&out.in_flight) || !r.ReadF64(&out.p50_seconds) ||
-      !r.ReadF64(&out.p99_seconds) || !r.ReadF64(&out.p999_seconds)) {
+      !r.ReadF64(&out.p99_seconds) || !r.ReadF64(&out.p999_seconds) ||
+      !r.ReadU64(&out.epoch) || !r.ReadU64(&out.wal_sequence) ||
+      !r.ReadU64(&out.pending_records)) {
     return MalformedPayload("stats head");
   }
   uint32_t num_codes;

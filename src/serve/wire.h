@@ -44,7 +44,9 @@ namespace dess {
 /// Bump when the payload encodings change incompatibly. A frame with a
 /// different version decodes as FailedPrecondition (per-request error),
 /// never as garbage.
-inline constexpr uint16_t kWireVersion = 1;
+/// v2: WireServerStats carries the publish state of the incremental
+/// ingest path (epoch, wal_sequence, pending_records).
+inline constexpr uint16_t kWireVersion = 2;
 
 inline constexpr uint32_t kWireMagic = 0x33534544;  // "DES3" little-endian
 
@@ -147,6 +149,13 @@ struct WireServerStats {
   double p50_seconds = 0.0;
   double p99_seconds = 0.0;
   double p999_seconds = 0.0;
+  /// Publish state of the served system (wire v2): the epoch answering
+  /// queries, the last write-ahead-log sequence the system wrote or
+  /// replayed (0 without a durable home), and how many ingested records
+  /// the published snapshot does not cover yet.
+  uint64_t epoch = 0;
+  uint64_t wal_sequence = 0;
+  uint64_t pending_records = 0;
   /// errors_by_code[c] = completed requests whose status code was c.
   std::vector<uint64_t> errors_by_code =
       std::vector<uint64_t>(kNumStatusCodes, 0);

@@ -1,0 +1,407 @@
+// The incremental ingest/commit contract: a delta commit layers a small
+// side-index over the unchanged main indexes and must answer every query
+// mode bit-identically to a frozen-calibration full rebuild of the same
+// records; receipts describe what each publish covered; background
+// compaction folds the side-index away without changing the epoch or any
+// answer; and a durable home (Dess3System::Open) round-trips the whole
+// state through the WAL.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/system.h"
+#include "src/search/combined.h"
+#include "src/search/relevance_feedback.h"
+#include "tests/test_util.h"
+
+namespace dess {
+namespace {
+
+namespace fs = std::filesystem;
+
+SystemOptions FastSystemOptions() {
+  SystemOptions opt;
+  opt.hierarchy.max_leaf_size = 4;
+  return opt;
+}
+
+/// Exact (bitwise) equality of two result lists, with a readable diff.
+void ExpectSameResults(const std::vector<SearchResult>& a,
+                       const std::vector<SearchResult>& b,
+                       const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(a[i] == b[i])
+        << what << " rank " << i << ": (" << a[i].id << ", " << a[i].distance
+        << ") vs (" << b[i].id << ", " << b[i].distance << ")";
+  }
+}
+
+void ExpectSameResponses(const Result<QueryResponse>& a,
+                         const Result<QueryResponse>& b,
+                         const std::string& what) {
+  ASSERT_TRUE(a.ok()) << what << ": " << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << what << ": " << b.status().ToString();
+  ExpectSameResults(a->results, b->results, what);
+}
+
+/// Runs every query mode against both snapshots and asserts bitwise
+/// equality: per-space top-k, weighted top-k, threshold, multi-step,
+/// combined-feature, and a relevance-feedback round. Query ids cover both
+/// a base record and a record that lives in the delta side-index.
+void ExpectBitIdenticalAcrossAllModes(const SystemSnapshot& layered,
+                                      const SystemSnapshot& full,
+                                      const std::vector<int>& query_ids) {
+  for (const int id : query_ids) {
+    for (FeatureKind kind : AllFeatureKinds()) {
+      const std::string tag = "id " + std::to_string(id) + " space " +
+                              std::string(FeatureKindName(kind));
+      ExpectSameResponses(layered.QueryById(id, QueryRequest::TopK(kind, 8)),
+                          full.QueryById(id, QueryRequest::TopK(kind, 8)),
+                          "topk " + tag);
+      ExpectSameResponses(
+          layered.QueryById(id, QueryRequest::Threshold(kind, 0.2)),
+          full.QueryById(id, QueryRequest::Threshold(kind, 0.2)),
+          "threshold " + tag);
+      QueryRequest weighted = QueryRequest::TopK(kind, 8);
+      weighted.weights.assign(FeatureDim(kind), 1.0);
+      weighted.weights[0] = 2.5;
+      ExpectSameResponses(layered.QueryById(id, weighted),
+                          full.QueryById(id, weighted), "weighted " + tag);
+    }
+    ExpectSameResponses(
+        layered.QueryById(id,
+                          QueryRequest::MultiStep(MultiStepPlan::Standard(8, 4))),
+        full.QueryById(id,
+                       QueryRequest::MultiStep(MultiStepPlan::Standard(8, 4))),
+        "multistep id " + std::to_string(id));
+
+    const CombinationWeights alphas = CombinationWeights::Uniform();
+    auto combined_a = CombinedQueryById(layered.engine(), id, alphas, 8);
+    auto combined_b = CombinedQueryById(full.engine(), id, alphas, 8);
+    ASSERT_TRUE(combined_a.ok()) << combined_a.status().ToString();
+    ASSERT_TRUE(combined_b.ok()) << combined_b.status().ToString();
+    ExpectSameResults(*combined_a, *combined_b,
+                      "combined id " + std::to_string(id));
+  }
+
+  // One relevance-feedback round, with a delta record marked relevant so
+  // the feedback math reads side rows too.
+  const FeatureKind kind = FeatureKind::kPrincipalMoments;
+  auto probe = layered.db().Get(query_ids.front());
+  ASSERT_TRUE(probe.ok());
+  Feedback feedback;
+  feedback.relevant_ids = {query_ids.front(), query_ids.back()};
+  std::vector<double> raw_a = (*probe)->signature.Get(kind).values;
+  std::vector<double> raw_b = raw_a;
+  std::vector<double> weights_a, weights_b;
+  auto round_a = FeedbackRound(layered.engine(), kind, &raw_a, &weights_a,
+                               feedback, 8);
+  auto round_b =
+      FeedbackRound(full.engine(), kind, &raw_b, &weights_b, feedback, 8);
+  ASSERT_TRUE(round_a.ok()) << round_a.status().ToString();
+  ASSERT_TRUE(round_b.ok()) << round_b.status().ToString();
+  EXPECT_EQ(raw_a, raw_b);
+  EXPECT_EQ(weights_a, weights_b);
+  ExpectSameResults(*round_a, *round_b, "feedback round");
+}
+
+class IncrementalCommitTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kBase = 14;  // 3 groups x 4 + 2 noise
+  void SetUp() override {
+    all_ = testing_util::BuildSyntheticFeatureDb(5, 4, 4, /*seed=*/77);
+    ASSERT_GT(all_.NumShapes(), kBase);
+  }
+
+  /// Record i of the synthetic corpus (ids are dense from 0).
+  const ShapeRecord& RecordAt(size_t i) {
+    auto rec = all_.Get(static_cast<int>(i));
+    DESS_CHECK(rec.ok());
+    return **rec;
+  }
+
+  /// Ingests records [begin, end) of the synthetic corpus.
+  void IngestRange(Dess3System* system, size_t begin, size_t end) {
+    for (size_t i = begin; i < end && i < all_.NumShapes(); ++i) {
+      system->IngestRecord(RecordAt(i));
+    }
+  }
+
+  ShapeDatabase all_;
+};
+
+TEST_F(IncrementalCommitTest, DeltaCommitMatchesFrozenFullRebuild) {
+  Dess3System system(FastSystemOptions());
+  IngestRange(&system, 0, kBase);
+  auto first = system.Commit();
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+
+  IngestRange(&system, kBase, all_.NumShapes());
+  auto delta = system.Commit(CommitOptions{.mode = CommitMode::kDelta});
+  ASSERT_TRUE(delta.ok()) << delta.status().ToString();
+  auto layered = system.CurrentSnapshot();
+  ASSERT_TRUE(layered.ok());
+  EXPECT_EQ((*layered)->NumDeltaRecords(), all_.NumShapes() - kBase);
+
+  // Frozen-calibration full rebuild of the same records: the reference the
+  // layered snapshot must match bitwise. (A recalibrating rebuild would
+  // shift every standardized distance — that comparison is meaningless.)
+  auto full = system.Commit(
+      CommitOptions{.mode = CommitMode::kFull, .recalibrate = false});
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  auto rebuilt = system.CurrentSnapshot();
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ((*rebuilt)->NumDeltaRecords(), 0u);
+
+  // Query a base record and a delta record through every mode.
+  const int delta_id = static_cast<int>(all_.NumShapes()) - 1;
+  ExpectBitIdenticalAcrossAllModes(**layered, **rebuilt, {0, delta_id});
+}
+
+TEST_F(IncrementalCommitTest, ReceiptsDescribeEachPublish) {
+  Dess3System system(FastSystemOptions());
+  IngestRange(&system, 0, kBase);
+  auto first = system.Commit();
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->epoch, 1u);
+  EXPECT_EQ(first->mode, CommitMode::kFull);
+  EXPECT_EQ(first->delta_records, kBase);
+  EXPECT_EQ(first->wal_sequence, 0u);  // no durable home
+
+  IngestRange(&system, kBase, all_.NumShapes());
+  EXPECT_EQ(system.PendingRecords(), all_.NumShapes() - kBase);
+  auto delta = system.Commit(CommitOptions{.mode = CommitMode::kDelta});
+  ASSERT_TRUE(delta.ok());
+  EXPECT_EQ(delta->epoch, 2u);
+  EXPECT_EQ(delta->mode, CommitMode::kDelta);
+  EXPECT_EQ(delta->delta_records, all_.NumShapes() - kBase);
+  EXPECT_EQ(system.PendingRecords(), 0u);
+
+  // Nothing new to cover: the receipt says so.
+  auto noop = system.Commit(CommitOptions{.mode = CommitMode::kDelta});
+  ASSERT_TRUE(noop.ok());
+  EXPECT_EQ(noop->delta_records, 0u);
+}
+
+TEST_F(IncrementalCommitTest, FirstDeltaCommitDegradesToFull) {
+  Dess3System system(FastSystemOptions());
+  IngestRange(&system, 0, kBase);
+  auto receipt = system.Commit(CommitOptions{.mode = CommitMode::kDelta});
+  ASSERT_TRUE(receipt.ok());
+  // With nothing published to layer over, the commit is a full build and
+  // honestly reports itself as one.
+  EXPECT_EQ(receipt->mode, CommitMode::kFull);
+  auto snapshot = system.CurrentSnapshot();
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ((*snapshot)->NumDeltaRecords(), 0u);
+}
+
+TEST_F(IncrementalCommitTest, EmptyCommitIsInvalidArgument) {
+  Dess3System system(FastSystemOptions());
+  auto receipt = system.Commit();
+  ASSERT_FALSE(receipt.ok());
+  EXPECT_EQ(receipt.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(IncrementalCommitTest,
+       BackgroundCompactionKeepsEpochAndAnswersBitIdentical) {
+  SystemOptions options = FastSystemOptions();
+  options.compaction_min_delta_records = 1;
+  options.compaction_delta_ratio = 0.0;
+  Dess3System system(options);
+  IngestRange(&system, 0, kBase);
+  ASSERT_TRUE(system.Commit().ok());
+  IngestRange(&system, kBase, all_.NumShapes());
+  auto delta = system.Commit(CommitOptions{.mode = CommitMode::kDelta});
+  ASSERT_TRUE(delta.ok());
+  auto layered = system.CurrentSnapshot();
+  ASSERT_TRUE(layered.ok());
+
+  // The fold runs on the ingest pool; wait for the republish (same epoch,
+  // side-index gone).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  std::shared_ptr<const SystemSnapshot> compacted;
+  while (std::chrono::steady_clock::now() < deadline) {
+    auto current = system.CurrentSnapshot();
+    ASSERT_TRUE(current.ok());
+    if ((*current)->NumDeltaRecords() == 0) {
+      compacted = *current;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_NE(compacted, nullptr) << "compaction never folded the side-index";
+  EXPECT_EQ(compacted->epoch(), (*layered)->epoch());
+  EXPECT_EQ(system.PublishedEpoch(), delta->epoch);
+
+  const int delta_id = static_cast<int>(all_.NumShapes()) - 1;
+  ExpectBitIdenticalAcrossAllModes(**layered, *compacted, {0, delta_id});
+
+  // Compaction also refreshes the browsing hierarchies over the folded
+  // records, where the layered snapshot still served the base's.
+  EXPECT_EQ(
+      compacted->db().NumShapes(),
+      static_cast<size_t>(all_.NumShapes()));
+}
+
+TEST_F(IncrementalCommitTest, LayeredSnapshotReusesBaseHierarchies) {
+  Dess3System system(FastSystemOptions());
+  IngestRange(&system, 0, kBase);
+  ASSERT_TRUE(system.Commit().ok());
+  auto base = system.CurrentSnapshot();
+  ASSERT_TRUE(base.ok());
+  IngestRange(&system, kBase, all_.NumShapes());
+  ASSERT_TRUE(
+      system.Commit(CommitOptions{.mode = CommitMode::kDelta}).ok());
+  auto layered = system.CurrentSnapshot();
+  ASSERT_TRUE(layered.ok());
+  // O(delta) means the hierarchies are shared, not rebuilt: the layered
+  // snapshot serves the very same nodes until a full commit or compaction.
+  for (FeatureKind kind : AllFeatureKinds()) {
+    EXPECT_EQ(&(*layered)->Hierarchy(kind), &(*base)->Hierarchy(kind))
+        << FeatureKindName(kind);
+  }
+}
+
+TEST_F(IncrementalCommitTest, DeprecatedParallelShimStillWorks) {
+  // The shim must keep compiling (minus the warning) and route into the
+  // unified path. Signature equality with the sequential path is covered
+  // by SystemTest.ParallelIngestMatchesSequential.
+  Dess3System system(FastSystemOptions());
+  const Dataset empty;
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  EXPECT_TRUE(system.IngestDatasetParallel(empty, 2).ok());
+#pragma GCC diagnostic pop
+  EXPECT_EQ(system.db().NumShapes(), 0u);
+}
+
+class DurableHomeTest : public IncrementalCommitTest {
+ protected:
+  void SetUp() override {
+    IncrementalCommitTest::SetUp();
+    dir_ = (fs::temp_directory_path() /
+            ("dess_home_" + std::to_string(::getpid())))
+               .string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+TEST_F(DurableHomeTest, OpenIngestCommitReopenRoundTripsBitIdentically) {
+  std::vector<Result<QueryResponse>> before;
+  uint64_t epoch = 0;
+  {
+    auto system = Dess3System::Open(dir_, {}, FastSystemOptions());
+    ASSERT_TRUE(system.ok()) << system.status().ToString();
+    IngestOptions durable;
+    durable.durability = WriteAheadLog::Durability::kFsync;
+    for (size_t i = 0; i < kBase; ++i) {
+      ASSERT_TRUE((*system)->Ingest(RecordAt(i), durable).ok());
+    }
+    auto full = (*system)->Commit();
+    ASSERT_TRUE(full.ok()) << full.status().ToString();
+    EXPECT_GT(full->wal_sequence, 0u);
+
+    for (size_t i = kBase; i < all_.NumShapes(); ++i) {
+      ASSERT_TRUE((*system)->Ingest(RecordAt(i), durable).ok());
+    }
+    auto delta =
+        (*system)->Commit(CommitOptions{.mode = CommitMode::kDelta});
+    ASSERT_TRUE(delta.ok()) << delta.status().ToString();
+    EXPECT_GT(delta->wal_sequence, 0u);
+    EXPECT_EQ((*system)->WalSequence(), delta->wal_sequence);
+    epoch = delta->epoch;
+
+    const int delta_id = static_cast<int>(all_.NumShapes()) - 1;
+    for (FeatureKind kind : AllFeatureKinds()) {
+      before.push_back(
+          (*system)->QueryByShapeId(0, QueryRequest::TopK(kind, 8)));
+      before.push_back(
+          (*system)->QueryByShapeId(delta_id, QueryRequest::TopK(kind, 8)));
+    }
+    before.push_back((*system)->QueryByShapeId(
+        0, QueryRequest::MultiStep(MultiStepPlan::Standard(8, 4))));
+  }
+
+  // Recovery: checkpoint + WAL tail must reproduce the delta-layered
+  // publish exactly — same epoch, nothing pending, same answers.
+  auto reopened = Dess3System::Open(dir_, {}, FastSystemOptions());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->PublishedEpoch(), epoch);
+  EXPECT_EQ((*reopened)->PendingRecords(), 0u);
+  EXPECT_TRUE((*reopened)->IsCommitted());
+  auto snapshot = (*reopened)->CurrentSnapshot();
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ((*snapshot)->NumDeltaRecords(), all_.NumShapes() - kBase);
+
+  size_t i = 0;
+  const int delta_id = static_cast<int>(all_.NumShapes()) - 1;
+  for (FeatureKind kind : AllFeatureKinds()) {
+    ExpectSameResponses(
+        before[i++],
+        (*reopened)->QueryByShapeId(0, QueryRequest::TopK(kind, 8)),
+        "reopen topk base");
+    ExpectSameResponses(
+        before[i++],
+        (*reopened)->QueryByShapeId(delta_id, QueryRequest::TopK(kind, 8)),
+        "reopen topk delta");
+  }
+  ExpectSameResponses(before[i++],
+                      (*reopened)->QueryByShapeId(
+                          0, QueryRequest::MultiStep(
+                                 MultiStepPlan::Standard(8, 4))),
+                      "reopen multistep");
+}
+
+TEST_F(DurableHomeTest, UncommittedIngestsReplayAsPending) {
+  uint64_t epoch = 0;
+  {
+    auto system = Dess3System::Open(dir_, {}, FastSystemOptions());
+    ASSERT_TRUE(system.ok()) << system.status().ToString();
+    for (size_t i = 0; i < kBase; ++i) {
+      ASSERT_TRUE((*system)->Ingest(RecordAt(i), {}).ok());
+    }
+    auto full = (*system)->Commit();
+    ASSERT_TRUE(full.ok());
+    epoch = full->epoch;
+    // Two ingests after the commit: durable in the WAL, never published.
+    ASSERT_TRUE((*system)->Ingest(RecordAt(kBase), {}).ok());
+    ASSERT_TRUE((*system)->Ingest(RecordAt(kBase + 1), {}).ok());
+  }
+
+  auto reopened = Dess3System::Open(dir_, {}, FastSystemOptions());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  // The published state is the last durable commit; the tail records are
+  // back as pending ingests, ready for the next Commit().
+  EXPECT_EQ((*reopened)->PublishedEpoch(), epoch);
+  EXPECT_EQ((*reopened)->PendingRecords(), 2u);
+  EXPECT_FALSE((*reopened)->IsCommitted());
+  EXPECT_EQ((*reopened)->db().NumShapes(), kBase + 2);
+  auto next = (*reopened)->Commit(CommitOptions{.mode = CommitMode::kDelta});
+  ASSERT_TRUE(next.ok()) << next.status().ToString();
+  EXPECT_EQ(next->delta_records, 2u);
+  EXPECT_EQ((*reopened)->PendingRecords(), 0u);
+}
+
+TEST_F(DurableHomeTest, FreshHomeStartsEmpty) {
+  auto system = Dess3System::Open(dir_, {}, FastSystemOptions());
+  ASSERT_TRUE(system.ok()) << system.status().ToString();
+  EXPECT_EQ((*system)->db().NumShapes(), 0u);
+  EXPECT_EQ((*system)->PublishedEpoch(), 0u);
+  EXPECT_EQ((*system)->PendingRecords(), 0u);
+  // The WAL exists (header only) once the home is opened.
+  EXPECT_TRUE(fs::exists(fs::path(dir_) / "wal.log"));
+}
+
+}  // namespace
+}  // namespace dess

@@ -27,9 +27,9 @@ class PersistenceTest : public ::testing::Test {
     for (const ShapeRecord& rec : db.records()) {
       system_.IngestRecord(rec);
     }
-    auto epoch = system_.Commit();
-    ASSERT_TRUE(epoch.ok()) << epoch.status().ToString();
-    epoch_ = *epoch;
+    auto receipt = system_.Commit();
+    ASSERT_TRUE(receipt.ok()) << receipt.status().ToString();
+    epoch_ = receipt->epoch;
   }
   void TearDown() override { fs::remove_all(dir_); }
 
@@ -66,7 +66,7 @@ TEST_F(PersistenceTest, CommitReturnsTheEpochItPublished) {
   system_.IngestRecord(extra);
   auto next = system_.Commit();
   ASSERT_TRUE(next.ok());
-  EXPECT_EQ(*next, epoch_ + 1);
+  EXPECT_EQ(next->epoch, epoch_ + 1);
   EXPECT_EQ(system_.PublishedEpoch(), epoch_ + 1);
 }
 
@@ -178,7 +178,7 @@ TEST_F(PersistenceTest, IngestAndCommitContinueFromTheSavedEpoch) {
   EXPECT_EQ(id, static_cast<int>(system_.db().NumShapes()));
   auto next = (*reopened)->Commit();
   ASSERT_TRUE(next.ok()) << next.status().ToString();
-  EXPECT_EQ(*next, epoch_ + 1);
+  EXPECT_EQ(next->epoch, epoch_ + 1);
 }
 
 TEST_F(PersistenceTest, MeshlessSnapshotStillServesEveryQueryPath) {

@@ -195,6 +195,14 @@ TEST_F(ServeTest, PingAndStats) {
   ASSERT_EQ(stats->errors_by_code.size(),
             static_cast<size_t>(kNumStatusCodes));
   EXPECT_GE(stats->errors_by_code[static_cast<int>(StatusCode::kOk)], 1u);
+
+  // Wire v2: the stats expose the served system's publish state. The
+  // synthetic corpus is fully committed and has no durable home, so the
+  // epoch matches the system, nothing is pending, and the WAL never wrote.
+  EXPECT_EQ(stats->epoch, system_->PublishedEpoch());
+  EXPECT_GE(stats->epoch, 1u);
+  EXPECT_EQ(stats->wal_sequence, 0u);
+  EXPECT_EQ(stats->pending_records, 0u);
 }
 
 TEST_F(ServeTest, EngineErrorsPassThroughWithTheirCode) {

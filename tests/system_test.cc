@@ -160,7 +160,7 @@ TEST(SystemTest, ParallelIngestMatchesSequential) {
   Dess3System seq(FastSystemOptions());
   Dess3System par(FastSystemOptions());
   ASSERT_TRUE(seq.IngestDataset(*dataset).ok());
-  ASSERT_TRUE(par.IngestDatasetParallel(*dataset, 3).ok());
+  ASSERT_TRUE(par.IngestDataset(*dataset, IngestOptions{.num_threads = 3}).ok());
 
   ASSERT_EQ(seq.db().NumShapes(), par.db().NumShapes());
   for (const ShapeRecord& a : seq.db().records()) {

@@ -211,6 +211,57 @@ TEST(WireFuzzTest, RandomGarbageStreamsNeverCrash) {
   }
 }
 
+TEST(WireFuzzTest, ServerStatsRoundTripCarriesPublishState) {
+  WireServerStats stats;
+  stats.requests = 100;
+  stats.connections = 3;
+  stats.in_flight = 2;
+  stats.p50_seconds = 0.001;
+  stats.p99_seconds = 0.005;
+  stats.p999_seconds = 0.010;
+  stats.epoch = 7;
+  stats.wal_sequence = 4242;
+  stats.pending_records = 11;
+  stats.errors_by_code[static_cast<int>(StatusCode::kOk)] = 98;
+
+  auto decoded = DecodeServerStats(EncodeServerStats(stats));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->requests, stats.requests);
+  EXPECT_EQ(decoded->epoch, 7u);
+  EXPECT_EQ(decoded->wal_sequence, 4242u);
+  EXPECT_EQ(decoded->pending_records, 11u);
+  EXPECT_EQ(decoded->errors_by_code, stats.errors_by_code);
+}
+
+TEST(WireFuzzTest, ServerStatsV2ByteLayoutIsPinned) {
+  // The v2 stats payload layout is wire-stable: three u64 counters, three
+  // f64 quantiles, then the publish-state triple (epoch, wal_sequence,
+  // pending_records) ahead of the error-class table. Peers built against
+  // these offsets must never be broken silently — change kWireVersion
+  // instead.
+  WireServerStats stats;
+  stats.requests = 0x0102030405060708ull;
+  stats.epoch = 0x1112131415161718ull;
+  stats.wal_sequence = 0x2122232425262728ull;
+  stats.pending_records = 0x3132333435363738ull;
+  const std::string payload = EncodeServerStats(stats);
+
+  ASSERT_EQ(payload.size(),
+            9 * 8 + 4 + static_cast<size_t>(kNumStatusCodes) * 8);
+  auto u64_at = [&](size_t offset) {
+    uint64_t v;
+    std::memcpy(&v, payload.data() + offset, sizeof(v));
+    return v;
+  };
+  EXPECT_EQ(u64_at(0), stats.requests);       // requests
+  EXPECT_EQ(u64_at(48), stats.epoch);         // after 3 u64 + 3 f64
+  EXPECT_EQ(u64_at(56), stats.wal_sequence);
+  EXPECT_EQ(u64_at(64), stats.pending_records);
+  uint32_t num_codes;
+  std::memcpy(&num_codes, payload.data() + 72, sizeof(num_codes));
+  EXPECT_EQ(num_codes, static_cast<uint32_t>(kNumStatusCodes));
+}
+
 TEST(WireFuzzTest, DecodersRejectTruncatedPayloads) {
   const std::string payload = EncodeQueryResponse(SampleResponse());
   for (size_t cut = 0; cut < payload.size(); ++cut) {
