@@ -17,7 +17,9 @@
 #include "src/common/metrics.h"
 #include "src/common/thread_pool.h"
 #include "src/common/trace.h"
+#include "src/eval/ann_eval.h"
 #include "src/index/distance_kernel.h"
+#include "src/index/index_backend.h"
 #include "src/index/multidim_index.h"
 #include "src/index/signature_block.h"
 #include "src/search/search_engine.h"
@@ -30,6 +32,7 @@
 #include "src/graph/spectral.h"
 #include "src/modelgen/marching_cubes.h"
 #include "src/modelgen/part_families.h"
+#include "src/modelgen/signature_corpus.h"
 #include "src/skeleton/thinning.h"
 #include "src/voxel/morphology.h"
 #include "src/voxel/voxelizer.h"
@@ -495,7 +498,7 @@ const ScanFixture& ScanDb(size_t n) {
   if (it != cache->end()) return *it->second;
   auto* f = new ScanFixture();
   const std::vector<testing_util::SyntheticExtraSpace> extra = {
-      {"synthetic_wide32", 32}};
+      {"synthetic_wide32", 32, ""}};
   auto db = std::make_shared<ShapeDatabase>(
       testing_util::BuildSyntheticFeatureDb(static_cast<int>(n) / 100, 100,
                                             0, 12345, 0.05, 1.0, extra));
@@ -567,6 +570,98 @@ void BM_LinearScan(benchmark::State& state) {
 BENCHMARK(BM_LinearScan)
     ->ArgNames({"n", "space", "impl"})
     ->ArgsProduct({{10000, 100000}, {0, 1, 2, 3, 4}, {0, 1}});
+
+// ANN vs exact scan. One synthetic signature corpus (modelgen's
+// large-corpus mode — no meshing, so 100k records synthesize in seconds),
+// two engines over the same records: the SIMD linear scan and the HNSW
+// graph pinned to the 32-dim synthetic space. The fixture also evaluates
+// the graph's recall@{1,10,50} against the exact engine once, so every
+// hnsw timing row carries its recall as user counters — bench_diff.py
+// gates on recall_at_10 and the smoke summary reports recall vs speedup.
+struct AnnFixture {
+  std::shared_ptr<ShapeDatabase> db;
+  std::unique_ptr<SearchEngine> exact;
+  std::unique_ptr<SearchEngine> ann;
+  AnnRecallReport recall;
+  std::vector<double> query;
+};
+
+constexpr int kAnnSpace = kNumFeatureKinds;  // the 32-dim synthetic space
+
+const AnnFixture& AnnDb(size_t n) {
+  static std::map<size_t, AnnFixture*>* cache =
+      new std::map<size_t, AnnFixture*>();
+  auto it = cache->find(n);
+  if (it != cache->end()) return *it->second;
+  auto* f = new AnnFixture();
+  SignatureCorpusOptions corpus;
+  if (n == 113) {
+    corpus.num_groups = 26;  // the standard corpus shape: groups + noise
+    corpus.group_size = 3;
+    corpus.num_noise = 35;
+  } else {
+    corpus.num_groups = static_cast<int>(n) / 100;
+    corpus.group_size = 100;
+  }
+  corpus.seed = 12345;
+  const std::vector<testing_util::SyntheticExtraSpace> exact_extra = {
+      {"synthetic_wide32", 32, ""}};
+  const std::vector<testing_util::SyntheticExtraSpace> ann_extra = {
+      {"synthetic_wide32", 32, kHnswBackendId}};
+  auto records =
+      MakeSignatureCorpus(corpus, testing_util::MakeSyntheticRegistry(
+                                      exact_extra));
+  f->query = records.value()[records.value().size() / 2]
+                 .signature.At(kAnnSpace)
+                 .values;
+  f->db = std::make_shared<ShapeDatabase>();
+  for (ShapeRecord& rec : records.value()) f->db->Insert(std::move(rec));
+  SearchEngineOptions exact_opt;
+  exact_opt.backend = IndexBackend::kLinearScan;
+  exact_opt.registry = testing_util::MakeSyntheticRegistry(exact_extra);
+  auto exact = SearchEngine::Build(f->db, exact_opt);
+  f->exact = std::move(*exact);
+  SearchEngineOptions ann_opt;
+  ann_opt.backend = IndexBackend::kLinearScan;
+  ann_opt.registry = testing_util::MakeSyntheticRegistry(ann_extra);
+  {
+    ThreadPool pool(static_cast<int>(
+        std::max(1u, std::thread::hardware_concurrency())));
+    ann_opt.build_pool = &pool;  // borrowed; the engine clears it
+    auto ann = SearchEngine::Build(f->db, ann_opt);
+    f->ann = std::move(*ann);
+  }
+  const size_t stride = std::max<size_t>(1, f->db->NumShapes() / 200);
+  f->recall =
+      *EvaluateAnnRecall(*f->exact, *f->ann, kAnnSpace, {1, 10, 50}, stride);
+  cache->emplace(n, f);
+  return *f;
+}
+
+// Top-10 query through the engine path: impl 0 is the exact SIMD linear
+// scan, impl 1 the HNSW graph (oversampled candidates, exact re-score).
+// Same corpus, same query, so time-per-op ratio is the ANN speedup and the
+// attached recall counters say what it costs.
+void BM_AnnScan(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const bool use_ann = state.range(1) != 0;
+  const AnnFixture& fx = AnnDb(n);
+  const SearchEngine& engine = use_ann ? *fx.ann : *fx.exact;
+  state.SetLabel(use_ann ? "hnsw" : "linear_scan");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.QueryTopK(fx.query, kAnnSpace, 10));
+  }
+  if (use_ann) {
+    state.counters["recall_at_1"] = fx.recall.At(1);
+    state.counters["recall_at_10"] = fx.recall.At(10);
+    state.counters["recall_at_50"] = fx.recall.At(50);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_AnnScan)
+    ->ArgNames({"n", "ann"})
+    ->ArgsProduct({{113, 10000, 100000}, {0, 1}});
 
 // Candidate re-rank through the engine (gathered block rows + partial
 // selection): 1000 candidates cut to the best 100, per feature space.

@@ -18,6 +18,13 @@ the full rebuild by at least --min-commit-speedup (default 10x, the
 acceptance bar for O(delta) ingest; 0 disables the gate). The speedup is
 a within-run ratio, so it is stable across hosts in a way wall-clock
 medians are not.
+
+The ANN quality gate works the same way: the hnsw rows of BM_AnnScan
+carry a recall_at_10 user counter (measured against the exact engine over
+the same corpus), and the 113-shape row must stay at or above
+--min-recall (default 0.95, the acceptance bar for the HNSW backend;
+0 disables). Recall is host-independent, so this gate is exact even
+where wall-clock medians are noisy.
 """
 
 import argparse
@@ -45,6 +52,17 @@ def load_medians(path):
     return {name: statistics.median(v) for name, v in samples.items()}
 
 
+def recall_at_10(path):
+    """recall_at_10 of the 113-shape hnsw BM_AnnScan row, None if absent."""
+    with open(path) as f:
+        report = json.load(f)
+    vals = [b["recall_at_10"] for b in report.get("benchmarks", [])
+            if b.get("run_type") != "aggregate"
+            and b.get("run_name", b["name"]).startswith("BM_AnnScan/n:113/")
+            and "recall_at_10" in b]
+    return statistics.median(vals) if vals else None
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", nargs="?",
@@ -55,6 +73,9 @@ def main():
     parser.add_argument("--min-commit-speedup", type=float, default=10.0,
                         help="required BM_CommitFull / BM_CommitDelta ratio "
                              "in the current report (default 10; 0 disables)")
+    parser.add_argument("--min-recall", type=float, default=0.95,
+                        help="required recall_at_10 on the 113-shape "
+                             "BM_AnnScan hnsw row (default 0.95; 0 disables)")
     args = parser.parse_args()
 
     try:
@@ -121,13 +142,27 @@ def main():
                   f"regressed toward O(corpus)")
             speedup_failed = True
 
+    # ANN quality check within the current report: recall is measured
+    # in-process against exact ground truth, so unlike the timing rows it
+    # does not need a baseline to compare against.
+    recall_failed = False
+    recall = recall_at_10(args.current)
+    if recall is not None:
+        print(f"bench_diff: hnsw recall@10 on the 113-shape corpus: "
+              f"{recall:.3f}")
+        if args.min_recall > 0 and recall < args.min_recall:
+            print(f"bench_diff: hnsw recall@10 is {recall:.3f} on the "
+                  f"113-shape corpus (required: {args.min_recall:.2f}) — "
+                  f"the approximate backend is dropping true neighbors")
+            recall_failed = True
+
     if regressions:
         print(f"\nbench_diff: {len(regressions)} benchmark(s) regressed "
               f"more than {args.threshold:.0f}% in median real time:")
         for name, delta in regressions:
             print(f"  {name}: {delta:+.1f}%")
         return 1
-    if speedup_failed:
+    if speedup_failed or recall_failed:
         return 1
     print(f"\nbench_diff: no regression above {args.threshold:.0f}% "
           f"({len([n for n in names if n in base and n in curr])} compared)")

@@ -46,9 +46,18 @@ ctest --preset ci -L serve -j "$JOBS"
 echo "==> [incr] incremental ingest/commit suite (ctest -L incr)"
 ctest --preset ci -L incr -j "$JOBS"
 
+# Approximate-index contract, isolated for visibility: backend-registry
+# error taxonomy, exact backends bit-identical through the registry, HNSW
+# determinism across build thread counts, recall against exact ground
+# truth, and graph snapshot round trips. Label `ann`; also runs in the
+# unfiltered ci pass above and under ASan below.
+echo "==> [ann] index-backend registry + HNSW suite (ctest -L ann)"
+ctest --preset ci -L ann -j "$JOBS"
+
 # Advisory perf comparison against the checked-in seed report: prints a
-# per-benchmark delta table and flags >20% median regressions. Wall-clock
-# numbers vary across hosts, so a regression warns but does not gate.
+# per-benchmark delta table and flags >20% median regressions (plus the
+# within-run commit-speedup and hnsw-recall gates). Wall-clock numbers
+# vary across hosts, so a failure warns but does not gate.
 if [[ -f BENCH_pipeline.json && -f BENCH_pipeline_seed.json ]]; then
   echo "==> [bench] advisory diff vs seed report"
   python3 scripts/bench_diff.py ||

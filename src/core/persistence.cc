@@ -9,6 +9,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -20,7 +21,10 @@
 #include "src/core/system.h"
 #include "src/db/serialization.h"
 #include "src/index/disk_rtree.h"
+#include "src/index/index_backend.h"
 #include "src/index/rtree.h"
+#include "src/index/signature_block.h"
+#include "src/search/search_engine.h"
 
 namespace dess {
 namespace {
@@ -31,11 +35,11 @@ constexpr uint32_t kManifestMagic = 0x504E5344;  // "DSNP"
 constexpr uint32_t kFlagIncludeMeshes = 1u << 0;
 constexpr uint32_t kFlagStandardize = 1u << 1;
 
-/// Parse-time sanity bounds: a valid manifest has 3 + 2 sections per
-/// feature space and a valid hierarchy is bounded by
-/// HierarchyOptions::max_depth / branch_factor; anything past these limits
-/// is a corrupt length prefix, not real data.
-constexpr uint32_t kMaxManifestSections = 64;
+/// Parse-time sanity bounds: a valid manifest has 3 + up-to-3 sections per
+/// feature space (hierarchy, packed index, optional graph) and a valid
+/// hierarchy is bounded by HierarchyOptions::max_depth / branch_factor;
+/// anything past these limits is a corrupt length prefix, not real data.
+constexpr uint32_t kMaxManifestSections = 128;
 constexpr uint32_t kMaxManifestSpaces = 30;
 constexpr int kMaxHierarchyDepth = 64;
 constexpr uint32_t kMaxHierarchyChildren = 4096;
@@ -47,12 +51,16 @@ struct ManifestSection {
   uint32_t crc = 0;
 };
 
-/// One feature-space entry of a v2 MANIFEST: which space, at which
+/// One feature-space entry of a v2+ MANIFEST: which space, at which
 /// dimension, the snapshot's i-th sections describe. A v1 manifest has no
-/// table on disk; ReadManifest synthesizes the canonical four.
+/// table on disk; ReadManifest synthesizes the canonical four. Version 3
+/// adds the index backend id the space was served with (empty when read
+/// from an older manifest — meaning "whatever the opener's configuration
+/// resolves", which is also how a backend mismatch degrades).
 struct ManifestSpace {
   std::string id;
   uint32_t dim = 0;
+  std::string backend;
 };
 
 struct Manifest {
@@ -91,6 +99,7 @@ Status WriteManifest(const std::string& path, const Manifest& manifest) {
     for (const ManifestSpace& s : manifest.spaces) {
       w.WriteString(s.id);
       w.WriteU32(s.dim);
+      if (manifest.version >= 3) w.WriteString(s.backend);
     }
   }
   w.WriteU32(static_cast<uint32_t>(manifest.sections.size()));
@@ -161,6 +170,9 @@ Result<Manifest> ReadManifest(const std::string& path) {
     for (ManifestSpace& s : manifest.spaces) {
       if (!r.ReadString(&s.id) || !r.ReadU32(&s.dim) || s.id.empty() ||
           s.dim == 0) {
+        return Status::DataLoss("unparseable snapshot manifest: " + path);
+      }
+      if (manifest.version >= 3 && !r.ReadString(&s.backend)) {
         return Status::DataLoss("unparseable snapshot manifest: " + path);
       }
     }
@@ -471,8 +483,9 @@ Status SystemSnapshot::SaveTo(const std::string& dir,
   manifest.num_shapes = db_->NumShapes();
   manifest.spaces.reserve(registry.size());
   for (int ordinal = 0; ordinal < registry.size(); ++ordinal) {
-    manifest.spaces.push_back(
-        {registry.id(ordinal), static_cast<uint32_t>(registry.dim(ordinal))});
+    manifest.spaces.push_back({registry.id(ordinal),
+                               static_cast<uint32_t>(registry.dim(ordinal)),
+                               engine_->BackendIdAt(ordinal)});
   }
 
   auto add_section = [&](const std::string& file) -> Status {
@@ -516,6 +529,43 @@ Status SystemSnapshot::SaveTo(const std::string& dir,
     DESS_RETURN_NOT_OK(DiskRTree::Build((staging / file).string(),
                                         registry.dim(ordinal), bulk));
     DESS_RETURN_NOT_OK(add_section(file));
+  }
+
+  // Optional graph sections (v3+): an approximate backend's serialized
+  // structure, so a reopen skips the graph rebuild. Skipped — never an
+  // error — when the backend has no serialize hook, when the engine is
+  // layered (the main graph covers only the pre-delta rows while every
+  // other section covers the full store), or when the serving index is not
+  // the backend's own type (e.g. a lazily reopened engine serving a packed
+  // R-tree under an hnsw configuration). The reader falls back to a
+  // rebuild from the packed rows whenever the section is absent.
+  if (options.format_version >= 3 && engine_->NumSideRecords() == 0) {
+    const IndexBackendRegistry& backends =
+        BackendsOrBuiltIns(engine_->options().index_backends);
+    for (int ordinal = 0; ordinal < registry.size(); ++ordinal) {
+      const std::string& backend_id = engine_->BackendIdAt(ordinal);
+      if (backends.IndexOf(backend_id) < 0) continue;
+      DESS_ASSIGN_OR_RETURN(const IndexBackendDef* def,
+                            backends.Resolve(backend_id));
+      if (!def->serialize) continue;
+      Result<std::string> bytes = def->serialize(engine_->IndexAt(ordinal));
+      if (!bytes.ok()) continue;
+      const std::string file = SnapshotGraphFile(registry.id(ordinal));
+      std::ofstream gout((staging / file).string(),
+                         std::ios::binary | std::ios::trunc);
+      if (!gout) {
+        return Status::IOError("cannot open for write: " +
+                               (staging / file).string());
+      }
+      gout.write(bytes.value().data(),
+                 static_cast<std::streamsize>(bytes.value().size()));
+      gout.close();
+      if (!gout) {
+        return Status::IOError("cannot write snapshot graph section: " +
+                               (staging / file).string());
+      }
+      DESS_RETURN_NOT_OK(add_section(file));
+    }
   }
 
   // The manifest is written last inside the staging directory, so even the
@@ -594,21 +644,40 @@ Result<std::unique_ptr<Dess3System>> Dess3System::OpenFromSnapshot(
                               "' in '" + dir + "'");
     }
   }
+  // Graph sections are the one exception to fail-the-whole-open: they are
+  // pure accelerators, so a missing, truncated or bit-flipped graph file
+  // downgrades to a deterministic rebuild from the packed rows instead of
+  // refusing a snapshot whose authoritative sections are intact.
+  std::set<std::string> unusable_graphs;
   for (const ManifestSection& section : manifest.sections) {
     const std::string path = (root / section.file).string();
+    const bool optional_graph =
+        section.file.rfind(kSnapshotGraphPrefix, 0) == 0;
     if (!open_options.verify_checksums) {
       if (!fs::exists(path, ec)) {
+        if (optional_graph) {
+          unusable_graphs.insert(section.file);
+          continue;
+        }
         return Status::DataLoss("snapshot section missing: " + path);
       }
       continue;
     }
     Result<std::pair<uint64_t, uint32_t>> size_crc = FileSizeAndCrc32c(path);
     if (!size_crc.ok()) {
+      if (optional_graph) {
+        unusable_graphs.insert(section.file);
+        continue;
+      }
       return Status::DataLoss("snapshot section unreadable: " + path + " (" +
                               size_crc.status().message() + ")");
     }
     if (size_crc.value().first != section.size ||
         size_crc.value().second != section.crc) {
+      if (optional_graph) {
+        unusable_graphs.insert(section.file);
+        continue;
+      }
       return Status::DataLoss("snapshot section checksum mismatch: " + path);
     }
   }
@@ -661,9 +730,68 @@ Result<std::unique_ptr<Dess3System>> Dess3System::OpenFromSnapshot(
             (root / SnapshotHierarchyFile(registry->id(ordinal))).string()));
   }
 
+  // The engine's standardize flag travels with the snapshot so a later
+  // Commit() on the reopened system calibrates spaces the same way the
+  // saving system did.
+  SearchEngineOptions engine_options = options.search;
+  engine_options.registry = registry;
+  engine_options.standardize = (manifest.flags & kFlagStandardize) != 0;
+  system->options_.search.standardize = engine_options.standardize;
+
+  const IndexBackendRegistry& backends =
+      BackendsOrBuiltIns(engine_options.index_backends);
   std::vector<std::unique_ptr<MultiDimIndex>> indexes(registry->size());
   for (int ki = 0; ki < registry->size(); ++ki) {
-    if (open_options.read_all) {
+    const std::string backend_id =
+        ResolveIndexBackendId(engine_options, registry->space(ki));
+    if (backend_id != kRTreeBackendId && backend_id != kLinearScanBackendId &&
+        backend_id != kDiskRTreeBackendId) {
+      // A registered (typically approximate) backend. Restore its
+      // serialized structure when the snapshot carries a graph section
+      // written by the same backend; on a missing section, a backend
+      // mismatch, or unusable bytes, rebuild from the packed standardized
+      // rows — the graph is an accelerator, never the data of record. An
+      // id the opener's registry does not know stays an error (the same
+      // configuration taxonomy as SearchEngine::Build).
+      DESS_ASSIGN_OR_RETURN(const IndexBackendDef* def,
+                            backends.Resolve(backend_id));
+      SignatureBlock block(registry->dim(ki));
+      block.Reserve(view->NumShapes());
+      for (const ShapeRecord& rec : view->records()) {
+        block.Append(rec.id,
+                     spaces[ki].Standardize(rec.signature.At(ki).values));
+      }
+      IndexBuildContext ctx;
+      ctx.dim = registry->dim(ki);
+      ctx.block = &block;
+      ctx.weights = &spaces[ki].weights;
+      ctx.pool = nullptr;
+      ctx.seed = engine_options.index_seed + static_cast<uint64_t>(ki);
+      ctx.space_id = registry->id(ki);
+      std::unique_ptr<MultiDimIndex> index;
+      const std::string gfile = SnapshotGraphFile(registry->id(ki));
+      if (def->deserialize && manifest.spaces[ki].backend == backend_id &&
+          FindSection(manifest, gfile) != nullptr &&
+          unusable_graphs.count(gfile) == 0) {
+        std::ifstream gin((root / gfile).string(), std::ios::binary);
+        std::string bytes((std::istreambuf_iterator<char>(gin)),
+                          std::istreambuf_iterator<char>());
+        if (gin.good() || gin.eof()) {
+          Result<std::unique_ptr<MultiDimIndex>> restored =
+              def->deserialize(ctx, bytes);
+          if (restored.ok()) {
+            index = std::move(restored).value();
+            MetricsRegistry::Global()->AddCounter("persist.graphs_restored");
+          }
+        }
+      }
+      if (index == nullptr) {
+        DESS_ASSIGN_OR_RETURN(index, def->factory(ctx));
+        MetricsRegistry::Global()->AddCounter("persist.graphs_rebuilt");
+      }
+      index->BindMetricFamily(def->id);
+      indexes[ki] = std::move(index);
+    } else if (open_options.read_all) {
       // Eager: rebuild an in-memory R-tree from the persisted raw features
       // through the persisted space — same coordinates as the packed file,
       // so both open modes answer identically.
@@ -691,13 +819,6 @@ Result<std::unique_ptr<Dess3System>> Dess3System::OpenFromSnapshot(
     }
   }
 
-  // The engine's standardize flag travels with the snapshot so a later
-  // Commit() on the reopened system calibrates spaces the same way the
-  // saving system did.
-  SearchEngineOptions engine_options = options.search;
-  engine_options.registry = registry;
-  engine_options.standardize = (manifest.flags & kFlagStandardize) != 0;
-  system->options_.search.standardize = engine_options.standardize;
   DESS_ASSIGN_OR_RETURN(
       std::unique_ptr<SearchEngine> engine,
       SearchEngine::Assemble(view, engine_options, std::move(spaces),

@@ -26,7 +26,17 @@ namespace dess {
 /// space, in registry order) to the manifest; the section files themselves
 /// are byte-identical to v1 when the registry is the canonical four-space
 /// one, so v1 snapshots still open via the canonical mapping.
-inline constexpr uint32_t kSnapshotFormatVersion = 2;
+///
+/// Version 3 records the index backend id each space was served with and
+/// may add an optional graph_<id>.ann section per space holding an
+/// approximate backend's serialized structure (e.g. the HNSW graph
+/// topology). Graph sections are pure accelerators: a v3 reader whose
+/// configuration resolves a different backend — or that finds the bytes
+/// unusable — rebuilds the index from the packed rows instead of failing,
+/// and v1/v2 snapshots (no backend table, no graph sections) open exactly
+/// as before. Version skew past kSnapshotFormatVersion stays
+/// FailedPrecondition, never DataLoss.
+inline constexpr uint32_t kSnapshotFormatVersion = 3;
 
 /// File names inside a snapshot directory. Per-feature-space sections are
 /// named <prefix><space id><suffix>; use SnapshotHierarchyFile /
@@ -40,6 +50,8 @@ inline constexpr char kSnapshotHierarchyPrefix[] = "hierarchy_";
 inline constexpr char kSnapshotHierarchySuffix[] = ".bin";
 inline constexpr char kSnapshotIndexPrefix[] = "index_";
 inline constexpr char kSnapshotIndexSuffix[] = ".drt";
+inline constexpr char kSnapshotGraphPrefix[] = "graph_";
+inline constexpr char kSnapshotGraphSuffix[] = ".ann";
 
 /// Browsing-hierarchy section of one feature space ("hierarchy_<id>.bin").
 inline std::string SnapshotHierarchyFile(const std::string& space_id) {
@@ -50,6 +62,12 @@ inline std::string SnapshotHierarchyFile(const std::string& space_id) {
 /// Packed index section of one feature space ("index_<id>.drt").
 inline std::string SnapshotIndexFile(const std::string& space_id) {
   return std::string(kSnapshotIndexPrefix) + space_id + kSnapshotIndexSuffix;
+}
+
+/// Serialized approximate-index structure of one feature space
+/// ("graph_<id>.ann", v3+, optional — see kSnapshotFormatVersion).
+inline std::string SnapshotGraphFile(const std::string& space_id) {
+  return std::string(kSnapshotGraphPrefix) + space_id + kSnapshotGraphSuffix;
 }
 
 /// Scratch index file written by SearchEngine::Build's kDiskRTree backend
@@ -74,10 +92,11 @@ struct SaveOptions {
   /// AlreadyExists.
   bool overwrite = false;
   /// Manifest format version to write: kSnapshotFormatVersion (default) or
-  /// 1 for a pre-registry snapshot. Version 1 is only expressible when the
-  /// system serves exactly the canonical four spaces (InvalidArgument
-  /// otherwise); it exists so tests and rollback paths can produce
-  /// snapshots an older build opens.
+  /// an older version for rollback — 2 drops the backend table and graph
+  /// sections, 1 additionally drops the feature-space table. Version 1 is
+  /// only expressible when the system serves exactly the canonical four
+  /// spaces (InvalidArgument otherwise); the downgrade paths exist so tests
+  /// and rollbacks can produce snapshots an older build opens.
   uint32_t format_version = kSnapshotFormatVersion;
 };
 

@@ -176,14 +176,6 @@ Status Dess3System::IngestDataset(const Dataset& dataset,
   return Status::OK();
 }
 
-Status Dess3System::IngestDatasetParallel(const Dataset& dataset,
-                                          int num_threads) {
-  IngestOptions options;
-  options.num_threads = num_threads;
-  if (options.num_threads == 1) options.num_threads = 2;
-  return IngestDataset(dataset, options);
-}
-
 Result<int> Dess3System::Ingest(ShapeRecord record,
                                 const IngestOptions& options) {
   std::lock_guard<std::mutex> lock(ingest_mu_);
@@ -271,6 +263,13 @@ Result<CommitReceipt> Dess3System::CommitLocked(
   std::shared_ptr<const SystemSnapshot> next;
   size_t new_calibration = total;
   size_t new_base = total;
+  // Lend the shared ingest pool (when one exists) to the index builds so
+  // parallel-build backends (HNSW) construct at ingest-pool width. The
+  // engine drops the borrowed pointer after BuildIndexes, and backend
+  // builds never call ThreadPool::Wait, so the loan is safe even from a
+  // task running on that same pool (background compaction).
+  SearchEngineOptions search = options_.search;
+  search.build_pool = ingest_pool_.get();
   if (mode == CommitMode::kDelta) {
     DESS_ASSIGN_OR_RETURN(
         next, SystemSnapshot::LayerDelta(base_snapshot_, db_.SnapshotView(),
@@ -281,13 +280,13 @@ Result<CommitReceipt> Dess3System::CommitLocked(
   } else if (!options.recalibrate && base_snapshot_ != nullptr) {
     DESS_ASSIGN_OR_RETURN(
         next, SystemSnapshot::BuildWithSpaces(
-                  db_.SnapshotView(), epoch, options_.search,
+                  db_.SnapshotView(), epoch, search,
                   options_.hierarchy, PublishedSpacesLocked()));
     new_calibration = calibration_records_;
   } else {
     DESS_ASSIGN_OR_RETURN(
         next, SystemSnapshot::Build(db_.SnapshotView(), epoch,
-                                    options_.search, options_.hierarchy));
+                                    search, options_.hierarchy));
   }
   CommitReceipt receipt;
   receipt.epoch = epoch;
@@ -351,10 +350,12 @@ void Dess3System::CompactDelta() {
   // only move from the linear-scan side structures into real indexes (and
   // into refreshed browsing hierarchies). No WAL marker is written; the
   // last marker already describes this state and recovery reproduces it.
+  SearchEngineOptions search = options_.search;
+  search.build_pool = ingest_pool_.get();
   Result<std::shared_ptr<const SystemSnapshot>> next =
       SystemSnapshot::BuildWithSpaces(
           db_.PrefixView(committed_records_), PublishedEpoch(),
-          options_.search, options_.hierarchy, PublishedSpacesLocked());
+          search, options_.hierarchy, PublishedSpacesLocked());
   if (!next.ok()) {
     DESS_LOG(Error) << "background compaction failed: "
                     << next.status().ToString();

@@ -143,12 +143,6 @@ class Dess3System {
   Status IngestDataset(const Dataset& dataset,
                        const IngestOptions& options = {});
 
-  /// Deprecated spelling of IngestDataset with extraction fan-out; kept
-  /// one release as a shim.
-  [[deprecated(
-      "use IngestDataset(dataset, IngestOptions{.num_threads = n})")]]
-  Status IngestDatasetParallel(const Dataset& dataset, int num_threads = 0);
-
   /// Ingests a pre-extracted record (e.g. loaded from disk), WAL-appending
   /// it per `options.durability` on a durable system.
   Result<int> Ingest(ShapeRecord record, const IngestOptions& options);

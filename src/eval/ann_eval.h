@@ -1,0 +1,45 @@
+#ifndef DESS_EVAL_ANN_EVAL_H_
+#define DESS_EVAL_ANN_EVAL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/search/search_engine.h"
+
+namespace dess {
+
+/// Recall of an approximate engine against exact ground truth, per cutoff:
+/// recall@k = |approx top-k ∩ exact top-k| / k, averaged over the sampled
+/// queries. Both engines must serve the same corpus (and calibration); the
+/// comparison is by result id, so the approximate engine's exact re-scoring
+/// does not mask missed candidates.
+struct AnnRecallReport {
+  std::vector<size_t> cutoffs;
+  std::vector<double> recall;  // parallel to cutoffs
+  size_t num_queries = 0;
+
+  /// recall at one evaluated cutoff, 0.0 when it was not evaluated.
+  double At(size_t k) const {
+    for (size_t i = 0; i < cutoffs.size(); ++i) {
+      if (cutoffs[i] == k) return recall[i];
+    }
+    return 0.0;
+  }
+};
+
+/// Queries both engines with every `stride`-th database record's own
+/// feature vector in `ordinal`'s space and reports mean recall at each
+/// cutoff. `stride` <= 1 queries every record; cutoffs above the corpus
+/// size are clamped by the answer sizes (both engines truncate alike).
+/// InvalidArgument for an out-of-range ordinal, no cutoffs, or engines
+/// serving different corpus sizes.
+Result<AnnRecallReport> EvaluateAnnRecall(const SearchEngine& exact,
+                                          const SearchEngine& approx,
+                                          int ordinal,
+                                          const std::vector<size_t>& cutoffs,
+                                          size_t stride = 1);
+
+}  // namespace dess
+
+#endif  // DESS_EVAL_ANN_EVAL_H_

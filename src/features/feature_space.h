@@ -52,6 +52,11 @@ struct FeatureSpaceDef {
   /// Per-dimension weights installed at engine build; empty means all 1.0.
   std::vector<double> default_weights;
   IndexPreference index_preference = IndexPreference::kDefault;
+  /// Index backend id for this space ("linear_scan", "rtree", "hnsw", or a
+  /// backend registered with the engine's IndexBackendRegistry). Empty
+  /// follows the engine-wide setting. Takes precedence over the legacy
+  /// index_preference enum, which survives for source compatibility.
+  std::string index_backend;
 };
 
 /// An ordered, append-only set of feature spaces. Every registry starts

@@ -12,8 +12,10 @@ namespace {
 
 /// One scan = one sequential pass over the whole "file": a single logical
 /// page visit plus one distance evaluation per stored point, all computed
-/// by a single batched-kernel invocation.
-void FinishScanStats(size_t points, size_t candidates, QueryStats* stats) {
+/// by a single batched-kernel invocation. Counters flush into the index's
+/// bound metric family ("index.linear_scan.*" unless re-registered).
+void FinishScanStats(const IndexCounterNames& names, size_t points,
+                     size_t candidates, QueryStats* stats) {
   if (stats != nullptr) {
     stats->nodes_visited += 1;
     stats->leaves_scanned += 1;
@@ -22,9 +24,9 @@ void FinishScanStats(size_t points, size_t candidates, QueryStats* stats) {
   }
   MetricsRegistry* registry = MetricsRegistry::Global();
   if (!registry->enabled()) return;
-  registry->AddCounter("index.linear_scan.queries");
-  registry->AddCounter("index.linear_scan.points_compared", points);
-  registry->AddCounter("index.linear_scan.candidates_returned", candidates);
+  registry->AddCounter(names.queries);
+  registry->AddCounter(names.points_compared, points);
+  registry->AddCounter(names.candidates_returned, candidates);
 }
 
 }  // namespace
@@ -42,7 +44,7 @@ double WeightedEuclidean(const std::vector<double>& q,
 }
 
 LinearScanIndex::LinearScanIndex(int dim)
-    : dim_(dim), block_(dim) {}
+    : MultiDimIndex("linear_scan"), dim_(dim), block_(dim) {}
 
 Status LinearScanIndex::Insert(int id, const std::vector<double>& point) {
   if (static_cast<int>(point.size()) != dim_) {
@@ -87,7 +89,7 @@ std::vector<Neighbor> LinearScanIndex::KNearest(
   for (size_t r = 0; r < n; ++r) all.push_back({block_.id(r), dist[r]});
   PartialSortSmallest(&all, k);
   TraceAnnotate("points_compared", n);
-  FinishScanStats(n, all.size(), stats);
+  FinishScanStats(counters_, n, all.size(), stats);
   return all;
 }
 
@@ -110,7 +112,7 @@ std::vector<Neighbor> LinearScanIndex::RangeQuery(
   }
   std::sort(out.begin(), out.end());
   TraceAnnotate("points_compared", n);
-  FinishScanStats(n, out.size(), stats);
+  FinishScanStats(counters_, n, out.size(), stats);
   return out;
 }
 

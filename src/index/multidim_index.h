@@ -2,6 +2,7 @@
 #define DESS_INDEX_MULTIDIM_INDEX_H_
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "src/common/status.h"
@@ -37,12 +38,46 @@ struct QueryStats {
   }
 };
 
+/// Precomputed names of one backend's "index.<id>.*" counter family.
+/// Built once per index (not per query), so flushing per-query aggregates
+/// into the MetricsRegistry never concatenates strings on the hot path.
+struct IndexCounterNames {
+  std::string id;
+  std::string queries;
+  std::string nodes_visited;
+  std::string leaves_scanned;
+  std::string points_compared;
+  std::string candidates_returned;
+
+  static IndexCounterNames For(const std::string& backend_id) {
+    IndexCounterNames names;
+    names.id = backend_id;
+    const std::string prefix = "index." + backend_id + ".";
+    names.queries = prefix + "queries";
+    names.nodes_visited = prefix + "nodes_visited";
+    names.leaves_scanned = prefix + "leaves_scanned";
+    names.points_compared = prefix + "points_compared";
+    names.candidates_returned = prefix + "candidates_returned";
+    return names;
+  }
+};
+
 /// Abstract multidimensional point index over weighted Euclidean space.
-/// Implementations: RTreeIndex (Section 2.3) and LinearScanIndex (the
-/// brute-force baseline).
+/// Implementations: RTreeIndex (Section 2.3), LinearScanIndex (the
+/// brute-force baseline) and HnswIndex (the approximate graph backend).
 class MultiDimIndex {
  public:
   virtual ~MultiDimIndex() = default;
+
+  /// The metric family this index flushes per-query counters into
+  /// ("index.<id>.*"). Each implementation binds its canonical name at
+  /// construction; the index-backend registry rebinds it to the registered
+  /// id, so a re-registered backend surfaces under its own family without
+  /// code changes.
+  const IndexCounterNames& counter_names() const { return counters_; }
+  void BindMetricFamily(const std::string& backend_id) {
+    counters_ = IndexCounterNames::For(backend_id);
+  }
 
   /// Dimensionality of indexed points.
   virtual int dim() const = 0;
@@ -72,6 +107,13 @@ class MultiDimIndex {
       const std::vector<double>& query, double radius,
       const std::vector<double>& weights = {},
       QueryStats* stats = nullptr) const = 0;
+
+ protected:
+  MultiDimIndex() = default;
+  explicit MultiDimIndex(const std::string& default_backend_id)
+      : counters_(IndexCounterNames::For(default_backend_id)) {}
+
+  IndexCounterNames counters_;
 };
 
 /// Weighted Euclidean distance d = sqrt(sum_i w_i (q_i - x_i)^2); empty

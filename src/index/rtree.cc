@@ -83,18 +83,19 @@ double MinDist(const std::vector<double>& q, const Rect& r,
   return std::sqrt(sum);
 }
 
-/// Flushes one query's work counters into the global registry and merges
-/// them into the caller's accumulator, if any.
-void FinishQueryStats(const QueryStats& local, size_t candidates,
-                      QueryStats* caller_stats) {
+/// Flushes one query's work counters into the global registry (under the
+/// index's bound metric family, "index.rtree.*" unless re-registered) and
+/// merges them into the caller's accumulator, if any.
+void FinishQueryStats(const IndexCounterNames& names, const QueryStats& local,
+                      size_t candidates, QueryStats* caller_stats) {
   if (caller_stats != nullptr) caller_stats->MergeFrom(local);
   MetricsRegistry* registry = MetricsRegistry::Global();
   if (!registry->enabled()) return;
-  registry->AddCounter("index.rtree.queries");
-  registry->AddCounter("index.rtree.nodes_visited", local.nodes_visited);
-  registry->AddCounter("index.rtree.leaves_scanned", local.leaves_scanned);
-  registry->AddCounter("index.rtree.points_compared", local.points_compared);
-  registry->AddCounter("index.rtree.candidates_returned", candidates);
+  registry->AddCounter(names.queries);
+  registry->AddCounter(names.nodes_visited, local.nodes_visited);
+  registry->AddCounter(names.leaves_scanned, local.leaves_scanned);
+  registry->AddCounter(names.points_compared, local.points_compared);
+  registry->AddCounter(names.candidates_returned, candidates);
 }
 
 // Cost of growing `base` to include `extra`: volume enlargement with a
@@ -378,7 +379,7 @@ struct RTreeIndex::Impl {
 };
 
 RTreeIndex::RTreeIndex(int dim, const RTreeOptions& options)
-    : impl_(new Impl), dim_(dim) {
+    : MultiDimIndex("rtree"), impl_(new Impl), dim_(dim) {
   DESS_CHECK(dim > 0);
   DESS_CHECK(options.min_entries >= 1);
   DESS_CHECK(options.min_entries * 2 <= options.max_entries);
@@ -475,7 +476,7 @@ std::vector<Neighbor> RTreeIndex::KNearest(const std::vector<double>& query,
   }
   TraceAnnotate("nodes_visited", local.nodes_visited);
   TraceAnnotate("points_compared", local.points_compared);
-  FinishQueryStats(local, results.size(), stats);
+  FinishQueryStats(counters_, local, results.size(), stats);
   return results;
 }
 
@@ -509,7 +510,7 @@ std::vector<Neighbor> RTreeIndex::RangeQuery(const std::vector<double>& query,
   std::sort(out.begin(), out.end());
   TraceAnnotate("nodes_visited", local.nodes_visited);
   TraceAnnotate("points_compared", local.points_compared);
-  FinishQueryStats(local, out.size(), stats);
+  FinishQueryStats(counters_, local, out.size(), stats);
   return out;
 }
 

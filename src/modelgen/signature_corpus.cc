@@ -1,0 +1,70 @@
+#include "src/modelgen/signature_corpus.h"
+
+#include <string>
+#include <utility>
+
+#include "src/common/rng.h"
+
+namespace dess {
+
+Result<std::vector<ShapeRecord>> MakeSignatureCorpus(
+    const SignatureCorpusOptions& options,
+    std::shared_ptr<const FeatureSpaceRegistry> registry) {
+  const std::shared_ptr<const FeatureSpaceRegistry> reg =
+      RegistryOrCanonical(std::move(registry));
+  const long long total =
+      static_cast<long long>(options.num_groups) * options.group_size +
+      options.num_noise;
+  if (total <= 0) {
+    return Status::InvalidArgument("signature corpus: no records requested");
+  }
+  // One generator, consumed in a fixed order (centers, then members, then
+  // noise; spaces in registry order inside each) — the same stream the
+  // serving layer's synthetic corpus has always drawn, so existing
+  // fixtures reproduce bit-identically through the delegation.
+  Rng rng(options.seed);
+  auto random_vector = [&rng, &options](int dim) {
+    std::vector<double> v(dim);
+    for (double& x : v) {
+      x = rng.Uniform(-options.center_spread, options.center_spread);
+    }
+    return v;
+  };
+  std::vector<ShapeRecord> records;
+  records.reserve(static_cast<size_t>(total));
+  std::vector<std::vector<double>> centers(reg->size());
+  for (int g = 0; g < options.num_groups; ++g) {
+    for (int ordinal = 0; ordinal < reg->size(); ++ordinal) {
+      centers[ordinal] = random_vector(reg->dim(ordinal));
+    }
+    for (int m = 0; m < options.group_size; ++m) {
+      ShapeRecord record;
+      record.name = "g" + std::to_string(g) + "_m" + std::to_string(m);
+      record.group = g;
+      for (int ordinal = 0; ordinal < reg->size(); ++ordinal) {
+        FeatureVector& fv = record.signature.MutableAt(ordinal);
+        fv.kind = static_cast<FeatureKind>(ordinal);
+        fv.values.reserve(centers[ordinal].size());
+        for (double c : centers[ordinal]) {
+          fv.values.push_back(c +
+                              rng.NextGaussian() * options.member_stddev);
+        }
+      }
+      records.push_back(std::move(record));
+    }
+  }
+  for (int n = 0; n < options.num_noise; ++n) {
+    ShapeRecord record;
+    record.name = "noise" + std::to_string(n);
+    record.group = kUngrouped;
+    for (int ordinal = 0; ordinal < reg->size(); ++ordinal) {
+      FeatureVector& fv = record.signature.MutableAt(ordinal);
+      fv.kind = static_cast<FeatureKind>(ordinal);
+      fv.values = random_vector(reg->dim(ordinal));
+    }
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+}  // namespace dess

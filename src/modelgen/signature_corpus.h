@@ -1,0 +1,44 @@
+#ifndef DESS_MODELGEN_SIGNATURE_CORPUS_H_
+#define DESS_MODELGEN_SIGNATURE_CORPUS_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/db/shape_database.h"
+#include "src/features/feature_space.h"
+
+namespace dess {
+
+/// Large-corpus mode: synthesizes pre-extracted, signature-only records —
+/// no meshes, no voxelization, no meshing pipeline — so index and query
+/// benchmarks can scale to 100k–1M records in seconds. The statistical
+/// shape mirrors the serving layer's synthetic corpus: `num_groups`
+/// Gaussian clusters of `group_size` members each around uniform centers,
+/// plus `num_noise` unclustered uniform records, drawn from one
+/// deterministic stream so the same (options, registry) always produces
+/// the same corpus.
+struct SignatureCorpusOptions {
+  int num_groups = 0;
+  int group_size = 0;
+  int num_noise = 0;
+  uint64_t seed = 0;
+  /// Cluster centers (and noise records) are Uniform(-spread, spread) per
+  /// dimension; members scatter Gaussian(center, stddev).
+  double center_spread = 1.0;
+  double member_stddev = 0.05;
+};
+
+/// Generates the corpus over `registry`'s spaces (null = the canonical
+/// four). Records come back unnamed-id (id = -1, assigned at insert),
+/// named "g<group>_m<member>" / "noise<n>", in group-major order —
+/// byte-identical to what MakeSyntheticCorpusSystem has always ingested.
+/// InvalidArgument when no records are requested.
+Result<std::vector<ShapeRecord>> MakeSignatureCorpus(
+    const SignatureCorpusOptions& options,
+    std::shared_ptr<const FeatureSpaceRegistry> registry = nullptr);
+
+}  // namespace dess
+
+#endif  // DESS_MODELGEN_SIGNATURE_CORPUS_H_

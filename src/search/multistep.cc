@@ -55,9 +55,19 @@ Result<std::vector<SearchResult>> RunPlan(
     const auto stage_start = std::chrono::steady_clock::now();
     if (s == 0) {
       // First stage: index search. Over-fetch by one when excluding the
-      // query shape itself.
-      const size_t k =
+      // query shape itself. When the stage's index is approximate and a
+      // later stage will re-rank anyway, widen the kept set by the
+      // engine's oversample factor: a true final-top-k member the graph
+      // ranks slightly low still reaches the exact stages, which restore
+      // the order. The final stage's keep still bounds the answer size.
+      size_t k =
           stage.keep > 0 ? static_cast<size_t>(stage.keep) : engine.db().NumShapes();
+      if (!engine.IsExactAt(ordinal) && plan.stages.size() > 1) {
+        const size_t oversample = static_cast<size_t>(
+            std::max(1, engine.options().approx_oversample));
+        const size_t cap = engine.db().NumShapes();
+        k = k > cap / oversample ? cap : k * oversample;
+      }
       DESS_ASSIGN_OR_RETURN(
           current,
           engine.QueryTopK(feature, ordinal,
@@ -69,8 +79,8 @@ Result<std::vector<SearchResult>> RunPlan(
                                      }),
                       current.end());
       }
-      if (stage.keep > 0 && current.size() > static_cast<size_t>(stage.keep)) {
-        current.resize(stage.keep);
+      if (current.size() > k) {
+        current.resize(k);
       }
       if (registry->enabled()) {
         registry->AddCounter("multistep.queries");

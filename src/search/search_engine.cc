@@ -118,10 +118,15 @@ Result<std::unique_ptr<SearchEngine>> SearchEngine::Assemble(
   std::unique_ptr<SearchEngine> engine(new SearchEngine());
   engine->db_ = std::move(db);
   engine->options_ = options;
+  engine->options_.build_pool = nullptr;
   engine->registry_ = std::move(registry);
   engine->spaces_ = std::move(spaces);
   engine->indexes_.reserve(indexes.size());
   for (auto& index : indexes) engine->indexes_.push_back(std::move(index));
+  // The assembled indexes arrive preloaded (or rebuilt) by the opener;
+  // the engine still resolves each space's backend so query paths know
+  // which indexes are approximate.
+  DESS_RETURN_NOT_OK(engine->ResolveBackends());
   // The persisted stats make standardization bit-reproducible, so the
   // repacked blocks match what Build() would have produced.
   DESS_RETURN_NOT_OK(engine->PackSignatureBlocks());
@@ -231,67 +236,104 @@ Result<std::unique_ptr<SearchEngine>> SearchEngine::Build(
   return engine;
 }
 
+std::string ResolveIndexBackendId(const SearchEngineOptions& options,
+                                  const FeatureSpaceDef& def) {
+  if (!def.index_backend.empty()) return def.index_backend;
+  if (def.index_preference == IndexPreference::kRTree) {
+    return kRTreeBackendId;
+  }
+  if (def.index_preference == IndexPreference::kLinearScan) {
+    return kLinearScanBackendId;
+  }
+  if (!options.index_backend.empty()) return options.index_backend;
+  switch (options.backend) {
+    case IndexBackend::kDiskRTree:
+      return kDiskRTreeBackendId;
+    case IndexBackend::kLinearScan:
+      return kLinearScanBackendId;
+    case IndexBackend::kRTree:
+      break;
+  }
+  return options.use_rtree ? kRTreeBackendId : kLinearScanBackendId;
+}
+
+Status SearchEngine::ResolveBackends() {
+  const FeatureSpaceRegistry& registry = *registry_;
+  const IndexBackendRegistry& backends =
+      BackendsOrBuiltIns(options_.index_backends);
+  backend_info_.assign(registry.size(), {});
+  for (int ordinal = 0; ordinal < registry.size(); ++ordinal) {
+    const std::string id =
+        ResolveIndexBackendId(options_, registry.space(ordinal));
+    if (id == kDiskRTreeBackendId) {
+      // The packed on-disk R-tree is exact and selected by id, but built
+      // outside the registry (it needs engine filesystem options).
+      backend_info_[ordinal] = {id, /*exact=*/true, /*supports_range=*/true};
+      continue;
+    }
+    DESS_ASSIGN_OR_RETURN(const IndexBackendDef* def, backends.Resolve(id));
+    backend_info_[ordinal] = {def->id, def->exact, def->supports_range};
+  }
+  return Status::OK();
+}
+
 Status SearchEngine::BuildIndexes() {
   const FeatureSpaceRegistry& registry = *registry_;
+  const IndexBackendRegistry& backends =
+      BackendsOrBuiltIns(options_.index_backends);
+  DESS_RETURN_NOT_OK(ResolveBackends());
   indexes_.assign(registry.size(), nullptr);
   for (int ordinal = 0; ordinal < registry.size(); ++ordinal) {
     const FeatureSpaceDef& def = registry.space(ordinal);
     const int dim = def.dim;
     const SignatureBlock& block = *blocks_[ordinal];
+    const std::string& id = backend_info_[ordinal].id;
 
-    IndexBackend backend = options_.backend;
-    if (backend == IndexBackend::kRTree && !options_.use_rtree) {
-      backend = IndexBackend::kLinearScan;
-    }
-    if (def.index_preference == IndexPreference::kRTree) {
-      backend = IndexBackend::kRTree;
-    } else if (def.index_preference == IndexPreference::kLinearScan) {
-      backend = IndexBackend::kLinearScan;
-    }
-    switch (backend) {
-      case IndexBackend::kRTree: {
-        auto rtree = std::make_unique<RTreeIndex>(dim);
-        std::vector<std::pair<int, std::vector<double>>> bulk;
-        bulk.reserve(block.size());
-        for (size_t r = 0; r < block.size(); ++r) {
-          bulk.emplace_back(block.id(r), block.Row(r));
-        }
-        DESS_RETURN_NOT_OK(rtree->BulkLoad(bulk));
-        indexes_[ordinal] = std::move(rtree);
-        break;
+    if (id == kDiskRTreeBackendId) {
+      std::error_code ec;
+      std::filesystem::create_directories(options_.disk_index_dir, ec);
+      if (ec) {
+        return Status::IOError("cannot create index directory '" +
+                               options_.disk_index_dir + "': " + ec.message());
       }
-      case IndexBackend::kLinearScan: {
-        auto scan = std::make_unique<LinearScanIndex>(dim);
-        for (size_t r = 0; r < block.size(); ++r) {
-          DESS_RETURN_NOT_OK(scan->Insert(block.id(r), block.Row(r)));
-        }
-        indexes_[ordinal] = std::move(scan);
-        break;
+      std::vector<std::pair<int, std::vector<double>>> bulk;
+      bulk.reserve(block.size());
+      for (size_t r = 0; r < block.size(); ++r) {
+        bulk.emplace_back(block.id(r), block.Row(r));
       }
-      case IndexBackend::kDiskRTree: {
-        std::error_code ec;
-        std::filesystem::create_directories(options_.disk_index_dir, ec);
-        if (ec) {
-          return Status::IOError("cannot create index directory '" +
-                                 options_.disk_index_dir +
-                                 "': " + ec.message());
-        }
-        std::vector<std::pair<int, std::vector<double>>> bulk;
-        bulk.reserve(block.size());
-        for (size_t r = 0; r < block.size(); ++r) {
-          bulk.emplace_back(block.id(r), block.Row(r));
-        }
-        const std::string path =
-            options_.disk_index_dir + "/" + EngineDiskIndexFile(def.id);
-        DESS_RETURN_NOT_OK(DiskRTree::Build(path, dim, bulk));
-        DESS_ASSIGN_OR_RETURN(
-            std::unique_ptr<DiskRTree> tree,
-            DiskRTree::Open(path, options_.disk_buffer_pages));
-        indexes_[ordinal] = MakeDiskIndexAdapter(std::move(tree));
-        break;
-      }
+      const std::string path =
+          options_.disk_index_dir + "/" + EngineDiskIndexFile(def.id);
+      DESS_RETURN_NOT_OK(DiskRTree::Build(path, dim, bulk));
+      DESS_ASSIGN_OR_RETURN(std::unique_ptr<DiskRTree> tree,
+                            DiskRTree::Open(path, options_.disk_buffer_pages));
+      indexes_[ordinal] = MakeDiskIndexAdapter(std::move(tree));
+      continue;
     }
+
+    DESS_ASSIGN_OR_RETURN(const IndexBackendDef* bdef, backends.Resolve(id));
+    IndexBuildContext ctx;
+    ctx.dim = dim;
+    ctx.block = &block;
+    ctx.weights = &spaces_[ordinal].weights;
+    ctx.pool = options_.build_pool;
+    ctx.seed = options_.index_seed + static_cast<uint64_t>(ordinal);
+    ctx.space_id = def.id;
+    DESS_ASSIGN_OR_RETURN(std::unique_ptr<MultiDimIndex> index,
+                          bdef->factory(ctx));
+    if (index == nullptr || index->dim() != dim ||
+        index->size() != block.size()) {
+      return Status::Internal(StrFormat(
+          "index backend '%s' built an inconsistent index for space '%s'",
+          bdef->id.c_str(), def.id.c_str()));
+    }
+    // The metric family follows the registered id, so a re-registered
+    // backend surfaces as index.<id>.* without code changes.
+    index->BindMetricFamily(bdef->id);
+    indexes_[ordinal] = std::move(index);
   }
+  // The pool was borrowed for the build only; a published engine must not
+  // dangle a reference to it.
+  options_.build_pool = nullptr;
   return Status::OK();
 }
 
@@ -332,6 +374,7 @@ Result<std::unique_ptr<SearchEngine>> SearchEngine::Layer(
   engine->db_ = std::move(full_db);
   engine->options_ = base.options_;
   engine->registry_ = base.registry_;
+  engine->backend_info_ = base.backend_info_;
   engine->spaces_ = base.spaces_;  // frozen calibration
   engine->indexes_ = base.indexes_;
   engine->blocks_ = base.blocks_;
@@ -479,7 +522,31 @@ Result<std::vector<SearchResult>> SearchEngine::QueryTopKImpl(
       weights != nullptr ? *weights : spaces_[ki].weights;
   const std::vector<double> q = spaces_[ki].Standardize(raw_feature);
   QueryStats work;
-  std::vector<Neighbor> neighbors = indexes_[ki]->KNearest(q, k, w, &work);
+  std::vector<Neighbor> neighbors;
+  if (backend_info_[ki].exact) {
+    neighbors = indexes_[ki]->KNearest(q, k, w, &work);
+  } else {
+    // Approximate stage 1: oversample graph candidates, then re-score
+    // every candidate exactly against the packed block. Approximate
+    // distances are navigation hints, never final scores — the results
+    // below are bit-comparable with an exact backend's (modulo recall).
+    const size_t oversample =
+        static_cast<size_t>(std::max(1, options_.approx_oversample));
+    const size_t cap = NumMainRows();
+    const size_t fetch = std::min(cap, k > cap / oversample ? cap
+                                                            : k * oversample);
+    neighbors = indexes_[ki]->KNearest(q, fetch, w, &work);
+    const SignatureBlock& block = *blocks_[ki];
+    const double* wp = w.empty() ? nullptr : w.data();
+    for (Neighbor& n : neighbors) {
+      const std::optional<size_t> row = RowOf(n.id);
+      if (!row.has_value()) continue;  // main indexes only hold main rows
+      n.distance = RowWeightedL2(block, *row, q.data(), wp);
+    }
+    work.points_compared += neighbors.size();
+    std::sort(neighbors.begin(), neighbors.end());
+    if (neighbors.size() > k) neighbors.resize(k);
+  }
   if (side_ != nullptr && side_->NumRecords() > 0) {
     std::vector<Neighbor> extra = side_->scans[ki]->KNearest(q, k, w, &work);
     neighbors.insert(neighbors.end(), extra.begin(), extra.end());
@@ -514,8 +581,31 @@ Result<std::vector<SearchResult>> SearchEngine::QueryThresholdImpl(
   const double radius = (1.0 - min_similarity) * spaces_[ki].dmax;
   const std::vector<double> q = spaces_[ki].Standardize(raw_feature);
   QueryStats work;
-  std::vector<Neighbor> neighbors = indexes_[ki]->RangeQuery(q, radius, w,
-                                                             &work);
+  std::vector<Neighbor> neighbors;
+  if (backend_info_[ki].supports_range) {
+    neighbors = indexes_[ki]->RangeQuery(q, radius, w, &work);
+  } else {
+    // A backend without exact range support (the approximate graph) never
+    // answers threshold queries: the contract is "all shapes above the
+    // similarity floor", so fall back to an exact batched scan of the
+    // packed block — same kernel, bitwise-identical distances.
+    const SignatureBlock& block = *blocks_[ki];
+    const size_t n = block.size();
+    std::vector<double> dist(n);
+    {
+      DESS_TIMED_SCOPE("kernel.batch");
+      BatchedWeightedL2(block, q.data(), w.empty() ? nullptr : w.data(),
+                        dist.data());
+    }
+    for (size_t r = 0; r < n; ++r) {
+      if (dist[r] <= radius) neighbors.push_back({block.id(r), dist[r]});
+    }
+    std::sort(neighbors.begin(), neighbors.end());
+    work.nodes_visited += 1;
+    work.leaves_scanned += 1;
+    work.points_compared += n;
+    work.kernel_batches += 1;
+  }
   if (side_ != nullptr && side_->NumRecords() > 0) {
     std::vector<Neighbor> extra =
         side_->scans[ki]->RangeQuery(q, radius, w, &work);

@@ -10,6 +10,7 @@
 
 #include "src/common/result.h"
 #include "src/db/shape_database.h"
+#include "src/index/index_backend.h"
 #include "src/index/linear_scan.h"
 #include "src/index/multidim_index.h"
 #include "src/index/signature_block.h"
@@ -19,6 +20,7 @@
 namespace dess {
 
 class DiskRTree;
+class ThreadPool;
 
 /// Immutable overlay of records ingested after an engine's main indexes
 /// were built: one linear-scan SoA block per feature space, standardized
@@ -64,11 +66,40 @@ struct SearchEngineOptions {
   std::string disk_index_dir = ".";
   /// Buffer-pool frames per on-disk index.
   int disk_buffer_pages = 64;
+  /// String-keyed backend selection, resolved against `index_backends`;
+  /// takes precedence over `backend`/`use_rtree` when non-empty. A space
+  /// whose FeatureSpaceDef names a backend overrides this engine-wide
+  /// choice (see ResolveIndexBackendId for the full precedence).
+  std::string index_backend;
+  /// Backend registry the engine resolves ids against. Null means the
+  /// built-ins (linear_scan, rtree, hnsw).
+  std::shared_ptr<const IndexBackendRegistry> index_backends;
+  /// Stage-1 candidate multiplier for approximate backends: a top-k query
+  /// fetches k * approx_oversample graph candidates, re-scores them
+  /// exactly against the packed block, and returns the best k. Exact
+  /// backends ignore it.
+  int approx_oversample = 4;
+  /// Determinism seed for randomized (approximate) backends; the same
+  /// corpus + seed builds the identical index at any thread count.
+  uint64_t index_seed = 0;
+  /// Optional pool for parallel index builds. Borrowed only for the
+  /// build: the engine clears this pointer from its stored options, so a
+  /// published engine never dangles a pool reference.
+  ThreadPool* build_pool = nullptr;
   /// Feature spaces the engine serves. Null means the canonical registry
   /// (the paper's four descriptors). Every shape in the database must
   /// carry a vector for every registered space.
   std::shared_ptr<const FeatureSpaceRegistry> registry;
 };
+
+/// The backend id the engine will use for one space, in precedence order:
+/// the space's explicit FeatureSpaceDef::index_backend, its legacy
+/// IndexPreference, the engine-wide SearchEngineOptions::index_backend,
+/// and finally the legacy enum/use_rtree pair. Returns
+/// kDiskRTreeBackendId for the packed on-disk R-tree, which is selected
+/// like a backend but built outside the registry.
+std::string ResolveIndexBackendId(const SearchEngineOptions& options,
+                                  const FeatureSpaceDef& def);
 
 /// Query-by-example engine over a frozen ShapeDatabase view: owns one
 /// similarity space and one multidimensional index per feature kind.
@@ -148,6 +179,20 @@ class SearchEngine {
   /// registered with this engine (the pinned unknown-space taxonomy).
   Result<int> ResolveSpace(const std::string& space_id) const {
     return registry_->Resolve(space_id);
+  }
+
+  /// The backend id serving one space's main index.
+  const std::string& BackendIdAt(int ordinal) const {
+    return backend_info_[ordinal].id;
+  }
+  /// False when the space's main index is approximate: top-k answers are
+  /// exactly re-scored oversampled graph candidates, and multi-step plans
+  /// widen their first-stage keep to compensate for recall.
+  bool IsExactAt(int ordinal) const { return backend_info_[ordinal].exact; }
+  /// The main index serving one space (borrowed; owned by the engine).
+  /// Persistence hands this to the backend's serialize hook.
+  const MultiDimIndex& IndexAt(int ordinal) const {
+    return *indexes_[ordinal];
   }
 
   /// The packed standardized-signature block of one space (one row per
@@ -337,9 +382,24 @@ class SearchEngine {
       const std::vector<SimilaritySpace>& spaces,
       const FeatureSpaceRegistry& registry);
 
+  /// Per-space backend resolution, computed once at build/assemble time
+  /// (and copied by Layer): the id plus the capability flags every query
+  /// path branches on.
+  struct BackendInfo {
+    std::string id;
+    bool exact = true;
+    bool supports_range = true;
+  };
+
+  /// Fills backend_info_ from the options and registry — shared by
+  /// Build/Rebuild (which also construct the indexes) and Assemble (whose
+  /// indexes arrive preloaded).
+  Status ResolveBackends();
+
   std::shared_ptr<const ShapeDatabase> db_;
   SearchEngineOptions options_;
   std::shared_ptr<const FeatureSpaceRegistry> registry_;
+  std::vector<BackendInfo> backend_info_;
   std::vector<SimilaritySpace> spaces_;
   // Indexes, packed blocks and the row map are immutable once built and
   // shared untouched with engines layered on top of this one, so a delta

@@ -1,55 +1,30 @@
 #include "src/serve/synthetic.h"
 
-#include <array>
-#include <string>
 #include <utility>
 #include <vector>
 
-#include "src/common/rng.h"
+#include "src/modelgen/signature_corpus.h"
 
 namespace dess {
 
 Result<std::unique_ptr<Dess3System>> MakeSyntheticCorpusSystem(
     int num_groups, int group_size, int num_noise, uint64_t seed,
     const SystemOptions& options) {
-  if (num_groups * group_size + num_noise <= 0) {
+  // Record synthesis lives in modelgen's large-corpus mode; this wrapper
+  // only adds the ingest + commit. The generator draws the exact stream
+  // this function used to draw inline, so existing fixtures (and their
+  // pinned query answers) reproduce bit-identically.
+  SignatureCorpusOptions corpus;
+  corpus.num_groups = num_groups;
+  corpus.group_size = group_size;
+  corpus.num_noise = num_noise;
+  corpus.seed = seed;
+  Result<std::vector<ShapeRecord>> records = MakeSignatureCorpus(corpus);
+  if (!records.ok()) {
     return Status::InvalidArgument("synthetic corpus: no shapes requested");
   }
-  Rng rng(seed);
   auto system = std::make_unique<Dess3System>(options);
-  auto random_vector = [&rng](int dim, double spread) {
-    std::vector<double> v(dim);
-    for (double& x : v) x = rng.Uniform(-spread, spread);
-    return v;
-  };
-  for (int g = 0; g < num_groups; ++g) {
-    std::array<std::vector<double>, kNumFeatureKinds> centers;
-    for (FeatureKind kind : AllFeatureKinds()) {
-      centers[static_cast<int>(kind)] = random_vector(FeatureDim(kind), 1.0);
-    }
-    for (int m = 0; m < group_size; ++m) {
-      ShapeRecord record;
-      record.name = "g" + std::to_string(g) + "_m" + std::to_string(m);
-      record.group = g;
-      for (FeatureKind kind : AllFeatureKinds()) {
-        FeatureVector& fv = record.signature.Mutable(kind);
-        fv.kind = kind;
-        for (double c : centers[static_cast<int>(kind)]) {
-          fv.values.push_back(c + rng.NextGaussian() * 0.05);
-        }
-      }
-      system->IngestRecord(std::move(record));
-    }
-  }
-  for (int n = 0; n < num_noise; ++n) {
-    ShapeRecord record;
-    record.name = "noise" + std::to_string(n);
-    record.group = kUngrouped;
-    for (FeatureKind kind : AllFeatureKinds()) {
-      FeatureVector& fv = record.signature.Mutable(kind);
-      fv.kind = kind;
-      fv.values = random_vector(FeatureDim(kind), 1.0);
-    }
+  for (ShapeRecord& record : records.value()) {
     system->IngestRecord(std::move(record));
   }
   DESS_ASSIGN_OR_RETURN([[maybe_unused]] const CommitReceipt receipt,

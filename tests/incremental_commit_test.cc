@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/core/system.h"
+#include "src/index/index_backend.h"
 #include "src/search/combined.h"
 #include "src/search/relevance_feedback.h"
 #include "tests/test_util.h"
@@ -164,6 +165,40 @@ TEST_F(IncrementalCommitTest, DeltaCommitMatchesFrozenFullRebuild) {
   ExpectBitIdenticalAcrossAllModes(**layered, **rebuilt, {0, delta_id});
 }
 
+TEST_F(IncrementalCommitTest, DeltaOverHnswMatchesFrozenFullRebuild) {
+  // Same contract with an approximate main index: the delta side-index is
+  // always exact (linear-scan SoA blocks), layered over hnsw-served main
+  // indexes. At this corpus size the oversampled candidate fetch covers
+  // the whole graph, so merged answers must still match the frozen full
+  // rebuild bitwise — the side overlay must not perturb rank, distance or
+  // similarity of any mode.
+  SystemOptions options = FastSystemOptions();
+  options.search.index_backend = kHnswBackendId;
+  Dess3System system(options);
+  IngestRange(&system, 0, kBase);
+  auto first = system.Commit();
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+
+  IngestRange(&system, kBase, all_.NumShapes());
+  auto delta = system.Commit(CommitOptions{.mode = CommitMode::kDelta});
+  ASSERT_TRUE(delta.ok()) << delta.status().ToString();
+  auto layered = system.CurrentSnapshot();
+  ASSERT_TRUE(layered.ok());
+  EXPECT_EQ((*layered)->NumDeltaRecords(), all_.NumShapes() - kBase);
+  EXPECT_EQ((*layered)->engine().BackendIdAt(0), kHnswBackendId);
+  EXPECT_FALSE((*layered)->engine().IsExactAt(0));
+
+  auto full = system.Commit(
+      CommitOptions{.mode = CommitMode::kFull, .recalibrate = false});
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  auto rebuilt = system.CurrentSnapshot();
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ((*rebuilt)->NumDeltaRecords(), 0u);
+
+  const int delta_id = static_cast<int>(all_.NumShapes()) - 1;
+  ExpectBitIdenticalAcrossAllModes(**layered, **rebuilt, {0, delta_id});
+}
+
 TEST_F(IncrementalCommitTest, ReceiptsDescribeEachPublish) {
   Dess3System system(FastSystemOptions());
   IngestRange(&system, 0, kBase);
@@ -268,19 +303,6 @@ TEST_F(IncrementalCommitTest, LayeredSnapshotReusesBaseHierarchies) {
     EXPECT_EQ(&(*layered)->Hierarchy(kind), &(*base)->Hierarchy(kind))
         << FeatureKindName(kind);
   }
-}
-
-TEST_F(IncrementalCommitTest, DeprecatedParallelShimStillWorks) {
-  // The shim must keep compiling (minus the warning) and route into the
-  // unified path. Signature equality with the sequential path is covered
-  // by SystemTest.ParallelIngestMatchesSequential.
-  Dess3System system(FastSystemOptions());
-  const Dataset empty;
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  EXPECT_TRUE(system.IngestDatasetParallel(empty, 2).ok());
-#pragma GCC diagnostic pop
-  EXPECT_EQ(system.db().NumShapes(), 0u);
 }
 
 class DurableHomeTest : public IncrementalCommitTest {

@@ -9,7 +9,10 @@
 #include <memory>
 #include <string>
 
+#include "src/common/metrics.h"
+#include "src/core/persistence.h"
 #include "src/core/system.h"
+#include "src/index/index_backend.h"
 #include "tests/test_util.h"
 
 namespace dess {
@@ -340,6 +343,132 @@ TEST_F(PersistenceTest, FormatVersionOneCannotExpressAnExtendedRegistry) {
   bogus.format_version = 99;
   EXPECT_EQ(extended->SaveSnapshot(SnapDir("v99"), bogus).code(),
             StatusCode::kInvalidArgument);
+}
+
+// --- Graph sections (format v3) -------------------------------------------
+//
+// A space served by an approximate backend persists its graph topology as
+// an optional manifest section. Graph sections are pure accelerators: a
+// reopened system answers bit-identically whether the graph was restored
+// from its section or rebuilt from the packed rows (the build is
+// deterministic), so older snapshots and stripped sections stay readable.
+
+namespace {
+
+std::unique_ptr<Dess3System> MakeHnswSystem() {
+  SystemOptions options;
+  options.hierarchy.max_leaf_size = 4;
+  options.feature_spaces = testing_util::MakeSyntheticRegistry(
+      {{kSynthId, kSynthDim, kHnswBackendId}});
+  auto system = std::make_unique<Dess3System>(options);
+  ShapeDatabase db = testing_util::BuildSyntheticFeatureDb(
+      4, 4, 3, /*seed=*/123, 0.05, 1.0, {{kSynthId, kSynthDim}});
+  for (const ShapeRecord& rec : db.records()) {
+    system->IngestRecord(rec);
+  }
+  return system;
+}
+
+Result<std::unique_ptr<Dess3System>> OpenHnswSnapshot(
+    const std::string& dir) {
+  SystemOptions options;
+  options.feature_spaces = testing_util::MakeSyntheticRegistry(
+      {{kSynthId, kSynthDim, kHnswBackendId}});
+  return Dess3System::OpenFromSnapshot(dir, {}, options);
+}
+
+uint64_t GlobalCounter(const std::string& name) {
+  for (const auto& counter : MetricsRegistry::Global()->Snapshot().counters) {
+    if (counter.name == name) return counter.value;
+  }
+  return 0;
+}
+
+}  // namespace
+
+TEST_F(PersistenceTest, HnswGraphSectionRoundTripsBitIdentically) {
+  auto hnsw = MakeHnswSystem();
+  ASSERT_TRUE(hnsw->Commit().ok());
+  ASSERT_TRUE(hnsw->SaveSnapshot(SnapDir("v3")).ok());
+
+  // The v3 snapshot carries the graph topology of the hnsw-pinned space
+  // (and only that space — exact backends rebuild from the packed rows).
+  EXPECT_TRUE(fs::exists(fs::path(SnapDir("v3")) /
+                         SnapshotGraphFile(kSynthId)));
+  EXPECT_FALSE(fs::exists(fs::path(SnapDir("v3")) /
+                          SnapshotGraphFile("moment_invariants")));
+
+  MetricsRegistry::Global()->Reset();
+  auto reopened = OpenHnswSnapshot(SnapDir("v3"));
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_GE(GlobalCounter("persist.graphs_restored"), 1u);
+  EXPECT_EQ(GlobalCounter("persist.graphs_rebuilt"), 0u);
+
+  const QueryRequest topk = QueryRequest::TopK(std::string(kSynthId), 8);
+  const QueryRequest floor =
+      QueryRequest::Threshold(std::string(kSynthId), 0.5);
+  for (const QueryRequest& request : {topk, floor}) {
+    for (int query_id : {0, 5, 11}) {
+      auto original = hnsw->QueryByShapeId(query_id, request);
+      auto restored = (*reopened)->QueryByShapeId(query_id, request);
+      ASSERT_TRUE(original.ok()) << original.status().ToString();
+      ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+      ExpectSameAnswers(*original, *restored);
+    }
+  }
+}
+
+TEST_F(PersistenceTest, OlderFormatSnapshotRebuildsGraphOnOpen) {
+  // A v2 writer predates graph sections: the open falls back to a
+  // deterministic rebuild from the packed rows — same answers, version
+  // skew never surfaces as an error.
+  auto hnsw = MakeHnswSystem();
+  ASSERT_TRUE(hnsw->Commit().ok());
+  SaveOptions save;
+  save.format_version = 2;
+  ASSERT_TRUE(hnsw->SaveSnapshot(SnapDir("v2"), save).ok());
+  EXPECT_FALSE(fs::exists(fs::path(SnapDir("v2")) /
+                          SnapshotGraphFile(kSynthId)));
+
+  MetricsRegistry::Global()->Reset();
+  auto reopened = OpenHnswSnapshot(SnapDir("v2"));
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_GE(GlobalCounter("persist.graphs_rebuilt"), 1u);
+  EXPECT_EQ(GlobalCounter("persist.graphs_restored"), 0u);
+
+  const QueryRequest topk = QueryRequest::TopK(std::string(kSynthId), 8);
+  for (int query_id : {0, 5, 11}) {
+    auto original = hnsw->QueryByShapeId(query_id, topk);
+    auto restored = (*reopened)->QueryByShapeId(query_id, topk);
+    ASSERT_TRUE(original.ok() && restored.ok());
+    ExpectSameAnswers(*original, *restored);
+  }
+}
+
+TEST_F(PersistenceTest, StrippedGraphSectionFallsBackToRebuild) {
+  // Deleting the graph section from a v3 snapshot must not brick it: the
+  // manifest entry is optional, so the opener rebuilds and answers
+  // identically. (Checksum verification is skipped because the deliberate
+  // strip would otherwise read as corruption.)
+  auto hnsw = MakeHnswSystem();
+  ASSERT_TRUE(hnsw->Commit().ok());
+  ASSERT_TRUE(hnsw->SaveSnapshot(SnapDir("strip")).ok());
+  fs::remove(fs::path(SnapDir("strip")) / SnapshotGraphFile(kSynthId));
+
+  SystemOptions options;
+  options.feature_spaces = testing_util::MakeSyntheticRegistry(
+      {{kSynthId, kSynthDim, kHnswBackendId}});
+  OpenOptions trusting;
+  trusting.verify_checksums = false;
+  auto reopened =
+      Dess3System::OpenFromSnapshot(SnapDir("strip"), trusting, options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+
+  const QueryRequest topk = QueryRequest::TopK(std::string(kSynthId), 8);
+  auto original = hnsw->QueryByShapeId(3, topk);
+  auto restored = (*reopened)->QueryByShapeId(3, topk);
+  ASSERT_TRUE(original.ok() && restored.ok());
+  ExpectSameAnswers(*original, *restored);
 }
 
 TEST_F(PersistenceTest, SkippingChecksumVerificationStillRoundTrips) {

@@ -15,10 +15,13 @@ namespace dess {
 namespace testing_util {
 
 /// A synthetic non-canonical feature space for registry tests: id + dim,
-/// no geometry semantics.
+/// no geometry semantics. `index_backend` optionally pins the space to one
+/// index backend (e.g. "hnsw"), exactly as FeatureSpaceDef::index_backend
+/// would in production code.
 struct SyntheticExtraSpace {
   std::string id;
   int dim = 4;
+  std::string index_backend;
 };
 
 /// A registry holding the canonical four plus the given synthetic spaces.
@@ -32,6 +35,7 @@ inline std::shared_ptr<const FeatureSpaceRegistry> MakeSyntheticRegistry(
     FeatureSpaceDef def;
     def.id = space.id;
     def.dim = space.dim;
+    def.index_backend = space.index_backend;
     def.extractor = [dim = space.dim](const ExtractionArtifacts&) {
       FeatureVector fv;
       fv.values.assign(dim, 0.0);
